@@ -1,0 +1,37 @@
+//! Baseline anomaly detectors from the paper's evaluation (Section VI-C,
+//! Figure 5).
+//!
+//! * [`MarkovDetector`] — a k-th-order Markov chain over system states
+//!   (stochastic learning; 6thSense-style): a runtime event implying a
+//!   state transition never seen in training is anomalous,
+//! * [`OcsvmDetector`] — a one-class ν-SVM with an RBF kernel over system
+//!   states (classic machine learning),
+//! * [`HaWatcherDetector`] — association-mined event-to-state rules with
+//!   spatial and functional-channel constraints (data mining;
+//!   HAWatcher-style).
+//!
+//! All baselines implement the common [`Detector`] trait so the
+//! benchmarking harness can evaluate them uniformly against CausalIoT.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hawatcher;
+mod markov;
+mod ocsvm;
+
+pub use hawatcher::{HaWatcherDetector, HaWatcherRule};
+pub use markov::MarkovDetector;
+pub use ocsvm::{OcsvmConfig, OcsvmDetector};
+
+use iot_model::{BinaryEvent, SystemState};
+
+/// A fitted point-anomaly detector evaluated per runtime event.
+pub trait Detector {
+    /// A short display name for report tables.
+    fn name(&self) -> &str;
+
+    /// Classifies each event of a runtime stream (starting from
+    /// `initial`) as anomalous (`true`) or normal (`false`).
+    fn detect(&self, initial: &SystemState, events: &[BinaryEvent]) -> Vec<bool>;
+}

@@ -1,0 +1,331 @@
+//! The one-class SVM baseline (classic machine learning).
+//!
+//! Schölkopf's one-class ν-SVM over binary system-state vectors with an
+//! RBF kernel, trained by pairwise SMO-style coordinate descent on the
+//! dual:
+//!
+//! ```text
+//! min ½ αᵀQα   s.t.   0 ≤ αᵢ ≤ 1/(νl),   Σαᵢ = 1
+//! ```
+//!
+//! A runtime event is anomalous when the implied system state falls
+//! outside the learned boundary (`f(x) = Σ αⱼ k(xⱼ, x) − ρ < 0`).
+//!
+//! Because states are binary vectors, `‖x − y‖²` is the Hamming distance,
+//! so the kernel takes only `n + 1` distinct values — we precompute them.
+
+use iot_model::{BinaryEvent, SystemState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Detector;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OcsvmConfig {
+    /// The ν parameter: an upper bound on the training outlier fraction
+    /// and lower bound on the support-vector fraction.
+    pub nu: f64,
+    /// RBF kernel width γ in `exp(−γ · hamming(x, y))`.
+    pub gamma: f64,
+    /// Maximum number of training states (larger training sets are
+    /// uniformly subsampled; system states repeat heavily, so this loses
+    /// little information).
+    pub max_samples: usize,
+    /// SMO sweep budget.
+    pub max_sweeps: usize,
+    /// RNG seed for subsampling.
+    pub seed: u64,
+}
+
+impl Default for OcsvmConfig {
+    fn default() -> Self {
+        OcsvmConfig {
+            nu: 0.05,
+            gamma: 0.4,
+            max_samples: 800,
+            max_sweeps: 60,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A fitted one-class SVM detector.
+#[derive(Debug, Clone)]
+pub struct OcsvmDetector {
+    support: Vec<u64>,
+    alphas: Vec<f64>,
+    rho: f64,
+    kernel_by_distance: Vec<f64>,
+    num_devices: usize,
+}
+
+fn pack(state: &SystemState) -> u64 {
+    assert!(state.len() <= 64, "more than 64 devices not supported");
+    state
+        .values()
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+impl OcsvmDetector {
+    /// Fits the boundary on the system states traversed by a training
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is empty, `nu` is outside `(0, 1]`, or the
+    /// home has more than 64 devices.
+    pub fn fit(initial: &SystemState, events: &[BinaryEvent], config: &OcsvmConfig) -> Self {
+        assert!(!events.is_empty(), "cannot fit on an empty stream");
+        assert!(config.nu > 0.0 && config.nu <= 1.0, "nu must be in (0, 1]");
+        let n = initial.len();
+        // Collect traversed states.
+        let mut state = initial.clone();
+        let mut states: Vec<u64> = Vec::with_capacity(events.len());
+        for event in events {
+            state.set(event.device, event.value);
+            states.push(pack(&state));
+        }
+        // Uniform subsample.
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        if states.len() > config.max_samples {
+            let stride = states.len() as f64 / config.max_samples as f64;
+            states = (0..config.max_samples)
+                .map(|i| {
+                    let jitter = rng.gen_range(0.0..stride);
+                    states[((i as f64 * stride + jitter) as usize).min(states.len() - 1)]
+                })
+                .collect();
+        }
+        let l = states.len();
+        let kernel_by_distance: Vec<f64> = (0..=n)
+            .map(|d| (-config.gamma * d as f64).exp())
+            .collect();
+        let kernel = |a: u64, b: u64| kernel_by_distance[(a ^ b).count_ones() as usize];
+
+        // SMO-style pairwise optimisation of the one-class dual.
+        let c = 1.0 / (config.nu * l as f64);
+        let mut alphas = vec![0.0f64; l];
+        // Feasible start: spread mass over the first ⌈νl⌉ points at the cap.
+        let mut remaining = 1.0f64;
+        for alpha in alphas.iter_mut() {
+            let take = remaining.min(c);
+            *alpha = take;
+            remaining -= take;
+            if remaining <= 0.0 {
+                break;
+            }
+        }
+        // Gradient of ½αᵀQα is g_i = Σ_j α_j K_ij.
+        let mut grad: Vec<f64> = (0..l)
+            .map(|i| {
+                (0..l)
+                    .map(|j| alphas[j] * kernel(states[i], states[j]))
+                    .sum()
+            })
+            .collect();
+        for _ in 0..config.max_sweeps {
+            // Working pair: steepest feasible descent — i with max gradient
+            // among α_i > 0, j with min gradient among α_j < C.
+            let mut best_i = None;
+            let mut best_j = None;
+            for idx in 0..l {
+                if alphas[idx] > 1e-12
+                    && best_i.is_none_or(|bi: usize| grad[idx] > grad[bi])
+                {
+                    best_i = Some(idx);
+                }
+                if alphas[idx] < c - 1e-12
+                    && best_j.is_none_or(|bj: usize| grad[idx] < grad[bj])
+                {
+                    best_j = Some(idx);
+                }
+            }
+            let (i, j) = match (best_i, best_j) {
+                (Some(i), Some(j)) if i != j => (i, j),
+                _ => break,
+            };
+            if grad[i] - grad[j] < 1e-9 {
+                break; // KKT-optimal.
+            }
+            // Optimal step δ moving mass from i to j:
+            // minimise over δ of the pair objective; denominator is
+            // K_ii + K_jj − 2K_ij = 2(1 − K_ij) for RBF.
+            let kij = kernel(states[i], states[j]);
+            let denom = (2.0 * (1.0 - kij)).max(1e-12);
+            let mut delta = (grad[i] - grad[j]) / denom;
+            delta = delta.min(alphas[i]).min(c - alphas[j]);
+            if delta <= 0.0 {
+                break;
+            }
+            alphas[i] -= delta;
+            alphas[j] += delta;
+            for (idx, g) in grad.iter_mut().enumerate() {
+                *g += delta * (kernel(states[idx], states[j]) - kernel(states[idx], states[i]));
+            }
+        }
+
+        // ρ from margin support vectors (0 < α < C): f(x_i) = 0 there.
+        let margin: Vec<usize> = (0..l)
+            .filter(|&i| alphas[i] > 1e-9 && alphas[i] < c - 1e-9)
+            .collect();
+        let score_of = |idx: usize| -> f64 {
+            (0..l)
+                .map(|j| alphas[j] * kernel(states[idx], states[j]))
+                .sum()
+        };
+        let rho = if margin.is_empty() {
+            // Fall back to the mean score of all support vectors.
+            let sv: Vec<usize> = (0..l).filter(|&i| alphas[i] > 1e-9).collect();
+            sv.iter().map(|&i| score_of(i)).sum::<f64>() / sv.len().max(1) as f64
+        } else {
+            margin.iter().map(|&i| score_of(i)).sum::<f64>() / margin.len() as f64
+        };
+
+        // Keep only support vectors.
+        let mut support = Vec::new();
+        let mut sv_alphas = Vec::new();
+        for i in 0..l {
+            if alphas[i] > 1e-9 {
+                support.push(states[i]);
+                sv_alphas.push(alphas[i]);
+            }
+        }
+        OcsvmDetector {
+            support,
+            alphas: sv_alphas,
+            rho,
+            kernel_by_distance,
+            num_devices: n,
+        }
+    }
+
+    /// Number of support vectors kept.
+    pub fn num_support_vectors(&self) -> usize {
+        self.support.len()
+    }
+
+    /// The decision value `f(x) = Σ αⱼ k(xⱼ, x) − ρ` for a state
+    /// (negative = anomalous).
+    pub fn decision(&self, state: &SystemState) -> f64 {
+        assert_eq!(state.len(), self.num_devices, "device count mismatch");
+        let x = pack(state);
+        let sum: f64 = self
+            .support
+            .iter()
+            .zip(&self.alphas)
+            .map(|(&sv, &alpha)| alpha * self.kernel_by_distance[(sv ^ x).count_ones() as usize])
+            .sum();
+        sum - self.rho
+    }
+}
+
+impl Detector for OcsvmDetector {
+    fn name(&self) -> &str {
+        "OCSVM"
+    }
+
+    fn detect(&self, initial: &SystemState, events: &[BinaryEvent]) -> Vec<bool> {
+        let mut state = initial.clone();
+        let mut flags = Vec::with_capacity(events.len());
+        for event in events {
+            state.set(event.device, event.value);
+            flags.push(self.decision(&state) < 0.0);
+        }
+        flags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iot_model::{DeviceId, Timestamp};
+
+    fn bev(t: u64, dev: usize, on: bool) -> BinaryEvent {
+        BinaryEvent::new(Timestamp::from_secs(t), DeviceId::from_index(dev), on)
+    }
+
+    /// Training visits only two states: all-off and devices {0,1} on.
+    fn two_cluster_stream(rounds: u64) -> Vec<BinaryEvent> {
+        let mut events = Vec::new();
+        for i in 0..rounds {
+            let t = 4 * i;
+            events.push(bev(t, 0, true));
+            events.push(bev(t + 1, 1, true));
+            events.push(bev(t + 2, 0, false));
+            events.push(bev(t + 3, 1, false));
+        }
+        events
+    }
+
+    #[test]
+    fn familiar_states_are_inliers() {
+        let initial = SystemState::all_off(8);
+        let events = two_cluster_stream(100);
+        let det = OcsvmDetector::fit(&initial, &events, &OcsvmConfig::default());
+        let flags = det.detect(&initial, &events[..40].to_vec());
+        let fp_rate = flags.iter().filter(|&&f| f).count() as f64 / flags.len() as f64;
+        assert!(fp_rate < 0.4, "inlier flag rate {fp_rate}");
+    }
+
+    #[test]
+    fn far_away_state_is_an_outlier() {
+        let initial = SystemState::all_off(8);
+        let events = two_cluster_stream(100);
+        let det = OcsvmDetector::fit(&initial, &events, &OcsvmConfig::default());
+        // Turn on devices 4..8 — hamming distance >= 4 from anything seen.
+        let runtime: Vec<BinaryEvent> =
+            (4..8).map(|d| bev(1_000 + d as u64, d, true)).collect();
+        let flags = det.detect(&initial, &runtime);
+        assert!(
+            *flags.last().expect("non-empty"),
+            "distant state must be flagged"
+        );
+    }
+
+    #[test]
+    fn decision_is_continuous_in_distance() {
+        let initial = SystemState::all_off(8);
+        let events = two_cluster_stream(50);
+        let det = OcsvmDetector::fit(&initial, &events, &OcsvmConfig::default());
+        let mut near = SystemState::all_off(8);
+        near.set(DeviceId::from_index(0), true);
+        near.set(DeviceId::from_index(1), true);
+        let mut far = near.clone();
+        for d in 2..8 {
+            far.set(DeviceId::from_index(d), true);
+        }
+        assert!(det.decision(&near) > det.decision(&far));
+    }
+
+    #[test]
+    fn support_vectors_are_a_subset() {
+        let initial = SystemState::all_off(8);
+        let events = two_cluster_stream(300);
+        let cfg = OcsvmConfig {
+            max_samples: 200,
+            ..OcsvmConfig::default()
+        };
+        let det = OcsvmDetector::fit(&initial, &events, &cfg);
+        assert!(det.num_support_vectors() > 0);
+        assert!(det.num_support_vectors() <= 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_rejected() {
+        OcsvmDetector::fit(&SystemState::all_off(2), &[], &OcsvmConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "nu")]
+    fn bad_nu_rejected() {
+        let cfg = OcsvmConfig {
+            nu: 0.0,
+            ..OcsvmConfig::default()
+        };
+        OcsvmDetector::fit(&SystemState::all_off(2), &[bev(0, 0, true)], &cfg);
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion benches comparing the runtime cost of CausalIoT and the
+//! three baseline detectors on the same stream.
+
+use baselines::{Detector, HaWatcherDetector, MarkovDetector, OcsvmConfig, OcsvmDetector};
+use causaliot_bench::eval::CausalIotPoint;
+use causaliot_bench::{Dataset, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use iot_model::SystemState;
+
+fn bench_detectors(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        days: 8.0,
+        ..ExperimentConfig::default()
+    };
+    let ds = Dataset::contextact(&config);
+    let initial = SystemState::all_off(ds.profile.registry().len());
+    let markov = MarkovDetector::fit(&initial, &ds.train_events, 2);
+    let ocsvm = OcsvmDetector::fit(&initial, &ds.train_events, &OcsvmConfig::default());
+    let hawatcher =
+        HaWatcherDetector::fit(ds.profile.registry(), &initial, &ds.train_events, 10, 0.95);
+    let causaliot = CausalIotPoint::new(&ds.model);
+
+    let mut group = c.benchmark_group("detectors/stream");
+    group.throughput(Throughput::Elements(ds.test_events.len() as u64));
+    let detectors: Vec<(&str, &dyn Detector)> = vec![
+        ("causaliot", &causaliot),
+        ("markov", &markov),
+        ("ocsvm", &ocsvm),
+        ("hawatcher", &hawatcher),
+    ];
+    for (name, detector) in detectors {
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(detector.detect(&ds.test_initial, &ds.test_events)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let config = ExperimentConfig {
+        days: 8.0,
+        ..ExperimentConfig::default()
+    };
+    let ds = Dataset::contextact(&config);
+    let initial = SystemState::all_off(ds.profile.registry().len());
+    let mut group = c.benchmark_group("detectors/fit");
+    group.sample_size(10);
+    group.bench_function("markov", |b| {
+        b.iter(|| std::hint::black_box(MarkovDetector::fit(&initial, &ds.train_events, 2)))
+    });
+    group.bench_function("ocsvm", |b| {
+        b.iter(|| {
+            std::hint::black_box(OcsvmDetector::fit(
+                &initial,
+                &ds.train_events,
+                &OcsvmConfig::default(),
+            ))
+        })
+    });
+    group.bench_function("hawatcher", |b| {
+        b.iter(|| {
+            std::hint::black_box(HaWatcherDetector::fit(
+                ds.profile.registry(),
+                &initial,
+                &ds.train_events,
+                10,
+                0.95,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors, bench_fitting);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Criterion benches for the Interaction Miner: TemporalPC end-to-end
+//! mining time as the device count and the maximum lag grow (the
+//! Section V-D complexity surface).
+
+use causaliot::miner::{mine_dig, MinerConfig};
+use causaliot::snapshot::SnapshotData;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iot_model::{BinaryEvent, DeviceId, StateSeries, SystemState, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn chain_series(n: usize, events_per_device: usize, seed: u64) -> StateSeries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    let mut prev = false;
+    let mut t = 0u64;
+    for _ in 0..events_per_device {
+        for d in 0..n {
+            let value = if d == 0 {
+                rng.gen_bool(0.5)
+            } else if rng.gen_bool(0.9) {
+                prev
+            } else {
+                !prev
+            };
+            prev = value;
+            events.push(BinaryEvent::new(
+                Timestamp::from_secs(t),
+                DeviceId::from_index(d),
+                value,
+            ));
+            t += 1;
+        }
+    }
+    StateSeries::derive(SystemState::all_off(n), events)
+}
+
+fn bench_mining_by_devices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mine_dig/devices");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 24] {
+        let series = chain_series(n, 300, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let data = SnapshotData::from_series(&series, 2);
+                mine_dig(
+                    &data,
+                    &MinerConfig {
+                        parallel: false,
+                        ..MinerConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mining_by_tau(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mine_dig/tau");
+    group.sample_size(10);
+    let series = chain_series(12, 300, 42);
+    for &tau in &[1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(tau), &tau, |b, &tau| {
+            b.iter(|| {
+                let data = SnapshotData::from_series(&series, tau);
+                mine_dig(
+                    &data,
+                    &MinerConfig {
+                        parallel: false,
+                        ..MinerConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mine_dig/parallelism");
+    group.sample_size(10);
+    let series = chain_series(20, 400, 42);
+    for &parallel in &[false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if parallel { "parallel" } else { "serial" }),
+            &parallel,
+            |b, &parallel| {
+                b.iter(|| {
+                    let data = SnapshotData::from_series(&series, 2);
+                    mine_dig(
+                        &data,
+                        &MinerConfig {
+                            parallel,
+                            ..MinerConfig::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mining_by_devices,
+    bench_mining_by_tau,
+    bench_parallel_speedup
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benches for the statistical kernels: the bit-parallel
+//! stratified counting behind every CI test, the G² computation, and
+//! Jenks natural breaks.
+
+use causaliot::graph::LaggedVar;
+use causaliot::snapshot::SnapshotData;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iot_model::{BinaryEvent, DeviceId, StateSeries, SystemState, Timestamp};
+use iot_stats::gsquare::{g_square_from_table, g_square_test, Observation};
+use iot_stats::jenks::jenks_breaks;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn snapshot_data(rows: usize) -> SnapshotData {
+    let mut rng = StdRng::seed_from_u64(3);
+    let events: Vec<BinaryEvent> = (0..rows)
+        .map(|i| {
+            BinaryEvent::new(
+                Timestamp::from_secs(i as u64),
+                DeviceId::from_index(rng.gen_range(0..8)),
+                rng.gen_bool(0.5),
+            )
+        })
+        .collect();
+    let series = StateSeries::derive(SystemState::all_off(8), events);
+    SnapshotData::from_series(&series, 2)
+}
+
+fn bench_stratified_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stratified_counts");
+    for &rows in &[10_000usize, 40_000] {
+        let data = snapshot_data(rows);
+        let x = LaggedVar::new(DeviceId::from_index(0), 1);
+        let y = LaggedVar::new(DeviceId::from_index(1), 0);
+        let z = [
+            LaggedVar::new(DeviceId::from_index(2), 1),
+            LaggedVar::new(DeviceId::from_index(3), 2),
+        ];
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| {
+                let table = data.stratified_counts(x, y, &z);
+                std::hint::black_box(g_square_from_table(&table))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_g_square_streaming(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let obs: Vec<Observation> = (0..20_000)
+        .map(|_| Observation {
+            x: rng.gen_bool(0.5),
+            y: rng.gen_bool(0.5),
+            z_code: rng.gen_range(0..4),
+        })
+        .collect();
+    c.bench_function("g_square_test/20k_observations", |b| {
+        b.iter(|| std::hint::black_box(g_square_test(obs.iter().copied(), 2)))
+    });
+}
+
+fn bench_jenks(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let values: Vec<f64> = (0..2_000)
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                rng.gen_range(0.0..40.0)
+            } else {
+                rng.gen_range(200.0..400.0)
+            }
+        })
+        .collect();
+    c.bench_function("jenks_breaks/2k_two_class", |b| {
+        b.iter(|| std::hint::black_box(jenks_breaks(&values, 2)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_stratified_counts,
+    bench_g_square_streaming,
+    bench_jenks
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Runs the design-choice ablations from DESIGN.md.
+
+use causaliot_bench::experiments::ablations;
+use causaliot_bench::ExperimentConfig;
+
+fn main() {
+    let base = ExperimentConfig::default();
+    println!("== Ablations ==\n");
+    println!(
+        "{}",
+        ablations::render_mining("Maximum time lag", &ablations::sweep_tau(&base, &[1, 2, 3]))
+    );
+    println!(
+        "{}",
+        ablations::render_mining(
+            "Significance threshold",
+            &ablations::sweep_alpha(&base, &[0.0001, 0.001, 0.01, 0.05]),
+        )
+    );
+    println!(
+        "{}",
+        ablations::render_detection(
+            "Score percentile (remote-control case)",
+            &ablations::sweep_q(&base, &[95.0, 97.0, 99.0, 99.5]),
+        )
+    );
+    println!(
+        "{}",
+        ablations::render_detection(
+            "Unseen-context policy (remote-control case)",
+            &ablations::sweep_unseen(&base),
+        )
+    );
+    println!(
+        "{}",
+        ablations::render_mining(
+            "Ground-truth support threshold",
+            &ablations::sweep_gt_support(&base, &[2, 5, 10, 20, 30]),
+        )
+    );
+    let (without, with_clock) = ablations::daylight_augmentation(&base);
+    println!("Virtual daylight-context augmentation (brightness-related spurious edges):");
+    println!("  without clock devices: {without}");
+    println!("  with clock devices:    {with_clock}");
+}

@@ -1,0 +1,10 @@
+//! Regenerates the Section V-D complexity measurements.
+
+use causaliot_bench::experiments::complexity;
+
+fn main() {
+    println!("== Section V-D: computational complexity ==\n");
+    let mining = complexity::mining_scaling(&[4, 8, 12, 16, 20, 24]);
+    let monitor = complexity::monitor_scaling(&[4, 8, 16, 24]);
+    println!("{}", complexity::render(&mining, &monitor));
+}

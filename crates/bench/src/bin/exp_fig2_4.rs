@@ -1,0 +1,9 @@
+//! Regenerates Figures 2 and 4: the didactic DIG example and the
+//! TemporalPC pruning walkthrough.
+
+use causaliot_bench::experiments::fig2_4;
+
+fn main() {
+    println!("== Figures 2 & 4: DIG example and TemporalPC walkthrough ==\n");
+    println!("{}", fig2_4::render(&fig2_4::run(7)));
+}

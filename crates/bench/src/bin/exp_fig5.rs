@@ -1,0 +1,15 @@
+//! Regenerates Figure 5: baseline comparison for contextual detection.
+
+use causaliot_bench::experiments::fig5;
+use causaliot_bench::ExperimentConfig;
+
+fn main() {
+    let config = ExperimentConfig::default();
+    println!("== Figure 5: Comparisons for contextual anomaly detection ==\n");
+    let cells = fig5::run(&config);
+    println!("{}", fig5::render(&cells));
+    println!("Mean F1 per detector:");
+    for (name, f1) in fig5::mean_f1(&cells) {
+        println!("  {name:<12} {f1:.3}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table I: overview of device information.
+
+use causaliot_bench::experiments::table1;
+
+fn main() {
+    println!("== Table I: Overview of device information ==\n");
+    println!("{}", table1::render(&table1::run()));
+}

@@ -1,0 +1,9 @@
+//! Regenerates Table II: automation rules installed in ContextAct.
+
+use causaliot_bench::experiments::table2;
+use causaliot_bench::ExperimentConfig;
+
+fn main() {
+    println!("== Table II: Automation rules in ContextAct ==\n");
+    println!("{}", table2::render(&table2::run(&ExperimentConfig::default())));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table III: interaction-mining evaluation.
+
+use causaliot_bench::experiments::table3;
+use causaliot_bench::ExperimentConfig;
+
+fn main() {
+    let config = ExperimentConfig::default();
+    println!(
+        "== Table III: Identified device interactions (ContextAct, {} days) ==\n",
+        config.days
+    );
+    println!("{}", table3::render(&table3::run(&config)));
+}

@@ -1,0 +1,309 @@
+//! Ablations over the design choices DESIGN.md calls out: the maximum
+//! time lag τ, the significance threshold α, the score percentile `q`,
+//! the unseen-context policy, and the ground-truth support threshold.
+
+use causaliot::graph::UnseenContext;
+use causaliot::pipeline::CausalIot;
+use testbed::inject::{inject_contextual, ContextualCase};
+use testbed::{augment_with_daylight, GroundTruth};
+
+use crate::config::ExperimentConfig;
+use crate::dataset::Dataset;
+use crate::eval::{contextual_alarm_positions, contextual_confusion};
+use crate::render::{f3, Table};
+
+/// One mining-quality measurement under a parameter variation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiningAblationRow {
+    /// The varied parameter's rendered value.
+    pub value: String,
+    /// Mining precision.
+    pub precision: f64,
+    /// Mining recall.
+    pub recall: f64,
+    /// Edges mined.
+    pub mined: usize,
+}
+
+/// One detection-quality measurement under a parameter variation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionAblationRow {
+    /// The varied parameter's rendered value.
+    pub value: String,
+    /// Detection precision.
+    pub precision: f64,
+    /// Detection recall.
+    pub recall: f64,
+    /// Detection F1.
+    pub f1: f64,
+}
+
+fn mining_quality(ds: &Dataset) -> (f64, f64, usize) {
+    let registry = ds.profile.registry();
+    let mined: std::collections::BTreeSet<(String, String)> = ds
+        .model
+        .dig()
+        .interaction_pairs()
+        .iter()
+        .map(|&(c, o)| (registry.name(c).to_string(), registry.name(o).to_string()))
+        .collect();
+    let gt = ds.ground_truth.pairs();
+    let tp = mined.iter().filter(|p| gt.contains(*p)).count();
+    (
+        tp as f64 / mined.len().max(1) as f64,
+        tp as f64 / gt.len().max(1) as f64,
+        mined.len(),
+    )
+}
+
+/// Sweeps the maximum time lag τ.
+pub fn sweep_tau(base: &ExperimentConfig, taus: &[usize]) -> Vec<MiningAblationRow> {
+    taus.iter()
+        .map(|&tau| {
+            let ds = Dataset::contextact(&ExperimentConfig { tau, ..*base });
+            let (precision, recall, mined) = mining_quality(&ds);
+            MiningAblationRow {
+                value: format!("tau = {tau}"),
+                precision,
+                recall,
+                mined,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the G² significance threshold α.
+pub fn sweep_alpha(base: &ExperimentConfig, alphas: &[f64]) -> Vec<MiningAblationRow> {
+    alphas
+        .iter()
+        .map(|&alpha| {
+            let ds = Dataset::contextact(&ExperimentConfig { alpha, ..*base });
+            let (precision, recall, mined) = mining_quality(&ds);
+            MiningAblationRow {
+                value: format!("alpha = {alpha}"),
+                precision,
+                recall,
+                mined,
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the score percentile `q` on the remote-control case.
+pub fn sweep_q(base: &ExperimentConfig, qs: &[f64]) -> Vec<DetectionAblationRow> {
+    qs.iter()
+        .map(|&q| {
+            let ds = Dataset::contextact(&ExperimentConfig { q, ..*base });
+            let row = detect_remote_control(&ds, base);
+            DetectionAblationRow {
+                value: format!("q = {q}"),
+                ..row
+            }
+        })
+        .collect()
+}
+
+/// Sweeps the unseen-context scoring policy on the remote-control case.
+pub fn sweep_unseen(base: &ExperimentConfig) -> Vec<DetectionAblationRow> {
+    [
+        UnseenContext::Marginal,
+        UnseenContext::Uniform,
+        UnseenContext::MaxAnomaly,
+    ]
+    .into_iter()
+    .map(|unseen| {
+        // Refit with the policy (it affects threshold calibration too).
+        let ds = Dataset::contextact(base);
+        let model = CausalIot::builder()
+            .tau(base.tau)
+            .alpha(base.alpha)
+            .q(base.q)
+            .unseen(unseen)
+            .build()
+            .fit(ds.profile.registry(), &ds.train_log)
+            .expect("enough data");
+        let count = (ds.test_events.len() / 4).max(50);
+        let injection = inject_contextual(
+            &ds.profile,
+            &ds.test_events,
+            &ds.test_initial,
+            ContextualCase::RemoteControl,
+            count,
+            base.inject_seed,
+        );
+        let alarms = contextual_alarm_positions(&model, &ds.test_initial, &injection.events);
+        let matrix = contextual_confusion(
+            &injection.injected_positions,
+            &alarms,
+            injection.events.len(),
+        );
+        DetectionAblationRow {
+            value: format!("{unseen:?}"),
+            precision: matrix.precision(),
+            recall: matrix.recall(),
+            f1: matrix.f1(),
+        }
+    })
+    .collect()
+}
+
+/// Sweeps the ground-truth support threshold (measurement honesty: shows
+/// how the reported mining numbers move with ground-truth breadth).
+pub fn sweep_gt_support(base: &ExperimentConfig, supports: &[usize]) -> Vec<MiningAblationRow> {
+    let ds = Dataset::contextact(base);
+    let registry = ds.profile.registry();
+    let mined: std::collections::BTreeSet<(String, String)> = ds
+        .model
+        .dig()
+        .interaction_pairs()
+        .iter()
+        .map(|&(c, o)| (registry.name(c).to_string(), registry.name(o).to_string()))
+        .collect();
+    supports
+        .iter()
+        .map(|&support| {
+            let gt =
+                GroundTruth::extract_with_support(&ds.profile, &ds.full_log, &ds.rules, support);
+            let tp = mined.iter().filter(|(c, o)| gt.contains(c, o)).count();
+            MiningAblationRow {
+                value: format!("support = {support}"),
+                precision: tp as f64 / mined.len().max(1) as f64,
+                recall: tp as f64 / gt.len().max(1) as f64,
+                mined: mined.len(),
+            }
+        })
+        .collect()
+}
+
+/// Compares mining with and without the virtual daylight-context
+/// augmentation (the paper's deferred mitigation for brightness false
+/// positives): returns `(brightness FPs without, brightness FPs with)`.
+pub fn daylight_augmentation(base: &ExperimentConfig) -> (usize, usize) {
+    let ds = Dataset::contextact(base);
+    let registry = ds.profile.registry();
+    let count_brightness_fps = |pairs: &std::collections::BTreeSet<(String, String)>| {
+        pairs
+            .iter()
+            .filter(|(c, o)| {
+                (c.starts_with("B_") || o.starts_with("B_"))
+                    && !c.starts_with("VIRT_")
+                    && !o.starts_with("VIRT_")
+                    && !ds.ground_truth.contains(c, o)
+            })
+            .count()
+    };
+    let plain: std::collections::BTreeSet<(String, String)> = ds
+        .model
+        .dig()
+        .interaction_pairs()
+        .iter()
+        .map(|&(c, o)| (registry.name(c).to_string(), registry.name(o).to_string()))
+        .collect();
+
+    // Re-mine on the augmented stream.
+    let augmented = augment_with_daylight(registry, &ds.train_events, 6.0, 20.0);
+    let model = CausalIot::builder()
+        .tau(base.tau)
+        .alpha(base.alpha)
+        .build()
+        .fit_binary(&augmented.registry, &augmented.events)
+        .expect("enough data");
+    let with_clock: std::collections::BTreeSet<(String, String)> = model
+        .dig()
+        .interaction_pairs()
+        .iter()
+        .map(|&(c, o)| {
+            (
+                augmented.registry.name(c).to_string(),
+                augmented.registry.name(o).to_string(),
+            )
+        })
+        .collect();
+    (count_brightness_fps(&plain), count_brightness_fps(&with_clock))
+}
+
+fn detect_remote_control(ds: &Dataset, base: &ExperimentConfig) -> DetectionAblationRow {
+    let count = (ds.test_events.len() / 4).max(50);
+    let injection = inject_contextual(
+        &ds.profile,
+        &ds.test_events,
+        &ds.test_initial,
+        ContextualCase::RemoteControl,
+        count,
+        base.inject_seed,
+    );
+    let alarms = contextual_alarm_positions(&ds.model, &ds.test_initial, &injection.events);
+    let matrix = contextual_confusion(
+        &injection.injected_positions,
+        &alarms,
+        injection.events.len(),
+    );
+    DetectionAblationRow {
+        value: String::new(),
+        precision: matrix.precision(),
+        recall: matrix.recall(),
+        f1: matrix.f1(),
+    }
+}
+
+/// Renders a mining-ablation table.
+pub fn render_mining(title: &str, rows: &[MiningAblationRow]) -> String {
+    let mut table = Table::new(["Setting", "Precision", "Recall", "# mined"]);
+    for row in rows {
+        table.row([
+            row.value.clone(),
+            f3(row.precision),
+            f3(row.recall),
+            row.mined.to_string(),
+        ]);
+    }
+    format!("{title}:\n{}", table.render())
+}
+
+/// Renders a detection-ablation table.
+pub fn render_detection(title: &str, rows: &[DetectionAblationRow]) -> String {
+    let mut table = Table::new(["Setting", "Precision", "Recall", "F1"]);
+    for row in rows {
+        table.row([
+            row.value.clone(),
+            f3(row.precision),
+            f3(row.recall),
+            f3(row.f1),
+        ]);
+    }
+    format!("{title}:\n{}", table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentConfig {
+        ExperimentConfig {
+            days: 4.0,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn tau_sweep_runs() {
+        let rows = sweep_tau(&quick(), &[1, 2]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.mined > 0));
+    }
+
+    #[test]
+    fn unseen_sweep_covers_policies() {
+        let rows = sweep_unseen(&quick());
+        assert_eq!(rows.len(), 3);
+        let text = render_detection("unseen", &rows);
+        assert!(text.contains("Marginal"));
+    }
+
+    #[test]
+    fn gt_support_monotonicity() {
+        let rows = sweep_gt_support(&quick(), &[2, 10, 30]);
+        // Shrinking ground truth can only help measured recall.
+        assert!(rows.windows(2).all(|w| w[1].recall >= w[0].recall - 1e-9));
+    }
+}

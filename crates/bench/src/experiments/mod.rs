@@ -1,0 +1,11 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablations;
+pub mod complexity;
+pub mod fig2_4;
+pub mod fig5;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;

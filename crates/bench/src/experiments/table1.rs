@@ -1,0 +1,112 @@
+//! Table I — overview of device information for both testbeds.
+
+use iot_model::Attribute;
+use testbed::{casas_profile, contextact_profile};
+
+use crate::render::Table;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Attribute abbreviation (`S`, `PE`, ...).
+    pub abbrev: &'static str,
+    /// Attribute name.
+    pub attribute: &'static str,
+    /// Device count in the CASAS-like profile.
+    pub casas: usize,
+    /// Device count in the ContextAct-like profile.
+    pub contextact: usize,
+    /// Value type.
+    pub value_type: &'static str,
+    /// Table I description.
+    pub description: &'static str,
+}
+
+/// Builds the Table I rows from the two profiles.
+pub fn run() -> Vec<Table1Row> {
+    let casas = casas_profile();
+    let contextact = contextact_profile();
+    let count = |profile: &testbed::HomeProfile, attr: Attribute| {
+        profile
+            .registry()
+            .attribute_census()
+            .into_iter()
+            .find(|&(a, _)| a == attr)
+            .map(|(_, n)| n)
+            .unwrap_or(0)
+    };
+    Attribute::ALL
+        .iter()
+        .map(|&attr| Table1Row {
+            abbrev: attr.abbrev(),
+            attribute: match attr {
+                Attribute::Switch => "Switch",
+                Attribute::PresenceSensor => "Presence Sensor",
+                Attribute::ContactSensor => "Contact Sensor",
+                Attribute::Dimmer => "Dimmer",
+                Attribute::WaterMeter => "Water Meter",
+                Attribute::PowerSensor => "Power Sensor",
+                Attribute::BrightnessSensor => "Brightness Sensor",
+            },
+            casas: count(&casas, attr),
+            contextact: count(&contextact, attr),
+            value_type: match attr.value_kind() {
+                iot_model::ValueKind::Binary => "Discrete",
+                iot_model::ValueKind::ResponsiveNumeric => "Responsive Numeric",
+                iot_model::ValueKind::AmbientNumeric => "Ambient Numeric",
+            },
+            description: attr.description(),
+        })
+        .collect()
+}
+
+/// Renders the paper-style table.
+pub fn render(rows: &[Table1Row]) -> String {
+    let mut table = Table::new([
+        "Abbr.",
+        "Attribute",
+        "# devices (CASAS)",
+        "# devices (ContextAct)",
+        "Value type",
+        "Description",
+    ]);
+    for row in rows {
+        table.row([
+            row.abbrev.to_string(),
+            row.attribute.to_string(),
+            row.casas.to_string(),
+            row.contextact.to_string(),
+            row.value_type.to_string(),
+            row.description.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_matches_paper_table_one() {
+        let rows = run();
+        let find = |abbrev: &str| rows.iter().find(|r| r.abbrev == abbrev).unwrap();
+        assert_eq!(find("S").contextact, 2);
+        assert_eq!(find("PE").contextact, 5);
+        assert_eq!(find("PE").casas, 7);
+        assert_eq!(find("C").contextact, 2);
+        assert_eq!(find("C").casas, 1);
+        assert_eq!(find("D").contextact, 2);
+        assert_eq!(find("W").contextact, 1);
+        assert_eq!(find("P").contextact, 6);
+        assert_eq!(find("B").contextact, 4);
+        assert_eq!(find("B").casas, 0);
+    }
+
+    #[test]
+    fn renders_all_rows() {
+        let text = render(&run());
+        assert!(text.contains("Brightness Sensor"));
+        assert_eq!(text.lines().count(), 2 + 7);
+    }
+}

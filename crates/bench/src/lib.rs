@@ -1,0 +1,19 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (Section VI) on the synthetic testbeds.
+//!
+//! Each `experiments::*` module implements one table/figure as a pure,
+//! seeded function returning typed rows, plus a text renderer; the
+//! `exp_*` binaries are thin wrappers. See DESIGN.md for the experiment
+//! index and EXPERIMENTS.md for paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dataset;
+pub mod eval;
+pub mod experiments;
+pub mod render;
+
+pub use config::ExperimentConfig;
+pub use dataset::Dataset;

@@ -1,0 +1,91 @@
+//! Error type for the CausalIoT pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use iot_model::ModelError;
+
+/// Errors produced while fitting or running the CausalIoT pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CausalIotError {
+    /// The training log was too small to fit the model.
+    InsufficientTrainingData {
+        /// Number of usable events found.
+        events: usize,
+        /// Minimum required.
+        required: usize,
+    },
+    /// A configuration value was out of its valid range.
+    InvalidConfig {
+        /// Which parameter.
+        parameter: &'static str,
+        /// What was wrong.
+        reason: String,
+    },
+    /// An underlying data-model error.
+    Model(ModelError),
+}
+
+impl fmt::Display for CausalIotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CausalIotError::InsufficientTrainingData { events, required } => write!(
+                f,
+                "training log has {events} usable events but at least {required} are required"
+            ),
+            CausalIotError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration for `{parameter}`: {reason}")
+            }
+            CausalIotError::Model(e) => write!(f, "data-model error: {e}"),
+        }
+    }
+}
+
+impl Error for CausalIotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CausalIotError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CausalIotError {
+    fn from(e: ModelError) -> Self {
+        CausalIotError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_meaningful() {
+        let e = CausalIotError::InsufficientTrainingData {
+            events: 3,
+            required: 10,
+        };
+        assert!(e.to_string().contains("3"));
+        let e = CausalIotError::InvalidConfig {
+            parameter: "alpha",
+            reason: "must be in (0, 1)".into(),
+        };
+        assert!(e.to_string().contains("alpha"));
+    }
+
+    #[test]
+    fn model_errors_convert_and_chain() {
+        let inner = ModelError::UnknownDevice { name: "x".into() };
+        let e: CausalIotError = inner.clone().into();
+        assert_eq!(e, CausalIotError::Model(inner));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<CausalIotError>();
+    }
+}

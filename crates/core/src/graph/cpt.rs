@@ -1,0 +1,241 @@
+//! Conditional probability tables (the `P` component of the DIG).
+
+use serde::{Deserialize, Serialize};
+
+use super::LaggedVar;
+
+/// Policy for scoring an event whose cause-value combination never occurred
+/// in training.
+///
+/// The paper's maximum-likelihood estimation leaves such contexts
+/// undefined; this enum makes the choice explicit (see DESIGN.md §7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum UnseenContext {
+    /// Fall back to the outcome's marginal distribution (default: an event
+    /// in an unseen context is as anomalous as it is unconditionally).
+    #[default]
+    Marginal,
+    /// Assume a uniform distribution (probability `0.5`).
+    Uniform,
+    /// Treat the event as maximally anomalous (probability `0.0`).
+    MaxAnomaly,
+}
+
+/// The conditional probability table of one device:
+/// `P(S_i^t = s | Ca(S_i^t) = ca)` for every assignment `ca` of the causes.
+///
+/// Cause assignments are packed into a *context code*: bit `b` of the code
+/// is the binary value of the `b`-th cause in [`Cpt::causes`] order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cpt {
+    causes: Vec<LaggedVar>,
+    /// `table[code] = [count(S=false), count(S=true)]`.
+    table: Vec<[u64; 2]>,
+    /// Marginal counts `[count(S=false), count(S=true)]` over all snapshots.
+    marginal: [u64; 2],
+    /// Laplace pseudo-count added to every cell (0 = the paper's plain MLE).
+    smoothing: f64,
+}
+
+impl Cpt {
+    /// Creates an empty CPT for the given (ordered) cause set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than 24 causes (the packed context code
+    /// would explode; real interaction degrees are tiny, Section V-D).
+    pub fn new(causes: Vec<LaggedVar>, smoothing: f64) -> Self {
+        assert!(causes.len() <= 24, "cause set too large for a dense CPT");
+        assert!(smoothing >= 0.0, "smoothing must be non-negative");
+        let size = 1usize << causes.len();
+        Cpt {
+            causes,
+            table: vec![[0, 0]; size],
+            marginal: [0, 0],
+            smoothing,
+        }
+    }
+
+    /// The (ordered) causes this table conditions on.
+    pub fn causes(&self) -> &[LaggedVar] {
+        &self.causes
+    }
+
+    /// Number of context codes (`2^|causes|`).
+    pub fn num_contexts(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Packs cause values (looked up through `value_of`) into a context
+    /// code.
+    pub fn context_code(&self, mut value_of: impl FnMut(LaggedVar) -> bool) -> usize {
+        let mut code = 0usize;
+        for (bit, &cause) in self.causes.iter().enumerate() {
+            if value_of(cause) {
+                code |= 1 << bit;
+            }
+        }
+        code
+    }
+
+    /// Records one training observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is out of range.
+    pub fn record(&mut self, code: usize, outcome: bool) {
+        self.table[code][outcome as usize] += 1;
+        self.marginal[outcome as usize] += 1;
+    }
+
+    /// Number of training observations for a context.
+    pub fn context_count(&self, code: usize) -> u64 {
+        self.table[code][0] + self.table[code][1]
+    }
+
+    /// `P(S = outcome | context = code)` under maximum-likelihood
+    /// estimation with the configured smoothing, falling back to `unseen`
+    /// for contexts with zero training observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is out of range.
+    pub fn prob(&self, code: usize, outcome: bool, unseen: UnseenContext) -> f64 {
+        let cell = self.table[code];
+        let total = cell[0] + cell[1];
+        if total == 0 && self.smoothing == 0.0 {
+            return match unseen {
+                UnseenContext::Marginal => self.marginal_prob(outcome),
+                UnseenContext::Uniform => 0.5,
+                UnseenContext::MaxAnomaly => 0.0,
+            };
+        }
+        (cell[outcome as usize] as f64 + self.smoothing)
+            / (total as f64 + 2.0 * self.smoothing)
+    }
+
+    /// The marginal `P(S = outcome)` ignoring causes (`0.5` when the table
+    /// is completely empty).
+    pub fn marginal_prob(&self, outcome: bool) -> f64 {
+        let total = self.marginal[0] + self.marginal[1];
+        if total == 0 {
+            0.5
+        } else {
+            self.marginal[outcome as usize] as f64 / total as f64
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn total_count(&self) -> u64 {
+        self.marginal[0] + self.marginal[1]
+    }
+
+    /// The raw `[count(S = false), count(S = true)]` cell of a context —
+    /// exposed for model persistence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is out of range.
+    pub fn counts(&self, code: usize) -> [u64; 2] {
+        self.table[code]
+    }
+
+    /// The raw marginal counts `[count(false), count(true)]`.
+    pub fn marginal_counts(&self) -> [u64; 2] {
+        self.marginal
+    }
+
+    /// The Laplace pseudo-count in use.
+    pub fn smoothing(&self) -> f64 {
+        self.smoothing
+    }
+
+    /// Restores a context cell from persisted counts (updates the marginal
+    /// consistently).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` is out of range.
+    pub fn restore(&mut self, code: usize, counts: [u64; 2]) {
+        let old = self.table[code];
+        self.marginal[0] = self.marginal[0] - old[0] + counts[0];
+        self.marginal[1] = self.marginal[1] - old[1] + counts[1];
+        self.table[code] = counts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iot_model::DeviceId;
+
+    fn lv(d: usize, lag: usize) -> LaggedVar {
+        LaggedVar::new(DeviceId::from_index(d), lag)
+    }
+
+    #[test]
+    fn mle_matches_paper_example() {
+        // Paper Section V-B: 100 snapshots with ca = (1, 0), 80 of which
+        // have outcome 1 -> P(1|ca) = 0.8.
+        let mut cpt = Cpt::new(vec![lv(2, 2), lv(3, 1)], 0.0);
+        // ca = (S2=1, S3=0): bit0 = 1, bit1 = 0 -> code 1.
+        for i in 0..100 {
+            cpt.record(1, i < 80);
+        }
+        assert!((cpt.prob(1, true, UnseenContext::Marginal) - 0.8).abs() < 1e-12);
+        assert!((cpt.prob(1, false, UnseenContext::Marginal) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn context_code_packs_bits_in_cause_order() {
+        let cpt = Cpt::new(vec![lv(0, 1), lv(1, 1), lv(2, 2)], 0.0);
+        let code = cpt.context_code(|v| v.device.index() != 1);
+        // causes 0 and 2 true -> bits 0 and 2 -> 0b101.
+        assert_eq!(code, 0b101);
+        assert_eq!(cpt.num_contexts(), 8);
+    }
+
+    #[test]
+    fn unseen_context_policies() {
+        let mut cpt = Cpt::new(vec![lv(0, 1)], 0.0);
+        // Only context 0 observed: 3 on, 1 off.
+        cpt.record(0, true);
+        cpt.record(0, true);
+        cpt.record(0, true);
+        cpt.record(0, false);
+        // Context 1 unseen.
+        assert_eq!(cpt.prob(1, true, UnseenContext::Uniform), 0.5);
+        assert_eq!(cpt.prob(1, true, UnseenContext::MaxAnomaly), 0.0);
+        assert!((cpt.prob(1, true, UnseenContext::Marginal) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_pulls_toward_half() {
+        let mut cpt = Cpt::new(vec![], 1.0);
+        cpt.record(0, true); // 1 observation, plus pseudo-counts.
+        let p = cpt.prob(0, true, UnseenContext::Marginal);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cause_set_is_a_prior() {
+        let mut cpt = Cpt::new(vec![], 0.0);
+        assert_eq!(cpt.num_contexts(), 1);
+        cpt.record(0, true);
+        cpt.record(0, false);
+        assert_eq!(cpt.prob(0, true, UnseenContext::Marginal), 0.5);
+        assert_eq!(cpt.total_count(), 2);
+    }
+
+    #[test]
+    fn marginal_of_empty_table() {
+        let cpt = Cpt::new(vec![lv(0, 1)], 0.0);
+        assert_eq!(cpt.marginal_prob(true), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn rejects_huge_cause_sets() {
+        Cpt::new((0..25).map(|d| lv(d, 1)).collect(), 0.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Plain-text persistence for fitted interaction graphs.
+//!
+//! A deployed monitor fits once on weeks of history and then validates
+//! events for months; this module serialises a mined [`Dig`] (plus the
+//! calibrated threshold) to a small line-oriented text format so a fitted
+//! model can be stored next to the platform's configuration and reloaded
+//! without re-mining. The format is versioned, diff-friendly, and carries
+//! exact CPT counts, so a round-trip reproduces scores bit-for-bit.
+//!
+//! ```text
+//! causaliot-dig v1
+//! tau 2
+//! devices 3
+//! threshold 0.994200
+//! causes 2 1:1 2:2          # outcome device, then cause device:lag pairs
+//! cpt 2 0 40 3              # outcome device, context code, off-count, on-count
+//! ...
+//! ```
+
+use std::fmt::Write as _;
+
+use iot_model::DeviceId;
+
+use super::{Cpt, Dig, LaggedVar};
+use crate::CausalIotError;
+
+const MAGIC: &str = "causaliot-dig v1";
+
+/// Serialises a DIG and its calibrated threshold.
+pub fn save_dig(dig: &Dig, threshold: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "tau {}", dig.tau());
+    let _ = writeln!(out, "devices {}", dig.num_devices());
+    let _ = writeln!(out, "threshold {threshold}");
+    for device in 0..dig.num_devices() {
+        let id = DeviceId::from_index(device);
+        let causes = dig.causes_of(id);
+        let _ = write!(out, "causes {device}");
+        for cause in causes {
+            let _ = write!(out, " {}:{}", cause.device.index(), cause.lag);
+        }
+        out.push('\n');
+        let cpt = dig.cpt(id);
+        for code in 0..cpt.num_contexts() {
+            let [off, on] = cpt.counts(code);
+            if off != 0 || on != 0 {
+                let _ = writeln!(out, "cpt {device} {code} {off} {on}");
+            }
+        }
+    }
+    out
+}
+
+fn parse_err(line: usize, reason: impl Into<String>) -> CausalIotError {
+    CausalIotError::Model(iot_model::ModelError::ParseLog {
+        line,
+        reason: reason.into(),
+    })
+}
+
+/// Restores a DIG and threshold from [`save_dig`] output.
+///
+/// # Errors
+///
+/// Returns an error for wrong magic, malformed lines, or inconsistent
+/// indices.
+pub fn load_dig(text: &str) -> Result<(Dig, f64), CausalIotError> {
+    let mut lines = text.lines().enumerate();
+    let (_, magic) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "empty model file"))?;
+    if magic.trim() != MAGIC {
+        return Err(parse_err(1, format!("bad magic `{magic}`")));
+    }
+    let mut tau: Option<usize> = None;
+    let mut num_devices: Option<usize> = None;
+    let mut threshold: Option<f64> = None;
+    let mut causes: Vec<Vec<LaggedVar>> = Vec::new();
+    let mut cpts: Vec<Cpt> = Vec::new();
+
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let key = parts.next().expect("non-empty line");
+        match key {
+            "tau" => {
+                tau = Some(
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| parse_err(line_no, "bad tau"))?,
+                );
+            }
+            "devices" => {
+                let n: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line_no, "bad device count"))?;
+                num_devices = Some(n);
+                causes = vec![Vec::new(); n];
+                cpts = Vec::with_capacity(n);
+            }
+            "threshold" => {
+                threshold = Some(
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| parse_err(line_no, "bad threshold"))?,
+                );
+            }
+            "causes" => {
+                let device: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line_no, "bad outcome device"))?;
+                let n = num_devices.ok_or_else(|| parse_err(line_no, "causes before devices"))?;
+                if device != cpts.len() || device >= n {
+                    return Err(parse_err(line_no, "causes lines out of order"));
+                }
+                let mut cause_list = Vec::new();
+                for pair in parts {
+                    let (dev, lag) = pair
+                        .split_once(':')
+                        .ok_or_else(|| parse_err(line_no, "bad cause pair"))?;
+                    let dev: usize = dev
+                        .parse()
+                        .map_err(|_| parse_err(line_no, "bad cause device"))?;
+                    let lag: usize = lag
+                        .parse()
+                        .map_err(|_| parse_err(line_no, "bad cause lag"))?;
+                    cause_list.push(LaggedVar::new(DeviceId::from_index(dev), lag));
+                }
+                cpts.push(Cpt::new(cause_list.clone(), 0.0));
+                causes[device] = cause_list;
+            }
+            "cpt" => {
+                let mut next_num = |what: &str| -> Result<u64, CausalIotError> {
+                    parts
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| parse_err(line_no, format!("bad {what}")))
+                };
+                let device = next_num("device")? as usize;
+                let code = next_num("context code")? as usize;
+                let off = next_num("off-count")?;
+                let on = next_num("on-count")?;
+                let cpt = cpts
+                    .get_mut(device)
+                    .ok_or_else(|| parse_err(line_no, "cpt before its causes line"))?;
+                if code >= cpt.num_contexts() {
+                    return Err(parse_err(line_no, "context code out of range"));
+                }
+                cpt.restore(code, [off, on]);
+            }
+            other => return Err(parse_err(line_no, format!("unknown record `{other}`"))),
+        }
+    }
+    let tau = tau.ok_or_else(|| parse_err(0, "missing tau"))?;
+    let n = num_devices.ok_or_else(|| parse_err(0, "missing devices"))?;
+    let threshold = threshold.ok_or_else(|| parse_err(0, "missing threshold"))?;
+    if cpts.len() != n {
+        return Err(parse_err(0, "missing causes lines for some devices"));
+    }
+    Ok((Dig::new(tau, causes, cpts), threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::UnseenContext;
+
+    fn lv(d: usize, lag: usize) -> LaggedVar {
+        LaggedVar::new(DeviceId::from_index(d), lag)
+    }
+
+    fn sample_dig() -> Dig {
+        let causes = vec![vec![], vec![lv(0, 1), lv(1, 2)]];
+        let mut cpts: Vec<Cpt> = causes.iter().map(|c| Cpt::new(c.clone(), 0.0)).collect();
+        cpts[0].record(0, true);
+        cpts[0].record(0, false);
+        cpts[1].record(0b01, true);
+        cpts[1].record(0b01, true);
+        cpts[1].record(0b10, false);
+        Dig::new(2, causes, cpts)
+    }
+
+    #[test]
+    fn round_trip_preserves_scores_exactly() {
+        let dig = sample_dig();
+        let text = save_dig(&dig, 0.975);
+        let (loaded, threshold) = load_dig(&text).expect("parses");
+        assert_eq!(threshold, 0.975);
+        assert_eq!(loaded.tau(), dig.tau());
+        assert_eq!(loaded.num_devices(), dig.num_devices());
+        for d in 0..dig.num_devices() {
+            let id = DeviceId::from_index(d);
+            assert_eq!(loaded.causes_of(id), dig.causes_of(id));
+            let (a, b) = (dig.cpt(id), loaded.cpt(id));
+            for code in 0..a.num_contexts() {
+                for value in [false, true] {
+                    assert_eq!(
+                        a.prob(code, value, UnseenContext::Marginal).to_bits(),
+                        b.prob(code, value, UnseenContext::Marginal).to_bits(),
+                        "device {d} code {code} value {value}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn format_is_human_readable() {
+        let text = save_dig(&sample_dig(), 0.9);
+        assert!(text.starts_with("causaliot-dig v1\n"));
+        assert!(text.contains("tau 2"));
+        assert!(text.contains("causes 1 0:1 1:2"));
+        assert!(text.contains("cpt 1 1 0 2"));
+    }
+
+    #[test]
+    fn rejects_corrupt_inputs() {
+        assert!(load_dig("").is_err());
+        assert!(load_dig("not-a-model\n").is_err());
+        let good = save_dig(&sample_dig(), 0.9);
+        let truncated: String = good.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(load_dig(&truncated).is_err());
+        let corrupted = good.replace("cpt 1 1 0 2", "cpt 1 99 0 2");
+        assert!(load_dig(&corrupted).is_err());
+        let garbage = good + "wat 1 2 3\n";
+        assert!(load_dig(&garbage).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let mut text = save_dig(&sample_dig(), 0.9);
+        text.push_str("\n# a trailing comment\n\n");
+        assert!(load_dig(&text).is_ok());
+    }
+}

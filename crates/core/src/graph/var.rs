@@ -1,0 +1,74 @@
+//! Time-lagged device-state variables.
+
+use std::fmt;
+
+use iot_model::DeviceId;
+use serde::{Deserialize, Serialize};
+
+/// A time-lagged device state `S_k^{t-lag}` — one node of the DIG.
+///
+/// Causes always have `lag >= 1`: the paper exploits the temporal knowledge
+/// that a cause precedes its effect, which is how TemporalPC orients every
+/// edge for free (Section V-B).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct LaggedVar {
+    /// The device whose state this variable refers to.
+    pub device: DeviceId,
+    /// How many timestamps in the past (`1..=τ` for causes).
+    pub lag: usize,
+}
+
+impl LaggedVar {
+    /// Creates a lagged variable.
+    pub fn new(device: DeviceId, lag: usize) -> Self {
+        LaggedVar { device, lag }
+    }
+
+    /// Enumerates every candidate cause for an outcome at the present
+    /// timestamp: all devices at all lags `1..=tau` — the fully-connected
+    /// starting point of TemporalPC (Algorithm 1, line 5).
+    pub fn all_candidates(num_devices: usize, tau: usize) -> Vec<LaggedVar> {
+        let mut vars = Vec::with_capacity(num_devices * tau);
+        for lag in 1..=tau {
+            for device in 0..num_devices {
+                vars.push(LaggedVar::new(DeviceId::from_index(device), lag));
+            }
+        }
+        vars
+    }
+}
+
+impl fmt::Display for LaggedVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S[{}]^(t-{})", self.device.index(), self.lag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn candidate_enumeration_covers_all_lags() {
+        let vars = LaggedVar::all_candidates(3, 2);
+        assert_eq!(vars.len(), 6);
+        assert!(vars.iter().all(|v| v.lag >= 1 && v.lag <= 2));
+        assert!(vars.iter().any(|v| v.device.index() == 2 && v.lag == 2));
+        // No duplicates.
+        let set: std::collections::HashSet<_> = vars.iter().collect();
+        assert_eq!(set.len(), 6);
+    }
+
+    #[test]
+    fn zero_tau_yields_no_candidates() {
+        assert!(LaggedVar::all_candidates(5, 0).is_empty());
+    }
+
+    #[test]
+    fn display_shows_lag() {
+        let v = LaggedVar::new(DeviceId::from_index(3), 2);
+        assert_eq!(v.to_string(), "S[3]^(t-2)");
+    }
+}

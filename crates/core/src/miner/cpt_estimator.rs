@@ -1,0 +1,96 @@
+//! CPT estimation by maximum likelihood (Section V-B, "CPT estimation").
+//!
+//! For each device state `S_i^t` with causes `Ca(S_i^t)`, the estimate is
+//! the empirical conditional frequency over the collected snapshots:
+//! `P(s | ca) = #(s, ca) / #(ca)`.
+
+use iot_model::DeviceId;
+
+use crate::graph::{Cpt, LaggedVar};
+use crate::snapshot::SnapshotData;
+
+/// Estimates the conditional probability table of one device.
+///
+/// `causes` must be in the canonical order produced by the miner (the CPT's
+/// context-code bit order follows it). `smoothing` is a Laplace
+/// pseudo-count (0 = the paper's plain MLE).
+///
+/// # Panics
+///
+/// Panics if any cause is out of range for `data`.
+pub fn estimate_cpt(
+    data: &SnapshotData,
+    outcome: DeviceId,
+    causes: &[LaggedVar],
+    smoothing: f64,
+) -> Cpt {
+    let mut cpt = Cpt::new(causes.to_vec(), smoothing);
+    let outcome_var = LaggedVar::new(outcome, 0);
+    for row in 0..data.num_snapshots() {
+        let code = cpt.context_code(|cause| data.value(row, cause));
+        cpt.record(code, data.value(row, outcome_var));
+    }
+    cpt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::UnseenContext;
+    use iot_model::{BinaryEvent, StateSeries, SystemState, Timestamp};
+
+    fn bev(t: u64, dev: usize, on: bool) -> BinaryEvent {
+        BinaryEvent::new(Timestamp::from_secs(t), DeviceId::from_index(dev), on)
+    }
+
+    #[test]
+    fn deterministic_copy_yields_extreme_probabilities() {
+        // Device 1 copies device 0 with a one-event delay.
+        let mut events = Vec::new();
+        let mut t = 0;
+        for i in 0..200u64 {
+            let on = i % 2 == 0;
+            events.push(bev(t, 0, on));
+            t += 1;
+            events.push(bev(t, 1, on));
+            t += 1;
+        }
+        let series = StateSeries::derive(SystemState::all_off(2), events);
+        let data = SnapshotData::from_series(&series, 1);
+        let cause = LaggedVar::new(DeviceId::from_index(0), 1);
+        let cpt = estimate_cpt(&data, DeviceId::from_index(1), &[cause], 0.0);
+        // In snapshots taken right after device 1 reported, its state
+        // equals device 0's lag-1 state; the conditional should be heavily
+        // skewed in both contexts.
+        let p_on_given_on = cpt.prob(1, true, UnseenContext::Marginal);
+        let p_on_given_off = cpt.prob(0, true, UnseenContext::Marginal);
+        assert!(
+            p_on_given_on > 0.6,
+            "P(on | cause on) = {p_on_given_on} too low"
+        );
+        assert!(
+            p_on_given_off < 0.4,
+            "P(on | cause off) = {p_on_given_off} too high"
+        );
+    }
+
+    #[test]
+    fn counts_cover_every_snapshot() {
+        let events: Vec<BinaryEvent> = (0..50u64).map(|t| bev(t, 0, t % 2 == 0)).collect();
+        let series = StateSeries::derive(SystemState::all_off(1), events);
+        let data = SnapshotData::from_series(&series, 1);
+        let cpt = estimate_cpt(&data, DeviceId::from_index(0), &[], 0.0);
+        assert_eq!(cpt.total_count(), data.num_snapshots() as u64);
+    }
+
+    #[test]
+    fn empty_cause_set_estimates_marginal() {
+        // Device 0 is ON in 1/2 of snapshots (alternating).
+        let events: Vec<BinaryEvent> = (0..100u64).map(|t| bev(t, 0, t % 2 == 0)).collect();
+        let series = StateSeries::derive(SystemState::all_off(1), events);
+        let data = SnapshotData::from_series(&series, 1);
+        let cpt = estimate_cpt(&data, DeviceId::from_index(0), &[], 0.0);
+        let p = cpt.prob(0, true, UnseenContext::Marginal);
+        assert!((p - 0.5).abs() < 0.05, "p = {p}");
+    }
+}

@@ -1,0 +1,83 @@
+//! The Interaction Miner (Section V-B).
+//!
+//! Constructs the DIG from graph snapshots in two steps:
+//!
+//! 1. **Skeleton construction** — [`TemporalPc`] identifies each device's
+//!    causes with a PC-style conditional-independence search over the
+//!    time-lagged variables; temporal order orients every edge for free.
+//! 2. **CPT estimation** — [`estimate_cpt`] fills each device's
+//!    conditional probability table by maximum likelihood over the
+//!    snapshots.
+
+mod config;
+mod cpt_estimator;
+mod pc_stable;
+mod temporal_pc;
+
+pub use config::MinerConfig;
+pub use cpt_estimator::estimate_cpt;
+pub use pc_stable::{mine_dig_stable, PcStable};
+pub use temporal_pc::{Removal, RemovalReason, TemporalPc};
+
+use iot_model::DeviceId;
+
+use crate::graph::Dig;
+use crate::snapshot::SnapshotData;
+
+/// Mines a complete DIG from snapshot data: TemporalPC skeleton plus MLE
+/// conditional probability tables, optionally parallelised across outcome
+/// devices.
+///
+/// # Example
+///
+/// ```
+/// use causaliot::miner::{mine_dig, MinerConfig};
+/// use causaliot::snapshot::SnapshotData;
+/// use iot_model::{BinaryEvent, DeviceId, StateSeries, SystemState, Timestamp};
+/// use rand::{rngs::StdRng, Rng, SeedableRng};
+///
+/// // Device 1 copies device 0's (random) state with a one-event delay.
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let mut events = Vec::new();
+/// for i in 0..300u64 {
+///     let on = rng.gen_bool(0.5);
+///     events.push(BinaryEvent::new(Timestamp::from_secs(2 * i), DeviceId::from_index(0), on));
+///     if rng.gen_bool(0.9) {
+///         events.push(BinaryEvent::new(Timestamp::from_secs(2 * i + 1), DeviceId::from_index(1), on));
+///     }
+/// }
+/// let series = StateSeries::derive(SystemState::all_off(2), events);
+/// let data = SnapshotData::from_series(&series, 2);
+/// let dig = mine_dig(&data, &MinerConfig::default());
+/// let pairs = dig.interaction_pairs();
+/// assert!(pairs.contains(&(DeviceId::from_index(0), DeviceId::from_index(1))));
+/// ```
+pub fn mine_dig(data: &SnapshotData, config: &MinerConfig) -> Dig {
+    let n = data.num_devices();
+    let pc = TemporalPc::new(config.clone());
+    let mut causes: Vec<Vec<crate::graph::LaggedVar>> = vec![Vec::new(); n];
+    if config.parallel && n > 1 {
+        let slots: Vec<_> = causes.iter_mut().enumerate().collect();
+        crossbeam::thread::scope(|scope| {
+            for (device, slot) in slots {
+                let pc = &pc;
+                scope.spawn(move |_| {
+                    *slot = pc.discover_causes(data, DeviceId::from_index(device));
+                });
+            }
+        })
+        .expect("mining worker panicked");
+    } else {
+        for (device, slot) in causes.iter_mut().enumerate() {
+            *slot = pc.discover_causes(data, DeviceId::from_index(device));
+        }
+    }
+    let cpts = causes
+        .iter()
+        .enumerate()
+        .map(|(device, ca)| {
+            estimate_cpt(data, DeviceId::from_index(device), ca, config.smoothing)
+        })
+        .collect();
+    Dig::new(data.tau(), causes, cpts)
+}

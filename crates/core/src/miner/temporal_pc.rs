@@ -1,0 +1,369 @@
+//! The TemporalPC algorithm (Algorithm 1 of the paper).
+//!
+//! For one outcome state `S_i^t`, TemporalPC starts from the
+//! fully-connected preliminary cause set — every device at every lag
+//! `1..=τ` — and iterates over conditioning-set sizes `l = 0, 1, ...`. For
+//! each remaining parent it enumerates the size-`l` subsets of the other
+//! remaining parents and runs a G² conditional-independence test; the first
+//! subset that renders the pair conditionally independent (p-value > α)
+//! removes the parent. The loop terminates when fewer than `l + 1` parents
+//! remain. Temporal precedence orients every surviving edge.
+
+use iot_model::DeviceId;
+use iot_stats::gsquare::ci_test_from_table;
+use serde::{Deserialize, Serialize};
+
+use super::MinerConfig;
+use crate::graph::LaggedVar;
+use crate::snapshot::SnapshotData;
+
+/// Why a candidate interaction was rejected — mirrors the paper's
+/// evaluation narrative, which distinguishes marginally independent pairs
+/// from spurious interactions explained away by a conditioning set
+/// (Section VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RemovalReason {
+    /// Removed with an empty conditioning set (`l = 0`): the states are
+    /// simply independent.
+    MarginallyIndependent,
+    /// Removed given a non-empty conditioning set: a spurious interaction
+    /// stemming from an intermediate factor or a common cause.
+    Spurious,
+}
+
+/// A record of one edge removal, for tracing and evaluation reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Removal {
+    /// The removed candidate cause.
+    pub parent: LaggedVar,
+    /// The conditioning set that exposed the independence.
+    pub conditioning_set: Vec<LaggedVar>,
+    /// The p-value of the decisive test.
+    pub p_value: f64,
+    /// Why the edge fell.
+    pub reason: RemovalReason,
+}
+
+/// The TemporalPC cause-discovery algorithm.
+#[derive(Debug, Clone)]
+pub struct TemporalPc {
+    config: MinerConfig,
+}
+
+impl TemporalPc {
+    /// Creates the algorithm with the given configuration.
+    pub fn new(config: MinerConfig) -> Self {
+        TemporalPc { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MinerConfig {
+        &self.config
+    }
+
+    /// Discovers the cause set `Ca(S_i^t)` for one outcome device.
+    ///
+    /// Returns the surviving causes in canonical `(device, lag)` order.
+    pub fn discover_causes(&self, data: &SnapshotData, outcome: DeviceId) -> Vec<LaggedVar> {
+        self.run(data, outcome, None).0
+    }
+
+    /// Like [`TemporalPc::discover_causes`], additionally returning the
+    /// number of conditional-independence tests executed (the unit of the
+    /// Section V-D complexity analysis).
+    pub fn discover_causes_counting(
+        &self,
+        data: &SnapshotData,
+        outcome: DeviceId,
+    ) -> (Vec<LaggedVar>, u64) {
+        self.run(data, outcome, None)
+    }
+
+    /// Like [`TemporalPc::discover_causes`] but records every removal,
+    /// enabling the Figure 4-style walkthrough and the rejected-interaction
+    /// accounting of Section VI-B.
+    pub fn discover_causes_traced(
+        &self,
+        data: &SnapshotData,
+        outcome: DeviceId,
+    ) -> (Vec<LaggedVar>, Vec<Removal>) {
+        let mut trace = Vec::new();
+        let (causes, _) = self.run(data, outcome, Some(&mut trace));
+        (causes, trace)
+    }
+
+    fn run(
+        &self,
+        data: &SnapshotData,
+        outcome: DeviceId,
+        mut trace: Option<&mut Vec<Removal>>,
+    ) -> (Vec<LaggedVar>, u64) {
+        let outcome_var = LaggedVar::new(outcome, 0);
+        // Algorithm 1, line 5: fully-connected preliminary cause set.
+        let mut ca = LaggedVar::all_candidates(data.num_devices(), data.tau());
+        let mut tests_run = 0u64;
+        let mut l = 0usize;
+        // Algorithm 1, lines 7-21.
+        while l <= self.config.max_cond_size {
+            // Line 9: stop when no size-l conditioning set can be drawn.
+            if ca.len() < l + 1 {
+                break;
+            }
+            let parents: Vec<LaggedVar> = ca.clone();
+            for parent in parents {
+                // A parent removed earlier in this sweep no longer needs
+                // testing.
+                if !ca.contains(&parent) {
+                    continue;
+                }
+                let rest: Vec<LaggedVar> =
+                    ca.iter().copied().filter(|&v| v != parent).collect();
+                if rest.len() < l {
+                    continue;
+                }
+                let mut subsets = Combinations::new(rest.len(), l);
+                let mut scratch = vec![LaggedVar::new(DeviceId::from_index(0), 1); l];
+                while let Some(indices) = subsets.next() {
+                    for (slot, &idx) in scratch.iter_mut().zip(indices) {
+                        *slot = rest[idx];
+                    }
+                    let table = data.stratified_counts(parent, outcome_var, &scratch);
+                    let result = ci_test_from_table(&table, self.config.ci_test);
+                    tests_run += 1;
+                    if result.p_value > self.config.alpha {
+                        ca.retain(|&v| v != parent);
+                        if let Some(trace) = trace.as_deref_mut() {
+                            trace.push(Removal {
+                                parent,
+                                conditioning_set: scratch.clone(),
+                                p_value: result.p_value,
+                                reason: if l == 0 {
+                                    RemovalReason::MarginallyIndependent
+                                } else {
+                                    RemovalReason::Spurious
+                                },
+                            });
+                        }
+                        break;
+                    }
+                }
+            }
+            l += 1;
+        }
+        ca.sort();
+        (ca, tests_run)
+    }
+}
+
+/// Lexicographic k-combination index generator (no allocation per item).
+struct Combinations {
+    n: usize,
+    k: usize,
+    indices: Vec<usize>,
+    started: bool,
+    done: bool,
+}
+
+impl Combinations {
+    fn new(n: usize, k: usize) -> Self {
+        Combinations {
+            n,
+            k,
+            indices: (0..k).collect(),
+            started: false,
+            done: k > n,
+        }
+    }
+
+    fn next(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(&self.indices);
+        }
+        // Advance the rightmost index that can still move.
+        let k = self.k;
+        if k == 0 {
+            self.done = true;
+            return None;
+        }
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                return None;
+            }
+            i -= 1;
+            if self.indices[i] + 1 <= self.n - (k - i) {
+                self.indices[i] += 1;
+                for j in i + 1..k {
+                    self.indices[j] = self.indices[j - 1] + 1;
+                }
+                return Some(&self.indices);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iot_model::{BinaryEvent, StateSeries, SystemState, Timestamp};
+
+    fn collect_combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+        let mut c = Combinations::new(n, k);
+        let mut out = Vec::new();
+        while let Some(ix) = c.next() {
+            out.push(ix.to_vec());
+        }
+        out
+    }
+
+    #[test]
+    fn combinations_enumerate_lexicographically() {
+        assert_eq!(
+            collect_combinations(4, 2),
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
+        );
+        assert_eq!(collect_combinations(3, 0), vec![Vec::<usize>::new()]);
+        assert_eq!(collect_combinations(2, 3), Vec::<Vec<usize>>::new());
+        assert_eq!(collect_combinations(3, 3), vec![vec![0, 1, 2]]);
+    }
+
+    fn bev(t: u64, dev: usize, on: bool) -> BinaryEvent {
+        BinaryEvent::new(Timestamp::from_secs(t), DeviceId::from_index(dev), on)
+    }
+
+    /// Builds a noisy 3-device chain 0 -> 1 -> 2: device 0 is exogenous
+    /// random, and each stage copies its parent with 10% independent
+    /// flips. The noise is what makes the direct parent strictly more
+    /// informative than the grandparent (a fully deterministic chain is
+    /// Markov-equivalent under several parent choices).
+    fn chain_series(rounds: u64) -> StateSeries {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        for _ in 0..rounds {
+            let s0 = rng.gen_bool(0.5);
+            let s1 = if rng.gen_bool(0.9) { s0 } else { !s0 };
+            let s2 = if rng.gen_bool(0.9) { s1 } else { !s1 };
+            events.push(bev(t, 0, s0));
+            t += 1;
+            events.push(bev(t, 1, s1));
+            t += 1;
+            events.push(bev(t, 2, s2));
+            t += 1;
+        }
+        StateSeries::derive(SystemState::all_off(3), events)
+    }
+
+    #[test]
+    fn chain_discovery_removes_spurious_grandparent() {
+        let series = chain_series(400);
+        let data = SnapshotData::from_series(&series, 2);
+        let pc = TemporalPc::new(MinerConfig {
+            parallel: false,
+            ..MinerConfig::default()
+        });
+        // Device 2's direct parent is device 1 (lag 1).
+        let (causes, trace) = pc.discover_causes_traced(&data, DeviceId::from_index(2));
+        assert!(
+            causes.contains(&LaggedVar::new(DeviceId::from_index(1), 1)),
+            "direct parent must survive, got {causes:?}"
+        );
+        assert!(
+            !causes
+                .iter()
+                .any(|c| c.device == DeviceId::from_index(0) && c.lag == 1),
+            "device 0 at lag 1 is not a direct cause of device 2, got {causes:?}"
+        );
+        assert!(!trace.is_empty(), "some candidates must have been removed");
+    }
+
+    #[test]
+    fn independent_devices_end_up_unconnected() {
+        // Two devices toggling at co-prime periods: no dependence.
+        let mut events = Vec::new();
+        let mut s0 = false;
+        let mut s1 = false;
+        for t in 0..2000u64 {
+            if t % 2 == 0 {
+                s0 = !s0;
+                events.push(bev(t, 0, s0));
+            } else if t % 3 == 0 {
+                s1 = !s1;
+                events.push(bev(t, 1, s1));
+            } else {
+                // Keep the stream dense with self-flips of device 1.
+                s1 = !s1;
+                events.push(bev(t, 1, s1));
+            }
+        }
+        let series = StateSeries::derive(SystemState::all_off(2), events);
+        let data = SnapshotData::from_series(&series, 2);
+        let pc = TemporalPc::new(MinerConfig::default());
+        let causes = pc.discover_causes(&data, DeviceId::from_index(0));
+        assert!(
+            !causes.iter().any(|c| c.device == DeviceId::from_index(1)),
+            "device 1 must not cause device 0, got {causes:?}"
+        );
+    }
+
+    #[test]
+    fn trace_distinguishes_marginal_from_spurious() {
+        let series = chain_series(400);
+        let data = SnapshotData::from_series(&series, 2);
+        let pc = TemporalPc::new(MinerConfig {
+            parallel: false,
+            ..MinerConfig::default()
+        });
+        let (_, trace) = pc.discover_causes_traced(&data, DeviceId::from_index(2));
+        for removal in &trace {
+            match removal.reason {
+                RemovalReason::MarginallyIndependent => {
+                    assert!(removal.conditioning_set.is_empty())
+                }
+                RemovalReason::Spurious => assert!(!removal.conditioning_set.is_empty()),
+            }
+            assert!(removal.p_value > pc.config().alpha);
+        }
+    }
+
+    #[test]
+    fn pearson_variant_recovers_the_same_chain() {
+        use iot_stats::gsquare::CiTestKind;
+        let series = chain_series(400);
+        let data = SnapshotData::from_series(&series, 2);
+        let pc = TemporalPc::new(MinerConfig {
+            ci_test: CiTestKind::PearsonChi2,
+            parallel: false,
+            ..MinerConfig::default()
+        });
+        let causes = pc.discover_causes(&data, DeviceId::from_index(2));
+        assert!(
+            causes.contains(&LaggedVar::new(DeviceId::from_index(1), 1)),
+            "direct parent must survive under Pearson chi2: {causes:?}"
+        );
+    }
+
+    #[test]
+    fn causes_are_canonically_sorted() {
+        let series = chain_series(200);
+        let data = SnapshotData::from_series(&series, 2);
+        let pc = TemporalPc::new(MinerConfig::default());
+        let causes = pc.discover_causes(&data, DeviceId::from_index(2));
+        let mut sorted = causes.clone();
+        sorted.sort();
+        assert_eq!(causes, sorted);
+    }
+}

@@ -1,0 +1,163 @@
+//! The phantom state machine (Section V-C).
+//!
+//! Maintains a memory of the most recent `τ + 1` system states. When an
+//! event arrives, the machine derives the new system state, records it, and
+//! slides out the oldest one — continuously tracking the latest graph
+//! snapshot `G^t = (S^{t-τ}, ..., S^t)`. It also answers queries for the
+//! values of a state's causes.
+
+use std::collections::VecDeque;
+
+use iot_model::{BinaryEvent, DeviceId, SystemState};
+
+use crate::graph::LaggedVar;
+
+/// A sliding window over the last `τ + 1` system states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhantomStateMachine {
+    tau: usize,
+    /// Front = oldest (`S^{t-τ}`), back = newest (`S^t`).
+    states: VecDeque<SystemState>,
+}
+
+impl PhantomStateMachine {
+    /// Creates the machine with every slot initialised to `initial`
+    /// (before any event, the home has been in its initial state
+    /// throughout the window).
+    pub fn new(initial: SystemState, tau: usize) -> Self {
+        let mut states = VecDeque::with_capacity(tau + 1);
+        for _ in 0..=tau {
+            states.push_back(initial.clone());
+        }
+        PhantomStateMachine { tau, states }
+    }
+
+    /// The maximum lag τ.
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// Applies an event: derives `S^{t+1}` from `S^t`, records it, and
+    /// drops `S^{t-τ}`.
+    pub fn apply(&mut self, event: &BinaryEvent) {
+        let mut next = self
+            .states
+            .back()
+            .expect("window is never empty")
+            .clone();
+        next.set(event.device, event.value);
+        self.states.push_back(next);
+        self.states.pop_front();
+    }
+
+    /// The newest tracked system state `S^t`.
+    pub fn current(&self) -> &SystemState {
+        self.states.back().expect("window is never empty")
+    }
+
+    /// The state of `device` at lag `l` *relative to the current
+    /// timestamp* (`l = 0` is the current state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l > τ` or `device` is out of range.
+    pub fn lagged(&self, device: DeviceId, lag: usize) -> bool {
+        assert!(lag <= self.tau, "lag {lag} exceeds τ {}", self.tau);
+        self.states[self.tau - lag].get(device)
+    }
+
+    /// The value a cause variable will take for the *next* incoming event:
+    /// for an event at timestamp `t + 1`, cause `S_k^{(t+1)-l}` resolves to
+    /// the stored state at lag `l − 1`.
+    ///
+    /// This is the query used by the anomaly-score calculation, which must
+    /// read cause values *before* the event is applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var.lag` is `0` (causes always lag at least 1) or
+    /// exceeds `τ`.
+    pub fn cause_value_for_next(&self, var: LaggedVar) -> bool {
+        assert!(var.lag >= 1, "causes must have lag >= 1");
+        self.lagged(var.device, var.lag - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iot_model::Timestamp;
+
+    fn bev(t: u64, dev: usize, on: bool) -> BinaryEvent {
+        BinaryEvent::new(Timestamp::from_secs(t), DeviceId::from_index(dev), on)
+    }
+
+    fn lv(dev: usize, lag: usize) -> LaggedVar {
+        LaggedVar::new(DeviceId::from_index(dev), lag)
+    }
+
+    #[test]
+    fn tracks_window_of_tau_plus_one_states() {
+        let mut pm = PhantomStateMachine::new(SystemState::all_off(2), 2);
+        pm.apply(&bev(1, 0, true)); // S^1 = 10
+        pm.apply(&bev(2, 1, true)); // S^2 = 11
+        pm.apply(&bev(3, 0, false)); // S^3 = 01
+        // Window is (S^1, S^2, S^3).
+        assert!(!pm.lagged(DeviceId::from_index(0), 0));
+        assert!(pm.lagged(DeviceId::from_index(1), 0));
+        assert!(pm.lagged(DeviceId::from_index(0), 1)); // S^2: device 0 on
+        assert!(pm.lagged(DeviceId::from_index(0), 2)); // S^1: device 0 on
+        assert!(!pm.lagged(DeviceId::from_index(1), 2)); // S^1: device 1 off
+    }
+
+    #[test]
+    fn cause_values_resolve_against_pre_event_states() {
+        let mut pm = PhantomStateMachine::new(SystemState::all_off(2), 2);
+        pm.apply(&bev(1, 0, true));
+        // Next event will be at t+1; its lag-1 cause is the *current*
+        // state (device 0 = on), lag-2 cause is one step earlier (off).
+        assert!(pm.cause_value_for_next(lv(0, 1)));
+        assert!(!pm.cause_value_for_next(lv(0, 2)));
+    }
+
+    #[test]
+    fn matches_state_series_semantics() {
+        use iot_model::StateSeries;
+        let events = vec![bev(1, 0, true), bev(2, 1, true), bev(3, 0, false), bev(4, 1, false)];
+        let series = StateSeries::derive(SystemState::all_off(2), events.clone());
+        let tau = 2;
+        let mut pm = PhantomStateMachine::new(SystemState::all_off(2), tau);
+        for (j, event) in events.iter().enumerate() {
+            let j = j + 1; // events are 1-based in the series
+            // Before applying e^j, cause values for the incoming event must
+            // match s_k^{j-l} from the series.
+            for dev in 0..2 {
+                for lag in 1..=tau {
+                    if lag <= j {
+                        assert_eq!(
+                            pm.cause_value_for_next(lv(dev, lag)),
+                            series.lagged(j, DeviceId::from_index(dev), lag),
+                            "event {j} device {dev} lag {lag}"
+                        );
+                    }
+                }
+            }
+            pm.apply(event);
+            assert_eq!(pm.current(), series.state(j), "after event {j}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lag >= 1")]
+    fn zero_lag_cause_rejected() {
+        let pm = PhantomStateMachine::new(SystemState::all_off(1), 1);
+        pm.cause_value_for_next(lv(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn lag_beyond_window_rejected() {
+        let pm = PhantomStateMachine::new(SystemState::all_off(1), 1);
+        pm.lagged(DeviceId::from_index(0), 2);
+    }
+}

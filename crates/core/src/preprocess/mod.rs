@@ -1,0 +1,208 @@
+//! The Event Preprocessor (Section V-A).
+//!
+//! Raw platform logs are noisy (duplicated state reports, extreme sensor
+//! readings) and mixed-typed (binary, responsive numeric, ambient numeric
+//! states). The preprocessor:
+//!
+//! 1. **Sanitises** events — drops duplicated state reports and readings
+//!    violating the three-sigma rule ([`sanitize`]),
+//! 2. **Unifies types** — thresholds responsive numerics at zero
+//!    (Idle/Working) and discretises ambient numerics with Jenks natural
+//!    breaks (Low/High) ([`unify`]),
+//! 3. **Selects τ** — the maximum time lag, from the mean inter-event gap
+//!    and a maximum feedback duration `d = 60 s` ([`tau`]),
+//! 4. Derives the system-state time series from which graph snapshots are
+//!    generated (via [`iot_model::StateSeries`] and
+//!    [`crate::snapshot::SnapshotData`]).
+//!
+//! Preprocessing has fit/transform semantics: thresholds and bands are
+//! learned on the training log and re-applied verbatim to runtime events,
+//! so training and monitoring see identical binarisation.
+
+mod sanitize;
+mod tau;
+mod unify;
+
+pub use sanitize::FittedSanitizer;
+pub use tau::{choose_tau, TauConfig};
+pub use unify::{DeviceBinarizer, FittedUnifier};
+
+use iot_model::{BinaryEvent, DeviceRegistry, EventLog, StateSeries, SystemState};
+use serde::{Deserialize, Serialize};
+
+use crate::CausalIotError;
+
+/// Configuration for the Event Preprocessor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PreprocessConfig {
+    /// Relative tolerance under which two numeric readings count as a
+    /// duplicated state report.
+    pub duplicate_rel_tol: f64,
+    /// Whether to apply the three-sigma extreme-value filter.
+    pub filter_extremes: bool,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig {
+            duplicate_rel_tol: 0.02,
+            filter_extremes: true,
+        }
+    }
+}
+
+/// A fitted Event Preprocessor: sanitation bands + type-unification
+/// thresholds learned from a training log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FittedPreprocessor {
+    sanitizer: FittedSanitizer,
+    unifier: FittedUnifier,
+    num_devices: usize,
+}
+
+impl FittedPreprocessor {
+    /// Fits sanitation statistics and binarisation thresholds on a
+    /// training log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CausalIotError::InsufficientTrainingData`] when the log is
+    /// empty.
+    pub fn fit(
+        registry: &DeviceRegistry,
+        log: &EventLog,
+        config: &PreprocessConfig,
+    ) -> Result<Self, CausalIotError> {
+        if log.is_empty() {
+            return Err(CausalIotError::InsufficientTrainingData {
+                events: 0,
+                required: 1,
+            });
+        }
+        let sanitizer = FittedSanitizer::fit(registry, log, config);
+        let sanitized = sanitizer.sanitize(log);
+        let unifier = FittedUnifier::fit(registry, &sanitized);
+        Ok(FittedPreprocessor {
+            sanitizer,
+            unifier,
+            num_devices: registry.len(),
+        })
+    }
+
+    /// Sanitises and binarises a raw log into preprocessed binary events
+    /// (consecutive per-device duplicates removed).
+    pub fn transform(&self, log: &EventLog) -> Vec<BinaryEvent> {
+        let sanitized = self.sanitizer.sanitize(log);
+        self.unifier.transform(&sanitized)
+    }
+
+    /// Full transform to a state time series, starting from `initial`
+    /// (all-OFF when `None`).
+    pub fn transform_to_series(
+        &self,
+        log: &EventLog,
+        initial: Option<SystemState>,
+    ) -> StateSeries {
+        let events = self.transform(log);
+        let initial = initial.unwrap_or_else(|| SystemState::all_off(self.num_devices));
+        StateSeries::derive(initial, events)
+    }
+
+    /// Binarises one runtime event with the fitted thresholds (no
+    /// duplicate suppression — the monitor handles state tracking).
+    pub fn binarize_event(&self, event: &iot_model::DeviceEvent) -> BinaryEvent {
+        self.unifier.binarize_event(event)
+    }
+
+    /// The fitted per-device binarisation rules.
+    pub fn unifier(&self) -> &FittedUnifier {
+        &self.unifier
+    }
+
+    /// The fitted sanitation filter.
+    pub fn sanitizer(&self) -> &FittedSanitizer {
+        &self.sanitizer
+    }
+
+    /// Number of devices the preprocessor was fitted for.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iot_model::{Attribute, DeviceEvent, Room, StateValue, Timestamp};
+
+    fn registry() -> DeviceRegistry {
+        let mut reg = DeviceRegistry::new();
+        reg.add("PE_kitchen", Attribute::PresenceSensor, Room::new("kitchen"))
+            .unwrap();
+        reg.add("B_kitchen", Attribute::BrightnessSensor, Room::new("kitchen"))
+            .unwrap();
+        reg
+    }
+
+    fn sample_log(reg: &DeviceRegistry) -> EventLog {
+        let pe = reg.id_of("PE_kitchen").unwrap();
+        let b = reg.id_of("B_kitchen").unwrap();
+        let mut log = EventLog::new();
+        for i in 0..100u64 {
+            let t = i * 60;
+            log.push(DeviceEvent::new(
+                Timestamp::from_secs(t),
+                pe,
+                StateValue::Binary(i % 2 == 0),
+            ));
+            // Brightness follows presence with clear Low/High clusters.
+            let lux = if i % 2 == 0 { 300.0 } else { 5.0 };
+            log.push(DeviceEvent::new(
+                Timestamp::from_secs(t + 20),
+                b,
+                StateValue::Numeric(lux + (i % 5) as f64),
+            ));
+        }
+        log
+    }
+
+    #[test]
+    fn fit_transform_round_trip() {
+        let reg = registry();
+        let log = sample_log(&reg);
+        let pp = FittedPreprocessor::fit(&reg, &log, &PreprocessConfig::default()).unwrap();
+        let events = pp.transform(&log);
+        assert!(!events.is_empty());
+        // All events binary, alternating per device with no consecutive
+        // duplicates.
+        let mut last: std::collections::HashMap<usize, bool> = Default::default();
+        for e in &events {
+            let prev = last.insert(e.device.index(), e.value);
+            if let Some(prev) = prev {
+                assert_ne!(prev, e.value, "duplicate binary event survived");
+            }
+        }
+    }
+
+    #[test]
+    fn series_has_initial_all_off() {
+        let reg = registry();
+        let log = sample_log(&reg);
+        let pp = FittedPreprocessor::fit(&reg, &log, &PreprocessConfig::default()).unwrap();
+        let series = pp.transform_to_series(&log, None);
+        assert_eq!(series.num_devices(), 2);
+        assert_eq!(series.state(0).count_on(), 0);
+    }
+
+    #[test]
+    fn empty_log_is_an_error() {
+        let reg = registry();
+        let err =
+            FittedPreprocessor::fit(&reg, &EventLog::new(), &PreprocessConfig::default())
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            CausalIotError::InsufficientTrainingData { .. }
+        ));
+    }
+}

@@ -1,0 +1,195 @@
+//! Event sanitation (Section V-A): duplicate suppression and the
+//! three-sigma extreme-value filter.
+
+use iot_model::{DeviceEvent, DeviceRegistry, EventLog, StateValue, ValueKind};
+use iot_stats::threesigma::{RunningStats, ThreeSigmaBand};
+use serde::{Deserialize, Serialize};
+
+use super::PreprocessConfig;
+
+/// A fitted sanitiser: per-device three-sigma bands for numeric devices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FittedSanitizer {
+    /// `bands[device]` is `Some` for numeric devices with enough data.
+    bands: Vec<Option<ThreeSigmaBand>>,
+    duplicate_rel_tol: f64,
+    filter_extremes: bool,
+}
+
+impl FittedSanitizer {
+    /// Fits three-sigma bands on the (de-duplicated) numeric readings of a
+    /// training log.
+    pub fn fit(registry: &DeviceRegistry, log: &EventLog, config: &PreprocessConfig) -> Self {
+        let mut stats: Vec<RunningStats> = vec![RunningStats::new(); registry.len()];
+        let mut last: Vec<Option<StateValue>> = vec![None; registry.len()];
+        for event in log {
+            let idx = event.device.index();
+            if let Some(prev) = last[idx] {
+                if event.value.is_duplicate_of(prev, config.duplicate_rel_tol) {
+                    continue;
+                }
+            }
+            last[idx] = Some(event.value);
+            if let StateValue::Numeric(x) = event.value {
+                stats[idx].push(x);
+            }
+        }
+        let bands = registry
+            .iter()
+            .map(|device| {
+                let s = &stats[device.id().index()];
+                if device.value_kind() == ValueKind::Binary || s.count() < 2 {
+                    None
+                } else {
+                    Some(ThreeSigmaBand::from_stats(s))
+                }
+            })
+            .collect();
+        FittedSanitizer {
+            bands,
+            duplicate_rel_tol: config.duplicate_rel_tol,
+            filter_extremes: config.filter_extremes,
+        }
+    }
+
+    /// The fitted band for a device, if any.
+    pub fn band(&self, device: iot_model::DeviceId) -> Option<&ThreeSigmaBand> {
+        self.bands[device.index()].as_ref()
+    }
+
+    /// Whether a single event would be dropped as an extreme reading.
+    pub fn is_extreme(&self, event: &DeviceEvent) -> bool {
+        if !self.filter_extremes {
+            return false;
+        }
+        match (event.value, &self.bands[event.device.index()]) {
+            (StateValue::Numeric(x), Some(band)) => band.is_extreme(x),
+            _ => false,
+        }
+    }
+
+    /// Sanitises a log: removes duplicated state reports (per device,
+    /// against the last *kept* value) and extreme numeric readings.
+    pub fn sanitize(&self, log: &EventLog) -> EventLog {
+        let mut last: Vec<Option<StateValue>> = vec![None; self.bands.len()];
+        let mut kept = Vec::with_capacity(log.len());
+        for event in log {
+            let idx = event.device.index();
+            if let Some(prev) = last[idx] {
+                if event.value.is_duplicate_of(prev, self.duplicate_rel_tol) {
+                    continue;
+                }
+            }
+            if self.is_extreme(event) {
+                continue;
+            }
+            last[idx] = Some(event.value);
+            kept.push(*event);
+        }
+        EventLog::from_sorted(kept).expect("input log was sorted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iot_model::{Attribute, DeviceId, Room, Timestamp};
+
+    fn setup() -> (DeviceRegistry, DeviceId, DeviceId) {
+        let mut reg = DeviceRegistry::new();
+        let pe = reg
+            .add("PE_hall", Attribute::PresenceSensor, Room::new("hall"))
+            .unwrap();
+        let b = reg
+            .add("B_hall", Attribute::BrightnessSensor, Room::new("hall"))
+            .unwrap();
+        (reg, pe, b)
+    }
+
+    fn ev(t: u64, d: DeviceId, v: StateValue) -> DeviceEvent {
+        DeviceEvent::new(Timestamp::from_secs(t), d, v)
+    }
+
+    #[test]
+    fn drops_binary_duplicates() {
+        let (reg, pe, _) = setup();
+        let log: EventLog = [
+            ev(0, pe, StateValue::Binary(true)),
+            ev(1, pe, StateValue::Binary(true)), // duplicate
+            ev(2, pe, StateValue::Binary(false)),
+            ev(3, pe, StateValue::Binary(false)), // duplicate
+            ev(4, pe, StateValue::Binary(true)),
+        ]
+        .into_iter()
+        .collect();
+        let san = FittedSanitizer::fit(&reg, &log, &PreprocessConfig::default());
+        let clean = san.sanitize(&log);
+        assert_eq!(clean.len(), 3);
+    }
+
+    #[test]
+    fn drops_periodic_numeric_reports() {
+        let (reg, _, b) = setup();
+        // Periodic brightness reports with jitter below the tolerance.
+        let mut log = EventLog::new();
+        for i in 0..10u64 {
+            log.push(ev(i, b, StateValue::Numeric(200.0 + (i % 2) as f64)));
+        }
+        log.push(ev(20, b, StateValue::Numeric(10.0)));
+        let san = FittedSanitizer::fit(&reg, &log, &PreprocessConfig::default());
+        let clean = san.sanitize(&log);
+        // First report + the genuine change survive.
+        assert_eq!(clean.len(), 2);
+    }
+
+    #[test]
+    fn filters_three_sigma_extremes() {
+        let (reg, _, b) = setup();
+        let mut log = EventLog::new();
+        // Alternate between two close levels so nothing is a duplicate.
+        for i in 0..100u64 {
+            let base = if i % 2 == 0 { 100.0 } else { 120.0 };
+            log.push(ev(i, b, StateValue::Numeric(base)));
+        }
+        // An absurd reading far outside mu ± 3 sigma.
+        log.push(ev(200, b, StateValue::Numeric(100_000.0)));
+        let san = FittedSanitizer::fit(&reg, &log, &PreprocessConfig::default());
+        let clean = san.sanitize(&log);
+        assert!(clean
+            .iter()
+            .all(|e| e.value.as_numeric().unwrap() < 1_000.0));
+        assert!(san.is_extreme(&ev(201, b, StateValue::Numeric(100_000.0))));
+    }
+
+    #[test]
+    fn extreme_filter_can_be_disabled() {
+        let (reg, _, b) = setup();
+        let mut log = EventLog::new();
+        for i in 0..50u64 {
+            let base = if i % 2 == 0 { 100.0 } else { 120.0 };
+            log.push(ev(i, b, StateValue::Numeric(base)));
+        }
+        log.push(ev(100, b, StateValue::Numeric(99_999.0)));
+        let cfg = PreprocessConfig {
+            filter_extremes: false,
+            ..PreprocessConfig::default()
+        };
+        let san = FittedSanitizer::fit(&reg, &log, &cfg);
+        assert_eq!(san.sanitize(&log).len(), log.len());
+    }
+
+    #[test]
+    fn binary_devices_have_no_band() {
+        let (reg, pe, b) = setup();
+        let log: EventLog = [
+            ev(0, pe, StateValue::Binary(true)),
+            ev(1, b, StateValue::Numeric(10.0)),
+            ev(2, b, StateValue::Numeric(50.0)),
+        ]
+        .into_iter()
+        .collect();
+        let san = FittedSanitizer::fit(&reg, &log, &PreprocessConfig::default());
+        assert!(san.band(pe).is_none());
+        assert!(san.band(b).is_some());
+    }
+}

@@ -1,0 +1,114 @@
+//! Choosing the maximum time lag τ (Section V-A, "Snapshot generation").
+//!
+//! The paper computes the average inter-event interval `v`, fixes a
+//! maximum feedback duration `d = 60 s` ("long enough to wait for any
+//! feedback given a device operation", following HAWatcher), and sets
+//! `τ = d / v`.
+
+use iot_model::BinaryEvent;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the `τ = d/v` rule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TauConfig {
+    /// Maximum feedback duration `d` in seconds (paper default: 60).
+    pub max_duration_secs: f64,
+    /// Smallest admissible τ.
+    pub min_tau: usize,
+    /// Largest admissible τ (caps the DIG's node count; Section V-D
+    /// discusses the complexity trade-off).
+    pub max_tau: usize,
+}
+
+impl Default for TauConfig {
+    fn default() -> Self {
+        TauConfig {
+            max_duration_secs: 60.0,
+            min_tau: 1,
+            max_tau: 8,
+        }
+    }
+}
+
+/// Picks τ from a preprocessed event stream using the `τ = d/v` rule,
+/// clamped into `[min_tau, max_tau]`.
+///
+/// Streams with fewer than two events (no measurable gap) get `min_tau`.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (`min_tau == 0` or
+/// `min_tau > max_tau` or non-positive duration).
+pub fn choose_tau(events: &[BinaryEvent], config: &TauConfig) -> usize {
+    assert!(config.min_tau >= 1, "τ must be at least 1");
+    assert!(config.min_tau <= config.max_tau, "empty τ range");
+    assert!(config.max_duration_secs > 0.0, "duration must be positive");
+    if events.len() < 2 {
+        return config.min_tau;
+    }
+    let span = events.last().expect("non-empty").time - events[0].time;
+    let v = span / (events.len() - 1) as f64;
+    if v <= 0.0 {
+        return config.max_tau;
+    }
+    let tau = (config.max_duration_secs / v).round() as usize;
+    tau.clamp(config.min_tau, config.max_tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iot_model::{DeviceId, Timestamp};
+
+    fn events_with_gap(gap_secs: u64, count: usize) -> Vec<BinaryEvent> {
+        (0..count)
+            .map(|i| {
+                BinaryEvent::new(
+                    Timestamp::from_secs(i as u64 * gap_secs),
+                    DeviceId::from_index(0),
+                    i % 2 == 0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_rule_d_over_v() {
+        // v = 30s, d = 60s -> tau = 2 (the paper's evaluation setting).
+        let tau = choose_tau(&events_with_gap(30, 100), &TauConfig::default());
+        assert_eq!(tau, 2);
+        // v = 20s -> tau = 3.
+        let tau = choose_tau(&events_with_gap(20, 100), &TauConfig::default());
+        assert_eq!(tau, 3);
+    }
+
+    #[test]
+    fn clamps_to_bounds() {
+        // v = 1s would give tau = 60; clamped to max.
+        let tau = choose_tau(&events_with_gap(1, 100), &TauConfig::default());
+        assert_eq!(tau, 8);
+        // v = 600s gives tau = 0.1 -> rounds to 0 -> clamped to min.
+        let tau = choose_tau(&events_with_gap(600, 10), &TauConfig::default());
+        assert_eq!(tau, 1);
+    }
+
+    #[test]
+    fn degenerate_streams() {
+        assert_eq!(choose_tau(&[], &TauConfig::default()), 1);
+        assert_eq!(choose_tau(&events_with_gap(30, 1), &TauConfig::default()), 1);
+        // All events at the same instant: v = 0 -> max tau.
+        assert_eq!(choose_tau(&events_with_gap(0, 5), &TauConfig::default()), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "τ must be at least 1")]
+    fn zero_min_tau_rejected() {
+        choose_tau(
+            &[],
+            &TauConfig {
+                min_tau: 0,
+                ..TauConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Type unification (Section V-A): everything becomes a binary state.
+//!
+//! * Binary states pass through,
+//! * responsive numeric states threshold at zero (Idle/Working),
+//! * ambient numeric states discretise with Jenks natural breaks
+//!   (Low/High).
+
+use iot_model::{
+    BinaryEvent, DeviceEvent, DeviceRegistry, EventLog, StateValue, ValueKind,
+};
+use iot_stats::jenks::JenksBinarizer;
+use serde::{Deserialize, Serialize};
+
+/// The binarisation rule fitted for one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DeviceBinarizer {
+    /// Binary device: the value passes through.
+    Binary,
+    /// Responsive numeric: `value > 0` means Working.
+    Responsive,
+    /// Ambient numeric: Jenks Low/High split.
+    Ambient(JenksBinarizer),
+}
+
+impl DeviceBinarizer {
+    /// Applies the rule to a raw state value.
+    ///
+    /// Mixed-typed inputs are handled leniently: a numeric value on a
+    /// binary device is treated as non-zero = ON, and a binary value on a
+    /// numeric device passes through (platforms occasionally report
+    /// normalised values).
+    pub fn binarize(&self, value: StateValue) -> bool {
+        match (self, value) {
+            (_, StateValue::Binary(b)) => b,
+            (DeviceBinarizer::Binary, StateValue::Numeric(x)) => x != 0.0,
+            (DeviceBinarizer::Responsive, StateValue::Numeric(x)) => x > 0.0,
+            (DeviceBinarizer::Ambient(jenks), StateValue::Numeric(x)) => jenks.is_high(x),
+        }
+    }
+}
+
+/// The fitted type unifier: one [`DeviceBinarizer`] per device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FittedUnifier {
+    binarizers: Vec<DeviceBinarizer>,
+}
+
+impl FittedUnifier {
+    /// Fits per-device binarisation rules on a (sanitised) training log.
+    ///
+    /// Ambient devices with no numeric readings in the log fall back to a
+    /// threshold at zero.
+    pub fn fit(registry: &DeviceRegistry, log: &EventLog) -> Self {
+        let mut readings: Vec<Vec<f64>> = vec![Vec::new(); registry.len()];
+        for event in log {
+            if let StateValue::Numeric(x) = event.value {
+                readings[event.device.index()].push(x);
+            }
+        }
+        let binarizers = registry
+            .iter()
+            .map(|device| match device.value_kind() {
+                ValueKind::Binary => DeviceBinarizer::Binary,
+                ValueKind::ResponsiveNumeric => DeviceBinarizer::Responsive,
+                ValueKind::AmbientNumeric => {
+                    let values = &readings[device.id().index()];
+                    if values.is_empty() {
+                        DeviceBinarizer::Ambient(JenksBinarizer::with_threshold(0.0))
+                    } else {
+                        DeviceBinarizer::Ambient(JenksBinarizer::fit(values))
+                    }
+                }
+            })
+            .collect();
+        FittedUnifier { binarizers }
+    }
+
+    /// The fitted rule for a device.
+    pub fn binarizer(&self, device: iot_model::DeviceId) -> &DeviceBinarizer {
+        &self.binarizers[device.index()]
+    }
+
+    /// Binarises one event.
+    pub fn binarize_event(&self, event: &DeviceEvent) -> BinaryEvent {
+        BinaryEvent::new(
+            event.time,
+            event.device,
+            self.binarizers[event.device.index()].binarize(event.value),
+        )
+    }
+
+    /// Binarises a whole (sanitised) log, dropping events that do not
+    /// change their device's binary state — after unification a
+    /// "transition" to the same binary value is a duplicated state report.
+    ///
+    /// Devices are assumed to start OFF/Low (matching the all-OFF initial
+    /// system state of [`iot_model::StateSeries`]).
+    pub fn transform(&self, log: &EventLog) -> Vec<BinaryEvent> {
+        let mut last: Vec<bool> = vec![false; self.binarizers.len()];
+        let mut out = Vec::with_capacity(log.len());
+        for event in log {
+            let bin = self.binarize_event(event);
+            let idx = bin.device.index();
+            if bin.value != last[idx] {
+                last[idx] = bin.value;
+                out.push(bin);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iot_model::{Attribute, DeviceId, Room, Timestamp};
+
+    fn setup() -> DeviceRegistry {
+        let mut reg = DeviceRegistry::new();
+        reg.add("S_lamp", Attribute::Switch, Room::new("living")).unwrap();
+        reg.add("W_sink", Attribute::WaterMeter, Room::new("kitchen"))
+            .unwrap();
+        reg.add("B_living", Attribute::BrightnessSensor, Room::new("living"))
+            .unwrap();
+        reg
+    }
+
+    fn ev(t: u64, d: DeviceId, v: StateValue) -> DeviceEvent {
+        DeviceEvent::new(Timestamp::from_secs(t), d, v)
+    }
+
+    #[test]
+    fn responsive_thresholds_at_zero() {
+        let reg = setup();
+        let sink = reg.id_of("W_sink").unwrap();
+        let log: EventLog = [
+            ev(0, sink, StateValue::Numeric(0.0)),
+            ev(1, sink, StateValue::Numeric(2.5)),
+        ]
+        .into_iter()
+        .collect();
+        let unifier = FittedUnifier::fit(&reg, &log);
+        assert!(!unifier.binarizer(sink).binarize(StateValue::Numeric(0.0)));
+        assert!(unifier.binarizer(sink).binarize(StateValue::Numeric(0.1)));
+    }
+
+    #[test]
+    fn ambient_uses_jenks_low_high() {
+        let reg = setup();
+        let b = reg.id_of("B_living").unwrap();
+        let mut log = EventLog::new();
+        for i in 0..40u64 {
+            let lux = if i % 2 == 0 { 5.0 + (i % 3) as f64 } else { 300.0 + (i % 7) as f64 };
+            log.push(ev(i, b, StateValue::Numeric(lux)));
+        }
+        let unifier = FittedUnifier::fit(&reg, &log);
+        assert!(!unifier.binarizer(b).binarize(StateValue::Numeric(8.0)));
+        assert!(unifier.binarizer(b).binarize(StateValue::Numeric(280.0)));
+    }
+
+    #[test]
+    fn transform_drops_no_op_binary_transitions() {
+        let reg = setup();
+        let lamp = reg.id_of("S_lamp").unwrap();
+        let sink = reg.id_of("W_sink").unwrap();
+        let log: EventLog = [
+            ev(0, lamp, StateValue::Binary(false)), // no-op: starts OFF
+            ev(1, lamp, StateValue::Binary(true)),
+            ev(2, sink, StateValue::Numeric(3.0)),
+            ev(3, sink, StateValue::Numeric(5.0)), // still Working: no-op
+            ev(4, sink, StateValue::Numeric(0.0)),
+            ev(5, lamp, StateValue::Binary(false)),
+        ]
+        .into_iter()
+        .collect();
+        let unifier = FittedUnifier::fit(&reg, &log);
+        let events = unifier.transform(&log);
+        let rendered: Vec<(usize, bool)> =
+            events.iter().map(|e| (e.device.index(), e.value)).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                (lamp.index(), true),
+                (sink.index(), true),
+                (sink.index(), false),
+                (lamp.index(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn ambient_without_readings_falls_back() {
+        let reg = setup();
+        let lamp = reg.id_of("S_lamp").unwrap();
+        let log: EventLog = [ev(0, lamp, StateValue::Binary(true))].into_iter().collect();
+        let unifier = FittedUnifier::fit(&reg, &log);
+        let b = reg.id_of("B_living").unwrap();
+        assert!(unifier.binarizer(b).binarize(StateValue::Numeric(1.0)));
+        assert!(!unifier.binarizer(b).binarize(StateValue::Numeric(0.0)));
+    }
+
+    #[test]
+    fn lenient_mixed_type_handling() {
+        assert!(DeviceBinarizer::Binary.binarize(StateValue::Numeric(1.0)));
+        assert!(!DeviceBinarizer::Binary.binarize(StateValue::Numeric(0.0)));
+        assert!(DeviceBinarizer::Responsive.binarize(StateValue::Binary(true)));
+    }
+}

@@ -1,0 +1,311 @@
+//! Graph snapshots and the bit-packed data layout used by the miner.
+//!
+//! A snapshot `G^j = (S^{j-τ}, ..., S^j)` assigns a binary value to every
+//! lagged variable `S_k^{t-l}` (Section III). TemporalPC runs thousands of
+//! G² tests over the same snapshot set, so [`SnapshotData`] stores one
+//! *bit column* per `(device, lag)` pair — each conditional-independence
+//! test then reduces to a handful of bitwise ANDs and popcounts instead of
+//! row-by-row iteration.
+
+use iot_model::{DeviceId, StateSeries};
+use iot_stats::contingency::{StratifiedTable, Table2x2};
+
+use crate::graph::LaggedVar;
+
+/// One variable's values across all snapshots, packed 64 rows per word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitColumn {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitColumn {
+    /// Builds a column from an iterator of booleans.
+    pub fn from_bits(bits: impl IntoIterator<Item = bool>) -> Self {
+        let mut words = Vec::new();
+        let mut len = 0usize;
+        for bit in bits {
+            if len % 64 == 0 {
+                words.push(0);
+            }
+            if bit {
+                *words.last_mut().expect("just pushed") |= 1u64 << (len % 64);
+            }
+            len += 1;
+        }
+        BitColumn { words, len }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the column has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The value at `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= len`.
+    pub fn get(&self, row: usize) -> bool {
+        assert!(row < self.len, "row {row} out of range");
+        self.words[row / 64] >> (row % 64) & 1 == 1
+    }
+
+    /// The raw words (tail bits beyond `len` are zero).
+    fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+}
+
+/// The snapshot matrix: all `(device, lag)` bit columns for a state series.
+#[derive(Debug, Clone)]
+pub struct SnapshotData {
+    num_devices: usize,
+    tau: usize,
+    rows: usize,
+    /// `cols[device * (tau + 1) + lag]`.
+    cols: Vec<BitColumn>,
+    /// Mask selecting the valid bits of the last word.
+    tail_mask_words: Vec<u64>,
+}
+
+impl SnapshotData {
+    /// Builds the snapshot matrix from a derived state series.
+    ///
+    /// Snapshots exist for timestamps `j ∈ {τ, ..., m}`; row `r`
+    /// corresponds to `j = τ + r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series has fewer than `τ` events (no complete
+    /// snapshot exists).
+    pub fn from_series(series: &StateSeries, tau: usize) -> Self {
+        let m = series.num_events();
+        assert!(m >= tau, "need at least τ = {tau} events, got {m}");
+        let rows = m - tau + 1;
+        let n = series.num_devices();
+        let mut cols = Vec::with_capacity(n * (tau + 1));
+        for device in 0..n {
+            let id = DeviceId::from_index(device);
+            for lag in 0..=tau {
+                cols.push(BitColumn::from_bits(
+                    (0..rows).map(|r| series.state(tau + r - lag).get(id)),
+                ));
+            }
+        }
+        let num_words = cols[0].words().len();
+        let mut tail_mask_words = vec![u64::MAX; num_words];
+        let rem = rows % 64;
+        if rem != 0 {
+            tail_mask_words[num_words - 1] = (1u64 << rem) - 1;
+        }
+        SnapshotData {
+            num_devices: n,
+            tau,
+            rows,
+            cols,
+            tail_mask_words,
+        }
+    }
+
+    /// Number of snapshots (rows).
+    pub fn num_snapshots(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// The maximum lag τ.
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// The bit column of a lagged variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device index or lag is out of range.
+    pub fn column(&self, var: LaggedVar) -> &BitColumn {
+        assert!(var.lag <= self.tau, "lag {} exceeds τ {}", var.lag, self.tau);
+        &self.cols[var.device.index() * (self.tau + 1) + var.lag]
+    }
+
+    /// The value of `var` in snapshot row `r` (timestamp `j = τ + r`).
+    pub fn value(&self, row: usize, var: LaggedVar) -> bool {
+        self.column(var).get(row)
+    }
+
+    /// Builds the conditioning-stratified contingency table for a CI test
+    /// of `x ⫫ y | z` across all snapshots, using bit-parallel counting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() >= 24` (conditioning sets this large are
+    /// rejected upstream) or any variable is out of range.
+    pub fn stratified_counts(
+        &self,
+        x: LaggedVar,
+        y: LaggedVar,
+        z: &[LaggedVar],
+    ) -> StratifiedTable {
+        assert!(z.len() < 24, "conditioning set too large");
+        let x_col = self.column(x);
+        let y_col = self.column(y);
+        let z_cols: Vec<&BitColumn> = z.iter().map(|&v| self.column(v)).collect();
+        let num_words = self.tail_mask_words.len();
+        let mut strata = Vec::with_capacity(1 << z.len());
+        let mut z_mask = vec![0u64; num_words];
+        for z_code in 0..(1usize << z.len()) {
+            // z_mask = AND over conditioning bits (negated where the code
+            // bit is zero), restricted to valid rows.
+            z_mask.copy_from_slice(&self.tail_mask_words);
+            for (bit, col) in z_cols.iter().enumerate() {
+                let want = z_code >> bit & 1 == 1;
+                for (m, &w) in z_mask.iter_mut().zip(col.words()) {
+                    *m &= if want { w } else { !w };
+                }
+            }
+            let mut n_z = 0u64; // |{rows matching z}|
+            let mut n_x = 0u64; // |{x & z}|
+            let mut n_y = 0u64; // |{y & z}|
+            let mut n_xy = 0u64; // |{x & y & z}|
+            for ((&mz, &wx), &wy) in z_mask.iter().zip(x_col.words()).zip(y_col.words()) {
+                n_z += mz.count_ones() as u64;
+                n_x += (mz & wx).count_ones() as u64;
+                n_y += (mz & wy).count_ones() as u64;
+                n_xy += (mz & wx & wy).count_ones() as u64;
+            }
+            let n11 = n_xy;
+            let n10 = n_x - n_xy;
+            let n01 = n_y - n_xy;
+            // Inclusion-exclusion; sum before subtracting to stay in u64.
+            let n00 = n_z + n_xy - n_x - n_y;
+            strata.push(Table2x2::from_counts([[n00, n01], [n10, n11]]));
+        }
+        StratifiedTable::from_strata(strata)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iot_model::{BinaryEvent, SystemState, Timestamp};
+
+    fn bev(j: u64, dev: usize, on: bool) -> BinaryEvent {
+        BinaryEvent::new(Timestamp::from_secs(j), DeviceId::from_index(dev), on)
+    }
+
+    fn var(d: usize, lag: usize) -> LaggedVar {
+        LaggedVar::new(DeviceId::from_index(d), lag)
+    }
+
+    #[test]
+    fn bit_column_round_trip() {
+        let bits: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let col = BitColumn::from_bits(bits.iter().copied());
+        assert_eq!(col.len(), 130);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(col.get(i), b, "row {i}");
+        }
+        assert_eq!(col.count_ones(), bits.iter().filter(|&&b| b).count() as u64);
+    }
+
+    #[test]
+    fn snapshot_values_match_series_lags() {
+        // Device 0 toggles each step; device 1 copies device 0 one step later.
+        let mut events = Vec::new();
+        let mut expect = false;
+        for j in 0..20u64 {
+            if j % 2 == 0 {
+                expect = !expect;
+                events.push(bev(j, 0, expect));
+            } else {
+                events.push(bev(j, 1, expect));
+            }
+        }
+        let series = StateSeries::derive(SystemState::all_off(2), events);
+        let tau = 2;
+        let data = SnapshotData::from_series(&series, tau);
+        assert_eq!(data.num_snapshots(), series.num_events() - tau + 1);
+        for row in 0..data.num_snapshots() {
+            let j = tau + row;
+            for d in 0..2 {
+                for lag in 0..=tau {
+                    assert_eq!(
+                        data.value(row, var(d, lag)),
+                        series.lagged(j, DeviceId::from_index(d), lag),
+                        "row {row} device {d} lag {lag}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_counts_match_naive_counting() {
+        // Pseudo-random deterministic pattern over 3 devices, 200 events.
+        let events: Vec<BinaryEvent> = (0..200u64)
+            .map(|j| {
+                let d = (j * 7 % 3) as usize;
+                bev(j, d, (j * 13 / 3) % 2 == 0)
+            })
+            .collect();
+        let series = StateSeries::derive(SystemState::all_off(3), events);
+        let tau = 2;
+        let data = SnapshotData::from_series(&series, tau);
+        let x = var(0, 1);
+        let y = var(2, 0);
+        let z = [var(1, 1), var(1, 2)];
+        let table = data.stratified_counts(x, y, &z);
+        // Naive recount.
+        let mut naive = vec![[[0u64; 2]; 2]; 4];
+        for row in 0..data.num_snapshots() {
+            let code = (data.value(row, z[0]) as usize) | ((data.value(row, z[1]) as usize) << 1);
+            let xv = data.value(row, x) as usize;
+            let yv = data.value(row, y) as usize;
+            naive[code][xv][yv] += 1;
+        }
+        for code in 0..4 {
+            for xv in [false, true] {
+                for yv in [false, true] {
+                    assert_eq!(
+                        table.stratum(code).count(xv, yv),
+                        naive[code][xv as usize][yv as usize],
+                        "code {code} x {xv} y {yv}"
+                    );
+                }
+            }
+        }
+        assert_eq!(table.total(), data.num_snapshots() as u64 * 4 / 4);
+    }
+
+    #[test]
+    fn empty_conditioning_set_counts_everything() {
+        let events: Vec<BinaryEvent> = (0..50u64).map(|j| bev(j, 0, j % 2 == 0)).collect();
+        let series = StateSeries::derive(SystemState::all_off(1), events);
+        let data = SnapshotData::from_series(&series, 1);
+        let table = data.stratified_counts(var(0, 1), var(0, 0), &[]);
+        assert_eq!(table.num_strata(), 1);
+        assert_eq!(table.total(), data.num_snapshots() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least")]
+    fn too_few_events_panics() {
+        let series = StateSeries::derive(SystemState::all_off(1), vec![bev(0, 0, true)]);
+        SnapshotData::from_series(&series, 2);
+    }
+}

@@ -1,0 +1,294 @@
+//! Devices, their attributes, and value-type taxonomy.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a device inside a [`crate::DeviceRegistry`].
+///
+/// A `DeviceId` is a dense index: the `i`-th registered device gets id `i`.
+/// This makes it directly usable as an index into per-device vectors such as
+/// [`crate::SystemState`].
+///
+/// # Example
+///
+/// ```
+/// use iot_model::{Attribute, DeviceRegistry, Room};
+/// # fn main() -> Result<(), iot_model::ModelError> {
+/// let mut reg = DeviceRegistry::new();
+/// let id = reg.add("S_player", Attribute::Switch, Room::new("bedroom"))?;
+/// assert_eq!(id.index(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub(crate) u32);
+
+impl DeviceId {
+    /// Creates a device id from a raw dense index.
+    ///
+    /// Prefer obtaining ids from [`crate::DeviceRegistry::add`]; this
+    /// constructor exists for deserialisation and test scaffolding.
+    pub fn from_index(index: usize) -> Self {
+        DeviceId(index as u32)
+    }
+
+    /// The dense index of this device (position in its registry).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The value type of a device state (Section V-A, "Type unification").
+///
+/// The paper categorises device states into three kinds according to the
+/// SmartThings capability reference and unifies all of them to binary states
+/// during preprocessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueKind {
+    /// ON/OFF-style states (e.g. switches, presence, contact sensors).
+    Binary,
+    /// Zero when idle, positive when in use (e.g. water meters, power
+    /// sensors, dimmers). Thresholded at zero into an Idle/Working binary
+    /// state.
+    ResponsiveNumeric,
+    /// Always-positive continuous environmental measurements (e.g.
+    /// brightness). Discretised into Low/High with Jenks natural breaks.
+    AmbientNumeric,
+}
+
+impl fmt::Display for ValueKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueKind::Binary => "binary",
+            ValueKind::ResponsiveNumeric => "responsive-numeric",
+            ValueKind::AmbientNumeric => "ambient-numeric",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Device attribute taxonomy following Table I of the paper.
+///
+/// Each attribute implies the [`ValueKind`] of the device's raw state value
+/// and whether the device is an actuator (can be commanded, hence is a valid
+/// *action* device for automation rules) or a pure sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Attribute {
+    /// `S` — change of actuators (e.g. a media player switch).
+    Switch,
+    /// `PE` — movement detection.
+    PresenceSensor,
+    /// `C` — door/window open-close state.
+    ContactSensor,
+    /// `D` — change of lights (responsive numeric dim level).
+    Dimmer,
+    /// `W` — water usage (responsive numeric flow).
+    WaterMeter,
+    /// `P` — appliance usage measured as power draw (stove, fridge, ...).
+    PowerSensor,
+    /// `B` — luminosity level (ambient numeric).
+    BrightnessSensor,
+}
+
+impl Attribute {
+    /// All attribute kinds, in Table I order.
+    pub const ALL: [Attribute; 7] = [
+        Attribute::Switch,
+        Attribute::PresenceSensor,
+        Attribute::ContactSensor,
+        Attribute::Dimmer,
+        Attribute::WaterMeter,
+        Attribute::PowerSensor,
+        Attribute::BrightnessSensor,
+    ];
+
+    /// The raw value type reported by devices with this attribute.
+    pub fn value_kind(self) -> ValueKind {
+        match self {
+            Attribute::Switch | Attribute::PresenceSensor | Attribute::ContactSensor => {
+                ValueKind::Binary
+            }
+            Attribute::Dimmer | Attribute::WaterMeter | Attribute::PowerSensor => {
+                ValueKind::ResponsiveNumeric
+            }
+            Attribute::BrightnessSensor => ValueKind::AmbientNumeric,
+        }
+    }
+
+    /// Whether a device with this attribute is bound to an actuator, i.e.
+    /// whether an automation rule may command it (Section VI-A: brightness
+    /// and presence sensors are not suitable action devices).
+    pub fn is_actuator(self) -> bool {
+        !matches!(self, Attribute::PresenceSensor | Attribute::BrightnessSensor)
+    }
+
+    /// Short abbreviation used in the paper (Table I) and in device names.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Attribute::Switch => "S",
+            Attribute::PresenceSensor => "PE",
+            Attribute::ContactSensor => "C",
+            Attribute::Dimmer => "D",
+            Attribute::WaterMeter => "W",
+            Attribute::PowerSensor => "P",
+            Attribute::BrightnessSensor => "B",
+        }
+    }
+
+    /// Human-readable description matching Table I.
+    pub fn description(self) -> &'static str {
+        match self {
+            Attribute::Switch => "Change of actuators",
+            Attribute::PresenceSensor => "Movement detection",
+            Attribute::ContactSensor => "Door/window state",
+            Attribute::Dimmer => "Change of lights",
+            Attribute::WaterMeter => "Water usage",
+            Attribute::PowerSensor => "Appliance usage",
+            Attribute::BrightnessSensor => "Luminosity level",
+        }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// An installation location (room) inside the smart home.
+///
+/// Rooms matter to the testbed simulator (movement fires presence sensors
+/// room-by-room) and to the HAWatcher baseline (spatial rule constraints).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Room(String);
+
+impl Room {
+    /// Creates a room from its name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Room(name.into())
+    }
+
+    /// The room's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Room {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Room {
+    fn from(name: &str) -> Self {
+        Room::new(name)
+    }
+}
+
+/// A deployed IoT device: name, attribute, and installation room.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Device {
+    id: DeviceId,
+    name: String,
+    attribute: Attribute,
+    room: Room,
+}
+
+impl Device {
+    pub(crate) fn new(id: DeviceId, name: String, attribute: Attribute, room: Room) -> Self {
+        Device {
+            id,
+            name,
+            attribute,
+            room,
+        }
+    }
+
+    /// The device's dense identifier.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The device's unique name (e.g. `"PE_kitchen"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The device's attribute (Table I taxonomy).
+    pub fn attribute(&self) -> Attribute {
+        self.attribute
+    }
+
+    /// The room the device is installed in.
+    pub fn room(&self) -> &Room {
+        &self.room
+    }
+
+    /// The raw value type reported by this device.
+    pub fn value_kind(&self) -> ValueKind {
+        self.attribute.value_kind()
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} in {})", self.name, self.attribute, self.room)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_value_kinds_follow_table_one() {
+        assert_eq!(Attribute::Switch.value_kind(), ValueKind::Binary);
+        assert_eq!(Attribute::PresenceSensor.value_kind(), ValueKind::Binary);
+        assert_eq!(Attribute::ContactSensor.value_kind(), ValueKind::Binary);
+        assert_eq!(Attribute::Dimmer.value_kind(), ValueKind::ResponsiveNumeric);
+        assert_eq!(Attribute::WaterMeter.value_kind(), ValueKind::ResponsiveNumeric);
+        assert_eq!(Attribute::PowerSensor.value_kind(), ValueKind::ResponsiveNumeric);
+        assert_eq!(Attribute::BrightnessSensor.value_kind(), ValueKind::AmbientNumeric);
+    }
+
+    #[test]
+    fn sensors_are_not_actuators() {
+        assert!(!Attribute::PresenceSensor.is_actuator());
+        assert!(!Attribute::BrightnessSensor.is_actuator());
+        assert!(Attribute::Switch.is_actuator());
+        assert!(Attribute::Dimmer.is_actuator());
+        assert!(Attribute::ContactSensor.is_actuator());
+    }
+
+    #[test]
+    fn abbreviations_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for attr in Attribute::ALL {
+            assert!(seen.insert(attr.abbrev()), "duplicate abbrev {}", attr);
+        }
+    }
+
+    #[test]
+    fn device_id_round_trips_through_index() {
+        let id = DeviceId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "#7");
+    }
+
+    #[test]
+    fn room_display_and_eq() {
+        let a = Room::new("kitchen");
+        let b: Room = "kitchen".into();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "kitchen");
+        assert_eq!(a.name(), "kitchen");
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for the model crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building registries or parsing logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A device name was registered twice.
+    DuplicateDevice {
+        /// The offending name.
+        name: String,
+    },
+    /// A device name was looked up but never registered.
+    UnknownDevice {
+        /// The unresolved name.
+        name: String,
+    },
+    /// A log line could not be parsed.
+    ParseLog {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// Events were supplied out of timestamp order where order is required.
+    UnsortedEvents {
+        /// Index of the first out-of-order event.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateDevice { name } => {
+                write!(f, "device `{name}` is already registered")
+            }
+            ModelError::UnknownDevice { name } => write!(f, "unknown device `{name}`"),
+            ModelError::ParseLog { line, reason } => {
+                write!(f, "invalid log line {line}: {reason}")
+            }
+            ModelError::UnsortedEvents { index } => {
+                write!(f, "event at index {index} is earlier than its predecessor")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = ModelError::DuplicateDevice {
+            name: "PE_kitchen".into(),
+        };
+        assert_eq!(err.to_string(), "device `PE_kitchen` is already registered");
+        let err = ModelError::ParseLog {
+            line: 3,
+            reason: "missing value".into(),
+        };
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<ModelError>();
+    }
+}

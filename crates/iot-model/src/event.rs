@@ -1,0 +1,431 @@
+//! Timestamps, state values, device events, and event logs.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DeviceId, ModelError};
+
+/// A wall-clock instant, stored as milliseconds since the trace epoch.
+///
+/// The paper's discrete timestamps are *event ordinals*; wall-clock time is
+/// still needed by the preprocessor (duplicate suppression, the `τ = d/v`
+/// rule of Section V-A) and by the testbed simulator. `Timestamp` is totally
+/// ordered and cheap to copy.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(u64);
+
+impl Timestamp {
+    /// The trace epoch (time zero).
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Creates a timestamp from whole milliseconds since the epoch.
+    pub fn from_millis(ms: u64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Creates a timestamp from whole seconds since the epoch.
+    pub fn from_secs(secs: u64) -> Self {
+        Timestamp(secs * 1000)
+    }
+
+    /// Creates a timestamp from fractional seconds since the epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "timestamp must be finite and non-negative");
+        Timestamp((secs * 1000.0).round() as u64)
+    }
+
+    /// Milliseconds since the epoch.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// The absolute gap between two timestamps, in seconds.
+    pub fn gap_secs(self, other: Timestamp) -> f64 {
+        (self.0.abs_diff(other.0)) as f64 / 1000.0
+    }
+}
+
+impl Add<f64> for Timestamp {
+    type Output = Timestamp;
+
+    /// Advances the timestamp by `rhs` seconds.
+    fn add(self, rhs: f64) -> Timestamp {
+        Timestamp::from_secs_f64(self.as_secs_f64() + rhs)
+    }
+}
+
+impl Sub for Timestamp {
+    type Output = f64;
+
+    /// Signed difference `self - rhs` in seconds.
+    fn sub(self, rhs: Timestamp) -> f64 {
+        self.as_secs_f64() - rhs.as_secs_f64()
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// A raw device-state value as reported by the platform.
+///
+/// Binary devices report `Binary`; responsive- and ambient-numeric devices
+/// report `Numeric` (Section II-A: "the value types of device states are
+/// diverse").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StateValue {
+    /// An ON/OFF-style value.
+    Binary(bool),
+    /// A numeric measurement (dim level, watts, lux, litres/min, ...).
+    Numeric(f64),
+}
+
+impl StateValue {
+    /// Returns the boolean payload if this is a binary value.
+    pub fn as_binary(self) -> Option<bool> {
+        match self {
+            StateValue::Binary(b) => Some(b),
+            StateValue::Numeric(_) => None,
+        }
+    }
+
+    /// Returns the numeric payload if this is a numeric value.
+    pub fn as_numeric(self) -> Option<f64> {
+        match self {
+            StateValue::Binary(_) => None,
+            StateValue::Numeric(x) => Some(x),
+        }
+    }
+
+    /// Whether two values are equal enough to count as a *duplicated state
+    /// report* (Section V-A, "Event sanitation").
+    ///
+    /// Numeric values compare with a small relative tolerance so that jitter
+    /// in periodic sensor reports still counts as a duplicate.
+    pub fn is_duplicate_of(self, other: StateValue, rel_tol: f64) -> bool {
+        match (self, other) {
+            (StateValue::Binary(a), StateValue::Binary(b)) => a == b,
+            (StateValue::Numeric(a), StateValue::Numeric(b)) => {
+                let scale = a.abs().max(b.abs()).max(1.0);
+                (a - b).abs() <= rel_tol * scale
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for StateValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateValue::Binary(true) => f.write_str("ON"),
+            StateValue::Binary(false) => f.write_str("OFF"),
+            StateValue::Numeric(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+/// A raw device event: `(timestamp, device, state value)`.
+///
+/// This is the platform-collected record of Section II-A before any
+/// preprocessing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceEvent {
+    /// When the event was reported.
+    pub time: Timestamp,
+    /// Which device reported it.
+    pub device: DeviceId,
+    /// The new raw state value.
+    pub value: StateValue,
+}
+
+impl DeviceEvent {
+    /// Creates a new raw event.
+    pub fn new(time: Timestamp, device: DeviceId, value: StateValue) -> Self {
+        DeviceEvent {
+            time,
+            device,
+            value,
+        }
+    }
+}
+
+/// A preprocessed, *binary* device event (`e^t : {S_i^t = s_i^t}` in the
+/// paper's notation).
+///
+/// Produced by the type-unification step of the Event Preprocessor; the
+/// interaction miner and the event monitor only ever see binary events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryEvent {
+    /// When the event was reported.
+    pub time: Timestamp,
+    /// Which device reported it.
+    pub device: DeviceId,
+    /// The unified binary state value.
+    pub value: bool,
+}
+
+impl BinaryEvent {
+    /// Creates a new binary event.
+    pub fn new(time: Timestamp, device: DeviceId, value: bool) -> Self {
+        BinaryEvent {
+            time,
+            device,
+            value,
+        }
+    }
+}
+
+/// A time-ordered log of raw device events.
+///
+/// `EventLog` keeps its events sorted by timestamp (stable for ties, so
+/// same-instant events keep their insertion order, matching how a platform
+/// serialises simultaneous reports).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<DeviceEvent>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Appends an event, keeping the log sorted.
+    ///
+    /// Appending in non-decreasing time order is O(1); out-of-order inserts
+    /// fall back to a stable insertion.
+    pub fn push(&mut self, event: DeviceEvent) {
+        match self.events.last() {
+            Some(last) if last.time > event.time => {
+                let pos = self
+                    .events
+                    .partition_point(|e| e.time <= event.time);
+                self.events.insert(pos, event);
+            }
+            _ => self.events.push(event),
+        }
+    }
+
+    /// Builds a log from an iterator of events (sorted stably by time).
+    ///
+    /// # Errors
+    ///
+    /// Never fails; provided for parity with [`EventLog::from_sorted`].
+    pub fn from_events(events: impl IntoIterator<Item = DeviceEvent>) -> Self {
+        let mut events: Vec<DeviceEvent> = events.into_iter().collect();
+        events.sort_by_key(|e| e.time);
+        EventLog { events }
+    }
+
+    /// Wraps an already-sorted vector of events without re-sorting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnsortedEvents`] if the input is not sorted by
+    /// timestamp.
+    pub fn from_sorted(events: Vec<DeviceEvent>) -> Result<Self, ModelError> {
+        for (i, pair) in events.windows(2).enumerate() {
+            if pair[0].time > pair[1].time {
+                return Err(ModelError::UnsortedEvents { index: i + 1 });
+            }
+        }
+        Ok(EventLog { events })
+    }
+
+    /// Number of events in the log.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events, in time order.
+    pub fn events(&self) -> &[DeviceEvent] {
+        &self.events
+    }
+
+    /// Iterates over the events in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, DeviceEvent> {
+        self.events.iter()
+    }
+
+    /// Consumes the log, returning the sorted event vector.
+    pub fn into_events(self) -> Vec<DeviceEvent> {
+        self.events
+    }
+
+    /// The mean gap `v` between neighbouring events, in seconds.
+    ///
+    /// Used by the preprocessor's `τ = d/v` rule (Section V-A). Returns
+    /// `None` when the log has fewer than two events.
+    pub fn mean_inter_event_gap_secs(&self) -> Option<f64> {
+        if self.events.len() < 2 {
+            return None;
+        }
+        let total = self.events.last().unwrap().time - self.events.first().unwrap().time;
+        Some(total / (self.events.len() - 1) as f64)
+    }
+
+    /// Splits the log at `fraction` (e.g. `0.8` for the paper's 80/20
+    /// train/test split), returning `(train, test)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `[0, 1]`.
+    pub fn split_at_fraction(&self, fraction: f64) -> (EventLog, EventLog) {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        let cut = (self.events.len() as f64 * fraction).round() as usize;
+        let cut = cut.min(self.events.len());
+        (
+            EventLog {
+                events: self.events[..cut].to_vec(),
+            },
+            EventLog {
+                events: self.events[cut..].to_vec(),
+            },
+        )
+    }
+}
+
+impl FromIterator<DeviceEvent> for EventLog {
+    fn from_iter<I: IntoIterator<Item = DeviceEvent>>(iter: I) -> Self {
+        EventLog::from_events(iter)
+    }
+}
+
+impl Extend<DeviceEvent> for EventLog {
+    fn extend<I: IntoIterator<Item = DeviceEvent>>(&mut self, iter: I) {
+        for event in iter {
+            self.push(event);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a EventLog {
+    type Item = &'a DeviceEvent;
+    type IntoIter = std::slice::Iter<'a, DeviceEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl IntoIterator for EventLog {
+    type Item = DeviceEvent;
+    type IntoIter = std::vec::IntoIter<DeviceEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(secs: u64, dev: usize, on: bool) -> DeviceEvent {
+        DeviceEvent::new(
+            Timestamp::from_secs(secs),
+            DeviceId::from_index(dev),
+            StateValue::Binary(on),
+        )
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp::from_secs(10);
+        assert_eq!((t + 2.5).as_millis(), 12_500);
+        assert_eq!(t - Timestamp::from_secs(4), 6.0);
+        assert_eq!(Timestamp::from_secs(4).gap_secs(t), 6.0);
+        assert_eq!(Timestamp::from_secs_f64(1.2345).as_millis(), 1235);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn timestamp_rejects_negative() {
+        let _ = Timestamp::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn state_value_accessors() {
+        assert_eq!(StateValue::Binary(true).as_binary(), Some(true));
+        assert_eq!(StateValue::Binary(true).as_numeric(), None);
+        assert_eq!(StateValue::Numeric(3.0).as_numeric(), Some(3.0));
+        assert_eq!(StateValue::Numeric(3.0).as_binary(), None);
+    }
+
+    #[test]
+    fn duplicate_detection_uses_relative_tolerance() {
+        let a = StateValue::Numeric(100.0);
+        assert!(a.is_duplicate_of(StateValue::Numeric(100.5), 0.01));
+        assert!(!a.is_duplicate_of(StateValue::Numeric(110.0), 0.01));
+        assert!(StateValue::Binary(true).is_duplicate_of(StateValue::Binary(true), 0.01));
+        assert!(!StateValue::Binary(true).is_duplicate_of(StateValue::Numeric(1.0), 0.01));
+    }
+
+    #[test]
+    fn log_push_keeps_order() {
+        let mut log = EventLog::new();
+        log.push(ev(10, 0, true));
+        log.push(ev(5, 1, true));
+        log.push(ev(7, 2, false));
+        let times: Vec<u64> = log.iter().map(|e| e.time.as_millis() / 1000).collect();
+        assert_eq!(times, vec![5, 7, 10]);
+    }
+
+    #[test]
+    fn from_sorted_validates() {
+        assert!(EventLog::from_sorted(vec![ev(1, 0, true), ev(2, 0, false)]).is_ok());
+        let err = EventLog::from_sorted(vec![ev(2, 0, true), ev(1, 0, false)]).unwrap_err();
+        assert_eq!(err, ModelError::UnsortedEvents { index: 1 });
+    }
+
+    #[test]
+    fn mean_gap() {
+        let log: EventLog = [ev(0, 0, true), ev(10, 0, false), ev(30, 0, true)]
+            .into_iter()
+            .collect();
+        assert_eq!(log.mean_inter_event_gap_secs(), Some(15.0));
+        assert_eq!(EventLog::new().mean_inter_event_gap_secs(), None);
+    }
+
+    #[test]
+    fn split_fraction() {
+        let log: EventLog = (0..10).map(|i| ev(i, 0, i % 2 == 0)).collect();
+        let (train, test) = log.split_at_fraction(0.8);
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 2);
+        let (all, none) = log.split_at_fraction(1.0);
+        assert_eq!(all.len(), 10);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn same_instant_events_keep_insertion_order() {
+        let mut log = EventLog::new();
+        log.push(ev(5, 0, true));
+        log.push(ev(5, 1, true));
+        log.push(ev(5, 2, true));
+        let devs: Vec<usize> = log.iter().map(|e| e.device.index()).collect();
+        assert_eq!(devs, vec![0, 1, 2]);
+    }
+}

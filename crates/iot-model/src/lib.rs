@@ -1,0 +1,50 @@
+//! Device, event, and system-state model for smart-home IoT traces.
+//!
+//! This crate is the data substrate shared by every other crate in the
+//! CausalIoT reproduction. It models the entities of Section II-A and
+//! Section III of the paper:
+//!
+//! * [`Device`]s with an [`Attribute`] (Table I of the paper) and a
+//!   [`ValueKind`] describing their raw state-value type,
+//! * [`DeviceEvent`]s — `(timestamp, device, state)` reports sent to the
+//!   platform whenever a device changes state,
+//! * [`EventLog`]s — time-ordered collections of events with a plain-text
+//!   on-disk format modelled after the CASAS testbed logs,
+//! * [`SystemState`] / [`StateSeries`] — the derived time series
+//!   `(S^0, ..., S^m)` of whole-home binary states from which the
+//!   interaction miner builds graph snapshots.
+//!
+//! # Example
+//!
+//! ```
+//! use iot_model::{Attribute, DeviceEvent, DeviceRegistry, EventLog, Room, StateValue, Timestamp};
+//!
+//! # fn main() -> Result<(), iot_model::ModelError> {
+//! let mut registry = DeviceRegistry::new();
+//! let lamp = registry.add("D_living", Attribute::Dimmer, Room::new("living"))?;
+//! let motion = registry.add("PE_living", Attribute::PresenceSensor, Room::new("living"))?;
+//!
+//! let mut log = EventLog::new();
+//! log.push(DeviceEvent::new(Timestamp::from_secs(10), motion, StateValue::Binary(true)));
+//! log.push(DeviceEvent::new(Timestamp::from_secs(12), lamp, StateValue::Numeric(80.0)));
+//! assert_eq!(log.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod error;
+mod event;
+mod logfmt;
+mod registry;
+mod series;
+
+pub use device::{Attribute, Device, DeviceId, Room, ValueKind};
+pub use error::ModelError;
+pub use event::{BinaryEvent, DeviceEvent, EventLog, StateValue, Timestamp};
+pub use logfmt::{format_log, parse_log};
+pub use registry::DeviceRegistry;
+pub use series::{StateSeries, SystemState};

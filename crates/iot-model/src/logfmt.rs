@@ -1,0 +1,296 @@
+//! Plain-text event-log format modelled after the CASAS testbed logs.
+//!
+//! The CASAS "smart home in a box" datasets ship as whitespace-separated
+//! text lines `DATE TIME SENSOR VALUE`, e.g.
+//!
+//! ```text
+//! 2020-01-01 08:15:02.250 PE_kitchen ON
+//! 2020-01-01 08:15:09.000 B_kitchen 312.5
+//! ```
+//!
+//! This module reads and writes that format so traces produced by the
+//! testbed simulator can be persisted, diffed, and re-loaded exactly like
+//! the paper's datasets. Dates are rendered relative to a fixed trace epoch
+//! (2020-01-01 00:00:00) with no time-zone handling — the pipeline only
+//! consumes relative time.
+
+use crate::{DeviceEvent, DeviceRegistry, EventLog, ModelError, StateValue, Timestamp};
+
+/// The calendar date used for `Timestamp::EPOCH` when formatting logs.
+const EPOCH_YEAR: i64 = 2020;
+const EPOCH_MONTH: u32 = 1;
+const EPOCH_DAY: u32 = 1;
+
+/// Days from civil date to a day serial number (Howard Hinnant's algorithm).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = ((m + 9) % 12) as u64; // Mar=0 ... Feb=11
+    let doy = (153 * mp + 2) / 5 + (d as u64 - 1); // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe as i64 - 719_468
+}
+
+/// Civil date from a day serial number (inverse of [`days_from_civil`]).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn format_timestamp(t: Timestamp) -> String {
+    let total_ms = t.as_millis();
+    let ms = total_ms % 1000;
+    let total_secs = total_ms / 1000;
+    let sec = total_secs % 60;
+    let min = (total_secs / 60) % 60;
+    let hour = (total_secs / 3600) % 24;
+    let days = (total_secs / 86_400) as i64;
+    let (y, m, d) = civil_from_days(days_from_civil(EPOCH_YEAR, EPOCH_MONTH, EPOCH_DAY) + days);
+    format!("{y:04}-{m:02}-{d:02} {hour:02}:{min:02}:{sec:02}.{ms:03}")
+}
+
+fn parse_timestamp(date: &str, time: &str, line: usize) -> Result<Timestamp, ModelError> {
+    let bad = |reason: &str| ModelError::ParseLog {
+        line,
+        reason: reason.to_string(),
+    };
+    let mut dp = date.split('-');
+    let y: i64 = dp
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad year"))?;
+    let m: u32 = dp
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad month"))?;
+    let d: u32 = dp
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad day"))?;
+    if dp.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(bad("bad date"));
+    }
+    let mut tp = time.split(':');
+    let hour: u64 = tp
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad hour"))?;
+    let min: u64 = tp
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad minute"))?;
+    let sec_str = tp.next().ok_or_else(|| bad("bad second"))?;
+    if tp.next().is_some() || hour > 23 || min > 59 {
+        return Err(bad("bad time"));
+    }
+    let sec: f64 = sec_str.parse().map_err(|_| bad("bad second"))?;
+    if !(0.0..60.0).contains(&sec) {
+        return Err(bad("bad second"));
+    }
+    let day_serial = days_from_civil(y, m, d) - days_from_civil(EPOCH_YEAR, EPOCH_MONTH, EPOCH_DAY);
+    if day_serial < 0 {
+        return Err(bad("date precedes trace epoch"));
+    }
+    let ms = day_serial as u64 * 86_400_000
+        + hour * 3_600_000
+        + min * 60_000
+        + (sec * 1000.0).round() as u64;
+    Ok(Timestamp::from_millis(ms))
+}
+
+/// Serialises a log to CASAS-style text.
+///
+/// # Example
+///
+/// ```
+/// use iot_model::{Attribute, DeviceEvent, DeviceRegistry, EventLog, Room,
+///                 StateValue, Timestamp, format_log, parse_log};
+/// # fn main() -> Result<(), iot_model::ModelError> {
+/// let mut reg = DeviceRegistry::new();
+/// let pe = reg.add("PE_kitchen", Attribute::PresenceSensor, Room::new("kitchen"))?;
+/// let mut log = EventLog::new();
+/// log.push(DeviceEvent::new(Timestamp::from_secs(62), pe, StateValue::Binary(true)));
+/// let text = format_log(&reg, &log);
+/// assert_eq!(text.trim(), "2020-01-01 00:01:02.000 PE_kitchen ON");
+/// let parsed = parse_log(&reg, &text)?;
+/// assert_eq!(parsed, log);
+/// # Ok(())
+/// # }
+/// ```
+pub fn format_log(registry: &DeviceRegistry, log: &EventLog) -> String {
+    let mut out = String::with_capacity(log.len() * 48);
+    for event in log {
+        out.push_str(&format_timestamp(event.time));
+        out.push(' ');
+        out.push_str(registry.name(event.device));
+        out.push(' ');
+        match event.value {
+            StateValue::Binary(true) => out.push_str("ON"),
+            StateValue::Binary(false) => out.push_str("OFF"),
+            StateValue::Numeric(x) => out.push_str(&format!("{x}")),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CASAS-style text into an [`EventLog`].
+///
+/// Blank lines and lines starting with `#` are skipped. Values `ON`/`OFF`
+/// (also `OPEN`/`CLOSE`, `PRESENT`/`ABSENT`) parse as binary; anything that
+/// parses as a float is numeric.
+///
+/// # Errors
+///
+/// Returns [`ModelError::ParseLog`] for malformed lines and
+/// [`ModelError::UnknownDevice`] for unregistered device names.
+pub fn parse_log(registry: &DeviceRegistry, text: &str) -> Result<EventLog, ModelError> {
+    let mut log = EventLog::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (date, time, name, value) = match (parts.next(), parts.next(), parts.next(), parts.next())
+        {
+            (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
+            _ => {
+                return Err(ModelError::ParseLog {
+                    line: line_no,
+                    reason: "expected `DATE TIME DEVICE VALUE`".to_string(),
+                })
+            }
+        };
+        if parts.next().is_some() {
+            return Err(ModelError::ParseLog {
+                line: line_no,
+                reason: "trailing fields".to_string(),
+            });
+        }
+        let time = parse_timestamp(date, time, line_no)?;
+        let device = registry.require(name)?;
+        let value = match value {
+            "ON" | "OPEN" | "PRESENT" | "TRUE" => StateValue::Binary(true),
+            "OFF" | "CLOSE" | "CLOSED" | "ABSENT" | "FALSE" => StateValue::Binary(false),
+            other => match other.parse::<f64>() {
+                Ok(x) => StateValue::Numeric(x),
+                Err(_) => {
+                    return Err(ModelError::ParseLog {
+                        line: line_no,
+                        reason: format!("unrecognised value `{other}`"),
+                    })
+                }
+            },
+        };
+        log.push(DeviceEvent::new(time, device, value));
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attribute, Room};
+
+    fn reg() -> DeviceRegistry {
+        let mut reg = DeviceRegistry::new();
+        reg.add("PE_kitchen", Attribute::PresenceSensor, Room::new("kitchen"))
+            .unwrap();
+        reg.add("B_living", Attribute::BrightnessSensor, Room::new("living"))
+            .unwrap();
+        reg
+    }
+
+    #[test]
+    fn civil_round_trip() {
+        for serial in [-1000, -1, 0, 1, 59, 365, 36524, 146_097] {
+            let (y, m, d) = civil_from_days(serial);
+            assert_eq!(days_from_civil(y, m, d), serial);
+        }
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn timestamp_formatting_spans_days() {
+        assert_eq!(
+            format_timestamp(Timestamp::from_secs(86_400 + 3_661)),
+            "2020-01-02 01:01:01.000"
+        );
+        // 2020 is a leap year: day 59 is Feb 29.
+        assert_eq!(
+            format_timestamp(Timestamp::from_secs(59 * 86_400)),
+            "2020-02-29 00:00:00.000"
+        );
+    }
+
+    #[test]
+    fn round_trip_mixed_values() {
+        let reg = reg();
+        let mut log = EventLog::new();
+        let pe = reg.id_of("PE_kitchen").unwrap();
+        let b = reg.id_of("B_living").unwrap();
+        log.push(DeviceEvent::new(
+            Timestamp::from_millis(500),
+            pe,
+            StateValue::Binary(true),
+        ));
+        log.push(DeviceEvent::new(
+            Timestamp::from_secs(90_000),
+            b,
+            StateValue::Numeric(217.25),
+        ));
+        let text = format_log(&reg, &log);
+        let parsed = parse_log(&reg, &text).unwrap();
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blank_lines() {
+        let reg = reg();
+        let text = "# header\n\n2020-01-01 00:00:01.000 PE_kitchen ON\n";
+        let parsed = parse_log(&reg, text).unwrap();
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        let reg = reg();
+        assert!(matches!(
+            parse_log(&reg, "2020-01-01 00:00:01.000 PE_kitchen"),
+            Err(ModelError::ParseLog { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_log(&reg, "2020-01-01 00:00:01.000 GHOST ON"),
+            Err(ModelError::UnknownDevice { .. })
+        ));
+        assert!(matches!(
+            parse_log(&reg, "2020-01-01 00:00:01.000 PE_kitchen MAYBE"),
+            Err(ModelError::ParseLog { .. })
+        ));
+        assert!(matches!(
+            parse_log(&reg, "2019-12-31 23:59:59.000 PE_kitchen ON"),
+            Err(ModelError::ParseLog { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_accepts_contact_aliases() {
+        let reg = reg();
+        let text = "2020-01-01 00:00:01.000 PE_kitchen OPEN\n2020-01-01 00:00:02.000 PE_kitchen CLOSE";
+        let parsed = parse_log(&reg, text).unwrap();
+        assert_eq!(parsed.events()[0].value, StateValue::Binary(true));
+        assert_eq!(parsed.events()[1].value, StateValue::Binary(false));
+    }
+}

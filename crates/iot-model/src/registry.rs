@@ -1,0 +1,212 @@
+//! The device registry: the platform's view of the deployed devices.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Attribute, Device, DeviceId, ModelError, Room};
+
+/// A registry of the devices deployed at one smart home.
+///
+/// Devices receive dense [`DeviceId`]s in registration order, so the registry
+/// also fixes the layout of [`crate::SystemState`] vectors.
+///
+/// # Example
+///
+/// ```
+/// use iot_model::{Attribute, DeviceRegistry, Room};
+/// # fn main() -> Result<(), iot_model::ModelError> {
+/// let mut reg = DeviceRegistry::new();
+/// let stove = reg.add("P_stove", Attribute::PowerSensor, Room::new("kitchen"))?;
+/// assert_eq!(reg.device(stove).name(), "P_stove");
+/// assert_eq!(reg.id_of("P_stove"), Some(stove));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceRegistry {
+    devices: Vec<Device>,
+    by_name: HashMap<String, DeviceId>,
+}
+
+impl DeviceRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        DeviceRegistry::default()
+    }
+
+    /// Registers a device and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateDevice`] if `name` is already taken.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        attribute: Attribute,
+        room: Room,
+    ) -> Result<DeviceId, ModelError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(ModelError::DuplicateDevice { name });
+        }
+        let id = DeviceId::from_index(self.devices.len());
+        self.by_name.insert(name.clone(), id);
+        self.devices.push(Device::new(id, name, attribute, room));
+        Ok(id)
+    }
+
+    /// Number of registered devices (`n` in the paper).
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Looks up a device by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this registry.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// Looks up a device by id, returning `None` for foreign ids.
+    pub fn get(&self, id: DeviceId) -> Option<&Device> {
+        self.devices.get(id.index())
+    }
+
+    /// Resolves a device name to its id.
+    pub fn id_of(&self, name: &str) -> Option<DeviceId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves a device name, erroring with [`ModelError::UnknownDevice`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownDevice`] when `name` is unregistered.
+    pub fn require(&self, name: &str) -> Result<DeviceId, ModelError> {
+        self.id_of(name).ok_or_else(|| ModelError::UnknownDevice {
+            name: name.to_string(),
+        })
+    }
+
+    /// The display name for an id (convenience for report formatting).
+    pub fn name(&self, id: DeviceId) -> &str {
+        self.device(id).name()
+    }
+
+    /// Iterates over all devices in id order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Device> {
+        self.devices.iter()
+    }
+
+    /// All device ids, in order.
+    pub fn ids(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.devices.len()).map(DeviceId::from_index)
+    }
+
+    /// Ids of devices with the given attribute.
+    pub fn ids_with_attribute(&self, attribute: Attribute) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .filter(|d| d.attribute() == attribute)
+            .map(|d| d.id())
+            .collect()
+    }
+
+    /// Ids of devices installed in the given room.
+    pub fn ids_in_room(&self, room: &Room) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .filter(|d| d.room() == room)
+            .map(|d| d.id())
+            .collect()
+    }
+
+    /// Counts devices per attribute, in [`Attribute::ALL`] order
+    /// (reproduces the census columns of Table I).
+    pub fn attribute_census(&self) -> Vec<(Attribute, usize)> {
+        Attribute::ALL
+            .iter()
+            .map(|&a| (a, self.devices.iter().filter(|d| d.attribute() == a).count()))
+            .collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a DeviceRegistry {
+    type Item = &'a Device;
+    type IntoIter = std::slice::Iter<'a, Device>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.devices.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DeviceRegistry {
+        let mut reg = DeviceRegistry::new();
+        reg.add("PE_kitchen", Attribute::PresenceSensor, Room::new("kitchen"))
+            .unwrap();
+        reg.add("P_stove", Attribute::PowerSensor, Room::new("kitchen"))
+            .unwrap();
+        reg.add("B_living", Attribute::BrightnessSensor, Room::new("living"))
+            .unwrap();
+        reg
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let reg = sample();
+        let ids: Vec<usize> = reg.ids().map(|i| i.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut reg = sample();
+        let err = reg
+            .add("P_stove", Attribute::PowerSensor, Room::new("kitchen"))
+            .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateDevice { .. }));
+    }
+
+    #[test]
+    fn lookup_by_name_and_room() {
+        let reg = sample();
+        let stove = reg.require("P_stove").unwrap();
+        assert_eq!(reg.device(stove).room().name(), "kitchen");
+        assert_eq!(reg.ids_in_room(&Room::new("kitchen")).len(), 2);
+        assert!(reg.require("nope").is_err());
+        assert!(reg.id_of("nope").is_none());
+    }
+
+    #[test]
+    fn census_matches_registration() {
+        let reg = sample();
+        let census = reg.attribute_census();
+        let presence = census
+            .iter()
+            .find(|(a, _)| *a == Attribute::PresenceSensor)
+            .unwrap();
+        assert_eq!(presence.1, 1);
+        let switches = census.iter().find(|(a, _)| *a == Attribute::Switch).unwrap();
+        assert_eq!(switches.1, 0);
+    }
+
+    #[test]
+    fn ids_with_attribute() {
+        let reg = sample();
+        assert_eq!(reg.ids_with_attribute(Attribute::PowerSensor).len(), 1);
+        assert!(reg.ids_with_attribute(Attribute::Dimmer).is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! System states and the derived state time series of Section III.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BinaryEvent, DeviceId};
+
+/// The whole-home binary state `S^j = (s_1^j, ..., s_n^j)` at one timestamp.
+///
+/// Stored densely, indexed by [`DeviceId`] index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SystemState {
+    values: Vec<bool>,
+}
+
+impl SystemState {
+    /// Creates an all-OFF state for `n` devices.
+    pub fn all_off(n: usize) -> Self {
+        SystemState {
+            values: vec![false; n],
+        }
+    }
+
+    /// Creates a state from explicit per-device values.
+    pub fn from_values(values: Vec<bool>) -> Self {
+        SystemState { values }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the state covers zero devices.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The state of one device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn get(&self, device: DeviceId) -> bool {
+        self.values[device.index()]
+    }
+
+    /// Sets the state of one device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range.
+    pub fn set(&mut self, device: DeviceId, value: bool) {
+        self.values[device.index()] = value;
+    }
+
+    /// Returns a copy with `device` set to `value` (the paper's
+    /// `S^j = (s_1^{j-1}, ..., s_i^j, ..., s_n^{j-1})` update).
+    pub fn with(&self, device: DeviceId, value: bool) -> SystemState {
+        let mut next = self.clone();
+        next.set(device, value);
+        next
+    }
+
+    /// The per-device values.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// The state as an `f64` feature vector (used by the OCSVM baseline).
+    pub fn to_features(&self) -> Vec<f64> {
+        self.values.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
+    }
+
+    /// Number of devices that are ON in this state.
+    pub fn count_on(&self) -> usize {
+        self.values.iter().filter(|&&b| b).count()
+    }
+}
+
+impl fmt::Display for SystemState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &v in &self.values {
+            f.write_str(if v { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+/// The time series `(S^0, ..., S^m)` derived from an initial state and a
+/// sequence of binary events (Section III).
+///
+/// `StateSeries` owns `m + 1` states: index `0` is the initial state and
+/// index `j` is the state *after* applying event `e^j` (1-based in the
+/// paper's notation, so `series.state(j)` is `S^j`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateSeries {
+    states: Vec<SystemState>,
+    events: Vec<BinaryEvent>,
+}
+
+impl StateSeries {
+    /// Derives the series from an initial state and time-ordered events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event references a device outside the initial state.
+    pub fn derive(initial: SystemState, events: Vec<BinaryEvent>) -> Self {
+        let mut states = Vec::with_capacity(events.len() + 1);
+        states.push(initial);
+        for event in &events {
+            let prev = states.last().expect("states never empty");
+            states.push(prev.with(event.device, event.value));
+        }
+        StateSeries { states, events }
+    }
+
+    /// Number of events `m` in the series.
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of devices `n`.
+    pub fn num_devices(&self) -> usize {
+        self.states[0].len()
+    }
+
+    /// The state `S^j` (`j = 0` is the initial state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j > m`.
+    pub fn state(&self, j: usize) -> &SystemState {
+        &self.states[j]
+    }
+
+    /// All `m + 1` states.
+    pub fn states(&self) -> &[SystemState] {
+        &self.states
+    }
+
+    /// The event `e^j` for `j` in `1..=m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is `0` or greater than `m`.
+    pub fn event(&self, j: usize) -> &BinaryEvent {
+        assert!(j >= 1, "events are 1-based (e^1 ... e^m)");
+        &self.events[j - 1]
+    }
+
+    /// The events, in order (`events()[j]` is `e^{j+1}`).
+    pub fn events(&self) -> &[BinaryEvent] {
+        &self.events
+    }
+
+    /// The value of device `k` at lag `l` relative to timestamp `j`,
+    /// i.e. `s_k^{j-l}` — the snapshot lookup used by the miner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l > j` or indices are out of range.
+    pub fn lagged(&self, j: usize, device: DeviceId, lag: usize) -> bool {
+        assert!(lag <= j, "lag {lag} exceeds timestamp {j}");
+        self.states[j - lag].get(device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Timestamp;
+
+    fn bev(secs: u64, dev: usize, on: bool) -> BinaryEvent {
+        BinaryEvent::new(Timestamp::from_secs(secs), DeviceId::from_index(dev), on)
+    }
+
+    #[test]
+    fn derivation_follows_section_three() {
+        // 3 devices, initial all off; events flip device 1 on, then 2 on,
+        // then 1 off.
+        let events = vec![bev(1, 1, true), bev(2, 2, true), bev(3, 1, false)];
+        let series = StateSeries::derive(SystemState::all_off(3), events);
+        assert_eq!(series.num_events(), 3);
+        assert_eq!(series.state(0).to_string(), "000");
+        assert_eq!(series.state(1).to_string(), "010");
+        assert_eq!(series.state(2).to_string(), "011");
+        assert_eq!(series.state(3).to_string(), "001");
+    }
+
+    #[test]
+    fn only_reporting_device_changes() {
+        let events = vec![bev(1, 0, true)];
+        let series = StateSeries::derive(SystemState::all_off(2), events);
+        assert!(series.state(1).get(DeviceId::from_index(0)));
+        assert!(!series.state(1).get(DeviceId::from_index(1)));
+    }
+
+    #[test]
+    fn lagged_lookup() {
+        let events = vec![bev(1, 0, true), bev(2, 1, true)];
+        let series = StateSeries::derive(SystemState::all_off(2), events);
+        // s_0^{2-1} = s_0^1 = true
+        assert!(series.lagged(2, DeviceId::from_index(0), 1));
+        // s_1^{2-2} = s_1^0 = false
+        assert!(!series.lagged(2, DeviceId::from_index(1), 2));
+        // s_1^{2-0} = true
+        assert!(series.lagged(2, DeviceId::from_index(1), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "lag")]
+    fn lagged_panics_past_origin() {
+        let series = StateSeries::derive(SystemState::all_off(1), vec![bev(1, 0, true)]);
+        series.lagged(0, DeviceId::from_index(0), 1);
+    }
+
+    #[test]
+    fn event_accessor_is_one_based() {
+        let events = vec![bev(1, 0, true), bev(2, 0, false)];
+        let series = StateSeries::derive(SystemState::all_off(1), events);
+        assert!(series.event(1).value);
+        assert!(!series.event(2).value);
+    }
+
+    #[test]
+    fn system_state_helpers() {
+        let mut s = SystemState::all_off(3);
+        s.set(DeviceId::from_index(2), true);
+        assert_eq!(s.count_on(), 1);
+        assert_eq!(s.to_features(), vec![0.0, 0.0, 1.0]);
+        let s2 = s.with(DeviceId::from_index(0), true);
+        assert_eq!(s2.count_on(), 2);
+        assert_eq!(s.count_on(), 1, "with() must not mutate the original");
+    }
+}

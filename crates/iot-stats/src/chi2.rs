@@ -1,0 +1,96 @@
+//! The χ² distribution: CDF and survival function.
+//!
+//! The G² statistic is asymptotically χ²-distributed under the null
+//! hypothesis of conditional independence, so the p-value of a G² test is
+//! the χ² upper-tail probability at the observed statistic.
+
+use crate::gamma::{regularized_gamma_p, regularized_gamma_q};
+
+/// χ² cumulative distribution function with `dof` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `dof == 0` or `x < 0`.
+///
+/// # Example
+///
+/// ```
+/// // Median of chi2(2) is 2 ln 2.
+/// let median = 2.0 * 2f64.ln();
+/// assert!((iot_stats::chi2::chi2_cdf(median, 2) - 0.5).abs() < 1e-12);
+/// ```
+pub fn chi2_cdf(x: f64, dof: u64) -> f64 {
+    assert!(dof > 0, "chi-square needs dof >= 1");
+    assert!(x >= 0.0, "chi-square is supported on x >= 0");
+    regularized_gamma_p(dof as f64 / 2.0, x / 2.0)
+}
+
+/// χ² survival function `P(X ≥ x)` — the p-value of a χ²-distributed test
+/// statistic.
+///
+/// Computed via the upper incomplete gamma directly, so tiny p-values keep
+/// full relative precision.
+///
+/// # Panics
+///
+/// Panics if `dof == 0` or `x < 0`.
+pub fn chi2_sf(x: f64, dof: u64) -> f64 {
+    assert!(dof > 0, "chi-square needs dof >= 1");
+    assert!(x >= 0.0, "chi-square is supported on x >= 0");
+    regularized_gamma_q(dof as f64 / 2.0, x / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference quantiles from standard χ² tables.
+    #[test]
+    fn matches_reference_tables() {
+        // (x, dof, upper tail)
+        let cases = [
+            (3.841, 1, 0.05),
+            (6.635, 1, 0.01),
+            (10.828, 1, 0.001),
+            (5.991, 2, 0.05),
+            (9.210, 2, 0.01),
+            (7.815, 3, 0.05),
+            (18.307, 10, 0.05),
+        ];
+        for (x, dof, tail) in cases {
+            let sf = chi2_sf(x, dof);
+            assert!(
+                (sf - tail).abs() < 2e-4,
+                "sf({x}, {dof}) = {sf}, expected ~{tail}"
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_sf_complement() {
+        for dof in [1u64, 2, 5, 20] {
+            for &x in &[0.0, 0.5, 3.0, 15.0, 60.0] {
+                assert!((chi2_cdf(x, dof) + chi2_sf(x, dof) - 1.0).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn chi2_one_dof_is_squared_normal() {
+        // P(chi2_1 >= z^2) = 2 * (1 - Phi(z)); spot check z = 1.96.
+        let sf = chi2_sf(1.96f64 * 1.96, 1);
+        assert!((sf - 0.05).abs() < 1e-3);
+    }
+
+    #[test]
+    fn extreme_statistic_gives_tiny_p() {
+        let p = chi2_sf(500.0, 2);
+        assert!(p > 0.0 && p < 1e-100);
+    }
+
+    #[test]
+    #[should_panic(expected = "dof")]
+    fn zero_dof_rejected() {
+        chi2_sf(1.0, 0);
+    }
+}

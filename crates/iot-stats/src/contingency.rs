@@ -1,0 +1,299 @@
+//! Conditioning-stratified 2×2 contingency tables over binary variables.
+//!
+//! The G² conditional-independence test of TemporalPC compares two binary
+//! variables `X` and `Y` within every assignment of a conditioning set `Z`.
+//! Each distinct assignment of `Z` (encoded as an integer `z_code`) gets its
+//! own 2×2 table of joint counts.
+
+/// One 2×2 table of joint counts for a single conditioning stratum.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Table2x2 {
+    counts: [[u64; 2]; 2],
+}
+
+impl Table2x2 {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Table2x2::default()
+    }
+
+    /// Creates a table from explicit counts `[[n00, n01], [n10, n11]]`
+    /// (first index is `x`, second is `y`).
+    pub fn from_counts(counts: [[u64; 2]; 2]) -> Self {
+        Table2x2 { counts }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: bool, y: bool) {
+        self.counts[x as usize][y as usize] += 1;
+    }
+
+    /// The joint count `N(x, y)`.
+    pub fn count(&self, x: bool, y: bool) -> u64 {
+        self.counts[x as usize][y as usize]
+    }
+
+    /// Row margin `N(x, ·)`.
+    pub fn row_margin(&self, x: bool) -> u64 {
+        self.counts[x as usize][0] + self.counts[x as usize][1]
+    }
+
+    /// Column margin `N(·, y)`.
+    pub fn col_margin(&self, y: bool) -> u64 {
+        self.counts[0][y as usize] + self.counts[1][y as usize]
+    }
+
+    /// Total number of observations in the stratum.
+    pub fn total(&self) -> u64 {
+        self.counts[0][0] + self.counts[0][1] + self.counts[1][0] + self.counts[1][1]
+    }
+
+    /// Whether both variables actually vary in this stratum (all four
+    /// margins positive). Degenerate strata contribute neither to the G²
+    /// statistic nor to the degrees of freedom.
+    pub fn is_informative(&self) -> bool {
+        self.total() > 0
+            && self.row_margin(false) > 0
+            && self.row_margin(true) > 0
+            && self.col_margin(false) > 0
+            && self.col_margin(true) > 0
+    }
+
+    /// This stratum's contribution to Pearson's χ² statistic:
+    /// `Σ_xy (N(x,y) − E(x,y))² / E(x,y)` with `E = N(x,·)·N(·,y)/N`.
+    ///
+    /// An alternative to [`Table2x2::g_statistic`]; both are asymptotically
+    /// χ²-distributed under the independence null. Pearson's variant is
+    /// less sensitive to tiny expected counts in one direction and is the
+    /// classical choice in many PC implementations.
+    pub fn chi2_statistic(&self) -> f64 {
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let mut x2 = 0.0;
+        for x in [false, true] {
+            for y in [false, true] {
+                let expected = self.row_margin(x) as f64 * self.col_margin(y) as f64 / total;
+                if expected > 0.0 {
+                    let diff = self.count(x, y) as f64 - expected;
+                    x2 += diff * diff / expected;
+                }
+            }
+        }
+        x2
+    }
+
+    /// This stratum's contribution to the G² statistic:
+    /// `2 Σ_xy N(x,y) ln( N(x,y)·N / (N(x,·)·N(·,y)) )`.
+    ///
+    /// Cells with zero observed count contribute zero (the `N ln N` limit).
+    pub fn g_statistic(&self) -> f64 {
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let mut g = 0.0;
+        for x in [false, true] {
+            for y in [false, true] {
+                let n = self.count(x, y) as f64;
+                if n == 0.0 {
+                    continue;
+                }
+                let expected = self.row_margin(x) as f64 * self.col_margin(y) as f64 / total;
+                g += n * (n / expected).ln();
+            }
+        }
+        2.0 * g
+    }
+}
+
+/// A family of 2×2 tables, one per conditioning-set assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StratifiedTable {
+    strata: Vec<Table2x2>,
+}
+
+impl StratifiedTable {
+    /// Creates a table family with `num_strata` strata (use
+    /// `2^|Z|` for a binary conditioning set of size `|Z|`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_strata == 0`.
+    pub fn new(num_strata: usize) -> Self {
+        assert!(num_strata > 0, "need at least one stratum");
+        StratifiedTable {
+            strata: vec![Table2x2::new(); num_strata],
+        }
+    }
+
+    /// Builds the family from pre-computed strata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strata` is empty.
+    pub fn from_strata(strata: Vec<Table2x2>) -> Self {
+        assert!(!strata.is_empty(), "need at least one stratum");
+        StratifiedTable { strata }
+    }
+
+    /// Records one observation in stratum `z_code`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z_code` is out of range.
+    pub fn record(&mut self, x: bool, y: bool, z_code: usize) {
+        self.strata[z_code].record(x, y);
+    }
+
+    /// Number of strata.
+    pub fn num_strata(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Read access to one stratum.
+    pub fn stratum(&self, z_code: usize) -> &Table2x2 {
+        &self.strata[z_code]
+    }
+
+    /// Total observations across all strata.
+    pub fn total(&self) -> u64 {
+        self.strata.iter().map(Table2x2::total).sum()
+    }
+
+    /// The G² statistic summed over strata and the *effective* degrees of
+    /// freedom: each informative stratum contributes
+    /// `(|X|−1)(|Y|−1) = 1` dof; degenerate strata contribute none. This is
+    /// the standard dof adjustment for sparse discrete CI testing.
+    pub fn g_statistic_and_dof(&self) -> (f64, u64) {
+        let mut g = 0.0;
+        let mut dof = 0;
+        for stratum in &self.strata {
+            if stratum.is_informative() {
+                g += stratum.g_statistic();
+                dof += 1;
+            }
+        }
+        (g, dof)
+    }
+
+    /// Pearson's χ² statistic summed over informative strata, with the
+    /// same effective-dof accounting as
+    /// [`StratifiedTable::g_statistic_and_dof`].
+    pub fn chi2_statistic_and_dof(&self) -> (f64, u64) {
+        let mut x2 = 0.0;
+        let mut dof = 0;
+        for stratum in &self.strata {
+            if stratum.is_informative() {
+                x2 += stratum.chi2_statistic();
+                dof += 1;
+            }
+        }
+        (x2, dof)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn margins_and_totals() {
+        let mut t = Table2x2::new();
+        t.record(false, false);
+        t.record(false, true);
+        t.record(true, true);
+        t.record(true, true);
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.row_margin(false), 2);
+        assert_eq!(t.row_margin(true), 2);
+        assert_eq!(t.col_margin(true), 3);
+        assert_eq!(t.count(true, true), 2);
+    }
+
+    #[test]
+    fn independence_gives_zero_g() {
+        // Perfectly proportional table: G = 0.
+        let t = Table2x2::from_counts([[10, 20], [20, 40]]);
+        assert!(t.g_statistic().abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_dependence_gives_large_g() {
+        let t = Table2x2::from_counts([[50, 0], [0, 50]]);
+        // G = 2 * 100 * ln 2 for a perfectly diagonal table.
+        let expected = 2.0 * 100.0 * 2f64.ln();
+        assert!((t.g_statistic() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_strata_excluded_from_dof() {
+        let mut st = StratifiedTable::new(2);
+        // Stratum 0: informative.
+        st.record(false, false, 0);
+        st.record(false, true, 0);
+        st.record(true, false, 0);
+        st.record(true, true, 0);
+        // Stratum 1: x never varies -> degenerate.
+        st.record(true, false, 1);
+        st.record(true, true, 1);
+        let (_, dof) = st.g_statistic_and_dof();
+        assert_eq!(dof, 1);
+        assert!(!st.stratum(1).is_informative());
+        assert!(st.stratum(0).is_informative());
+    }
+
+    #[test]
+    fn empty_table_is_harmless() {
+        let t = Table2x2::new();
+        assert_eq!(t.g_statistic(), 0.0);
+        assert!(!t.is_informative());
+        let st = StratifiedTable::new(4);
+        let (g, dof) = st.g_statistic_and_dof();
+        assert_eq!(g, 0.0);
+        assert_eq!(dof, 0);
+        assert_eq!(st.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stratum")]
+    fn zero_strata_rejected() {
+        StratifiedTable::new(0);
+    }
+
+    #[test]
+    fn pearson_agrees_with_g_on_independence_and_dependence() {
+        let independent = Table2x2::from_counts([[10, 20], [20, 40]]);
+        assert!(independent.chi2_statistic().abs() < 1e-9);
+        let dependent = Table2x2::from_counts([[50, 5], [5, 50]]);
+        assert!(dependent.chi2_statistic() > 30.0);
+        assert!(dependent.g_statistic() > 30.0);
+    }
+
+    #[test]
+    fn pearson_textbook_value() {
+        // Classic 2x2: chi2 = N (ad - bc)^2 / (r1 r2 c1 c2).
+        let t = Table2x2::from_counts([[10, 20], [30, 40]]);
+        let n = 100.0f64;
+        let expected = n * (10.0 * 40.0 - 20.0 * 30.0f64).powi(2)
+            / (30.0 * 70.0 * 40.0 * 60.0);
+        assert!((t.chi2_statistic() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stratified_pearson_dof_matches_g() {
+        let mut st = StratifiedTable::new(2);
+        for _ in 0..5 {
+            st.record(false, false, 0);
+            st.record(true, true, 0);
+            st.record(false, true, 0);
+            st.record(true, false, 0);
+        }
+        st.record(true, true, 1); // degenerate stratum
+        let (_, dof_g) = st.g_statistic_and_dof();
+        let (_, dof_x2) = st.chi2_statistic_and_dof();
+        assert_eq!(dof_g, dof_x2);
+        assert_eq!(dof_g, 1);
+    }
+}

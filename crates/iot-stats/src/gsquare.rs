@@ -1,0 +1,263 @@
+//! The G² conditional-independence test (Section V-B of the paper).
+//!
+//! To decide whether binary variables `X ⫫ Y | Z`, the test computes
+//! `G² = 2 Σ N ln(N/E)` over a contingency table stratified by the
+//! assignments of `Z`, and compares it against a χ² distribution with
+//! `(|X|−1)(|Y|−1)·Π|Z_i|` degrees of freedom (adjusted downward for
+//! degenerate strata). TemporalPC removes an edge when the p-value exceeds
+//! its significance threshold `α` — i.e. when the data is *consistent with*
+//! the null hypothesis of conditional independence.
+
+use serde::{Deserialize, Serialize};
+
+use crate::chi2::chi2_sf;
+use crate::contingency::StratifiedTable;
+
+/// One observation for a CI test: values of `X`, `Y`, and the packed
+/// assignment of the conditioning set `Z` (bit `i` of `z_code` is the value
+/// of the `i`-th conditioning variable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// Value of the candidate cause.
+    pub x: bool,
+    /// Value of the outcome.
+    pub y: bool,
+    /// Packed binary assignment of the conditioning set.
+    pub z_code: usize,
+}
+
+/// The outcome of a G² test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GSquareResult {
+    /// The G² statistic (non-negative).
+    pub statistic: f64,
+    /// Effective degrees of freedom after dropping degenerate strata.
+    pub dof: u64,
+    /// Upper-tail χ² probability of the statistic. By convention `1.0`
+    /// when no stratum was informative (no evidence of dependence).
+    pub p_value: f64,
+    /// Number of observations consumed.
+    pub n: u64,
+}
+
+impl GSquareResult {
+    /// Whether the null hypothesis `X ⫫ Y | Z` is *retained* at
+    /// significance level `alpha` (i.e. the variables look independent and
+    /// TemporalPC should remove the edge).
+    pub fn independent_at(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Runs the G² test over a stream of observations.
+///
+/// `num_conditioning` is `|Z|`; the stratified table allocates `2^|Z|`
+/// strata, so keep conditioning sets small (TemporalPC grows them one
+/// variable at a time and homes usually have limited interaction degree,
+/// Section V-D).
+///
+/// # Panics
+///
+/// Panics if `num_conditioning >= usize::BITS as usize` (absurdly large
+/// conditioning sets) or an observation's `z_code` does not fit.
+///
+/// # Example
+///
+/// ```
+/// use iot_stats::gsquare::{g_square_test, Observation};
+///
+/// // Y = Z, X independent of both: conditioning on Z exposes independence.
+/// let obs: Vec<Observation> = (0..400).map(|i| {
+///     let z = (i / 2) % 2 == 0;
+///     Observation { x: i % 2 == 0, y: z, z_code: z as usize }
+/// }).collect();
+/// let r = g_square_test(obs.iter().copied(), 1);
+/// assert!(r.independent_at(0.001));
+/// ```
+pub fn g_square_test(
+    observations: impl IntoIterator<Item = Observation>,
+    num_conditioning: usize,
+) -> GSquareResult {
+    assert!(
+        num_conditioning < usize::BITS as usize,
+        "conditioning set too large"
+    );
+    let num_strata = 1usize << num_conditioning;
+    let mut table = StratifiedTable::new(num_strata);
+    let mut n = 0u64;
+    for obs in observations {
+        assert!(
+            obs.z_code < num_strata,
+            "z_code {} out of range for |Z| = {num_conditioning}",
+            obs.z_code
+        );
+        table.record(obs.x, obs.y, obs.z_code);
+        n += 1;
+    }
+    let (statistic, dof) = table.g_statistic_and_dof();
+    let p_value = if dof == 0 {
+        1.0
+    } else {
+        chi2_sf(statistic, dof)
+    };
+    GSquareResult {
+        statistic,
+        dof,
+        p_value,
+        n,
+    }
+}
+
+/// Which conditional-independence statistic to use (the paper's
+/// constraint-based framework "can encode various independence test
+/// methods"; Section VII-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CiTestKind {
+    /// The likelihood-ratio G² statistic (the paper's choice).
+    #[default]
+    GSquare,
+    /// Pearson's χ² statistic.
+    PearsonChi2,
+}
+
+/// Computes a CI-test result from an already-populated stratified table
+/// using the chosen statistic.
+pub fn ci_test_from_table(table: &StratifiedTable, kind: CiTestKind) -> GSquareResult {
+    let (statistic, dof) = match kind {
+        CiTestKind::GSquare => table.g_statistic_and_dof(),
+        CiTestKind::PearsonChi2 => table.chi2_statistic_and_dof(),
+    };
+    let p_value = if dof == 0 {
+        1.0
+    } else {
+        chi2_sf(statistic, dof)
+    };
+    GSquareResult {
+        statistic,
+        dof,
+        p_value,
+        n: table.total(),
+    }
+}
+
+/// Computes a [`GSquareResult`] from an already-populated stratified
+/// contingency table.
+///
+/// This is the fast path used by TemporalPC, which fills tables with
+/// bit-parallel popcounts instead of streaming observations one at a time.
+pub fn g_square_from_table(table: &StratifiedTable) -> GSquareResult {
+    let (statistic, dof) = table.g_statistic_and_dof();
+    let p_value = if dof == 0 {
+        1.0
+    } else {
+        chi2_sf(statistic, dof)
+    };
+    GSquareResult {
+        statistic,
+        dof,
+        p_value,
+        n: table.total(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(x: bool, y: bool, z: usize) -> Observation {
+        Observation { x, y, z_code: z }
+    }
+
+    #[test]
+    fn detects_marginal_dependence() {
+        let data: Vec<Observation> = (0..300).map(|i| obs(i % 2 == 0, i % 2 == 0, 0)).collect();
+        let r = g_square_test(data, 0);
+        assert!(r.p_value < 1e-10);
+        assert!(!r.independent_at(0.001));
+        assert_eq!(r.n, 300);
+    }
+
+    #[test]
+    fn retains_null_for_independent_noise() {
+        // Deterministic interleaving: x cycles with period 2, y with period 4
+        // -> exactly balanced joint counts, G = 0.
+        let data: Vec<Observation> = (0..400)
+            .map(|i| obs(i % 2 == 0, (i / 2) % 2 == 0, 0))
+            .collect();
+        let r = g_square_test(data, 0);
+        assert!(r.statistic.abs() < 1e-9);
+        assert!(r.independent_at(0.001));
+    }
+
+    #[test]
+    fn conditioning_explains_away_chain_dependence() {
+        // X -> Z -> Y deterministic chain: marginally dependent,
+        // conditionally independent given Z.
+        let mut data_marginal = Vec::new();
+        let mut data_conditional = Vec::new();
+        for i in 0..800 {
+            let x = i % 2 == 0;
+            let z = x; // Z copies X
+            let y = z; // Y copies Z
+            data_marginal.push(obs(x, y, 0));
+            data_conditional.push(obs(x, y, z as usize));
+        }
+        let marginal = g_square_test(data_marginal, 0);
+        assert!(!marginal.independent_at(0.001), "marginally dependent");
+        let conditional = g_square_test(data_conditional, 1);
+        assert!(
+            conditional.independent_at(0.001),
+            "conditioning on Z must remove dependence (p = {})",
+            conditional.p_value
+        );
+    }
+
+    #[test]
+    fn empty_input_is_vacuously_independent() {
+        let r = g_square_test(std::iter::empty(), 1);
+        assert_eq!(r.p_value, 1.0);
+        assert_eq!(r.dof, 0);
+        assert_eq!(r.n, 0);
+    }
+
+    #[test]
+    fn noisy_dependence_still_detected() {
+        // y = x with 10% deterministic flips.
+        let data: Vec<Observation> = (0..1000)
+            .map(|i| {
+                let x = i % 2 == 0;
+                let y = if i % 10 == 0 { !x } else { x };
+                obs(x, y, 0)
+            })
+            .collect();
+        let r = g_square_test(data, 0);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "z_code")]
+    fn z_code_out_of_range_panics() {
+        g_square_test([obs(true, true, 2)], 1);
+    }
+
+    #[test]
+    fn pearson_and_g_reach_the_same_verdicts() {
+        use crate::contingency::StratifiedTable;
+        // Strong dependence.
+        let mut dep = StratifiedTable::new(1);
+        for i in 0..200 {
+            dep.record(i % 2 == 0, i % 2 == 0, 0);
+        }
+        let g = ci_test_from_table(&dep, CiTestKind::GSquare);
+        let x2 = ci_test_from_table(&dep, CiTestKind::PearsonChi2);
+        assert!(!g.independent_at(0.001) && !x2.independent_at(0.001));
+        // Exact independence.
+        let mut ind = StratifiedTable::new(1);
+        for i in 0..400u32 {
+            ind.record(i % 2 == 0, (i / 2) % 2 == 0, 0);
+        }
+        let g = ci_test_from_table(&ind, CiTestKind::GSquare);
+        let x2 = ci_test_from_table(&ind, CiTestKind::PearsonChi2);
+        assert!(g.independent_at(0.001) && x2.independent_at(0.001));
+    }
+}

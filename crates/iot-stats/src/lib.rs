@@ -1,0 +1,44 @@
+//! Statistical substrate for the CausalIoT reproduction.
+//!
+//! The paper's pipeline leans on a handful of classical statistical tools,
+//! all implemented here from scratch:
+//!
+//! * [`gamma`] — log-gamma and the regularised incomplete gamma function,
+//!   the numerical bedrock for χ² tail probabilities,
+//! * [`chi2`] — the χ² distribution (CDF / survival function),
+//! * [`contingency`] — conditioning-stratified 2×2 contingency tables over
+//!   binary variables,
+//! * [`gsquare`] — the G² conditional-independence test used by TemporalPC
+//!   (Section V-B),
+//! * [`jenks`] — Jenks natural-breaks discretisation for ambient numeric
+//!   states (Section V-A),
+//! * [`threesigma`] — the three-sigma extreme-value filter (Section V-A),
+//! * [`percentile`] — percentile estimation for the score-threshold
+//!   calculator (Section V-C),
+//! * [`metrics`] — detection-accuracy metrics (accuracy, precision, recall,
+//!   F1) and collective-chain tracking metrics used across the evaluation.
+//!
+//! # Example: a conditional-independence test
+//!
+//! ```
+//! use iot_stats::gsquare::{g_square_test, Observation};
+//!
+//! // X and Y perfectly correlated: dependence should be detected.
+//! let obs: Vec<Observation> = (0..200)
+//!     .map(|i| Observation { x: i % 2 == 0, y: i % 2 == 0, z_code: 0 })
+//!     .collect();
+//! let result = g_square_test(obs.iter().copied(), 1);
+//! assert!(result.p_value < 0.001);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chi2;
+pub mod contingency;
+pub mod gamma;
+pub mod gsquare;
+pub mod jenks;
+pub mod metrics;
+pub mod percentile;
+pub mod threesigma;

@@ -1,0 +1,280 @@
+//! Detection-accuracy metrics used throughout the evaluation (Section VI).
+//!
+//! * [`ConfusionMatrix`] — accuracy / precision / recall / F1 for point
+//!   detection (Tables III and IV, Figure 5),
+//! * [`ChainOutcome`] / [`ChainStats`] — collective-anomaly metrics
+//!   (% detected, % tracked, average detection length; Table V).
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+
+/// Binary-classification counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// False negatives (missing alarms).
+    pub fn_: u64,
+    /// True negatives.
+    pub tn: u64,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        ConfusionMatrix::default()
+    }
+
+    /// Builds the matrix by comparing alarm positions against injected
+    /// (ground-truth anomalous) positions over a stream of `total`
+    /// positions — the evaluation procedure of Section VI-C ("we first
+    /// compare the injected positions and the alarming positions").
+    pub fn from_positions(
+        injected: &HashSet<usize>,
+        alarms: &HashSet<usize>,
+        total: usize,
+    ) -> Self {
+        let mut m = ConfusionMatrix::new();
+        for pos in 0..total {
+            match (injected.contains(&pos), alarms.contains(&pos)) {
+                (true, true) => m.tp += 1,
+                (false, true) => m.fp += 1,
+                (true, false) => m.fn_ += 1,
+                (false, false) => m.tn += 1,
+            }
+        }
+        m
+    }
+
+    /// Records one prediction.
+    pub fn record(&mut self, actual_anomaly: bool, predicted_anomaly: bool) {
+        match (actual_anomaly, predicted_anomaly) {
+            (true, true) => self.tp += 1,
+            (false, true) => self.fp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total number of classified items.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// `(TP + TN) / total`; `0.0` when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+
+    /// `TP / (TP + FP)`; `0.0` when no positives were predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// `TP / (TP + FN)`; `0.0` when nothing was actually positive.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall; `0.0` when both are zero.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Merges another matrix into this one.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+}
+
+/// The outcome of evaluating one injected collective-anomaly chain against
+/// the detector's reported chains (Section VI-D's two questions).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChainOutcome {
+    /// Ground-truth chain length (contextual trigger + propagation).
+    pub true_len: usize,
+    /// `true` when the detector reported *any subsequence* of the chain
+    /// ("can it detect the existence of abnormal interaction executions?").
+    pub detected: bool,
+    /// `true` when the detector reconstructed the *whole* chain
+    /// ("can it track the whole sequence?").
+    pub tracked: bool,
+    /// Number of the chain's events the detector collected (0 when
+    /// undetected).
+    pub detected_len: usize,
+}
+
+/// Aggregated collective-anomaly metrics — one row of Table V.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChainStats {
+    /// Number of injected chains.
+    pub num_chains: usize,
+    /// Mean ground-truth chain length ("Avg. anomaly length").
+    pub avg_anomaly_len: f64,
+    /// Fraction of chains with any detection ("% detected anomalies").
+    pub pct_detected: f64,
+    /// Fraction of chains fully reconstructed ("% tracked anomalies").
+    pub pct_tracked: f64,
+    /// Mean number of chain events collected, over *detected* chains
+    /// ("Avg. detection length").
+    pub avg_detection_len: f64,
+}
+
+impl ChainStats {
+    /// Aggregates per-chain outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` is empty.
+    pub fn aggregate(outcomes: &[ChainOutcome]) -> Self {
+        assert!(!outcomes.is_empty(), "no chain outcomes to aggregate");
+        let n = outcomes.len();
+        let detected: Vec<&ChainOutcome> = outcomes.iter().filter(|o| o.detected).collect();
+        let avg_detection_len = if detected.is_empty() {
+            0.0
+        } else {
+            detected.iter().map(|o| o.detected_len as f64).sum::<f64>() / detected.len() as f64
+        };
+        ChainStats {
+            num_chains: n,
+            avg_anomaly_len: outcomes.iter().map(|o| o.true_len as f64).sum::<f64>() / n as f64,
+            pct_detected: detected.len() as f64 / n as f64,
+            pct_tracked: outcomes.iter().filter(|o| o.tracked).count() as f64 / n as f64,
+            avg_detection_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detector() {
+        let injected: HashSet<usize> = [1, 5, 9].into_iter().collect();
+        let m = ConfusionMatrix::from_positions(&injected, &injected, 10);
+        assert_eq!(m.tp, 3);
+        assert_eq!(m.fp, 0);
+        assert_eq!(m.fn_, 0);
+        assert_eq!(m.tn, 7);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn partial_detector() {
+        let injected: HashSet<usize> = [0, 1, 2, 3].into_iter().collect();
+        let alarms: HashSet<usize> = [0, 1, 8].into_iter().collect();
+        let m = ConfusionMatrix::from_positions(&injected, &alarms, 10);
+        assert_eq!(m.tp, 2);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.fn_, 2);
+        assert_eq!(m.tn, 5);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 0.5).abs() < 1e-12);
+        let f1 = 2.0 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5);
+        assert!((m.f1() - f1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_matrices_do_not_divide_by_zero() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionMatrix {
+            tp: 1,
+            fp: 2,
+            fn_: 3,
+            tn: 4,
+        };
+        a.merge(&ConfusionMatrix {
+            tp: 10,
+            fp: 20,
+            fn_: 30,
+            tn: 40,
+        });
+        assert_eq!(a.total(), 110);
+        assert_eq!(a.tp, 11);
+    }
+
+    #[test]
+    fn record_routes_to_cells() {
+        let mut m = ConfusionMatrix::new();
+        m.record(true, true);
+        m.record(true, false);
+        m.record(false, true);
+        m.record(false, false);
+        assert_eq!((m.tp, m.fn_, m.fp, m.tn), (1, 1, 1, 1));
+    }
+
+    #[test]
+    fn chain_stats_match_table_five_semantics() {
+        let outcomes = vec![
+            ChainOutcome {
+                true_len: 3,
+                detected: true,
+                tracked: true,
+                detected_len: 3,
+            },
+            ChainOutcome {
+                true_len: 3,
+                detected: true,
+                tracked: false,
+                detected_len: 2,
+            },
+            ChainOutcome {
+                true_len: 2,
+                detected: false,
+                tracked: false,
+                detected_len: 0,
+            },
+        ];
+        let stats = ChainStats::aggregate(&outcomes);
+        assert_eq!(stats.num_chains, 3);
+        assert!((stats.avg_anomaly_len - 8.0 / 3.0).abs() < 1e-12);
+        assert!((stats.pct_detected - 2.0 / 3.0).abs() < 1e-12);
+        assert!((stats.pct_tracked - 1.0 / 3.0).abs() < 1e-12);
+        assert!((stats.avg_detection_len - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no chain outcomes")]
+    fn empty_chain_aggregate_panics() {
+        ChainStats::aggregate(&[]);
+    }
+}

@@ -1,0 +1,104 @@
+//! Percentile estimation for the score-threshold calculator (Section V-C).
+//!
+//! The Event Monitor ranks the anomaly scores of all logged (training)
+//! events and picks the q-th percentile as the contextual-anomaly threshold
+//! `c`; `q` encodes the confidence that the training log is anomaly-free
+//! (the paper uses `q = 99`).
+
+/// Computes the `q`-th percentile of `values` with linear interpolation
+/// between order statistics (the common "type 7" estimator).
+///
+/// `q` is in percent, `0.0 ..= 100.0`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty, `q` is outside `[0, 100]`, or any value is
+/// NaN.
+///
+/// # Example
+///
+/// ```
+/// let scores = vec![0.1, 0.2, 0.3, 0.4];
+/// assert_eq!(iot_stats::percentile::percentile(&scores, 50.0), 0.25);
+/// assert_eq!(iot_stats::percentile::percentile(&scores, 100.0), 0.4);
+/// ```
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=100.0).contains(&q), "q must be in [0, 100]");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+    percentile_of_sorted(&sorted, q)
+}
+
+/// Like [`percentile`] but assumes `sorted` is already ascending
+/// (unchecked; results are meaningless otherwise).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 100]`.
+pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!((0.0..=100.0).contains(&q), "q must be in [0, 100]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 3.0);
+        assert_eq!(percentile(&v, 50.0), 2.0);
+    }
+
+    #[test]
+    fn interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(percentile(&v, 25.0), 2.5);
+        assert_eq!(percentile(&v, 75.0), 7.5);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(percentile(&[5.0], 37.0), 5.0);
+    }
+
+    #[test]
+    fn q99_on_large_sample() {
+        let v: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let p = percentile(&v, 99.0);
+        assert!((p - 989.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_internally() {
+        let v = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(percentile(&v, 50.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be")]
+    fn out_of_range_q_panics() {
+        percentile(&[1.0], 101.0);
+    }
+}

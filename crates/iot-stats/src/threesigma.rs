@@ -1,0 +1,159 @@
+//! The three-sigma extreme-value rule (Section V-A, "Event sanitation").
+//!
+//! The preprocessor estimates a numeric device's mean `μ` and standard
+//! deviation `σ` and filters readings outside `[μ − 3σ, μ + 3σ]` as extreme
+//! values.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats::default()
+    }
+
+    /// Feeds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (`0.0` when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (`0.0` with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut stats = RunningStats::new();
+        for x in iter {
+            stats.push(x);
+        }
+        stats
+    }
+}
+
+/// A fitted three-sigma band `[μ − 3σ, μ + 3σ]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreeSigmaBand {
+    lo: f64,
+    hi: f64,
+}
+
+impl ThreeSigmaBand {
+    /// Fits the band on a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty.
+    pub fn fit(values: impl IntoIterator<Item = f64>) -> Self {
+        let stats: RunningStats = values.into_iter().collect();
+        assert!(stats.count() > 0, "cannot fit a band on an empty sample");
+        ThreeSigmaBand::from_stats(&stats)
+    }
+
+    /// Builds the band from an already-computed accumulator.
+    pub fn from_stats(stats: &RunningStats) -> Self {
+        let sigma = stats.std_dev();
+        ThreeSigmaBand {
+            lo: stats.mean() - 3.0 * sigma,
+            hi: stats.mean() + 3.0 * sigma,
+        }
+    }
+
+    /// Lower bound `μ − 3σ`.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound `μ + 3σ`.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Whether a reading violates the three-sigma rule (is an extreme value
+    /// the sanitiser should drop).
+    pub fn is_extreme(&self, value: f64) -> bool {
+        value < self.lo || value > self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let stats: RunningStats = data.iter().copied().collect();
+        assert_eq!(stats.count(), 8);
+        assert!((stats.mean() - 5.0).abs() < 1e-12);
+        assert!((stats.variance() - 4.0).abs() < 1e-12);
+        assert!((stats.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_sample() {
+        let stats = RunningStats::new();
+        assert_eq!(stats.mean(), 0.0);
+        assert_eq!(stats.variance(), 0.0);
+        let one: RunningStats = [3.5].into_iter().collect();
+        assert_eq!(one.mean(), 3.5);
+        assert_eq!(one.variance(), 0.0);
+    }
+
+    #[test]
+    fn band_flags_extremes() {
+        // Mean 5, sigma 2 -> band [-1, 11].
+        let band = ThreeSigmaBand::fit([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((band.lo() - -1.0).abs() < 1e-9);
+        assert!((band.hi() - 11.0).abs() < 1e-9);
+        assert!(band.is_extreme(12.0));
+        assert!(band.is_extreme(-2.0));
+        assert!(!band.is_extreme(11.0));
+        assert!(!band.is_extreme(5.0));
+    }
+
+    #[test]
+    fn constant_data_gives_point_band() {
+        let band = ThreeSigmaBand::fit([7.0, 7.0, 7.0]);
+        assert!(!band.is_extreme(7.0));
+        assert!(band.is_extreme(7.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_band_panics() {
+        ThreeSigmaBand::fit(std::iter::empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Activities of daily living: what the simulated resident does.
+//!
+//! An activity has a location, a stochastic duration, a time-of-day
+//! preference, and a *device program* — an ordered list of probabilistic
+//! device uses. The program order is what produces the paper's
+//! *Use-after-Use* interactions; the location binding produces
+//! *Use-after-Move* (enter room, then use) and *Move-after-Use* (use,
+//! then leave) interactions.
+
+/// Coarse time-of-day buckets used for activity scheduling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DayPeriod {
+    /// 22:00–06:00.
+    Night,
+    /// 06:00–11:00.
+    Morning,
+    /// 11:00–17:00.
+    Afternoon,
+    /// 17:00–22:00.
+    Evening,
+}
+
+impl DayPeriod {
+    /// The bucket containing `t_secs` (seconds since midnight of day 0).
+    pub fn of(t_secs: f64) -> Self {
+        let hour = (t_secs / 3600.0).rem_euclid(24.0);
+        match hour {
+            h if !(6.0..22.0).contains(&h) => DayPeriod::Night,
+            h if h < 11.0 => DayPeriod::Morning,
+            h if h < 17.0 => DayPeriod::Afternoon,
+            _ => DayPeriod::Evening,
+        }
+    }
+
+    /// Index into per-period weight arrays.
+    pub fn index(self) -> usize {
+        match self {
+            DayPeriod::Night => 0,
+            DayPeriod::Morning => 1,
+            DayPeriod::Afternoon => 2,
+            DayPeriod::Evening => 3,
+        }
+    }
+}
+
+/// One probabilistic device use inside an activity program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceUse {
+    /// The device operated (by name; uses referencing devices absent from
+    /// a profile are dropped at profile construction).
+    pub device: String,
+    /// Probability the resident uses the device during the activity.
+    pub prob: f64,
+    /// Seconds after activity start when the device turns on, `(lo, hi)`.
+    pub delay: (f64, f64),
+    /// How long the device stays on, `(lo, hi)` seconds.
+    pub duration: (f64, f64),
+    /// Position in the activity's canonical sequence (drives the
+    /// Use-after-Use ground truth).
+    pub order: usize,
+}
+
+impl DeviceUse {
+    /// Convenience constructor.
+    pub fn new(
+        device: &str,
+        prob: f64,
+        delay: (f64, f64),
+        duration: (f64, f64),
+        order: usize,
+    ) -> Self {
+        DeviceUse {
+            device: device.to_string(),
+            prob,
+            delay,
+            duration,
+            order,
+        }
+    }
+}
+
+/// One activity template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityTemplate {
+    /// Activity name (for logs and ground-truth bookkeeping).
+    pub name: String,
+    /// The room the activity happens in; `None` means the resident leaves
+    /// the home.
+    pub room: Option<String>,
+    /// Activity duration range in seconds, `(lo, hi)`.
+    pub duration: (f64, f64),
+    /// The device program.
+    pub uses: Vec<DeviceUse>,
+    /// Scheduling weight per [`DayPeriod`]
+    /// `[night, morning, afternoon, evening]`; zero disables the activity
+    /// in that period.
+    pub weights: [f64; 4],
+    /// Routine structure: after this activity, the named activity follows
+    /// with the given probability (checked in order; the remaining mass
+    /// falls back to period-weighted sampling). Real daily routines are
+    /// repetitive — cook is followed by eat, sleep-prep by sleep — and
+    /// this is what gives the paper's testbeds their predictable
+    /// interaction executions.
+    pub followups: Vec<(String, f64)>,
+}
+
+impl ActivityTemplate {
+    /// Creates a template.
+    pub fn new(
+        name: &str,
+        room: Option<&str>,
+        duration: (f64, f64),
+        uses: Vec<DeviceUse>,
+        weights: [f64; 4],
+    ) -> Self {
+        ActivityTemplate {
+            name: name.to_string(),
+            room: room.map(str::to_string),
+            duration,
+            uses,
+            weights,
+            followups: Vec::new(),
+        }
+    }
+
+    /// Adds routine followups (builder-style).
+    pub fn with_followups(mut self, followups: &[(&str, f64)]) -> Self {
+        self.followups = followups
+            .iter()
+            .map(|&(name, p)| (name.to_string(), p))
+            .collect();
+        self
+    }
+
+    /// The scheduling weight of this activity in `period`.
+    pub fn weight(&self, period: DayPeriod) -> f64 {
+        self.weights[period.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_period_buckets() {
+        assert_eq!(DayPeriod::of(0.0), DayPeriod::Night);
+        assert_eq!(DayPeriod::of(5.9 * 3600.0), DayPeriod::Night);
+        assert_eq!(DayPeriod::of(6.0 * 3600.0), DayPeriod::Morning);
+        assert_eq!(DayPeriod::of(12.0 * 3600.0), DayPeriod::Afternoon);
+        assert_eq!(DayPeriod::of(18.0 * 3600.0), DayPeriod::Evening);
+        assert_eq!(DayPeriod::of(22.5 * 3600.0), DayPeriod::Night);
+        // Wraps across days.
+        assert_eq!(DayPeriod::of((24.0 + 12.0) * 3600.0), DayPeriod::Afternoon);
+    }
+
+    #[test]
+    fn weights_index_by_period() {
+        let act = ActivityTemplate::new(
+            "cook",
+            Some("kitchen"),
+            (600.0, 1800.0),
+            vec![DeviceUse::new("P_stove", 0.8, (30.0, 120.0), (600.0, 1500.0), 0)],
+            [0.0, 3.0, 1.0, 4.0],
+        );
+        assert_eq!(act.weight(DayPeriod::Night), 0.0);
+        assert_eq!(act.weight(DayPeriod::Morning), 3.0);
+        assert_eq!(act.weight(DayPeriod::Evening), 4.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Virtual exogenous-context augmentation.
+//!
+//! The paper traces its mining false positives to *unmeasured
+//! environmental factors* — "these factors can be the common cause of the
+//! brightness sensors in different rooms. However, the testbed did not
+//! measure them, and the interaction graph did not consider them"
+//! (Section VI-B) — and defers solutions to its technical report. The
+//! natural fix is to measure them: this module injects **virtual clock
+//! devices** (daylight and midday indicators) into an event stream so
+//! TemporalPC can condition on the shared environmental context and
+//! explain the cross-room brightness correlations away.
+
+use iot_model::{Attribute, BinaryEvent, DeviceRegistry, Room, Timestamp};
+
+/// The result of augmenting a stream with virtual clock devices.
+#[derive(Debug, Clone)]
+pub struct AugmentedStream {
+    /// The original registry plus the virtual devices.
+    pub registry: DeviceRegistry,
+    /// The merged, time-sorted event stream.
+    pub events: Vec<BinaryEvent>,
+    /// Name of the daylight indicator device.
+    pub daylight_device: String,
+    /// Name of the midday indicator device.
+    pub midday_device: String,
+}
+
+/// Adds two virtual binary devices to a preprocessed stream:
+///
+/// * `VIRT_daylight` — ON between `sunrise_hour` and `sunset_hour`,
+/// * `VIRT_midday` — ON during the middle half of the daylight span,
+///
+/// with one transition event each per boundary crossing. Together they
+/// give the miner a 4-level time-of-day context.
+///
+/// # Panics
+///
+/// Panics if the hours are out of order or outside `0..24`, or if the
+/// virtual device names collide with registered devices.
+pub fn augment_with_daylight(
+    registry: &DeviceRegistry,
+    events: &[BinaryEvent],
+    sunrise_hour: f64,
+    sunset_hour: f64,
+) -> AugmentedStream {
+    assert!(
+        (0.0..24.0).contains(&sunrise_hour)
+            && (0.0..24.0).contains(&sunset_hour)
+            && sunrise_hour < sunset_hour,
+        "invalid daylight span {sunrise_hour}..{sunset_hour}"
+    );
+    let mut augmented = registry.clone();
+    let daylight = augmented
+        .add("VIRT_daylight", Attribute::PresenceSensor, Room::new("outdoor"))
+        .expect("virtual device name is free");
+    let midday = augmented
+        .add("VIRT_midday", Attribute::PresenceSensor, Room::new("outdoor"))
+        .expect("virtual device name is free");
+
+    let span = sunset_hour - sunrise_hour;
+    let midday_start = sunrise_hour + span / 4.0;
+    let midday_end = sunset_hour - span / 4.0;
+
+    let mut merged: Vec<BinaryEvent> = events.to_vec();
+    if let (Some(first), Some(last)) = (events.first(), events.last()) {
+        let first_day = (first.time.as_secs_f64() / 86_400.0).floor() as u64;
+        let last_day = (last.time.as_secs_f64() / 86_400.0).ceil() as u64;
+        for day in first_day..=last_day {
+            let base = day as f64 * 86_400.0;
+            for (device, hour, value) in [
+                (daylight, sunrise_hour, true),
+                (midday, midday_start, true),
+                (midday, midday_end, false),
+                (daylight, sunset_hour, false),
+            ] {
+                merged.push(BinaryEvent::new(
+                    Timestamp::from_secs_f64(base + hour * 3_600.0),
+                    device,
+                    value,
+                ));
+            }
+        }
+    }
+    merged.sort_by_key(|e| e.time);
+    AugmentedStream {
+        registry: augmented,
+        events: merged,
+        daylight_device: "VIRT_daylight".to_string(),
+        midday_device: "VIRT_midday".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::contextact_profile;
+    use iot_model::DeviceId;
+
+    fn sample_events() -> Vec<BinaryEvent> {
+        // Three days of sparse events.
+        (0..30u64)
+            .map(|i| {
+                BinaryEvent::new(
+                    Timestamp::from_secs(i * 8_000),
+                    DeviceId::from_index(0),
+                    i % 2 == 0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn adds_virtual_devices_and_daily_transitions() {
+        let profile = contextact_profile();
+        let events = sample_events();
+        let aug = augment_with_daylight(profile.registry(), &events, 6.0, 20.0);
+        assert_eq!(aug.registry.len(), profile.registry().len() + 2);
+        let daylight = aug.registry.id_of("VIRT_daylight").unwrap();
+        let virt_events: Vec<&BinaryEvent> = aug
+            .events
+            .iter()
+            .filter(|e| e.device == daylight)
+            .collect();
+        // 3-day span (ceil) -> one sunrise and one sunset per covered day.
+        assert!(virt_events.len() >= 6, "got {}", virt_events.len());
+        // Alternating on/off in time order.
+        for pair in virt_events.windows(2) {
+            assert_ne!(pair[0].value, pair[1].value);
+        }
+        // Stream stays sorted and keeps the original events.
+        assert!(aug.events.windows(2).all(|w| w[0].time <= w[1].time));
+        assert_eq!(
+            aug.events.len(),
+            events.len() + virt_events.len() * 2
+        );
+    }
+
+    #[test]
+    fn midday_is_nested_in_daylight() {
+        let profile = contextact_profile();
+        let aug = augment_with_daylight(profile.registry(), &sample_events(), 6.0, 20.0);
+        let daylight = aug.registry.id_of("VIRT_daylight").unwrap();
+        let midday = aug.registry.id_of("VIRT_midday").unwrap();
+        let mut day_on = false;
+        for event in &aug.events {
+            if event.device == daylight {
+                day_on = event.value;
+            }
+            if event.device == midday && event.value {
+                assert!(day_on, "midday cannot start before sunrise");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid daylight span")]
+    fn rejects_inverted_span() {
+        let profile = contextact_profile();
+        augment_with_daylight(profile.registry(), &sample_events(), 20.0, 6.0);
+    }
+}

@@ -1,0 +1,413 @@
+//! Trigger-action automation rules and the paper's rule-injection
+//! procedure (Section VI-A).
+//!
+//! Both evaluation testbeds shipped without automation rules, so the paper
+//! *injects* rule executions into the recorded traces: generate rules with
+//! random trigger/action devices, scan the trace for trigger matches, and
+//! insert the action device's event wherever the action state does not
+//! already hold. Chained rules (the action of one matching the trigger of
+//! another) cascade.
+
+use std::collections::HashMap;
+
+use iot_model::{Attribute, DeviceEvent, DeviceId, EventLog, StateValue, Timestamp, ValueKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::HomeProfile;
+
+/// One trigger-action automation rule, with binary state semantics
+/// (numeric devices threshold at zero; brightness sensors use their
+/// channel's bright threshold).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Rule identifier (`"R1"`, `"R2"`, ...).
+    pub id: String,
+    /// Triggering device name and the binary state that fires the rule.
+    pub trigger: (String, bool),
+    /// Action device name and the binary state the rule commands.
+    pub action: (String, bool),
+}
+
+impl Rule {
+    /// A human-readable description in the style of Table II.
+    pub fn description(&self) -> String {
+        let t_state = if self.trigger.1 { "activates" } else { "deactivates" };
+        let a_state = if self.action.1 { "activate" } else { "deactivate" };
+        format!(
+            "If {} {}, {} {}",
+            self.trigger.0, t_state, a_state, self.action.0
+        )
+    }
+}
+
+/// Generates `count` automation rules with random trigger/action devices
+/// (actuators only for actions, per Section VI-A: sensors not bound to an
+/// actuator cannot be commanded). Roughly a third of the rules are
+/// deliberately chained: their trigger device is the previous rule's
+/// action device, so chained executions exist for the collective-anomaly
+/// evaluation.
+///
+/// # Panics
+///
+/// Panics if the profile has no actuator devices.
+pub fn generate_rules(profile: &HomeProfile, count: usize, seed: u64) -> Vec<Rule> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let registry = profile.registry();
+    let actuators: Vec<&str> = registry
+        .iter()
+        .filter(|d| d.attribute().is_actuator())
+        .map(|d| d.name())
+        .collect();
+    assert!(!actuators.is_empty(), "profile has no actuator devices");
+    let all: Vec<&str> = registry.iter().map(|d| d.name()).collect();
+    let mut rules: Vec<Rule> = Vec::with_capacity(count);
+    let mut used_pairs = std::collections::HashSet::new();
+    let mut attempts = 0;
+    while rules.len() < count && attempts < count * 100 {
+        attempts += 1;
+        let chain = !rules.is_empty() && rng.gen_bool(0.35);
+        let (trigger_dev, trigger_state) = if chain {
+            let prev = rules.last().expect("non-empty");
+            (prev.action.0.clone(), prev.action.1)
+        } else if rng.gen_bool(0.6) {
+            // Bias toward frequently-flipping sensors (the paper's rules
+            // trigger on presence and door contacts) so injected rule
+            // executions are plentiful.
+            let sensors: Vec<&str> = all
+                .iter()
+                .copied()
+                .filter(|n| n.starts_with("PE_") || n.starts_with("C_"))
+                .collect();
+            let pool = if sensors.is_empty() { &all } else { &sensors };
+            (
+                pool[rng.gen_range(0..pool.len())].to_string(),
+                rng.gen_bool(0.7),
+            )
+        } else {
+            (
+                all[rng.gen_range(0..all.len())].to_string(),
+                rng.gen_bool(0.7),
+            )
+        };
+        let action_dev = actuators[rng.gen_range(0..actuators.len())].to_string();
+        if action_dev == trigger_dev || used_pairs.contains(&(trigger_dev.clone(), action_dev.clone()))
+        {
+            continue;
+        }
+        used_pairs.insert((trigger_dev.clone(), action_dev.clone()));
+        rules.push(Rule {
+            id: format!("R{}", rules.len() + 1),
+            trigger: (trigger_dev, trigger_state),
+            action: (action_dev, rng.gen_bool(0.8)),
+        });
+    }
+    rules
+}
+
+/// Enumerates rule chains: index paths `[i, j, ...]` where each rule's
+/// action device and state match the next rule's trigger. Returns all
+/// simple paths of length `2..=max_len` (in rules).
+pub fn rule_chains(rules: &[Rule], max_len: usize) -> Vec<Vec<usize>> {
+    let mut next: Vec<Vec<usize>> = vec![Vec::new(); rules.len()];
+    for (i, a) in rules.iter().enumerate() {
+        for (j, b) in rules.iter().enumerate() {
+            if i != j && a.action == b.trigger {
+                next[i].push(j);
+            }
+        }
+    }
+    let mut chains = Vec::new();
+    fn extend(
+        path: &mut Vec<usize>,
+        next: &[Vec<usize>],
+        max_len: usize,
+        chains: &mut Vec<Vec<usize>>,
+    ) {
+        if path.len() >= 2 {
+            chains.push(path.clone());
+        }
+        if path.len() == max_len {
+            return;
+        }
+        let last = *path.last().expect("non-empty path");
+        for &j in &next[last] {
+            if !path.contains(&j) {
+                path.push(j);
+                extend(path, next, max_len, chains);
+                path.pop();
+            }
+        }
+    }
+    for i in 0..rules.len() {
+        let mut path = vec![i];
+        extend(&mut path, &next, max_len, &mut chains);
+    }
+    chains
+}
+
+/// The result of injecting rule executions into a trace.
+#[derive(Debug, Clone)]
+pub struct AutomationOutcome {
+    /// The trace with injected action events merged in.
+    pub log: EventLog,
+    /// Number of injected events.
+    pub injected: usize,
+    /// Injection count per rule id.
+    pub per_rule: HashMap<String, usize>,
+}
+
+/// The raw event value commanded on an action device.
+fn action_value(attribute: Attribute, state: bool, rng: &mut StdRng) -> StateValue {
+    match attribute.value_kind() {
+        ValueKind::Binary => StateValue::Binary(state),
+        _ => {
+            if state {
+                StateValue::Numeric(match attribute {
+                    Attribute::Dimmer => rng.gen_range(60.0..100.0),
+                    Attribute::WaterMeter => rng.gen_range(4.0..15.0),
+                    _ => rng.gen_range(150.0..1800.0),
+                })
+            } else {
+                StateValue::Numeric(0.0)
+            }
+        }
+    }
+}
+
+/// Injects rule executions into a trace (Section VI-A).
+///
+/// Walks the log in time order tracking every device's binary state; when
+/// an event flips a device into a rule's trigger state and the action
+/// device's state does not already satisfy the rule, the action event is
+/// inserted a second or two later. Injected events can trigger further
+/// rules (chained execution), up to a cascade depth of 8.
+pub fn inject_automation(
+    profile: &HomeProfile,
+    log: &EventLog,
+    rules: &[Rule],
+    seed: u64,
+) -> AutomationOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let registry = profile.registry();
+    // Resolve rules to device ids up front.
+    let resolved: Vec<(usize, DeviceId, bool, DeviceId, bool)> = rules
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| {
+            Some((
+                i,
+                registry.id_of(&r.trigger.0)?,
+                r.trigger.1,
+                registry.id_of(&r.action.0)?,
+                r.action.1,
+            ))
+        })
+        .collect();
+    let mut states: Vec<bool> = vec![false; registry.len()];
+    let mut out: Vec<DeviceEvent> = Vec::with_capacity(log.len());
+    let mut injected = 0usize;
+    let mut per_rule: HashMap<String, usize> = HashMap::new();
+
+    for event in log {
+        let new_state = profile.binarize_value(event.device, event.value);
+        let changed = states[event.device.index()] != new_state;
+        states[event.device.index()] = new_state;
+        out.push(*event);
+        if !changed {
+            continue;
+        }
+        // Cascade: the flipped device may trigger rules, whose actions may
+        // trigger more rules.
+        let mut frontier = vec![(event.device, new_state, event.time)];
+        let mut depth = 0;
+        while !frontier.is_empty() && depth < 8 {
+            depth += 1;
+            let mut next_frontier = Vec::new();
+            for (device, state, time) in frontier {
+                for &(rule_idx, trig_dev, trig_state, act_dev, act_state) in &resolved {
+                    if trig_dev != device || trig_state != state {
+                        continue;
+                    }
+                    // Real platforms skip execution when the action state
+                    // already holds (Section VI-A).
+                    if states[act_dev.index()] == act_state {
+                        continue;
+                    }
+                    let act_time = Timestamp::from_secs_f64(
+                        time.as_secs_f64() + rng.gen_range(1.0..3.0),
+                    );
+                    let attribute = registry.device(act_dev).attribute();
+                    out.push(DeviceEvent::new(
+                        act_time,
+                        act_dev,
+                        action_value(attribute, act_state, &mut rng),
+                    ));
+                    states[act_dev.index()] = act_state;
+                    injected += 1;
+                    *per_rule.entry(rules[rule_idx].id.clone()).or_default() += 1;
+                    next_frontier.push((act_dev, act_state, act_time));
+                }
+            }
+            frontier = next_frontier;
+        }
+    }
+    out.sort_by_key(|e| e.time);
+    AutomationOutcome {
+        log: EventLog::from_sorted(out).expect("sorted above"),
+        injected,
+        per_rule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::contextact_profile;
+    use crate::simulate::{simulate, SimConfig};
+
+    #[test]
+    fn generates_requested_rule_count_with_chains() {
+        let profile = contextact_profile();
+        let rules = generate_rules(&profile, 12, 99);
+        assert_eq!(rules.len(), 12);
+        // Actions are actuators.
+        for rule in &rules {
+            let id = profile.registry().id_of(&rule.action.0).unwrap();
+            assert!(profile.registry().device(id).attribute().is_actuator());
+            assert_ne!(rule.trigger.0, rule.action.0);
+        }
+        // The chain bias must produce at least one chained pair.
+        assert!(
+            !rule_chains(&rules, 3).is_empty(),
+            "expected chained rules among {rules:?}"
+        );
+    }
+
+    #[test]
+    fn rule_generation_is_deterministic() {
+        let profile = contextact_profile();
+        assert_eq!(generate_rules(&profile, 12, 5), generate_rules(&profile, 12, 5));
+        assert_ne!(generate_rules(&profile, 12, 5), generate_rules(&profile, 12, 6));
+    }
+
+    #[test]
+    fn chains_enumerate_simple_paths() {
+        let r = |id: &str, t: (&str, bool), a: (&str, bool)| Rule {
+            id: id.into(),
+            trigger: (t.0.into(), t.1),
+            action: (a.0.into(), a.1),
+        };
+        let rules = vec![
+            r("R1", ("a", true), ("b", true)),
+            r("R2", ("b", true), ("c", true)),
+            r("R3", ("c", true), ("d", false)),
+            r("R4", ("x", true), ("y", true)),
+        ];
+        let chains = rule_chains(&rules, 3);
+        assert!(chains.contains(&vec![0, 1]));
+        assert!(chains.contains(&vec![1, 2]));
+        assert!(chains.contains(&vec![0, 1, 2]));
+        assert!(!chains.iter().any(|c| c.contains(&3)));
+    }
+
+    #[test]
+    fn injection_adds_action_events() {
+        let profile = contextact_profile();
+        let sim = simulate(
+            &profile,
+            &SimConfig {
+                days: 1.0,
+                ..SimConfig::default()
+            },
+        );
+        let rules = vec![Rule {
+            id: "R1".into(),
+            trigger: ("PE_kitchen".into(), true),
+            action: ("D_living".into(), true),
+        }];
+        let outcome = inject_automation(&profile, &sim.log, &rules, 7);
+        assert!(outcome.injected > 0, "no rule executions injected");
+        assert_eq!(outcome.log.len(), sim.log.len() + outcome.injected);
+        assert_eq!(outcome.per_rule["R1"], outcome.injected);
+    }
+
+    #[test]
+    fn injection_skips_already_satisfied_actions() {
+        let profile = contextact_profile();
+        let registry = profile.registry();
+        let pe = registry.id_of("PE_kitchen").unwrap();
+        let mut log = EventLog::new();
+        // Two consecutive trigger activations with no deactivation of the
+        // action device in between: only the first fires.
+        log.push(DeviceEvent::new(
+            Timestamp::from_secs(10),
+            pe,
+            StateValue::Binary(true),
+        ));
+        log.push(DeviceEvent::new(
+            Timestamp::from_secs(100),
+            pe,
+            StateValue::Binary(false),
+        ));
+        log.push(DeviceEvent::new(
+            Timestamp::from_secs(200),
+            pe,
+            StateValue::Binary(true),
+        ));
+        let rules = vec![Rule {
+            id: "R1".into(),
+            trigger: ("PE_kitchen".into(), true),
+            action: ("S_tv".into(), true),
+        }];
+        let outcome = inject_automation(&profile, &log, &rules, 1);
+        assert_eq!(outcome.injected, 1);
+    }
+
+    #[test]
+    fn chained_rules_cascade() {
+        let profile = contextact_profile();
+        let registry = profile.registry();
+        let pe = registry.id_of("PE_kitchen").unwrap();
+        let mut log = EventLog::new();
+        log.push(DeviceEvent::new(
+            Timestamp::from_secs(10),
+            pe,
+            StateValue::Binary(true),
+        ));
+        let rules = vec![
+            Rule {
+                id: "R1".into(),
+                trigger: ("PE_kitchen".into(), true),
+                action: ("S_tv".into(), true),
+            },
+            Rule {
+                id: "R2".into(),
+                trigger: ("S_tv".into(), true),
+                action: ("D_living".into(), true),
+            },
+        ];
+        let outcome = inject_automation(&profile, &log, &rules, 1);
+        assert_eq!(outcome.injected, 2, "cascade must fire both rules");
+        let events = outcome.log.events();
+        assert_eq!(events.len(), 3);
+        // Time-ordered: trigger, R1 action, R2 action.
+        let tv = registry.id_of("S_tv").unwrap();
+        let dim = registry.id_of("D_living").unwrap();
+        assert_eq!(events[1].device, tv);
+        assert_eq!(events[2].device, dim);
+    }
+
+    #[test]
+    fn description_reads_like_table_two() {
+        let rule = Rule {
+            id: "R2".into(),
+            trigger: ("PE_bathroom".into(), false),
+            action: ("P_stove".into(), true),
+        };
+        assert_eq!(
+            rule.description(),
+            "If PE_bathroom deactivates, activate P_stove"
+        );
+    }
+}

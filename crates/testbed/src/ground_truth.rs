@@ -1,0 +1,366 @@
+//! Ground-truth interaction construction (Section VI-A).
+//!
+//! The paper builds ground truth data-driven: every pair of neighbouring
+//! events is a *candidate* interaction, and a candidate is accepted if it
+//! passes any of three plausibility tests — (1) a daily-life activity
+//! operates the two devices sequentially, (2) they share a physical
+//! channel, (3) they form the logic of an automation rule. We mirror that
+//! procedure against the simulator's known configuration (which is
+//! strictly more reliable than the paper's manual examination), and add
+//! the autocorrelation ground truth of Table III (every device's state
+//! flipping has temporal structure).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use iot_model::EventLog;
+
+use crate::automation::Rule;
+use crate::profile::HomeProfile;
+
+/// Which user-activity pattern explains a user interaction (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum UserInteractionKind {
+    /// Sequential operations over devices in one activity.
+    UseAfterUse,
+    /// Move to a room, then operate a device there.
+    UseAfterMove,
+    /// Operate a device, then move onward.
+    MoveAfterUse,
+    /// Traces of user movements across adjacent rooms.
+    MoveAfterMove,
+}
+
+/// The source of a ground-truth interaction (Table III's taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InteractionSource {
+    /// A user-activity interaction.
+    User(UserInteractionKind),
+    /// A shared physical (brightness) channel.
+    Physical,
+    /// An installed automation rule.
+    Automation,
+    /// A device's own state-flipping pattern.
+    Autocorrelation,
+}
+
+impl InteractionSource {
+    /// Short label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            InteractionSource::User(UserInteractionKind::UseAfterUse) => "Use-after-Use",
+            InteractionSource::User(UserInteractionKind::UseAfterMove) => "Use-after-Move",
+            InteractionSource::User(UserInteractionKind::MoveAfterUse) => "Move-after-Use",
+            InteractionSource::User(UserInteractionKind::MoveAfterMove) => "Move-after-Move",
+            InteractionSource::Physical => "Physical",
+            InteractionSource::Automation => "Automation",
+            InteractionSource::Autocorrelation => "Autocorrelation",
+        }
+    }
+}
+
+/// The accepted ground-truth interactions of one testbed trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruth {
+    interactions: BTreeMap<(String, String), InteractionSource>,
+    candidates_examined: usize,
+}
+
+impl GroundTruth {
+    /// Extracts ground truth from a trace (Section VI-A procedure).
+    ///
+    /// Candidates are the ordered device pairs of neighbouring events
+    /// (after a light duplicate filter, so periodic sensor chatter does
+    /// not flood the candidate set); each candidate is accepted or
+    /// rejected by the plausibility tests described in the module docs.
+    pub fn extract(profile: &HomeProfile, log: &EventLog, rules: &[Rule]) -> Self {
+        Self::extract_with_support(profile, log, rules, 5)
+    }
+
+    /// Like [`GroundTruth::extract`], with an explicit support threshold:
+    /// a candidate pair must appear as neighbouring events at least
+    /// `min_support` times. This mirrors the manual examination step — a
+    /// recurring daily-life pattern recurs; a handful of coincidental
+    /// adjacencies does not constitute an interaction.
+    pub fn extract_with_support(
+        profile: &HomeProfile,
+        log: &EventLog,
+        rules: &[Rule],
+        min_support: usize,
+    ) -> Self {
+        let registry = profile.registry();
+        // Keep only binary state *transitions*, mirroring the Event
+        // Preprocessor's duplicate suppression and type unification, so
+        // candidate adjacency matches what the miner sees.
+        let mut state: Vec<bool> = vec![false; registry.len()];
+        let mut filtered = Vec::with_capacity(log.len());
+        for event in log {
+            let new_state = profile.binarize_value(event.device, event.value);
+            if state[event.device.index()] != new_state {
+                state[event.device.index()] = new_state;
+                filtered.push(event.device);
+            }
+        }
+        // Candidate pairs from neighbouring events. "Neighbouring" uses a
+        // window of two positions, matching the maximum time lag τ = 2 the
+        // evaluation mines with.
+        let mut support: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for (i, &cause) in filtered.iter().enumerate() {
+            for &outcome in filtered.iter().skip(i + 1).take(2) {
+                if cause != outcome {
+                    *support
+                        .entry((
+                            registry.name(cause).to_string(),
+                            registry.name(outcome).to_string(),
+                        ))
+                        .or_default() += 1;
+                }
+            }
+        }
+        let candidates_examined = support.len();
+        let candidates: BTreeSet<(String, String)> = support
+            .into_iter()
+            .filter(|&(_, count)| count >= min_support)
+            .map(|(pair, _)| pair)
+            .collect();
+
+        let mut interactions = BTreeMap::new();
+        for (cause, outcome) in candidates {
+            if let Some(source) = classify(profile, rules, &cause, &outcome) {
+                interactions.insert((cause, outcome), source);
+            }
+        }
+        // Autocorrelation: every deployed device (Table III found one per
+        // device).
+        for device in registry.iter() {
+            interactions.insert(
+                (device.name().to_string(), device.name().to_string()),
+                InteractionSource::Autocorrelation,
+            );
+        }
+        GroundTruth {
+            interactions,
+            candidates_examined,
+        }
+    }
+
+    /// Whether `(cause, outcome)` is a ground-truth interaction.
+    pub fn contains(&self, cause: &str, outcome: &str) -> bool {
+        self.interactions
+            .contains_key(&(cause.to_string(), outcome.to_string()))
+    }
+
+    /// Number of accepted interactions.
+    pub fn len(&self) -> usize {
+        self.interactions.len()
+    }
+
+    /// Whether no interaction was accepted.
+    pub fn is_empty(&self) -> bool {
+        self.interactions.is_empty()
+    }
+
+    /// Number of candidate pairs examined (before acceptance).
+    pub fn candidates_examined(&self) -> usize {
+        self.candidates_examined
+    }
+
+    /// Iterates over `((cause, outcome), source)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&(String, String), &InteractionSource)> {
+        self.interactions.iter()
+    }
+
+    /// The accepted `(cause, outcome)` pairs.
+    pub fn pairs(&self) -> BTreeSet<(String, String)> {
+        self.interactions.keys().cloned().collect()
+    }
+
+    /// Counts interactions per source label, in Table III order.
+    pub fn count_by_source(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: BTreeMap<InteractionSource, usize> = BTreeMap::new();
+        for source in self.interactions.values() {
+            *counts.entry(*source).or_default() += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(source, count)| (source.label(), count))
+            .collect()
+    }
+}
+
+/// Applies the three plausibility tests (+ autocorrelation) to one
+/// candidate, returning the first matching source in the priority order
+/// automation > physical > user.
+fn classify(
+    profile: &HomeProfile,
+    rules: &[Rule],
+    cause: &str,
+    outcome: &str,
+) -> Option<InteractionSource> {
+    // (3) Automation logic.
+    if rules
+        .iter()
+        .any(|r| r.trigger.0 == cause && r.action.0 == outcome)
+    {
+        return Some(InteractionSource::Automation);
+    }
+    // (2) Shared physical channel.
+    if profile
+        .channels()
+        .iter()
+        .any(|ch| ch.sensor == outcome && ch.sources.iter().any(|(s, _)| s == cause))
+    {
+        return Some(InteractionSource::Physical);
+    }
+    // (1) Daily-life activities.
+    let registry = profile.registry();
+    let room_of = |name: &str| -> Option<String> {
+        registry
+            .id_of(name)
+            .map(|id| registry.device(id).room().name().to_string())
+    };
+    let is_presence = |name: &str| name.starts_with("PE_");
+    let presence_room = |name: &str| name.strip_prefix("PE_").map(str::to_string);
+
+    // Move-after-Move: any pair of presence sensors — user movements
+    // between rooms are daily-life sequences, and motion-sensor coverage
+    // gaps mean intermediate rooms do not always fire (the paper accepts
+    // e.g. PE_kitchen -> PE_dining and PE_bedroom -> PE_living).
+    if let (Some(ra), Some(rb)) = (presence_room(cause), presence_room(outcome)) {
+        if profile.topology().contains(&ra) && profile.topology().contains(&rb) {
+            return Some(InteractionSource::User(UserInteractionKind::MoveAfterMove));
+        }
+    }
+    // Activity device programs. The entrance contact is operated by the
+    // leave-home / come-home routine, so it counts as activity-used.
+    let used_in = |name: &str| -> bool {
+        profile.entrance_contact() == Some(name)
+            || profile
+                .activities()
+                .iter()
+                .any(|act| act.uses.iter().any(|u| u.device == name))
+    };
+    let distance = |a: &str, b: &str| -> Option<usize> {
+        if profile.topology().contains(a) && profile.topology().contains(b) {
+            profile.topology().distance(a, b)
+        } else {
+            None
+        }
+    };
+    // Use-after-Move: arriving in (or next to) a room, then using a device
+    // an activity there operates.
+    if is_presence(cause) {
+        let room = presence_room(cause).expect("presence name");
+        if let Some(dev_room) = room_of(outcome) {
+            if used_in(outcome) && distance(&room, &dev_room).is_some_and(|d| d <= 2) {
+                return Some(InteractionSource::User(UserInteractionKind::UseAfterMove));
+            }
+        }
+    }
+    // Move-after-Use: using a device, then moving onward (the paper
+    // accepts e.g. D_bathroom -> PE_living, two hops away).
+    if is_presence(outcome) {
+        let to_room = presence_room(outcome).expect("presence name");
+        if let Some(dev_room) = room_of(cause) {
+            if used_in(cause) && distance(&dev_room, &to_room).is_some_and(|d| d <= 2) {
+                return Some(InteractionSource::User(UserInteractionKind::MoveAfterUse));
+            }
+        }
+    }
+    // Use-after-Use: sequential operation of two activity devices in the
+    // same or adjacent rooms (the paper accepts cross-activity sequences
+    // such as P_heater -> D_bathroom).
+    if used_in(cause) && used_in(outcome) {
+        if let (Some(ra), Some(rb)) = (room_of(cause), room_of(outcome)) {
+            if distance(&ra, &rb).is_some_and(|d| d <= 2) {
+                return Some(InteractionSource::User(UserInteractionKind::UseAfterUse));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::contextact_profile;
+    use crate::simulate::{simulate, SimConfig};
+
+    fn sample() -> (HomeProfile, GroundTruth) {
+        let profile = contextact_profile();
+        let sim = simulate(
+            &profile,
+            &SimConfig {
+                days: 3.0,
+                ..SimConfig::default()
+            },
+        );
+        let rules = vec![Rule {
+            id: "R1".into(),
+            trigger: ("PE_bathroom".into(), false),
+            action: ("P_stove".into(), true),
+        }];
+        let outcome = crate::automation::inject_automation(&profile, &sim.log, &rules, 3);
+        // Short trace: use a low support threshold so the single test rule
+        // clears the recurrence bar.
+        let gt = GroundTruth::extract_with_support(&profile, &outcome.log, &rules, 2);
+        (profile, gt)
+    }
+
+    #[test]
+    fn accepts_expected_interaction_kinds() {
+        let (profile, gt) = sample();
+        // Automation rule.
+        assert!(gt.contains("PE_bathroom", "P_stove"));
+        // Physical channel (the living dimmer drives the living sensor).
+        assert!(gt.contains("D_living", "B_living"));
+        // Movement between adjacent rooms.
+        assert!(gt.contains("PE_living", "PE_dining") || gt.contains("PE_dining", "PE_living"));
+        // Autocorrelation for every device.
+        for device in profile.registry().iter() {
+            assert!(gt.contains(device.name(), device.name()));
+        }
+    }
+
+    #[test]
+    fn rejects_implausible_pairs() {
+        let (_, gt) = sample();
+        // A brightness sensor does not cause a water meter.
+        assert!(!gt.contains("B_living", "W_sink"));
+        // Non-adjacent room movement (bathroom <-> kitchen) is rejected.
+        assert!(!gt.contains("PE_bathroom", "PE_kitchen"));
+    }
+
+    #[test]
+    fn counts_by_source_cover_all_four_families() {
+        let (_, gt) = sample();
+        let counts: std::collections::HashMap<_, _> =
+            gt.count_by_source().into_iter().collect();
+        assert!(counts.get("Autocorrelation").copied().unwrap_or(0) == 22);
+        assert!(counts.get("Physical").copied().unwrap_or(0) >= 2);
+        assert!(counts.get("Automation").copied().unwrap_or(0) == 1);
+        let user: usize = [
+            "Use-after-Use",
+            "Use-after-Move",
+            "Move-after-Use",
+            "Move-after-Move",
+        ]
+        .iter()
+        .map(|k| counts.get(*k).copied().unwrap_or(0))
+        .sum();
+        assert!(user > 10, "expected a rich user-interaction set, got {user}");
+    }
+
+    #[test]
+    fn ground_truth_size_is_in_papers_ballpark() {
+        let (_, gt) = sample();
+        // The paper identified 196 ground-truth interactions on ContextAct;
+        // our synthetic home has fewer plausible pairs but must land in
+        // the same order of magnitude.
+        assert!(
+            gt.len() > 55 && gt.len() < 400,
+            "ground truth size {} implausible",
+            gt.len()
+        );
+        assert!(gt.candidates_examined() > gt.len());
+    }
+}

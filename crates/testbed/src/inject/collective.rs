@@ -1,0 +1,455 @@
+//! Collective-anomaly injection (Section VI-D, Table V).
+//!
+//! Each injected chain starts with a contextual anomaly and propagates
+//! along a real interaction chain of the home:
+//!
+//! 1. **Burglar wandering** — movement-style presence/contact sequences
+//!    across adjacent rooms,
+//! 2. **Illegal actuator operations** — ghost activations following an
+//!    activity-of-daily-life device program (camouflage),
+//! 3. **Chained automation rules** — a hijacked trigger device followed by
+//!    the cascading rule actions.
+
+use iot_model::{BinaryEvent, DeviceId, SystemState, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::automation::{rule_chains, Rule};
+use crate::profile::HomeProfile;
+
+use super::pick_positions;
+
+/// The three collective-anomaly cases of Table V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectiveCase {
+    /// Case 1: burglar wandering through the home.
+    BurglarWandering,
+    /// Case 2: illegal actuator operations camouflaged as an activity.
+    ActuatorManipulation,
+    /// Case 3: chained automation-rule execution.
+    ChainedAutomation,
+}
+
+impl CollectiveCase {
+    /// All cases, in Table V order.
+    pub const ALL: [CollectiveCase; 3] = [
+        CollectiveCase::BurglarWandering,
+        CollectiveCase::ActuatorManipulation,
+        CollectiveCase::ChainedAutomation,
+    ];
+
+    /// Table V's case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollectiveCase::BurglarWandering => "Burglar Wandering",
+            CollectiveCase::ActuatorManipulation => "Illegal Actuator Operations",
+            CollectiveCase::ChainedAutomation => "Chained Automation Rules",
+        }
+    }
+}
+
+/// One injected anomaly chain: the output positions of its events, oldest
+/// first (the first position is the triggering contextual anomaly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedChain {
+    /// Output indices of the chain's events.
+    pub positions: Vec<usize>,
+}
+
+impl InjectedChain {
+    /// Chain length (contextual trigger + propagation).
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the chain is empty (never produced by the injector).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+/// A testing stream with injected collective anomalies.
+#[derive(Debug, Clone)]
+pub struct CollectiveInjection {
+    /// The testing events with anomaly chains merged in.
+    pub events: Vec<BinaryEvent>,
+    /// The injected chains.
+    pub chains: Vec<InjectedChain>,
+}
+
+/// Injects up to `num_chains` anomaly chains of the given case, each of a
+/// random length `2..=k_max`, into a preprocessed testing stream starting
+/// from `initial`.
+///
+/// # Panics
+///
+/// Panics if `k_max < 2`, or if the case has no material to build chains
+/// from (e.g. [`CollectiveCase::ChainedAutomation`] with no chained
+/// rules).
+pub fn inject_collective(
+    profile: &HomeProfile,
+    testing: &[BinaryEvent],
+    initial: &SystemState,
+    case: CollectiveCase,
+    num_chains: usize,
+    k_max: usize,
+    rules: &[Rule],
+    seed: u64,
+) -> CollectiveInjection {
+    assert!(k_max >= 2, "collective chains need k_max >= 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let positions = pick_positions(&mut rng, testing.len(), num_chains, 2 * k_max + 6);
+    let mut position_iter = positions.into_iter().peekable();
+
+    let mut state = initial.clone();
+    let mut events = Vec::with_capacity(testing.len() + num_chains * k_max);
+    let mut chains = Vec::new();
+
+    for (i, event) in testing.iter().enumerate() {
+        if position_iter.peek() == Some(&i) {
+            position_iter.next();
+            let target_len = rng.gen_range(2..=k_max);
+            let chain_events =
+                craft_chain(profile, rules, case, &state, event.time, target_len, &mut rng);
+            if chain_events.len() >= 2 {
+                let mut chain = InjectedChain {
+                    positions: Vec::with_capacity(chain_events.len()),
+                };
+                for ev in chain_events {
+                    state.set(ev.device, ev.value);
+                    chain.positions.push(events.len());
+                    events.push(ev);
+                }
+                chains.push(chain);
+            }
+        }
+        state.set(event.device, event.value);
+        events.push(*event);
+    }
+    CollectiveInjection { events, chains }
+}
+
+/// Builds one chain's events for the given case and current state.
+fn craft_chain(
+    profile: &HomeProfile,
+    rules: &[Rule],
+    case: CollectiveCase,
+    state: &SystemState,
+    time: Timestamp,
+    target_len: usize,
+    rng: &mut StdRng,
+) -> Vec<BinaryEvent> {
+    let registry = profile.registry();
+    match case {
+        CollectiveCase::BurglarWandering => {
+            // Movement-style sequence: PE_r0 on, then (PE_r_i off,
+            // PE_r_{i+1} on) pairs along adjacent rooms, truncated to the
+            // target length.
+            let rooms: Vec<String> = profile
+                .topology()
+                .rooms()
+                .iter()
+                .filter(|r| profile.presence_sensor(r).is_some())
+                .cloned()
+                .collect();
+            // Prefer starting in a room with no presence (the burglar
+            // appears where the resident is not).
+            let off_rooms: Vec<&String> = rooms
+                .iter()
+                .filter(|r| {
+                    profile
+                        .presence_sensor(r)
+                        .map(|d| !state.get(d.id()))
+                        .unwrap_or(false)
+                })
+                .collect();
+            let start = if off_rooms.is_empty() {
+                rooms[rng.gen_range(0..rooms.len())].clone()
+            } else {
+                off_rooms[rng.gen_range(0..off_rooms.len())].clone()
+            };
+            let mut walk = vec![start];
+            while walk.len() < target_len {
+                let here = walk.last().expect("non-empty").clone();
+                let neighbours: Vec<String> = profile
+                    .topology()
+                    .neighbours(&here)
+                    .into_iter()
+                    .filter(|r| profile.presence_sensor(r).is_some())
+                    .map(str::to_string)
+                    .collect();
+                if neighbours.is_empty() {
+                    break;
+                }
+                walk.push(neighbours[rng.gen_range(0..neighbours.len())].clone());
+            }
+            let mut events = Vec::new();
+            let sensor =
+                |room: &str| profile.presence_sensor(room).map(|d| d.id());
+            if let Some(id) = sensor(&walk[0]) {
+                events.push(BinaryEvent::new(time, id, true));
+            }
+            for window in walk.windows(2) {
+                if events.len() >= target_len {
+                    break;
+                }
+                // Match the testbed's motion-sensor hold behaviour: the
+                // destination fires while the source is still ON.
+                if let Some(next) = sensor(&window[1]) {
+                    events.push(BinaryEvent::new(time, next, true));
+                }
+                if events.len() >= target_len {
+                    break;
+                }
+                if let Some(prev) = sensor(&window[0]) {
+                    events.push(BinaryEvent::new(time, prev, false));
+                }
+            }
+            events.truncate(target_len);
+            events
+        }
+        CollectiveCase::ActuatorManipulation => {
+            // Ghost-activate the devices of an activity program in order.
+            let programs: Vec<Vec<DeviceId>> = profile
+                .activities()
+                .iter()
+                .filter(|a| a.uses.len() >= 2)
+                .map(|a| {
+                    let mut uses = a.uses.clone();
+                    uses.sort_by_key(|u| u.order);
+                    uses.iter()
+                        .filter_map(|u| registry.id_of(&u.device))
+                        .collect()
+                })
+                .collect();
+            if programs.is_empty() {
+                return Vec::new();
+            }
+            let program = &programs[rng.gen_range(0..programs.len())];
+            let mut events: Vec<BinaryEvent> = Vec::new();
+            for &device in program.iter().cycle().take(2 * target_len.max(program.len())) {
+                if events.len() >= target_len {
+                    break;
+                }
+                // Ghost-operate the device: flip its current state (the
+                // attacker toggles devices — "turn the light on and off").
+                let current = events
+                    .iter()
+                    .rev()
+                    .find(|e| e.device == device)
+                    .map(|e| e.value)
+                    .unwrap_or_else(|| state.get(device));
+                events.push(BinaryEvent::new(time, device, !current));
+            }
+            events
+        }
+        CollectiveCase::ChainedAutomation => {
+            // Hijack a trigger device, then replay the rule cascade.
+            let chains = rule_chains(rules, target_len.saturating_sub(1).max(1));
+            let single: Vec<Vec<usize>> = (0..rules.len()).map(|i| vec![i]).collect();
+            let pool: Vec<&Vec<usize>> = if target_len >= 3 && !chains.is_empty() {
+                chains
+                    .iter()
+                    .filter(|c| c.len() == target_len - 1)
+                    .collect::<Vec<_>>()
+            } else {
+                Vec::new()
+            };
+            // Prefer a chain whose trigger actually flips the device's
+            // current state — a no-op "activation" would neither look
+            // anomalous nor fire the rule on a real platform.
+            let flips = |chain: &Vec<usize>| -> bool {
+                let first = &rules[chain[0]];
+                registry
+                    .id_of(&first.trigger.0)
+                    .is_some_and(|id| state.get(id) != first.trigger.1)
+            };
+            let pick = |candidates: Vec<&Vec<usize>>, rng: &mut StdRng| -> Option<Vec<usize>> {
+                let flipping: Vec<&Vec<usize>> =
+                    candidates.iter().copied().filter(|c| flips(c)).collect();
+                let pool = if flipping.is_empty() { candidates } else { flipping };
+                if pool.is_empty() {
+                    None
+                } else {
+                    Some(pool[rng.gen_range(0..pool.len())].clone())
+                }
+            };
+            let chain: Vec<usize> = match pick(pool, rng) {
+                Some(chain) => chain,
+                None => match pick(single.iter().collect(), rng) {
+                    Some(chain) => chain,
+                    None => return Vec::new(),
+                },
+            };
+            let first = &rules[chain[0]];
+            let trigger_id = match registry.id_of(&first.trigger.0) {
+                Some(id) => id,
+                None => return Vec::new(),
+            };
+            let mut events = vec![BinaryEvent::new(time, trigger_id, first.trigger.1)];
+            for &rule_idx in &chain {
+                let rule = &rules[rule_idx];
+                if let Some(act) = registry.id_of(&rule.action.0) {
+                    events.push(BinaryEvent::new(time, act, rule.action.1));
+                }
+            }
+            events.truncate(target_len);
+            events
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automation::generate_rules;
+    use crate::profile::contextact_profile;
+    use iot_model::Attribute;
+
+    fn testing_stream(profile: &HomeProfile, len: usize) -> (Vec<BinaryEvent>, SystemState) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = profile.registry().len();
+        let mut state = SystemState::all_off(n);
+        let mut events = Vec::new();
+        for i in 0..len {
+            let device = DeviceId::from_index(rng.gen_range(0..n));
+            let value = !state.get(device);
+            state.set(device, value);
+            events.push(BinaryEvent::new(
+                Timestamp::from_secs(i as u64 * 10),
+                device,
+                value,
+            ));
+        }
+        (events, SystemState::all_off(n))
+    }
+
+    #[test]
+    fn burglar_chains_are_movement_shaped() {
+        let profile = contextact_profile();
+        let (testing, initial) = testing_stream(&profile, 4000);
+        let inj = inject_collective(
+            &profile,
+            &testing,
+            &initial,
+            CollectiveCase::BurglarWandering,
+            50,
+            4,
+            &[],
+            1,
+        );
+        assert!(inj.chains.len() > 30, "got {} chains", inj.chains.len());
+        for chain in &inj.chains {
+            assert!(chain.len() >= 2 && chain.len() <= 4);
+            // First event turns a presence sensor on.
+            let first = inj.events[chain.positions[0]];
+            assert!(first.value);
+            assert!(matches!(
+                profile.registry().device(first.device).attribute(),
+                Attribute::PresenceSensor | Attribute::ContactSensor
+            ));
+        }
+    }
+
+    #[test]
+    fn actuator_chains_follow_activity_programs() {
+        let profile = contextact_profile();
+        let (testing, initial) = testing_stream(&profile, 4000);
+        let inj = inject_collective(
+            &profile,
+            &testing,
+            &initial,
+            CollectiveCase::ActuatorManipulation,
+            50,
+            3,
+            &[],
+            2,
+        );
+        assert!(inj.chains.len() > 30, "got {} chains", inj.chains.len());
+        for chain in &inj.chains {
+            assert!(chain.len() >= 2 && chain.len() <= 3);
+            // Every chain event targets an activity-program device.
+            for &pos in &chain.positions {
+                let name = profile.registry().name(inj.events[pos].device);
+                assert!(
+                    profile
+                        .activities()
+                        .iter()
+                        .any(|a| a.uses.iter().any(|u| u.device == name)),
+                    "{name} is not an activity device"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn automation_chains_start_with_the_trigger() {
+        let profile = contextact_profile();
+        let (testing, initial) = testing_stream(&profile, 4000);
+        let rules = generate_rules(&profile, 12, 99);
+        let inj = inject_collective(
+            &profile,
+            &testing,
+            &initial,
+            CollectiveCase::ChainedAutomation,
+            50,
+            3,
+            &rules,
+            3,
+        );
+        assert!(!inj.chains.is_empty());
+        for chain in &inj.chains {
+            let first = inj.events[chain.positions[0]];
+            let first_name = profile.registry().name(first.device);
+            assert!(
+                rules
+                    .iter()
+                    .any(|r| r.trigger.0 == first_name && r.trigger.1 == first.value),
+                "chain must start at a rule trigger"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_lengths_average_near_table_five() {
+        let profile = contextact_profile();
+        let (testing, initial) = testing_stream(&profile, 20_000);
+        for k_max in [2usize, 3, 4] {
+            let inj = inject_collective(
+                &profile,
+                &testing,
+                &initial,
+                CollectiveCase::BurglarWandering,
+                300,
+                k_max,
+                &[],
+                4,
+            );
+            let avg: f64 = inj.chains.iter().map(|c| c.len() as f64).sum::<f64>()
+                / inj.chains.len() as f64;
+            let expected = (2..=k_max).sum::<usize>() as f64 / (k_max - 1) as f64;
+            assert!(
+                (avg - expected).abs() < 0.3,
+                "k_max={k_max}: avg {avg:.2} vs expected {expected:.2}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k_max")]
+    fn k_max_one_rejected() {
+        let profile = contextact_profile();
+        let (testing, initial) = testing_stream(&profile, 100);
+        inject_collective(
+            &profile,
+            &testing,
+            &initial,
+            CollectiveCase::BurglarWandering,
+            1,
+            1,
+            &[],
+            0,
+        );
+    }
+}

@@ -1,0 +1,429 @@
+//! Contextual-anomaly injection (Section VI-C, Table IV).
+//!
+//! Four malicious cases drawn from the paper's survey of reported
+//! security threats:
+//!
+//! 1. **Sensor fault** — fluctuating brightness levels (anomalous sensor
+//!    readings),
+//! 2. **Burglar intrusion** — unexpected presence/contact events,
+//! 3. **Remote control** — ghost actuator operations (flipped states),
+//! 4. **Malicious rule** — hidden rules that force conditional state
+//!    transitions (e.g. "if the user leaves the kitchen, activate the
+//!    stove").
+
+use std::collections::HashSet;
+
+use iot_model::{Attribute, BinaryEvent, DeviceId, SystemState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::automation::Rule;
+use crate::profile::HomeProfile;
+
+use super::pick_positions;
+
+/// The four contextual-anomaly cases of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ContextualCase {
+    /// Case 1: fluctuating brightness level.
+    SensorFault,
+    /// Case 2: suspicious presence report.
+    BurglarIntrusion,
+    /// Case 3: ghost actuator operation.
+    RemoteControl,
+    /// Case 4: execution of hidden rules.
+    MaliciousRule,
+}
+
+impl ContextualCase {
+    /// All cases, in Table IV order.
+    pub const ALL: [ContextualCase; 4] = [
+        ContextualCase::SensorFault,
+        ContextualCase::BurglarIntrusion,
+        ContextualCase::RemoteControl,
+        ContextualCase::MaliciousRule,
+    ];
+
+    /// Table IV's case name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ContextualCase::SensorFault => "Sensor Fault",
+            ContextualCase::BurglarIntrusion => "Burglar Intrusion",
+            ContextualCase::RemoteControl => "Remote Control",
+            ContextualCase::MaliciousRule => "Malicious Rule",
+        }
+    }
+
+    /// Table IV's anomaly description.
+    pub fn description(&self) -> &'static str {
+        match self {
+            ContextualCase::SensorFault => "Fluctuating brightness level",
+            ContextualCase::BurglarIntrusion => "Suspicious presence report",
+            ContextualCase::RemoteControl => "Ghost actuator operation",
+            ContextualCase::MaliciousRule => "Execution of hidden rules",
+        }
+    }
+}
+
+/// A testing stream with injected contextual anomalies.
+#[derive(Debug, Clone)]
+pub struct ContextualInjection {
+    /// The testing events with anomalies merged in.
+    pub events: Vec<BinaryEvent>,
+    /// Output indices of the injected anomalous events.
+    pub injected_positions: HashSet<usize>,
+    /// The hidden rules used by [`ContextualCase::MaliciousRule`] (empty
+    /// otherwise).
+    pub hidden_rules: Vec<Rule>,
+}
+
+/// Injects `count` contextual anomalies of the given case into a
+/// preprocessed testing stream that starts from system state `initial`.
+///
+/// For cases 1–3 the injector picks random candidate positions and spoofs
+/// a state-flipping event of an appropriate device; for case 4 it
+/// generates hidden malicious rules and simulates their execution at
+/// trigger matches (capped at `count` injections).
+pub fn inject_contextual(
+    profile: &HomeProfile,
+    testing: &[BinaryEvent],
+    initial: &SystemState,
+    case: ContextualCase,
+    count: usize,
+    seed: u64,
+) -> ContextualInjection {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match case {
+        ContextualCase::MaliciousRule => inject_malicious_rules(profile, testing, initial, count, &mut rng),
+        _ => inject_positional(profile, testing, initial, case, count, &mut rng),
+    }
+}
+
+/// Devices eligible for spoofing under each positional case.
+fn eligible_devices(profile: &HomeProfile, case: ContextualCase) -> Vec<DeviceId> {
+    profile
+        .registry()
+        .iter()
+        .filter(|d| match case {
+            ContextualCase::SensorFault => d.attribute() == Attribute::BrightnessSensor,
+            ContextualCase::BurglarIntrusion => matches!(
+                d.attribute(),
+                Attribute::PresenceSensor | Attribute::ContactSensor
+            ),
+            ContextualCase::RemoteControl => matches!(
+                d.attribute(),
+                Attribute::Switch | Attribute::Dimmer | Attribute::PowerSensor
+            ),
+            ContextualCase::MaliciousRule => unreachable!("handled separately"),
+        })
+        .map(|d| d.id())
+        .collect()
+}
+
+/// For the burglar case: sensors whose room is far from everywhere the
+/// resident currently registers (distance > 1 from every ON presence
+/// sensor) — a break-in happens where the resident is *not*, which is
+/// what makes the presence report "unexpected".
+fn unexpected_presence_candidates(
+    profile: &HomeProfile,
+    devices: &[DeviceId],
+    state: &SystemState,
+) -> Vec<DeviceId> {
+    let registry = profile.registry();
+    let occupied: Vec<String> = registry
+        .iter()
+        .filter(|d| {
+            d.attribute() == Attribute::PresenceSensor && state.get(d.id())
+        })
+        .map(|d| d.room().name().to_string())
+        .collect();
+    devices
+        .iter()
+        .copied()
+        .filter(|&d| {
+            if state.get(d) {
+                return false;
+            }
+            let room = registry.device(d).room().name().to_string();
+            occupied.iter().all(|occ| {
+                profile
+                    .topology()
+                    .distance(occ, &room)
+                    .is_none_or(|dist| dist > 1)
+            })
+        })
+        .collect()
+}
+
+fn inject_positional(
+    profile: &HomeProfile,
+    testing: &[BinaryEvent],
+    initial: &SystemState,
+    case: ContextualCase,
+    count: usize,
+    rng: &mut StdRng,
+) -> ContextualInjection {
+    let devices = eligible_devices(profile, case);
+    assert!(!devices.is_empty(), "no eligible device for {case:?}");
+    let positions: HashSet<usize> =
+        pick_positions(rng, testing.len(), count, 2).into_iter().collect();
+    let mut state = initial.clone();
+    let mut events = Vec::with_capacity(testing.len() + count);
+    let mut injected_positions = HashSet::new();
+    for (i, event) in testing.iter().enumerate() {
+        if positions.contains(&i) {
+            let spoofed = craft_spoof(profile, case, &devices, &state, event.time, rng);
+            if let Some(spoofed) = spoofed {
+                state.set(spoofed.device, spoofed.value);
+                injected_positions.insert(events.len());
+                events.push(spoofed);
+            }
+        }
+        state.set(event.device, event.value);
+        events.push(*event);
+    }
+    ContextualInjection {
+        events,
+        injected_positions,
+        hidden_rules: Vec::new(),
+    }
+}
+
+/// Crafts one spoofed event for a positional case, given the current
+/// system state.
+fn craft_spoof(
+    profile: &HomeProfile,
+    case: ContextualCase,
+    devices: &[DeviceId],
+    state: &SystemState,
+    time: iot_model::Timestamp,
+    rng: &mut StdRng,
+) -> Option<BinaryEvent> {
+    match case {
+        ContextualCase::BurglarIntrusion => {
+            // Unexpected presence: turn ON a sensor far from the resident;
+            // fall back to any off sensor if the resident is everywhere.
+            let far = unexpected_presence_candidates(profile, devices, state);
+            let pool: Vec<DeviceId> = if far.is_empty() {
+                devices.iter().copied().filter(|&d| !state.get(d)).collect()
+            } else {
+                far
+            };
+            let device = *pool
+                .get(rng.gen_range(0..pool.len().max(1)))
+                .or_else(|| devices.first())?;
+            Some(BinaryEvent::new(time, device, true))
+        }
+        _ => {
+            // Flip the current state (fluctuating reading / ghost
+            // operation).
+            let device = devices[rng.gen_range(0..devices.len())];
+            Some(BinaryEvent::new(time, device, !state.get(device)))
+        }
+    }
+}
+
+fn inject_malicious_rules(
+    profile: &HomeProfile,
+    testing: &[BinaryEvent],
+    initial: &SystemState,
+    count: usize,
+    rng: &mut StdRng,
+) -> ContextualInjection {
+    // Hidden rules: random trigger, actuator action (mirrors the paper's
+    // "activate the stove when users leave the kitchen" style).
+    let registry = profile.registry();
+    let actuators: Vec<&str> = registry
+        .iter()
+        .filter(|d| d.attribute().is_actuator())
+        .map(|d| d.name())
+        .collect();
+    let all: Vec<&str> = registry.iter().map(|d| d.name()).collect();
+    let mut hidden_rules = Vec::new();
+    let mut guard = 0;
+    while hidden_rules.len() < 8 && guard < 1000 {
+        guard += 1;
+        let trigger = all[rng.gen_range(0..all.len())].to_string();
+        let action = actuators[rng.gen_range(0..actuators.len())].to_string();
+        if trigger == action {
+            continue;
+        }
+        hidden_rules.push(Rule {
+            id: format!("M{}", hidden_rules.len() + 1),
+            trigger: (trigger, rng.gen_bool(0.5)),
+            action: (action, rng.gen_bool(0.8)),
+        });
+    }
+    let resolved: Vec<(DeviceId, bool, DeviceId, bool)> = hidden_rules
+        .iter()
+        .filter_map(|r| {
+            Some((
+                registry.id_of(&r.trigger.0)?,
+                r.trigger.1,
+                registry.id_of(&r.action.0)?,
+                r.action.1,
+            ))
+        })
+        .collect();
+
+    let mut state = initial.clone();
+    let mut events = Vec::with_capacity(testing.len() + count);
+    let mut injected_positions = HashSet::new();
+    for event in testing {
+        let changed = state.get(event.device) != event.value;
+        state.set(event.device, event.value);
+        events.push(*event);
+        if !changed || injected_positions.len() >= count {
+            continue;
+        }
+        for &(trig, trig_state, act, act_state) in &resolved {
+            if trig == event.device
+                && trig_state == event.value
+                && state.get(act) != act_state
+                && injected_positions.len() < count
+            {
+                state.set(act, act_state);
+                injected_positions.insert(events.len());
+                events.push(BinaryEvent::new(event.time, act, act_state));
+            }
+        }
+    }
+    ContextualInjection {
+        events,
+        injected_positions,
+        hidden_rules,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::contextact_profile;
+    use iot_model::Timestamp;
+
+    fn testing_stream(profile: &HomeProfile, len: usize) -> (Vec<BinaryEvent>, SystemState) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = profile.registry().len();
+        let mut state = SystemState::all_off(n);
+        let mut events = Vec::new();
+        for i in 0..len {
+            let device = DeviceId::from_index(rng.gen_range(0..n));
+            let value = !state.get(device);
+            state.set(device, value);
+            events.push(BinaryEvent::new(Timestamp::from_secs(i as u64 * 10), device, value));
+        }
+        (events, SystemState::all_off(n))
+    }
+
+    #[test]
+    fn sensor_fault_targets_brightness_and_flips_state() {
+        let profile = contextact_profile();
+        let (testing, initial) = testing_stream(&profile, 2000);
+        let inj = inject_contextual(
+            &profile,
+            &testing,
+            &initial,
+            ContextualCase::SensorFault,
+            100,
+            1,
+        );
+        assert!(inj.injected_positions.len() > 50);
+        assert_eq!(inj.events.len(), testing.len() + inj.injected_positions.len());
+        for &pos in &inj.injected_positions {
+            let e = inj.events[pos];
+            assert_eq!(
+                profile.registry().device(e.device).attribute(),
+                Attribute::BrightnessSensor
+            );
+        }
+    }
+
+    #[test]
+    fn burglar_injects_presence_on_events() {
+        let profile = contextact_profile();
+        let (testing, initial) = testing_stream(&profile, 2000);
+        let inj = inject_contextual(
+            &profile,
+            &testing,
+            &initial,
+            ContextualCase::BurglarIntrusion,
+            100,
+            2,
+        );
+        for &pos in &inj.injected_positions {
+            let e = inj.events[pos];
+            assert!(e.value, "burglar events report unexpected presence");
+            assert!(matches!(
+                profile.registry().device(e.device).attribute(),
+                Attribute::PresenceSensor | Attribute::ContactSensor
+            ));
+        }
+    }
+
+    #[test]
+    fn remote_control_targets_actuators() {
+        let profile = contextact_profile();
+        let (testing, initial) = testing_stream(&profile, 2000);
+        let inj = inject_contextual(
+            &profile,
+            &testing,
+            &initial,
+            ContextualCase::RemoteControl,
+            100,
+            3,
+        );
+        assert!(!inj.injected_positions.is_empty());
+        for &pos in &inj.injected_positions {
+            let e = inj.events[pos];
+            assert!(matches!(
+                profile.registry().device(e.device).attribute(),
+                Attribute::Switch | Attribute::Dimmer | Attribute::PowerSensor
+            ));
+        }
+    }
+
+    #[test]
+    fn malicious_rules_fire_on_trigger_matches() {
+        let profile = contextact_profile();
+        let (testing, initial) = testing_stream(&profile, 4000);
+        let inj = inject_contextual(
+            &profile,
+            &testing,
+            &initial,
+            ContextualCase::MaliciousRule,
+            200,
+            4,
+        );
+        assert!(!inj.hidden_rules.is_empty());
+        assert!(
+            !inj.injected_positions.is_empty(),
+            "hidden rules never fired"
+        );
+        assert!(inj.injected_positions.len() <= 200);
+        // Each injected event is immediately preceded by its trigger.
+        for &pos in &inj.injected_positions {
+            assert!(pos > 0);
+            let action = inj.events[pos];
+            let rule = inj
+                .hidden_rules
+                .iter()
+                .find(|r| {
+                    profile.registry().id_of(&r.action.0) == Some(action.device)
+                        && r.action.1 == action.value
+                })
+                .expect("injected event matches a hidden rule");
+            assert!(!rule.id.is_empty());
+        }
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let profile = contextact_profile();
+        let (testing, initial) = testing_stream(&profile, 1000);
+        let a = inject_contextual(&profile, &testing, &initial, ContextualCase::RemoteControl, 50, 9);
+        let b = inject_contextual(&profile, &testing, &initial, ContextualCase::RemoteControl, 50, 9);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.injected_positions, b.injected_positions);
+    }
+}

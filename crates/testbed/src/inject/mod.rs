@@ -1,0 +1,81 @@
+//! Anomaly injection: the paper's evaluation workloads.
+//!
+//! * [`contextual`] — the four contextual-anomaly cases of Table IV
+//!   (sensor fault, burglar intrusion, remote control, malicious rule),
+//! * [`collective`] — the three collective-anomaly cases of Table V
+//!   (burglar wandering, illegal actuator operations, chained automation
+//!   rules).
+//!
+//! Injectors operate on the *preprocessed* (binary) testing event stream,
+//! exactly where the paper "inject[s] the corresponding anomalous system
+//! state into the time series", and report the output positions of every
+//! injected event so the evaluation can compare alarm positions against
+//! injected positions.
+
+pub mod collective;
+pub mod contextual;
+
+pub use collective::{inject_collective, CollectiveCase, CollectiveInjection, InjectedChain};
+pub use contextual::{inject_contextual, ContextualCase, ContextualInjection};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Samples up to `count` strictly increasing positions in `0..len` with a
+/// minimum spacing, so injected anomalies do not overlap.
+pub(crate) fn pick_positions(
+    rng: &mut StdRng,
+    len: usize,
+    count: usize,
+    min_gap: usize,
+) -> Vec<usize> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let mut positions: Vec<usize> = (0..count.saturating_mul(3))
+        .map(|_| rng.gen_range(0..len))
+        .collect();
+    positions.sort_unstable();
+    positions.dedup();
+    let mut spaced = Vec::with_capacity(count);
+    let mut last: Option<usize> = None;
+    for pos in positions {
+        if last.is_none_or(|l| pos >= l + min_gap) {
+            spaced.push(pos);
+            last = Some(pos);
+            if spaced.len() == count {
+                break;
+            }
+        }
+    }
+    spaced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn positions_are_spaced_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let positions = pick_positions(&mut rng, 10_000, 500, 5);
+        assert!(!positions.is_empty());
+        for pair in positions.windows(2) {
+            assert!(pair[1] >= pair[0] + 5);
+        }
+    }
+
+    #[test]
+    fn empty_stream_yields_no_positions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(pick_positions(&mut rng, 0, 10, 1).is_empty());
+    }
+
+    #[test]
+    fn respects_count_limit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let positions = pick_positions(&mut rng, 1_000_000, 50, 1);
+        assert_eq!(positions.len(), 50);
+    }
+}

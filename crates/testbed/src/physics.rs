@@ -1,0 +1,112 @@
+//! The shared physical channel: per-room brightness.
+//!
+//! Brightness is the physical channel the paper studies (Table III lists
+//! 18 brightness interactions such as `D_living → B_living` and
+//! `P_stove → B_kitchen`). A room's luminosity is daylight (through a
+//! window factor) plus the contributions of every active light-emitting
+//! device, observed by an ambient sensor that reports periodically.
+//!
+//! Daylight is deliberately *unmeasured* by any device: it is the common
+//! cause behind the cross-room brightness correlations that the paper
+//! identifies as its main source of spurious interactions (Section VI-B's
+//! false positives).
+
+/// One per-room brightness channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrightnessChannel {
+    /// The ambient sensor observing this channel (e.g. `"B_kitchen"`).
+    pub sensor: String,
+    /// The room the channel belongs to.
+    pub room: String,
+    /// Daylight multiplier (window size/orientation), `0.0..=1.0`.
+    pub window_factor: f64,
+    /// Daylight phase shift in hours (window orientation: an east-facing
+    /// room brightens earlier than a west-facing one). Decorrelates
+    /// sensors across rooms.
+    pub daylight_phase_hours: f64,
+    /// Light-emitting devices and their lux contribution when active.
+    pub sources: Vec<(String, f64)>,
+    /// The Low/High boundary used by automation-rule semantics on this
+    /// sensor ("if the kitchen is bright", rule R5).
+    pub bright_threshold: f64,
+}
+
+impl BrightnessChannel {
+    /// Total lux given the time of day, a weather factor, and a predicate
+    /// telling which source devices are currently active.
+    pub fn lux(&self, t_secs: f64, weather: f64, mut is_active: impl FnMut(&str) -> bool) -> f64 {
+        let shifted = t_secs - self.daylight_phase_hours * 3600.0;
+        let mut lux = daylight_lux(shifted, weather) * self.window_factor;
+        for (device, contribution) in &self.sources {
+            if is_active(device) {
+                lux += contribution;
+            }
+        }
+        lux
+    }
+}
+
+/// Outdoor daylight in lux at `t_secs` since the trace epoch (midnight).
+///
+/// A half-sine between 06:00 and 20:00 peaking around 400 lux (indoor
+/// scale), scaled by a weather factor in `0.0..=1.0`; zero at night.
+pub fn daylight_lux(t_secs: f64, weather: f64) -> f64 {
+    let hour = (t_secs / 3600.0).rem_euclid(24.0);
+    const SUNRISE: f64 = 6.0;
+    const SUNSET: f64 = 20.0;
+    if !(SUNRISE..=SUNSET).contains(&hour) {
+        return 0.0;
+    }
+    let phase = (hour - SUNRISE) / (SUNSET - SUNRISE) * std::f64::consts::PI;
+    400.0 * phase.sin() * weather.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daylight_is_zero_at_night_and_peaks_at_noon() {
+        assert_eq!(daylight_lux(0.0, 1.0), 0.0); // midnight
+        assert_eq!(daylight_lux(23.0 * 3600.0, 1.0), 0.0);
+        let noon = daylight_lux(13.0 * 3600.0, 1.0);
+        assert!(noon > 390.0, "noon = {noon}");
+        let morning = daylight_lux(8.0 * 3600.0, 1.0);
+        assert!(morning > 0.0 && morning < noon);
+    }
+
+    #[test]
+    fn daylight_repeats_daily() {
+        let a = daylight_lux(10.0 * 3600.0, 1.0);
+        let b = daylight_lux((24.0 + 10.0) * 3600.0, 1.0);
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weather_scales_daylight() {
+        let clear = daylight_lux(12.0 * 3600.0, 1.0);
+        let overcast = daylight_lux(12.0 * 3600.0, 0.5);
+        assert!((overcast - clear / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channel_sums_active_sources() {
+        let ch = BrightnessChannel {
+            sensor: "B_kitchen".into(),
+            room: "kitchen".into(),
+            window_factor: 0.5,
+            daylight_phase_hours: 0.0,
+            sources: vec![("D_kitchen".into(), 200.0), ("P_stove".into(), 30.0)],
+            bright_threshold: 120.0,
+        };
+        // Night, stove on only.
+        let lux = ch.lux(2.0 * 3600.0, 1.0, |d| d == "P_stove");
+        assert!((lux - 30.0).abs() < 1e-9);
+        // Night, both on.
+        let lux = ch.lux(2.0 * 3600.0, 1.0, |_| true);
+        assert!((lux - 230.0).abs() < 1e-9);
+        // Noon, nothing on: windowed daylight only.
+        let lux = ch.lux(13.0 * 3600.0, 1.0, |_| false);
+        assert!(lux > 195.0 && lux <= 200.0);
+    }
+}

@@ -1,0 +1,492 @@
+//! Testbed profiles: device census, floor plan, activities, and channels.
+//!
+//! [`contextact_profile`] mirrors the ContextAct@A4H census of Table I
+//! (2 switches, 5 presence, 2 contact, 2 dimmers, 1 water meter, 6 power
+//! sensors, 4 brightness sensors = 22 devices); [`casas_profile`] mirrors
+//! CASAS (7 presence, 1 contact).
+
+use iot_model::{Attribute, DeviceRegistry, Room};
+
+use crate::activity::{ActivityTemplate, DeviceUse};
+use crate::physics::BrightnessChannel;
+use crate::rooms::RoomTopology;
+
+/// A complete testbed description.
+#[derive(Debug, Clone)]
+pub struct HomeProfile {
+    name: String,
+    registry: DeviceRegistry,
+    topology: RoomTopology,
+    activities: Vec<ActivityTemplate>,
+    channels: Vec<BrightnessChannel>,
+    entry_room: String,
+    entrance_contact: Option<String>,
+    sleep_room: String,
+}
+
+impl HomeProfile {
+    /// Assembles a profile, dropping device uses and channel sources that
+    /// reference unregistered devices (this is how the CASAS profile
+    /// reuses the ContextAct activity set with its reduced census).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an activity room, the entry room, or the sleep room is
+    /// missing from the topology.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        registry: DeviceRegistry,
+        topology: RoomTopology,
+        activities: Vec<ActivityTemplate>,
+        channels: Vec<BrightnessChannel>,
+        entry_room: &str,
+        entrance_contact: Option<&str>,
+        sleep_room: &str,
+    ) -> Self {
+        assert!(topology.contains(entry_room), "unknown entry room");
+        assert!(topology.contains(sleep_room), "unknown sleep room");
+        let activities = activities
+            .into_iter()
+            .map(|mut act| {
+                if let Some(room) = &act.room {
+                    assert!(topology.contains(room), "unknown activity room `{room}`");
+                }
+                act.uses.retain(|u| registry.id_of(&u.device).is_some());
+                act
+            })
+            .collect();
+        let channels = channels
+            .into_iter()
+            .filter(|ch| registry.id_of(&ch.sensor).is_some())
+            .map(|mut ch| {
+                ch.sources.retain(|(d, _)| registry.id_of(d).is_some());
+                ch
+            })
+            .collect();
+        let entrance_contact = entrance_contact
+            .filter(|c| registry.id_of(c).is_some())
+            .map(str::to_string);
+        HomeProfile {
+            name: name.to_string(),
+            registry,
+            topology,
+            activities,
+            channels,
+            entry_room: entry_room.to_string(),
+            entrance_contact,
+            sleep_room: sleep_room.to_string(),
+        }
+    }
+
+    /// Profile name (`"contextact"` / `"casas"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The deployed devices.
+    pub fn registry(&self) -> &DeviceRegistry {
+        &self.registry
+    }
+
+    /// The floor plan.
+    pub fn topology(&self) -> &RoomTopology {
+        &self.topology
+    }
+
+    /// The activity templates.
+    pub fn activities(&self) -> &[ActivityTemplate] {
+        &self.activities
+    }
+
+    /// The brightness channels.
+    pub fn channels(&self) -> &[BrightnessChannel] {
+        &self.channels
+    }
+
+    /// The room containing the home's entrance.
+    pub fn entry_room(&self) -> &str {
+        &self.entry_room
+    }
+
+    /// The entrance door contact sensor, if deployed.
+    pub fn entrance_contact(&self) -> Option<&str> {
+        self.entrance_contact.as_deref()
+    }
+
+    /// The bedroom used for the sleep activity.
+    pub fn sleep_room(&self) -> &str {
+        &self.sleep_room
+    }
+
+    /// The presence sensor installed in `room`, if any (by the
+    /// `PE_<room>` naming convention).
+    pub fn presence_sensor(&self, room: &str) -> Option<&iot_model::Device> {
+        self.registry
+            .id_of(&format!("PE_{room}"))
+            .map(|id| self.registry.device(id))
+    }
+
+    /// The nominal binarisation of a raw state value, used by automation
+    /// rule semantics and ground-truth extraction: binary values pass
+    /// through, responsive numerics threshold at zero, and ambient
+    /// numerics threshold at their channel's bright level.
+    pub fn binarize_value(&self, device: iot_model::DeviceId, value: iot_model::StateValue) -> bool {
+        match value {
+            iot_model::StateValue::Binary(b) => b,
+            iot_model::StateValue::Numeric(x) => {
+                let dev = self.registry.device(device);
+                if dev.value_kind() == iot_model::ValueKind::AmbientNumeric {
+                    let threshold = self
+                        .channels
+                        .iter()
+                        .find(|ch| ch.sensor == dev.name())
+                        .map(|ch| ch.bright_threshold)
+                        .unwrap_or(0.0);
+                    x > threshold
+                } else {
+                    x > 0.0
+                }
+            }
+        }
+    }
+}
+
+/// The six-room apartment layout shared by both profiles.
+fn apartment_topology() -> RoomTopology {
+    let mut t = RoomTopology::new(&[
+        "hall", "living", "dining", "kitchen", "bedroom", "bathroom", "office",
+    ]);
+    t.connect("hall", "living");
+    t.connect("living", "dining");
+    t.connect("dining", "kitchen");
+    t.connect("living", "bedroom");
+    t.connect("bedroom", "bathroom");
+    t.connect("living", "office");
+    t
+}
+
+/// The shared activity set (device uses are filtered per profile census).
+///
+/// Routine followups encode the repetitive structure of real daily life:
+/// cooking leads to eating, sleep-prep leads to sleep, and so on. They are
+/// what makes interaction executions *predictable* enough for the DIG's
+/// conditional probabilities to be informative.
+fn daily_activities() -> Vec<ActivityTemplate> {
+    vec![
+        ActivityTemplate::new(
+            "sleep",
+            Some("bedroom"),
+            (1.5 * 3600.0, 3.0 * 3600.0),
+            vec![],
+            [10.0, 0.2, 0.0, 0.3],
+        )
+        .with_followups(&[("bathroom_routine", 0.5), ("wander", 0.2)]),
+        ActivityTemplate::new(
+            "sleep_prep",
+            Some("bedroom"),
+            (600.0, 1500.0),
+            vec![
+                DeviceUse::new("P_curtain", 0.95, (20.0, 90.0), (40.0, 80.0), 0),
+                DeviceUse::new("P_heater", 0.7, (100.0, 200.0), (900.0, 2400.0), 1),
+            ],
+            [2.0, 0.0, 0.0, 1.5],
+        )
+        .with_followups(&[("sleep", 0.9)]),
+        ActivityTemplate::new(
+            "bathroom_routine",
+            Some("bathroom"),
+            (300.0, 1200.0),
+            vec![DeviceUse::new("D_bathroom", 0.95, (5.0, 20.0), (200.0, 900.0), 0)],
+            [0.5, 3.0, 0.7, 1.5],
+        )
+        .with_followups(&[("cook", 0.45), ("wander", 0.2)]),
+        ActivityTemplate::new(
+            "cook",
+            Some("kitchen"),
+            (900.0, 1800.0),
+            vec![
+                DeviceUse::new("C_fridge", 0.95, (10.0, 60.0), (15.0, 45.0), 0),
+                DeviceUse::new("P_stove", 0.9, (70.0, 140.0), (600.0, 1500.0), 1),
+                DeviceUse::new("W_sink", 0.85, (160.0, 260.0), (30.0, 120.0), 2),
+                DeviceUse::new("P_oven", 0.55, (280.0, 380.0), (900.0, 1800.0), 3),
+            ],
+            [0.0, 2.5, 1.0, 3.0],
+        )
+        .with_followups(&[("eat", 0.85)]),
+        ActivityTemplate::new(
+            "eat",
+            Some("dining"),
+            (600.0, 1200.0),
+            vec![],
+            [0.0, 2.0, 1.5, 2.5],
+        )
+        .with_followups(&[("dishes", 0.55), ("relax", 0.25)]),
+        ActivityTemplate::new(
+            "dishes",
+            Some("kitchen"),
+            (600.0, 1200.0),
+            vec![
+                DeviceUse::new("W_sink", 0.95, (10.0, 60.0), (60.0, 240.0), 0),
+                DeviceUse::new("C_fridge", 0.5, (70.0, 130.0), (10.0, 30.0), 1),
+                DeviceUse::new("P_dishwasher", 0.7, (150.0, 300.0), (1800.0, 3600.0), 2),
+            ],
+            [0.0, 0.8, 1.2, 1.8],
+        )
+        .with_followups(&[("relax", 0.5), ("wander", 0.2)]),
+        ActivityTemplate::new(
+            "wander",
+            Some("living"),
+            (180.0, 700.0),
+            vec![],
+            [0.3, 2.0, 2.5, 2.0],
+        )
+        .with_followups(&[("relax", 0.3), ("desk_work", 0.2)]),
+        ActivityTemplate::new(
+            "relax",
+            Some("living"),
+            (600.0, 1800.0),
+            vec![
+                DeviceUse::new("S_tv", 0.95, (20.0, 60.0), (1200.0, 3000.0), 0),
+                DeviceUse::new("D_living", 0.8, (70.0, 140.0), (1200.0, 3000.0), 1),
+            ],
+            [0.3, 0.6, 1.5, 3.5],
+        )
+        .with_followups(&[("music", 0.25), ("sleep_prep", 0.25), ("wander", 0.2)]),
+        ActivityTemplate::new(
+            "music",
+            Some("bedroom"),
+            (600.0, 1500.0),
+            vec![
+                DeviceUse::new("S_player", 0.95, (10.0, 60.0), (600.0, 1400.0), 0),
+                DeviceUse::new("P_heater", 0.6, (80.0, 160.0), (800.0, 1800.0), 1),
+            ],
+            [0.2, 0.4, 1.0, 1.5],
+        )
+        .with_followups(&[("sleep_prep", 0.5)]),
+        ActivityTemplate::new(
+            "desk_work",
+            Some("office"),
+            (600.0, 1800.0),
+            vec![],
+            [0.0, 1.2, 2.0, 0.8],
+        )
+        .with_followups(&[("wander", 0.3), ("eat", 0.2)]),
+        ActivityTemplate::new(
+            "out",
+            None,
+            (1800.0, 5400.0),
+            vec![],
+            [0.1, 1.0, 1.8, 0.5],
+        )
+        .with_followups(&[("relax", 0.4), ("wander", 0.3)]),
+    ]
+}
+
+/// The ContextAct-like profile: 22 devices matching the Table I census.
+pub fn contextact_profile() -> HomeProfile {
+    let mut reg = DeviceRegistry::new();
+    let add = |reg: &mut DeviceRegistry, name: &str, attr: Attribute, room: &str| {
+        reg.add(name, attr, Room::new(room)).expect("unique device names");
+    };
+    // 2 switches.
+    add(&mut reg, "S_player", Attribute::Switch, "bedroom");
+    add(&mut reg, "S_tv", Attribute::Switch, "living");
+    // 5 presence sensors.
+    for room in ["bedroom", "bathroom", "kitchen", "dining", "living"] {
+        add(&mut reg, &format!("PE_{room}"), Attribute::PresenceSensor, room);
+    }
+    // 2 contact sensors.
+    add(&mut reg, "C_entrance", Attribute::ContactSensor, "hall");
+    add(&mut reg, "C_fridge", Attribute::ContactSensor, "kitchen");
+    // 2 dimmers.
+    add(&mut reg, "D_bathroom", Attribute::Dimmer, "bathroom");
+    add(&mut reg, "D_living", Attribute::Dimmer, "living");
+    // 1 water meter.
+    add(&mut reg, "W_sink", Attribute::WaterMeter, "kitchen");
+    // 6 power sensors.
+    add(&mut reg, "P_stove", Attribute::PowerSensor, "kitchen");
+    add(&mut reg, "P_oven", Attribute::PowerSensor, "kitchen");
+    add(&mut reg, "P_dishwasher", Attribute::PowerSensor, "kitchen");
+    add(&mut reg, "P_heater", Attribute::PowerSensor, "bedroom");
+    add(&mut reg, "P_curtain", Attribute::PowerSensor, "bedroom");
+    add(&mut reg, "P_fridge", Attribute::PowerSensor, "kitchen");
+    // 4 brightness sensors.
+    for room in ["kitchen", "living", "bedroom", "dining"] {
+        add(&mut reg, &format!("B_{room}"), Attribute::BrightnessSensor, room);
+    }
+
+    let channels = vec![
+        BrightnessChannel {
+            sensor: "B_kitchen".into(),
+            room: "kitchen".into(),
+            window_factor: 0.45,
+            daylight_phase_hours: -1.5, // east-facing
+            // Hood light over the stove / oven lamp: bright enough to
+            // cross the Low/High boundary on their own.
+            sources: vec![("P_stove".into(), 150.0), ("P_oven".into(), 130.0)],
+            bright_threshold: 110.0,
+        },
+        BrightnessChannel {
+            sensor: "B_living".into(),
+            room: "living".into(),
+            window_factor: 0.6,
+            daylight_phase_hours: 1.0, // west-facing
+            sources: vec![("D_living".into(), 220.0)],
+            bright_threshold: 140.0,
+        },
+        BrightnessChannel {
+            sensor: "B_bedroom".into(),
+            room: "bedroom".into(),
+            window_factor: 0.35,
+            daylight_phase_hours: 2.0,
+            // The electric curtain admits daylight-scale light when open.
+            sources: vec![("P_curtain".into(), 130.0)],
+            bright_threshold: 90.0,
+        },
+        BrightnessChannel {
+            sensor: "B_dining".into(),
+            room: "dining".into(),
+            window_factor: 0.55,
+            daylight_phase_hours: -0.5,
+            // Open-plan spillover from the living-room dimmer.
+            sources: vec![("D_living".into(), 150.0)],
+            bright_threshold: 120.0,
+        },
+    ];
+
+    // Activities reference a few extra devices (e.g. the fridge compressor
+    // cycling after door openings) — model P_fridge as part of cooking.
+    let mut activities = daily_activities();
+    for act in &mut activities {
+        if act.name == "cook" {
+            act.uses.push(DeviceUse::new(
+                "P_fridge",
+                0.7,
+                (45.0, 110.0),
+                (300.0, 900.0),
+                4,
+            ));
+        }
+    }
+
+    HomeProfile::new(
+        "contextact",
+        reg,
+        apartment_topology(),
+        activities,
+        channels,
+        "hall",
+        Some("C_entrance"),
+        "bedroom",
+    )
+}
+
+/// The CASAS-like profile: 7 presence sensors and 1 contact sensor.
+pub fn casas_profile() -> HomeProfile {
+    let mut reg = DeviceRegistry::new();
+    for room in [
+        "hall", "living", "dining", "kitchen", "bedroom", "bathroom", "office",
+    ] {
+        reg.add(format!("PE_{room}"), Attribute::PresenceSensor, Room::new(room))
+            .expect("unique device names");
+    }
+    reg.add("C_entrance", Attribute::ContactSensor, Room::new("hall"))
+        .expect("unique device names");
+    HomeProfile::new(
+        "casas",
+        reg,
+        apartment_topology(),
+        daily_activities(),
+        Vec::new(),
+        "hall",
+        Some("C_entrance"),
+        "bedroom",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iot_model::ValueKind;
+
+    #[test]
+    fn contextact_census_matches_table_one() {
+        let profile = contextact_profile();
+        let census: std::collections::HashMap<_, _> =
+            profile.registry().attribute_census().into_iter().collect();
+        assert_eq!(census[&Attribute::Switch], 2);
+        assert_eq!(census[&Attribute::PresenceSensor], 5);
+        assert_eq!(census[&Attribute::ContactSensor], 2);
+        assert_eq!(census[&Attribute::Dimmer], 2);
+        assert_eq!(census[&Attribute::WaterMeter], 1);
+        assert_eq!(census[&Attribute::PowerSensor], 6);
+        assert_eq!(census[&Attribute::BrightnessSensor], 4);
+        assert_eq!(profile.registry().len(), 22);
+    }
+
+    #[test]
+    fn casas_census_matches_table_one() {
+        let profile = casas_profile();
+        let census: std::collections::HashMap<_, _> =
+            profile.registry().attribute_census().into_iter().collect();
+        assert_eq!(census[&Attribute::PresenceSensor], 7);
+        assert_eq!(census[&Attribute::ContactSensor], 1);
+        assert_eq!(profile.registry().len(), 8);
+    }
+
+    #[test]
+    fn casas_activities_have_no_unknown_devices() {
+        let profile = casas_profile();
+        for act in profile.activities() {
+            assert!(
+                act.uses.is_empty(),
+                "activity {} references devices CASAS lacks",
+                act.name
+            );
+        }
+        assert!(profile.channels().is_empty());
+    }
+
+    #[test]
+    fn contextact_channel_sources_are_registered() {
+        let profile = contextact_profile();
+        assert_eq!(profile.channels().len(), 4);
+        for ch in profile.channels() {
+            assert!(profile.registry().id_of(&ch.sensor).is_some());
+            for (src, _) in &ch.sources {
+                assert!(profile.registry().id_of(src).is_some(), "source {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_activity_room_has_presence_sensor_in_casas() {
+        let profile = casas_profile();
+        for act in profile.activities() {
+            if let Some(room) = &act.room {
+                assert!(profile.presence_sensor(room).is_some(), "room {room}");
+            }
+        }
+    }
+
+    #[test]
+    fn brightness_sensors_are_ambient() {
+        let profile = contextact_profile();
+        for ch in profile.channels() {
+            let id = profile.registry().id_of(&ch.sensor).unwrap();
+            assert_eq!(
+                profile.registry().device(id).value_kind(),
+                ValueKind::AmbientNumeric
+            );
+        }
+    }
+
+    #[test]
+    fn entry_metadata() {
+        let profile = contextact_profile();
+        assert_eq!(profile.entry_room(), "hall");
+        assert_eq!(profile.entrance_contact(), Some("C_entrance"));
+        assert_eq!(profile.sleep_room(), "bedroom");
+    }
+}

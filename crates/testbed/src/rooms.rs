@@ -1,0 +1,200 @@
+//! Room topology: the home's floor plan as an adjacency graph.
+//!
+//! Movement between activity locations fires presence sensors room by
+//! room, which is what creates the paper's *Move-after-Move* user
+//! interactions (traces of user movements, Table III).
+
+use std::collections::{HashMap, VecDeque};
+
+/// The home's rooms and which pairs are directly connected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoomTopology {
+    rooms: Vec<String>,
+    index: HashMap<String, usize>,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl RoomTopology {
+    /// Creates a topology with the given rooms and no connections.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate room names.
+    pub fn new(rooms: &[&str]) -> Self {
+        let mut index = HashMap::new();
+        for (i, room) in rooms.iter().enumerate() {
+            let prev = index.insert(room.to_string(), i);
+            assert!(prev.is_none(), "duplicate room `{room}`");
+        }
+        RoomTopology {
+            rooms: rooms.iter().map(|r| r.to_string()).collect(),
+            adjacency: vec![Vec::new(); rooms.len()],
+            index,
+        }
+    }
+
+    /// Connects two rooms bidirectionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either room is unknown.
+    pub fn connect(&mut self, a: &str, b: &str) {
+        let ia = self.require(a);
+        let ib = self.require(b);
+        if !self.adjacency[ia].contains(&ib) {
+            self.adjacency[ia].push(ib);
+            self.adjacency[ib].push(ia);
+        }
+    }
+
+    fn require(&self, room: &str) -> usize {
+        *self
+            .index
+            .get(room)
+            .unwrap_or_else(|| panic!("unknown room `{room}`"))
+    }
+
+    /// All room names, in declaration order.
+    pub fn rooms(&self) -> &[String] {
+        &self.rooms
+    }
+
+    /// Whether `room` exists in this topology.
+    pub fn contains(&self, room: &str) -> bool {
+        self.index.contains_key(room)
+    }
+
+    /// Whether two rooms are directly connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either room is unknown.
+    pub fn are_adjacent(&self, a: &str, b: &str) -> bool {
+        let ia = self.require(a);
+        let ib = self.require(b);
+        self.adjacency[ia].contains(&ib)
+    }
+
+    /// The rooms directly connected to `room`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `room` is unknown.
+    pub fn neighbours(&self, room: &str) -> Vec<&str> {
+        self.adjacency[self.require(room)]
+            .iter()
+            .map(|&i| self.rooms[i].as_str())
+            .collect()
+    }
+
+    /// The hop distance between two rooms (`0` for the same room), or
+    /// `None` when unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either room is unknown.
+    pub fn distance(&self, from: &str, to: &str) -> Option<usize> {
+        self.path(from, to).map(|p| p.len() - 1)
+    }
+
+    /// The shortest path from `from` to `to` (inclusive of both
+    /// endpoints), found by BFS. Returns `None` when unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either room is unknown.
+    pub fn path(&self, from: &str, to: &str) -> Option<Vec<&str>> {
+        let start = self.require(from);
+        let goal = self.require(to);
+        if start == goal {
+            return Some(vec![self.rooms[start].as_str()]);
+        }
+        let mut prev: Vec<Option<usize>> = vec![None; self.rooms.len()];
+        let mut queue = VecDeque::from([start]);
+        prev[start] = Some(start);
+        while let Some(node) = queue.pop_front() {
+            for &next in &self.adjacency[node] {
+                if prev[next].is_none() {
+                    prev[next] = Some(node);
+                    if next == goal {
+                        let mut path = vec![goal];
+                        let mut cur = goal;
+                        while cur != start {
+                            cur = prev[cur].expect("visited");
+                            path.push(cur);
+                        }
+                        path.reverse();
+                        return Some(path.into_iter().map(|i| self.rooms[i].as_str()).collect());
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apartment() -> RoomTopology {
+        let mut t = RoomTopology::new(&["hall", "living", "dining", "kitchen", "bedroom", "bathroom"]);
+        t.connect("hall", "living");
+        t.connect("living", "dining");
+        t.connect("dining", "kitchen");
+        t.connect("living", "bedroom");
+        t.connect("bedroom", "bathroom");
+        t
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let t = apartment();
+        assert!(t.are_adjacent("hall", "living"));
+        assert!(t.are_adjacent("living", "hall"));
+        assert!(!t.are_adjacent("hall", "kitchen"));
+    }
+
+    #[test]
+    fn shortest_path() {
+        let t = apartment();
+        let path = t.path("bathroom", "kitchen").unwrap();
+        assert_eq!(path, vec!["bathroom", "bedroom", "living", "dining", "kitchen"]);
+        assert_eq!(t.path("hall", "hall").unwrap(), vec!["hall"]);
+    }
+
+    #[test]
+    fn unreachable_room_gives_none() {
+        let mut t = RoomTopology::new(&["a", "b", "island"]);
+        t.connect("a", "b");
+        assert!(t.path("a", "island").is_none());
+    }
+
+    #[test]
+    fn neighbours_listed() {
+        let t = apartment();
+        let mut n = t.neighbours("living");
+        n.sort();
+        assert_eq!(n, vec!["bedroom", "dining", "hall"]);
+    }
+
+    #[test]
+    fn duplicate_connect_is_idempotent() {
+        let mut t = apartment();
+        t.connect("hall", "living");
+        assert_eq!(t.neighbours("hall").len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown room")]
+    fn unknown_room_panics() {
+        apartment().path("hall", "garage");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate room")]
+    fn duplicate_room_panics() {
+        RoomTopology::new(&["a", "a"]);
+    }
+}

@@ -1,0 +1,571 @@
+//! The trace generator: a resident living in a profiled home.
+//!
+//! Simulation runs in three passes:
+//!
+//! 1. **Resident pass** — a stochastic activity scheduler moves the
+//!    resident between rooms (firing presence sensors along topology
+//!    paths) and executes activity device programs,
+//! 2. **Physics pass** — per-room brightness is computed from daylight and
+//!    the active light sources; sensors report periodically *and* shortly
+//!    after any source change (periodic reports are the duplicated-report
+//!    noise the Event Preprocessor must filter),
+//! 3. **Noise pass** — duplicated state reports and occasional extreme
+//!    readings are injected (Section V-A's sanitation targets).
+//!
+//! Everything is driven by a seeded RNG, so traces are reproducible.
+
+use std::collections::HashMap;
+
+use iot_model::{Attribute, DeviceEvent, DeviceId, EventLog, StateValue, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::activity::DayPeriod;
+use crate::profile::HomeProfile;
+
+/// Sanitation-noise parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// Probability that an event is re-reported (duplicated) shortly
+    /// after.
+    pub duplicate_prob: f64,
+    /// Probability that a numeric event is followed by an absurd extreme
+    /// reading (three-sigma filter food).
+    pub extreme_prob: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            duplicate_prob: 0.05,
+            extreme_prob: 0.002,
+        }
+    }
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Trace length in days (the paper's ContextAct trace spans 7).
+    pub days: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Ambient-sensor reporting period in seconds.
+    pub brightness_period_secs: f64,
+    /// Sanitation-noise parameters.
+    pub noise: NoiseConfig,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            days: 7.0,
+            seed: 0xCA5A,
+            brightness_period_secs: 150.0,
+            noise: NoiseConfig::default(),
+        }
+    }
+}
+
+/// A generated trace.
+#[derive(Debug, Clone)]
+pub struct SimOutput {
+    /// The raw platform log (time-sorted, mixed value types, noisy).
+    pub log: EventLog,
+    /// The activity schedule that produced it (start seconds, activity
+    /// name) — useful for debugging and documentation, not consumed by the
+    /// pipeline.
+    pub activity_log: Vec<(f64, String)>,
+}
+
+/// Nominal "in use" numeric level for a responsive device.
+fn active_level(attribute: Attribute, rng: &mut StdRng) -> f64 {
+    match attribute {
+        Attribute::Dimmer => rng.gen_range(60.0..100.0),
+        Attribute::WaterMeter => rng.gen_range(4.0..15.0),
+        Attribute::PowerSensor => rng.gen_range(150.0..1800.0),
+        _ => 1.0,
+    }
+}
+
+struct Sim<'a> {
+    profile: &'a HomeProfile,
+    rng: StdRng,
+    events: Vec<DeviceEvent>,
+    /// Per-device time until which the device is busy (on).
+    busy_until: HashMap<DeviceId, f64>,
+}
+
+impl<'a> Sim<'a> {
+    fn push(&mut self, t: f64, device: DeviceId, value: StateValue) {
+        self.events
+            .push(DeviceEvent::new(Timestamp::from_secs_f64(t), device, value));
+    }
+
+    fn push_binary(&mut self, t: f64, name: &str, on: bool) {
+        if let Some(id) = self.profile.registry().id_of(name) {
+            self.push(t, id, StateValue::Binary(on));
+        }
+    }
+
+    /// Emits an on/off pair for a device, respecting its busy window.
+    /// Returns the off time (or `None` when the device was busy).
+    fn use_device(&mut self, name: &str, on_t: f64, duration: f64) -> Option<f64> {
+        let id = self.profile.registry().id_of(name)?;
+        if self.busy_until.get(&id).copied().unwrap_or(f64::MIN) >= on_t {
+            return None;
+        }
+        let off_t = on_t + duration;
+        self.busy_until.insert(id, off_t);
+        let device = self.profile.registry().device(id);
+        match device.attribute().value_kind() {
+            iot_model::ValueKind::Binary => {
+                self.push(on_t, id, StateValue::Binary(true));
+                self.push(off_t, id, StateValue::Binary(false));
+            }
+            _ => {
+                let level = active_level(device.attribute(), &mut self.rng);
+                self.push(on_t, id, StateValue::Numeric(level));
+                self.push(off_t, id, StateValue::Numeric(0.0));
+            }
+        }
+        Some(off_t)
+    }
+
+    /// Moves the resident between rooms, firing presence sensors along
+    /// the shortest path. Returns the arrival time.
+    fn move_resident(&mut self, from: Option<&str>, to: &str, start_t: f64) -> f64 {
+        let mut t = start_t;
+        let from = match from {
+            Some(room) if room == to => return t,
+            Some(room) => room.to_string(),
+            None => {
+                // Entering the home: appear at the entry room first.
+                let entry = self.profile.entry_room().to_string();
+                self.push_binary(t, &format!("PE_{entry}"), true);
+                t += self.rng.gen_range(2.0..5.0);
+                entry
+            }
+        };
+        let path: Vec<String> = self
+            .profile
+            .topology()
+            .path(&from, to)
+            .expect("home is connected")
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        for window in path.windows(2) {
+            let (prev, next) = (&window[0], &window[1]);
+            // Motion sensors hold for a few seconds after the resident
+            // leaves, so the destination sensor fires while the source is
+            // still ON — the overlap is what encodes movement in the
+            // lagged states (PE_a@-1 = on when PE_b turns on).
+            self.push_binary(t, &format!("PE_{next}"), true);
+            t += self.rng.gen_range(2.0..6.0);
+            self.push_binary(t, &format!("PE_{prev}"), false);
+            t += self.rng.gen_range(2.0..5.0);
+        }
+        t
+    }
+
+    /// The resident leaves the home from `from`.
+    fn leave_home(&mut self, from: Option<&str>, start_t: f64) -> f64 {
+        let entry = self.profile.entry_room().to_string();
+        let mut t = self.move_resident(from, &entry, start_t);
+        if let Some(contact) = self.profile.entrance_contact() {
+            let contact = contact.to_string();
+            self.push_binary(t, &contact, true);
+            t += self.rng.gen_range(4.0..10.0);
+            self.push_binary(t, &contact, false);
+        }
+        t += self.rng.gen_range(1.0..3.0);
+        self.push_binary(t, &format!("PE_{entry}"), false);
+        t
+    }
+
+    /// The resident comes back in through the entrance.
+    fn enter_home(&mut self, start_t: f64) -> f64 {
+        let entry = self.profile.entry_room().to_string();
+        let mut t = start_t;
+        if let Some(contact) = self.profile.entrance_contact() {
+            let contact = contact.to_string();
+            self.push_binary(t, &contact, true);
+            t += self.rng.gen_range(3.0..8.0);
+            self.push_binary(t, &contact, false);
+        }
+        t += self.rng.gen_range(1.0..3.0);
+        self.push_binary(t, &format!("PE_{entry}"), true);
+        t
+    }
+}
+
+/// Runs the simulation.
+///
+/// # Panics
+///
+/// Panics if `config.days <= 0` or the profile's floor plan is
+/// disconnected.
+pub fn simulate(profile: &HomeProfile, config: &SimConfig) -> SimOutput {
+    assert!(config.days > 0.0, "trace length must be positive");
+    let mut sim = Sim {
+        profile,
+        rng: StdRng::seed_from_u64(config.seed),
+        events: Vec::new(),
+        busy_until: HashMap::new(),
+    };
+    let horizon = config.days * 86_400.0;
+    let mut activity_log = Vec::new();
+
+    // Day 0 starts mid-sleep in the bedroom.
+    let mut t = 60.0;
+    let mut room: Option<String> = Some(profile.sleep_room().to_string());
+    sim.push_binary(t, &format!("PE_{}", profile.sleep_room()), true);
+    t += sim.rng.gen_range(30.0..90.0);
+
+    let mut prev_activity: Option<String> = Some("sleep".to_string());
+    while t < horizon {
+        let period = DayPeriod::of(t);
+        // Routine followups first (daily life is repetitive), otherwise a
+        // weighted choice for this time of day.
+        let mut chosen: Option<crate::activity::ActivityTemplate> = None;
+        if let Some(prev) = prev_activity
+            .as_deref()
+            .and_then(|name| profile.activities().iter().find(|a| a.name == name))
+        {
+            for (next_name, prob) in &prev.followups {
+                if let Some(next) = profile
+                    .activities()
+                    .iter()
+                    .find(|a| &a.name == next_name && a.weight(period) > 0.0)
+                {
+                    if sim.rng.gen_bool(prob.clamp(0.0, 1.0)) {
+                        chosen = Some(next.clone());
+                        break;
+                    }
+                }
+            }
+        }
+        let activity = chosen.unwrap_or_else(|| {
+            let total: f64 = profile.activities().iter().map(|a| a.weight(period)).sum();
+            assert!(total > 0.0, "no activity available in {period:?}");
+            let mut pick = sim.rng.gen_range(0.0..total);
+            profile
+                .activities()
+                .iter()
+                .find(|a| {
+                    pick -= a.weight(period);
+                    pick <= 0.0
+                })
+                .expect("weighted choice lands on an activity")
+                .clone()
+        });
+        prev_activity = Some(activity.name.clone());
+        activity_log.push((t, activity.name.clone()));
+        let duration = sim.rng.gen_range(activity.duration.0..=activity.duration.1);
+
+        match &activity.room {
+            None => {
+                t = sim.leave_home(room.as_deref(), t);
+                t += duration;
+                t = sim.enter_home(t);
+                room = Some(profile.entry_room().to_string());
+            }
+            Some(target) => {
+                t = sim.move_resident(room.as_deref(), target, t);
+                room = Some(target.clone());
+                let start = t;
+                for device_use in &activity.uses {
+                    if sim.rng.gen_bool(device_use.prob.clamp(0.0, 1.0)) {
+                        let on_t =
+                            start + sim.rng.gen_range(device_use.delay.0..=device_use.delay.1);
+                        let dur = sim
+                            .rng
+                            .gen_range(device_use.duration.0..=device_use.duration.1);
+                        sim.use_device(&device_use.device, on_t, dur);
+                    }
+                }
+                // Motion re-triggers while the resident stays in the room
+                // (duplicated state reports — sanitizer food).
+                let mut retrigger = start + sim.rng.gen_range(120.0..300.0);
+                while retrigger < start + duration {
+                    sim.push_binary(retrigger, &format!("PE_{target}"), true);
+                    retrigger += sim.rng.gen_range(120.0..300.0);
+                }
+                t = start + duration;
+            }
+        }
+    }
+
+    // ---- Physics pass: brightness channels. -------------------------------
+    sim.events.sort_by_key(|e| e.time);
+    let resident_events = sim.events.clone();
+    if !profile.channels().is_empty() {
+        let mut source_active: HashMap<DeviceId, bool> = HashMap::new();
+        let mut weather_by_day: Vec<f64> = Vec::new();
+        let mut day_weather = |day: usize, rng: &mut StdRng| -> f64 {
+            while weather_by_day.len() <= day {
+                weather_by_day.push(rng.gen_range(0.55..1.0));
+            }
+            weather_by_day[day]
+        };
+        // Interleave periodic ticks with resident events.
+        let mut tick = config.brightness_period_secs;
+        let mut idx = 0usize;
+        let mut pending: Vec<(f64, usize)> = Vec::new(); // (report time, channel)
+        let mut reports: Vec<DeviceEvent> = Vec::new();
+        let channel_ids: Vec<DeviceId> = profile
+            .channels()
+            .iter()
+            .map(|ch| profile.registry().id_of(&ch.sensor).expect("validated"))
+            .collect();
+        let emit = |t: f64,
+                        channel: usize,
+                        source_active: &HashMap<DeviceId, bool>,
+                        rng: &mut StdRng,
+                        weather: f64,
+                        reports: &mut Vec<DeviceEvent>| {
+            let ch = &profile.channels()[channel];
+            let lux = ch.lux(t, weather, |name| {
+                profile
+                    .registry()
+                    .id_of(name)
+                    .and_then(|id| source_active.get(&id).copied())
+                    .unwrap_or(false)
+            });
+            let jitter = 1.0 + rng.gen_range(-0.03..0.03);
+            reports.push(DeviceEvent::new(
+                Timestamp::from_secs_f64(t),
+                channel_ids[channel],
+                StateValue::Numeric((lux * jitter).max(0.0)),
+            ));
+        };
+        loop {
+            let next_event_t = resident_events
+                .get(idx)
+                .map(|e| e.time.as_secs_f64())
+                .unwrap_or(f64::INFINITY);
+            let next_pending_t = pending.first().map(|&(t, _)| t).unwrap_or(f64::INFINITY);
+            let next_t = tick.min(next_event_t).min(next_pending_t);
+            if next_t > horizon {
+                break;
+            }
+            let day = (next_t / 86_400.0) as usize;
+            let weather = day_weather(day, &mut sim.rng);
+            if next_pending_t <= tick && next_pending_t <= next_event_t {
+                let (t, channel) = pending.remove(0);
+                emit(t, channel, &source_active, &mut sim.rng, weather, &mut reports);
+            } else if next_event_t <= tick {
+                let event = &resident_events[idx];
+                idx += 1;
+                let on = match event.value {
+                    StateValue::Binary(b) => b,
+                    StateValue::Numeric(x) => x > 0.0,
+                };
+                source_active.insert(event.device, on);
+                // A source change triggers a prompt report on affected
+                // channels.
+                let name = profile.registry().name(event.device).to_string();
+                for (ci, ch) in profile.channels().iter().enumerate() {
+                    if ch.sources.iter().any(|(src, _)| *src == name) {
+                        pending.push((
+                            event.time.as_secs_f64() + sim.rng.gen_range(2.0..5.0),
+                            ci,
+                        ));
+                    }
+                }
+                pending.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+            } else {
+                for channel in 0..profile.channels().len() {
+                    emit(tick, channel, &source_active, &mut sim.rng, weather, &mut reports);
+                }
+                tick += config.brightness_period_secs * sim.rng.gen_range(0.9..1.1);
+            }
+        }
+        sim.events.extend(reports);
+    }
+
+    // ---- Noise pass: duplicates and extremes. ------------------------------
+    sim.events.sort_by_key(|e| e.time);
+    let mut noise: Vec<DeviceEvent> = Vec::new();
+    for event in &sim.events {
+        if sim.rng.gen_bool(config.noise.duplicate_prob) {
+            let mut dup = *event;
+            dup.time = dup.time + sim.rng.gen_range(1.0..3.0);
+            noise.push(dup);
+        }
+        if let StateValue::Numeric(x) = event.value {
+            if sim.rng.gen_bool(config.noise.extreme_prob) {
+                noise.push(DeviceEvent::new(
+                    event.time + sim.rng.gen_range(1.0..2.0),
+                    event.device,
+                    StateValue::Numeric(x * 20.0 + 5_000.0),
+                ));
+            }
+        }
+    }
+    sim.events.extend(noise);
+    sim.events.sort_by_key(|e| e.time);
+    sim.events.retain(|e| e.time.as_secs_f64() <= horizon);
+
+    SimOutput {
+        log: EventLog::from_sorted(sim.events).expect("sorted above"),
+        activity_log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{casas_profile, contextact_profile};
+
+    #[test]
+    fn trace_is_reproducible() {
+        let profile = contextact_profile();
+        let cfg = SimConfig {
+            days: 0.5,
+            ..SimConfig::default()
+        };
+        let a = simulate(&profile, &cfg);
+        let b = simulate(&profile, &cfg);
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.activity_log, b.activity_log);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let profile = contextact_profile();
+        let a = simulate(
+            &profile,
+            &SimConfig {
+                days: 0.5,
+                seed: 1,
+                ..SimConfig::default()
+            },
+        );
+        let b = simulate(
+            &profile,
+            &SimConfig {
+                days: 0.5,
+                seed: 2,
+                ..SimConfig::default()
+            },
+        );
+        assert_ne!(a.log, b.log);
+    }
+
+    #[test]
+    fn event_volume_is_plausible() {
+        let profile = contextact_profile();
+        let out = simulate(
+            &profile,
+            &SimConfig {
+                days: 1.0,
+                ..SimConfig::default()
+            },
+        );
+        // ContextAct collected ~7.8k events/day; our synthetic trace
+        // should be in the same order of magnitude.
+        assert!(
+            out.log.len() > 1_500 && out.log.len() < 20_000,
+            "got {} events/day",
+            out.log.len()
+        );
+    }
+
+    #[test]
+    fn all_devices_eventually_report() {
+        let profile = contextact_profile();
+        let out = simulate(
+            &profile,
+            &SimConfig {
+                days: 3.0,
+                ..SimConfig::default()
+            },
+        );
+        let mut seen = vec![false; profile.registry().len()];
+        for e in &out.log {
+            seen[e.device.index()] = true;
+        }
+        for device in profile.registry().iter() {
+            assert!(
+                seen[device.id().index()],
+                "device {} never reported",
+                device.name()
+            );
+        }
+    }
+
+    #[test]
+    fn casas_profile_only_fires_motion_and_contact() {
+        let profile = casas_profile();
+        let out = simulate(
+            &profile,
+            &SimConfig {
+                days: 1.0,
+                ..SimConfig::default()
+            },
+        );
+        assert!(out.log.len() > 200);
+        for e in &out.log {
+            let attr = profile.registry().device(e.device).attribute();
+            assert!(matches!(
+                attr,
+                Attribute::PresenceSensor | Attribute::ContactSensor
+            ));
+        }
+    }
+
+    #[test]
+    fn events_are_time_sorted_and_within_horizon() {
+        let profile = contextact_profile();
+        let cfg = SimConfig {
+            days: 0.25,
+            ..SimConfig::default()
+        };
+        let out = simulate(&profile, &cfg);
+        let mut prev = Timestamp::EPOCH;
+        for e in &out.log {
+            assert!(e.time >= prev);
+            prev = e.time;
+            assert!(e.time.as_secs_f64() <= cfg.days * 86_400.0);
+        }
+    }
+
+    #[test]
+    fn brightness_reports_track_daylight() {
+        let profile = contextact_profile();
+        let out = simulate(
+            &profile,
+            &SimConfig {
+                days: 1.0,
+                noise: NoiseConfig {
+                    duplicate_prob: 0.0,
+                    extreme_prob: 0.0,
+                },
+                ..SimConfig::default()
+            },
+        );
+        let b_living = profile.registry().id_of("B_living").unwrap();
+        let mut night = Vec::new();
+        let mut noon = Vec::new();
+        for e in &out.log {
+            if e.device == b_living {
+                let hour = (e.time.as_secs_f64() / 3600.0) % 24.0;
+                let lux = e.value.as_numeric().unwrap();
+                if !(5.0..21.0).contains(&hour) {
+                    night.push(lux);
+                } else if (11.0..15.0).contains(&hour) {
+                    noon.push(lux);
+                }
+            }
+        }
+        assert!(!night.is_empty() && !noon.is_empty());
+        let night_avg: f64 = night.iter().sum::<f64>() / night.len() as f64;
+        let noon_avg: f64 = noon.iter().sum::<f64>() / noon.len() as f64;
+        assert!(
+            noon_avg > night_avg + 50.0,
+            "noon {noon_avg:.1} vs night {night_avg:.1}"
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Small shared helpers for the runnable examples.
+//!
+//! Each example binary is self-contained; this library only hosts output
+//! formatting used by several of them.
+
+/// Prints a section banner to stdout.
+pub fn banner(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+/// Formats a probability as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pct_formats() {
+        assert_eq!(super::pct(0.952), "95.2%");
+    }
+}

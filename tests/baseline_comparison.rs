@@ -1,0 +1,123 @@
+//! Figure 5 shape: CausalIoT wins the baseline comparison, and each
+//! baseline fails the way the paper says it fails.
+
+use baselines::{Detector, HaWatcherDetector, MarkovDetector, OcsvmConfig, OcsvmDetector};
+use causaliot_bench::experiments::fig5;
+use causaliot_bench::{Dataset, ExperimentConfig};
+use iot_model::SystemState;
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig {
+        days: 12.0,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn causaliot_has_best_mean_f1() {
+    let ds = Dataset::contextact(&config());
+    let cells = fig5::cells_for(&ds, &config());
+    let means = fig5::mean_f1(&cells);
+    let causaliot = means
+        .iter()
+        .find(|(name, _)| name == "CausalIoT")
+        .expect("present")
+        .1;
+    for (name, f1) in &means {
+        assert!(
+            causaliot >= *f1 - 1e-9,
+            "CausalIoT {causaliot:.3} must match or beat {name} {f1:.3}"
+        );
+    }
+}
+
+/// The Markov baseline's failure mode: excellent recall, poor precision
+/// (every benign re-ordering is an unseen transition).
+#[test]
+fn markov_recall_exceeds_its_precision() {
+    let ds = Dataset::contextact(&config());
+    let cells = fig5::cells_for(&ds, &config());
+    let markov: Vec<_> = cells
+        .iter()
+        .filter(|c| c.detector == "Markov chain")
+        .collect();
+    let recall: f64 = markov.iter().map(|c| c.recall).sum::<f64>() / markov.len() as f64;
+    let precision: f64 =
+        markov.iter().map(|c| c.precision).sum::<f64>() / markov.len() as f64;
+    assert!(
+        recall > precision,
+        "Markov recall {recall:.3} vs precision {precision:.3}"
+    );
+    assert!(recall > 0.8, "Markov recall should be near-perfect");
+}
+
+/// OCSVM flags anything unusual-looking: strong recall, weak precision.
+#[test]
+fn ocsvm_is_high_recall_low_precision() {
+    let ds = Dataset::contextact(&config());
+    let cells = fig5::cells_for(&ds, &config());
+    let ocsvm: Vec<_> = cells.iter().filter(|c| c.detector == "OCSVM").collect();
+    let recall: f64 = ocsvm.iter().map(|c| c.recall).sum::<f64>() / ocsvm.len() as f64;
+    let precision: f64 = ocsvm.iter().map(|c| c.precision).sum::<f64>() / ocsvm.len() as f64;
+    assert!(recall > 0.5, "OCSVM recall {recall:.3}");
+    assert!(precision < 0.6, "OCSVM precision {precision:.3}");
+}
+
+/// HAWatcher's constraint filters reject cross-room interactions, which
+/// caps how much of the home it can model.
+#[test]
+fn hawatcher_rules_are_room_local() {
+    let ds = Dataset::contextact(&config());
+    let initial = SystemState::all_off(ds.profile.registry().len());
+    let detector = HaWatcherDetector::fit(
+        ds.profile.registry(),
+        &initial,
+        &ds.train_events,
+        10,
+        0.95,
+    );
+    assert!(detector.num_rules() > 0);
+    let registry = ds.profile.registry();
+    for device in registry.iter() {
+        for value in [true, false] {
+            for rule in detector.rules_for(device.id(), value) {
+                let a = registry.device(rule.event_device);
+                let b = registry.device(rule.state_device);
+                let same_room = a.room() == b.room();
+                let functional = matches!(
+                    (a.attribute(), b.attribute()),
+                    (iot_model::Attribute::Dimmer | iot_model::Attribute::Switch,
+                     iot_model::Attribute::BrightnessSensor)
+                        | (iot_model::Attribute::BrightnessSensor,
+                           iot_model::Attribute::Dimmer | iot_model::Attribute::Switch)
+                );
+                assert!(
+                    same_room || functional,
+                    "rule {} -> {} violates the background-knowledge filter",
+                    a.name(),
+                    b.name()
+                );
+            }
+        }
+    }
+}
+
+/// All detectors process identical inputs of arbitrary length without
+/// panicking (smoke-level robustness).
+#[test]
+fn detectors_handle_tiny_streams() {
+    let ds = Dataset::contextact(&ExperimentConfig {
+        days: 4.0,
+        ..ExperimentConfig::default()
+    });
+    let initial = SystemState::all_off(ds.profile.registry().len());
+    let markov = MarkovDetector::fit(&initial, &ds.train_events, 2);
+    let ocsvm = OcsvmDetector::fit(&initial, &ds.train_events, &OcsvmConfig::default());
+    let hawatcher =
+        HaWatcherDetector::fit(ds.profile.registry(), &initial, &ds.train_events, 10, 0.95);
+    let tiny = &ds.test_events[..3.min(ds.test_events.len())];
+    for detector in [&markov as &dyn Detector, &ocsvm, &hawatcher] {
+        let flags = detector.detect(&ds.test_initial, tiny);
+        assert_eq!(flags.len(), tiny.len(), "{}", detector.name());
+    }
+}

@@ -1,0 +1,98 @@
+//! Dataset tooling round-trips: CASAS-format log I/O and the derived
+//! state series.
+
+use integration_tests::TEST_SEED;
+use iot_model::{format_log, parse_log, StateSeries, SystemState};
+use testbed::{contextact_profile, simulate, SimConfig};
+
+#[test]
+fn simulated_trace_round_trips_through_casas_format() {
+    let profile = contextact_profile();
+    let sim = simulate(
+        &profile,
+        &SimConfig {
+            days: 1.0,
+            seed: TEST_SEED,
+            ..SimConfig::default()
+        },
+    );
+    let text = format_log(profile.registry(), &sim.log);
+    assert!(text.lines().count() == sim.log.len());
+    let parsed = parse_log(profile.registry(), &text).expect("parses");
+    assert_eq!(parsed.len(), sim.log.len());
+    // Timestamps survive to millisecond precision; numeric values
+    // round-trip through their display form.
+    for (a, b) in sim.log.iter().zip(parsed.iter()) {
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.device, b.device);
+        match (a.value, b.value) {
+            (iot_model::StateValue::Binary(x), iot_model::StateValue::Binary(y)) => {
+                assert_eq!(x, y)
+            }
+            (iot_model::StateValue::Numeric(x), iot_model::StateValue::Numeric(y)) => {
+                assert!((x - y).abs() < 1e-9, "{x} vs {y}")
+            }
+            other => panic!("value kind changed: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn preprocessing_is_deterministic_and_consistent_with_series() {
+    use causaliot::preprocess::{FittedPreprocessor, PreprocessConfig};
+    let profile = contextact_profile();
+    let sim = simulate(
+        &profile,
+        &SimConfig {
+            days: 2.0,
+            seed: TEST_SEED,
+            ..SimConfig::default()
+        },
+    );
+    let pp = FittedPreprocessor::fit(profile.registry(), &sim.log, &PreprocessConfig::default())
+        .expect("fit");
+    let events_a = pp.transform(&sim.log);
+    let events_b = pp.transform(&sim.log);
+    assert_eq!(events_a, events_b);
+
+    // Deriving the series and replaying it event-by-event agree.
+    let series = StateSeries::derive(
+        SystemState::all_off(profile.registry().len()),
+        events_a.clone(),
+    );
+    let mut state = SystemState::all_off(profile.registry().len());
+    for (j, event) in events_a.iter().enumerate() {
+        state.set(event.device, event.value);
+        assert_eq!(&state, series.state(j + 1), "state mismatch at event {j}");
+    }
+}
+
+#[test]
+fn sanitation_removes_extremes_and_duplicates() {
+    use causaliot::preprocess::{FittedPreprocessor, PreprocessConfig};
+    let profile = contextact_profile();
+    // Heavy noise exercise.
+    let sim = simulate(
+        &profile,
+        &SimConfig {
+            days: 2.0,
+            seed: TEST_SEED,
+            noise: testbed::NoiseConfig {
+                duplicate_prob: 0.3,
+                extreme_prob: 0.01,
+            },
+            ..SimConfig::default()
+        },
+    );
+    let pp = FittedPreprocessor::fit(profile.registry(), &sim.log, &PreprocessConfig::default())
+        .expect("fit");
+    let events = pp.transform(&sim.log);
+    // The preprocessed stream is much smaller than the noisy raw log and
+    // contains no consecutive per-device duplicates.
+    assert!(events.len() * 2 < sim.log.len());
+    let mut state = SystemState::all_off(profile.registry().len());
+    for event in &events {
+        assert_ne!(state.get(event.device), event.value);
+        state.set(event.device, event.value);
+    }
+}

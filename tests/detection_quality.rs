@@ -1,0 +1,110 @@
+//! Detection-quality integration tests: contextual and collective
+//! anomaly detection on the testbed (Tables IV and V shapes).
+
+use causaliot_bench::experiments::{table4, table5};
+use causaliot_bench::{Dataset, ExperimentConfig};
+use integration_tests::assert_in_range;
+use testbed::inject::{inject_contextual, ContextualCase};
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig {
+        days: 12.0,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn contextual_detection_beats_chance_on_all_cases() {
+    let rows = table4::rows_for(&Dataset::contextact(&config()), &config());
+    assert_eq!(rows.len(), 4);
+    for row in &rows {
+        // ~25% of positions are injected; accuracy must beat the trivial
+        // all-normal classifier and recall must be substantial.
+        assert_in_range(
+            &format!("{} accuracy", row.case.name()),
+            row.accuracy,
+            0.55,
+            1.0,
+        );
+        assert!(
+            row.recall > 0.15,
+            "{} recall {} too low",
+            row.case.name(),
+            row.recall
+        );
+    }
+}
+
+#[test]
+fn detection_is_deterministic() {
+    let ds = Dataset::contextact(&config());
+    let a = table4::rows_for(&ds, &config());
+    let b = table4::rows_for(&ds, &config());
+    assert_eq!(a, b);
+}
+
+#[test]
+fn collective_chains_are_detected_and_partially_tracked() {
+    let cfg = ExperimentConfig {
+        days: 12.0,
+        unseen_max_anomaly: false,
+        ..ExperimentConfig::default()
+    };
+    let rows = table5::rows_for(&Dataset::contextact(&cfg), &cfg);
+    assert_eq!(rows.len(), 9);
+    let avg_detected =
+        rows.iter().map(|r| r.pct_detected).sum::<f64>() / rows.len() as f64;
+    assert_in_range("avg chain detection", avg_detected, 0.3, 1.0);
+    // Detection length grows with k_max within each case.
+    for case_rows in rows.chunks(3) {
+        assert!(case_rows[2].avg_detection_len >= case_rows[0].avg_detection_len - 0.2);
+    }
+}
+
+#[test]
+fn injection_count_scales_with_request() {
+    let ds = Dataset::contextact(&config());
+    let small = inject_contextual(
+        &ds.profile,
+        &ds.test_events,
+        &ds.test_initial,
+        ContextualCase::RemoteControl,
+        20,
+        1,
+    );
+    let large = inject_contextual(
+        &ds.profile,
+        &ds.test_events,
+        &ds.test_initial,
+        ContextualCase::RemoteControl,
+        200,
+        1,
+    );
+    assert!(small.injected_positions.len() <= 20);
+    assert!(large.injected_positions.len() > small.injected_positions.len());
+    assert_eq!(
+        large.events.len(),
+        ds.test_events.len() + large.injected_positions.len()
+    );
+}
+
+#[test]
+fn tuned_beats_paper_faithful_on_recall() {
+    let tuned_cfg = config();
+    let faithful_cfg = ExperimentConfig {
+        calibration_fraction: 0.0,
+        unseen_max_anomaly: false,
+        ..tuned_cfg
+    };
+    let tuned = table4::rows_for(&Dataset::contextact(&tuned_cfg), &tuned_cfg);
+    let faithful = table4::rows_for(&Dataset::contextact(&faithful_cfg), &faithful_cfg);
+    let avg = |rows: &[table4::Table4Row]| {
+        rows.iter().map(|r| r.recall).sum::<f64>() / rows.len() as f64
+    };
+    assert!(
+        avg(&tuned) > avg(&faithful),
+        "tuned recall {} vs faithful {}",
+        avg(&tuned),
+        avg(&faithful)
+    );
+}

@@ -1,0 +1,190 @@
+//! Property-based tests on the core data structures and invariants.
+
+use causaliot::graph::{Cpt, LaggedVar, UnseenContext};
+use causaliot::monitor::PhantomStateMachine;
+use causaliot::snapshot::SnapshotData;
+use iot_model::{BinaryEvent, DeviceId, EventLog, StateSeries, SystemState, Timestamp};
+use iot_stats::chi2::{chi2_cdf, chi2_sf};
+use iot_stats::gsquare::{g_square_test, Observation};
+use iot_stats::jenks::jenks_breaks;
+use iot_stats::percentile::percentile;
+use proptest::prelude::*;
+
+fn arb_events(devices: usize, len: usize) -> impl Strategy<Value = Vec<BinaryEvent>> {
+    prop::collection::vec((0..devices, any::<bool>()), 1..len).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (d, v))| {
+                BinaryEvent::new(
+                    Timestamp::from_secs(i as u64),
+                    DeviceId::from_index(d),
+                    v,
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// A state series always has m+1 states, and state j differs from
+    /// state j-1 at most in the reporting device.
+    #[test]
+    fn state_series_single_device_transitions(events in arb_events(6, 200)) {
+        let series = StateSeries::derive(SystemState::all_off(6), events.clone());
+        prop_assert_eq!(series.num_events(), events.len());
+        for j in 1..=series.num_events() {
+            let prev = series.state(j - 1);
+            let cur = series.state(j);
+            let changed: Vec<usize> = (0..6)
+                .filter(|&d| prev.get(DeviceId::from_index(d)) != cur.get(DeviceId::from_index(d)))
+                .collect();
+            prop_assert!(changed.len() <= 1);
+            if let Some(&d) = changed.first() {
+                prop_assert_eq!(d, events[j - 1].device.index());
+            }
+        }
+    }
+
+    /// The phantom state machine tracks exactly the same states as the
+    /// derived series, for any event stream and any tau.
+    #[test]
+    fn phantom_machine_agrees_with_series(
+        events in arb_events(5, 120),
+        tau in 1usize..4,
+    ) {
+        let series = StateSeries::derive(SystemState::all_off(5), events.clone());
+        let mut pm = PhantomStateMachine::new(SystemState::all_off(5), tau);
+        for (j, event) in events.iter().enumerate() {
+            pm.apply(event);
+            prop_assert_eq!(pm.current(), series.state(j + 1));
+            for lag in 0..=tau.min(j + 1) {
+                for d in 0..5 {
+                    let id = DeviceId::from_index(d);
+                    prop_assert_eq!(pm.lagged(id, lag), series.lagged(j + 1, id, lag));
+                }
+            }
+        }
+    }
+
+    /// Bit-parallel contingency counting sums to the snapshot count for
+    /// any variables and conditioning sets.
+    #[test]
+    fn stratified_counts_total_is_snapshot_count(
+        events in arb_events(4, 150),
+        x_dev in 0usize..4, x_lag in 1usize..3,
+        y_dev in 0usize..4,
+        z_dev in 0usize..4, z_lag in 1usize..3,
+    ) {
+        prop_assume!(events.len() >= 3);
+        let series = StateSeries::derive(SystemState::all_off(4), events);
+        let data = SnapshotData::from_series(&series, 2);
+        let x = LaggedVar::new(DeviceId::from_index(x_dev), x_lag);
+        let y = LaggedVar::new(DeviceId::from_index(y_dev), 0);
+        let z = LaggedVar::new(DeviceId::from_index(z_dev), z_lag);
+        let z_set = if z == x { vec![] } else { vec![z] };
+        let table = data.stratified_counts(x, y, &z_set);
+        prop_assert_eq!(table.total(), data.num_snapshots() as u64);
+    }
+
+    /// CPT probabilities are valid distributions under every policy.
+    #[test]
+    fn cpt_probabilities_sum_to_one(
+        records in prop::collection::vec((0usize..4, any::<bool>()), 0..100),
+    ) {
+        let causes = vec![
+            LaggedVar::new(DeviceId::from_index(0), 1),
+            LaggedVar::new(DeviceId::from_index(1), 2),
+        ];
+        let mut cpt = Cpt::new(causes, 0.0);
+        for (code, value) in records {
+            cpt.record(code, value);
+        }
+        for policy in [UnseenContext::Marginal, UnseenContext::Uniform, UnseenContext::MaxAnomaly] {
+            for code in 0..cpt.num_contexts() {
+                let p_on = cpt.prob(code, true, policy);
+                let p_off = cpt.prob(code, false, policy);
+                prop_assert!((0.0..=1.0).contains(&p_on));
+                prop_assert!((0.0..=1.0).contains(&p_off));
+                if cpt.context_count(code) > 0 {
+                    prop_assert!((p_on + p_off - 1.0).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    /// The chi-square CDF and survival function are complementary and
+    /// monotone.
+    #[test]
+    fn chi2_cdf_properties(x in 0.0f64..200.0, dof in 1u64..30) {
+        let cdf = chi2_cdf(x, dof);
+        let sf = chi2_sf(x, dof);
+        prop_assert!((cdf + sf - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&cdf));
+        let cdf2 = chi2_cdf(x + 1.0, dof);
+        prop_assert!(cdf2 >= cdf - 1e-12);
+    }
+
+    /// G² p-values live in [0, 1] for arbitrary binary data.
+    #[test]
+    fn g_square_p_value_in_unit_interval(
+        obs in prop::collection::vec((any::<bool>(), any::<bool>(), 0usize..4), 0..300),
+    ) {
+        let observations: Vec<Observation> = obs
+            .into_iter()
+            .map(|(x, y, z)| Observation { x, y, z_code: z })
+            .collect();
+        let r = g_square_test(observations, 2);
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        prop_assert!(r.statistic >= -1e-9);
+    }
+
+    /// Jenks breaks are sorted and lie within the data range.
+    #[test]
+    fn jenks_breaks_are_ordered_and_bounded(
+        mut values in prop::collection::vec(-1e5f64..1e5, 4..60),
+        classes in 2usize..4,
+    ) {
+        prop_assume!(values.len() >= classes);
+        let breaks = jenks_breaks(&values, classes);
+        prop_assert_eq!(breaks.len(), classes - 1);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for pair in breaks.windows(2) {
+            prop_assert!(pair[0] <= pair[1]);
+        }
+        for b in &breaks {
+            prop_assert!(*b >= values[0] && *b <= *values.last().unwrap());
+        }
+    }
+
+    /// Percentiles are monotone in q and bounded by the extremes.
+    #[test]
+    fn percentile_monotone(
+        values in prop::collection::vec(-1e6f64..1e6, 1..80),
+        q1 in 0.0f64..100.0,
+        q2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let p_lo = percentile(&values, lo);
+        let p_hi = percentile(&values, hi);
+        prop_assert!(p_lo <= p_hi + 1e-9);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p_lo >= min - 1e-9 && p_hi <= max + 1e-9);
+    }
+
+    /// EventLog::push keeps the log sorted for arbitrary insertion orders.
+    #[test]
+    fn event_log_always_sorted(times in prop::collection::vec(0u64..10_000, 0..120)) {
+        let mut log = EventLog::new();
+        for (i, t) in times.iter().enumerate() {
+            log.push(iot_model::DeviceEvent::new(
+                Timestamp::from_secs(*t),
+                DeviceId::from_index(i % 3),
+                iot_model::StateValue::Binary(i % 2 == 0),
+            ));
+        }
+        for pair in log.events().windows(2) {
+            prop_assert!(pair[0].time <= pair[1].time);
+        }
+    }
+}

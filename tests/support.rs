@@ -1,0 +1,13 @@
+//! Shared helpers for the cross-crate integration tests.
+
+/// Deterministic seed used across integration tests so failures reproduce.
+pub const TEST_SEED: u64 = 0xC0FFEE;
+
+/// Asserts that `value` lies within `[lo, hi]`, with a readable message.
+#[track_caller]
+pub fn assert_in_range(name: &str, value: f64, lo: f64, hi: f64) {
+    assert!(
+        (lo..=hi).contains(&value),
+        "{name} = {value:.4} outside expected range [{lo}, {hi}]"
+    );
+}
