@@ -59,9 +59,7 @@ fn semantically_related(registry: &DeviceRegistry, a: DeviceId, b: DeviceId) -> 
     let light_pair = |x: Attribute, y: Attribute| {
         matches!(x, Attribute::Dimmer | Attribute::Switch) && y == Attribute::BrightnessSensor
     };
-    let movement = |x: Attribute| {
-        matches!(x, Attribute::PresenceSensor | Attribute::ContactSensor)
-    };
+    let movement = |x: Attribute| matches!(x, Attribute::PresenceSensor | Attribute::ContactSensor);
     light_pair(da.attribute(), db.attribute())
         || light_pair(db.attribute(), da.attribute())
         || (movement(da.attribute()) && movement(db.attribute()) && da.room() == db.room())
@@ -183,8 +181,12 @@ mod tests {
 
     fn registry() -> DeviceRegistry {
         let mut reg = DeviceRegistry::new();
-        reg.add("PE_kitchen", Attribute::PresenceSensor, Room::new("kitchen"))
-            .unwrap();
+        reg.add(
+            "PE_kitchen",
+            Attribute::PresenceSensor,
+            Room::new("kitchen"),
+        )
+        .unwrap();
         reg.add("P_stove", Attribute::PowerSensor, Room::new("kitchen"))
             .unwrap();
         reg.add("PE_dining", Attribute::PresenceSensor, Room::new("dining"))
@@ -228,7 +230,9 @@ mod tests {
             det.rules_for(DeviceId::from_index(1), true),
             det.rules_for(DeviceId::from_index(1), false),
         ] {
-            assert!(rules.iter().all(|r| r.state_device != DeviceId::from_index(2)));
+            assert!(rules
+                .iter()
+                .all(|r| r.state_device != DeviceId::from_index(2)));
         }
     }
 
@@ -243,7 +247,10 @@ mod tests {
         assert_eq!(flags, vec![true]);
         // The legitimate sequence stays clean.
         let flags = det.detect(&initial, &kitchen_routine(3));
-        assert!(flags.iter().all(|&f| !f), "training replay flags: {flags:?}");
+        assert!(
+            flags.iter().all(|&f| !f),
+            "training replay flags: {flags:?}"
+        );
     }
 
     #[test]

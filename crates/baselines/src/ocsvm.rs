@@ -100,9 +100,8 @@ impl OcsvmDetector {
                 .collect();
         }
         let l = states.len();
-        let kernel_by_distance: Vec<f64> = (0..=n)
-            .map(|d| (-config.gamma * d as f64).exp())
-            .collect();
+        let kernel_by_distance: Vec<f64> =
+            (0..=n).map(|d| (-config.gamma * d as f64).exp()).collect();
         let kernel = |a: u64, b: u64| kernel_by_distance[(a ^ b).count_ones() as usize];
 
         // SMO-style pairwise optimisation of the one-class dual.
@@ -132,14 +131,10 @@ impl OcsvmDetector {
             let mut best_i = None;
             let mut best_j = None;
             for idx in 0..l {
-                if alphas[idx] > 1e-12
-                    && best_i.is_none_or(|bi: usize| grad[idx] > grad[bi])
-                {
+                if alphas[idx] > 1e-12 && best_i.is_none_or(|bi: usize| grad[idx] > grad[bi]) {
                     best_i = Some(idx);
                 }
-                if alphas[idx] < c - 1e-12
-                    && best_j.is_none_or(|bj: usize| grad[idx] < grad[bj])
-                {
+                if alphas[idx] < c - 1e-12 && best_j.is_none_or(|bj: usize| grad[idx] < grad[bj]) {
                     best_j = Some(idx);
                 }
             }
@@ -276,8 +271,7 @@ mod tests {
         let events = two_cluster_stream(100);
         let det = OcsvmDetector::fit(&initial, &events, &OcsvmConfig::default());
         // Turn on devices 4..8 — hamming distance >= 4 from anything seen.
-        let runtime: Vec<BinaryEvent> =
-            (4..8).map(|d| bev(1_000 + d as u64, d, true)).collect();
+        let runtime: Vec<BinaryEvent> = (4..8).map(|d| bev(1_000 + d as u64, d, true)).collect();
         let flags = det.detect(&initial, &runtime);
         assert!(
             *flags.last().expect("non-empty"),

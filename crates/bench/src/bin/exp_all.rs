@@ -3,11 +3,12 @@
 
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
 
 use causaliot_bench::experiments::{
     ablations, complexity, fig2_4, fig5, table1, table2, table3, table4, table5,
 };
-use causaliot_bench::{Dataset, ExperimentConfig};
+use causaliot_bench::{telemetry_out, Dataset, ExperimentConfig};
 
 fn write(dir: &Path, name: &str, contents: String) {
     let path = dir.join(name);
@@ -16,6 +17,7 @@ fn write(dir: &Path, name: &str, contents: String) {
 }
 
 fn main() {
+    let run_start = Instant::now();
     let dir = Path::new("results");
     fs::create_dir_all(dir).expect("create results dir");
     let base = ExperimentConfig::default();
@@ -57,10 +59,7 @@ fn main() {
         complexity::render(&mining, &monitor)
     });
     write(dir, "casas.txt", {
-        let cfg = ExperimentConfig {
-            days: 30.0,
-            ..base
-        };
+        let cfg = ExperimentConfig { days: 30.0, ..base };
         let ds = Dataset::casas(&cfg);
         table3::render(&table3::report_for(&ds, &cfg))
     });
@@ -92,5 +91,28 @@ fn main() {
         ));
         out
     });
+    // Observability reports: one representative fit + monitoring session
+    // on the ContextAct-like dataset, serialised as machine-readable JSON.
+    let ds = Dataset::contextact(&base);
+    telemetry_out::write_report(
+        "fit_report_contextact.json",
+        &ds.model.fit_report().to_json(),
+    );
+    let mut monitor = ds.model.monitor_with(1, ds.test_initial.clone());
+    for &event in &ds.test_events {
+        monitor.observe(event);
+    }
+    telemetry_out::write_report(
+        "monitor_report_contextact.json",
+        &monitor.report().to_json(),
+    );
+    telemetry_out::write_report(
+        "exp_all.json",
+        &telemetry_out::run_report(
+            "exp_all",
+            run_start.elapsed().as_secs_f64() * 1e3,
+            &[("test_events", ds.test_events.len() as f64)],
+        ),
+    );
     println!("\nall experiments written to {}", dir.display());
 }

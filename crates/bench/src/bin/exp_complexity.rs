@@ -1,10 +1,15 @@
 //! Regenerates the Section V-D complexity measurements.
 
 use causaliot_bench::experiments::complexity;
+use causaliot_bench::telemetry_out;
 
 fn main() {
     println!("== Section V-D: computational complexity ==\n");
     let mining = complexity::mining_scaling(&[4, 8, 12, 16, 20, 24]);
     let monitor = complexity::monitor_scaling(&[4, 8, 16, 24]);
     println!("{}", complexity::render(&mining, &monitor));
+    telemetry_out::write_report(
+        "exp_complexity.json",
+        &complexity::to_json(&mining, &monitor),
+    );
 }

@@ -1,8 +1,21 @@
 //! Regenerates Table I: overview of device information.
 
+use std::time::Instant;
+
 use causaliot_bench::experiments::table1;
+use causaliot_bench::telemetry_out;
 
 fn main() {
+    let start = Instant::now();
     println!("== Table I: Overview of device information ==\n");
-    println!("{}", table1::render(&table1::run()));
+    let rows = table1::run();
+    println!("{}", table1::render(&rows));
+    telemetry_out::write_report(
+        "exp_table1.json",
+        &telemetry_out::run_report(
+            "exp_table1",
+            start.elapsed().as_secs_f64() * 1e3,
+            &[("rows", rows.len() as f64)],
+        ),
+    );
 }

@@ -5,5 +5,8 @@ use causaliot_bench::ExperimentConfig;
 
 fn main() {
     println!("== Table II: Automation rules in ContextAct ==\n");
-    println!("{}", table2::render(&table2::run(&ExperimentConfig::default())));
+    println!(
+        "{}",
+        table2::render(&table2::run(&ExperimentConfig::default()))
+    );
 }

@@ -12,8 +12,8 @@
 use causaliot::pipeline::{CausalIot, FittedModel};
 use iot_model::{BinaryEvent, EventLog, SystemState};
 use testbed::{
-    casas_profile, contextact_profile, generate_rules, inject_automation, simulate,
-    GroundTruth, HomeProfile, Rule, SimConfig,
+    casas_profile, contextact_profile, generate_rules, inject_automation, simulate, GroundTruth,
+    HomeProfile, Rule, SimConfig,
 };
 
 use crate::config::ExperimentConfig;
@@ -70,12 +70,8 @@ impl Dataset {
         );
         let rules = generate_rules(&profile, config.num_rules, config.rule_seed);
         let automation = inject_automation(&profile, &sim.log, &rules, config.rule_seed);
-        let ground_truth = GroundTruth::extract_with_support(
-            &profile,
-            &automation.log,
-            &rules,
-            config.gt_support,
-        );
+        let ground_truth =
+            GroundTruth::extract_with_support(&profile, &automation.log, &rules, config.gt_support);
         let (train_log, test_log) = automation.log.split_at_fraction(config.train_fraction);
         let unseen = if config.unseen_max_anomaly {
             causaliot::graph::UnseenContext::MaxAnomaly

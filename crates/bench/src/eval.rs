@@ -55,13 +55,7 @@ pub fn evaluate_chains(
     for event in events {
         let verdict = monitor.observe(*event);
         for alarm in &verdict.alarms {
-            alarm_sets.push(
-                alarm
-                    .events
-                    .iter()
-                    .map(|a| a.ordinal as usize)
-                    .collect(),
-            );
+            alarm_sets.push(alarm.events.iter().map(|a| a.ordinal as usize).collect());
         }
     }
     chains

@@ -219,7 +219,10 @@ pub fn daylight_augmentation(base: &ExperimentConfig) -> (usize, usize) {
             )
         })
         .collect();
-    (count_brightness_fps(&plain), count_brightness_fps(&with_clock))
+    (
+        count_brightness_fps(&plain),
+        count_brightness_fps(&with_clock),
+    )
 }
 
 fn detect_remote_control(ds: &Dataset, base: &ExperimentConfig) -> DetectionAblationRow {

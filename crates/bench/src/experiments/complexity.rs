@@ -106,11 +106,8 @@ pub fn monitor_scaling(device_counts: &[usize]) -> Vec<MonitorPoint> {
             let series = chain_trace(n, 300, 43);
             let data = SnapshotData::from_series(&series, 2);
             let dig = mine_dig(&data, &MinerConfig::default());
-            let mut detector = KSequenceDetector::new(
-                &dig,
-                SystemState::all_off(n),
-                DetectorConfig::new(0.99, 1),
-            );
+            let mut detector =
+                KSequenceDetector::new(&dig, SystemState::all_off(n), DetectorConfig::new(0.99, 1));
             // Re-drive the training events through the monitor.
             let events: Vec<BinaryEvent> = series.events().to_vec();
             let start = Instant::now();
@@ -153,9 +150,54 @@ pub fn render(mining: &[MiningPoint], monitor: &[MonitorPoint]) -> String {
     out
 }
 
+/// Renders both measurements as one compact JSON object — the
+/// `BENCH_<date>.json` performance-trajectory entry written by
+/// `scripts/bench_snapshot.sh`.
+pub fn to_json(mining: &[MiningPoint], monitor: &[MonitorPoint]) -> String {
+    use iot_telemetry::json::JsonValue;
+    let mut obj = JsonValue::object();
+    obj.push("kind", "complexity_report");
+    let mining_points: Vec<JsonValue> = mining
+        .iter()
+        .map(|p| {
+            let mut point = JsonValue::object();
+            point
+                .push("num_devices", p.num_devices)
+                .push("num_snapshots", p.num_snapshots)
+                .push("ci_tests", p.ci_tests)
+                .push("millis", p.millis);
+            point
+        })
+        .collect();
+    obj.push("mining", JsonValue::Array(mining_points));
+    let monitor_points: Vec<JsonValue> = monitor
+        .iter()
+        .map(|p| {
+            let mut point = JsonValue::object();
+            point
+                .push("num_devices", p.num_devices)
+                .push("events", p.events)
+                .push("nanos_per_event", p.nanos_per_event);
+            point
+        })
+        .collect();
+    obj.push("monitor", JsonValue::Array(monitor_points));
+    obj.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_report_has_both_sections() {
+        let mining = mining_scaling(&[4]);
+        let monitor = monitor_scaling(&[4]);
+        let json = to_json(&mining, &monitor);
+        assert!(json.contains("\"kind\":\"complexity_report\""), "{json}");
+        assert!(json.contains("\"ci_tests\""), "{json}");
+        assert!(json.contains("\"nanos_per_event\""), "{json}");
+    }
 
     #[test]
     fn ci_tests_grow_with_device_count() {

@@ -42,7 +42,11 @@ pub fn run(seed: u64) -> Walkthrough {
         .add("P_heater", Attribute::PowerSensor, Room::new("living"))
         .expect("unique");
     let temp = registry
-        .add("B_temperature", Attribute::BrightnessSensor, Room::new("living"))
+        .add(
+            "B_temperature",
+            Attribute::BrightnessSensor,
+            Room::new("living"),
+        )
         .expect("unique");
 
     // Chain: light toggles at random; the heater follows the light (an
@@ -71,9 +75,8 @@ pub fn run(seed: u64) -> Walkthrough {
 
     // Figure 4 walkthrough for the temperature sensor.
     let (temp_causes, trace) = pc.discover_causes_traced(&data, temp);
-    let name_of = |v: causaliot::graph::LaggedVar| {
-        format!("{}@-{}", registry.name(v.device), v.lag)
-    };
+    let name_of =
+        |v: causaliot::graph::LaggedVar| format!("{}@-{}", registry.name(v.device), v.lag);
     let trace_lines: Vec<String> = trace
         .iter()
         .map(|removal| {

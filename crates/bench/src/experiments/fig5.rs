@@ -86,7 +86,10 @@ pub fn render(cells: &[Fig5Cell]) -> String {
     };
     let mut out = String::new();
     for (metric, get) in [
-        ("Precision", (|c: &Fig5Cell| c.precision) as fn(&Fig5Cell) -> f64),
+        (
+            "Precision",
+            (|c: &Fig5Cell| c.precision) as fn(&Fig5Cell) -> f64,
+        ),
         ("Recall", |c: &Fig5Cell| c.recall),
         ("F1", |c: &Fig5Cell| c.f1),
     ] {

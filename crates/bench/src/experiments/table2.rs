@@ -48,7 +48,10 @@ mod tests {
     fn generates_twelve_rules_with_chains() {
         let report = run(&ExperimentConfig::default());
         assert_eq!(report.rules.len(), 12);
-        assert!(!report.chains.is_empty(), "chains required for Table V case 3");
+        assert!(
+            !report.chains.is_empty(),
+            "chains required for Table V case 3"
+        );
         let text = render(&report);
         assert!(text.contains("R1"));
         assert!(text.contains("->"));

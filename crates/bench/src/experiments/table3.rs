@@ -104,10 +104,7 @@ pub fn report_for(ds: &Dataset, config: &ExperimentConfig) -> MiningReport {
     // Rejected-candidate accounting via a traced re-run of TemporalPC.
     let preprocessor = ds.model.preprocessor().expect("raw-log dataset");
     let events = preprocessor.transform(&ds.train_log);
-    let series = StateSeries::derive(
-        iot_model::SystemState::all_off(registry.len()),
-        events,
-    );
+    let series = StateSeries::derive(iot_model::SystemState::all_off(registry.len()), events);
     let data = SnapshotData::from_series(&series, config.tau);
     let pc = TemporalPc::new(MinerConfig {
         alpha: config.alpha,
@@ -154,18 +151,17 @@ pub fn report_for(ds: &Dataset, config: &ExperimentConfig) -> MiningReport {
         let causes = ds.model.dig().causes_of(action);
         if let Some(&cause) = causes.iter().find(|c| c.device == trigger) {
             let cpt = ds.model.dig().cpt(action);
-            let code = cpt.context_code(|c| {
-                if c == cause {
-                    rule.trigger.1
-                } else {
-                    false
-                }
-            });
+            let code = cpt.context_code(|c| if c == cause { rule.trigger.1 } else { false });
             let p = cpt.prob(code, rule.action.1, UnseenContext::Marginal);
             example_cpts.push(format!(
                 "P({} = {} | {}@-{} = {}) = {:.3}   // automation rule {}",
-                rule.action.0, rule.action.1 as u8, rule.trigger.0, cause.lag,
-                rule.trigger.1 as u8, p, rule.id
+                rule.action.0,
+                rule.action.1 as u8,
+                rule.trigger.0,
+                cause.lag,
+                rule.trigger.1 as u8,
+                p,
+                rule.id
             ));
             if example_cpts.len() >= 3 {
                 break;
@@ -173,11 +169,8 @@ pub fn report_for(ds: &Dataset, config: &ExperimentConfig) -> MiningReport {
         }
     }
 
-    let false_positives: Vec<(String, String)> = mined
-        .iter()
-        .filter(|p| !gt.contains(*p))
-        .cloned()
-        .collect();
+    let false_positives: Vec<(String, String)> =
+        mined.iter().filter(|p| !gt.contains(*p)).cloned().collect();
     let fp_brightness = false_positives
         .iter()
         .filter(|(c, o)| c.starts_with("B_") || o.starts_with("B_"))
@@ -187,11 +180,8 @@ pub fn report_for(ds: &Dataset, config: &ExperimentConfig) -> MiningReport {
     } else {
         fp_brightness as f64 / false_positives.len() as f64
     };
-    let missed: Vec<(String, String)> = gt
-        .iter()
-        .filter(|p| !mined.contains(*p))
-        .cloned()
-        .collect();
+    let missed: Vec<(String, String)> =
+        gt.iter().filter(|p| !mined.contains(*p)).cloned().collect();
 
     MiningReport {
         gt_total: gt.len(),

@@ -49,8 +49,7 @@ pub fn rows_for(ds: &Dataset, config: &ExperimentConfig) -> Vec<Table4Row> {
                 count,
                 config.inject_seed,
             );
-            let alarms =
-                contextual_alarm_positions(&ds.model, &ds.test_initial, &injection.events);
+            let alarms = contextual_alarm_positions(&ds.model, &ds.test_initial, &injection.events);
             let matrix = contextual_confusion(
                 &injection.injected_positions,
                 &alarms,
@@ -72,7 +71,14 @@ pub fn rows_for(ds: &Dataset, config: &ExperimentConfig) -> Vec<Table4Row> {
 /// Renders the paper-style table.
 pub fn render(rows: &[Table4Row]) -> String {
     let mut table = Table::new([
-        "ID", "Case", "Injected", "States", "Accuracy", "Precision", "Recall", "F1",
+        "ID",
+        "Case",
+        "Injected",
+        "States",
+        "Accuracy",
+        "Precision",
+        "Recall",
+        "F1",
     ]);
     for (i, row) in rows.iter().enumerate() {
         table.row([
@@ -109,7 +115,12 @@ mod tests {
         assert_eq!(rows.len(), 4);
         for row in &rows {
             assert!(row.injected > 0, "{:?} injected nothing", row.case);
-            assert!(row.accuracy > 0.5, "{:?} accuracy {}", row.case, row.accuracy);
+            assert!(
+                row.accuracy > 0.5,
+                "{:?} accuracy {}",
+                row.case,
+                row.accuracy
+            );
         }
         let text = render(&rows);
         assert!(text.contains("Burglar Intrusion"));

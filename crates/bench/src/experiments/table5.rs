@@ -95,8 +95,7 @@ pub fn render(rows: &[Table5Row]) -> String {
             f3(row.avg_detection_len),
         ]);
     }
-    let avg_detected =
-        rows.iter().map(|r| r.pct_detected).sum::<f64>() / rows.len().max(1) as f64;
+    let avg_detected = rows.iter().map(|r| r.pct_detected).sum::<f64>() / rows.len().max(1) as f64;
     let avg_tracked = rows.iter().map(|r| r.pct_tracked).sum::<f64>() / rows.len().max(1) as f64;
     format!(
         "{}\nAverage: detected {}, tracked {}\n",
@@ -118,7 +117,13 @@ mod tests {
         });
         assert_eq!(rows.len(), 9);
         for row in &rows {
-            assert!(row.num_chains >= 10, "{:?} k={} chains {}", row.case, row.k_max, row.num_chains);
+            assert!(
+                row.num_chains >= 10,
+                "{:?} k={} chains {}",
+                row.case,
+                row.k_max,
+                row.num_chains
+            );
             assert!(row.avg_anomaly_len >= 2.0 - 1e-9);
             assert!(row.avg_anomaly_len <= row.k_max as f64 + 1e-9);
             assert!(row.avg_detection_len <= row.avg_anomaly_len + 1e-9);

@@ -14,6 +14,7 @@ pub mod dataset;
 pub mod eval;
 pub mod experiments;
 pub mod render;
+pub mod telemetry_out;
 
 pub use config::ExperimentConfig;
 pub use dataset::Dataset;

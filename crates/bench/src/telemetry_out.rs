@@ -1,0 +1,64 @@
+//! Telemetry output for the `exp_*` binaries: JSON run reports under
+//! `results/telemetry/`.
+//!
+//! Every experiment binary drops at least one machine-readable report
+//! here (`scripts/bench_snapshot.sh` consumes `exp_complexity.json` for
+//! the `BENCH_<date>.json` performance trajectory). Reports are compact
+//! single-line JSON so they can be appended to JSONL files verbatim.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use iot_telemetry::json::JsonValue;
+
+/// The directory experiment telemetry reports are written to.
+pub fn telemetry_dir() -> PathBuf {
+    Path::new("results").join("telemetry")
+}
+
+/// Writes one JSON report under [`telemetry_dir`], creating it as needed,
+/// and returns the path.
+///
+/// # Panics
+///
+/// Panics when the directory or file cannot be written — the experiment
+/// binaries treat an unwritable results tree as a fatal setup error.
+pub fn write_report(name: &str, json: &str) -> PathBuf {
+    let dir = telemetry_dir();
+    fs::create_dir_all(&dir).expect("create results/telemetry");
+    let path = dir.join(name);
+    let mut contents = json.to_string();
+    if !contents.ends_with('\n') {
+        contents.push('\n');
+    }
+    fs::write(&path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+    path
+}
+
+/// A minimal run report for binaries without a natural [`iot_telemetry::FitReport`]:
+/// the binary name, its wall time, and any extra numeric facts.
+pub fn run_report(binary: &str, wall_ms: f64, extra: &[(&str, f64)]) -> String {
+    let mut obj = JsonValue::object();
+    obj.push("kind", "run_report")
+        .push("binary", binary)
+        .push("wall_ms", wall_ms);
+    for (key, value) in extra {
+        obj.push(key, *value);
+    }
+    obj.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_report_is_compact_json() {
+        let json = run_report("exp_test", 12.5, &[("rows", 44.0)]);
+        assert_eq!(
+            json,
+            r#"{"kind":"run_report","binary":"exp_test","wall_ms":12.5,"rows":44}"#
+        );
+    }
+}

@@ -110,8 +110,7 @@ impl Cpt {
                 UnseenContext::MaxAnomaly => 0.0,
             };
         }
-        (cell[outcome as usize] as f64 + self.smoothing)
-            / (total as f64 + 2.0 * self.smoothing)
+        (cell[outcome as usize] as f64 + self.smoothing) / (total as f64 + 2.0 * self.smoothing)
     }
 
     /// The marginal `P(S = outcome)` ignoring causes (`0.5` when the table

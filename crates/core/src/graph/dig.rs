@@ -115,12 +115,15 @@ impl Dig {
     /// Iterates over every mined interaction (edge), in deterministic
     /// order.
     pub fn interactions(&self) -> impl Iterator<Item = Interaction> + '_ {
-        self.causes.iter().enumerate().flat_map(|(outcome, causes)| {
-            causes.iter().map(move |&cause| Interaction {
-                cause,
-                outcome: DeviceId::from_index(outcome),
+        self.causes
+            .iter()
+            .enumerate()
+            .flat_map(|(outcome, causes)| {
+                causes.iter().map(move |&cause| Interaction {
+                    cause,
+                    outcome: DeviceId::from_index(outcome),
+                })
             })
-        })
     }
 
     /// Total number of edges in the graph.
@@ -169,14 +172,11 @@ mod tests {
     /// out of scope here (only 3 devices).
     fn figure2_like() -> Dig {
         let causes = vec![
-            vec![],                       // device 0: no causes
-            vec![lv(0, 1)],               // device 1 <- device 0 lag 1
-            vec![lv(1, 2), lv(2, 1)],     // device 2 <- device 1 lag 2, self lag 1
+            vec![],                   // device 0: no causes
+            vec![lv(0, 1)],           // device 1 <- device 0 lag 1
+            vec![lv(1, 2), lv(2, 1)], // device 2 <- device 1 lag 2, self lag 1
         ];
-        let cpts = causes
-            .iter()
-            .map(|ca| Cpt::new(ca.clone(), 0.0))
-            .collect();
+        let cpts = causes.iter().map(|ca| Cpt::new(ca.clone(), 0.0)).collect();
         Dig::new(2, causes, cpts)
     }
 
@@ -204,8 +204,14 @@ mod tests {
     #[test]
     fn children_lookup() {
         let dig = figure2_like();
-        assert_eq!(dig.children_of(DeviceId::from_index(1)), vec![DeviceId::from_index(2)]);
-        assert_eq!(dig.children_of(DeviceId::from_index(0)), vec![DeviceId::from_index(1)]);
+        assert_eq!(
+            dig.children_of(DeviceId::from_index(1)),
+            vec![DeviceId::from_index(2)]
+        );
+        assert_eq!(
+            dig.children_of(DeviceId::from_index(0)),
+            vec![DeviceId::from_index(1)]
+        );
         assert!(dig
             .children_of(DeviceId::from_index(2))
             .contains(&DeviceId::from_index(2)));
@@ -219,7 +225,8 @@ mod tests {
         assert_eq!(dig.num_devices(), 3);
         assert_eq!(dig.causes_of(DeviceId::from_index(2)).len(), 2);
         assert_eq!(
-            dig.cpt(DeviceId::from_index(2)).prob(0, true, UnseenContext::Uniform),
+            dig.cpt(DeviceId::from_index(2))
+                .prob(0, true, UnseenContext::Uniform),
             0.5
         );
     }

@@ -66,7 +66,11 @@ mod tests {
     fn dot_contains_all_edges_and_styles() {
         let mut reg = DeviceRegistry::new();
         let a = reg
-            .add("PE_kitchen", Attribute::PresenceSensor, Room::new("kitchen"))
+            .add(
+                "PE_kitchen",
+                Attribute::PresenceSensor,
+                Room::new("kitchen"),
+            )
             .unwrap();
         let b = reg
             .add("P_stove", Attribute::PowerSensor, Room::new("kitchen"))

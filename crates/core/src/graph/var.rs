@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 /// Causes always have `lag >= 1`: the paper exploits the temporal knowledge
 /// that a cause precedes its effect, which is how TemporalPC orients every
 /// edge for free (Section V-B).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct LaggedVar {
     /// The device whose state this variable refers to.
     pub device: DeviceId,

@@ -17,9 +17,12 @@ mod temporal_pc;
 pub use config::MinerConfig;
 pub use cpt_estimator::estimate_cpt;
 pub use pc_stable::{mine_dig_stable, PcStable};
-pub use temporal_pc::{Removal, RemovalReason, TemporalPc};
+pub use temporal_pc::{PcStats, Removal, RemovalReason, TemporalPc};
+
+use std::time::Instant;
 
 use iot_model::DeviceId;
+use iot_telemetry::{MiningStats, TelemetryHandle};
 
 use crate::graph::Dig;
 use crate::snapshot::SnapshotData;
@@ -53,31 +56,118 @@ use crate::snapshot::SnapshotData;
 /// assert!(pairs.contains(&(DeviceId::from_index(0), DeviceId::from_index(1))));
 /// ```
 pub fn mine_dig(data: &SnapshotData, config: &MinerConfig) -> Dig {
+    mine_dig_instrumented(data, config, &TelemetryHandle::disabled()).dig
+}
+
+/// The result of an instrumented mining run: the DIG plus the search
+/// statistics and stage wall times that feed [`iot_telemetry::FitReport`].
+#[derive(Debug, Clone)]
+pub struct MiningOutcome {
+    /// The mined DIG.
+    pub dig: Dig,
+    /// Aggregated TemporalPC search statistics.
+    pub stats: MiningStats,
+    /// Skeleton-discovery wall time, milliseconds.
+    pub skeleton_ms: f64,
+    /// CPT-estimation wall time, milliseconds.
+    pub cpt_ms: f64,
+}
+
+/// Like [`mine_dig`], additionally collecting per-outcome search
+/// statistics and reporting them through `telemetry`:
+///
+/// * counters `mining.ci_tests`, `mining.ci_tests.l<k>`,
+///   `mining.edges_considered`, `mining.edges_pruned`,
+/// * spans `mining.skeleton` and `mining.cpt`,
+/// * one `mining.outcome` sink event per device with its wall time and
+///   test count.
+pub fn mine_dig_instrumented(
+    data: &SnapshotData,
+    config: &MinerConfig,
+    telemetry: &TelemetryHandle,
+) -> MiningOutcome {
     let n = data.num_devices();
     let pc = TemporalPc::new(config.clone());
-    let mut causes: Vec<Vec<crate::graph::LaggedVar>> = vec![Vec::new(); n];
+    let skeleton_span = telemetry.span("mining.skeleton");
+    let skeleton_start = Instant::now();
+    let mut results: Vec<(Vec<crate::graph::LaggedVar>, PcStats, f64)> =
+        vec![Default::default(); n];
     if config.parallel && n > 1 {
-        let slots: Vec<_> = causes.iter_mut().enumerate().collect();
-        crossbeam::thread::scope(|scope| {
+        let slots: Vec<_> = results.iter_mut().enumerate().collect();
+        std::thread::scope(|scope| {
             for (device, slot) in slots {
                 let pc = &pc;
-                scope.spawn(move |_| {
-                    *slot = pc.discover_causes(data, DeviceId::from_index(device));
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let (causes, stats) =
+                        pc.discover_causes_stats(data, DeviceId::from_index(device));
+                    *slot = (causes, stats, start.elapsed().as_secs_f64() * 1e3);
                 });
             }
-        })
-        .expect("mining worker panicked");
+        });
     } else {
-        for (device, slot) in causes.iter_mut().enumerate() {
-            *slot = pc.discover_causes(data, DeviceId::from_index(device));
+        for (device, slot) in results.iter_mut().enumerate() {
+            let start = Instant::now();
+            let (causes, stats) = pc.discover_causes_stats(data, DeviceId::from_index(device));
+            *slot = (causes, stats, start.elapsed().as_secs_f64() * 1e3);
         }
     }
+    let skeleton_ms = skeleton_start.elapsed().as_secs_f64() * 1e3;
+    skeleton_span.finish();
+
+    let mut stats = MiningStats::default();
+    for (device, (_, pc_stats, ms)) in results.iter().enumerate() {
+        for (level, &tests) in pc_stats.tests_per_level.iter().enumerate() {
+            if stats.ci_tests_per_level.len() <= level {
+                stats.ci_tests_per_level.resize(level + 1, 0);
+            }
+            stats.ci_tests_per_level[level] += tests;
+        }
+        stats.ci_tests_total += pc_stats.tests_total();
+        stats.edges_considered += pc_stats.candidates;
+        stats.edges_pruned += pc_stats.pruned();
+        stats.per_outcome_ms.push(*ms);
+        telemetry.event(
+            "mining.outcome",
+            &[
+                ("device", device as f64),
+                ("ms", *ms),
+                ("ci_tests", pc_stats.tests_total() as f64),
+            ],
+        );
+    }
+    if telemetry.enabled() {
+        telemetry
+            .counter("mining.ci_tests")
+            .add(stats.ci_tests_total);
+        for (level, &tests) in stats.ci_tests_per_level.iter().enumerate() {
+            telemetry
+                .counter(&format!("mining.ci_tests.l{level}"))
+                .add(tests);
+        }
+        telemetry
+            .counter("mining.edges_considered")
+            .add(stats.edges_considered);
+        telemetry
+            .counter("mining.edges_pruned")
+            .add(stats.edges_pruned);
+    }
+
+    let cpt_span = telemetry.span("mining.cpt");
+    let cpt_start = Instant::now();
+    let causes: Vec<Vec<crate::graph::LaggedVar>> =
+        results.into_iter().map(|(ca, _, _)| ca).collect();
     let cpts = causes
         .iter()
         .enumerate()
-        .map(|(device, ca)| {
-            estimate_cpt(data, DeviceId::from_index(device), ca, config.smoothing)
-        })
+        .map(|(device, ca)| estimate_cpt(data, DeviceId::from_index(device), ca, config.smoothing))
         .collect();
-    Dig::new(data.tau(), causes, cpts)
+    let cpt_ms = cpt_start.elapsed().as_secs_f64() * 1e3;
+    cpt_span.finish();
+    MiningOutcome {
+        dig: Dig::new(data.tau(), causes, cpts),
+        stats,
+        skeleton_ms,
+        cpt_ms,
+    }
 }

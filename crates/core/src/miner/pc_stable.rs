@@ -43,8 +43,7 @@ impl PcStable {
     /// level-synchronised removals.
     pub fn discover_causes(&self, data: &SnapshotData, outcome: DeviceId) -> Vec<LaggedVar> {
         let outcome_var = LaggedVar::new(outcome, 0);
-        let mut ca: Vec<LaggedVar> =
-            LaggedVar::all_candidates(data.num_devices(), data.tau());
+        let mut ca: Vec<LaggedVar> = LaggedVar::all_candidates(data.num_devices(), data.tau());
         let mut l = 0usize;
         while l <= self.config.max_cond_size {
             if ca.len() < l + 1 {

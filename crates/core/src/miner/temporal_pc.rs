@@ -44,6 +44,31 @@ pub struct Removal {
     pub reason: RemovalReason,
 }
 
+/// Search statistics for one outcome device — the unit of the paper's
+/// Section V-D complexity analysis and of the `mining.*` telemetry.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PcStats {
+    /// Conditional-independence tests per conditioning-set size
+    /// `l = 0, 1, ...`.
+    pub tests_per_level: Vec<u64>,
+    /// Candidate edges entering the search (devices × lags).
+    pub candidates: u64,
+    /// Candidates surviving every test.
+    pub survivors: u64,
+}
+
+impl PcStats {
+    /// Total conditional-independence tests across all levels.
+    pub fn tests_total(&self) -> u64 {
+        self.tests_per_level.iter().sum()
+    }
+
+    /// Candidates removed by an independence test.
+    pub fn pruned(&self) -> u64 {
+        self.candidates - self.survivors
+    }
+}
+
 /// The TemporalPC cause-discovery algorithm.
 #[derive(Debug, Clone)]
 pub struct TemporalPc {
@@ -76,6 +101,19 @@ impl TemporalPc {
         data: &SnapshotData,
         outcome: DeviceId,
     ) -> (Vec<LaggedVar>, u64) {
+        let (causes, stats) = self.run(data, outcome, None);
+        let total = stats.tests_total();
+        (causes, total)
+    }
+
+    /// Like [`TemporalPc::discover_causes`], additionally returning full
+    /// per-level search statistics ([`PcStats`]) — the instrumented entry
+    /// point used by [`crate::miner::mine_dig_instrumented`].
+    pub fn discover_causes_stats(
+        &self,
+        data: &SnapshotData,
+        outcome: DeviceId,
+    ) -> (Vec<LaggedVar>, PcStats) {
         self.run(data, outcome, None)
     }
 
@@ -97,11 +135,14 @@ impl TemporalPc {
         data: &SnapshotData,
         outcome: DeviceId,
         mut trace: Option<&mut Vec<Removal>>,
-    ) -> (Vec<LaggedVar>, u64) {
+    ) -> (Vec<LaggedVar>, PcStats) {
         let outcome_var = LaggedVar::new(outcome, 0);
         // Algorithm 1, line 5: fully-connected preliminary cause set.
         let mut ca = LaggedVar::all_candidates(data.num_devices(), data.tau());
-        let mut tests_run = 0u64;
+        let mut stats = PcStats {
+            candidates: ca.len() as u64,
+            ..PcStats::default()
+        };
         let mut l = 0usize;
         // Algorithm 1, lines 7-21.
         while l <= self.config.max_cond_size {
@@ -109,6 +150,7 @@ impl TemporalPc {
             if ca.len() < l + 1 {
                 break;
             }
+            stats.tests_per_level.push(0);
             let parents: Vec<LaggedVar> = ca.clone();
             for parent in parents {
                 // A parent removed earlier in this sweep no longer needs
@@ -116,8 +158,7 @@ impl TemporalPc {
                 if !ca.contains(&parent) {
                     continue;
                 }
-                let rest: Vec<LaggedVar> =
-                    ca.iter().copied().filter(|&v| v != parent).collect();
+                let rest: Vec<LaggedVar> = ca.iter().copied().filter(|&v| v != parent).collect();
                 if rest.len() < l {
                     continue;
                 }
@@ -129,7 +170,7 @@ impl TemporalPc {
                     }
                     let table = data.stratified_counts(parent, outcome_var, &scratch);
                     let result = ci_test_from_table(&table, self.config.ci_test);
-                    tests_run += 1;
+                    *stats.tests_per_level.last_mut().expect("level pushed") += 1;
                     if result.p_value > self.config.alpha {
                         ca.retain(|&v| v != parent);
                         if let Some(trace) = trace.as_deref_mut() {
@@ -151,7 +192,8 @@ impl TemporalPc {
             l += 1;
         }
         ca.sort();
-        (ca, tests_run)
+        stats.survivors = ca.len() as u64;
+        (ca, stats)
     }
 }
 

@@ -23,7 +23,10 @@
 //! [`DetectorConfig::restart_on_abrupt`] as a documented extension that
 //! instead treats the abrupt event as a new contextual anomaly.
 
+use std::time::Instant;
+
 use iot_model::{BinaryEvent, SystemState};
+use iot_telemetry::{Buckets, Counter, Gauge, Histogram, TelemetryHandle};
 use serde::{Deserialize, Serialize};
 
 use super::PhantomStateMachine;
@@ -129,6 +132,52 @@ pub struct Verdict {
     pub alarms: Vec<Alarm>,
 }
 
+/// Always-on session counts kept by the detector — cheap plain integers,
+/// available even with telemetry disabled (they feed
+/// [`iot_telemetry::MonitorReport`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DetectorStats {
+    /// Events scored.
+    pub events: u64,
+    /// Contextual alarms raised.
+    pub contextual_alarms: u64,
+    /// Collective alarms raised.
+    pub collective_alarms: u64,
+    /// Longest tracked anomaly chain observed.
+    pub max_tracking_len: u64,
+}
+
+/// The detector's optional telemetry instruments, resolved once from a
+/// [`TelemetryHandle`] so the per-event hot path never touches the
+/// registry. Disabled instruments cost one branch per update.
+#[derive(Debug, Clone, Default)]
+struct DetectorInstruments {
+    enabled: bool,
+    events: Counter,
+    latency_us: Histogram,
+    scores: Histogram,
+    contextual: Counter,
+    collective: Counter,
+    tracking_len: Gauge,
+}
+
+impl DetectorInstruments {
+    fn from_handle(telemetry: &TelemetryHandle) -> Self {
+        DetectorInstruments {
+            enabled: telemetry.enabled(),
+            events: telemetry.counter("monitor.events"),
+            latency_us: telemetry.histogram(
+                "monitor.observe_latency_us",
+                Buckets::exponential(1.0, 2.0, 20),
+            ),
+            scores: telemetry.histogram("monitor.score", Buckets::linear(0.0, 1.0, 20)),
+            contextual: telemetry.counter("monitor.alarms.contextual"),
+            collective: telemetry.counter("monitor.alarms.collective"),
+            tracking_len: telemetry.gauge("monitor.tracking_len"),
+        }
+    }
+}
+
 /// The k-sequence anomaly detector (Algorithm 2).
 #[derive(Debug, Clone)]
 pub struct KSequenceDetector<'a> {
@@ -137,6 +186,8 @@ pub struct KSequenceDetector<'a> {
     pm: PhantomStateMachine,
     w: Vec<AnomalousEvent>,
     next_ordinal: u64,
+    stats: DetectorStats,
+    instruments: DetectorInstruments,
 }
 
 impl<'a> KSequenceDetector<'a> {
@@ -149,7 +200,21 @@ impl<'a> KSequenceDetector<'a> {
             pm: PhantomStateMachine::new(initial, dig.tau()),
             w: Vec::new(),
             next_ordinal: 0,
+            stats: DetectorStats::default(),
+            instruments: DetectorInstruments::default(),
         }
+    }
+
+    /// Attaches telemetry instruments (latency/score histograms, alarm
+    /// counters, tracking-length gauge) resolved from `telemetry`. A
+    /// disabled handle leaves the hot path at one branch per update.
+    pub fn set_telemetry(&mut self, telemetry: &TelemetryHandle) {
+        self.instruments = DetectorInstruments::from_handle(telemetry);
+    }
+
+    /// The always-on session counts.
+    pub fn stats(&self) -> &DetectorStats {
+        &self.stats
     }
 
     /// The configuration in use.
@@ -169,6 +234,11 @@ impl<'a> KSequenceDetector<'a> {
 
     /// Processes one runtime event and returns the verdict.
     pub fn observe(&mut self, event: BinaryEvent) -> Verdict {
+        let started = if self.instruments.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        };
         // Line 4-5: fetch cause values and compute the score before the
         // phantom state machine absorbs the event.
         let cpt = self.dig.cpt(event.device);
@@ -221,11 +291,45 @@ impl<'a> KSequenceDetector<'a> {
                 }
             }
         }
+        self.stats.events += 1;
+        self.stats.max_tracking_len = self.stats.max_tracking_len.max(self.w.len() as u64);
+        for alarm in &alarms {
+            match alarm.kind {
+                AlarmKind::Contextual => self.stats.contextual_alarms += 1,
+                AlarmKind::Collective => self.stats.collective_alarms += 1,
+            }
+        }
+        if let Some(start) = started {
+            self.instruments.events.inc();
+            self.instruments.scores.observe(score);
+            self.instruments.tracking_len.set(self.w.len() as u64);
+            for alarm in &alarms {
+                match alarm.kind {
+                    AlarmKind::Contextual => self.instruments.contextual.inc(),
+                    AlarmKind::Collective => self.instruments.collective.inc(),
+                }
+            }
+            self.instruments
+                .latency_us
+                .observe(start.elapsed().as_secs_f64() * 1e6);
+        }
         Verdict {
             score,
             exceeds_threshold: anomalous,
             alarms,
         }
+    }
+
+    /// Snapshot of the score histogram (empty unless telemetry is
+    /// attached and enabled).
+    pub(crate) fn score_snapshot(&self) -> iot_telemetry::HistogramSnapshot {
+        self.instruments.scores.snapshot()
+    }
+
+    /// Snapshot of the per-event latency histogram, microseconds (empty
+    /// unless telemetry is attached and enabled).
+    pub(crate) fn latency_snapshot(&self) -> iot_telemetry::HistogramSnapshot {
+        self.instruments.latency_us.snapshot()
     }
 
     /// Flushes `W` into an alarm.
@@ -276,11 +380,7 @@ mod tests {
             cpt1.record(0, i < 10); // cause off -> mostly off
             cpt1.record(1, i >= 10); // cause on -> mostly on
         }
-        Dig::new(
-            1,
-            vec![vec![c0], vec![c0]],
-            vec![cpt0, cpt1],
-        )
+        Dig::new(1, vec![vec![c0], vec![c0]], vec![cpt0, cpt1])
     }
 
     #[test]

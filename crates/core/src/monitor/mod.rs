@@ -19,7 +19,7 @@ mod threshold;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveMonitor, AdaptiveVerdict};
 pub use detector::{
-    Alarm, AlarmKind, AnomalousEvent, DetectorConfig, KSequenceDetector, Verdict,
+    Alarm, AlarmKind, AnomalousEvent, DetectorConfig, DetectorStats, KSequenceDetector, Verdict,
 };
 pub use phantom::PhantomStateMachine;
 pub use threshold::{compute_threshold, training_scores};

@@ -40,11 +40,7 @@ impl PhantomStateMachine {
     /// Applies an event: derives `S^{t+1}` from `S^t`, records it, and
     /// drops `S^{t-τ}`.
     pub fn apply(&mut self, event: &BinaryEvent) {
-        let mut next = self
-            .states
-            .back()
-            .expect("window is never empty")
-            .clone();
+        let mut next = self.states.back().expect("window is never empty").clone();
         next.set(event.device, event.value);
         self.states.push_back(next);
         self.states.pop_front();
@@ -102,7 +98,7 @@ mod tests {
         pm.apply(&bev(1, 0, true)); // S^1 = 10
         pm.apply(&bev(2, 1, true)); // S^2 = 11
         pm.apply(&bev(3, 0, false)); // S^3 = 01
-        // Window is (S^1, S^2, S^3).
+                                     // Window is (S^1, S^2, S^3).
         assert!(!pm.lagged(DeviceId::from_index(0), 0));
         assert!(pm.lagged(DeviceId::from_index(1), 0));
         assert!(pm.lagged(DeviceId::from_index(0), 1)); // S^2: device 0 on
@@ -123,14 +119,19 @@ mod tests {
     #[test]
     fn matches_state_series_semantics() {
         use iot_model::StateSeries;
-        let events = vec![bev(1, 0, true), bev(2, 1, true), bev(3, 0, false), bev(4, 1, false)];
+        let events = vec![
+            bev(1, 0, true),
+            bev(2, 1, true),
+            bev(3, 0, false),
+            bev(4, 1, false),
+        ];
         let series = StateSeries::derive(SystemState::all_off(2), events.clone());
         let tau = 2;
         let mut pm = PhantomStateMachine::new(SystemState::all_off(2), tau);
         for (j, event) in events.iter().enumerate() {
             let j = j + 1; // events are 1-based in the series
-            // Before applying e^j, cause values for the incoming event must
-            // match s_k^{j-l} from the series.
+                           // Before applying e^j, cause values for the incoming event must
+                           // match s_k^{j-l} from the series.
             for dev in 0..2 {
                 for lag in 1..=tau {
                     if lag <= j {

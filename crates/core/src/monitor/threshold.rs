@@ -76,20 +76,10 @@ mod tests {
         let dig = flip_dig();
         let initial = SystemState::all_off(1);
         // A flip (off -> on) is likely: score 1 - 0.95 = 0.05.
-        let scores = training_scores(
-            &dig,
-            &[bev(1, 0, true)],
-            &initial,
-            UnseenContext::Marginal,
-        );
+        let scores = training_scores(&dig, &[bev(1, 0, true)], &initial, UnseenContext::Marginal);
         assert!((scores[0] - 0.05).abs() < 1e-9);
         // A "stay off" report is unlikely: score 0.95.
-        let scores = training_scores(
-            &dig,
-            &[bev(1, 0, false)],
-            &initial,
-            UnseenContext::Marginal,
-        );
+        let scores = training_scores(&dig, &[bev(1, 0, false)], &initial, UnseenContext::Marginal);
         assert!((scores[0] - 0.95).abs() < 1e-9);
     }
 

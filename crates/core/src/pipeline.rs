@@ -4,14 +4,19 @@
 //! the score-threshold calculator behind a builder; fitting produces a
 //! [`FittedModel`] from which stateful [`Monitor`]s are spawned.
 
+use std::time::Instant;
+
 use iot_model::{BinaryEvent, DeviceEvent, DeviceRegistry, EventLog, StateSeries, SystemState};
+use iot_stats::percentile::percentile;
+use iot_telemetry::{
+    Buckets, Counter, DistributionSummary, FitReport, MonitorReport, PreprocessStats, StageTimings,
+    TelemetryHandle,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::graph::{Dig, UnseenContext};
-use crate::miner::{mine_dig, MinerConfig};
-use crate::monitor::{
-    compute_threshold, DetectorConfig, KSequenceDetector, Verdict,
-};
+use crate::miner::{mine_dig_instrumented, MinerConfig};
+use crate::monitor::{training_scores, DetectorConfig, KSequenceDetector, Verdict};
 use crate::preprocess::{choose_tau, FittedPreprocessor, PreprocessConfig, TauConfig};
 use crate::snapshot::SnapshotData;
 use crate::CausalIotError;
@@ -197,10 +202,59 @@ impl CausalIot {
         registry: &DeviceRegistry,
         log: &EventLog,
     ) -> Result<FittedModel, CausalIotError> {
+        self.fit_with_telemetry(registry, log, &TelemetryHandle::from_env())
+    }
+
+    /// Like [`CausalIot::fit`] with an explicit [`TelemetryHandle`] instead
+    /// of the `CAUSALIOT_TELEMETRY`-derived one. The handle is retained by
+    /// the fitted model so spawned monitors report to the same registry;
+    /// a disabled handle (the default elsewhere) keeps overhead at one
+    /// branch per instrumentation point.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CausalIot::fit`].
+    pub fn fit_with_telemetry(
+        &self,
+        registry: &DeviceRegistry,
+        log: &EventLog,
+        telemetry: &TelemetryHandle,
+    ) -> Result<FittedModel, CausalIotError> {
         self.validate()?;
-        let preprocessor = FittedPreprocessor::fit(registry, log, &self.config.preprocess)?;
-        let events = preprocessor.transform(log);
-        self.fit_events(registry.len(), events, Some(preprocessor))
+        let fit_start = Instant::now();
+        let span = telemetry.span("fit.preprocess");
+        let preprocessor = FittedPreprocessor::fit_instrumented(
+            registry,
+            log,
+            &self.config.preprocess,
+            telemetry,
+        )?;
+        let (events, pp_stats) = preprocessor.transform_counting(log);
+        span.finish();
+        let preprocess_ms = fit_start.elapsed().as_secs_f64() * 1e3;
+        if telemetry.enabled() {
+            telemetry
+                .counter("preprocess.events_in")
+                .add(pp_stats.events_in);
+            telemetry
+                .counter("preprocess.events_out")
+                .add(pp_stats.events_out);
+            telemetry
+                .counter("preprocess.dropped_duplicate")
+                .add(pp_stats.dropped_duplicate);
+            telemetry
+                .counter("preprocess.dropped_extreme")
+                .add(pp_stats.dropped_extreme);
+        }
+        self.fit_events(
+            registry.len(),
+            events,
+            Some(preprocessor),
+            telemetry,
+            pp_stats,
+            preprocess_ms,
+            fit_start,
+        )
     }
 
     /// Fits the pipeline on already-binarised events (skips sanitation and
@@ -215,8 +269,35 @@ impl CausalIot {
         registry: &DeviceRegistry,
         events: &[BinaryEvent],
     ) -> Result<FittedModel, CausalIotError> {
+        self.fit_binary_with_telemetry(registry, events, &TelemetryHandle::from_env())
+    }
+
+    /// Like [`CausalIot::fit_binary`] with an explicit [`TelemetryHandle`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CausalIot::fit`].
+    pub fn fit_binary_with_telemetry(
+        &self,
+        registry: &DeviceRegistry,
+        events: &[BinaryEvent],
+        telemetry: &TelemetryHandle,
+    ) -> Result<FittedModel, CausalIotError> {
         self.validate()?;
-        self.fit_events(registry.len(), events.to_vec(), None)
+        let stats = PreprocessStats {
+            events_in: events.len() as u64,
+            events_out: events.len() as u64,
+            ..PreprocessStats::default()
+        };
+        self.fit_events(
+            registry.len(),
+            events.to_vec(),
+            None,
+            telemetry,
+            stats,
+            0.0,
+            Instant::now(),
+        )
     }
 
     fn validate(&self) -> Result<(), CausalIotError> {
@@ -248,16 +329,23 @@ impl CausalIot {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn fit_events(
         &self,
         num_devices: usize,
         events: Vec<BinaryEvent>,
         preprocessor: Option<FittedPreprocessor>,
+        telemetry: &TelemetryHandle,
+        pp_stats: PreprocessStats,
+        preprocess_ms: f64,
+        fit_start: Instant,
     ) -> Result<FittedModel, CausalIotError> {
+        let tau_start = Instant::now();
         let tau = match self.config.tau {
             TauChoice::Fixed(tau) => tau,
             TauChoice::Auto(cfg) => choose_tau(&events, &cfg),
         };
+        let tau_ms = tau_start.elapsed().as_secs_f64() * 1e3;
         let required = (tau + 1).max(10);
         if events.len() < required {
             return Err(CausalIotError::InsufficientTrainingData {
@@ -277,33 +365,55 @@ impl CausalIot {
         } else {
             series.num_events()
         };
-        let dig = if calib_cut < series.num_events() {
-            let mine_series = StateSeries::derive(
-                initial.clone(),
-                series.events()[..calib_cut].to_vec(),
-            );
+        let mined = if calib_cut < series.num_events() {
+            let mine_series =
+                StateSeries::derive(initial.clone(), series.events()[..calib_cut].to_vec());
             let data = SnapshotData::from_series(&mine_series, tau);
-            mine_dig(&data, &self.config.miner)
+            mine_dig_instrumented(&data, &self.config.miner, telemetry)
         } else {
             let data = SnapshotData::from_series(&series, tau);
-            mine_dig(&data, &self.config.miner)
+            mine_dig_instrumented(&data, &self.config.miner, telemetry)
         };
-        let threshold = if calib_cut < series.num_events() {
-            compute_threshold(
+        let dig = mined.dig;
+        let threshold_span = telemetry.span("threshold.calibration");
+        let threshold_start = Instant::now();
+        let scores = if calib_cut < series.num_events() {
+            training_scores(
                 &dig,
                 &series.events()[calib_cut..],
                 series.state(calib_cut),
-                self.config.q,
                 self.config.unseen,
             )
         } else {
-            compute_threshold(
-                &dig,
-                series.events(),
-                &initial,
-                self.config.q,
-                self.config.unseen,
-            )
+            training_scores(&dig, series.events(), &initial, self.config.unseen)
+        };
+        let threshold = percentile(&scores, self.config.q);
+        if telemetry.enabled() {
+            let hist =
+                telemetry.histogram("threshold.calibration_score", Buckets::linear(0.0, 1.0, 20));
+            for &score in &scores {
+                hist.observe(score);
+            }
+        }
+        let calibration_scores = DistributionSummary::from_samples(&scores);
+        let threshold_ms = threshold_start.elapsed().as_secs_f64() * 1e3;
+        threshold_span.finish();
+        let fit_report = FitReport {
+            num_devices,
+            tau,
+            threshold,
+            num_interactions: dig.interaction_pairs().len(),
+            preprocess: pp_stats,
+            mining: mined.stats,
+            stages: StageTimings {
+                preprocess_ms,
+                tau_ms,
+                mining_ms: mined.skeleton_ms,
+                cpt_ms: mined.cpt_ms,
+                threshold_ms,
+                total_ms: fit_start.elapsed().as_secs_f64() * 1e3,
+            },
+            calibration_scores,
         };
         let final_state = series.state(series.num_events()).clone();
         Ok(FittedModel {
@@ -313,6 +423,8 @@ impl CausalIot {
             config: self.config.clone(),
             final_train_state: final_state,
             num_devices,
+            fit_report,
+            telemetry: telemetry.clone(),
         })
     }
 }
@@ -327,6 +439,8 @@ pub struct FittedModel {
     config: CausalIotConfig,
     final_train_state: SystemState,
     num_devices: usize,
+    fit_report: FitReport,
+    telemetry: TelemetryHandle,
 }
 
 impl FittedModel {
@@ -361,6 +475,20 @@ impl FittedModel {
         &self.config
     }
 
+    /// The fit's observability report: preprocessing counts, mining
+    /// statistics, stage wall times, and the calibration-score
+    /// distribution. Always populated — the stage timings cost a handful
+    /// of `Instant` reads even with telemetry disabled.
+    pub fn fit_report(&self) -> &FitReport {
+        &self.fit_report
+    }
+
+    /// The telemetry handle the model was fitted with (disabled unless one
+    /// was passed or `CAUSALIOT_TELEMETRY` selected a sink).
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
+    }
+
     /// Spawns a monitor resuming from the end-of-training state, with the
     /// configured `k_max`.
     pub fn monitor(&self) -> Monitor<'_> {
@@ -379,9 +507,15 @@ impl FittedModel {
             unseen: self.config.unseen,
             restart_on_abrupt: self.config.restart_on_abrupt,
         };
+        let mut detector = KSequenceDetector::new(&self.dig, initial, detector_config);
+        detector.set_telemetry(&self.telemetry);
         Monitor {
-            detector: KSequenceDetector::new(&self.dig, initial, detector_config),
+            detector,
             preprocessor: self.preprocessor.as_ref(),
+            dropped_duplicate: 0,
+            dropped_extreme: 0,
+            drop_duplicate_counter: self.telemetry.counter("monitor.drop.duplicate"),
+            drop_extreme_counter: self.telemetry.counter("monitor.drop.extreme"),
         }
     }
 
@@ -391,11 +525,34 @@ impl FittedModel {
     }
 }
 
+/// Why [`Monitor::observe_raw`] dropped a raw event instead of scoring it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The event reported the device's current binary state (a duplicated
+    /// state report).
+    Duplicate,
+    /// The reading fell outside the fitted three-sigma band.
+    Extreme,
+}
+
+impl std::fmt::Display for DropReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DropReason::Duplicate => write!(f, "duplicate state report"),
+            DropReason::Extreme => write!(f, "extreme reading"),
+        }
+    }
+}
+
 /// A stateful runtime monitor bound to a fitted model.
 #[derive(Debug, Clone)]
 pub struct Monitor<'a> {
     detector: KSequenceDetector<'a>,
     preprocessor: Option<&'a FittedPreprocessor>,
+    dropped_duplicate: u64,
+    dropped_extreme: u64,
+    drop_duplicate_counter: Counter,
+    drop_extreme_counter: Counter,
 }
 
 impl Monitor<'_> {
@@ -406,26 +563,54 @@ impl Monitor<'_> {
 
     /// Processes one **raw** platform event: sanitises (duplicate/extreme
     /// checks against the fitted statistics), binarises with the fitted
-    /// thresholds, and feeds the detector. Returns `None` when the event
-    /// is dropped by preprocessing (duplicate binary state or extreme
-    /// reading).
+    /// thresholds, and feeds the detector. Returns `Err` with the
+    /// [`DropReason`] when the event is dropped by preprocessing.
+    ///
+    /// # Errors
+    ///
+    /// [`DropReason::Extreme`] for readings outside the fitted three-sigma
+    /// band, [`DropReason::Duplicate`] for events re-reporting the current
+    /// binary state.
     ///
     /// # Panics
     ///
     /// Panics if the model was fitted with [`CausalIot::fit_binary`] (no
     /// preprocessor is available).
-    pub fn observe_raw(&mut self, event: &DeviceEvent) -> Option<Verdict> {
+    pub fn observe_raw(&mut self, event: &DeviceEvent) -> Result<Verdict, DropReason> {
         let pp = self
             .preprocessor
             .expect("observe_raw requires a model fitted on raw logs");
         if pp.sanitizer().is_extreme(event) {
-            return None;
+            self.dropped_extreme += 1;
+            self.drop_extreme_counter.inc();
+            return Err(DropReason::Extreme);
         }
         let bin = pp.binarize_event(event);
         if self.detector.current_state().get(bin.device) == bin.value {
-            return None; // duplicated state report
+            self.dropped_duplicate += 1;
+            self.drop_duplicate_counter.inc();
+            return Err(DropReason::Duplicate);
         }
-        Some(self.detector.observe(bin))
+        Ok(self.detector.observe(bin))
+    }
+
+    /// The session's observability report: events scored, drops by reason,
+    /// alarms by kind, and — when the model carries an enabled telemetry
+    /// handle — latency and score distributions.
+    pub fn report(&self) -> MonitorReport {
+        let stats = self.detector.stats();
+        MonitorReport {
+            events_observed: stats.events,
+            dropped_duplicate: self.dropped_duplicate,
+            dropped_extreme: self.dropped_extreme,
+            contextual_alarms: stats.contextual_alarms,
+            collective_alarms: stats.collective_alarms,
+            max_tracking_len: stats.max_tracking_len,
+            observe_latency_us: DistributionSummary::from_histogram(
+                &self.detector.latency_snapshot(),
+            ),
+            scores: DistributionSummary::from_histogram(&self.detector.score_snapshot()),
+        }
     }
 
     /// The monitor's current system state.
@@ -454,7 +639,8 @@ mod tests {
         let mut reg = DeviceRegistry::new();
         reg.add("PE_room", Attribute::PresenceSensor, Room::new("room"))
             .unwrap();
-        reg.add("S_lamp", Attribute::Switch, Room::new("room")).unwrap();
+        reg.add("S_lamp", Attribute::Switch, Room::new("room"))
+            .unwrap();
         reg.add("C_door", Attribute::ContactSensor, Room::new("hall"))
             .unwrap();
         reg
@@ -479,11 +665,7 @@ mod tests {
                     events.push(BinaryEvent::new(Timestamp::from_secs(t), pe, pe_s));
                     if rng.gen_bool(0.9) && lamp_s != pe_s {
                         lamp_s = pe_s;
-                        events.push(BinaryEvent::new(
-                            Timestamp::from_secs(t + 15),
-                            lamp,
-                            lamp_s,
-                        ));
+                        events.push(BinaryEvent::new(Timestamp::from_secs(t + 15), lamp, lamp_s));
                     }
                 }
                 1 => {
@@ -562,14 +744,19 @@ mod tests {
             lamp,
             StateValue::Binary(current),
         );
-        assert!(monitor.observe_raw(&dup).is_none());
+        assert_eq!(monitor.observe_raw(&dup), Err(DropReason::Duplicate));
         // Genuine flip passes through.
         let flip = DeviceEvent::new(
             Timestamp::from_secs(50_001),
             lamp,
             StateValue::Binary(!current),
         );
-        assert!(monitor.observe_raw(&flip).is_some());
+        assert!(monitor.observe_raw(&flip).is_ok());
+        // The session report accounts for both.
+        let report = monitor.report();
+        assert_eq!(report.dropped_duplicate, 1);
+        assert_eq!(report.dropped_extreme, 0);
+        assert_eq!(report.events_observed, 1);
     }
 
     #[test]
@@ -581,7 +768,10 @@ mod tests {
                 .alpha(2.0)
                 .build()
                 .fit_binary(&reg, &events),
-            Err(CausalIotError::InvalidConfig { parameter: "alpha", .. })
+            Err(CausalIotError::InvalidConfig {
+                parameter: "alpha",
+                ..
+            })
         ));
         assert!(matches!(
             CausalIot::builder()
@@ -595,14 +785,20 @@ mod tests {
                 .k_max(0)
                 .build()
                 .fit_binary(&reg, &events),
-            Err(CausalIotError::InvalidConfig { parameter: "k_max", .. })
+            Err(CausalIotError::InvalidConfig {
+                parameter: "k_max",
+                ..
+            })
         ));
         assert!(matches!(
             CausalIot::builder()
                 .tau(0)
                 .build()
                 .fit_binary(&reg, &events),
-            Err(CausalIotError::InvalidConfig { parameter: "tau", .. })
+            Err(CausalIotError::InvalidConfig {
+                parameter: "tau",
+                ..
+            })
         ));
     }
 
@@ -611,7 +807,10 @@ mod tests {
         let reg = registry();
         let events = training_events(&reg, 2);
         assert!(matches!(
-            CausalIot::builder().tau(2).build().fit_binary(&reg, &events),
+            CausalIot::builder()
+                .tau(2)
+                .build()
+                .fit_binary(&reg, &events),
             Err(CausalIotError::InsufficientTrainingData { .. })
         ));
     }
@@ -624,7 +823,10 @@ mod tests {
         let events: Vec<BinaryEvent> = (0..100u64)
             .map(|i| BinaryEvent::new(Timestamp::from_secs(i * 30), pe, i % 2 == 0))
             .collect();
-        let model = CausalIot::builder().build().fit_binary(&reg, &events).unwrap();
+        let model = CausalIot::builder()
+            .build()
+            .fit_binary(&reg, &events)
+            .unwrap();
         assert_eq!(model.tau(), 2);
     }
 }

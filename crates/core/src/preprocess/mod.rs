@@ -28,6 +28,7 @@ pub use tau::{choose_tau, TauConfig};
 pub use unify::{DeviceBinarizer, FittedUnifier};
 
 use iot_model::{BinaryEvent, DeviceRegistry, EventLog, StateSeries, SystemState};
+use iot_telemetry::{PreprocessStats, TelemetryHandle};
 use serde::{Deserialize, Serialize};
 
 use crate::CausalIotError;
@@ -73,15 +74,35 @@ impl FittedPreprocessor {
         log: &EventLog,
         config: &PreprocessConfig,
     ) -> Result<Self, CausalIotError> {
+        Self::fit_instrumented(registry, log, config, &TelemetryHandle::disabled())
+    }
+
+    /// Like [`FittedPreprocessor::fit`], reporting `preprocess.sanitize.fit`,
+    /// `preprocess.unify.fit`, and per-ambient-device `preprocess.jenks.fit`
+    /// spans to `telemetry`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FittedPreprocessor::fit`].
+    pub fn fit_instrumented(
+        registry: &DeviceRegistry,
+        log: &EventLog,
+        config: &PreprocessConfig,
+        telemetry: &TelemetryHandle,
+    ) -> Result<Self, CausalIotError> {
         if log.is_empty() {
             return Err(CausalIotError::InsufficientTrainingData {
                 events: 0,
                 required: 1,
             });
         }
+        let span = telemetry.span("preprocess.sanitize.fit");
         let sanitizer = FittedSanitizer::fit(registry, log, config);
         let sanitized = sanitizer.sanitize(log);
-        let unifier = FittedUnifier::fit(registry, &sanitized);
+        span.finish();
+        let span = telemetry.span("preprocess.unify.fit");
+        let unifier = FittedUnifier::fit_instrumented(registry, &sanitized, telemetry);
+        span.finish();
         Ok(FittedPreprocessor {
             sanitizer,
             unifier,
@@ -92,17 +113,28 @@ impl FittedPreprocessor {
     /// Sanitises and binarises a raw log into preprocessed binary events
     /// (consecutive per-device duplicates removed).
     pub fn transform(&self, log: &EventLog) -> Vec<BinaryEvent> {
-        let sanitized = self.sanitizer.sanitize(log);
-        self.unifier.transform(&sanitized)
+        self.transform_counting(log).0
+    }
+
+    /// Like [`FittedPreprocessor::transform`], additionally returning
+    /// [`PreprocessStats`]: events in/out and drops by reason. No-op binary
+    /// transitions removed by type unification count as duplicates — after
+    /// unification they are duplicated state reports.
+    pub fn transform_counting(&self, log: &EventLog) -> (Vec<BinaryEvent>, PreprocessStats) {
+        let (sanitized, dropped_duplicate, dropped_extreme) = self.sanitizer.sanitize_counting(log);
+        let (events, noop_dropped) = self.unifier.transform_counting(&sanitized);
+        let stats = PreprocessStats {
+            events_in: log.len() as u64,
+            events_out: events.len() as u64,
+            dropped_duplicate: dropped_duplicate + noop_dropped,
+            dropped_extreme,
+        };
+        (events, stats)
     }
 
     /// Full transform to a state time series, starting from `initial`
     /// (all-OFF when `None`).
-    pub fn transform_to_series(
-        &self,
-        log: &EventLog,
-        initial: Option<SystemState>,
-    ) -> StateSeries {
+    pub fn transform_to_series(&self, log: &EventLog, initial: Option<SystemState>) -> StateSeries {
         let events = self.transform(log);
         let initial = initial.unwrap_or_else(|| SystemState::all_off(self.num_devices));
         StateSeries::derive(initial, events)
@@ -137,10 +169,18 @@ mod tests {
 
     fn registry() -> DeviceRegistry {
         let mut reg = DeviceRegistry::new();
-        reg.add("PE_kitchen", Attribute::PresenceSensor, Room::new("kitchen"))
-            .unwrap();
-        reg.add("B_kitchen", Attribute::BrightnessSensor, Room::new("kitchen"))
-            .unwrap();
+        reg.add(
+            "PE_kitchen",
+            Attribute::PresenceSensor,
+            Room::new("kitchen"),
+        )
+        .unwrap();
+        reg.add(
+            "B_kitchen",
+            Attribute::BrightnessSensor,
+            Room::new("kitchen"),
+        )
+        .unwrap();
         reg
     }
 
@@ -197,9 +237,8 @@ mod tests {
     #[test]
     fn empty_log_is_an_error() {
         let reg = registry();
-        let err =
-            FittedPreprocessor::fit(&reg, &EventLog::new(), &PreprocessConfig::default())
-                .unwrap_err();
+        let err = FittedPreprocessor::fit(&reg, &EventLog::new(), &PreprocessConfig::default())
+            .unwrap_err();
         assert!(matches!(
             err,
             CausalIotError::InsufficientTrainingData { .. }

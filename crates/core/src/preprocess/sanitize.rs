@@ -71,22 +71,34 @@ impl FittedSanitizer {
     /// Sanitises a log: removes duplicated state reports (per device,
     /// against the last *kept* value) and extreme numeric readings.
     pub fn sanitize(&self, log: &EventLog) -> EventLog {
+        self.sanitize_counting(log).0
+    }
+
+    /// Like [`FittedSanitizer::sanitize`], additionally returning the
+    /// number of events dropped as duplicates and as extremes (in that
+    /// order) — the counts behind `preprocess.dropped_*` telemetry.
+    pub fn sanitize_counting(&self, log: &EventLog) -> (EventLog, u64, u64) {
         let mut last: Vec<Option<StateValue>> = vec![None; self.bands.len()];
         let mut kept = Vec::with_capacity(log.len());
+        let mut dropped_duplicate = 0u64;
+        let mut dropped_extreme = 0u64;
         for event in log {
             let idx = event.device.index();
             if let Some(prev) = last[idx] {
                 if event.value.is_duplicate_of(prev, self.duplicate_rel_tol) {
+                    dropped_duplicate += 1;
                     continue;
                 }
             }
             if self.is_extreme(event) {
+                dropped_extreme += 1;
                 continue;
             }
             last[idx] = Some(event.value);
             kept.push(*event);
         }
-        EventLog::from_sorted(kept).expect("input log was sorted")
+        let log = EventLog::from_sorted(kept).expect("input log was sorted");
+        (log, dropped_duplicate, dropped_extreme)
     }
 }
 

@@ -95,7 +95,10 @@ mod tests {
     #[test]
     fn degenerate_streams() {
         assert_eq!(choose_tau(&[], &TauConfig::default()), 1);
-        assert_eq!(choose_tau(&events_with_gap(30, 1), &TauConfig::default()), 1);
+        assert_eq!(
+            choose_tau(&events_with_gap(30, 1), &TauConfig::default()),
+            1
+        );
         // All events at the same instant: v = 0 -> max tau.
         assert_eq!(choose_tau(&events_with_gap(0, 5), &TauConfig::default()), 8);
     }

@@ -5,9 +5,7 @@
 //! * ambient numeric states discretise with Jenks natural breaks
 //!   (Low/High).
 
-use iot_model::{
-    BinaryEvent, DeviceEvent, DeviceRegistry, EventLog, StateValue, ValueKind,
-};
+use iot_model::{BinaryEvent, DeviceEvent, DeviceRegistry, EventLog, StateValue, ValueKind};
 use iot_stats::jenks::JenksBinarizer;
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +49,16 @@ impl FittedUnifier {
     /// Ambient devices with no numeric readings in the log fall back to a
     /// threshold at zero.
     pub fn fit(registry: &DeviceRegistry, log: &EventLog) -> Self {
+        Self::fit_instrumented(registry, log, &iot_telemetry::TelemetryHandle::disabled())
+    }
+
+    /// Like [`FittedUnifier::fit`], timing each ambient device's Jenks
+    /// natural-breaks fit under a `preprocess.jenks.fit` span.
+    pub fn fit_instrumented(
+        registry: &DeviceRegistry,
+        log: &EventLog,
+        telemetry: &iot_telemetry::TelemetryHandle,
+    ) -> Self {
         let mut readings: Vec<Vec<f64>> = vec![Vec::new(); registry.len()];
         for event in log {
             if let StateValue::Numeric(x) = event.value {
@@ -67,7 +75,10 @@ impl FittedUnifier {
                     if values.is_empty() {
                         DeviceBinarizer::Ambient(JenksBinarizer::with_threshold(0.0))
                     } else {
-                        DeviceBinarizer::Ambient(JenksBinarizer::fit(values))
+                        let span = telemetry.span("preprocess.jenks.fit");
+                        let fitted = JenksBinarizer::fit(values);
+                        span.finish();
+                        DeviceBinarizer::Ambient(fitted)
                     }
                 }
             })
@@ -96,17 +107,27 @@ impl FittedUnifier {
     /// Devices are assumed to start OFF/Low (matching the all-OFF initial
     /// system state of [`iot_model::StateSeries`]).
     pub fn transform(&self, log: &EventLog) -> Vec<BinaryEvent> {
+        self.transform_counting(log).0
+    }
+
+    /// Like [`FittedUnifier::transform`], additionally returning the
+    /// number of no-op transitions dropped (post-unification duplicated
+    /// state reports).
+    pub fn transform_counting(&self, log: &EventLog) -> (Vec<BinaryEvent>, u64) {
         let mut last: Vec<bool> = vec![false; self.binarizers.len()];
         let mut out = Vec::with_capacity(log.len());
+        let mut dropped = 0u64;
         for event in log {
             let bin = self.binarize_event(event);
             let idx = bin.device.index();
             if bin.value != last[idx] {
                 last[idx] = bin.value;
                 out.push(bin);
+            } else {
+                dropped += 1;
             }
         }
-        out
+        (out, dropped)
     }
 }
 
@@ -117,7 +138,8 @@ mod tests {
 
     fn setup() -> DeviceRegistry {
         let mut reg = DeviceRegistry::new();
-        reg.add("S_lamp", Attribute::Switch, Room::new("living")).unwrap();
+        reg.add("S_lamp", Attribute::Switch, Room::new("living"))
+            .unwrap();
         reg.add("W_sink", Attribute::WaterMeter, Room::new("kitchen"))
             .unwrap();
         reg.add("B_living", Attribute::BrightnessSensor, Room::new("living"))
@@ -150,7 +172,11 @@ mod tests {
         let b = reg.id_of("B_living").unwrap();
         let mut log = EventLog::new();
         for i in 0..40u64 {
-            let lux = if i % 2 == 0 { 5.0 + (i % 3) as f64 } else { 300.0 + (i % 7) as f64 };
+            let lux = if i % 2 == 0 {
+                5.0 + (i % 3) as f64
+            } else {
+                300.0 + (i % 7) as f64
+            };
             log.push(ev(i, b, StateValue::Numeric(lux)));
         }
         let unifier = FittedUnifier::fit(&reg, &log);
@@ -192,7 +218,9 @@ mod tests {
     fn ambient_without_readings_falls_back() {
         let reg = setup();
         let lamp = reg.id_of("S_lamp").unwrap();
-        let log: EventLog = [ev(0, lamp, StateValue::Binary(true))].into_iter().collect();
+        let log: EventLog = [ev(0, lamp, StateValue::Binary(true))]
+            .into_iter()
+            .collect();
         let unifier = FittedUnifier::fit(&reg, &log);
         let b = reg.id_of("B_living").unwrap();
         assert!(unifier.binarizer(b).binarize(StateValue::Numeric(1.0)));

@@ -139,7 +139,12 @@ impl SnapshotData {
     ///
     /// Panics if the device index or lag is out of range.
     pub fn column(&self, var: LaggedVar) -> &BitColumn {
-        assert!(var.lag <= self.tau, "lag {} exceeds τ {}", var.lag, self.tau);
+        assert!(
+            var.lag <= self.tau,
+            "lag {} exceeds τ {}",
+            var.lag,
+            self.tau
+        );
         &self.cols[var.device.index() * (self.tau + 1) + var.lag]
     }
 

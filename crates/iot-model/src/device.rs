@@ -126,7 +126,10 @@ impl Attribute {
     /// whether an automation rule may command it (Section VI-A: brightness
     /// and presence sensors are not suitable action devices).
     pub fn is_actuator(self) -> bool {
-        !matches!(self, Attribute::PresenceSensor | Attribute::BrightnessSensor)
+        !matches!(
+            self,
+            Attribute::PresenceSensor | Attribute::BrightnessSensor
+        )
     }
 
     /// Short abbreviation used in the paper (Table I) and in device names.
@@ -254,9 +257,18 @@ mod tests {
         assert_eq!(Attribute::PresenceSensor.value_kind(), ValueKind::Binary);
         assert_eq!(Attribute::ContactSensor.value_kind(), ValueKind::Binary);
         assert_eq!(Attribute::Dimmer.value_kind(), ValueKind::ResponsiveNumeric);
-        assert_eq!(Attribute::WaterMeter.value_kind(), ValueKind::ResponsiveNumeric);
-        assert_eq!(Attribute::PowerSensor.value_kind(), ValueKind::ResponsiveNumeric);
-        assert_eq!(Attribute::BrightnessSensor.value_kind(), ValueKind::AmbientNumeric);
+        assert_eq!(
+            Attribute::WaterMeter.value_kind(),
+            ValueKind::ResponsiveNumeric
+        );
+        assert_eq!(
+            Attribute::PowerSensor.value_kind(),
+            ValueKind::ResponsiveNumeric
+        );
+        assert_eq!(
+            Attribute::BrightnessSensor.value_kind(),
+            ValueKind::AmbientNumeric
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl Timestamp {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "timestamp must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "timestamp must be finite and non-negative"
+        );
         Timestamp((secs * 1000.0).round() as u64)
     }
 
@@ -213,9 +216,7 @@ impl EventLog {
     pub fn push(&mut self, event: DeviceEvent) {
         match self.events.last() {
             Some(last) if last.time > event.time => {
-                let pos = self
-                    .events
-                    .partition_point(|e| e.time <= event.time);
+                let pos = self.events.partition_point(|e| e.time <= event.time);
                 self.events.insert(pos, event);
             }
             _ => self.events.push(event),
@@ -292,7 +293,10 @@ impl EventLog {
     ///
     /// Panics if `fraction` is not in `[0, 1]`.
     pub fn split_at_fraction(&self, fraction: f64) -> (EventLog, EventLog) {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         let cut = (self.events.len() as f64 * fraction).round() as usize;
         let cut = cut.min(self.events.len());
         (

@@ -162,16 +162,16 @@ pub fn parse_log(registry: &DeviceRegistry, text: &str) -> Result<EventLog, Mode
             continue;
         }
         let mut parts = line.split_whitespace();
-        let (date, time, name, value) = match (parts.next(), parts.next(), parts.next(), parts.next())
-        {
-            (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
-            _ => {
-                return Err(ModelError::ParseLog {
-                    line: line_no,
-                    reason: "expected `DATE TIME DEVICE VALUE`".to_string(),
-                })
-            }
-        };
+        let (date, time, name, value) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(a), Some(b), Some(c), Some(d)) => (a, b, c, d),
+                _ => {
+                    return Err(ModelError::ParseLog {
+                        line: line_no,
+                        reason: "expected `DATE TIME DEVICE VALUE`".to_string(),
+                    })
+                }
+            };
         if parts.next().is_some() {
             return Err(ModelError::ParseLog {
                 line: line_no,
@@ -205,8 +205,12 @@ mod tests {
 
     fn reg() -> DeviceRegistry {
         let mut reg = DeviceRegistry::new();
-        reg.add("PE_kitchen", Attribute::PresenceSensor, Room::new("kitchen"))
-            .unwrap();
+        reg.add(
+            "PE_kitchen",
+            Attribute::PresenceSensor,
+            Room::new("kitchen"),
+        )
+        .unwrap();
         reg.add("B_living", Attribute::BrightnessSensor, Room::new("living"))
             .unwrap();
         reg
@@ -288,7 +292,8 @@ mod tests {
     #[test]
     fn parse_accepts_contact_aliases() {
         let reg = reg();
-        let text = "2020-01-01 00:00:01.000 PE_kitchen OPEN\n2020-01-01 00:00:02.000 PE_kitchen CLOSE";
+        let text =
+            "2020-01-01 00:00:01.000 PE_kitchen OPEN\n2020-01-01 00:00:02.000 PE_kitchen CLOSE";
         let parsed = parse_log(&reg, text).unwrap();
         assert_eq!(parsed.events()[0].value, StateValue::Binary(true));
         assert_eq!(parsed.events()[1].value, StateValue::Binary(false));

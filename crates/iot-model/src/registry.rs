@@ -134,7 +134,12 @@ impl DeviceRegistry {
     pub fn attribute_census(&self) -> Vec<(Attribute, usize)> {
         Attribute::ALL
             .iter()
-            .map(|&a| (a, self.devices.iter().filter(|d| d.attribute() == a).count()))
+            .map(|&a| {
+                (
+                    a,
+                    self.devices.iter().filter(|d| d.attribute() == a).count(),
+                )
+            })
             .collect()
     }
 }
@@ -154,8 +159,12 @@ mod tests {
 
     fn sample() -> DeviceRegistry {
         let mut reg = DeviceRegistry::new();
-        reg.add("PE_kitchen", Attribute::PresenceSensor, Room::new("kitchen"))
-            .unwrap();
+        reg.add(
+            "PE_kitchen",
+            Attribute::PresenceSensor,
+            Room::new("kitchen"),
+        )
+        .unwrap();
         reg.add("P_stove", Attribute::PowerSensor, Room::new("kitchen"))
             .unwrap();
         reg.add("B_living", Attribute::BrightnessSensor, Room::new("living"))
@@ -199,7 +208,10 @@ mod tests {
             .find(|(a, _)| *a == Attribute::PresenceSensor)
             .unwrap();
         assert_eq!(presence.1, 1);
-        let switches = census.iter().find(|(a, _)| *a == Attribute::Switch).unwrap();
+        let switches = census
+            .iter()
+            .find(|(a, _)| *a == Attribute::Switch)
+            .unwrap();
         assert_eq!(switches.1, 0);
     }
 

@@ -70,7 +70,10 @@ impl SystemState {
 
     /// The state as an `f64` feature vector (used by the OCSVM baseline).
     pub fn to_features(&self) -> Vec<f64> {
-        self.values.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
+        self.values
+            .iter()
+            .map(|&b| if b { 1.0 } else { 0.0 })
+            .collect()
     }
 
     /// Number of devices that are ON in this state.

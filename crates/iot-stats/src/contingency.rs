@@ -276,8 +276,7 @@ mod tests {
         // Classic 2x2: chi2 = N (ad - bc)^2 / (r1 r2 c1 c2).
         let t = Table2x2::from_counts([[10, 20], [30, 40]]);
         let n = 100.0f64;
-        let expected = n * (10.0 * 40.0 - 20.0 * 30.0f64).powi(2)
-            / (30.0 * 70.0 * 40.0 * 60.0);
+        let expected = n * (10.0 * 40.0 - 20.0 * 30.0f64).powi(2) / (30.0 * 70.0 * 40.0 * 60.0);
         assert!((t.chi2_statistic() - expected).abs() < 1e-9);
     }
 

@@ -226,7 +226,13 @@ mod tests {
     #[test]
     fn binarizer_subsamples_large_inputs() {
         let readings: Vec<f64> = (0..10_000)
-            .map(|i| if i % 2 == 0 { 1.0 + (i % 10) as f64 * 0.01 } else { 200.0 + (i % 10) as f64 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    1.0 + (i % 10) as f64 * 0.01
+                } else {
+                    200.0 + (i % 10) as f64
+                }
+            })
             .collect();
         let bin = JenksBinarizer::fit(&readings);
         assert!(!bin.is_high(2.0));

@@ -1,0 +1,546 @@
+//! Lock-free metric primitives and the [`MetricsRegistry`].
+//!
+//! Hot-path operations ([`Counter::inc`], [`Gauge::set`],
+//! [`Histogram::observe`]) touch only pre-resolved atomics; the registry's
+//! mutex is taken solely at registration time (model fit / monitor spawn),
+//! never per event. Every handle is `Clone` + `Send` + `Sync`, so monitor
+//! threads can share one registry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+///
+/// A disabled counter (from [`Counter::disabled`]) makes every operation a
+/// single branch on a `None` — the no-telemetry hot path costs nothing
+/// beyond that.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A counter that ignores all updates.
+    pub fn disabled() -> Self {
+        Counter(None)
+    }
+
+    fn live() -> Self {
+        Counter(Some(Arc::new(AtomicU64::new(0))))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a disabled counter).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value-wins gauge that additionally tracks its high-water mark.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<GaugeCell>>);
+
+#[derive(Debug, Default)]
+struct GaugeCell {
+    value: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge that ignores all updates.
+    pub fn disabled() -> Self {
+        Gauge(None)
+    }
+
+    fn live() -> Self {
+        Gauge(Some(Arc::new(GaugeCell::default())))
+    }
+
+    /// Sets the current value.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.value.store(value, Ordering::Relaxed);
+            cell.max.fetch_max(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a disabled gauge).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.value.load(Ordering::Relaxed))
+    }
+
+    /// Highest value ever set (0 for a disabled gauge).
+    pub fn max(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.max.load(Ordering::Relaxed))
+    }
+}
+
+/// Bucket layout for a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buckets {
+    /// Upper bounds of each bucket, strictly increasing; an implicit
+    /// overflow bucket catches everything above the last bound.
+    pub bounds: Vec<f64>,
+}
+
+impl Buckets {
+    /// `count` equal-width buckets spanning `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `hi <= lo`.
+    pub fn linear(lo: f64, hi: f64, count: usize) -> Self {
+        assert!(count > 0, "need at least one bucket");
+        assert!(hi > lo, "hi must exceed lo");
+        let width = (hi - lo) / count as f64;
+        Buckets {
+            bounds: (1..=count).map(|i| lo + width * i as f64).collect(),
+        }
+    }
+
+    /// `count` buckets with bounds `start, start*factor, ...`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`, `start <= 0`, or `factor <= 1`.
+    pub fn exponential(start: f64, factor: f64, count: usize) -> Self {
+        assert!(count > 0, "need at least one bucket");
+        assert!(start > 0.0 && factor > 1.0, "invalid exponential layout");
+        let mut bounds = Vec::with_capacity(count);
+        let mut edge = start;
+        for _ in 0..count {
+            bounds.push(edge);
+            edge *= factor;
+        }
+        Buckets { bounds }
+    }
+}
+
+/// A fixed-bucket histogram with atomic per-bucket counts.
+///
+/// Quantiles are estimated by linear interpolation inside the bucket that
+/// straddles the requested rank, so the estimate is exact to within one
+/// bucket width (see the cross-check against `iot-stats::percentile` in
+/// the integration tests).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramCore>>);
+
+#[derive(Debug)]
+struct HistogramCore {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>, // one per bound + overflow
+    total: AtomicU64,
+    /// Sum in f64 bits, updated by compare-exchange (cold enough).
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+/// A point-in-time copy of a histogram's state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds (the overflow bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts, one per bound plus the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (`NAN` when empty).
+    pub min: f64,
+    /// Largest observed value (`NAN` when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the observed values (`NAN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by intra-bucket linear
+    /// interpolation, clamped to the observed `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "q={q} out of [0, 1]");
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = q * (self.count as f64 - 1.0);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let bucket_end_rank = (seen + c - 1) as f64;
+            if rank <= bucket_end_rank {
+                let lower = if i == 0 {
+                    self.min
+                } else {
+                    self.bounds[i - 1].max(self.min)
+                };
+                let upper = if i < self.bounds.len() {
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
+                if c == 1 {
+                    return lower.clamp(self.min, self.max);
+                }
+                let within = (rank - seen as f64) / (c - 1) as f64;
+                return (lower + within * (upper - lower)).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+}
+
+impl Histogram {
+    /// A histogram that ignores all updates.
+    pub fn disabled() -> Self {
+        Histogram(None)
+    }
+
+    /// A standalone live histogram (outside any registry).
+    pub fn with_buckets(buckets: Buckets) -> Self {
+        let n = buckets.bounds.len();
+        Histogram(Some(Arc::new(HistogramCore {
+            bounds: buckets.bounds,
+            counts: (0..=n).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        })))
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, value: f64) {
+        let Some(core) = &self.0 else { return };
+        let idx = core.bounds.partition_point(|&bound| bound < value);
+        core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        core.total.fetch_add(1, Ordering::Relaxed);
+        // Lossy-free f64 accumulation via CAS; contention here is bounded
+        // by the event rate, and Relaxed is fine — the snapshot reader
+        // only needs eventual consistency.
+        let mut current = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+        atomic_f64_min(&core.min_bits, value);
+        atomic_f64_max(&core.max_bits, value);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |core| core.total.load(Ordering::Relaxed))
+    }
+
+    /// Copies out the current state (empty snapshot when disabled).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match &self.0 {
+            None => HistogramSnapshot {
+                bounds: Vec::new(),
+                counts: Vec::new(),
+                count: 0,
+                sum: 0.0,
+                min: f64::NAN,
+                max: f64::NAN,
+            },
+            Some(core) => {
+                let count = core.total.load(Ordering::Relaxed);
+                let (min, max) = if count == 0 {
+                    (f64::NAN, f64::NAN)
+                } else {
+                    (
+                        f64::from_bits(core.min_bits.load(Ordering::Relaxed)),
+                        f64::from_bits(core.max_bits.load(Ordering::Relaxed)),
+                    )
+                };
+                HistogramSnapshot {
+                    bounds: core.bounds.clone(),
+                    counts: core
+                        .counts
+                        .iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .collect(),
+                    count,
+                    sum: f64::from_bits(core.sum_bits.load(Ordering::Relaxed)),
+                    min,
+                    max,
+                }
+            }
+        }
+    }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`); `NAN` when empty or
+    /// disabled.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.snapshot().quantile(q)
+    }
+}
+
+fn atomic_f64_min(cell: &AtomicU64, value: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    while value < f64::from_bits(current) {
+        match cell.compare_exchange_weak(
+            current,
+            value.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => break,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+fn atomic_f64_max(cell: &AtomicU64, value: f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    while value > f64::from_bits(current) {
+        match cell.compare_exchange_weak(
+            current,
+            value.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => break,
+            Err(actual) => current = actual,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A point-in-time value of one registered metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge `(current, max)`.
+    Gauge(u64, u64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A named collection of metrics shared across the pipeline.
+///
+/// Lookup/registration takes a mutex; returned handles are lock-free.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (registering on first use) the counter `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut metrics = self.metrics.lock().expect("metrics poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::live()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Returns (registering on first use) the gauge `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut metrics = self.metrics.lock().expect("metrics poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::live()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Returns (registering on first use) the histogram `name` with the
+    /// given layout. The layout of an already-registered histogram wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str, buckets: Buckets) -> Histogram {
+        let mut metrics = self.metrics.lock().expect("metrics poisoned");
+        match metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::with_buckets(buckets)))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Snapshots every registered metric, sorted by name.
+    pub fn snapshot(&self) -> BTreeMap<String, MetricValue> {
+        let metrics = self.metrics.lock().expect("metrics poisoned");
+        metrics
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get(), g.max()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (name.clone(), value)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("events");
+        c.inc();
+        c.add(4);
+        assert_eq!(reg.counter("events").get(), 5);
+
+        let g = reg.gauge("chain");
+        g.set(3);
+        g.set(1);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.max(), 3);
+    }
+
+    #[test]
+    fn disabled_metrics_swallow_updates() {
+        let c = Counter::disabled();
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let h = Histogram::disabled();
+        h.observe(1.0);
+        assert_eq!(h.count(), 0);
+        assert!(h.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn histogram_buckets_and_bounds() {
+        let h = Histogram::with_buckets(Buckets::linear(0.0, 1.0, 10));
+        for i in 0..100 {
+            h.observe(i as f64 / 100.0);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.counts.iter().sum::<u64>(), 100);
+        assert!((snap.mean() - 0.495).abs() < 1e-9);
+        assert_eq!(snap.min, 0.0);
+        assert_eq!(snap.max, 0.99);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded() {
+        let h = Histogram::with_buckets(Buckets::exponential(1.0, 2.0, 16));
+        for i in 1..=1000 {
+            h.observe(i as f64);
+        }
+        let mut last = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            assert!((1.0..=1000.0).contains(&v));
+            last = v;
+        }
+        assert_eq!(h.quantile(1.0), 1000.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_everything() {
+        let h = Histogram::with_buckets(Buckets::linear(0.0, 1.0, 2));
+        h.observe(50.0);
+        let snap = h.snapshot();
+        assert_eq!(*snap.counts.last().unwrap(), 1);
+        assert_eq!(snap.max, 50.0);
+        assert_eq!(h.quantile(1.0), 50.0);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let c = reg.counter("parallel");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+}

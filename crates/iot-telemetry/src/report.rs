@@ -1,0 +1,342 @@
+//! Serialisable run reports: [`FitReport`] for a model fit,
+//! [`MonitorReport`] for a monitoring session.
+//!
+//! Both render to JSON through the crate's hand-rolled writer, so the
+//! whole telemetry layer stays dependency-free. The experiment binaries
+//! drop these under `results/telemetry/`, and
+//! `scripts/bench_snapshot.sh` turns them into `BENCH_<date>.json`
+//! perf-trajectory entries.
+
+use crate::json::JsonValue;
+use crate::metrics::HistogramSnapshot;
+
+/// Five-point summary of an observed distribution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DistributionSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean (`NAN` when empty).
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl DistributionSummary {
+    /// Summarises a slice of raw samples (exact percentiles by sorting).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return DistributionSummary {
+                count: 0,
+                mean: f64::NAN,
+                min: f64::NAN,
+                p50: f64::NAN,
+                p90: f64::NAN,
+                p99: f64::NAN,
+                max: f64::NAN,
+            };
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        let at = |q: f64| {
+            let rank = q * (sorted.len() as f64 - 1.0);
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let w = rank - lo as f64;
+            sorted[lo] * (1.0 - w) + sorted[hi] * w
+        };
+        DistributionSummary {
+            count: sorted.len() as u64,
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            min: sorted[0],
+            p50: at(0.5),
+            p90: at(0.9),
+            p99: at(0.99),
+            max: *sorted.last().unwrap(),
+        }
+    }
+
+    /// Summarises a histogram snapshot (percentiles are bucket-estimated).
+    pub fn from_histogram(snapshot: &HistogramSnapshot) -> Self {
+        if snapshot.count == 0 {
+            return Self::from_samples(&[]);
+        }
+        DistributionSummary {
+            count: snapshot.count,
+            mean: snapshot.mean(),
+            min: snapshot.min,
+            p50: snapshot.quantile(0.5),
+            p90: snapshot.quantile(0.9),
+            p99: snapshot.quantile(0.99),
+            max: snapshot.max,
+        }
+    }
+
+    /// The JSON object form.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.push("count", self.count)
+            .push("mean", self.mean)
+            .push("min", self.min)
+            .push("p50", self.p50)
+            .push("p90", self.p90)
+            .push("p99", self.p99)
+            .push("max", self.max);
+        obj
+    }
+}
+
+/// Preprocessing counts for one fit or transform pass.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PreprocessStats {
+    /// Raw events offered to the preprocessor.
+    pub events_in: u64,
+    /// Binary events surviving preprocessing.
+    pub events_out: u64,
+    /// Events dropped as duplicated state reports.
+    pub dropped_duplicate: u64,
+    /// Events dropped by the three-sigma extreme filter.
+    pub dropped_extreme: u64,
+}
+
+impl PreprocessStats {
+    /// The JSON object form.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.push("events_in", self.events_in)
+            .push("events_out", self.events_out)
+            .push("dropped_duplicate", self.dropped_duplicate)
+            .push("dropped_extreme", self.dropped_extreme);
+        obj
+    }
+}
+
+/// TemporalPC mining statistics, the Section V-D complexity unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MiningStats {
+    /// Total G²/χ² conditional-independence tests executed.
+    pub ci_tests_total: u64,
+    /// Tests per conditioning-set size `l = 0, 1, ...`.
+    pub ci_tests_per_level: Vec<u64>,
+    /// Candidate edges entering the PC search (devices × lags × outcomes).
+    pub edges_considered: u64,
+    /// Candidates removed by an independence test.
+    pub edges_pruned: u64,
+    /// Wall time per outcome device, milliseconds.
+    pub per_outcome_ms: Vec<f64>,
+}
+
+impl MiningStats {
+    /// The JSON object form.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.push("ci_tests_total", self.ci_tests_total)
+            .push("ci_tests_per_level", self.ci_tests_per_level.clone())
+            .push("edges_considered", self.edges_considered)
+            .push("edges_pruned", self.edges_pruned)
+            .push(
+                "per_outcome_ms",
+                JsonValue::Array(
+                    self.per_outcome_ms
+                        .iter()
+                        .map(|&ms| JsonValue::Num(ms))
+                        .collect(),
+                ),
+            );
+        obj
+    }
+}
+
+/// Wall time of each fit stage, milliseconds.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageTimings {
+    /// Sanitation + type-unification fit and transform.
+    pub preprocess_ms: f64,
+    /// τ selection.
+    pub tau_ms: f64,
+    /// TemporalPC skeleton discovery.
+    pub mining_ms: f64,
+    /// CPT estimation.
+    pub cpt_ms: f64,
+    /// Threshold calibration (training replay + percentile).
+    pub threshold_ms: f64,
+    /// End-to-end fit.
+    pub total_ms: f64,
+}
+
+impl StageTimings {
+    /// The JSON object form.
+    pub fn to_json(&self) -> JsonValue {
+        let mut obj = JsonValue::object();
+        obj.push("preprocess_ms", self.preprocess_ms)
+            .push("tau_ms", self.tau_ms)
+            .push("mining_ms", self.mining_ms)
+            .push("cpt_ms", self.cpt_ms)
+            .push("threshold_ms", self.threshold_ms)
+            .push("total_ms", self.total_ms);
+        obj
+    }
+}
+
+/// Everything observable about one model fit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FitReport {
+    /// Devices covered by the model.
+    pub num_devices: usize,
+    /// The τ the model was mined with.
+    pub tau: usize,
+    /// The calibrated contextual-anomaly threshold.
+    pub threshold: f64,
+    /// Interactions (edges) in the mined DIG.
+    pub num_interactions: usize,
+    /// Preprocessing counts (zero when fitted on pre-binarised events).
+    pub preprocess: PreprocessStats,
+    /// Mining statistics.
+    pub mining: MiningStats,
+    /// Per-stage wall times.
+    pub stages: StageTimings,
+    /// Distribution of the calibration (training-replay) scores.
+    pub calibration_scores: DistributionSummary,
+}
+
+impl FitReport {
+    /// Renders the report as a compact JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonValue::object();
+        obj.push("kind", "fit_report")
+            .push("num_devices", self.num_devices)
+            .push("tau", self.tau)
+            .push("threshold", self.threshold)
+            .push("num_interactions", self.num_interactions)
+            .push("preprocess", self.preprocess.to_json())
+            .push("mining", self.mining.to_json())
+            .push("stage_times", self.stages.to_json())
+            .push("calibration_scores", self.calibration_scores.to_json());
+        obj.render()
+    }
+
+    /// A terse one-line human summary.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "fit: {} devices, tau {}, {} interactions, {} CI tests, {:.1} ms total, threshold {:.4}",
+            self.num_devices,
+            self.tau,
+            self.num_interactions,
+            self.mining.ci_tests_total,
+            self.stages.total_ms,
+            self.threshold
+        )
+    }
+}
+
+/// Everything observable about one monitoring session.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MonitorReport {
+    /// Events scored by the detector.
+    pub events_observed: u64,
+    /// Raw events dropped as duplicated state reports.
+    pub dropped_duplicate: u64,
+    /// Raw events dropped as extreme readings.
+    pub dropped_extreme: u64,
+    /// Contextual alarms raised.
+    pub contextual_alarms: u64,
+    /// Collective alarms raised.
+    pub collective_alarms: u64,
+    /// Longest tracked anomaly chain.
+    pub max_tracking_len: u64,
+    /// Per-event `observe` latency, microseconds.
+    pub observe_latency_us: DistributionSummary,
+    /// Runtime anomaly-score distribution.
+    pub scores: DistributionSummary,
+}
+
+impl MonitorReport {
+    /// Renders the report as a compact JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonValue::object();
+        obj.push("kind", "monitor_report")
+            .push("events_observed", self.events_observed)
+            .push("dropped_duplicate", self.dropped_duplicate)
+            .push("dropped_extreme", self.dropped_extreme)
+            .push("contextual_alarms", self.contextual_alarms)
+            .push("collective_alarms", self.collective_alarms)
+            .push("max_tracking_len", self.max_tracking_len)
+            .push("observe_latency_us", self.observe_latency_us.to_json())
+            .push("scores", self.scores.to_json());
+        obj.render()
+    }
+
+    /// A terse multi-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "events observed   {}\n\
+             drops             {} duplicate, {} extreme\n\
+             alarms            {} contextual, {} collective\n\
+             observe latency   p50 {:.1} us, p99 {:.1} us\n\
+             score percentiles p50 {:.4}, p99 {:.4}\n\
+             max tracked chain {}",
+            self.events_observed,
+            self.dropped_duplicate,
+            self.dropped_extreme,
+            self.contextual_alarms,
+            self.collective_alarms,
+            self.observe_latency_us.p50,
+            self.observe_latency_us.p99,
+            self.scores.p50,
+            self.scores.p99,
+            self.max_tracking_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summaries_from_samples_match_sorted_order() {
+        let s = DistributionSummary::from_samples(&[3.0, 1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_is_nan_but_renders_null() {
+        let s = DistributionSummary::from_samples(&[]);
+        assert!(s.mean.is_nan());
+        assert!(s.to_json().render().contains("\"mean\":null"));
+    }
+
+    #[test]
+    fn fit_report_renders_valid_json_shape() {
+        let report = FitReport {
+            num_devices: 8,
+            tau: 2,
+            threshold: 0.97,
+            num_interactions: 5,
+            mining: MiningStats {
+                ci_tests_total: 120,
+                ci_tests_per_level: vec![100, 20],
+                edges_considered: 128,
+                edges_pruned: 123,
+                per_outcome_ms: vec![1.5, 2.25],
+            },
+            ..FitReport::default()
+        };
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ci_tests_per_level\":[100,20]"), "{json}");
+        assert!(json.contains("\"kind\":\"fit_report\""));
+        assert!(!report.summary_line().is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! Pluggable span/event sinks.
+//!
+//! A [`Sink`] receives completed spans and discrete events. Three
+//! implementations ship with the crate:
+//!
+//! * [`NoopSink`] — discards everything (the default),
+//! * [`MemorySink`] — aggregates per-name span statistics in memory for an
+//!   end-of-run summary,
+//! * [`JsonlSink`] — appends one JSON object per record to a file.
+//!
+//! `CAUSALIOT_TELEMETRY` selects among them — see
+//! [`crate::TelemetryHandle::from_env`].
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::json::JsonValue;
+
+/// Receives completed spans and discrete events.
+pub trait Sink: Send + Sync + Debug {
+    /// A scoped timer finished.
+    fn record_span(&self, name: &str, duration: Duration);
+
+    /// A discrete occurrence with numeric fields.
+    fn record_event(&self, name: &str, fields: &[(&str, f64)]);
+
+    /// Flushes buffered output (if any).
+    fn flush(&self) {}
+
+    /// A human-readable end-of-run summary, when the sink keeps one.
+    fn summary(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Discards everything.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record_span(&self, _name: &str, _duration: Duration) {}
+    fn record_event(&self, _name: &str, _fields: &[(&str, f64)]) {}
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SpanStats {
+    count: u64,
+    total: Duration,
+    max: Duration,
+}
+
+/// Aggregates per-name span statistics in memory.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    spans: Mutex<BTreeMap<String, SpanStats>>,
+    events: Mutex<BTreeMap<String, u64>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record_span(&self, name: &str, duration: Duration) {
+        let mut spans = self.spans.lock().expect("sink poisoned");
+        let stats = spans.entry(name.to_string()).or_default();
+        stats.count += 1;
+        stats.total += duration;
+        stats.max = stats.max.max(duration);
+    }
+
+    fn record_event(&self, name: &str, _fields: &[(&str, f64)]) {
+        let mut events = self.events.lock().expect("sink poisoned");
+        *events.entry(name.to_string()).or_default() += 1;
+    }
+
+    fn summary(&self) -> Option<String> {
+        let spans = self.spans.lock().expect("sink poisoned");
+        let events = self.events.lock().expect("sink poisoned");
+        let mut out = String::new();
+        if !spans.is_empty() {
+            out.push_str("spans (name: count, total, mean, max):\n");
+            for (name, s) in spans.iter() {
+                let mean = s.total / u32::try_from(s.count).unwrap_or(u32::MAX).max(1);
+                out.push_str(&format!(
+                    "  {name:<28} {:>7}  {:>10.3?}  {:>10.3?}  {:>10.3?}\n",
+                    s.count, s.total, mean, s.max
+                ));
+            }
+        }
+        if !events.is_empty() {
+            out.push_str("events:\n");
+            for (name, count) in events.iter() {
+                out.push_str(&format!("  {name:<28} {count:>7}\n"));
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Appends one JSON object per record to a file.
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Opens (appending) the given file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    fn write_line(&self, value: &JsonValue) {
+        let mut writer = self.writer.lock().expect("sink poisoned");
+        // Telemetry must never take the pipeline down: IO errors are
+        // swallowed after best effort.
+        let _ = writeln!(writer, "{}", value.render());
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record_span(&self, name: &str, duration: Duration) {
+        let mut obj = JsonValue::object();
+        obj.push("type", "span")
+            .push("name", name)
+            .push("us", duration.as_secs_f64() * 1e6);
+        self.write_line(&obj);
+    }
+
+    fn record_event(&self, name: &str, fields: &[(&str, f64)]) {
+        let mut obj = JsonValue::object();
+        obj.push("type", "event").push("name", name);
+        for (key, value) in fields {
+            obj.push(key, *value);
+        }
+        self.write_line(&obj);
+    }
+
+    fn flush(&self) {
+        let mut writer = self.writer.lock().expect("sink poisoned");
+        let _ = writer.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_aggregates() {
+        let sink = MemorySink::new();
+        sink.record_span("fit", Duration::from_millis(2));
+        sink.record_span("fit", Duration::from_millis(4));
+        sink.record_event("drop", &[]);
+        let summary = sink.summary().unwrap();
+        assert!(summary.contains("fit"), "{summary}");
+        assert!(summary.contains("drop"), "{summary}");
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("iot-telemetry-test-sink.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.record_span("mining.total", Duration::from_micros(1500));
+            sink.record_event("monitor.drop", &[("reason", 1.0)]);
+        }
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"span\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"reason\":1"), "{}", lines[1]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

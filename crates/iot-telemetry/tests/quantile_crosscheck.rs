@@ -1,0 +1,89 @@
+//! Cross-checks the fixed-bucket histogram's quantile estimates against
+//! the exact order-statistic percentiles of `iot-stats` on identical
+//! samples. Bucket estimation interpolates within one bucket, so the
+//! estimate must land within one bucket width of the exact value (and
+//! must clamp to the observed min/max at the extremes).
+
+use iot_stats::percentile::percentile;
+use iot_telemetry::{Buckets, Histogram};
+
+/// A deterministic pseudo-random stream (SplitMix64) so the test needs no
+/// external RNG.
+fn splitmix_stream(seed: u64, len: usize) -> Vec<u64> {
+    let mut state = seed;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+fn crosscheck(samples: &[f64], hist: &Histogram, bucket_width: f64) {
+    for &value in samples {
+        hist.observe(value);
+    }
+    let snapshot = hist.snapshot();
+    assert_eq!(snapshot.count, samples.len() as u64);
+    for &q in &[0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+        let exact = percentile(samples, q * 100.0);
+        let estimated = snapshot.quantile(q);
+        assert!(
+            (estimated - exact).abs() <= bucket_width,
+            "q={q}: histogram estimate {estimated} vs exact {exact} \
+             (allowed error {bucket_width})"
+        );
+    }
+    // The extremes clamp to the observed range exactly.
+    assert_eq!(snapshot.quantile(0.0), percentile(samples, 0.0));
+    assert_eq!(snapshot.quantile(1.0), percentile(samples, 100.0));
+}
+
+#[test]
+fn uniform_samples_linear_buckets() {
+    let samples: Vec<f64> = splitmix_stream(7, 5_000)
+        .into_iter()
+        .map(|bits| (bits >> 11) as f64 / (1u64 << 53) as f64)
+        .collect();
+    let hist = Histogram::with_buckets(Buckets::linear(0.0, 1.0, 20));
+    crosscheck(&samples, &hist, 0.05);
+}
+
+#[test]
+fn skewed_samples_exponential_buckets() {
+    // Latency-like heavy-tailed samples in [1, ~1e6).
+    let samples: Vec<f64> = splitmix_stream(42, 5_000)
+        .into_iter()
+        .map(|bits| {
+            let unit = (bits >> 11) as f64 / (1u64 << 53) as f64;
+            10f64.powf(6.0 * unit)
+        })
+        .collect();
+    let hist = Histogram::with_buckets(Buckets::exponential(1.0, 2.0, 24));
+    for &value in &samples {
+        hist.observe(value);
+    }
+    let snapshot = hist.snapshot();
+    // Exponential buckets double in width: the estimate must stay within
+    // a factor of two of the exact percentile.
+    for &q in &[0.25, 0.5, 0.9, 0.99] {
+        let exact = percentile(&samples, q * 100.0);
+        let estimated = snapshot.quantile(q);
+        let ratio = estimated / exact;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "q={q}: histogram estimate {estimated} vs exact {exact} (ratio {ratio})"
+        );
+    }
+}
+
+#[test]
+fn constant_samples_collapse_to_the_constant() {
+    let samples = vec![3.25; 100];
+    let hist = Histogram::with_buckets(Buckets::linear(0.0, 10.0, 10));
+    crosscheck(&samples, &hist, 1.0);
+    assert_eq!(hist.snapshot().quantile(0.5), 3.25);
+}

@@ -160,7 +160,13 @@ mod tests {
             "cook",
             Some("kitchen"),
             (600.0, 1800.0),
-            vec![DeviceUse::new("P_stove", 0.8, (30.0, 120.0), (600.0, 1500.0), 0)],
+            vec![DeviceUse::new(
+                "P_stove",
+                0.8,
+                (30.0, 120.0),
+                (600.0, 1500.0),
+                0,
+            )],
             [0.0, 3.0, 1.0, 4.0],
         );
         assert_eq!(act.weight(DayPeriod::Night), 0.0);

@@ -51,10 +51,18 @@ pub fn augment_with_daylight(
     );
     let mut augmented = registry.clone();
     let daylight = augmented
-        .add("VIRT_daylight", Attribute::PresenceSensor, Room::new("outdoor"))
+        .add(
+            "VIRT_daylight",
+            Attribute::PresenceSensor,
+            Room::new("outdoor"),
+        )
         .expect("virtual device name is free");
     let midday = augmented
-        .add("VIRT_midday", Attribute::PresenceSensor, Room::new("outdoor"))
+        .add(
+            "VIRT_midday",
+            Attribute::PresenceSensor,
+            Room::new("outdoor"),
+        )
         .expect("virtual device name is free");
 
     let span = sunset_hour - sunrise_hour;
@@ -116,11 +124,8 @@ mod tests {
         let aug = augment_with_daylight(profile.registry(), &events, 6.0, 20.0);
         assert_eq!(aug.registry.len(), profile.registry().len() + 2);
         let daylight = aug.registry.id_of("VIRT_daylight").unwrap();
-        let virt_events: Vec<&BinaryEvent> = aug
-            .events
-            .iter()
-            .filter(|e| e.device == daylight)
-            .collect();
+        let virt_events: Vec<&BinaryEvent> =
+            aug.events.iter().filter(|e| e.device == daylight).collect();
         // 3-day span (ceil) -> one sunrise and one sunset per covered day.
         assert!(virt_events.len() >= 6, "got {}", virt_events.len());
         // Alternating on/off in time order.
@@ -129,10 +134,7 @@ mod tests {
         }
         // Stream stays sorted and keeps the original events.
         assert!(aug.events.windows(2).all(|w| w[0].time <= w[1].time));
-        assert_eq!(
-            aug.events.len(),
-            events.len() + virt_events.len() * 2
-        );
+        assert_eq!(aug.events.len(), events.len() + virt_events.len() * 2);
     }
 
     #[test]

@@ -32,8 +32,16 @@ pub struct Rule {
 impl Rule {
     /// A human-readable description in the style of Table II.
     pub fn description(&self) -> String {
-        let t_state = if self.trigger.1 { "activates" } else { "deactivates" };
-        let a_state = if self.action.1 { "activate" } else { "deactivate" };
+        let t_state = if self.trigger.1 {
+            "activates"
+        } else {
+            "deactivates"
+        };
+        let a_state = if self.action.1 {
+            "activate"
+        } else {
+            "deactivate"
+        };
         format!(
             "If {} {}, {} {}",
             self.trigger.0, t_state, a_state, self.action.0
@@ -91,7 +99,8 @@ pub fn generate_rules(profile: &HomeProfile, count: usize, seed: u64) -> Vec<Rul
             )
         };
         let action_dev = actuators[rng.gen_range(0..actuators.len())].to_string();
-        if action_dev == trigger_dev || used_pairs.contains(&(trigger_dev.clone(), action_dev.clone()))
+        if action_dev == trigger_dev
+            || used_pairs.contains(&(trigger_dev.clone(), action_dev.clone()))
         {
             continue;
         }
@@ -234,9 +243,8 @@ pub fn inject_automation(
                     if states[act_dev.index()] == act_state {
                         continue;
                     }
-                    let act_time = Timestamp::from_secs_f64(
-                        time.as_secs_f64() + rng.gen_range(1.0..3.0),
-                    );
+                    let act_time =
+                        Timestamp::from_secs_f64(time.as_secs_f64() + rng.gen_range(1.0..3.0));
                     let attribute = registry.device(act_dev).attribute();
                     out.push(DeviceEvent::new(
                         act_time,
@@ -287,8 +295,14 @@ mod tests {
     #[test]
     fn rule_generation_is_deterministic() {
         let profile = contextact_profile();
-        assert_eq!(generate_rules(&profile, 12, 5), generate_rules(&profile, 12, 5));
-        assert_ne!(generate_rules(&profile, 12, 5), generate_rules(&profile, 12, 6));
+        assert_eq!(
+            generate_rules(&profile, 12, 5),
+            generate_rules(&profile, 12, 5)
+        );
+        assert_ne!(
+            generate_rules(&profile, 12, 5),
+            generate_rules(&profile, 12, 6)
+        );
     }
 
     #[test]

@@ -333,8 +333,7 @@ mod tests {
     #[test]
     fn counts_by_source_cover_all_four_families() {
         let (_, gt) = sample();
-        let counts: std::collections::HashMap<_, _> =
-            gt.count_by_source().into_iter().collect();
+        let counts: std::collections::HashMap<_, _> = gt.count_by_source().into_iter().collect();
         assert!(counts.get("Autocorrelation").copied().unwrap_or(0) == 22);
         assert!(counts.get("Physical").copied().unwrap_or(0) >= 2);
         assert!(counts.get("Automation").copied().unwrap_or(0) == 1);
@@ -347,7 +346,10 @@ mod tests {
         .iter()
         .map(|k| counts.get(*k).copied().unwrap_or(0))
         .sum();
-        assert!(user > 10, "expected a rich user-interaction set, got {user}");
+        assert!(
+            user > 10,
+            "expected a rich user-interaction set, got {user}"
+        );
     }
 
     #[test]

@@ -109,8 +109,9 @@ pub fn inject_collective(
         if position_iter.peek() == Some(&i) {
             position_iter.next();
             let target_len = rng.gen_range(2..=k_max);
-            let chain_events =
-                craft_chain(profile, rules, case, &state, event.time, target_len, &mut rng);
+            let chain_events = craft_chain(
+                profile, rules, case, &state, event.time, target_len, &mut rng,
+            );
             if chain_events.len() >= 2 {
                 let mut chain = InjectedChain {
                     positions: Vec::with_capacity(chain_events.len()),
@@ -184,8 +185,7 @@ fn craft_chain(
                 walk.push(neighbours[rng.gen_range(0..neighbours.len())].clone());
             }
             let mut events = Vec::new();
-            let sensor =
-                |room: &str| profile.presence_sensor(room).map(|d| d.id());
+            let sensor = |room: &str| profile.presence_sensor(room).map(|d| d.id());
             if let Some(id) = sensor(&walk[0]) {
                 events.push(BinaryEvent::new(time, id, true));
             }
@@ -227,7 +227,11 @@ fn craft_chain(
             }
             let program = &programs[rng.gen_range(0..programs.len())];
             let mut events: Vec<BinaryEvent> = Vec::new();
-            for &device in program.iter().cycle().take(2 * target_len.max(program.len())) {
+            for &device in program
+                .iter()
+                .cycle()
+                .take(2 * target_len.max(program.len()))
+            {
                 if events.len() >= target_len {
                     break;
                 }
@@ -267,7 +271,11 @@ fn craft_chain(
             let pick = |candidates: Vec<&Vec<usize>>, rng: &mut StdRng| -> Option<Vec<usize>> {
                 let flipping: Vec<&Vec<usize>> =
                     candidates.iter().copied().filter(|c| flips(c)).collect();
-                let pool = if flipping.is_empty() { candidates } else { flipping };
+                let pool = if flipping.is_empty() {
+                    candidates
+                } else {
+                    flipping
+                };
                 if pool.is_empty() {
                     None
                 } else {
@@ -426,8 +434,8 @@ mod tests {
                 &[],
                 4,
             );
-            let avg: f64 = inj.chains.iter().map(|c| c.len() as f64).sum::<f64>()
-                / inj.chains.len() as f64;
+            let avg: f64 =
+                inj.chains.iter().map(|c| c.len() as f64).sum::<f64>() / inj.chains.len() as f64;
             let expected = (2..=k_max).sum::<usize>() as f64 / (k_max - 1) as f64;
             assert!(
                 (avg - expected).abs() < 0.3,

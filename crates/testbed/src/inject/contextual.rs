@@ -94,7 +94,9 @@ pub fn inject_contextual(
 ) -> ContextualInjection {
     let mut rng = StdRng::seed_from_u64(seed);
     match case {
-        ContextualCase::MaliciousRule => inject_malicious_rules(profile, testing, initial, count, &mut rng),
+        ContextualCase::MaliciousRule => {
+            inject_malicious_rules(profile, testing, initial, count, &mut rng)
+        }
         _ => inject_positional(profile, testing, initial, case, count, &mut rng),
     }
 }
@@ -132,9 +134,7 @@ fn unexpected_presence_candidates(
     let registry = profile.registry();
     let occupied: Vec<String> = registry
         .iter()
-        .filter(|d| {
-            d.attribute() == Attribute::PresenceSensor && state.get(d.id())
-        })
+        .filter(|d| d.attribute() == Attribute::PresenceSensor && state.get(d.id()))
         .map(|d| d.room().name().to_string())
         .collect();
     devices
@@ -165,8 +165,9 @@ fn inject_positional(
 ) -> ContextualInjection {
     let devices = eligible_devices(profile, case);
     assert!(!devices.is_empty(), "no eligible device for {case:?}");
-    let positions: HashSet<usize> =
-        pick_positions(rng, testing.len(), count, 2).into_iter().collect();
+    let positions: HashSet<usize> = pick_positions(rng, testing.len(), count, 2)
+        .into_iter()
+        .collect();
     let mut state = initial.clone();
     let mut events = Vec::with_capacity(testing.len() + count);
     let mut injected_positions = HashSet::new();
@@ -311,7 +312,11 @@ mod tests {
             let device = DeviceId::from_index(rng.gen_range(0..n));
             let value = !state.get(device);
             state.set(device, value);
-            events.push(BinaryEvent::new(Timestamp::from_secs(i as u64 * 10), device, value));
+            events.push(BinaryEvent::new(
+                Timestamp::from_secs(i as u64 * 10),
+                device,
+                value,
+            ));
         }
         (events, SystemState::all_off(n))
     }
@@ -329,7 +334,10 @@ mod tests {
             1,
         );
         assert!(inj.injected_positions.len() > 50);
-        assert_eq!(inj.events.len(), testing.len() + inj.injected_positions.len());
+        assert_eq!(
+            inj.events.len(),
+            testing.len() + inj.injected_positions.len()
+        );
         for &pos in &inj.injected_positions {
             let e = inj.events[pos];
             assert_eq!(
@@ -421,8 +429,22 @@ mod tests {
     fn injection_is_deterministic() {
         let profile = contextact_profile();
         let (testing, initial) = testing_stream(&profile, 1000);
-        let a = inject_contextual(&profile, &testing, &initial, ContextualCase::RemoteControl, 50, 9);
-        let b = inject_contextual(&profile, &testing, &initial, ContextualCase::RemoteControl, 50, 9);
+        let a = inject_contextual(
+            &profile,
+            &testing,
+            &initial,
+            ContextualCase::RemoteControl,
+            50,
+            9,
+        );
+        let b = inject_contextual(
+            &profile,
+            &testing,
+            &initial,
+            ContextualCase::RemoteControl,
+            50,
+            9,
+        );
         assert_eq!(a.events, b.events);
         assert_eq!(a.injected_positions, b.injected_positions);
     }

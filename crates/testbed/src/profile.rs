@@ -131,7 +131,11 @@ impl HomeProfile {
     /// rule semantics and ground-truth extraction: binary values pass
     /// through, responsive numerics threshold at zero, and ambient
     /// numerics threshold at their channel's bright level.
-    pub fn binarize_value(&self, device: iot_model::DeviceId, value: iot_model::StateValue) -> bool {
+    pub fn binarize_value(
+        &self,
+        device: iot_model::DeviceId,
+        value: iot_model::StateValue,
+    ) -> bool {
         match value {
             iot_model::StateValue::Binary(b) => b,
             iot_model::StateValue::Numeric(x) => {
@@ -197,7 +201,13 @@ fn daily_activities() -> Vec<ActivityTemplate> {
             "bathroom_routine",
             Some("bathroom"),
             (300.0, 1200.0),
-            vec![DeviceUse::new("D_bathroom", 0.95, (5.0, 20.0), (200.0, 900.0), 0)],
+            vec![DeviceUse::new(
+                "D_bathroom",
+                0.95,
+                (5.0, 20.0),
+                (200.0, 900.0),
+                0,
+            )],
             [0.5, 3.0, 0.7, 1.5],
         )
         .with_followups(&[("cook", 0.45), ("wander", 0.2)]),
@@ -272,14 +282,8 @@ fn daily_activities() -> Vec<ActivityTemplate> {
             [0.0, 1.2, 2.0, 0.8],
         )
         .with_followups(&[("wander", 0.3), ("eat", 0.2)]),
-        ActivityTemplate::new(
-            "out",
-            None,
-            (1800.0, 5400.0),
-            vec![],
-            [0.1, 1.0, 1.8, 0.5],
-        )
-        .with_followups(&[("relax", 0.4), ("wander", 0.3)]),
+        ActivityTemplate::new("out", None, (1800.0, 5400.0), vec![], [0.1, 1.0, 1.8, 0.5])
+            .with_followups(&[("relax", 0.4), ("wander", 0.3)]),
     ]
 }
 
@@ -287,14 +291,20 @@ fn daily_activities() -> Vec<ActivityTemplate> {
 pub fn contextact_profile() -> HomeProfile {
     let mut reg = DeviceRegistry::new();
     let add = |reg: &mut DeviceRegistry, name: &str, attr: Attribute, room: &str| {
-        reg.add(name, attr, Room::new(room)).expect("unique device names");
+        reg.add(name, attr, Room::new(room))
+            .expect("unique device names");
     };
     // 2 switches.
     add(&mut reg, "S_player", Attribute::Switch, "bedroom");
     add(&mut reg, "S_tv", Attribute::Switch, "living");
     // 5 presence sensors.
     for room in ["bedroom", "bathroom", "kitchen", "dining", "living"] {
-        add(&mut reg, &format!("PE_{room}"), Attribute::PresenceSensor, room);
+        add(
+            &mut reg,
+            &format!("PE_{room}"),
+            Attribute::PresenceSensor,
+            room,
+        );
     }
     // 2 contact sensors.
     add(&mut reg, "C_entrance", Attribute::ContactSensor, "hall");
@@ -313,7 +323,12 @@ pub fn contextact_profile() -> HomeProfile {
     add(&mut reg, "P_fridge", Attribute::PowerSensor, "kitchen");
     // 4 brightness sensors.
     for room in ["kitchen", "living", "bedroom", "dining"] {
-        add(&mut reg, &format!("B_{room}"), Attribute::BrightnessSensor, room);
+        add(
+            &mut reg,
+            &format!("B_{room}"),
+            Attribute::BrightnessSensor,
+            room,
+        );
     }
 
     let channels = vec![
@@ -388,8 +403,12 @@ pub fn casas_profile() -> HomeProfile {
     for room in [
         "hall", "living", "dining", "kitchen", "bedroom", "bathroom", "office",
     ] {
-        reg.add(format!("PE_{room}"), Attribute::PresenceSensor, Room::new(room))
-            .expect("unique device names");
+        reg.add(
+            format!("PE_{room}"),
+            Attribute::PresenceSensor,
+            Room::new(room),
+        )
+        .expect("unique device names");
     }
     reg.add("C_entrance", Attribute::ContactSensor, Room::new("hall"))
         .expect("unique device names");

@@ -139,7 +139,8 @@ mod tests {
     use super::*;
 
     fn apartment() -> RoomTopology {
-        let mut t = RoomTopology::new(&["hall", "living", "dining", "kitchen", "bedroom", "bathroom"]);
+        let mut t =
+            RoomTopology::new(&["hall", "living", "dining", "kitchen", "bedroom", "bathroom"]);
         t.connect("hall", "living");
         t.connect("living", "dining");
         t.connect("dining", "kitchen");
@@ -160,7 +161,10 @@ mod tests {
     fn shortest_path() {
         let t = apartment();
         let path = t.path("bathroom", "kitchen").unwrap();
-        assert_eq!(path, vec!["bathroom", "bedroom", "living", "dining", "kitchen"]);
+        assert_eq!(
+            path,
+            vec!["bathroom", "bedroom", "living", "dining", "kitchen"]
+        );
         assert_eq!(t.path("hall", "hall").unwrap(), vec!["hall"]);
     }
 

@@ -320,11 +320,11 @@ pub fn simulate(profile: &HomeProfile, config: &SimConfig) -> SimOutput {
             .map(|ch| profile.registry().id_of(&ch.sensor).expect("validated"))
             .collect();
         let emit = |t: f64,
-                        channel: usize,
-                        source_active: &HashMap<DeviceId, bool>,
-                        rng: &mut StdRng,
-                        weather: f64,
-                        reports: &mut Vec<DeviceEvent>| {
+                    channel: usize,
+                    source_active: &HashMap<DeviceId, bool>,
+                    rng: &mut StdRng,
+                    weather: f64,
+                    reports: &mut Vec<DeviceEvent>| {
             let ch = &profile.channels()[channel];
             let lux = ch.lux(t, weather, |name| {
                 profile
@@ -354,7 +354,14 @@ pub fn simulate(profile: &HomeProfile, config: &SimConfig) -> SimOutput {
             let weather = day_weather(day, &mut sim.rng);
             if next_pending_t <= tick && next_pending_t <= next_event_t {
                 let (t, channel) = pending.remove(0);
-                emit(t, channel, &source_active, &mut sim.rng, weather, &mut reports);
+                emit(
+                    t,
+                    channel,
+                    &source_active,
+                    &mut sim.rng,
+                    weather,
+                    &mut reports,
+                );
             } else if next_event_t <= tick {
                 let event = &resident_events[idx];
                 idx += 1;
@@ -368,16 +375,20 @@ pub fn simulate(profile: &HomeProfile, config: &SimConfig) -> SimOutput {
                 let name = profile.registry().name(event.device).to_string();
                 for (ci, ch) in profile.channels().iter().enumerate() {
                     if ch.sources.iter().any(|(src, _)| *src == name) {
-                        pending.push((
-                            event.time.as_secs_f64() + sim.rng.gen_range(2.0..5.0),
-                            ci,
-                        ));
+                        pending.push((event.time.as_secs_f64() + sim.rng.gen_range(2.0..5.0), ci));
                     }
                 }
                 pending.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
             } else {
                 for channel in 0..profile.channels().len() {
-                    emit(tick, channel, &source_active, &mut sim.rng, weather, &mut reports);
+                    emit(
+                        tick,
+                        channel,
+                        &source_active,
+                        &mut sim.rng,
+                        weather,
+                        &mut reports,
+                    );
                 }
                 tick += config.brightness_period_secs * sim.rng.gen_range(0.9..1.1);
             }

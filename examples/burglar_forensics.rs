@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
     let (train, test) = sim.log.split_at_fraction(0.8);
-    let model = CausalIot::builder().tau(2).build().fit(profile.registry(), &train)?;
+    let model = CausalIot::builder()
+        .tau(2)
+        .build()
+        .fit(profile.registry(), &train)?;
     let preprocessor = model.preprocessor().expect("raw-log fit");
 
     banner("Inject burglar-wandering chains into the testing stream");

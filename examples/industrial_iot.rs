@@ -15,7 +15,11 @@ use rand::{Rng, SeedableRng};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("A smart warehouse: inventory sensor -> picking robot -> truck");
     let mut registry = DeviceRegistry::new();
-    let sensor = registry.add("LowInventory", Attribute::PresenceSensor, Room::new("shelf"))?;
+    let sensor = registry.add(
+        "LowInventory",
+        Attribute::PresenceSensor,
+        Room::new("shelf"),
+    )?;
     let robot = registry.add("PickingRobot", Attribute::Switch, Room::new("floor"))?;
     let truck = registry.add("DeliveryTruck", Attribute::Switch, Room::new("dock"))?;
     let forklift = registry.add("Forklift", Attribute::Switch, Room::new("floor"))?;
@@ -84,7 +88,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     banner("Detect command injection: robot dispatched with full shelves");
     let mut monitor = model.monitor_with(3, iot_model::SystemState::all_off(4));
-    let injected = monitor.observe(BinaryEvent::new(Timestamp::from_secs(9_000_000), robot, true));
+    let injected = monitor.observe(BinaryEvent::new(
+        Timestamp::from_secs(9_000_000),
+        robot,
+        true,
+    ));
     println!(
         "robot misbehaviour score {:.4} vs threshold {:.4}",
         injected.score,

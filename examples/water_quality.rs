@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut next = levels;
         next[0] = fresh;
         for i in 1..4 {
-            next[i] = if rng.gen_bool(0.93) { levels[i - 1] } else { !levels[i - 1] };
+            next[i] = if rng.gen_bool(0.93) {
+                levels[i - 1]
+            } else {
+                !levels[i - 1]
+            };
         }
         for i in 0..4 {
             if next[i] != levels[i] {
@@ -59,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // q encodes the confidence that the log is anomaly-free; with ~7%
     // sensing noise, the 95th percentile separates noise from the truly
     // unexplained readings.
-    let model = CausalIot::builder().tau(2).q(95.0).build().fit_binary(&registry, &events)?;
+    let model = CausalIot::builder()
+        .tau(2)
+        .q(95.0)
+        .build()
+        .fit_binary(&registry, &events)?;
     for edge in model.dig().interactions() {
         if !edge.is_autocorrelation() {
             println!(
@@ -101,7 +109,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .chain(downstream.alarms.iter())
         .chain(flush.alarms.iter())
     {
-        println!("\nreported {:?} anomaly ({} events):", alarm.kind, alarm.len());
+        println!(
+            "\nreported {:?} anomaly ({} events):",
+            alarm.kind,
+            alarm.len()
+        );
         for anomalous in &alarm.events {
             println!(
                 "  {} turbidity {} (score {:.3})",

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Appends one performance-trajectory entry to results/BENCH_<date>.json.
+#
+# Runs the Section V-D complexity experiment in release mode; the binary
+# writes results/telemetry/exp_complexity.json (one compact JSON object),
+# which this script appends — one line per invocation — to a dated JSONL
+# file, so repeated runs on one day accumulate into a comparable series.
+#
+# Usage: scripts/bench_snapshot.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release --offline -p causaliot-bench --bin exp_complexity
+
+report="results/telemetry/exp_complexity.json"
+if [[ ! -s "$report" ]]; then
+    echo "error: $report missing or empty" >&2
+    exit 1
+fi
+
+out="results/BENCH_$(date +%F).json"
+cat "$report" >> "$out"
+echo "appended $(wc -l < "$out" | tr -d ' ') snapshot(s) in $out"

@@ -1,0 +1,226 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Throughput`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — on top of a
+//! simple wall-clock harness: warm up briefly, time batches until a fixed
+//! measurement window elapses, report the median per-iteration time (and
+//! derived throughput). No statistics beyond that; the point is a usable
+//! `cargo bench` in an environment where the real crate cannot be fetched.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(1500);
+
+/// Per-benchmark throughput annotation.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, usually derived from a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter (the group supplies the name).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher<'a> {
+    result_ns: &'a mut Option<f64>,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly and records the median batch time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also sizes the batch so one batch is ~1ms.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.001 / per_iter) as u64).clamp(1, 1 << 24);
+
+        let mut samples: Vec<f64> = Vec::new();
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        *self.result_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn run_one(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher<'_>)) {
+    let mut result_ns = None;
+    f(&mut Bencher {
+        result_ns: &mut result_ns,
+    });
+    match result_ns {
+        Some(ns) => {
+            let extra = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  ({:.0} elem/s)", n as f64 / (ns / 1e9))
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  ({:.1} MiB/s)", n as f64 / (ns / 1e9) / (1 << 20) as f64)
+                }
+                None => String::new(),
+            };
+            println!("{name:<48} {:>12}/iter{extra}", human_time(ns));
+        }
+        None => println!("{name:<48}  (no measurement)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the shim's
+    /// measurement window is time-based).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks a closure that receives an input by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration (no-op in the shim, but keeps
+    /// `cargo bench -- <filter>` invocations from failing outright).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmarks one named closure.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(name, None, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Final summary hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

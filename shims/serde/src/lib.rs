@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op [`Serialize`]/[`Deserialize`] derive macros so the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations compile in
+//! the offline build environment. No trait machinery is provided — nothing
+//! in the workspace takes serde trait bounds; all real serialisation is
+//! hand-rolled (see `causaliot::graph::persist` and `iot_telemetry::json`).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

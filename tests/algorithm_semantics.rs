@@ -52,7 +52,11 @@ fn kmax_one_reports_each_contextual_anomaly_separately() {
     let mut monitor = model.monitor_with(1, SystemState::all_off(registry.len()));
     quiet(&mut monitor, registry);
     let v1 = monitor.observe(BinaryEvent::new(Timestamp::from_secs(600_000), stove, true));
-    let v2 = monitor.observe(BinaryEvent::new(Timestamp::from_secs(600_030), player, true));
+    let v2 = monitor.observe(BinaryEvent::new(
+        Timestamp::from_secs(600_030),
+        player,
+        true,
+    ));
     for (name, v) in [("stove", &v1), ("player", &v2)] {
         assert_eq!(v.alarms.len(), 1, "{name}: {v:?}");
         assert_eq!(v.alarms[0].kind, AlarmKind::Contextual);
@@ -123,10 +127,7 @@ fn pc_stable_and_pearson_mine_usable_models_on_the_testbed() {
         .build()
         .fit(profile.registry(), &sim.log)
         .expect("fit");
-    let events = model
-        .preprocessor()
-        .expect("raw fit")
-        .transform(&sim.log);
+    let events = model.preprocessor().expect("raw fit").transform(&sim.log);
     let series = StateSeries::derive(SystemState::all_off(profile.registry().len()), events);
     let data = SnapshotData::from_series(&series, 2);
 

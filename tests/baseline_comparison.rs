@@ -42,8 +42,7 @@ fn markov_recall_exceeds_its_precision() {
         .filter(|c| c.detector == "Markov chain")
         .collect();
     let recall: f64 = markov.iter().map(|c| c.recall).sum::<f64>() / markov.len() as f64;
-    let precision: f64 =
-        markov.iter().map(|c| c.precision).sum::<f64>() / markov.len() as f64;
+    let precision: f64 = markov.iter().map(|c| c.precision).sum::<f64>() / markov.len() as f64;
     assert!(
         recall > precision,
         "Markov recall {recall:.3} vs precision {precision:.3}"
@@ -69,13 +68,8 @@ fn ocsvm_is_high_recall_low_precision() {
 fn hawatcher_rules_are_room_local() {
     let ds = Dataset::contextact(&config());
     let initial = SystemState::all_off(ds.profile.registry().len());
-    let detector = HaWatcherDetector::fit(
-        ds.profile.registry(),
-        &initial,
-        &ds.train_events,
-        10,
-        0.95,
-    );
+    let detector =
+        HaWatcherDetector::fit(ds.profile.registry(), &initial, &ds.train_events, 10, 0.95);
     assert!(detector.num_rules() > 0);
     let registry = ds.profile.registry();
     for device in registry.iter() {
@@ -86,10 +80,13 @@ fn hawatcher_rules_are_room_local() {
                 let same_room = a.room() == b.room();
                 let functional = matches!(
                     (a.attribute(), b.attribute()),
-                    (iot_model::Attribute::Dimmer | iot_model::Attribute::Switch,
-                     iot_model::Attribute::BrightnessSensor)
-                        | (iot_model::Attribute::BrightnessSensor,
-                           iot_model::Attribute::Dimmer | iot_model::Attribute::Switch)
+                    (
+                        iot_model::Attribute::Dimmer | iot_model::Attribute::Switch,
+                        iot_model::Attribute::BrightnessSensor
+                    ) | (
+                        iot_model::Attribute::BrightnessSensor,
+                        iot_model::Attribute::Dimmer | iot_model::Attribute::Switch
+                    )
                 );
                 assert!(
                     same_room || functional,

@@ -52,8 +52,7 @@ fn collective_chains_are_detected_and_partially_tracked() {
     };
     let rows = table5::rows_for(&Dataset::contextact(&cfg), &cfg);
     assert_eq!(rows.len(), 9);
-    let avg_detected =
-        rows.iter().map(|r| r.pct_detected).sum::<f64>() / rows.len() as f64;
+    let avg_detected = rows.iter().map(|r| r.pct_detected).sum::<f64>() / rows.len() as f64;
     assert_in_range("avg chain detection", avg_detected, 0.3, 1.0);
     // Detection length grows with k_max within each case.
     for case_rows in rows.chunks(3) {
@@ -98,9 +97,8 @@ fn tuned_beats_paper_faithful_on_recall() {
     };
     let tuned = table4::rows_for(&Dataset::contextact(&tuned_cfg), &tuned_cfg);
     let faithful = table4::rows_for(&Dataset::contextact(&faithful_cfg), &faithful_cfg);
-    let avg = |rows: &[table4::Table4Row]| {
-        rows.iter().map(|r| r.recall).sum::<f64>() / rows.len() as f64
-    };
+    let avg =
+        |rows: &[table4::Table4Row]| rows.iter().map(|r| r.recall).sum::<f64>() / rows.len() as f64;
     assert!(
         avg(&tuned) > avg(&faithful),
         "tuned recall {} vs faithful {}",

@@ -35,12 +35,15 @@ fn full_pipeline_from_raw_log_to_alarm() {
     let mut processed = 0;
     let mut alarms = 0;
     for event in &test {
-        if let Some(verdict) = monitor.observe_raw(event) {
+        if let Ok(verdict) = monitor.observe_raw(event) {
             processed += 1;
             alarms += verdict.alarms.len();
         }
     }
-    assert!(processed > 100, "only {processed} events reached the detector");
+    assert!(
+        processed > 100,
+        "only {processed} events reached the detector"
+    );
     // Clean data: some alarms fire (behavioural deviation) but they must
     // be a small minority.
     let alarm_rate = alarms as f64 / processed as f64;

@@ -108,8 +108,10 @@ fn frequently_fired_rules_are_mined() {
     let mut fired_often = 0;
     let mut found = 0;
     for rule in &ds.rules {
-        let (Some(t), Some(a)) = (registry.id_of(&rule.trigger.0), registry.id_of(&rule.action.0))
-        else {
+        let (Some(t), Some(a)) = (
+            registry.id_of(&rule.trigger.0),
+            registry.id_of(&rule.action.0),
+        ) else {
             continue;
         };
         // Count rule executions in the full trace.

@@ -1,4 +1,10 @@
-//! Property-based tests on the core data structures and invariants.
+//! Randomised property tests on the core data structures and invariants.
+//!
+//! These were originally written against `proptest`; the offline build
+//! environment cannot fetch it, so each property now drives itself with a
+//! seeded [`StdRng`] over a few hundred generated cases. Shrinking is
+//! lost, but every failure message carries the case index and the
+//! generating seed, which is enough to reproduce deterministically.
 
 use causaliot::graph::{Cpt, LaggedVar, UnseenContext};
 use causaliot::monitor::PhantomStateMachine;
@@ -8,183 +14,234 @@ use iot_stats::chi2::{chi2_cdf, chi2_sf};
 use iot_stats::gsquare::{g_square_test, Observation};
 use iot_stats::jenks::jenks_breaks;
 use iot_stats::percentile::percentile;
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
-fn arb_events(devices: usize, len: usize) -> impl Strategy<Value = Vec<BinaryEvent>> {
-    prop::collection::vec((0..devices, any::<bool>()), 1..len).prop_map(|raw| {
-        raw.into_iter()
-            .enumerate()
-            .map(|(i, (d, v))| {
-                BinaryEvent::new(
-                    Timestamp::from_secs(i as u64),
-                    DeviceId::from_index(d),
-                    v,
-                )
-            })
-            .collect()
-    })
+fn random_events(rng: &mut StdRng, devices: usize, max_len: usize) -> Vec<BinaryEvent> {
+    let len = rng.gen_range(1..max_len);
+    (0..len)
+        .map(|i| {
+            BinaryEvent::new(
+                Timestamp::from_secs(i as u64),
+                DeviceId::from_index(rng.gen_range(0..devices)),
+                rng.gen_bool(0.5),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    /// A state series always has m+1 states, and state j differs from
-    /// state j-1 at most in the reporting device.
-    #[test]
-    fn state_series_single_device_transitions(events in arb_events(6, 200)) {
+/// A state series always has m+1 states, and state j differs from state
+/// j-1 at most in the reporting device.
+#[test]
+fn state_series_single_device_transitions() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for case in 0..200 {
+        let events = random_events(&mut rng, 6, 200);
         let series = StateSeries::derive(SystemState::all_off(6), events.clone());
-        prop_assert_eq!(series.num_events(), events.len());
+        assert_eq!(series.num_events(), events.len(), "case {case}");
         for j in 1..=series.num_events() {
             let prev = series.state(j - 1);
             let cur = series.state(j);
             let changed: Vec<usize> = (0..6)
                 .filter(|&d| prev.get(DeviceId::from_index(d)) != cur.get(DeviceId::from_index(d)))
                 .collect();
-            prop_assert!(changed.len() <= 1);
+            assert!(changed.len() <= 1, "case {case}: {changed:?}");
             if let Some(&d) = changed.first() {
-                prop_assert_eq!(d, events[j - 1].device.index());
+                assert_eq!(d, events[j - 1].device.index(), "case {case}");
             }
         }
     }
+}
 
-    /// The phantom state machine tracks exactly the same states as the
-    /// derived series, for any event stream and any tau.
-    #[test]
-    fn phantom_machine_agrees_with_series(
-        events in arb_events(5, 120),
-        tau in 1usize..4,
-    ) {
+/// The phantom state machine tracks exactly the same states as the
+/// derived series, for any event stream and any tau.
+#[test]
+fn phantom_machine_agrees_with_series() {
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for case in 0..100 {
+        let events = random_events(&mut rng, 5, 120);
+        let tau = rng.gen_range(1usize..4);
         let series = StateSeries::derive(SystemState::all_off(5), events.clone());
         let mut pm = PhantomStateMachine::new(SystemState::all_off(5), tau);
         for (j, event) in events.iter().enumerate() {
             pm.apply(event);
-            prop_assert_eq!(pm.current(), series.state(j + 1));
+            assert_eq!(pm.current(), series.state(j + 1), "case {case} event {j}");
             for lag in 0..=tau.min(j + 1) {
                 for d in 0..5 {
                     let id = DeviceId::from_index(d);
-                    prop_assert_eq!(pm.lagged(id, lag), series.lagged(j + 1, id, lag));
+                    assert_eq!(
+                        pm.lagged(id, lag),
+                        series.lagged(j + 1, id, lag),
+                        "case {case} event {j} device {d} lag {lag}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Bit-parallel contingency counting sums to the snapshot count for
-    /// any variables and conditioning sets.
-    #[test]
-    fn stratified_counts_total_is_snapshot_count(
-        events in arb_events(4, 150),
-        x_dev in 0usize..4, x_lag in 1usize..3,
-        y_dev in 0usize..4,
-        z_dev in 0usize..4, z_lag in 1usize..3,
-    ) {
-        prop_assume!(events.len() >= 3);
+/// Bit-parallel contingency counting sums to the snapshot count for any
+/// variables and conditioning sets.
+#[test]
+fn stratified_counts_total_is_snapshot_count() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    for case in 0..200 {
+        let events = random_events(&mut rng, 4, 150);
+        if events.len() < 3 {
+            continue;
+        }
         let series = StateSeries::derive(SystemState::all_off(4), events);
         let data = SnapshotData::from_series(&series, 2);
-        let x = LaggedVar::new(DeviceId::from_index(x_dev), x_lag);
-        let y = LaggedVar::new(DeviceId::from_index(y_dev), 0);
-        let z = LaggedVar::new(DeviceId::from_index(z_dev), z_lag);
+        let x = LaggedVar::new(
+            DeviceId::from_index(rng.gen_range(0..4)),
+            rng.gen_range(1usize..3),
+        );
+        let y = LaggedVar::new(DeviceId::from_index(rng.gen_range(0..4)), 0);
+        let z = LaggedVar::new(
+            DeviceId::from_index(rng.gen_range(0..4)),
+            rng.gen_range(1usize..3),
+        );
         let z_set = if z == x { vec![] } else { vec![z] };
         let table = data.stratified_counts(x, y, &z_set);
-        prop_assert_eq!(table.total(), data.num_snapshots() as u64);
+        assert_eq!(
+            table.total(),
+            data.num_snapshots() as u64,
+            "case {case}: x={x:?} y={y:?} z={z_set:?}"
+        );
     }
+}
 
-    /// CPT probabilities are valid distributions under every policy.
-    #[test]
-    fn cpt_probabilities_sum_to_one(
-        records in prop::collection::vec((0usize..4, any::<bool>()), 0..100),
-    ) {
+/// CPT probabilities are valid distributions under every policy.
+#[test]
+fn cpt_probabilities_sum_to_one() {
+    let mut rng = StdRng::seed_from_u64(0xD1CE);
+    for case in 0..200 {
         let causes = vec![
             LaggedVar::new(DeviceId::from_index(0), 1),
             LaggedVar::new(DeviceId::from_index(1), 2),
         ];
         let mut cpt = Cpt::new(causes, 0.0);
-        for (code, value) in records {
-            cpt.record(code, value);
+        for _ in 0..rng.gen_range(0..100) {
+            cpt.record(rng.gen_range(0usize..4), rng.gen_bool(0.5));
         }
-        for policy in [UnseenContext::Marginal, UnseenContext::Uniform, UnseenContext::MaxAnomaly] {
+        for policy in [
+            UnseenContext::Marginal,
+            UnseenContext::Uniform,
+            UnseenContext::MaxAnomaly,
+        ] {
             for code in 0..cpt.num_contexts() {
                 let p_on = cpt.prob(code, true, policy);
                 let p_off = cpt.prob(code, false, policy);
-                prop_assert!((0.0..=1.0).contains(&p_on));
-                prop_assert!((0.0..=1.0).contains(&p_off));
+                assert!((0.0..=1.0).contains(&p_on), "case {case} {policy:?}");
+                assert!((0.0..=1.0).contains(&p_off), "case {case} {policy:?}");
                 if cpt.context_count(code) > 0 {
-                    prop_assert!((p_on + p_off - 1.0).abs() < 1e-9);
+                    assert!(
+                        (p_on + p_off - 1.0).abs() < 1e-9,
+                        "case {case} {policy:?} code {code}: {p_on} + {p_off}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// The chi-square CDF and survival function are complementary and
-    /// monotone.
-    #[test]
-    fn chi2_cdf_properties(x in 0.0f64..200.0, dof in 1u64..30) {
+/// The chi-square CDF and survival function are complementary and
+/// monotone.
+#[test]
+fn chi2_cdf_properties() {
+    let mut rng = StdRng::seed_from_u64(0xE4A);
+    for case in 0..500 {
+        let x = rng.gen_range(0.0f64..200.0);
+        let dof = rng.gen_range(1u64..30);
         let cdf = chi2_cdf(x, dof);
         let sf = chi2_sf(x, dof);
-        prop_assert!((cdf + sf - 1.0).abs() < 1e-9);
-        prop_assert!((0.0..=1.0).contains(&cdf));
+        assert!((cdf + sf - 1.0).abs() < 1e-9, "case {case} x={x} dof={dof}");
+        assert!((0.0..=1.0).contains(&cdf), "case {case} x={x} dof={dof}");
         let cdf2 = chi2_cdf(x + 1.0, dof);
-        prop_assert!(cdf2 >= cdf - 1e-12);
+        assert!(cdf2 >= cdf - 1e-12, "case {case} x={x} dof={dof}");
     }
+}
 
-    /// G² p-values live in [0, 1] for arbitrary binary data.
-    #[test]
-    fn g_square_p_value_in_unit_interval(
-        obs in prop::collection::vec((any::<bool>(), any::<bool>(), 0usize..4), 0..300),
-    ) {
-        let observations: Vec<Observation> = obs
-            .into_iter()
-            .map(|(x, y, z)| Observation { x, y, z_code: z })
+/// G² p-values live in [0, 1] for arbitrary binary data.
+#[test]
+fn g_square_p_value_in_unit_interval() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for case in 0..200 {
+        let n = rng.gen_range(0..300);
+        let observations: Vec<Observation> = (0..n)
+            .map(|_| Observation {
+                x: rng.gen_bool(0.5),
+                y: rng.gen_bool(0.5),
+                z_code: rng.gen_range(0usize..4),
+            })
             .collect();
         let r = g_square_test(observations, 2);
-        prop_assert!((0.0..=1.0).contains(&r.p_value));
-        prop_assert!(r.statistic >= -1e-9);
+        assert!((0.0..=1.0).contains(&r.p_value), "case {case}");
+        assert!(r.statistic >= -1e-9, "case {case}");
     }
+}
 
-    /// Jenks breaks are sorted and lie within the data range.
-    #[test]
-    fn jenks_breaks_are_ordered_and_bounded(
-        mut values in prop::collection::vec(-1e5f64..1e5, 4..60),
-        classes in 2usize..4,
-    ) {
-        prop_assume!(values.len() >= classes);
+/// Jenks breaks are sorted and lie within the data range.
+#[test]
+fn jenks_breaks_are_ordered_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xBEAD);
+    for case in 0..200 {
+        let classes = rng.gen_range(2usize..4);
+        let len = rng.gen_range(4usize..60).max(classes);
+        let mut values: Vec<f64> = (0..len).map(|_| rng.gen_range(-1e5f64..1e5)).collect();
         let breaks = jenks_breaks(&values, classes);
-        prop_assert_eq!(breaks.len(), classes - 1);
+        assert_eq!(breaks.len(), classes - 1, "case {case}");
         values.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for pair in breaks.windows(2) {
-            prop_assert!(pair[0] <= pair[1]);
+            assert!(pair[0] <= pair[1], "case {case}: {breaks:?}");
         }
         for b in &breaks {
-            prop_assert!(*b >= values[0] && *b <= *values.last().unwrap());
+            assert!(
+                *b >= values[0] && *b <= *values.last().unwrap(),
+                "case {case}: {b} outside [{}, {}]",
+                values[0],
+                values.last().unwrap()
+            );
         }
     }
+}
 
-    /// Percentiles are monotone in q and bounded by the extremes.
-    #[test]
-    fn percentile_monotone(
-        values in prop::collection::vec(-1e6f64..1e6, 1..80),
-        q1 in 0.0f64..100.0,
-        q2 in 0.0f64..100.0,
-    ) {
+/// Percentiles are monotone in q and bounded by the extremes.
+#[test]
+fn percentile_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xACE);
+    for case in 0..300 {
+        let len = rng.gen_range(1usize..80);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_range(-1e6f64..1e6)).collect();
+        let q1 = rng.gen_range(0.0f64..100.0);
+        let q2 = rng.gen_range(0.0f64..100.0);
         let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
         let p_lo = percentile(&values, lo);
         let p_hi = percentile(&values, hi);
-        prop_assert!(p_lo <= p_hi + 1e-9);
+        assert!(p_lo <= p_hi + 1e-9, "case {case}: {p_lo} > {p_hi}");
         let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(p_lo >= min - 1e-9 && p_hi <= max + 1e-9);
+        assert!(
+            p_lo >= min - 1e-9 && p_hi <= max + 1e-9,
+            "case {case}: [{p_lo}, {p_hi}] outside [{min}, {max}]"
+        );
     }
+}
 
-    /// EventLog::push keeps the log sorted for arbitrary insertion orders.
-    #[test]
-    fn event_log_always_sorted(times in prop::collection::vec(0u64..10_000, 0..120)) {
+/// EventLog::push keeps the log sorted for arbitrary insertion orders.
+#[test]
+fn event_log_always_sorted() {
+    let mut rng = StdRng::seed_from_u64(0xFACE);
+    for _ in 0..100 {
         let mut log = EventLog::new();
-        for (i, t) in times.iter().enumerate() {
+        for i in 0..rng.gen_range(0usize..120) {
             log.push(iot_model::DeviceEvent::new(
-                Timestamp::from_secs(*t),
+                Timestamp::from_secs(rng.gen_range(0u64..10_000)),
                 DeviceId::from_index(i % 3),
                 iot_model::StateValue::Binary(i % 2 == 0),
             ));
         }
         for pair in log.events().windows(2) {
-            prop_assert!(pair[0].time <= pair[1].time);
+            assert!(pair[0].time <= pair[1].time);
         }
     }
 }
