@@ -97,9 +97,9 @@ impl HaWatcherDetector {
             let key = (event.device, event.value);
             *occurrences.entry(key).or_default() += 1;
             let counts = on_counts.entry(key).or_insert_with(|| vec![0; n]);
-            for d in 0..n {
+            for (d, count) in counts.iter_mut().enumerate() {
                 if state.get(DeviceId::from_index(d)) {
-                    counts[d] += 1;
+                    *count += 1;
                 }
             }
         }
@@ -110,7 +110,7 @@ impl HaWatcherDetector {
                 continue;
             }
             let counts = &on_counts[&key];
-            for d in 0..n {
+            for (d, &count) in counts.iter().enumerate() {
                 let other = DeviceId::from_index(d);
                 if other == key.0 {
                     continue;
@@ -118,7 +118,7 @@ impl HaWatcherDetector {
                 if !semantically_related(registry, key.0, other) {
                     continue;
                 }
-                let p_on = counts[d] as f64 / total as f64;
+                let p_on = count as f64 / total as f64;
                 let (expected_state, confidence) = if p_on >= 0.5 {
                     (true, p_on)
                 } else {

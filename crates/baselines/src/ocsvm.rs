@@ -260,7 +260,7 @@ mod tests {
         let initial = SystemState::all_off(8);
         let events = two_cluster_stream(100);
         let det = OcsvmDetector::fit(&initial, &events, &OcsvmConfig::default());
-        let flags = det.detect(&initial, &events[..40].to_vec());
+        let flags = det.detect(&initial, &events[..40]);
         let fp_rate = flags.iter().filter(|&&f| f).count() as f64 / flags.len() as f64;
         assert!(fp_rate < 0.4, "inlier flag rate {fp_rate}");
     }

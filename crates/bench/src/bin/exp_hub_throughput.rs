@@ -1,0 +1,189 @@
+//! Serving-hub throughput: events/second through [`iot_serve::Hub`] as a
+//! function of worker count and submission shape.
+//!
+//! The comparison the report cares about is *serving* throughput — the
+//! rate a hub ingests, shards, queues, and scores a fleet's events — not
+//! raw in-process scoring. The baseline is therefore the single-threaded
+//! serving configuration (1 worker, one queue handoff per event); the
+//! production configuration is 4 workers fed with batched submissions,
+//! which amortises the per-event handoff. The direct sequential
+//! [`causaliot::OwnedMonitor`] rate (no hub at all) is also reported for
+//! context, as is `available_parallelism` so the numbers can be read
+//! against the hardware they were measured on.
+
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use causaliot::{CausalIot, FittedModel};
+use causaliot_bench::telemetry_out;
+use iot_model::{Attribute, BinaryEvent, DeviceRegistry, Room, Timestamp};
+use iot_serve::{Hub, HubConfig, SubmitError};
+use iot_telemetry::json::JsonValue;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const HOMES: usize = 4;
+const EVENTS_PER_HOME: usize = 60_000;
+const BATCH: usize = 512;
+
+fn fitted_model() -> (DeviceRegistry, FittedModel) {
+    let mut reg = DeviceRegistry::new();
+    let pe = reg
+        .add("PE_room", Attribute::PresenceSensor, Room::new("room"))
+        .unwrap();
+    let lamp = reg
+        .add("S_lamp", Attribute::Switch, Room::new("room"))
+        .unwrap();
+    let door = reg
+        .add("C_door", Attribute::ContactSensor, Room::new("hall"))
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut events = Vec::new();
+    let (mut pe_s, mut lamp_s, mut door_s) = (false, false, false);
+    for i in 0..600u64 {
+        let t = i * 60;
+        match rng.gen_range(0..3) {
+            0 => {
+                pe_s = !pe_s;
+                events.push(BinaryEvent::new(Timestamp::from_secs(t), pe, pe_s));
+                if rng.gen_bool(0.9) && lamp_s != pe_s {
+                    lamp_s = pe_s;
+                    events.push(BinaryEvent::new(Timestamp::from_secs(t + 15), lamp, lamp_s));
+                }
+            }
+            1 => {
+                door_s = !door_s;
+                events.push(BinaryEvent::new(Timestamp::from_secs(t), door, door_s));
+            }
+            _ => {}
+        }
+    }
+    let model = CausalIot::builder()
+        .tau(2)
+        .k_max(3)
+        .build()
+        .fit_binary(&reg, &events)
+        .unwrap();
+    (reg, model)
+}
+
+fn home_streams(reg: &DeviceRegistry) -> Vec<Vec<BinaryEvent>> {
+    let devices = [
+        reg.id_of("PE_room").unwrap(),
+        reg.id_of("S_lamp").unwrap(),
+        reg.id_of("C_door").unwrap(),
+    ];
+    (0..HOMES as u64)
+        .map(|h| {
+            let mut rng = StdRng::seed_from_u64(500 + h);
+            (0..EVENTS_PER_HOME as u64)
+                .map(|i| {
+                    let t = 1_000_000 + h * 100_000_000 + i * 5;
+                    let device = devices[rng.gen_range(0..devices.len())];
+                    BinaryEvent::new(Timestamp::from_secs(t), device, rng.gen_bool(0.5))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Direct in-process scoring: one sequential `OwnedMonitor` per home, no
+/// hub, no queues. The ceiling any serving layer pays overhead against.
+fn direct_sequential_eps(model: &FittedModel, streams: &[Vec<BinaryEvent>]) -> f64 {
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for stream in streams {
+        let mut monitor = model.clone().into_monitor();
+        for event in stream {
+            let verdict = monitor.observe(*event);
+            sink += usize::from(verdict.exceeds_threshold);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    // Keep the verdict loop observable so it cannot be optimised away.
+    assert!(sink <= HOMES * EVENTS_PER_HOME);
+    (HOMES * EVENTS_PER_HOME) as f64 / secs
+}
+
+/// Serving throughput through a hub with `workers` workers, submitting
+/// `batch` events per queue job (1 = per-event submission).
+fn hub_eps(model: &FittedModel, streams: &[Vec<BinaryEvent>], workers: usize, batch: usize) -> f64 {
+    let mut hub = Hub::new(HubConfig {
+        workers,
+        queue_capacity: 4_096,
+        record_verdicts: false,
+    });
+    let homes: Vec<_> = (0..HOMES)
+        .map(|h| hub.register(&format!("home-{h}"), model))
+        .collect();
+    let start = Instant::now();
+    for (h, stream) in streams.iter().enumerate() {
+        for chunk in stream.chunks(batch) {
+            let mut payload = chunk.to_vec();
+            loop {
+                match if batch == 1 {
+                    hub.submit(homes[h], payload[0])
+                } else {
+                    hub.submit_batch(homes[h], std::mem::take(&mut payload))
+                } {
+                    Ok(()) => break,
+                    Err(SubmitError::QueueFull { .. }) => {
+                        if batch != 1 {
+                            payload = chunk.to_vec();
+                        }
+                        std::thread::yield_now();
+                    }
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+        }
+    }
+    hub.drain();
+    let secs = start.elapsed().as_secs_f64();
+    let reports = hub.shutdown();
+    let scored: u64 = reports.iter().map(|r| r.monitor.events_observed).sum();
+    assert_eq!(scored, (HOMES * EVENTS_PER_HOME) as u64, "hub lost events");
+    scored as f64 / secs
+}
+
+fn main() {
+    println!("== Serving-hub throughput ({HOMES} homes x {EVENTS_PER_HOME} events) ==\n");
+    let (reg, model) = fitted_model();
+    let streams = home_streams(&reg);
+
+    let parallelism = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let direct = direct_sequential_eps(&model, &streams);
+    let hub1_per_event = hub_eps(&model, &streams, 1, 1);
+    let hub2_batched = hub_eps(&model, &streams, 2, BATCH);
+    let hub4_batched = hub_eps(&model, &streams, 4, BATCH);
+    let speedup = hub4_batched / hub1_per_event;
+
+    println!("available_parallelism        {parallelism}");
+    println!("direct sequential            {direct:>12.0} events/s");
+    println!("hub 1 worker, per-event      {hub1_per_event:>12.0} events/s  (serving baseline)");
+    println!("hub 2 workers, batch={BATCH}     {hub2_batched:>12.0} events/s");
+    println!("hub 4 workers, batch={BATCH}     {hub4_batched:>12.0} events/s");
+    println!("speedup (4w batched / 1w per-event)  {speedup:.2}x");
+
+    let mut obj = JsonValue::object();
+    obj.push("kind", "run_report")
+        .push("binary", "exp_hub_throughput")
+        .push("homes", HOMES as f64)
+        .push("events_per_home", EVENTS_PER_HOME as f64)
+        .push("batch_size", BATCH as f64)
+        .push("available_parallelism", parallelism as f64)
+        .push("direct_sequential_eps", direct)
+        .push("hub1_per_event_eps", hub1_per_event)
+        .push("hub2_batched_eps", hub2_batched)
+        .push("hub4_batched_eps", hub4_batched)
+        .push("speedup_hub4_vs_hub1", speedup);
+    telemetry_out::write_report("exp_hub_throughput.json", &obj.render());
+
+    assert!(
+        speedup >= 2.0,
+        "acceptance: 4-worker batched serving must be >= 2x the \
+         single-threaded per-event serving baseline (got {speedup:.2}x)"
+    );
+}

@@ -57,6 +57,59 @@ impl From<ModelError> for CausalIotError {
     }
 }
 
+/// A single out-of-range configuration parameter, reported by
+/// [`crate::pipeline::CausalIotBuilder::try_build`] before any data is
+/// touched.
+///
+/// Converts into [`CausalIotError::InvalidConfig`] (via `From`) so callers
+/// that funnel everything through the pipeline error type keep working.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    parameter: &'static str,
+    reason: String,
+}
+
+impl ConfigError {
+    /// Creates an error for `parameter` with a human-readable `reason`.
+    pub fn new(parameter: &'static str, reason: impl Into<String>) -> Self {
+        ConfigError {
+            parameter,
+            reason: reason.into(),
+        }
+    }
+
+    /// The name of the offending parameter (e.g. `"alpha"`).
+    pub fn parameter(&self) -> &'static str {
+        self.parameter
+    }
+
+    /// What was wrong with the value.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid configuration for `{}`: {}",
+            self.parameter, self.reason
+        )
+    }
+}
+
+impl Error for ConfigError {}
+
+impl From<ConfigError> for CausalIotError {
+    fn from(e: ConfigError) -> Self {
+        CausalIotError::InvalidConfig {
+            parameter: e.parameter,
+            reason: e.reason,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +140,18 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_bounds<T: Error + Send + Sync + 'static>() {}
         assert_bounds::<CausalIotError>();
+        assert_bounds::<ConfigError>();
+    }
+
+    #[test]
+    fn config_error_converts_to_invalid_config() {
+        let e = ConfigError::new("q", "percentile must be in (0, 100]");
+        assert!(e.to_string().contains("q"));
+        assert_eq!(e.parameter(), "q");
+        let converted: CausalIotError = e.into();
+        assert!(matches!(
+            converted,
+            CausalIotError::InvalidConfig { parameter: "q", .. }
+        ));
     }
 }

@@ -71,4 +71,9 @@ pub mod pipeline;
 pub mod preprocess;
 pub mod snapshot;
 
-pub use error::CausalIotError;
+pub use error::{CausalIotError, ConfigError};
+pub use monitor::{Alarm, AlarmKind, AnomalousEvent, Verdict};
+pub use pipeline::{
+    CausalIot, CausalIotBuilder, CausalIotConfig, DropReason, FittedModel, Monitor, OwnedMonitor,
+    TauChoice,
+};

@@ -45,17 +45,25 @@ impl MinerConfig {
     /// Returns [`crate::CausalIotError::InvalidConfig`] when α is outside
     /// `(0, 1)` or smoothing is negative.
     pub fn validate(&self) -> Result<(), crate::CausalIotError> {
+        self.check().map_err(Into::into)
+    }
+
+    /// Like [`MinerConfig::validate`] but reports the fine-grained
+    /// [`crate::ConfigError`] used by the builder's fallible
+    /// `try_build` path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MinerConfig::validate`].
+    pub fn check(&self) -> Result<(), crate::ConfigError> {
         if !(self.alpha > 0.0 && self.alpha < 1.0) {
-            return Err(crate::CausalIotError::InvalidConfig {
-                parameter: "alpha",
-                reason: format!("must be in (0, 1), got {}", self.alpha),
-            });
+            return Err(crate::ConfigError::new(
+                "alpha",
+                format!("must be in (0, 1), got {}", self.alpha),
+            ));
         }
         if self.smoothing < 0.0 {
-            return Err(crate::CausalIotError::InvalidConfig {
-                parameter: "smoothing",
-                reason: "must be non-negative".to_string(),
-            });
+            return Err(crate::ConfigError::new("smoothing", "must be non-negative"));
         }
         Ok(())
     }

@@ -91,7 +91,7 @@ fn advance(indices: &mut [usize], n: usize) -> bool {
     let mut i = k;
     while i > 0 {
         i -= 1;
-        if indices[i] + 1 <= n - (k - i) {
+        if indices[i] < n - (k - i) {
             indices[i] += 1;
             for j in i + 1..k {
                 indices[j] = indices[j - 1] + 1;

@@ -238,7 +238,7 @@ impl Combinations {
                 return None;
             }
             i -= 1;
-            if self.indices[i] + 1 <= self.n - (k - i) {
+            if self.indices[i] < self.n - (k - i) {
                 self.indices[i] += 1;
                 for j in i + 1..k {
                     self.indices[j] = self.indices[j - 1] + 1;

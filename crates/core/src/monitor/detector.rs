@@ -23,6 +23,7 @@
 //! [`DetectorConfig::restart_on_abrupt`] as a documented extension that
 //! instead treats the abrupt event as a new contextual anomaly.
 
+use std::ops::Deref;
 use std::time::Instant;
 
 use iot_model::{BinaryEvent, SystemState};
@@ -179,9 +180,17 @@ impl DetectorInstruments {
 }
 
 /// The k-sequence anomaly detector (Algorithm 2).
+///
+/// Generic over *how the mined DIG is held*: `D` is any handle that
+/// dereferences to a [`Dig`]. The two instantiations used by the pipeline
+/// are `&Dig` (the classic borrowing detector behind
+/// [`crate::pipeline::Monitor`]) and `std::sync::Arc<Dig>` (the owned,
+/// `Send + 'static` detector behind [`crate::pipeline::OwnedMonitor`]).
+/// Both run the exact same code, so verdicts are bit-identical by
+/// construction.
 #[derive(Debug, Clone)]
-pub struct KSequenceDetector<'a> {
-    dig: &'a Dig,
+pub struct KSequenceDetector<D: Deref<Target = Dig>> {
+    dig: D,
     config: DetectorConfig,
     pm: PhantomStateMachine,
     w: Vec<AnomalousEvent>,
@@ -190,14 +199,15 @@ pub struct KSequenceDetector<'a> {
     instruments: DetectorInstruments,
 }
 
-impl<'a> KSequenceDetector<'a> {
+impl<D: Deref<Target = Dig>> KSequenceDetector<D> {
     /// Creates a detector over a mined DIG, starting from `initial`.
-    pub fn new(dig: &'a Dig, initial: SystemState, config: DetectorConfig) -> Self {
+    pub fn new(dig: D, initial: SystemState, config: DetectorConfig) -> Self {
         assert!(config.k_max >= 1, "k_max must be at least 1");
+        let tau = dig.tau();
         KSequenceDetector {
             dig,
             config,
-            pm: PhantomStateMachine::new(initial, dig.tau()),
+            pm: PhantomStateMachine::new(initial, tau),
             w: Vec::new(),
             next_ordinal: 0,
             stats: DetectorStats::default(),
@@ -242,42 +252,50 @@ impl<'a> KSequenceDetector<'a> {
         // Line 4-5: fetch cause values and compute the score before the
         // phantom state machine absorbs the event.
         let cpt = self.dig.cpt(event.device);
-        let cause_values: Vec<(LaggedVar, bool)> = cpt
-            .causes()
-            .iter()
-            .map(|&c| (c, self.pm.cause_value_for_next(c)))
-            .collect();
         let mut code = 0usize;
-        for (bit, &(_, value)) in cause_values.iter().enumerate() {
-            if value {
+        for (bit, &cause) in cpt.causes().iter().enumerate() {
+            if self.pm.cause_value_for_next(cause) {
                 code |= 1 << bit;
             }
         }
         let score = 1.0 - cpt.prob(code, event.value, self.config.unseen);
-        self.pm.apply(&event);
 
         let ordinal = self.next_ordinal;
         self.next_ordinal += 1;
         let anomalous = score >= self.config.threshold;
-        let record = AnomalousEvent {
-            ordinal,
-            event,
-            cause_values,
-            score,
+        // Only events that can join W need their cause context materialised
+        // (for "anomaly interpretation", Algorithm 2 line 7). The common
+        // case — a normal event on a quiet stream — allocates nothing.
+        let record = if anomalous || !self.w.is_empty() {
+            let cause_values: Vec<(LaggedVar, bool)> = cpt
+                .causes()
+                .iter()
+                .map(|&c| (c, self.pm.cause_value_for_next(c)))
+                .collect();
+            Some(AnomalousEvent {
+                ordinal,
+                event,
+                cause_values,
+                score,
+            })
+        } else {
+            None
         };
+        self.pm.apply(&event);
 
         let mut alarms = Vec::new();
         if self.w.is_empty() {
             if anomalous {
                 // Line 6-8: a fresh contextual anomaly opens W.
-                self.w.push(record);
+                self.w
+                    .push(record.expect("anomalous events carry a record"));
                 if self.w.len() == self.config.k_max {
                     alarms.push(self.flush(false));
                 }
             }
         } else if !anomalous {
             // Line 6-8: a low-score event continues the collective anomaly.
-            self.w.push(record);
+            self.w.push(record.expect("tracked events carry a record"));
             if self.w.len() == self.config.k_max {
                 alarms.push(self.flush(false));
             }
@@ -285,7 +303,8 @@ impl<'a> KSequenceDetector<'a> {
             // Line 9-12: an abrupt event ends tracking.
             alarms.push(self.flush(true));
             if self.config.restart_on_abrupt {
-                self.w.push(record);
+                self.w
+                    .push(record.expect("anomalous events carry a record"));
                 if self.w.len() == self.config.k_max {
                     alarms.push(self.flush(false));
                 }
@@ -348,8 +367,16 @@ impl<'a> KSequenceDetector<'a> {
     }
 
     /// Clears any in-progress tracking (the phantom state is kept).
+    ///
+    /// The in-flight collective-anomaly chain `W` is discarded without
+    /// being reported, so no later verdict can reference pre-reset events;
+    /// the tracking-length gauge is zeroed so telemetry cannot show a
+    /// stale chain either.
     pub fn reset_tracking(&mut self) {
         self.w.clear();
+        if self.instruments.enabled {
+            self.instruments.tracking_len.set(0);
+        }
     }
 }
 
@@ -481,5 +508,46 @@ mod tests {
     #[should_panic(expected = "k_max")]
     fn zero_kmax_rejected() {
         DetectorConfig::new(0.5, 0);
+    }
+
+    #[test]
+    fn reset_mid_chain_never_leaks_pre_reset_events() {
+        let dig = two_device_dig();
+        let cfg = DetectorConfig::new(0.5, 3);
+        let mut det = KSequenceDetector::new(&dig, SystemState::all_off(2), cfg);
+        // Open a chain: ghost activation (ordinal 0) + a rider (ordinal 1).
+        det.observe(bev(1, 1, true));
+        det.observe(bev(2, 0, true));
+        assert_eq!(det.tracking_len(), 2);
+        det.reset_tracking();
+        assert_eq!(det.tracking_len(), 0);
+        // A fresh chain after the reset: ghost deactivation (ordinal 3)
+        // plus two normal riders fills k_max and flushes a collective
+        // alarm — it must reference only post-reset ordinals.
+        let quiet = det.observe(bev(3, 1, true));
+        assert!(quiet.alarms.is_empty());
+        det.observe(bev(4, 1, false));
+        det.observe(bev(5, 0, false));
+        let v = det.observe(bev(6, 1, false));
+        assert_eq!(v.alarms.len(), 1);
+        let alarm = &v.alarms[0];
+        assert_eq!(alarm.kind, AlarmKind::Collective);
+        assert!(
+            alarm.events.iter().all(|e| e.ordinal >= 3),
+            "collective alarm referenced pre-reset events: {:?}",
+            alarm.events.iter().map(|e| e.ordinal).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn owned_and_borrowed_detectors_share_one_implementation() {
+        use std::sync::Arc;
+        let dig = Arc::new(two_device_dig());
+        let cfg = DetectorConfig::new(0.5, 2);
+        let mut borrowed = KSequenceDetector::new(&*dig, SystemState::all_off(2), cfg);
+        let mut owned = KSequenceDetector::new(Arc::clone(&dig), SystemState::all_off(2), cfg);
+        for event in [bev(1, 1, true), bev(2, 0, true), bev(3, 1, false)] {
+            assert_eq!(borrowed.observe(event), owned.observe(event));
+        }
     }
 }

@@ -40,10 +40,15 @@ impl PhantomStateMachine {
     /// Applies an event: derives `S^{t+1}` from `S^t`, records it, and
     /// drops `S^{t-τ}`.
     pub fn apply(&mut self, event: &BinaryEvent) {
-        let mut next = self.states.back().expect("window is never empty").clone();
+        // Recycle the evicted oldest state's buffer instead of allocating
+        // a fresh one per event — the monitor hot path stays allocation-free.
+        let mut next = self.states.pop_front().expect("window is never empty");
+        // With τ = 0 the window holds a single state, mutated in place.
+        if let Some(current) = self.states.back() {
+            next.clone_from(current);
+        }
         next.set(event.device, event.value);
         self.states.push_back(next);
-        self.states.pop_front();
     }
 
     /// The newest tracked system state `S^t`.

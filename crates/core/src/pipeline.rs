@@ -4,6 +4,8 @@
 //! the score-threshold calculator behind a builder; fitting produces a
 //! [`FittedModel`] from which stateful [`Monitor`]s are spawned.
 
+use std::ops::Deref;
+use std::sync::Arc;
 use std::time::Instant;
 
 use iot_model::{BinaryEvent, DeviceEvent, DeviceRegistry, EventLog, StateSeries, SystemState};
@@ -19,7 +21,7 @@ use crate::miner::{mine_dig_instrumented, MinerConfig};
 use crate::monitor::{training_scores, DetectorConfig, KSequenceDetector, Verdict};
 use crate::preprocess::{choose_tau, FittedPreprocessor, PreprocessConfig, TauConfig};
 use crate::snapshot::SnapshotData;
-use crate::CausalIotError;
+use crate::{CausalIotError, ConfigError};
 
 /// How the maximum time lag τ is chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -75,6 +77,44 @@ impl Default for CausalIotConfig {
             restart_on_abrupt: false,
             calibration_fraction: 0.0,
         }
+    }
+}
+
+impl CausalIotConfig {
+    /// Validates every parameter range:
+    ///
+    /// * `alpha ∈ (0, 1)` and `smoothing ≥ 0` (via [`MinerConfig::check`]),
+    /// * `q ∈ (0, 100]`,
+    /// * `k_max ≥ 1`,
+    /// * a fixed `τ ≥ 1`,
+    /// * `calibration_fraction ∈ [0, 0.5]` (`0` reproduces the paper's
+    ///   in-sample calibration; more than half the stream held out would
+    ///   starve the miner).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first offending parameter.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        self.miner.check()?;
+        if !(self.q > 0.0 && self.q <= 100.0) {
+            return Err(ConfigError::new(
+                "q",
+                format!("percentile must be in (0, 100], got {}", self.q),
+            ));
+        }
+        if self.k_max == 0 {
+            return Err(ConfigError::new("k_max", "must be at least 1"));
+        }
+        if let TauChoice::Fixed(0) = self.tau {
+            return Err(ConfigError::new("tau", "must be at least 1"));
+        }
+        if !(0.0..=0.5).contains(&self.calibration_fraction) {
+            return Err(ConfigError::new(
+                "calibration_fraction",
+                format!("must be in [0, 0.5], got {}", self.calibration_fraction),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -158,10 +198,33 @@ impl CausalIotBuilder {
         self
     }
 
-    /// Finalises the pipeline.
-    pub fn build(self) -> CausalIot {
-        CausalIot {
+    /// Finalises the pipeline, validating every parameter range first
+    /// (see [`CausalIotConfig::check`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first out-of-range parameter:
+    /// `alpha ∉ (0, 1)`, `q ∉ (0, 100]`, `k_max < 1`, a fixed `τ < 1`,
+    /// negative smoothing, or `calibration_fraction ∉ [0, 0.5]`.
+    pub fn try_build(self) -> Result<CausalIot, ConfigError> {
+        self.config.check()?;
+        Ok(CausalIot {
             config: self.config,
+        })
+    }
+
+    /// Finalises the pipeline; the infallible spelling of
+    /// [`CausalIotBuilder::try_build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any configuration [`CausalIotBuilder::try_build`] would
+    /// reject — out-of-range `alpha`, `q`, `k_max`, fixed `τ`, smoothing,
+    /// or `calibration_fraction`.
+    pub fn build(self) -> CausalIot {
+        match self.try_build() {
+            Ok(pipeline) => pipeline,
+            Err(e) => panic!("CausalIotBuilder::build: {e}"),
         }
     }
 }
@@ -301,32 +364,7 @@ impl CausalIot {
     }
 
     fn validate(&self) -> Result<(), CausalIotError> {
-        self.config.miner.validate()?;
-        if !(0.0..=100.0).contains(&self.config.q) {
-            return Err(CausalIotError::InvalidConfig {
-                parameter: "q",
-                reason: format!("percentile must be in [0, 100], got {}", self.config.q),
-            });
-        }
-        if self.config.k_max == 0 {
-            return Err(CausalIotError::InvalidConfig {
-                parameter: "k_max",
-                reason: "must be at least 1".to_string(),
-            });
-        }
-        if let TauChoice::Fixed(0) = self.config.tau {
-            return Err(CausalIotError::InvalidConfig {
-                parameter: "tau",
-                reason: "must be at least 1".to_string(),
-            });
-        }
-        if !(0.0..=0.5).contains(&self.config.calibration_fraction) {
-            return Err(CausalIotError::InvalidConfig {
-                parameter: "calibration_fraction",
-                reason: "must be in [0, 0.5]".to_string(),
-            });
-        }
-        Ok(())
+        self.config.check().map_err(Into::into)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -417,25 +455,26 @@ impl CausalIot {
         };
         let final_state = series.state(series.num_events()).clone();
         Ok(FittedModel {
-            dig,
-            threshold,
-            preprocessor,
-            config: self.config.clone(),
-            final_train_state: final_state,
-            num_devices,
-            fit_report,
-            telemetry: telemetry.clone(),
+            inner: Arc::new(ModelInner {
+                dig: Arc::new(dig),
+                threshold,
+                preprocessor: preprocessor.map(Arc::new),
+                config: self.config.clone(),
+                final_train_state: final_state,
+                num_devices,
+                fit_report,
+                telemetry: telemetry.clone(),
+            }),
         })
     }
 }
 
-/// A fitted CausalIoT model: the mined DIG, the calibrated threshold, and
-/// the preprocessing state needed to consume runtime events.
-#[derive(Debug, Clone)]
-pub struct FittedModel {
-    dig: Dig,
+/// The immutable fit artefacts, shared by every handle to the model.
+#[derive(Debug)]
+struct ModelInner {
+    dig: Arc<Dig>,
     threshold: f64,
-    preprocessor: Option<FittedPreprocessor>,
+    preprocessor: Option<Arc<FittedPreprocessor>>,
     config: CausalIotConfig,
     final_train_state: SystemState,
     num_devices: usize,
@@ -443,36 +482,50 @@ pub struct FittedModel {
     telemetry: TelemetryHandle,
 }
 
+/// A fitted CausalIoT model: the mined DIG, the calibrated threshold, and
+/// the preprocessing state needed to consume runtime events.
+///
+/// The fit artefacts are immutable and `Arc`-backed, so cloning a
+/// `FittedModel` is a reference-count bump — share one fitted model across
+/// threads, spawn any number of concurrent [`OwnedMonitor`]s from it (via
+/// [`FittedModel::into_monitor`]), or keep using the borrowing
+/// [`FittedModel::monitor`] for single-threaded sessions. Both monitor
+/// flavours run the identical detector core.
+#[derive(Debug, Clone)]
+pub struct FittedModel {
+    inner: Arc<ModelInner>,
+}
+
 impl FittedModel {
     /// The mined Device Interaction Graph.
     pub fn dig(&self) -> &Dig {
-        &self.dig
+        &self.inner.dig
     }
 
     /// The calibrated contextual-anomaly threshold `c`.
     pub fn threshold(&self) -> f64 {
-        self.threshold
+        self.inner.threshold
     }
 
     /// The τ the model was mined with.
     pub fn tau(&self) -> usize {
-        self.dig.tau()
+        self.inner.dig.tau()
     }
 
     /// The fitted preprocessor (absent for models fitted on binary
     /// events).
     pub fn preprocessor(&self) -> Option<&FittedPreprocessor> {
-        self.preprocessor.as_ref()
+        self.inner.preprocessor.as_deref()
     }
 
     /// The system state at the end of training (monitors resume from it).
     pub fn final_train_state(&self) -> &SystemState {
-        &self.final_train_state
+        &self.inner.final_train_state
     }
 
     /// The pipeline configuration the model was fitted with.
     pub fn config(&self) -> &CausalIotConfig {
-        &self.config
+        &self.inner.config
     }
 
     /// The fit's observability report: preprocessing counts, mining
@@ -480,19 +533,38 @@ impl FittedModel {
     /// distribution. Always populated — the stage timings cost a handful
     /// of `Instant` reads even with telemetry disabled.
     pub fn fit_report(&self) -> &FitReport {
-        &self.fit_report
+        &self.inner.fit_report
     }
 
     /// The telemetry handle the model was fitted with (disabled unless one
     /// was passed or `CAUSALIOT_TELEMETRY` selected a sink).
     pub fn telemetry(&self) -> &TelemetryHandle {
-        &self.telemetry
+        &self.inner.telemetry
+    }
+
+    fn detector_config(&self, k_max: usize) -> DetectorConfig {
+        DetectorConfig {
+            threshold: self.inner.threshold,
+            k_max,
+            unseen: self.inner.config.unseen,
+            restart_on_abrupt: self.inner.config.restart_on_abrupt,
+        }
+    }
+
+    fn monitor_counters(&self) -> (Counter, Counter) {
+        (
+            self.inner.telemetry.counter("monitor.drop.duplicate"),
+            self.inner.telemetry.counter("monitor.drop.extreme"),
+        )
     }
 
     /// Spawns a monitor resuming from the end-of-training state, with the
     /// configured `k_max`.
     pub fn monitor(&self) -> Monitor<'_> {
-        self.monitor_with(self.config.k_max, self.final_train_state.clone())
+        self.monitor_with(
+            self.inner.config.k_max,
+            self.inner.final_train_state.clone(),
+        )
     }
 
     /// Spawns a monitor with an explicit `k_max` and initial state.
@@ -501,27 +573,64 @@ impl FittedModel {
     ///
     /// Panics if `k_max == 0`.
     pub fn monitor_with(&self, k_max: usize, initial: SystemState) -> Monitor<'_> {
-        let detector_config = DetectorConfig {
-            threshold: self.threshold,
-            k_max,
-            unseen: self.config.unseen,
-            restart_on_abrupt: self.config.restart_on_abrupt,
-        };
-        let mut detector = KSequenceDetector::new(&self.dig, initial, detector_config);
-        detector.set_telemetry(&self.telemetry);
+        let mut detector =
+            KSequenceDetector::new(&*self.inner.dig, initial, self.detector_config(k_max));
+        detector.set_telemetry(&self.inner.telemetry);
+        let (drop_duplicate_counter, drop_extreme_counter) = self.monitor_counters();
         Monitor {
-            detector,
-            preprocessor: self.preprocessor.as_ref(),
-            dropped_duplicate: 0,
-            dropped_extreme: 0,
-            drop_duplicate_counter: self.telemetry.counter("monitor.drop.duplicate"),
-            drop_extreme_counter: self.telemetry.counter("monitor.drop.extreme"),
+            core: MonitorCore {
+                detector,
+                preprocessor: self.inner.preprocessor.as_deref(),
+                dropped_duplicate: 0,
+                dropped_extreme: 0,
+                drop_duplicate_counter,
+                drop_extreme_counter,
+            },
+        }
+    }
+
+    /// Converts the model handle into an [`OwnedMonitor`] — `Send +
+    /// 'static`, resuming from the end-of-training state with the
+    /// configured `k_max`.
+    ///
+    /// `FittedModel` is cheaply cloneable, so spawning one monitor per
+    /// thread is `model.clone().into_monitor()`; every monitor shares the
+    /// same `Arc`-backed DIG and preprocessor.
+    pub fn into_monitor(self) -> OwnedMonitor {
+        let k_max = self.inner.config.k_max;
+        let initial = self.inner.final_train_state.clone();
+        self.into_monitor_with(k_max, initial)
+    }
+
+    /// Converts the model handle into an [`OwnedMonitor`] with an explicit
+    /// `k_max` and initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_max == 0`.
+    pub fn into_monitor_with(self, k_max: usize, initial: SystemState) -> OwnedMonitor {
+        let mut detector = KSequenceDetector::new(
+            Arc::clone(&self.inner.dig),
+            initial,
+            self.detector_config(k_max),
+        );
+        detector.set_telemetry(&self.inner.telemetry);
+        let (drop_duplicate_counter, drop_extreme_counter) = self.monitor_counters();
+        OwnedMonitor {
+            core: MonitorCore {
+                detector,
+                preprocessor: self.inner.preprocessor.clone(),
+                dropped_duplicate: 0,
+                dropped_extreme: 0,
+                drop_duplicate_counter,
+                drop_extreme_counter,
+            },
         }
     }
 
     /// Number of devices the model covers.
     pub fn num_devices(&self) -> usize {
-        self.num_devices
+        self.inner.num_devices
     }
 }
 
@@ -544,41 +653,39 @@ impl std::fmt::Display for DropReason {
     }
 }
 
-/// A stateful runtime monitor bound to a fitted model.
+impl std::error::Error for DropReason {}
+
+/// The single monitor implementation behind both [`Monitor`] and
+/// [`OwnedMonitor`]: generic over how the DIG (`D`) and the fitted
+/// preprocessor (`P`) are held, so the borrowing and the owned flavour are
+/// the same code and emit bit-identical verdicts by construction.
 #[derive(Debug, Clone)]
-pub struct Monitor<'a> {
-    detector: KSequenceDetector<'a>,
-    preprocessor: Option<&'a FittedPreprocessor>,
+struct MonitorCore<D, P>
+where
+    D: Deref<Target = Dig>,
+    P: Deref<Target = FittedPreprocessor>,
+{
+    detector: KSequenceDetector<D>,
+    preprocessor: Option<P>,
     dropped_duplicate: u64,
     dropped_extreme: u64,
     drop_duplicate_counter: Counter,
     drop_extreme_counter: Counter,
 }
 
-impl Monitor<'_> {
-    /// Processes one preprocessed binary event.
-    pub fn observe(&mut self, event: BinaryEvent) -> Verdict {
+impl<D, P> MonitorCore<D, P>
+where
+    D: Deref<Target = Dig>,
+    P: Deref<Target = FittedPreprocessor>,
+{
+    fn observe(&mut self, event: BinaryEvent) -> Verdict {
         self.detector.observe(event)
     }
 
-    /// Processes one **raw** platform event: sanitises (duplicate/extreme
-    /// checks against the fitted statistics), binarises with the fitted
-    /// thresholds, and feeds the detector. Returns `Err` with the
-    /// [`DropReason`] when the event is dropped by preprocessing.
-    ///
-    /// # Errors
-    ///
-    /// [`DropReason::Extreme`] for readings outside the fitted three-sigma
-    /// band, [`DropReason::Duplicate`] for events re-reporting the current
-    /// binary state.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the model was fitted with [`CausalIot::fit_binary`] (no
-    /// preprocessor is available).
-    pub fn observe_raw(&mut self, event: &DeviceEvent) -> Result<Verdict, DropReason> {
+    fn observe_raw(&mut self, event: &DeviceEvent) -> Result<Verdict, DropReason> {
         let pp = self
             .preprocessor
+            .as_deref()
             .expect("observe_raw requires a model fitted on raw logs");
         if pp.sanitizer().is_extreme(event) {
             self.dropped_extreme += 1;
@@ -594,10 +701,7 @@ impl Monitor<'_> {
         Ok(self.detector.observe(bin))
     }
 
-    /// The session's observability report: events scored, drops by reason,
-    /// alarms by kind, and — when the model carries an enabled telemetry
-    /// handle — latency and score distributions.
-    pub fn report(&self) -> MonitorReport {
+    fn report(&self) -> MonitorReport {
         let stats = self.detector.stats();
         MonitorReport {
             events_observed: stats.events,
@@ -612,22 +716,90 @@ impl Monitor<'_> {
             scores: DistributionSummary::from_histogram(&self.detector.score_snapshot()),
         }
     }
+}
 
-    /// The monitor's current system state.
-    pub fn current_state(&self) -> &SystemState {
-        self.detector.current_state()
-    }
+/// A stateful runtime monitor borrowing from a fitted model.
+///
+/// The borrowing flavour: zero reference-count traffic, ideal for
+/// single-threaded sessions that never outlive the [`FittedModel`]. For a
+/// monitor that can move across threads, see [`OwnedMonitor`] — both wrap
+/// the same detector core.
+#[derive(Debug, Clone)]
+pub struct Monitor<'a> {
+    core: MonitorCore<&'a Dig, &'a FittedPreprocessor>,
+}
 
-    /// Number of events currently tracked as a potential collective
-    /// anomaly.
-    pub fn tracking_len(&self) -> usize {
-        self.detector.tracking_len()
-    }
+/// A stateful runtime monitor that owns (shares) its fitted model.
+///
+/// `OwnedMonitor` is `Send + 'static`: the DIG and preprocessor are held
+/// through `Arc`s, so it can be moved into worker threads, stored in
+/// long-lived services, or driven by the `iot-serve` hub. It is created
+/// with [`FittedModel::into_monitor`] (the model handle itself is a cheap
+/// `Arc` clone) and behaves bit-identically to the borrowing [`Monitor`].
+#[derive(Debug, Clone)]
+pub struct OwnedMonitor {
+    core: MonitorCore<Arc<Dig>, Arc<FittedPreprocessor>>,
+}
 
-    /// Clears in-progress collective tracking.
-    pub fn reset_tracking(&mut self) {
-        self.detector.reset_tracking()
-    }
+macro_rules! monitor_methods {
+    () => {
+        /// Processes one preprocessed binary event.
+        pub fn observe(&mut self, event: BinaryEvent) -> Verdict {
+            self.core.observe(event)
+        }
+
+        /// Processes one **raw** platform event: sanitises (duplicate/extreme
+        /// checks against the fitted statistics), binarises with the fitted
+        /// thresholds, and feeds the detector. Returns `Err` with the
+        /// [`DropReason`] when the event is dropped by preprocessing.
+        ///
+        /// # Errors
+        ///
+        /// [`DropReason::Extreme`] for readings outside the fitted three-sigma
+        /// band, [`DropReason::Duplicate`] for events re-reporting the current
+        /// binary state.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the model was fitted with [`CausalIot::fit_binary`] (no
+        /// preprocessor is available).
+        pub fn observe_raw(&mut self, event: &DeviceEvent) -> Result<Verdict, DropReason> {
+            self.core.observe_raw(event)
+        }
+
+        /// The session's observability report: events scored, drops by reason,
+        /// alarms by kind, and — when the model carries an enabled telemetry
+        /// handle — latency and score distributions.
+        pub fn report(&self) -> MonitorReport {
+            self.core.report()
+        }
+
+        /// The monitor's current system state.
+        pub fn current_state(&self) -> &SystemState {
+            self.core.detector.current_state()
+        }
+
+        /// Number of events currently tracked as a potential collective
+        /// anomaly.
+        pub fn tracking_len(&self) -> usize {
+            self.core.detector.tracking_len()
+        }
+
+        /// Clears in-progress collective tracking, discarding the in-flight
+        /// chain *and* its telemetry gauge — after a reset no verdict or
+        /// metric can reference pre-reset events.
+        pub fn reset_tracking(&mut self) {
+            self.core.detector.reset_tracking()
+        }
+    };
+}
+
+impl Monitor<'_> {
+    monitor_methods!();
+}
+
+impl OwnedMonitor {
+    monitor_methods!();
 }
 
 #[cfg(test)]
@@ -760,46 +932,137 @@ mod tests {
     }
 
     #[test]
-    fn invalid_configs_rejected() {
+    fn invalid_configs_rejected_by_try_build() {
+        let bad = |builder: CausalIotBuilder, parameter: &'static str| {
+            let err = builder.try_build().expect_err(parameter);
+            assert_eq!(err.parameter(), parameter, "{err}");
+        };
+        bad(CausalIot::builder().alpha(2.0), "alpha");
+        bad(CausalIot::builder().q(150.0), "q");
+        bad(CausalIot::builder().q(0.0), "q");
+        bad(CausalIot::builder().k_max(0), "k_max");
+        bad(CausalIot::builder().tau(0), "tau");
+        bad(CausalIot::builder().smoothing(-1.0), "smoothing");
+        bad(
+            CausalIot::builder().calibration_fraction(0.7),
+            "calibration_fraction",
+        );
+        assert!(CausalIot::builder().tau(2).try_build().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn build_panics_on_invalid_config() {
+        let _ = CausalIot::builder().alpha(2.0).build();
+    }
+
+    #[test]
+    fn invalid_configs_rejected_at_fit_time_too() {
+        // `CausalIot::with_config` skips the builder's validation, so `fit`
+        // must still reject out-of-range parameters.
         let reg = registry();
         let events = training_events(&reg, 50);
+        let fit =
+            |config: CausalIotConfig| CausalIot::with_config(config).fit_binary(&reg, &events);
+        let mut config = CausalIotConfig::default();
+        config.miner.alpha = 2.0;
         assert!(matches!(
-            CausalIot::builder()
-                .alpha(2.0)
-                .build()
-                .fit_binary(&reg, &events),
+            fit(config),
             Err(CausalIotError::InvalidConfig {
                 parameter: "alpha",
                 ..
             })
         ));
+        let config = CausalIotConfig {
+            q: 150.0,
+            ..CausalIotConfig::default()
+        };
         assert!(matches!(
-            CausalIot::builder()
-                .q(150.0)
-                .build()
-                .fit_binary(&reg, &events),
+            fit(config),
             Err(CausalIotError::InvalidConfig { parameter: "q", .. })
         ));
+        let config = CausalIotConfig {
+            k_max: 0,
+            ..CausalIotConfig::default()
+        };
         assert!(matches!(
-            CausalIot::builder()
-                .k_max(0)
-                .build()
-                .fit_binary(&reg, &events),
+            fit(config),
             Err(CausalIotError::InvalidConfig {
                 parameter: "k_max",
                 ..
             })
         ));
+        let config = CausalIotConfig {
+            tau: TauChoice::Fixed(0),
+            ..CausalIotConfig::default()
+        };
         assert!(matches!(
-            CausalIot::builder()
-                .tau(0)
-                .build()
-                .fit_binary(&reg, &events),
+            fit(config),
             Err(CausalIotError::InvalidConfig {
                 parameter: "tau",
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn owned_monitor_is_send_and_static() {
+        fn assert_send<T: Send + 'static>() {}
+        assert_send::<OwnedMonitor>();
+        assert_send::<FittedModel>();
+    }
+
+    #[test]
+    fn owned_and_borrowing_monitors_emit_identical_verdicts() {
+        let reg = registry();
+        let events = training_events(&reg, 300);
+        let model = CausalIot::builder()
+            .tau(2)
+            .k_max(3)
+            .build()
+            .fit_binary(&reg, &events)
+            .unwrap();
+        let mut borrowed = model.monitor();
+        let mut owned = model.clone().into_monitor();
+        // Replay a mix of normal traffic and ghost activations.
+        let lamp = reg.id_of("S_lamp").unwrap();
+        let pe = reg.id_of("PE_room").unwrap();
+        let mut stream = Vec::new();
+        for i in 0..200u64 {
+            let t = 200_000 + i * 30;
+            match i % 5 {
+                0 => stream.push(BinaryEvent::new(Timestamp::from_secs(t), pe, i % 2 == 0)),
+                1 => stream.push(BinaryEvent::new(Timestamp::from_secs(t), lamp, i % 2 == 0)),
+                _ => stream.push(BinaryEvent::new(Timestamp::from_secs(t), lamp, i % 3 == 0)),
+            }
+        }
+        for event in stream {
+            assert_eq!(borrowed.observe(event), owned.observe(event));
+        }
+        assert_eq!(
+            borrowed.current_state().clone(),
+            owned.current_state().clone()
+        );
+    }
+
+    #[test]
+    fn owned_monitor_runs_on_another_thread() {
+        let reg = registry();
+        let events = training_events(&reg, 300);
+        let model = CausalIot::builder()
+            .tau(2)
+            .build()
+            .fit_binary(&reg, &events)
+            .unwrap();
+        let lamp = reg.id_of("S_lamp").unwrap();
+        let mut local = model.monitor();
+        let mut remote = model.clone().into_monitor();
+        let ghost = BinaryEvent::new(Timestamp::from_secs(500_000), lamp, true);
+        let expected = local.observe(ghost);
+        let verdict = std::thread::spawn(move || remote.observe(ghost))
+            .join()
+            .expect("monitor thread panicked");
+        assert_eq!(expected, verdict);
     }
 
     #[test]

@@ -5,12 +5,12 @@
 //! states). The preprocessor:
 //!
 //! 1. **Sanitises** events — drops duplicated state reports and readings
-//!    violating the three-sigma rule ([`sanitize`]),
+//!    violating the three-sigma rule ([`FittedSanitizer`]),
 //! 2. **Unifies types** — thresholds responsive numerics at zero
 //!    (Idle/Working) and discretises ambient numerics with Jenks natural
-//!    breaks (Low/High) ([`unify`]),
+//!    breaks (Low/High) ([`FittedUnifier`]),
 //! 3. **Selects τ** — the maximum time lag, from the mean inter-event gap
-//!    and a maximum feedback duration `d = 60 s` ([`tau`]),
+//!    and a maximum feedback duration `d = 60 s` ([`choose_tau`]),
 //! 4. Derives the system-state time series from which graph snapshots are
 //!    generated (via [`iot_model::StateSeries`] and
 //!    [`crate::snapshot::SnapshotData`]).

@@ -25,7 +25,7 @@ impl BitColumn {
         let mut words = Vec::new();
         let mut len = 0usize;
         for bit in bits {
-            if len % 64 == 0 {
+            if len.is_multiple_of(64) {
                 words.push(0);
             }
             if bit {
@@ -276,19 +276,19 @@ mod tests {
         let z = [var(1, 1), var(1, 2)];
         let table = data.stratified_counts(x, y, &z);
         // Naive recount.
-        let mut naive = vec![[[0u64; 2]; 2]; 4];
+        let mut naive = [[[0u64; 2]; 2]; 4];
         for row in 0..data.num_snapshots() {
             let code = (data.value(row, z[0]) as usize) | ((data.value(row, z[1]) as usize) << 1);
             let xv = data.value(row, x) as usize;
             let yv = data.value(row, y) as usize;
             naive[code][xv][yv] += 1;
         }
-        for code in 0..4 {
+        for (code, counts) in naive.iter().enumerate() {
             for xv in [false, true] {
                 for yv in [false, true] {
                     assert_eq!(
                         table.stratum(code).count(xv, yv),
-                        naive[code][xv as usize][yv as usize],
+                        counts[xv as usize][yv as usize],
                         "code {code} x {xv} y {yv}"
                     );
                 }

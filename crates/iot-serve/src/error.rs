@@ -1,0 +1,73 @@
+//! Error types for the serving hub.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::HomeId;
+
+/// Why a [`crate::Hub`] submission was rejected.
+///
+/// Submission is non-blocking by design: a full shard queue yields
+/// [`SubmitError::QueueFull`] immediately instead of stalling the caller,
+/// so ingestion layers can shed load, buffer, or retry on their own terms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SubmitError {
+    /// The shard queue serving this home is at capacity — explicit
+    /// backpressure; retry later or shed the event.
+    QueueFull {
+        /// The home whose shard queue was full.
+        home: HomeId,
+        /// The shard's bounded queue capacity (jobs).
+        capacity: usize,
+    },
+    /// The home was never registered with this hub.
+    UnknownHome {
+        /// The offending home id.
+        home: HomeId,
+    },
+    /// The hub's workers have stopped (the hub is shutting down or a
+    /// worker died); no further events can be served.
+    Shutdown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { home, capacity } => write!(
+                f,
+                "shard queue for home {home} is full ({capacity} jobs); apply backpressure"
+            ),
+            SubmitError::UnknownHome { home } => {
+                write!(f, "home {home} is not registered with this hub")
+            }
+            SubmitError::Shutdown => write!(f, "hub is shut down"),
+        }
+    }
+}
+
+impl Error for SubmitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_meaningful() {
+        let e = SubmitError::QueueFull {
+            home: HomeId(3),
+            capacity: 128,
+        };
+        assert!(e.to_string().contains("128"));
+        assert!(SubmitError::UnknownHome { home: HomeId(9) }
+            .to_string()
+            .contains('9'));
+        assert!(SubmitError::Shutdown.to_string().contains("shut down"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<SubmitError>();
+    }
+}

@@ -1,0 +1,546 @@
+//! The sharded multi-home serving hub.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use causaliot::{FittedModel, OwnedMonitor, Verdict};
+use iot_model::BinaryEvent;
+use iot_telemetry::{Buckets, Counter, Gauge, Histogram, MonitorReport, TelemetryHandle};
+
+use crate::SubmitError;
+
+/// Identifies a home registered with a [`Hub`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HomeId(pub(crate) usize);
+
+impl HomeId {
+    /// The home's dense registration index (`0` for the first home).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for HomeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Sizing knobs for a [`Hub`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HubConfig {
+    /// Number of worker threads; homes are sharded across them
+    /// round-robin. Clamped to at least 1.
+    pub workers: usize,
+    /// Bounded per-shard queue capacity, counted in *jobs* (a batch
+    /// counts once). Clamped to at least 1. When a shard's queue is full,
+    /// [`Hub::submit`] returns [`SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Keep every verdict for [`Hub::shutdown`]'s [`HomeReport`]s. Disable
+    /// for long-running deployments where the aggregated
+    /// [`MonitorReport`] suffices.
+    pub record_verdicts: bool,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        HubConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            record_verdicts: true,
+        }
+    }
+}
+
+/// End-of-session results for one home, returned by [`Hub::shutdown`].
+#[derive(Debug, Clone)]
+pub struct HomeReport {
+    /// The home's id.
+    pub id: HomeId,
+    /// The name it was registered under.
+    pub name: String,
+    /// Every verdict in submission order (empty when
+    /// [`HubConfig::record_verdicts`] is off).
+    pub verdicts: Vec<Verdict>,
+    /// The home's aggregated monitoring session report.
+    pub monitor: MonitorReport,
+}
+
+enum Job {
+    Register {
+        home: usize,
+        name: String,
+        monitor: Box<OwnedMonitor>,
+    },
+    Event {
+        home: usize,
+        event: BinaryEvent,
+        submitted: Instant,
+    },
+    Batch {
+        home: usize,
+        events: Vec<BinaryEvent>,
+        submitted: Instant,
+    },
+    Barrier(SyncSender<()>),
+}
+
+struct Shard {
+    sender: SyncSender<Job>,
+    /// Jobs currently queued (mirrored into the telemetry gauge).
+    depth: Arc<AtomicUsize>,
+    depth_gauge: Gauge,
+}
+
+struct HomeEntry {
+    shard: usize,
+}
+
+struct HomeSlot {
+    name: String,
+    monitor: OwnedMonitor,
+    verdicts: Vec<Verdict>,
+}
+
+struct WorkerContext {
+    depth: Arc<AtomicUsize>,
+    depth_gauge: Gauge,
+    events: Counter,
+    latency_us: Histogram,
+    record_verdicts: bool,
+}
+
+/// A concurrent serving hub for a fleet of smart homes.
+///
+/// See the crate docs for the full semantics. Registration takes `&mut
+/// self`; submission takes `&self` and is safe from many producer threads
+/// at once (per-home ordering then follows each producer's own
+/// submission order).
+pub struct Hub {
+    config: HubConfig,
+    shards: Vec<Shard>,
+    workers: Vec<JoinHandle<BTreeMap<usize, HomeSlot>>>,
+    homes: Vec<HomeEntry>,
+    submitted: Counter,
+}
+
+impl fmt::Debug for Hub {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Hub")
+            .field("config", &self.config)
+            .field("homes", &self.homes.len())
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Hub {
+    /// Starts a hub with the given sizing, using the
+    /// `CAUSALIOT_TELEMETRY`-derived telemetry handle.
+    pub fn new(config: HubConfig) -> Self {
+        Self::with_telemetry(config, &TelemetryHandle::from_env())
+    }
+
+    /// Starts a hub reporting to an explicit telemetry handle.
+    pub fn with_telemetry(config: HubConfig, telemetry: &TelemetryHandle) -> Self {
+        let config = HubConfig {
+            workers: config.workers.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            ..config
+        };
+        let latency_us =
+            telemetry.histogram("hub.e2e_latency_us", Buckets::exponential(1.0, 2.0, 24));
+        let mut shards = Vec::with_capacity(config.workers);
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let (sender, receiver) = sync_channel::<Job>(config.queue_capacity);
+            let depth = Arc::new(AtomicUsize::new(0));
+            let context = WorkerContext {
+                depth: Arc::clone(&depth),
+                depth_gauge: telemetry.gauge(&format!("hub.shard.{i}.queue_depth")),
+                events: telemetry.counter(&format!("hub.shard.{i}.events")),
+                latency_us: latency_us.clone(),
+                record_verdicts: config.record_verdicts,
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("iot-serve-worker-{i}"))
+                    .spawn(move || worker_loop(receiver, context))
+                    .expect("spawn hub worker"),
+            );
+            shards.push(Shard {
+                sender,
+                depth,
+                depth_gauge: telemetry.gauge(&format!("hub.shard.{i}.queue_depth")),
+            });
+        }
+        Hub {
+            config,
+            shards,
+            workers,
+            homes: Vec::new(),
+            submitted: telemetry.counter("hub.submitted"),
+        }
+    }
+
+    /// The sizing the hub was started with (after clamping).
+    pub fn config(&self) -> &HubConfig {
+        &self.config
+    }
+
+    /// Number of registered homes.
+    pub fn num_homes(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// Number of worker threads (= shards).
+    pub fn num_workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Jobs currently queued on `shard` (an instantaneous reading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= num_workers()`.
+    pub fn queue_depth(&self, shard: usize) -> usize {
+        self.shards[shard].depth.load(Ordering::Relaxed)
+    }
+
+    /// Registers a home: the model handle is cloned (an `Arc` bump) and a
+    /// dedicated [`OwnedMonitor`] is created on the home's shard, resuming
+    /// from the model's end-of-training state.
+    ///
+    /// Homes are assigned to shards round-robin by registration order.
+    /// Registration may block briefly if the shard's queue is full.
+    pub fn register(&mut self, name: &str, model: &FittedModel) -> HomeId {
+        let id = self.homes.len();
+        let shard = id % self.shards.len();
+        let monitor = Box::new(model.clone().into_monitor());
+        self.homes.push(HomeEntry { shard });
+        self.enqueue_blocking(
+            shard,
+            Job::Register {
+                home: id,
+                name: name.to_string(),
+                monitor,
+            },
+        );
+        HomeId(id)
+    }
+
+    /// Submits one event for `home`, non-blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the home's shard queue is at
+    /// capacity (explicit backpressure), [`SubmitError::UnknownHome`] for
+    /// an unregistered id, [`SubmitError::Shutdown`] when the worker is
+    /// gone.
+    pub fn submit(&self, home: HomeId, event: BinaryEvent) -> Result<(), SubmitError> {
+        let submitted = Instant::now();
+        self.try_enqueue(
+            home,
+            |home| Job::Event {
+                home,
+                event,
+                submitted,
+            },
+            1,
+        )
+    }
+
+    /// Submits a batch of events for `home` as a single queue job,
+    /// non-blocking. Batching amortises the queue handoff: it is the
+    /// preferred shape for high-throughput ingestion.
+    ///
+    /// The whole batch is accepted or rejected atomically; per-home
+    /// ordering covers the events inside the batch too.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Hub::submit`].
+    pub fn submit_batch(&self, home: HomeId, events: Vec<BinaryEvent>) -> Result<(), SubmitError> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let submitted = Instant::now();
+        let count = events.len() as u64;
+        self.try_enqueue(
+            home,
+            move |home| Job::Batch {
+                home,
+                events,
+                submitted,
+            },
+            count,
+        )
+    }
+
+    /// A barrier: blocks until every job queued so far on every shard has
+    /// been fully processed.
+    pub fn drain(&self) {
+        let mut acks = Vec::with_capacity(self.shards.len());
+        for shard in 0..self.shards.len() {
+            let (tx, rx) = sync_channel::<()>(1);
+            self.enqueue_blocking(shard, Job::Barrier(tx));
+            acks.push(rx);
+        }
+        for ack in acks {
+            // A dead worker cannot ack; treat it as drained.
+            let _ = ack.recv();
+        }
+    }
+
+    /// Drains every queue, stops the workers, and returns one
+    /// [`HomeReport`] per home in registration order.
+    pub fn shutdown(self) -> Vec<HomeReport> {
+        let Hub {
+            shards, workers, ..
+        } = self;
+        // Dropping the senders disconnects the channels; each worker
+        // finishes its queue and returns its homes.
+        for shard in &shards {
+            shard.depth_gauge.set(0);
+        }
+        drop(shards);
+        let mut reports = Vec::new();
+        for worker in workers {
+            let slots = worker.join().expect("hub worker panicked");
+            for (id, slot) in slots {
+                reports.push(HomeReport {
+                    id: HomeId(id),
+                    name: slot.name,
+                    monitor: slot.monitor.report(),
+                    verdicts: slot.verdicts,
+                });
+            }
+        }
+        reports.sort_by_key(|r| r.id);
+        reports
+    }
+
+    fn try_enqueue(
+        &self,
+        home: HomeId,
+        job: impl FnOnce(usize) -> Job,
+        events: u64,
+    ) -> Result<(), SubmitError> {
+        let entry = self
+            .homes
+            .get(home.0)
+            .ok_or(SubmitError::UnknownHome { home })?;
+        let shard = &self.shards[entry.shard];
+        let depth = shard.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        match shard.sender.try_send(job(home.0)) {
+            Ok(()) => {
+                shard.depth_gauge.set(depth as u64);
+                self.submitted.add(events);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => {
+                shard.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(SubmitError::QueueFull {
+                    home,
+                    capacity: self.config.queue_capacity,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                shard.depth.fetch_sub(1, Ordering::Relaxed);
+                Err(SubmitError::Shutdown)
+            }
+        }
+    }
+
+    fn enqueue_blocking(&self, shard: usize, job: Job) {
+        let shard = &self.shards[shard];
+        shard.depth.fetch_add(1, Ordering::Relaxed);
+        if shard.sender.send(job).is_err() {
+            shard.depth.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop(receiver: Receiver<Job>, context: WorkerContext) -> BTreeMap<usize, HomeSlot> {
+    let mut homes: BTreeMap<usize, HomeSlot> = BTreeMap::new();
+    while let Ok(job) = receiver.recv() {
+        match job {
+            Job::Register {
+                home,
+                name,
+                monitor,
+            } => {
+                homes.insert(
+                    home,
+                    HomeSlot {
+                        name,
+                        monitor: *monitor,
+                        verdicts: Vec::new(),
+                    },
+                );
+            }
+            Job::Event {
+                home,
+                event,
+                submitted,
+            } => {
+                if let Some(slot) = homes.get_mut(&home) {
+                    let verdict = slot.monitor.observe(event);
+                    context.events.inc();
+                    context
+                        .latency_us
+                        .observe(submitted.elapsed().as_secs_f64() * 1e6);
+                    if context.record_verdicts {
+                        slot.verdicts.push(verdict);
+                    }
+                }
+            }
+            Job::Batch {
+                home,
+                events,
+                submitted,
+            } => {
+                if let Some(slot) = homes.get_mut(&home) {
+                    context.events.add(events.len() as u64);
+                    if context.record_verdicts {
+                        slot.verdicts.reserve(events.len());
+                    }
+                    for event in events {
+                        let verdict = slot.monitor.observe(event);
+                        if context.record_verdicts {
+                            slot.verdicts.push(verdict);
+                        }
+                    }
+                    context
+                        .latency_us
+                        .observe(submitted.elapsed().as_secs_f64() * 1e6);
+                }
+            }
+            Job::Barrier(ack) => {
+                let _ = ack.send(());
+            }
+        }
+        let depth = context.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        context.depth_gauge.set(depth as u64);
+    }
+    homes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use causaliot::CausalIot;
+    use iot_model::{Attribute, DeviceRegistry, Room, Timestamp};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn fitted_model() -> (DeviceRegistry, FittedModel) {
+        let mut reg = DeviceRegistry::new();
+        let pe = reg
+            .add("PE_room", Attribute::PresenceSensor, Room::new("room"))
+            .unwrap();
+        let lamp = reg
+            .add("S_lamp", Attribute::Switch, Room::new("room"))
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut events = Vec::new();
+        for i in 0..300u64 {
+            let on = rng.gen_bool(0.5);
+            events.push(BinaryEvent::new(Timestamp::from_secs(i * 60), pe, on));
+            if rng.gen_bool(0.9) {
+                events.push(BinaryEvent::new(
+                    Timestamp::from_secs(i * 60 + 15),
+                    lamp,
+                    on,
+                ));
+            }
+        }
+        let model = CausalIot::builder()
+            .tau(2)
+            .build()
+            .fit_binary(&reg, &events)
+            .unwrap();
+        (reg, model)
+    }
+
+    #[test]
+    fn hub_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Hub>();
+    }
+
+    #[test]
+    fn serves_registered_homes_and_reports() {
+        let (reg, model) = fitted_model();
+        let lamp = reg.id_of("S_lamp").unwrap();
+        let mut hub = Hub::new(HubConfig {
+            workers: 2,
+            ..HubConfig::default()
+        });
+        let a = hub.register("home-a", &model);
+        let b = hub.register("home-b", &model);
+        assert_eq!(hub.num_homes(), 2);
+        for i in 0..10u64 {
+            hub.submit(
+                a,
+                BinaryEvent::new(Timestamp::from_secs(100_000 + i * 60), lamp, i % 2 == 0),
+            )
+            .unwrap();
+        }
+        hub.submit(
+            b,
+            BinaryEvent::new(Timestamp::from_secs(100_000), lamp, true),
+        )
+        .unwrap();
+        hub.drain();
+        let reports = hub.shutdown();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].name, "home-a");
+        assert_eq!(reports[0].monitor.events_observed, 10);
+        assert_eq!(reports[0].verdicts.len(), 10);
+        assert_eq!(reports[1].monitor.events_observed, 1);
+    }
+
+    #[test]
+    fn unknown_home_is_rejected() {
+        let (reg, model) = fitted_model();
+        let lamp = reg.id_of("S_lamp").unwrap();
+        let mut hub = Hub::new(HubConfig::default());
+        let _ = hub.register("home-a", &model);
+        let ghost = HomeId(7);
+        assert_eq!(
+            hub.submit(ghost, BinaryEvent::new(Timestamp::from_secs(1), lamp, true)),
+            Err(SubmitError::UnknownHome { home: ghost })
+        );
+    }
+
+    #[test]
+    fn batch_preserves_order_and_counts() {
+        let (reg, model) = fitted_model();
+        let lamp = reg.id_of("S_lamp").unwrap();
+        let pe = reg.id_of("PE_room").unwrap();
+        let events: Vec<BinaryEvent> = (0..50u64)
+            .map(|i| {
+                let dev = if i % 3 == 0 { pe } else { lamp };
+                BinaryEvent::new(Timestamp::from_secs(200_000 + i * 30), dev, i % 2 == 0)
+            })
+            .collect();
+        // Sequential reference.
+        let mut reference = model.clone().into_monitor();
+        let expected: Vec<Verdict> = events.iter().map(|e| reference.observe(*e)).collect();
+        // Served in two chunks.
+        let mut hub = Hub::new(HubConfig {
+            workers: 1,
+            ..HubConfig::default()
+        });
+        let home = hub.register("home", &model);
+        hub.submit_batch(home, events[..20].to_vec()).unwrap();
+        hub.submit_batch(home, events[20..].to_vec()).unwrap();
+        let reports = hub.shutdown();
+        assert_eq!(reports[0].verdicts, expected);
+    }
+}

@@ -1,0 +1,65 @@
+//! # iot-serve — a concurrent multi-home serving hub for CausalIoT
+//!
+//! The core crate detects anomalies for *one* home at a time; this crate
+//! serves *fleets* of homes concurrently. A [`Hub`] registers N homes —
+//! each a cheap [`causaliot::FittedModel`] handle plus a per-home
+//! [`causaliot::OwnedMonitor`] — and shards them across a fixed pool of
+//! worker threads connected by bounded MPSC queues (`std` only, matching
+//! the workspace's zero-dependency stance).
+//!
+//! Guarantees and semantics:
+//!
+//! * **Per-home ordering** — every home lives on exactly one shard, and a
+//!   shard's queue is FIFO, so a home's events are scored in submission
+//!   order. Verdict sequences are bit-identical to driving a sequential
+//!   [`causaliot::OwnedMonitor`] per home (enforced by integration test).
+//! * **Backpressure, not blocking** — [`Hub::submit`] never stalls the
+//!   caller: a full shard queue returns [`SubmitError::QueueFull`]
+//!   immediately so ingestion layers shed or retry deliberately.
+//! * **Drain and shutdown** — [`Hub::drain`] is a barrier that waits for
+//!   every queued job to be scored; [`Hub::shutdown`] drains, joins the
+//!   workers, and returns one [`HomeReport`] per home (its
+//!   [`iot_telemetry::MonitorReport`] plus, optionally, every verdict).
+//! * **Telemetry** — wired into the `iot-telemetry` registry: per-shard
+//!   queue-depth gauges (`hub.shard.<i>.queue_depth`), per-shard event
+//!   counters (`hub.shard.<i>.events`), a total submission counter
+//!   (`hub.submitted`), and an end-to-end submit-to-verdict latency
+//!   histogram (`hub.e2e_latency_us`).
+//!
+//! ```
+//! use causaliot::CausalIot;
+//! use iot_model::{BinaryEvent, DeviceId, DeviceRegistry, Attribute, Room, Timestamp};
+//! use iot_serve::{Hub, HubConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut reg = DeviceRegistry::new();
+//! let motion = reg.add("PE_room", Attribute::PresenceSensor, Room::new("room"))?;
+//! let lamp = reg.add("S_lamp", Attribute::Switch, Room::new("room"))?;
+//! let mut events = Vec::new();
+//! for i in 0..200u64 {
+//!     let on = i % 2 == 0;
+//!     events.push(BinaryEvent::new(Timestamp::from_secs(i * 60), motion, on));
+//!     events.push(BinaryEvent::new(Timestamp::from_secs(i * 60 + 15), lamp, on));
+//! }
+//! let model = CausalIot::builder().tau(2).build().fit_binary(&reg, &events)?;
+//!
+//! let mut hub = Hub::new(HubConfig { workers: 2, ..HubConfig::default() });
+//! let home_a = hub.register("home-a", &model);
+//! let home_b = hub.register("home-b", &model);
+//! hub.submit(home_a, BinaryEvent::new(Timestamp::from_secs(100_000), lamp, true))?;
+//! hub.submit(home_b, BinaryEvent::new(Timestamp::from_secs(100_000), motion, true))?;
+//! let reports = hub.shutdown();
+//! assert_eq!(reports.len(), 2);
+//! assert_eq!(reports[0].monitor.events_observed, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod hub;
+
+pub use error::SubmitError;
+pub use hub::{HomeId, HomeReport, Hub, HubConfig};

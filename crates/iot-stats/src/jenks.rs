@@ -65,6 +65,9 @@ pub fn jenks_breaks(values: &[f64], num_classes: usize) -> Vec<f64> {
     // dp[j] = best cost covering sorted[0..j] with the current class count.
     let mut dp: Vec<f64> = (0..=n).map(|j| sse(0, j)).collect();
     let mut splits = vec![vec![0usize; n + 1]; num_classes];
+    // The DP recurrence indexes three tables by (c, i, j) at once; plain
+    // index loops state it more directly than chained iterators would.
+    #[allow(clippy::needless_range_loop)]
     for c in 1..num_classes {
         let mut next = vec![f64::INFINITY; n + 1];
         // A valid partition needs at least one element per class.

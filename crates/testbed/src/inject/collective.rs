@@ -86,6 +86,9 @@ pub struct CollectiveInjection {
 /// Panics if `k_max < 2`, or if the case has no material to build chains
 /// from (e.g. [`CollectiveCase::ChainedAutomation`] with no chained
 /// rules).
+// Experiment harness entry point: the argument list mirrors the paper's
+// injection protocol knobs one-to-one, which beats a one-off params struct.
+#[allow(clippy::too_many_arguments)]
 pub fn inject_collective(
     profile: &HomeProfile,
     testing: &[BinaryEvent],

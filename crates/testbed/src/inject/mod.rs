@@ -7,7 +7,7 @@
 //!   rules).
 //!
 //! Injectors operate on the *preprocessed* (binary) testing event stream,
-//! exactly where the paper "inject[s] the corresponding anomalous system
+//! exactly where the paper "inject\[s\] the corresponding anomalous system
 //! state into the time series", and report the output positions of every
 //! injected event so the evaluation can compare alarm positions against
 //! injected positions.
