@@ -20,5 +20,6 @@ mod var;
 pub use cpt::{Cpt, UnseenContext};
 pub use dig::{Dig, Interaction};
 pub use dot::render_dot;
+pub(crate) use persist::load_dig_with_smoothing;
 pub use persist::{load_dig, save_dig};
 pub use var::LaggedVar;

@@ -11,11 +11,15 @@
 //! causaliot-dig v1
 //! tau 2
 //! devices 3
-//! threshold 0.994200
+//! threshold 0.9942          # shortest round-trippable f64 form
 //! causes 2 1:1 2:2          # outcome device, then cause device:lag pairs
 //! cpt 2 0 40 3              # outcome device, context code, off-count, on-count
 //! ...
 //! ```
+//!
+//! The threshold is written with Rust's `{:?}` float formatting — the
+//! shortest decimal string that parses back to the exact same bits — so a
+//! load→save→load cycle is byte-stable even for values like `0.1 + 0.2`.
 
 use std::fmt::Write as _;
 
@@ -32,7 +36,7 @@ pub fn save_dig(dig: &Dig, threshold: f64) -> String {
     let _ = writeln!(out, "{MAGIC}");
     let _ = writeln!(out, "tau {}", dig.tau());
     let _ = writeln!(out, "devices {}", dig.num_devices());
-    let _ = writeln!(out, "threshold {threshold}");
+    let _ = writeln!(out, "threshold {threshold:?}");
     for device in 0..dig.num_devices() {
         let id = DeviceId::from_index(device);
         let causes = dig.causes_of(id);
@@ -66,11 +70,28 @@ fn parse_err(line: usize, reason: impl Into<String>) -> CausalIotError {
 /// Returns an error for wrong magic, malformed lines, or inconsistent
 /// indices.
 pub fn load_dig(text: &str) -> Result<(Dig, f64), CausalIotError> {
+    load_dig_with_smoothing(text, 0.0)
+}
+
+/// Like [`load_dig`], restoring CPTs with the given Laplace smoothing
+/// pseudo-count (the format carries raw counts only; a full-model
+/// checkpoint re-applies its configured smoothing on load).
+pub(crate) fn load_dig_with_smoothing(
+    text: &str,
+    smoothing: f64,
+) -> Result<(Dig, f64), CausalIotError> {
     let mut lines = text.lines().enumerate();
     let (_, magic) = lines
         .next()
         .ok_or_else(|| parse_err(1, "empty model file"))?;
-    if magic.trim() != MAGIC {
+    let magic = magic.trim();
+    if magic != MAGIC {
+        if let Some(version) = magic.strip_prefix("causaliot-dig ") {
+            return Err(parse_err(
+                1,
+                format!("unsupported version `{version}` (this build reads v1)"),
+            ));
+        }
         return Err(parse_err(1, format!("bad magic `{magic}`")));
     }
     let mut tau: Option<usize> = None;
@@ -135,7 +156,7 @@ pub fn load_dig(text: &str) -> Result<(Dig, f64), CausalIotError> {
                         .map_err(|_| parse_err(line_no, "bad cause lag"))?;
                     cause_list.push(LaggedVar::new(DeviceId::from_index(dev), lag));
                 }
-                cpts.push(Cpt::new(cause_list.clone(), 0.0));
+                cpts.push(Cpt::new(cause_list.clone(), smoothing));
                 causes[device] = cause_list;
             }
             "cpt" => {
@@ -233,6 +254,34 @@ mod tests {
         assert!(load_dig(&corrupted).is_err());
         let garbage = good + "wat 1 2 3\n";
         assert!(load_dig(&garbage).is_err());
+    }
+
+    #[test]
+    fn unknown_version_is_rejected_with_clear_error() {
+        let text = save_dig(&sample_dig(), 0.9).replace("causaliot-dig v1", "causaliot-dig v9");
+        let err = load_dig(&text).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains("unsupported version") && message.contains("v9"),
+            "got: {message}"
+        );
+        // A non-dig header is still a plain magic mismatch.
+        let other = load_dig("causaliot-model v2\n").unwrap_err().to_string();
+        assert!(other.contains("bad magic"), "got: {other}");
+    }
+
+    #[test]
+    fn threshold_round_trip_is_byte_stable() {
+        // 0.1 + 0.2 has no short decimal form; `{:?}` must still emit a
+        // string that parses back to the exact same bits.
+        let threshold = 0.1 + 0.2;
+        let first = save_dig(&sample_dig(), threshold);
+        let (dig, loaded_threshold) = load_dig(&first).expect("parses");
+        assert_eq!(loaded_threshold.to_bits(), threshold.to_bits());
+        let second = save_dig(&dig, loaded_threshold);
+        assert_eq!(first, second, "load→save→load must be byte-stable");
+        let (_, third_threshold) = load_dig(&second).expect("parses");
+        assert_eq!(third_threshold.to_bits(), threshold.to_bits());
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod snapshot;
 pub use error::{CausalIotError, ConfigError};
 pub use monitor::{Alarm, AlarmKind, AnomalousEvent, Verdict};
 pub use pipeline::{
-    CausalIot, CausalIotBuilder, CausalIotConfig, DropReason, FittedModel, Monitor, OwnedMonitor,
+    CalibratedModel, CausalIot, CausalIotBuilder, CausalIotConfig, DropReason, FitPipeline,
+    FitStage, FittedModel, MinedGraph, Monitor, OwnedMonitor, Preprocessed, RawEvents, Snapshotted,
     TauChoice,
 };

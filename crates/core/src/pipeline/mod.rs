@@ -3,24 +3,33 @@
 //! [`CausalIot`] bundles the Event Preprocessor, the Interaction Miner, and
 //! the score-threshold calculator behind a builder; fitting produces a
 //! [`FittedModel`] from which stateful [`Monitor`]s are spawned.
+//!
+//! Fitting itself is an explicit typed stage pipeline ([`stages`]):
+//! `RawEvents → Preprocessed → Snapshotted → MinedGraph → CalibratedModel`.
+//! [`CausalIot::fit`] and [`CausalIot::fit_binary`] are thin compositions
+//! over those stages; callers that need to inspect intermediate artifacts
+//! or resume a partially-completed fit drive a [`FitPipeline`] directly.
+//! A fitted model persists as a versioned checkpoint ([`checkpoint`])
+//! restorable with [`FittedModel::load`].
+
+pub mod checkpoint;
+pub mod stages;
+
+pub use stages::{
+    CalibratedModel, FitPipeline, FitStage, MinedGraph, Preprocessed, RawEvents, Snapshotted,
+};
 
 use std::ops::Deref;
 use std::sync::Arc;
-use std::time::Instant;
 
-use iot_model::{BinaryEvent, DeviceEvent, DeviceRegistry, EventLog, StateSeries, SystemState};
-use iot_stats::percentile::percentile;
-use iot_telemetry::{
-    Buckets, Counter, DistributionSummary, FitReport, MonitorReport, PreprocessStats, StageTimings,
-    TelemetryHandle,
-};
+use iot_model::{BinaryEvent, DeviceEvent, DeviceRegistry, EventLog, SystemState};
+use iot_telemetry::{Counter, DistributionSummary, FitReport, MonitorReport, TelemetryHandle};
 use serde::{Deserialize, Serialize};
 
 use crate::graph::{Dig, UnseenContext};
-use crate::miner::{mine_dig_instrumented, MinerConfig};
-use crate::monitor::{training_scores, DetectorConfig, KSequenceDetector, Verdict};
-use crate::preprocess::{choose_tau, FittedPreprocessor, PreprocessConfig, TauConfig};
-use crate::snapshot::SnapshotData;
+use crate::miner::MinerConfig;
+use crate::monitor::{DetectorConfig, KSequenceDetector, Verdict};
+use crate::preprocess::{FittedPreprocessor, PreprocessConfig, TauConfig};
 use crate::{CausalIotError, ConfigError};
 
 /// How the maximum time lag τ is chosen.
@@ -283,41 +292,10 @@ impl CausalIot {
         log: &EventLog,
         telemetry: &TelemetryHandle,
     ) -> Result<FittedModel, CausalIotError> {
-        self.validate()?;
-        let fit_start = Instant::now();
-        let span = telemetry.span("fit.preprocess");
-        let preprocessor = FittedPreprocessor::fit_instrumented(
-            registry,
-            log,
-            &self.config.preprocess,
-            telemetry,
-        )?;
-        let (events, pp_stats) = preprocessor.transform_counting(log);
-        span.finish();
-        let preprocess_ms = fit_start.elapsed().as_secs_f64() * 1e3;
-        if telemetry.enabled() {
-            telemetry
-                .counter("preprocess.events_in")
-                .add(pp_stats.events_in);
-            telemetry
-                .counter("preprocess.events_out")
-                .add(pp_stats.events_out);
-            telemetry
-                .counter("preprocess.dropped_duplicate")
-                .add(pp_stats.dropped_duplicate);
-            telemetry
-                .counter("preprocess.dropped_extreme")
-                .add(pp_stats.dropped_extreme);
-        }
-        self.fit_events(
-            registry.len(),
-            events,
-            Some(preprocessor),
-            telemetry,
-            pp_stats,
-            preprocess_ms,
-            fit_start,
-        )
+        let pipeline = FitPipeline::new(self.config.clone(), telemetry.clone())?;
+        let raw = RawEvents::new(registry, log);
+        let preprocessed = pipeline.preprocess(raw)?;
+        pipeline.resume_from(preprocessed)
     }
 
     /// Fits the pipeline on already-binarised events (skips sanitation and
@@ -346,126 +324,9 @@ impl CausalIot {
         events: &[BinaryEvent],
         telemetry: &TelemetryHandle,
     ) -> Result<FittedModel, CausalIotError> {
-        self.validate()?;
-        let stats = PreprocessStats {
-            events_in: events.len() as u64,
-            events_out: events.len() as u64,
-            ..PreprocessStats::default()
-        };
-        self.fit_events(
-            registry.len(),
-            events.to_vec(),
-            None,
-            telemetry,
-            stats,
-            0.0,
-            Instant::now(),
-        )
-    }
-
-    fn validate(&self) -> Result<(), CausalIotError> {
-        self.config.check().map_err(Into::into)
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn fit_events(
-        &self,
-        num_devices: usize,
-        events: Vec<BinaryEvent>,
-        preprocessor: Option<FittedPreprocessor>,
-        telemetry: &TelemetryHandle,
-        pp_stats: PreprocessStats,
-        preprocess_ms: f64,
-        fit_start: Instant,
-    ) -> Result<FittedModel, CausalIotError> {
-        let tau_start = Instant::now();
-        let tau = match self.config.tau {
-            TauChoice::Fixed(tau) => tau,
-            TauChoice::Auto(cfg) => choose_tau(&events, &cfg),
-        };
-        let tau_ms = tau_start.elapsed().as_secs_f64() * 1e3;
-        let required = (tau + 1).max(10);
-        if events.len() < required {
-            return Err(CausalIotError::InsufficientTrainingData {
-                events: events.len(),
-                required,
-            });
-        }
-        let initial = SystemState::all_off(num_devices);
-        let series = StateSeries::derive(initial.clone(), events);
-        // Mining uses the leading (1 − calibration) share of the stream;
-        // the threshold percentile is computed over the held-out tail
-        // (or, paper-faithfully, over the whole stream when the fraction
-        // is zero).
-        let calib_cut = if self.config.calibration_fraction > 0.0 {
-            let keep = 1.0 - self.config.calibration_fraction;
-            ((series.num_events() as f64 * keep) as usize).max(tau + 1)
-        } else {
-            series.num_events()
-        };
-        let mined = if calib_cut < series.num_events() {
-            let mine_series =
-                StateSeries::derive(initial.clone(), series.events()[..calib_cut].to_vec());
-            let data = SnapshotData::from_series(&mine_series, tau);
-            mine_dig_instrumented(&data, &self.config.miner, telemetry)
-        } else {
-            let data = SnapshotData::from_series(&series, tau);
-            mine_dig_instrumented(&data, &self.config.miner, telemetry)
-        };
-        let dig = mined.dig;
-        let threshold_span = telemetry.span("threshold.calibration");
-        let threshold_start = Instant::now();
-        let scores = if calib_cut < series.num_events() {
-            training_scores(
-                &dig,
-                &series.events()[calib_cut..],
-                series.state(calib_cut),
-                self.config.unseen,
-            )
-        } else {
-            training_scores(&dig, series.events(), &initial, self.config.unseen)
-        };
-        let threshold = percentile(&scores, self.config.q);
-        if telemetry.enabled() {
-            let hist =
-                telemetry.histogram("threshold.calibration_score", Buckets::linear(0.0, 1.0, 20));
-            for &score in &scores {
-                hist.observe(score);
-            }
-        }
-        let calibration_scores = DistributionSummary::from_samples(&scores);
-        let threshold_ms = threshold_start.elapsed().as_secs_f64() * 1e3;
-        threshold_span.finish();
-        let fit_report = FitReport {
-            num_devices,
-            tau,
-            threshold,
-            num_interactions: dig.interaction_pairs().len(),
-            preprocess: pp_stats,
-            mining: mined.stats,
-            stages: StageTimings {
-                preprocess_ms,
-                tau_ms,
-                mining_ms: mined.skeleton_ms,
-                cpt_ms: mined.cpt_ms,
-                threshold_ms,
-                total_ms: fit_start.elapsed().as_secs_f64() * 1e3,
-            },
-            calibration_scores,
-        };
-        let final_state = series.state(series.num_events()).clone();
-        Ok(FittedModel {
-            inner: Arc::new(ModelInner {
-                dig: Arc::new(dig),
-                threshold,
-                preprocessor: preprocessor.map(Arc::new),
-                config: self.config.clone(),
-                final_train_state: final_state,
-                num_devices,
-                fit_report,
-                telemetry: telemetry.clone(),
-            }),
-        })
+        let pipeline = FitPipeline::new(self.config.clone(), telemetry.clone())?;
+        let preprocessed = pipeline.ingest_binary(registry.len(), events.to_vec());
+        pipeline.resume_from(preprocessed)
     }
 }
 
@@ -497,6 +358,75 @@ pub struct FittedModel {
 }
 
 impl FittedModel {
+    /// Assembles a model from its finished fit artefacts — the terminal
+    /// step of the stage pipeline, also used by checkpoint restoration.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        dig: Dig,
+        threshold: f64,
+        preprocessor: Option<FittedPreprocessor>,
+        config: CausalIotConfig,
+        final_train_state: SystemState,
+        num_devices: usize,
+        fit_report: FitReport,
+        telemetry: TelemetryHandle,
+    ) -> Self {
+        FittedModel {
+            inner: Arc::new(ModelInner {
+                dig: Arc::new(dig),
+                threshold,
+                preprocessor: preprocessor.map(Arc::new),
+                config,
+                final_train_state,
+                num_devices,
+                fit_report,
+                telemetry,
+            }),
+        }
+    }
+
+    /// Serialises the full model — DIG with exact CPT counts, threshold,
+    /// pipeline configuration, fitted preprocessor, and final training
+    /// state — to the versioned `causaliot-model v2` checkpoint format.
+    ///
+    /// The output is plain text, diff-friendly, and byte-stable: saving a
+    /// loaded checkpoint reproduces the input byte-for-byte, and a
+    /// restored model's monitors emit verdict-for-verdict identical output
+    /// (see [`checkpoint`] for the format grammar).
+    pub fn save(&self) -> String {
+        checkpoint::save_model(self)
+    }
+
+    /// Restores a model persisted by [`FittedModel::save`], using the
+    /// `CAUSALIOT_TELEMETRY`-derived telemetry handle (mirroring
+    /// [`CausalIot::fit`]).
+    ///
+    /// Accepts both the full `causaliot-model v2` checkpoint and the
+    /// legacy dig-only `causaliot-dig v1` format ([`crate::graph::save_dig`]);
+    /// a v1 model restores with paper-default configuration, no
+    /// preprocessor, and an all-OFF initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CausalIotError::Model`] for unsupported versions,
+    /// malformed lines, or inconsistent indices.
+    pub fn load(text: &str) -> Result<FittedModel, CausalIotError> {
+        Self::load_with_telemetry(text, &TelemetryHandle::from_env())
+    }
+
+    /// Like [`FittedModel::load`] with an explicit [`TelemetryHandle`];
+    /// monitors spawned from the restored model report to it.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FittedModel::load`].
+    pub fn load_with_telemetry(
+        text: &str,
+        telemetry: &TelemetryHandle,
+    ) -> Result<FittedModel, CausalIotError> {
+        checkpoint::load_model(text, telemetry)
+    }
+
     /// The mined Device Interaction Graph.
     pub fn dig(&self) -> &Dig {
         &self.inner.dig

@@ -1,0 +1,521 @@
+//! The staged fit pipeline:
+//! `RawEvents → Preprocessed → Snapshotted → MinedGraph → CalibratedModel`.
+//!
+//! [`crate::CausalIot::fit`] used to be a monolith whose intermediate
+//! artefacts were invisible; this module decomposes it into five explicit
+//! stages, each producing an inspectable artefact:
+//!
+//! | stage | artefact | what it holds |
+//! |---|---|---|
+//! | ingest | [`RawEvents`] / binary events | the training input |
+//! | [`FitPipeline::preprocess`] | [`Preprocessed`] | binarised events + fitted preprocessor + drop counts |
+//! | [`FitPipeline::snapshot`] | [`Snapshotted`] | τ, derived state series, calibration split, bit-packed snapshot matrix |
+//! | [`FitPipeline::mine`] | [`MinedGraph`] | the DIG + TemporalPC search statistics |
+//! | [`FitPipeline::calibrate`] | [`CalibratedModel`] | the finished [`FittedModel`] + [`FitReport`] |
+//!
+//! Every artefact implements [`FitStage`], so a fit can be *resumed* from
+//! any intermediate point with [`FitPipeline::resume_from`] — e.g. mine
+//! several graphs from one preprocessing pass, or recalibrate a threshold
+//! without re-mining. Each stage runs under its own telemetry span
+//! (`fit.preprocess`, `fit.snapshot`, `fit.mine`, `fit.calibrate`).
+//!
+//! The composition `preprocess → snapshot → mine → calibrate` is
+//! bit-identical to the pre-refactor monolithic fit (enforced by the
+//! `staged_fit_matches_monolithic_reference` property test).
+
+use std::time::Instant;
+
+use iot_model::{BinaryEvent, DeviceRegistry, EventLog, StateSeries, SystemState};
+use iot_stats::percentile::percentile;
+use iot_telemetry::{
+    Buckets, DistributionSummary, FitReport, MiningStats, PreprocessStats, StageTimings,
+    TelemetryHandle,
+};
+
+use crate::graph::Dig;
+use crate::miner::mine_dig_instrumented;
+use crate::monitor::training_scores;
+use crate::pipeline::{CausalIotConfig, FittedModel, TauChoice};
+use crate::preprocess::{choose_tau, FittedPreprocessor};
+use crate::snapshot::SnapshotData;
+use crate::CausalIotError;
+
+/// The staged fit pipeline: a validated configuration plus a telemetry
+/// handle, exposing one method per stage and [`FitPipeline::resume_from`]
+/// to run the remaining stages from any artefact.
+#[derive(Debug, Clone)]
+pub struct FitPipeline {
+    config: CausalIotConfig,
+    telemetry: TelemetryHandle,
+}
+
+impl FitPipeline {
+    /// Creates a pipeline, validating every parameter range first (see
+    /// [`CausalIotConfig::check`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CausalIotError::InvalidConfig`] naming the first
+    /// out-of-range parameter.
+    pub fn new(
+        config: CausalIotConfig,
+        telemetry: TelemetryHandle,
+    ) -> Result<Self, CausalIotError> {
+        config.check()?;
+        Ok(FitPipeline { config, telemetry })
+    }
+
+    /// The validated configuration the stages run with.
+    pub fn config(&self) -> &CausalIotConfig {
+        &self.config
+    }
+
+    /// The telemetry handle stage spans and counters report to.
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
+    }
+
+    /// Stage 1 (raw logs): fits the Event Preprocessor on the raw
+    /// training log and binarises it, counting drops by reason.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CausalIotError::InsufficientTrainingData`] when the log
+    /// is empty.
+    pub fn preprocess(&self, raw: RawEvents<'_>) -> Result<Preprocessed, CausalIotError> {
+        let started = Instant::now();
+        let span = self.telemetry.span("fit.preprocess");
+        let preprocessor = FittedPreprocessor::fit_instrumented(
+            raw.registry,
+            raw.log,
+            &self.config.preprocess,
+            &self.telemetry,
+        )?;
+        let (events, stats) = preprocessor.transform_counting(raw.log);
+        span.finish();
+        let preprocess_ms = started.elapsed().as_secs_f64() * 1e3;
+        if self.telemetry.enabled() {
+            self.telemetry
+                .counter("preprocess.events_in")
+                .add(stats.events_in);
+            self.telemetry
+                .counter("preprocess.events_out")
+                .add(stats.events_out);
+            self.telemetry
+                .counter("preprocess.dropped_duplicate")
+                .add(stats.dropped_duplicate);
+            self.telemetry
+                .counter("preprocess.dropped_extreme")
+                .add(stats.dropped_extreme);
+        }
+        Ok(Preprocessed {
+            num_devices: raw.registry.len(),
+            events,
+            preprocessor: Some(preprocessor),
+            stats,
+            preprocess_ms,
+            started,
+        })
+    }
+
+    /// Stage 1 (already-binarised events): the [`Preprocessed`] artefact
+    /// for input that skips sanitation and type unification, as used by
+    /// [`crate::CausalIot::fit_binary`].
+    pub fn ingest_binary(&self, num_devices: usize, events: Vec<BinaryEvent>) -> Preprocessed {
+        let stats = PreprocessStats {
+            events_in: events.len() as u64,
+            events_out: events.len() as u64,
+            ..PreprocessStats::default()
+        };
+        Preprocessed {
+            num_devices,
+            events,
+            preprocessor: None,
+            stats,
+            preprocess_ms: 0.0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Stage 2: selects τ, derives the system-state time series, splits
+    /// off the calibration tail, and builds the bit-packed snapshot
+    /// matrix the miner consumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CausalIotError::InsufficientTrainingData`] when fewer
+    /// preprocessed events remain than τ requires.
+    pub fn snapshot(&self, preprocessed: Preprocessed) -> Result<Snapshotted, CausalIotError> {
+        let span = self.telemetry.span("fit.snapshot");
+        let tau_start = Instant::now();
+        let tau = match self.config.tau {
+            TauChoice::Fixed(tau) => tau,
+            TauChoice::Auto(cfg) => choose_tau(&preprocessed.events, &cfg),
+        };
+        let tau_ms = tau_start.elapsed().as_secs_f64() * 1e3;
+        let required = (tau + 1).max(10);
+        if preprocessed.events.len() < required {
+            return Err(CausalIotError::InsufficientTrainingData {
+                events: preprocessed.events.len(),
+                required,
+            });
+        }
+        let Preprocessed {
+            num_devices,
+            events,
+            preprocessor,
+            stats,
+            preprocess_ms,
+            started,
+        } = preprocessed;
+        let initial = SystemState::all_off(num_devices);
+        let series = StateSeries::derive(initial.clone(), events);
+        // Mining uses the leading (1 − calibration) share of the stream;
+        // the threshold percentile is computed over the held-out tail
+        // (or, paper-faithfully, over the whole stream when the fraction
+        // is zero).
+        let calib_cut = if self.config.calibration_fraction > 0.0 {
+            let keep = 1.0 - self.config.calibration_fraction;
+            ((series.num_events() as f64 * keep) as usize).max(tau + 1)
+        } else {
+            series.num_events()
+        };
+        let data = if calib_cut < series.num_events() {
+            let mine_series = StateSeries::derive(initial, series.events()[..calib_cut].to_vec());
+            SnapshotData::from_series(&mine_series, tau)
+        } else {
+            SnapshotData::from_series(&series, tau)
+        };
+        span.finish();
+        Ok(Snapshotted {
+            num_devices,
+            preprocessor,
+            stats,
+            preprocess_ms,
+            started,
+            tau,
+            tau_ms,
+            series,
+            calib_cut,
+            data,
+        })
+    }
+
+    /// Stage 3: runs TemporalPC skeleton discovery and CPT estimation over
+    /// the snapshot matrix, producing the Device Interaction Graph.
+    pub fn mine(&self, snapshotted: Snapshotted) -> MinedGraph {
+        let span = self.telemetry.span("fit.mine");
+        let outcome = mine_dig_instrumented(&snapshotted.data, &self.config.miner, &self.telemetry);
+        span.finish();
+        let Snapshotted {
+            num_devices,
+            preprocessor,
+            stats,
+            preprocess_ms,
+            started,
+            tau,
+            tau_ms,
+            series,
+            calib_cut,
+            data: _,
+        } = snapshotted;
+        MinedGraph {
+            num_devices,
+            preprocessor,
+            stats,
+            preprocess_ms,
+            started,
+            tau,
+            tau_ms,
+            series,
+            calib_cut,
+            dig: outcome.dig,
+            mining: outcome.stats,
+            skeleton_ms: outcome.skeleton_ms,
+            cpt_ms: outcome.cpt_ms,
+        }
+    }
+
+    /// Stage 4: replays the calibration events through the mined graph,
+    /// sets the contextual-anomaly threshold at the configured percentile,
+    /// and assembles the final [`FittedModel`] and [`FitReport`].
+    pub fn calibrate(&self, mined: MinedGraph) -> CalibratedModel {
+        let span = self.telemetry.span("fit.calibrate");
+        let threshold_span = self.telemetry.span("threshold.calibration");
+        let threshold_start = Instant::now();
+        let initial = SystemState::all_off(mined.num_devices);
+        let scores = if mined.calib_cut < mined.series.num_events() {
+            training_scores(
+                &mined.dig,
+                &mined.series.events()[mined.calib_cut..],
+                mined.series.state(mined.calib_cut),
+                self.config.unseen,
+            )
+        } else {
+            training_scores(
+                &mined.dig,
+                mined.series.events(),
+                &initial,
+                self.config.unseen,
+            )
+        };
+        let threshold = percentile(&scores, self.config.q);
+        if self.telemetry.enabled() {
+            let hist = self
+                .telemetry
+                .histogram("threshold.calibration_score", Buckets::linear(0.0, 1.0, 20));
+            for &score in &scores {
+                hist.observe(score);
+            }
+        }
+        let calibration_scores = DistributionSummary::from_samples(&scores);
+        let threshold_ms = threshold_start.elapsed().as_secs_f64() * 1e3;
+        threshold_span.finish();
+        let fit_report = FitReport {
+            num_devices: mined.num_devices,
+            tau: mined.tau,
+            threshold,
+            num_interactions: mined.dig.interaction_pairs().len(),
+            preprocess: mined.stats,
+            mining: mined.mining,
+            stages: StageTimings {
+                preprocess_ms: mined.preprocess_ms,
+                tau_ms: mined.tau_ms,
+                mining_ms: mined.skeleton_ms,
+                cpt_ms: mined.cpt_ms,
+                threshold_ms,
+                total_ms: mined.started.elapsed().as_secs_f64() * 1e3,
+            },
+            calibration_scores,
+        };
+        let final_state = mined.series.state(mined.series.num_events()).clone();
+        let model = FittedModel::assemble(
+            mined.dig,
+            threshold,
+            mined.preprocessor,
+            self.config.clone(),
+            final_state,
+            mined.num_devices,
+            fit_report,
+            self.telemetry.clone(),
+        );
+        span.finish();
+        CalibratedModel { model }
+    }
+
+    /// Runs every remaining stage from `artifact` and returns the fitted
+    /// model — the `resume_from` entry point shared by all stages. Passing
+    /// a [`Preprocessed`] artefact runs snapshot → mine → calibrate; a
+    /// [`Snapshotted`] runs mine → calibrate; a [`MinedGraph`] runs only
+    /// calibration; a [`CalibratedModel`] is returned as-is.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CausalIotError::InsufficientTrainingData`] when the
+    /// snapshot stage still has to run and finds too few events.
+    pub fn resume_from(&self, artifact: impl FitStage) -> Result<FittedModel, CausalIotError> {
+        artifact.resume(self)
+    }
+
+    /// The full composition on a raw log: preprocess → snapshot → mine →
+    /// calibrate. [`crate::CausalIot::fit`] delegates here.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`crate::CausalIot::fit`].
+    pub fn run(
+        &self,
+        registry: &DeviceRegistry,
+        log: &EventLog,
+    ) -> Result<FittedModel, CausalIotError> {
+        let preprocessed = self.preprocess(RawEvents::new(registry, log))?;
+        self.resume_from(preprocessed)
+    }
+}
+
+/// A stage artefact the pipeline can resume from: the typed entry point
+/// behind [`FitPipeline::resume_from`].
+pub trait FitStage {
+    /// Runs every remaining stage and returns the fitted model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CausalIotError::InsufficientTrainingData`] when a
+    /// not-yet-run stage rejects the data.
+    fn resume(self, pipeline: &FitPipeline) -> Result<FittedModel, CausalIotError>;
+}
+
+/// The entry artefact: a raw device-event training log plus the registry
+/// describing its devices.
+#[derive(Debug, Clone, Copy)]
+pub struct RawEvents<'a> {
+    registry: &'a DeviceRegistry,
+    log: &'a EventLog,
+}
+
+impl<'a> RawEvents<'a> {
+    /// Wraps a raw training log for the preprocess stage.
+    pub fn new(registry: &'a DeviceRegistry, log: &'a EventLog) -> Self {
+        RawEvents { registry, log }
+    }
+
+    /// The device registry.
+    pub fn registry(&self) -> &DeviceRegistry {
+        self.registry
+    }
+
+    /// The raw training log.
+    pub fn log(&self) -> &EventLog {
+        self.log
+    }
+}
+
+/// Artefact of the preprocess stage: binarised training events, the
+/// fitted preprocessor (absent for pre-binarised input), and the drop
+/// accounting.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    num_devices: usize,
+    events: Vec<BinaryEvent>,
+    preprocessor: Option<FittedPreprocessor>,
+    stats: PreprocessStats,
+    preprocess_ms: f64,
+    started: Instant,
+}
+
+impl Preprocessed {
+    /// Number of devices in the home.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// The preprocessed (binarised, de-duplicated) training events.
+    pub fn events(&self) -> &[BinaryEvent] {
+        &self.events
+    }
+
+    /// The fitted preprocessor (`None` for pre-binarised input).
+    pub fn preprocessor(&self) -> Option<&FittedPreprocessor> {
+        self.preprocessor.as_ref()
+    }
+
+    /// Events in/out and drops by reason.
+    pub fn stats(&self) -> &PreprocessStats {
+        &self.stats
+    }
+}
+
+impl FitStage for Preprocessed {
+    fn resume(self, pipeline: &FitPipeline) -> Result<FittedModel, CausalIotError> {
+        pipeline.snapshot(self)?.resume(pipeline)
+    }
+}
+
+/// Artefact of the snapshot stage: the chosen τ, the derived state
+/// series, the calibration split, and the bit-packed snapshot matrix.
+#[derive(Debug, Clone)]
+pub struct Snapshotted {
+    num_devices: usize,
+    preprocessor: Option<FittedPreprocessor>,
+    stats: PreprocessStats,
+    preprocess_ms: f64,
+    started: Instant,
+    tau: usize,
+    tau_ms: f64,
+    series: StateSeries,
+    calib_cut: usize,
+    data: SnapshotData,
+}
+
+impl Snapshotted {
+    /// The maximum time lag τ (fixed or chosen by the `τ = d/v` rule).
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+
+    /// The derived system-state time series over the whole stream.
+    pub fn series(&self) -> &StateSeries {
+        &self.series
+    }
+
+    /// Index of the first calibration event: events `0..calib_cut` feed
+    /// the miner, events `calib_cut..` calibrate the threshold (equal to
+    /// the stream length when `calibration_fraction` is zero).
+    pub fn calibration_cut(&self) -> usize {
+        self.calib_cut
+    }
+
+    /// The bit-packed snapshot matrix the miner consumes (built over the
+    /// mining share of the stream only).
+    pub fn data(&self) -> &SnapshotData {
+        &self.data
+    }
+}
+
+impl FitStage for Snapshotted {
+    fn resume(self, pipeline: &FitPipeline) -> Result<FittedModel, CausalIotError> {
+        pipeline.mine(self).resume(pipeline)
+    }
+}
+
+/// Artefact of the mining stage: the Device Interaction Graph plus the
+/// TemporalPC search statistics.
+#[derive(Debug, Clone)]
+pub struct MinedGraph {
+    num_devices: usize,
+    preprocessor: Option<FittedPreprocessor>,
+    stats: PreprocessStats,
+    preprocess_ms: f64,
+    started: Instant,
+    tau: usize,
+    tau_ms: f64,
+    series: StateSeries,
+    calib_cut: usize,
+    dig: Dig,
+    mining: MiningStats,
+    skeleton_ms: f64,
+    cpt_ms: f64,
+}
+
+impl MinedGraph {
+    /// The mined Device Interaction Graph.
+    pub fn dig(&self) -> &Dig {
+        &self.dig
+    }
+
+    /// Aggregated TemporalPC search statistics.
+    pub fn mining_stats(&self) -> &MiningStats {
+        &self.mining
+    }
+}
+
+impl FitStage for MinedGraph {
+    fn resume(self, pipeline: &FitPipeline) -> Result<FittedModel, CausalIotError> {
+        Ok(pipeline.calibrate(self).into_model())
+    }
+}
+
+/// Artefact of the calibration stage: the finished [`FittedModel`] (whose
+/// [`FitReport`] carries every earlier stage's statistics and timings).
+#[derive(Debug, Clone)]
+pub struct CalibratedModel {
+    model: FittedModel,
+}
+
+impl CalibratedModel {
+    /// The finished model.
+    pub fn model(&self) -> &FittedModel {
+        &self.model
+    }
+
+    /// Unwraps the finished model.
+    pub fn into_model(self) -> FittedModel {
+        self.model
+    }
+}
+
+impl FitStage for CalibratedModel {
+    fn resume(self, _pipeline: &FitPipeline) -> Result<FittedModel, CausalIotError> {
+        Ok(self.model)
+    }
+}

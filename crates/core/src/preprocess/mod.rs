@@ -110,6 +110,26 @@ impl FittedPreprocessor {
         })
     }
 
+    /// Reassembles a fitted preprocessor from persisted parts — the
+    /// checkpoint-restore path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sanitiser and unifier disagree on the device count.
+    pub fn from_parts(sanitizer: FittedSanitizer, unifier: FittedUnifier) -> Self {
+        assert_eq!(
+            sanitizer.num_devices(),
+            unifier.binarizers().len(),
+            "sanitizer and unifier cover different device counts"
+        );
+        let num_devices = sanitizer.num_devices();
+        FittedPreprocessor {
+            sanitizer,
+            unifier,
+            num_devices,
+        }
+    }
+
     /// Sanitises and binarises a raw log into preprocessed binary events
     /// (consecutive per-device duplicates removed).
     pub fn transform(&self, log: &EventLog) -> Vec<BinaryEvent> {

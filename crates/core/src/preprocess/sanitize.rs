@@ -52,9 +52,41 @@ impl FittedSanitizer {
         }
     }
 
+    /// Reassembles a fitted sanitiser from persisted parts — the
+    /// checkpoint-restore path. `bands` holds one entry per device in
+    /// device order (`None` for binary devices and numerics without
+    /// enough training data).
+    pub fn from_parts(
+        bands: Vec<Option<ThreeSigmaBand>>,
+        duplicate_rel_tol: f64,
+        filter_extremes: bool,
+    ) -> Self {
+        FittedSanitizer {
+            bands,
+            duplicate_rel_tol,
+            filter_extremes,
+        }
+    }
+
     /// The fitted band for a device, if any.
     pub fn band(&self, device: iot_model::DeviceId) -> Option<&ThreeSigmaBand> {
         self.bands[device.index()].as_ref()
+    }
+
+    /// Number of devices the sanitiser was fitted for.
+    pub fn num_devices(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// Relative tolerance under which two numeric readings count as a
+    /// duplicated state report.
+    pub fn duplicate_rel_tol(&self) -> f64 {
+        self.duplicate_rel_tol
+    }
+
+    /// Whether the three-sigma extreme-value filter is applied.
+    pub fn filter_extremes(&self) -> bool {
+        self.filter_extremes
     }
 
     /// Whether a single event would be dropped as an extreme reading.

@@ -86,9 +86,20 @@ impl FittedUnifier {
         FittedUnifier { binarizers }
     }
 
+    /// Reassembles a fitted unifier from persisted per-device rules (in
+    /// device order) — the checkpoint-restore path.
+    pub fn from_parts(binarizers: Vec<DeviceBinarizer>) -> Self {
+        FittedUnifier { binarizers }
+    }
+
     /// The fitted rule for a device.
     pub fn binarizer(&self, device: iot_model::DeviceId) -> &DeviceBinarizer {
         &self.binarizers[device.index()]
+    }
+
+    /// All fitted rules, in device order.
+    pub fn binarizers(&self) -> &[DeviceBinarizer] {
+        &self.binarizers
     }
 
     /// Binarises one event.

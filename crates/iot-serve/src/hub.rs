@@ -65,10 +65,17 @@ pub struct HomeReport {
     /// The name it was registered under.
     pub name: String,
     /// Every verdict in submission order (empty when
-    /// [`HubConfig::record_verdicts`] is off).
+    /// [`HubConfig::record_verdicts`] is off). Spans all models the home
+    /// was served under: a [`Hub::swap_model`] does not reset it.
     pub verdicts: Vec<Verdict>,
-    /// The home's aggregated monitoring session report.
+    /// The aggregated monitoring session report of the home's *current*
+    /// monitor (the one installed by the latest swap, or registration).
     pub monitor: MonitorReport,
+    /// Number of [`Hub::swap_model`] calls processed for this home.
+    pub swaps: u64,
+    /// Session reports of monitors retired by [`Hub::swap_model`], in
+    /// swap order (empty when the home was never swapped).
+    pub retired: Vec<MonitorReport>,
 }
 
 enum Job {
@@ -86,6 +93,10 @@ enum Job {
         home: usize,
         events: Vec<BinaryEvent>,
         submitted: Instant,
+    },
+    Swap {
+        home: usize,
+        monitor: Box<OwnedMonitor>,
     },
     Barrier(SyncSender<()>),
 }
@@ -105,12 +116,15 @@ struct HomeSlot {
     name: String,
     monitor: OwnedMonitor,
     verdicts: Vec<Verdict>,
+    swaps: u64,
+    retired: Vec<MonitorReport>,
 }
 
 struct WorkerContext {
     depth: Arc<AtomicUsize>,
     depth_gauge: Gauge,
     events: Counter,
+    swaps: Counter,
     latency_us: Histogram,
     record_verdicts: bool,
 }
@@ -127,6 +141,7 @@ pub struct Hub {
     workers: Vec<JoinHandle<BTreeMap<usize, HomeSlot>>>,
     homes: Vec<HomeEntry>,
     submitted: Counter,
+    swaps: Counter,
 }
 
 impl fmt::Debug for Hub {
@@ -164,6 +179,7 @@ impl Hub {
                 depth: Arc::clone(&depth),
                 depth_gauge: telemetry.gauge(&format!("hub.shard.{i}.queue_depth")),
                 events: telemetry.counter(&format!("hub.shard.{i}.events")),
+                swaps: telemetry.counter(&format!("hub.shard.{i}.swaps")),
                 latency_us: latency_us.clone(),
                 record_verdicts: config.record_verdicts,
             };
@@ -185,6 +201,7 @@ impl Hub {
             workers,
             homes: Vec::new(),
             submitted: telemetry.counter("hub.submitted"),
+            swaps: telemetry.counter("hub.swaps"),
         }
     }
 
@@ -282,6 +299,52 @@ impl Hub {
         )
     }
 
+    /// Atomically replaces `home`'s monitor with a fresh one spawned from
+    /// `model` — a zero-downtime rollout of a refit (or checkpointed)
+    /// model.
+    ///
+    /// The swap is queued on the home's own shard like any other job, so
+    /// it takes effect at an event boundary: every event a producer
+    /// submitted *before* this call is still judged by the old monitor
+    /// (the in-flight queue drains under the old model), every event
+    /// submitted *after* it returns is judged by the new one, and no
+    /// event is dropped or reordered. The new monitor resumes from the
+    /// new model's end-of-training state, exactly as [`Hub::register`]
+    /// does. The retired monitor's session report is preserved and
+    /// returned in [`HomeReport::retired`]; the swap increments the
+    /// `hub.swaps` and per-shard `hub.shard.<i>.swaps` counters.
+    ///
+    /// Unlike [`Hub::submit`] this blocks (briefly) instead of returning
+    /// [`SubmitError::QueueFull`] when the shard queue is at capacity —
+    /// a rollout should not be droppable by backpressure.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownHome`] for an unregistered id,
+    /// [`SubmitError::Shutdown`] when the worker is gone.
+    pub fn swap_model(&self, home: HomeId, model: &FittedModel) -> Result<(), SubmitError> {
+        let entry = self
+            .homes
+            .get(home.0)
+            .ok_or(SubmitError::UnknownHome { home })?;
+        let monitor = Box::new(model.clone().into_monitor());
+        let shard = &self.shards[entry.shard];
+        shard.depth.fetch_add(1, Ordering::Relaxed);
+        if shard
+            .sender
+            .send(Job::Swap {
+                home: home.0,
+                monitor,
+            })
+            .is_err()
+        {
+            shard.depth.fetch_sub(1, Ordering::Relaxed);
+            return Err(SubmitError::Shutdown);
+        }
+        self.swaps.inc();
+        Ok(())
+    }
+
     /// A barrier: blocks until every job queued so far on every shard has
     /// been fully processed.
     pub fn drain(&self) {
@@ -318,6 +381,8 @@ impl Hub {
                     name: slot.name,
                     monitor: slot.monitor.report(),
                     verdicts: slot.verdicts,
+                    swaps: slot.swaps,
+                    retired: slot.retired,
                 });
             }
         }
@@ -381,6 +446,8 @@ fn worker_loop(receiver: Receiver<Job>, context: WorkerContext) -> BTreeMap<usiz
                         name,
                         monitor: *monitor,
                         verdicts: Vec::new(),
+                        swaps: 0,
+                        retired: Vec::new(),
                     },
                 );
             }
@@ -421,6 +488,14 @@ fn worker_loop(receiver: Receiver<Job>, context: WorkerContext) -> BTreeMap<usiz
                         .observe(submitted.elapsed().as_secs_f64() * 1e6);
                 }
             }
+            Job::Swap { home, monitor } => {
+                if let Some(slot) = homes.get_mut(&home) {
+                    let old = std::mem::replace(&mut slot.monitor, *monitor);
+                    slot.retired.push(old.report());
+                    slot.swaps += 1;
+                    context.swaps.inc();
+                }
+            }
             Job::Barrier(ack) => {
                 let _ = ack.send(());
             }
@@ -439,6 +514,10 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn fitted_model() -> (DeviceRegistry, FittedModel) {
+        fitted_model_seeded(11)
+    }
+
+    fn fitted_model_seeded(seed: u64) -> (DeviceRegistry, FittedModel) {
         let mut reg = DeviceRegistry::new();
         let pe = reg
             .add("PE_room", Attribute::PresenceSensor, Room::new("room"))
@@ -446,7 +525,7 @@ mod tests {
         let lamp = reg
             .add("S_lamp", Attribute::Switch, Room::new("room"))
             .unwrap();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut events = Vec::new();
         for i in 0..300u64 {
             let on = rng.gen_bool(0.5);
@@ -514,6 +593,57 @@ mod tests {
         let ghost = HomeId(7);
         assert_eq!(
             hub.submit(ghost, BinaryEvent::new(Timestamp::from_secs(1), lamp, true)),
+            Err(SubmitError::UnknownHome { home: ghost })
+        );
+    }
+
+    #[test]
+    fn swap_takes_effect_at_the_event_boundary() {
+        let (reg, old_model) = fitted_model_seeded(11);
+        let (_, new_model) = fitted_model_seeded(77);
+        let lamp = reg.id_of("S_lamp").unwrap();
+        let pe = reg.id_of("PE_room").unwrap();
+        let stream = |base: u64| -> Vec<BinaryEvent> {
+            (0..30u64)
+                .map(|i| {
+                    let dev = if i % 3 == 0 { pe } else { lamp };
+                    BinaryEvent::new(Timestamp::from_secs(base + i * 30), dev, i % 2 == 0)
+                })
+                .collect()
+        };
+        let pre = stream(200_000);
+        let post = stream(400_000);
+        // Sequential reference: pre under the old model, post under a
+        // fresh monitor from the new model.
+        let mut old_ref = old_model.clone().into_monitor();
+        let mut expected: Vec<Verdict> = pre.iter().map(|e| old_ref.observe(*e)).collect();
+        let mut new_ref = new_model.clone().into_monitor();
+        expected.extend(post.iter().map(|e| new_ref.observe(*e)));
+
+        let mut hub = Hub::new(HubConfig {
+            workers: 1,
+            ..HubConfig::default()
+        });
+        let home = hub.register("home", &old_model);
+        hub.submit_batch(home, pre.clone()).unwrap();
+        hub.swap_model(home, &new_model).unwrap();
+        hub.submit_batch(home, post.clone()).unwrap();
+        let reports = hub.shutdown();
+        assert_eq!(reports[0].verdicts, expected);
+        assert_eq!(reports[0].swaps, 1);
+        assert_eq!(reports[0].retired.len(), 1);
+        assert_eq!(reports[0].retired[0].events_observed, pre.len() as u64);
+        assert_eq!(reports[0].monitor.events_observed, post.len() as u64);
+    }
+
+    #[test]
+    fn swap_on_unknown_home_is_rejected() {
+        let (_, model) = fitted_model();
+        let mut hub = Hub::new(HubConfig::default());
+        let _ = hub.register("home", &model);
+        let ghost = HomeId(9);
+        assert_eq!(
+            hub.swap_model(ghost, &model),
             Err(SubmitError::UnknownHome { home: ghost })
         );
     }

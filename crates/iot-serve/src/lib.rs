@@ -20,11 +20,18 @@
 //!   every queued job to be scored; [`Hub::shutdown`] drains, joins the
 //!   workers, and returns one [`HomeReport`] per home (its
 //!   [`iot_telemetry::MonitorReport`] plus, optionally, every verdict).
+//! * **Zero-downtime hot-swap** — [`Hub::swap_model`] queues a monitor
+//!   replacement on the home's own shard, so it lands at an event
+//!   boundary: in-flight events drain under the old model, later events
+//!   are judged by the new one, and nothing is dropped or reordered. The
+//!   retired monitor's session report survives in
+//!   [`HomeReport::retired`].
 //! * **Telemetry** — wired into the `iot-telemetry` registry: per-shard
 //!   queue-depth gauges (`hub.shard.<i>.queue_depth`), per-shard event
-//!   counters (`hub.shard.<i>.events`), a total submission counter
-//!   (`hub.submitted`), and an end-to-end submit-to-verdict latency
-//!   histogram (`hub.e2e_latency_us`).
+//!   counters (`hub.shard.<i>.events`), per-shard swap counters
+//!   (`hub.shard.<i>.swaps`), total submission and swap counters
+//!   (`hub.submitted`, `hub.swaps`), and an end-to-end submit-to-verdict
+//!   latency histogram (`hub.e2e_latency_us`).
 //!
 //! ```
 //! use causaliot::CausalIot;

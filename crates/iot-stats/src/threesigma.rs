@@ -91,6 +91,17 @@ impl ThreeSigmaBand {
         }
     }
 
+    /// Reassembles a band from persisted bounds (the inverse of reading
+    /// [`ThreeSigmaBand::lo`]/[`ThreeSigmaBand::hi`] back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn from_bounds(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "band lower bound {lo} exceeds upper bound {hi}");
+        ThreeSigmaBand { lo, hi }
+    }
+
     /// Lower bound `μ − 3σ`.
     pub fn lo(&self) -> f64 {
         self.lo

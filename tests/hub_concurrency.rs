@@ -228,6 +228,96 @@ fn queue_full_backpressure_is_reported_and_lossless() {
 }
 
 #[test]
+fn hot_swap_under_concurrent_producers_is_exact_and_lossless() {
+    // Each home's producer submits a pre-stream, hot-swaps its model, and
+    // submits a post-stream. The swap must land exactly at the boundary:
+    // pre events judged by the old model, post events by a fresh monitor
+    // from the new model, nothing dropped or reordered.
+    let (reg, old_model) = fitted_model(41);
+    let (_, new_model) = fitted_model(43);
+    let pre_streams: Vec<Vec<BinaryEvent>> =
+        (0..4).map(|h| home_stream(&reg, 200 + h, 250)).collect();
+    let post_streams: Vec<Vec<BinaryEvent>> =
+        (0..4).map(|h| home_stream(&reg, 300 + h, 250)).collect();
+
+    // Sequential reference: old monitor for the pre-stream, then a fresh
+    // monitor from the new model for the post-stream (swap semantics:
+    // the replacement resumes from the new model's training state).
+    let expected: Vec<Vec<Verdict>> = (0..4)
+        .map(|h| {
+            let mut old_ref = old_model.clone().into_monitor();
+            let mut verdicts: Vec<Verdict> =
+                pre_streams[h].iter().map(|e| old_ref.observe(*e)).collect();
+            let mut new_ref = new_model.clone().into_monitor();
+            verdicts.extend(post_streams[h].iter().map(|e| new_ref.observe(*e)));
+            verdicts
+        })
+        .collect();
+
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut hub = Hub::with_telemetry(
+        HubConfig {
+            workers: 2,
+            queue_capacity: 32,
+            record_verdicts: true,
+        },
+        &telemetry,
+    );
+    let homes: Vec<_> = (0..4)
+        .map(|h| hub.register(&format!("home-{h}"), &old_model))
+        .collect();
+    std::thread::scope(|scope| {
+        for h in 0..4 {
+            let hub = &hub;
+            let home = homes[h];
+            let pre = &pre_streams[h];
+            let post = &post_streams[h];
+            let new_model = &new_model;
+            scope.spawn(move || {
+                let push = |event: BinaryEvent| loop {
+                    match hub.submit(home, event) {
+                        Ok(()) => break,
+                        Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
+                        Err(e) => panic!("unexpected submit error: {e}"),
+                    }
+                };
+                for event in pre {
+                    push(*event);
+                }
+                hub.swap_model(home, new_model).expect("swap accepted");
+                for event in post {
+                    push(*event);
+                }
+            });
+        }
+    });
+    let reports = hub.shutdown();
+    for (h, report) in reports.iter().enumerate() {
+        assert_eq!(
+            report.verdicts, expected[h],
+            "home {h}: swap boundary leaked events across models"
+        );
+        assert_eq!(report.swaps, 1, "home {h}");
+        assert_eq!(report.retired.len(), 1, "home {h}");
+        assert_eq!(
+            report.retired[0].events_observed,
+            pre_streams[h].len() as u64,
+            "home {h}: old monitor must have scored exactly the pre-stream"
+        );
+        assert_eq!(
+            report.monitor.events_observed,
+            post_streams[h].len() as u64,
+            "home {h}: new monitor must have scored exactly the post-stream"
+        );
+    }
+    assert_eq!(telemetry.counter("hub.swaps").get(), 4);
+    let shard_swaps: u64 = (0..2)
+        .map(|i| telemetry.counter(&format!("hub.shard.{i}.swaps")).get())
+        .sum();
+    assert_eq!(shard_swaps, 4);
+}
+
+#[test]
 fn shutdown_after_submit_scores_everything() {
     // shutdown() must drain queued-but-unprocessed jobs before reporting.
     let (reg, model) = fitted_model(31);

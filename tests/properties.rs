@@ -245,3 +245,223 @@ fn event_log_always_sorted() {
         }
     }
 }
+
+fn binary_registry(devices: usize) -> iot_model::DeviceRegistry {
+    let mut reg = iot_model::DeviceRegistry::new();
+    for d in 0..devices {
+        reg.add(
+            format!("S_dev{d}"),
+            iot_model::Attribute::Switch,
+            iot_model::Room::new("room"),
+        )
+        .unwrap();
+    }
+    reg
+}
+
+fn random_config(rng: &mut StdRng) -> causaliot::CausalIotConfig {
+    let tau = if rng.gen_bool(0.7) {
+        causaliot::TauChoice::Fixed(rng.gen_range(1usize..=3))
+    } else {
+        causaliot::TauChoice::default()
+    };
+    let q = [90.0, 95.0, 99.0][rng.gen_range(0..3)];
+    let calibration_fraction = if rng.gen_bool(0.5) { 0.25 } else { 0.0 };
+    let smoothing = if rng.gen_bool(0.3) { 1.0 } else { 0.0 };
+    let unseen = match rng.gen_range(0..3) {
+        0 => UnseenContext::Marginal,
+        1 => UnseenContext::Uniform,
+        _ => UnseenContext::MaxAnomaly,
+    };
+    causaliot::CausalIotConfig {
+        tau,
+        q,
+        calibration_fraction,
+        unseen,
+        miner: causaliot::miner::MinerConfig {
+            smoothing,
+            ..causaliot::miner::MinerConfig::default()
+        },
+        ..causaliot::CausalIotConfig::default()
+    }
+}
+
+/// A from-first-principles reimplementation of the pre-refactor
+/// monolithic fit (binary-events path): τ selection, state-series
+/// derivation, calibration split, mining, and percentile thresholding,
+/// each driven through the public building-block APIs.
+fn monolithic_reference(
+    num_devices: usize,
+    events: &[BinaryEvent],
+    config: &causaliot::CausalIotConfig,
+) -> (
+    causaliot::graph::Dig,
+    f64,
+    iot_telemetry::MiningStats,
+    Vec<f64>,
+    usize,
+) {
+    let tau = match config.tau {
+        causaliot::TauChoice::Fixed(tau) => tau,
+        causaliot::TauChoice::Auto(cfg) => causaliot::preprocess::choose_tau(events, &cfg),
+    };
+    let initial = SystemState::all_off(num_devices);
+    let series = StateSeries::derive(initial.clone(), events.to_vec());
+    let calib_cut = if config.calibration_fraction > 0.0 {
+        let keep = 1.0 - config.calibration_fraction;
+        ((series.num_events() as f64 * keep) as usize).max(tau + 1)
+    } else {
+        series.num_events()
+    };
+    let data = if calib_cut < series.num_events() {
+        let mine_series =
+            StateSeries::derive(initial.clone(), series.events()[..calib_cut].to_vec());
+        SnapshotData::from_series(&mine_series, tau)
+    } else {
+        SnapshotData::from_series(&series, tau)
+    };
+    let outcome = causaliot::miner::mine_dig_instrumented(
+        &data,
+        &config.miner,
+        &iot_telemetry::TelemetryHandle::disabled(),
+    );
+    let scores = if calib_cut < series.num_events() {
+        causaliot::monitor::training_scores(
+            &outcome.dig,
+            &series.events()[calib_cut..],
+            series.state(calib_cut),
+            config.unseen,
+        )
+    } else {
+        causaliot::monitor::training_scores(&outcome.dig, series.events(), &initial, config.unseen)
+    };
+    let threshold = percentile(&scores, config.q);
+    (outcome.dig, threshold, outcome.stats, scores, tau)
+}
+
+/// The staged fit pipeline behind `CausalIot::fit_binary` produces
+/// bit-identical models to a from-scratch monolithic reference fit, for
+/// arbitrary simulated homes and configurations: same DIG (edges and CPT
+/// counts), same threshold bits, and a `FitReport` agreeing on every
+/// non-timing field.
+#[test]
+fn staged_fit_matches_monolithic_reference() {
+    let mut rng = StdRng::seed_from_u64(0x57A6ED);
+    let mut fitted = 0;
+    for case in 0..40 {
+        let devices = rng.gen_range(3usize..=5);
+        let len = rng.gen_range(40usize..160);
+        let events: Vec<BinaryEvent> = (0..len)
+            .map(|i| {
+                BinaryEvent::new(
+                    Timestamp::from_secs(i as u64 * rng.gen_range(10..90)),
+                    DeviceId::from_index(rng.gen_range(0..devices)),
+                    rng.gen_bool(0.5),
+                )
+            })
+            .collect();
+        let config = random_config(&mut rng);
+        let reg = binary_registry(devices);
+        let model = causaliot::CausalIot::with_config(config.clone())
+            .fit_binary(&reg, &events)
+            .unwrap_or_else(|e| panic!("case {case}: fit failed: {e}"));
+        fitted += 1;
+        let (dig, threshold, mining, scores, tau) = monolithic_reference(devices, &events, &config);
+        assert_eq!(model.dig(), &dig, "case {case}: DIG diverged");
+        assert_eq!(
+            model.threshold().to_bits(),
+            threshold.to_bits(),
+            "case {case}: threshold diverged"
+        );
+        let report = model.fit_report();
+        assert_eq!(report.num_devices, devices, "case {case}");
+        assert_eq!(report.tau, tau, "case {case}");
+        assert_eq!(
+            report.threshold.to_bits(),
+            threshold.to_bits(),
+            "case {case}"
+        );
+        assert_eq!(
+            report.num_interactions,
+            dig.interaction_pairs().len(),
+            "case {case}"
+        );
+        let expected_preprocess = iot_telemetry::PreprocessStats {
+            events_in: len as u64,
+            events_out: len as u64,
+            ..iot_telemetry::PreprocessStats::default()
+        };
+        assert_eq!(report.preprocess, expected_preprocess, "case {case}");
+        assert_eq!(
+            report.mining.ci_tests_total, mining.ci_tests_total,
+            "case {case}"
+        );
+        assert_eq!(
+            report.mining.ci_tests_per_level, mining.ci_tests_per_level,
+            "case {case}"
+        );
+        assert_eq!(
+            report.mining.edges_considered, mining.edges_considered,
+            "case {case}"
+        );
+        assert_eq!(
+            report.mining.edges_pruned, mining.edges_pruned,
+            "case {case}"
+        );
+        assert_eq!(
+            report.calibration_scores,
+            iot_telemetry::DistributionSummary::from_samples(&scores),
+            "case {case}"
+        );
+    }
+    assert_eq!(fitted, 40, "all generated cases must fit");
+}
+
+/// Resuming the stage pipeline from any intermediate artifact yields the
+/// same model as the one-shot composition.
+#[test]
+fn resume_from_any_stage_matches_full_fit() {
+    let mut rng = StdRng::seed_from_u64(0x2E5);
+    for case in 0..15 {
+        let devices = rng.gen_range(3usize..=4);
+        let len = rng.gen_range(40usize..120);
+        let events: Vec<BinaryEvent> = (0..len)
+            .map(|i| {
+                BinaryEvent::new(
+                    Timestamp::from_secs(i as u64 * 60),
+                    DeviceId::from_index(rng.gen_range(0..devices)),
+                    rng.gen_bool(0.5),
+                )
+            })
+            .collect();
+        let config = random_config(&mut rng);
+        let reg = binary_registry(devices);
+        let reference = causaliot::CausalIot::with_config(config.clone())
+            .fit_binary(&reg, &events)
+            .unwrap();
+        let telemetry = iot_telemetry::TelemetryHandle::disabled();
+        let pipeline = causaliot::FitPipeline::new(config, telemetry).unwrap();
+        // Resume after each stage in turn.
+        let preprocessed = pipeline.ingest_binary(devices, events.clone());
+        let from_preprocessed = pipeline.resume_from(preprocessed.clone()).unwrap();
+        let snapshotted = pipeline.snapshot(preprocessed).unwrap();
+        let from_snapshotted = pipeline.resume_from(snapshotted.clone()).unwrap();
+        let mined = pipeline.mine(snapshotted);
+        let from_mined = pipeline.resume_from(mined.clone()).unwrap();
+        let calibrated = pipeline.calibrate(mined);
+        let from_calibrated = pipeline.resume_from(calibrated).unwrap();
+        for (label, model) in [
+            ("preprocessed", &from_preprocessed),
+            ("snapshotted", &from_snapshotted),
+            ("mined", &from_mined),
+            ("calibrated", &from_calibrated),
+        ] {
+            assert_eq!(model.dig(), reference.dig(), "case {case} from {label}");
+            assert_eq!(
+                model.threshold().to_bits(),
+                reference.threshold().to_bits(),
+                "case {case} from {label}"
+            );
+        }
+    }
+}
