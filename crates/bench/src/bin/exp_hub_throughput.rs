@@ -1,23 +1,26 @@
 //! Serving-hub throughput: events/second through [`iot_serve::Hub`] as a
-//! function of worker count and submission shape.
+//! function of worker count, submission shape, and backpressure policy.
 //!
 //! The comparison the report cares about is *serving* throughput — the
 //! rate a hub ingests, shards, queues, and scores a fleet's events — not
 //! raw in-process scoring. The baseline is therefore the single-threaded
 //! serving configuration (1 worker, one queue handoff per event); the
 //! production configuration is 4 workers fed with batched submissions,
-//! which amortises the per-event handoff. The direct sequential
+//! which amortises the per-event handoff. Both a hand-rolled
+//! yield-on-`QueueFull` spin (`SubmitPolicy::FailFast`) and the hub's
+//! built-in backoff (`SubmitPolicy::Retry`) are measured, so the cost of
+//! delegating backpressure to the hub is visible. The direct sequential
 //! [`causaliot::OwnedMonitor`] rate (no hub at all) is also reported for
 //! context, as is `available_parallelism` so the numbers can be read
 //! against the hardware they were measured on.
 
 use std::num::NonZeroUsize;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use causaliot::{CausalIot, FittedModel};
 use causaliot_bench::telemetry_out;
 use iot_model::{Attribute, BinaryEvent, DeviceRegistry, Room, Timestamp};
-use iot_serve::{Hub, HubConfig, SubmitError};
+use iot_serve::{Hub, HubConfig, SubmitError, SubmitPolicy};
 use iot_telemetry::json::JsonValue;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -105,13 +108,26 @@ fn direct_sequential_eps(model: &FittedModel, streams: &[Vec<BinaryEvent>]) -> f
 }
 
 /// Serving throughput through a hub with `workers` workers, submitting
-/// `batch` events per queue job (1 = per-event submission).
-fn hub_eps(model: &FittedModel, streams: &[Vec<BinaryEvent>], workers: usize, batch: usize) -> f64 {
-    let mut hub = Hub::new(HubConfig {
-        workers,
-        queue_capacity: 4_096,
-        record_verdicts: false,
-    });
+/// `batch` events per queue job (1 = per-event submission), under the
+/// given backpressure `policy`. Under `FailFast` the producer handles
+/// `QueueFull` itself with a yield-spin; under `Retry` the hub's own
+/// backoff absorbs backpressure and any surviving error is a hard failure.
+fn hub_eps(
+    model: &FittedModel,
+    streams: &[Vec<BinaryEvent>],
+    workers: usize,
+    batch: usize,
+    policy: SubmitPolicy,
+) -> f64 {
+    let spin_on_full = matches!(policy, SubmitPolicy::FailFast);
+    let config = HubConfig::builder()
+        .workers(workers)
+        .queue_capacity(4_096)
+        .record_verdicts(false)
+        .submit_policy(policy)
+        .try_build()
+        .expect("bench hub config must validate");
+    let mut hub = Hub::new(config);
     let homes: Vec<_> = (0..HOMES)
         .map(|h| hub.register(&format!("home-{h}"), model))
         .collect();
@@ -126,7 +142,7 @@ fn hub_eps(model: &FittedModel, streams: &[Vec<BinaryEvent>], workers: usize, ba
                     hub.submit_batch(homes[h], std::mem::take(&mut payload))
                 } {
                     Ok(()) => break,
-                    Err(SubmitError::QueueFull { .. }) => {
+                    Err(SubmitError::QueueFull { .. }) if spin_on_full => {
                         if batch != 1 {
                             payload = chunk.to_vec();
                         }
@@ -145,6 +161,17 @@ fn hub_eps(model: &FittedModel, streams: &[Vec<BinaryEvent>], workers: usize, ba
     scored as f64 / secs
 }
 
+/// The `SubmitPolicy::Retry` configuration for the policy-driven run:
+/// effectively unbounded attempts with a short capped backoff, so
+/// backpressure stalls the producer instead of failing it.
+fn retry_policy() -> SubmitPolicy {
+    SubmitPolicy::Retry {
+        max_retries: u32::MAX,
+        initial_backoff: Duration::from_micros(20),
+        max_backoff: Duration::from_micros(200),
+    }
+}
+
 fn main() {
     println!("== Serving-hub throughput ({HOMES} homes x {EVENTS_PER_HOME} events) ==\n");
     let (reg, model) = fitted_model();
@@ -155,9 +182,10 @@ fn main() {
         .unwrap_or(1);
 
     let direct = direct_sequential_eps(&model, &streams);
-    let hub1_per_event = hub_eps(&model, &streams, 1, 1);
-    let hub2_batched = hub_eps(&model, &streams, 2, BATCH);
-    let hub4_batched = hub_eps(&model, &streams, 4, BATCH);
+    let hub1_per_event = hub_eps(&model, &streams, 1, 1, SubmitPolicy::FailFast);
+    let hub2_batched = hub_eps(&model, &streams, 2, BATCH, SubmitPolicy::FailFast);
+    let hub4_batched = hub_eps(&model, &streams, 4, BATCH, SubmitPolicy::FailFast);
+    let hub4_retry = hub_eps(&model, &streams, 4, BATCH, retry_policy());
     let speedup = hub4_batched / hub1_per_event;
 
     println!("available_parallelism        {parallelism}");
@@ -165,6 +193,7 @@ fn main() {
     println!("hub 1 worker, per-event      {hub1_per_event:>12.0} events/s  (serving baseline)");
     println!("hub 2 workers, batch={BATCH}     {hub2_batched:>12.0} events/s");
     println!("hub 4 workers, batch={BATCH}     {hub4_batched:>12.0} events/s");
+    println!("hub 4 workers, batch={BATCH}, retry policy  {hub4_retry:>12.0} events/s");
     println!("speedup (4w batched / 1w per-event)  {speedup:.2}x");
 
     let mut obj = JsonValue::object();
@@ -178,6 +207,7 @@ fn main() {
         .push("hub1_per_event_eps", hub1_per_event)
         .push("hub2_batched_eps", hub2_batched)
         .push("hub4_batched_eps", hub4_batched)
+        .push("hub4_retry_policy_eps", hub4_retry)
         .push("speedup_hub4_vs_hub1", speedup);
     telemetry_out::write_report("exp_hub_throughput.json", &obj.render());
 
@@ -185,5 +215,11 @@ fn main() {
         speedup >= 2.0,
         "acceptance: 4-worker batched serving must be >= 2x the \
          single-threaded per-event serving baseline (got {speedup:.2}x)"
+    );
+    assert!(
+        hub4_retry >= 0.5 * hub4_batched,
+        "acceptance: delegating backpressure to SubmitPolicy::Retry must \
+         not cost more than half the hand-rolled spin's throughput \
+         (retry {hub4_retry:.0} vs spin {hub4_batched:.0} events/s)"
     );
 }

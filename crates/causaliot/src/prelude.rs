@@ -1,0 +1,28 @@
+//! The one-line import for CausalIoT applications.
+//!
+//! ```
+//! use causaliot::prelude::*;
+//! ```
+//!
+//! Pulls in the types virtually every program needs: the fit facade
+//! ([`CausalIot`] → [`FittedModel`]), the monitors and their output
+//! ([`Monitor`], [`OwnedMonitor`], [`Verdict`]), the data model
+//! ([`DeviceRegistry`], [`BinaryEvent`], [`Timestamp`], …), the serving
+//! hub ([`Hub`], [`HubConfig`], [`HomeId`], [`SubmitPolicy`], …),
+//! telemetry ([`TelemetryHandle`], [`MonitorReport`]), and the unified
+//! [`Error`]. Anything rarer stays behind its module path
+//! ([`crate::graph`], [`crate::miner`], [`crate::serve`], …).
+
+pub use crate::error::Error;
+pub use causaliot_core::{
+    CausalIot, CausalIotBuilder, CausalIotConfig, CausalIotError, ConfigError, DropReason,
+    FittedModel, Monitor, OwnedMonitor, TauChoice, Verdict,
+};
+pub use iot_model::{
+    Attribute, BinaryEvent, DeviceEvent, DeviceId, DeviceRegistry, Room, Timestamp,
+};
+pub use iot_serve::{
+    FaultHook, HomeId, HomeReport, Hub, HubConfig, HubConfigBuilder, QuarantinedError,
+    RestorePolicy, SubmitError, SubmitPolicy,
+};
+pub use iot_telemetry::{MonitorReport, TelemetryHandle};

@@ -14,7 +14,7 @@ use super::Dig;
 /// # Example
 ///
 /// ```
-/// use causaliot::graph::{Cpt, Dig, LaggedVar, render_dot};
+/// use causaliot_core::graph::{Cpt, Dig, LaggedVar, render_dot};
 /// use iot_model::{Attribute, DeviceId, DeviceRegistry, Room};
 ///
 /// # fn main() -> Result<(), iot_model::ModelError> {

@@ -26,11 +26,11 @@
 //! # Quickstart
 //!
 //! ```
-//! use causaliot::pipeline::CausalIot;
+//! use causaliot_core::pipeline::CausalIot;
 //! use iot_model::{Attribute, BinaryEvent, DeviceRegistry, Room, Timestamp};
 //! use rand::{rngs::StdRng, Rng, SeedableRng};
 //!
-//! # fn main() -> Result<(), causaliot::CausalIotError> {
+//! # fn main() -> Result<(), causaliot_core::CausalIotError> {
 //! let mut reg = DeviceRegistry::new();
 //! let motion = reg.add("PE_kitchen", Attribute::PresenceSensor, Room::new("kitchen"))?;
 //! let lamp = reg.add("S_kitchen", Attribute::Switch, Room::new("kitchen"))?;

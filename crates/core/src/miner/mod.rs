@@ -34,8 +34,8 @@ use crate::snapshot::SnapshotData;
 /// # Example
 ///
 /// ```
-/// use causaliot::miner::{mine_dig, MinerConfig};
-/// use causaliot::snapshot::SnapshotData;
+/// use causaliot_core::miner::{mine_dig, MinerConfig};
+/// use causaliot_core::snapshot::SnapshotData;
 /// use iot_model::{BinaryEvent, DeviceId, StateSeries, SystemState, Timestamp};
 /// use rand::{rngs::StdRng, Rng, SeedableRng};
 ///

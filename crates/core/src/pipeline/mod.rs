@@ -666,6 +666,19 @@ pub struct Monitor<'a> {
 /// long-lived services, or driven by the `iot-serve` hub. It is created
 /// with [`FittedModel::into_monitor`] (the model handle itself is a cheap
 /// `Arc` clone) and behaves bit-identically to the borrowing [`Monitor`].
+///
+/// # Panic safety
+///
+/// The monitor mutates its phantom-state machine and tracking window
+/// *during* [`observe`](OwnedMonitor::observe); if a call unwinds (e.g. a
+/// caller-injected fault caught with `std::panic::catch_unwind`), the
+/// monitor's internal state is unspecified — structurally sound (no
+/// `unsafe` anywhere in this crate, and the shared `Arc`'d model data is
+/// immutable, so other monitors on the same model are unaffected) but
+/// possibly mid-transition. Do not feed further events to a monitor that
+/// has unwound: retire it and spawn a replacement from the (untouched)
+/// `FittedModel`, as the `iot-serve` hub's quarantine-and-restore path
+/// does.
 #[derive(Debug, Clone)]
 pub struct OwnedMonitor {
     core: MonitorCore<Arc<Dig>, Arc<FittedPreprocessor>>,

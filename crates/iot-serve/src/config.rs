@@ -1,0 +1,325 @@
+//! Hub sizing and policy configuration.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use causaliot_core::ConfigError;
+
+/// What [`crate::Hub::submit`] does when a shard queue is at capacity.
+///
+/// Backpressure is still explicit — no policy silently drops events — but
+/// the *ergonomics* of a full queue are now configurable per hub instead
+/// of every caller hand-rolling a retry loop around
+/// [`crate::SubmitError::QueueFull`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum SubmitPolicy {
+    /// Return [`crate::SubmitError::QueueFull`] immediately (the original
+    /// hub behaviour; the default).
+    #[default]
+    FailFast,
+    /// Wait for queue space up to `deadline`, then return
+    /// [`crate::SubmitError::DeadlineExceeded`]. Deadline overruns are
+    /// counted in the `hub.deadline_exceeded` telemetry counter.
+    Block {
+        /// How long one submission may wait for queue space.
+        deadline: Duration,
+    },
+    /// Retry with exponential backoff: sleep `initial_backoff`, double up
+    /// to `max_backoff`, give up after `max_retries` retries with
+    /// [`crate::SubmitError::QueueFull`]. Every retry is counted in the
+    /// `hub.retries` telemetry counter.
+    Retry {
+        /// Retries after the first attempt (so `max_retries + 1` attempts
+        /// total).
+        max_retries: u32,
+        /// Sleep before the first retry.
+        initial_backoff: Duration,
+        /// Backoff ceiling for the doubling schedule.
+        max_backoff: Duration,
+    },
+}
+
+/// Automatic quarantine recovery: reload a panicked home from its last
+/// saved checkpoint.
+///
+/// When configured, the hub's supervisor watches for quarantined homes
+/// and, after `backoff`, reloads the `causaliot-model v2` checkpoint at
+/// `from_checkpoint` (re-read on every attempt, so an operator can update
+/// it in place) and re-registers the home with a fresh monitor at an
+/// event boundary — the same machinery as [`crate::Hub::restore`]. At
+/// most `max_restores` automatic restores are attempted per home per
+/// session; a home that keeps panicking past that stays quarantined for
+/// manual intervention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestorePolicy {
+    /// Path of the checkpoint file ([`causaliot_core::FittedModel::save`]
+    /// output) to restore quarantined homes from.
+    pub from_checkpoint: PathBuf,
+    /// Automatic restore attempts allowed per home (manual
+    /// [`crate::Hub::restore`] calls are not counted against this).
+    pub max_restores: u32,
+    /// Wait between automatic restore attempts for one home.
+    pub backoff: Duration,
+}
+
+/// Sizing and policy knobs for a [`crate::Hub`].
+///
+/// Build one with [`HubConfig::builder`] for up-front validation, or
+/// construct it literally (struct-update syntax over
+/// [`HubConfig::default`]) — [`crate::Hub::new`] routes every
+/// configuration through the builder's validation, clamping only the two
+/// historical sizing fields (`workers`, `queue_capacity`) for backward
+/// compatibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HubConfig {
+    /// Number of worker threads; homes are sharded across them
+    /// round-robin. Clamped to at least 1.
+    pub workers: usize,
+    /// Bounded per-shard queue capacity, counted in *jobs* (a batch
+    /// counts once). Clamped to at least 1. What happens when a shard's
+    /// queue is full is governed by [`HubConfig::submit_policy`].
+    pub queue_capacity: usize,
+    /// Keep every verdict for [`crate::Hub::shutdown`]'s
+    /// [`crate::HomeReport`]s. Disable for long-running deployments where
+    /// the aggregated [`iot_telemetry::MonitorReport`] suffices.
+    pub record_verdicts: bool,
+    /// Full-queue behaviour for [`crate::Hub::submit`] /
+    /// [`crate::Hub::submit_batch`].
+    pub submit_policy: SubmitPolicy,
+    /// Automatic quarantine recovery from a checkpoint (`None` = restores
+    /// are manual via [`crate::Hub::restore`]).
+    pub restore_policy: Option<RestorePolicy>,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        HubConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            record_verdicts: true,
+            submit_policy: SubmitPolicy::default(),
+            restore_policy: None,
+        }
+    }
+}
+
+impl HubConfig {
+    /// Starts a builder with default sizing.
+    pub fn builder() -> HubConfigBuilder {
+        HubConfigBuilder::default()
+    }
+
+    /// Validates every field range (see
+    /// [`HubConfigBuilder::try_build`] for the exact rules).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first offending field.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.workers == 0 {
+            return Err(ConfigError::new("workers", "must be at least 1"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::new("queue_capacity", "must be at least 1"));
+        }
+        match self.submit_policy {
+            SubmitPolicy::FailFast => {}
+            SubmitPolicy::Block { deadline } => {
+                if deadline.is_zero() {
+                    return Err(ConfigError::new(
+                        "submit_policy.deadline",
+                        "block deadline must be non-zero",
+                    ));
+                }
+            }
+            SubmitPolicy::Retry {
+                max_retries,
+                initial_backoff,
+                max_backoff,
+            } => {
+                if max_retries == 0 {
+                    return Err(ConfigError::new(
+                        "submit_policy.max_retries",
+                        "must be at least 1 (use FailFast for zero retries)",
+                    ));
+                }
+                if max_backoff < initial_backoff {
+                    return Err(ConfigError::new(
+                        "submit_policy.max_backoff",
+                        format!(
+                            "must be >= initial_backoff ({initial_backoff:?}), got {max_backoff:?}"
+                        ),
+                    ));
+                }
+            }
+        }
+        if let Some(policy) = &self.restore_policy {
+            if policy.max_restores == 0 {
+                return Err(ConfigError::new(
+                    "restore_policy.max_restores",
+                    "must be at least 1 (omit the policy to disable auto-restore)",
+                ));
+            }
+            if policy.from_checkpoint.as_os_str().is_empty() {
+                return Err(ConfigError::new(
+                    "restore_policy.from_checkpoint",
+                    "checkpoint path must not be empty",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`HubConfig`], mirroring
+/// [`causaliot_core::CausalIotBuilder`]: `try_build` validates every
+/// field before any thread is spawned.
+#[derive(Debug, Clone, Default)]
+pub struct HubConfigBuilder {
+    config: HubConfig,
+}
+
+impl HubConfigBuilder {
+    /// Sets the number of worker threads (= shards).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the bounded per-shard queue capacity (jobs).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Keeps (or drops) every verdict for the end-of-session reports.
+    pub fn record_verdicts(mut self, record: bool) -> Self {
+        self.config.record_verdicts = record;
+        self
+    }
+
+    /// Sets the full-queue submission policy.
+    pub fn submit_policy(mut self, policy: SubmitPolicy) -> Self {
+        self.config.submit_policy = policy;
+        self
+    }
+
+    /// Enables automatic quarantine recovery from a checkpoint.
+    pub fn restore_policy(mut self, policy: RestorePolicy) -> Self {
+        self.config.restore_policy = Some(policy);
+        self
+    }
+
+    /// Finalises the configuration, validating every field:
+    ///
+    /// * `workers ≥ 1` and `queue_capacity ≥ 1`,
+    /// * a [`SubmitPolicy::Block`] deadline is non-zero,
+    /// * [`SubmitPolicy::Retry`] has `max_retries ≥ 1` and
+    ///   `max_backoff ≥ initial_backoff`,
+    /// * a [`RestorePolicy`] has `max_restores ≥ 1` and a non-empty
+    ///   checkpoint path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first offending field.
+    pub fn try_build(self) -> Result<HubConfig, ConfigError> {
+        self.config.check()?;
+        Ok(self.config)
+    }
+
+    /// Finalises the configuration; the infallible spelling of
+    /// [`HubConfigBuilder::try_build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on any configuration [`HubConfigBuilder::try_build`] would
+    /// reject.
+    pub fn build(self) -> HubConfig {
+        match self.try_build() {
+            Ok(config) => config,
+            Err(e) => panic!("HubConfigBuilder::build: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accepts_defaults_and_policies() {
+        let config = HubConfig::builder()
+            .workers(2)
+            .queue_capacity(64)
+            .record_verdicts(false)
+            .submit_policy(SubmitPolicy::Retry {
+                max_retries: 5,
+                initial_backoff: Duration::from_micros(50),
+                max_backoff: Duration::from_millis(5),
+            })
+            .restore_policy(RestorePolicy {
+                from_checkpoint: PathBuf::from("home.model"),
+                max_restores: 3,
+                backoff: Duration::from_millis(10),
+            })
+            .try_build()
+            .unwrap();
+        assert_eq!(config.workers, 2);
+        assert!(config.restore_policy.is_some());
+    }
+
+    #[test]
+    fn invalid_fields_are_named() {
+        let bad = |builder: HubConfigBuilder, field: &str| {
+            let err = builder.try_build().expect_err(field);
+            assert_eq!(err.parameter(), field, "{err}");
+        };
+        bad(HubConfig::builder().workers(0), "workers");
+        bad(HubConfig::builder().queue_capacity(0), "queue_capacity");
+        bad(
+            HubConfig::builder().submit_policy(SubmitPolicy::Block {
+                deadline: Duration::ZERO,
+            }),
+            "submit_policy.deadline",
+        );
+        bad(
+            HubConfig::builder().submit_policy(SubmitPolicy::Retry {
+                max_retries: 0,
+                initial_backoff: Duration::from_micros(1),
+                max_backoff: Duration::from_micros(2),
+            }),
+            "submit_policy.max_retries",
+        );
+        bad(
+            HubConfig::builder().submit_policy(SubmitPolicy::Retry {
+                max_retries: 1,
+                initial_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(1),
+            }),
+            "submit_policy.max_backoff",
+        );
+        bad(
+            HubConfig::builder().restore_policy(RestorePolicy {
+                from_checkpoint: PathBuf::from("x.model"),
+                max_restores: 0,
+                backoff: Duration::ZERO,
+            }),
+            "restore_policy.max_restores",
+        );
+        bad(
+            HubConfig::builder().restore_policy(RestorePolicy {
+                from_checkpoint: PathBuf::new(),
+                max_restores: 1,
+                backoff: Duration::ZERO,
+            }),
+            "restore_policy.from_checkpoint",
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "workers")]
+    fn build_panics_on_invalid_config() {
+        let _ = HubConfig::builder().workers(0).build();
+    }
+}

@@ -2,19 +2,56 @@
 
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 use crate::HomeId;
 
+/// A home is quarantined: a panic unwound out of its monitor, the
+/// poisoned monitor was sealed off, and the home takes no further events
+/// until it is restored ([`crate::Hub::restore`] or the hub's
+/// [`crate::RestorePolicy`]).
+///
+/// Carried by [`SubmitError::Quarantined`] so submitters see *why* the
+/// home is refusing traffic: the captured panic payload and how many
+/// times the home has already been restored this session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedError {
+    /// The quarantined home.
+    pub home: HomeId,
+    /// The most recent captured panic payload (the panic message when it
+    /// was a string, a placeholder otherwise).
+    pub panic: String,
+    /// Restores already performed for this home this session.
+    pub restores: u64,
+}
+
+impl fmt::Display for QuarantinedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "home {} is quarantined after a monitor panic ({} restore(s) so far): {}",
+            self.home, self.restores, self.panic
+        )
+    }
+}
+
+impl Error for QuarantinedError {}
+
 /// Why a [`crate::Hub`] submission was rejected.
 ///
-/// Submission is non-blocking by design: a full shard queue yields
-/// [`SubmitError::QueueFull`] immediately instead of stalling the caller,
-/// so ingestion layers can shed load, buffer, or retry on their own terms.
+/// What a full shard queue turns into depends on the hub's
+/// [`crate::SubmitPolicy`]: fail-fast surfaces [`SubmitError::QueueFull`]
+/// immediately, block-with-deadline surfaces
+/// [`SubmitError::DeadlineExceeded`] once the deadline lapses, and
+/// retry-with-backoff surfaces [`SubmitError::QueueFull`] only after its
+/// retry budget is exhausted.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SubmitError {
     /// The shard queue serving this home is at capacity — explicit
-    /// backpressure; retry later or shed the event.
+    /// backpressure; retry later or shed the event. Under
+    /// [`crate::SubmitPolicy::Retry`] this is returned only after every
+    /// retry also found the queue full.
     QueueFull {
         /// The home whose shard queue was full.
         home: HomeId,
@@ -26,9 +63,20 @@ pub enum SubmitError {
         /// The offending home id.
         home: HomeId,
     },
-    /// The hub's workers have stopped (the hub is shutting down or a
-    /// worker died); no further events can be served.
+    /// The hub's workers have stopped (the hub is shutting down); no
+    /// further events can be served.
     Shutdown,
+    /// The home is quarantined after a monitor panic and takes no events
+    /// until restored (see [`QuarantinedError`]).
+    Quarantined(QuarantinedError),
+    /// [`crate::SubmitPolicy::Block`]: the shard queue stayed full past
+    /// the configured deadline.
+    DeadlineExceeded {
+        /// The home whose shard queue stayed full.
+        home: HomeId,
+        /// The deadline that lapsed.
+        deadline: Duration,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -42,11 +90,29 @@ impl fmt::Display for SubmitError {
                 write!(f, "home {home} is not registered with this hub")
             }
             SubmitError::Shutdown => write!(f, "hub is shut down"),
+            SubmitError::Quarantined(q) => q.fmt(f),
+            SubmitError::DeadlineExceeded { home, deadline } => write!(
+                f,
+                "shard queue for home {home} stayed full past the {deadline:?} submit deadline"
+            ),
         }
     }
 }
 
-impl Error for SubmitError {}
+impl Error for SubmitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SubmitError::Quarantined(q) => Some(q),
+            _ => None,
+        }
+    }
+}
+
+impl From<QuarantinedError> for SubmitError {
+    fn from(e: QuarantinedError) -> Self {
+        SubmitError::Quarantined(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -63,11 +129,36 @@ mod tests {
             .to_string()
             .contains('9'));
         assert!(SubmitError::Shutdown.to_string().contains("shut down"));
+        let q = QuarantinedError {
+            home: HomeId(4),
+            panic: "boom".into(),
+            restores: 2,
+        };
+        assert!(q.to_string().contains("boom"));
+        assert!(SubmitError::from(q.clone()).to_string().contains("boom"));
+        let d = SubmitError::DeadlineExceeded {
+            home: HomeId(1),
+            deadline: Duration::from_millis(5),
+        };
+        assert!(d.to_string().contains("deadline"));
     }
 
     #[test]
-    fn error_is_send_sync() {
+    fn quarantined_error_is_the_source() {
+        let q = QuarantinedError {
+            home: HomeId(0),
+            panic: "x".into(),
+            restores: 0,
+        };
+        let e = SubmitError::Quarantined(q);
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&SubmitError::Shutdown).is_none());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
         fn assert_bounds<T: Error + Send + Sync + 'static>() {}
         assert_bounds::<SubmitError>();
+        assert_bounds::<QuarantinedError>();
     }
 }

@@ -1,18 +1,29 @@
-//! The sharded multi-home serving hub.
+//! The sharded, supervised multi-home serving hub.
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use causaliot::{FittedModel, OwnedMonitor, Verdict};
+use causaliot_core::{FittedModel, Verdict};
 use iot_model::BinaryEvent;
-use iot_telemetry::{Buckets, Counter, Gauge, Histogram, MonitorReport, TelemetryHandle};
+use iot_telemetry::{Buckets, Counter, Gauge, MonitorReport, TelemetryHandle};
 
+use crate::config::{HubConfig, SubmitPolicy};
+use crate::error::QuarantinedError;
+use crate::fault::{FaultHook, HomeHealth};
+use crate::supervisor::{
+    spawn_worker, Job, ShardCore, SupervisedHome, Supervisor, SupervisorGuard, SupervisorShared,
+    WorkerContext,
+};
+use crate::util::lock;
 use crate::SubmitError;
+
+/// How long one [`crate::SubmitPolicy::Block`] wait-for-space pause lasts.
+const BLOCK_POLL: Duration = Duration::from_micros(50);
 
 /// Identifies a home registered with a [`Hub`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -23,37 +34,19 @@ impl HomeId {
     pub fn index(&self) -> usize {
         self.0
     }
+
+    /// Builds the id with the given registration index — the inverse of
+    /// [`HomeId::index`], for callers that persist ids outside the hub.
+    /// An index never registered is rejected at submission time with
+    /// [`SubmitError::UnknownHome`].
+    pub fn from_index(index: usize) -> Self {
+        HomeId(index)
+    }
 }
 
 impl fmt::Display for HomeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.0)
-    }
-}
-
-/// Sizing knobs for a [`Hub`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct HubConfig {
-    /// Number of worker threads; homes are sharded across them
-    /// round-robin. Clamped to at least 1.
-    pub workers: usize,
-    /// Bounded per-shard queue capacity, counted in *jobs* (a batch
-    /// counts once). Clamped to at least 1. When a shard's queue is full,
-    /// [`Hub::submit`] returns [`SubmitError::QueueFull`].
-    pub queue_capacity: usize,
-    /// Keep every verdict for [`Hub::shutdown`]'s [`HomeReport`]s. Disable
-    /// for long-running deployments where the aggregated
-    /// [`MonitorReport`] suffices.
-    pub record_verdicts: bool,
-}
-
-impl Default for HubConfig {
-    fn default() -> Self {
-        HubConfig {
-            workers: 4,
-            queue_capacity: 1024,
-            record_verdicts: true,
-        }
     }
 }
 
@@ -69,36 +62,28 @@ pub struct HomeReport {
     /// was served under: a [`Hub::swap_model`] does not reset it.
     pub verdicts: Vec<Verdict>,
     /// The aggregated monitoring session report of the home's *current*
-    /// monitor (the one installed by the latest swap, or registration).
+    /// monitor (the one installed by the latest swap/restore, or
+    /// registration).
     pub monitor: MonitorReport,
-    /// Number of [`Hub::swap_model`] calls processed for this home.
+    /// Number of [`Hub::swap_model`] calls processed for this home
+    /// (restores are counted separately, in [`HomeReport::restores`]).
     pub swaps: u64,
-    /// Session reports of monitors retired by [`Hub::swap_model`], in
-    /// swap order (empty when the home was never swapped).
+    /// Session reports of monitors retired by swaps and restores, in
+    /// order (empty when the home was never swapped or restored).
     pub retired: Vec<MonitorReport>,
-}
-
-enum Job {
-    Register {
-        home: usize,
-        name: String,
-        monitor: Box<OwnedMonitor>,
-    },
-    Event {
-        home: usize,
-        event: BinaryEvent,
-        submitted: Instant,
-    },
-    Batch {
-        home: usize,
-        events: Vec<BinaryEvent>,
-        submitted: Instant,
-    },
-    Swap {
-        home: usize,
-        monitor: Box<OwnedMonitor>,
-    },
-    Barrier(SyncSender<()>),
+    /// Every panic payload captured from this home's monitors, oldest
+    /// first (empty for a home that never panicked).
+    pub panics: Vec<String>,
+    /// Restores processed for this home ([`Hub::restore`] and the
+    /// [`crate::RestorePolicy`] combined).
+    pub restores: u64,
+    /// Whether the home ended the session quarantined (its last panic was
+    /// never restored).
+    pub quarantined: bool,
+    /// Events dropped because they were already queued when the home's
+    /// monitor panicked (they reached a poisoned monitor and were never
+    /// scored).
+    pub dropped_quarantined: u64,
 }
 
 struct Shard {
@@ -110,38 +95,44 @@ struct Shard {
 
 struct HomeEntry {
     shard: usize,
+    health: Arc<HomeHealth>,
 }
 
-struct HomeSlot {
-    name: String,
-    monitor: OwnedMonitor,
-    verdicts: Vec<Verdict>,
-    swaps: u64,
-    retired: Vec<MonitorReport>,
-}
-
-struct WorkerContext {
-    depth: Arc<AtomicUsize>,
-    depth_gauge: Gauge,
-    events: Counter,
-    swaps: Counter,
-    latency_us: Histogram,
-    record_verdicts: bool,
-}
-
-/// A concurrent serving hub for a fleet of smart homes.
+/// A concurrent, fault-tolerant serving hub for a fleet of smart homes.
 ///
 /// See the crate docs for the full semantics. Registration takes `&mut
 /// self`; submission takes `&self` and is safe from many producer threads
-/// at once (per-home ordering then follows each producer's own
-/// submission order).
+/// at once (per-home ordering then follows each producer's own submission
+/// order).
+///
+/// # Fault tolerance
+///
+/// * A panic unwinding out of one home's monitor is caught at the worker;
+///   the home is **quarantined** (submissions return
+///   [`SubmitError::Quarantined`], queued events for it are dropped) and
+///   every sibling home — on the same shard or elsewhere — continues with
+///   bit-identical verdicts.
+/// * A quarantined home re-enters service through [`Hub::restore`], a
+///   [`Hub::swap_model`], or the hub's automatic
+///   [`crate::RestorePolicy`].
+/// * A worker *thread* death is detected by the hub's supervisor, which
+///   respawns the worker onto the same queue and homes: nothing is
+///   dropped or reordered, and the `hub.shard.<i>.restarts` counter
+///   ticks.
 pub struct Hub {
+    // Field order is drop order: the supervisor guard must drop (stop +
+    // join the supervisor, releasing its sender clones) before the shard
+    // senders, or a plain `drop(hub)` would never disconnect the workers.
+    supervisor: SupervisorGuard,
     config: HubConfig,
     shards: Vec<Shard>,
-    workers: Vec<JoinHandle<BTreeMap<usize, HomeSlot>>>,
+    cores: Vec<Arc<ShardCore>>,
+    shared: Arc<SupervisorShared>,
     homes: Vec<HomeEntry>,
     submitted: Counter,
     swaps: Counter,
+    retries: Counter,
+    deadline_exceeded: Counter,
 }
 
 impl fmt::Debug for Hub {
@@ -149,63 +140,138 @@ impl fmt::Debug for Hub {
         f.debug_struct("Hub")
             .field("config", &self.config)
             .field("homes", &self.homes.len())
-            .field("workers", &self.workers.len())
+            .field("workers", &self.shards.len())
             .finish()
     }
 }
 
 impl Hub {
-    /// Starts a hub with the given sizing, using the
+    /// Starts a hub with the given configuration, using the
     /// `CAUSALIOT_TELEMETRY`-derived telemetry handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a configuration [`crate::HubConfigBuilder::try_build`]
+    /// would reject — impossible for builder-produced configs, and the
+    /// two historical sizing fields (`workers`, `queue_capacity`) are
+    /// clamped rather than rejected for backward compatibility.
     pub fn new(config: HubConfig) -> Self {
         Self::with_telemetry(config, &TelemetryHandle::from_env())
     }
 
     /// Starts a hub reporting to an explicit telemetry handle.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Hub::new`].
     pub fn with_telemetry(config: HubConfig, telemetry: &TelemetryHandle) -> Self {
+        Self::build(config, telemetry, None)
+    }
+
+    /// Starts a hub with a fault-injection hook attached to every worker
+    /// — the chaos-testing entry point (see [`FaultHook`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Hub::new`].
+    pub fn with_fault_hook(
+        config: HubConfig,
+        telemetry: &TelemetryHandle,
+        hook: Arc<dyn FaultHook>,
+    ) -> Self {
+        Self::build(config, telemetry, Some(hook))
+    }
+
+    fn build(
+        config: HubConfig,
+        telemetry: &TelemetryHandle,
+        hook: Option<Arc<dyn FaultHook>>,
+    ) -> Self {
         let config = HubConfig {
             workers: config.workers.max(1),
             queue_capacity: config.queue_capacity.max(1),
             ..config
         };
+        if let Err(e) = config.check() {
+            panic!("Hub: invalid HubConfig: {e}");
+        }
         let latency_us =
             telemetry.histogram("hub.e2e_latency_us", Buckets::exponential(1.0, 2.0, 24));
+        let quarantines = telemetry.counter("hub.quarantines");
+        let restores = telemetry.counter("hub.restores");
+        let dropped_quarantined = telemetry.counter("hub.quarantine_dropped");
         let mut shards = Vec::with_capacity(config.workers);
-        let mut workers = Vec::with_capacity(config.workers);
+        let mut cores = Vec::with_capacity(config.workers);
+        let mut handles = Vec::with_capacity(config.workers);
+        let mut senders = Vec::with_capacity(config.workers);
+        let mut restarts = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
             let (sender, receiver) = sync_channel::<Job>(config.queue_capacity);
             let depth = Arc::new(AtomicUsize::new(0));
             let context = WorkerContext {
+                shard: i,
                 depth: Arc::clone(&depth),
                 depth_gauge: telemetry.gauge(&format!("hub.shard.{i}.queue_depth")),
                 events: telemetry.counter(&format!("hub.shard.{i}.events")),
                 swaps: telemetry.counter(&format!("hub.shard.{i}.swaps")),
+                quarantines: quarantines.clone(),
+                restores: restores.clone(),
+                dropped_quarantined: dropped_quarantined.clone(),
                 latency_us: latency_us.clone(),
                 record_verdicts: config.record_verdicts,
             };
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("iot-serve-worker-{i}"))
-                    .spawn(move || worker_loop(receiver, context))
-                    .expect("spawn hub worker"),
-            );
+            let core = Arc::new(ShardCore {
+                receiver: Mutex::new(receiver),
+                homes: Mutex::new(BTreeMap::new()),
+                jobs_done: std::sync::atomic::AtomicU64::new(0),
+                context,
+                hook: hook.clone(),
+            });
+            handles.push(Some(spawn_worker(Arc::clone(&core))));
+            cores.push(core);
+            senders.push(sender.clone());
+            restarts.push(telemetry.counter(&format!("hub.shard.{i}.restarts")));
             shards.push(Shard {
                 sender,
                 depth,
                 depth_gauge: telemetry.gauge(&format!("hub.shard.{i}.queue_depth")),
             });
         }
+        let shared = Arc::new(SupervisorShared {
+            stop: AtomicBool::new(false),
+            workers: Mutex::new(handles),
+            homes: Mutex::new(Vec::new()),
+        });
+        let supervisor = Supervisor {
+            shared: Arc::clone(&shared),
+            cores: cores.clone(),
+            senders,
+            restarts,
+            restore_policy: config.restore_policy.clone(),
+            telemetry: telemetry.clone(),
+        };
+        let handle = std::thread::Builder::new()
+            .name("iot-serve-supervisor".to_string())
+            .spawn(move || supervisor.run())
+            .expect("spawn hub supervisor");
         Hub {
+            supervisor: SupervisorGuard {
+                shared: Arc::clone(&shared),
+                handle: Some(handle),
+            },
             config,
             shards,
-            workers,
+            cores,
+            shared,
             homes: Vec::new(),
             submitted: telemetry.counter("hub.submitted"),
             swaps: telemetry.counter("hub.swaps"),
+            retries: telemetry.counter("hub.retries"),
+            deadline_exceeded: telemetry.counter("hub.deadline_exceeded"),
         }
     }
 
-    /// The sizing the hub was started with (after clamping).
+    /// The configuration the hub was started with (after clamping).
     pub fn config(&self) -> &HubConfig {
         &self.config
     }
@@ -229,42 +295,72 @@ impl Hub {
         self.shards[shard].depth.load(Ordering::Relaxed)
     }
 
+    /// Whether `home` is currently quarantined after a monitor panic.
+    ///
+    /// Returns `false` for unknown homes too; submission paths report
+    /// those as [`SubmitError::UnknownHome`].
+    pub fn is_quarantined(&self, home: HomeId) -> bool {
+        self.homes
+            .get(home.0)
+            .is_some_and(|e| e.health.is_quarantined())
+    }
+
     /// Registers a home: the model handle is cloned (an `Arc` bump) and a
-    /// dedicated [`OwnedMonitor`] is created on the home's shard, resuming
-    /// from the model's end-of-training state.
+    /// dedicated [`causaliot_core::OwnedMonitor`] is created on the
+    /// home's shard, resuming from the model's end-of-training state.
     ///
     /// Homes are assigned to shards round-robin by registration order.
     /// Registration may block briefly if the shard's queue is full.
     pub fn register(&mut self, name: &str, model: &FittedModel) -> HomeId {
         let id = self.homes.len();
         let shard = id % self.shards.len();
+        let health = Arc::new(HomeHealth::new());
+        self.homes.push(HomeEntry {
+            shard,
+            health: Arc::clone(&health),
+        });
+        lock(&self.shared.homes).push(SupervisedHome {
+            home: id,
+            shard,
+            health: Arc::clone(&health),
+        });
         let monitor = Box::new(model.clone().into_monitor());
-        self.homes.push(HomeEntry { shard });
         self.enqueue_blocking(
             shard,
             Job::Register {
                 home: id,
                 name: name.to_string(),
                 monitor,
+                health,
             },
         );
         HomeId(id)
     }
 
-    /// Submits one event for `home`, non-blocking.
+    /// Submits one event for `home` under the hub's
+    /// [`crate::SubmitPolicy`].
+    ///
+    /// Under the default fail-fast policy this is non-blocking; the block
+    /// and retry policies may sleep on a full queue (see
+    /// [`crate::SubmitPolicy`]).
     ///
     /// # Errors
     ///
-    /// [`SubmitError::QueueFull`] when the home's shard queue is at
-    /// capacity (explicit backpressure), [`SubmitError::UnknownHome`] for
-    /// an unregistered id, [`SubmitError::Shutdown`] when the worker is
-    /// gone.
+    /// [`SubmitError::Quarantined`] when the home is quarantined after a
+    /// monitor panic, [`SubmitError::QueueFull`] when the home's shard
+    /// queue is at capacity (fail-fast, or retry after its budget),
+    /// [`SubmitError::DeadlineExceeded`] when a block deadline lapses,
+    /// [`SubmitError::UnknownHome`] for an unregistered id,
+    /// [`SubmitError::Shutdown`] when the workers are gone.
     pub fn submit(&self, home: HomeId, event: BinaryEvent) -> Result<(), SubmitError> {
+        let entry = self.entry(home)?;
+        self.check_quarantine(home, entry)?;
         let submitted = Instant::now();
-        self.try_enqueue(
+        self.enqueue_with_policy(
             home,
-            |home| Job::Event {
-                home,
+            entry,
+            Job::Event {
+                home: home.0,
                 event,
                 submitted,
             },
@@ -272,9 +368,9 @@ impl Hub {
         )
     }
 
-    /// Submits a batch of events for `home` as a single queue job,
-    /// non-blocking. Batching amortises the queue handoff: it is the
-    /// preferred shape for high-throughput ingestion.
+    /// Submits a batch of events for `home` as a single queue job.
+    /// Batching amortises the queue handoff: it is the preferred shape
+    /// for high-throughput ingestion.
     ///
     /// The whole batch is accepted or rejected atomically; per-home
     /// ordering covers the events inside the batch too.
@@ -286,12 +382,15 @@ impl Hub {
         if events.is_empty() {
             return Ok(());
         }
+        let entry = self.entry(home)?;
+        self.check_quarantine(home, entry)?;
         let submitted = Instant::now();
         let count = events.len() as u64;
-        self.try_enqueue(
+        self.enqueue_with_policy(
             home,
-            move |home| Job::Batch {
-                home,
+            entry,
+            Job::Batch {
+                home: home.0,
                 events,
                 submitted,
             },
@@ -314,19 +413,50 @@ impl Hub {
     /// returned in [`HomeReport::retired`]; the swap increments the
     /// `hub.swaps` and per-shard `hub.shard.<i>.swaps` counters.
     ///
-    /// Unlike [`Hub::submit`] this blocks (briefly) instead of returning
-    /// [`SubmitError::QueueFull`] when the shard queue is at capacity —
-    /// a rollout should not be droppable by backpressure.
+    /// Swapping a *quarantined* home is allowed and clears the
+    /// quarantine — the poisoned monitor is replaced wholesale — but is
+    /// not counted as a restore; use [`Hub::restore`] when recovery is
+    /// the intent.
+    ///
+    /// Unlike [`Hub::submit`] this blocks (briefly) instead of failing
+    /// when the shard queue is at capacity — a rollout should not be
+    /// droppable by backpressure.
     ///
     /// # Errors
     ///
     /// [`SubmitError::UnknownHome`] for an unregistered id,
-    /// [`SubmitError::Shutdown`] when the worker is gone.
+    /// [`SubmitError::Shutdown`] when the workers are gone.
     pub fn swap_model(&self, home: HomeId, model: &FittedModel) -> Result<(), SubmitError> {
-        let entry = self
-            .homes
-            .get(home.0)
-            .ok_or(SubmitError::UnknownHome { home })?;
+        self.replace_monitor(home, model, false)?;
+        self.swaps.inc();
+        Ok(())
+    }
+
+    /// Restores a (typically quarantined) home with a fresh monitor from
+    /// `model`, clearing its quarantine at an event boundary.
+    ///
+    /// Same queue semantics as [`Hub::swap_model`]; the difference is
+    /// accounting: a restore increments the home's
+    /// [`HomeReport::restores`] and the `hub.restores` counter instead of
+    /// the swap counters. Restoring a healthy home is permitted (the
+    /// monitor is simply replaced). For hands-off recovery, configure a
+    /// [`crate::RestorePolicy`] and the hub's supervisor will do this
+    /// automatically from a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Hub::swap_model`].
+    pub fn restore(&self, home: HomeId, model: &FittedModel) -> Result<(), SubmitError> {
+        self.replace_monitor(home, model, true)
+    }
+
+    fn replace_monitor(
+        &self,
+        home: HomeId,
+        model: &FittedModel,
+        restore: bool,
+    ) -> Result<(), SubmitError> {
+        let entry = self.entry(home)?;
         let monitor = Box::new(model.clone().into_monitor());
         let shard = &self.shards[entry.shard];
         shard.depth.fetch_add(1, Ordering::Relaxed);
@@ -335,18 +465,20 @@ impl Hub {
             .send(Job::Swap {
                 home: home.0,
                 monitor,
+                restore,
             })
             .is_err()
         {
             shard.depth.fetch_sub(1, Ordering::Relaxed);
             return Err(SubmitError::Shutdown);
         }
-        self.swaps.inc();
         Ok(())
     }
 
     /// A barrier: blocks until every job queued so far on every shard has
-    /// been fully processed.
+    /// been fully processed. Survives worker deaths — a killed worker's
+    /// replacement processes the barrier job after draining everything
+    /// queued before it.
     pub fn drain(&self) {
         let mut acks = Vec::with_capacity(self.shards.len());
         for shard in 0..self.shards.len() {
@@ -355,34 +487,61 @@ impl Hub {
             acks.push(rx);
         }
         for ack in acks {
-            // A dead worker cannot ack; treat it as drained.
+            // A permanently-dead shard cannot ack; treat it as drained.
             let _ = ack.recv();
         }
     }
 
-    /// Drains every queue, stops the workers, and returns one
-    /// [`HomeReport`] per home in registration order.
+    /// Drains every queue, stops the supervisor and workers, and returns
+    /// one [`HomeReport`] per home in registration order.
+    ///
+    /// Homes that ended the session quarantined are reported too, with
+    /// [`HomeReport::quarantined`] set and their panic payloads in
+    /// [`HomeReport::panics`].
     pub fn shutdown(self) -> Vec<HomeReport> {
         let Hub {
-            shards, workers, ..
+            supervisor,
+            shards,
+            cores,
+            shared,
+            ..
         } = self;
-        // Dropping the senders disconnects the channels; each worker
-        // finishes its queue and returns its homes.
+        // 1. Stop the supervisor first: it holds sender clones that would
+        //    otherwise keep the channels connected, and it must not
+        //    respawn workers while we join them.
+        drop(supervisor);
+        // 2. Drop the shard senders; each live worker finishes its queue
+        //    and exits on disconnect.
         for shard in &shards {
             shard.depth_gauge.set(0);
         }
         drop(shards);
+        // 3. Join whatever workers are (still) alive.
+        let handles: Vec<_> = std::mem::take(&mut *lock(&shared.workers));
+        for handle in handles.into_iter().flatten() {
+            // A worker that died to an injected kill carries that panic;
+            // its queue leftovers are drained below.
+            let _ = handle.join();
+        }
+        // 4. Score anything a dead worker left behind, then collect.
         let mut reports = Vec::new();
-        for worker in workers {
-            let slots = worker.join().expect("hub worker panicked");
+        for core in cores {
+            core.drain_remaining();
+            let slots = std::mem::take(&mut *lock(&core.homes));
             for (id, slot) in slots {
+                let monitor =
+                    catch_unwind(AssertUnwindSafe(|| slot.monitor.report())).unwrap_or_default();
                 reports.push(HomeReport {
                     id: HomeId(id),
                     name: slot.name,
-                    monitor: slot.monitor.report(),
                     verdicts: slot.verdicts,
+                    monitor,
                     swaps: slot.swaps,
                     retired: slot.retired,
+                    panics: slot.health.panics(),
+                    restores: slot.health.restores(),
+                    quarantined: slot.poisoned,
+                    dropped_quarantined: slot.dropped_quarantined,
                 });
             }
         }
@@ -390,34 +549,90 @@ impl Hub {
         reports
     }
 
-    fn try_enqueue(
+    fn entry(&self, home: HomeId) -> Result<&HomeEntry, SubmitError> {
+        self.homes
+            .get(home.0)
+            .ok_or(SubmitError::UnknownHome { home })
+    }
+
+    fn check_quarantine(&self, home: HomeId, entry: &HomeEntry) -> Result<(), SubmitError> {
+        if entry.health.is_quarantined() {
+            return Err(SubmitError::Quarantined(QuarantinedError {
+                home,
+                panic: entry
+                    .health
+                    .last_panic()
+                    .unwrap_or_else(|| "unknown panic".to_string()),
+                restores: entry.health.restores(),
+            }));
+        }
+        Ok(())
+    }
+
+    fn enqueue_with_policy(
         &self,
         home: HomeId,
-        job: impl FnOnce(usize) -> Job,
+        entry: &HomeEntry,
+        mut job: Job,
         events: u64,
     ) -> Result<(), SubmitError> {
-        let entry = self
-            .homes
-            .get(home.0)
-            .ok_or(SubmitError::UnknownHome { home })?;
         let shard = &self.shards[entry.shard];
-        let depth = shard.depth.fetch_add(1, Ordering::Relaxed) + 1;
-        match shard.sender.try_send(job(home.0)) {
-            Ok(()) => {
-                shard.depth_gauge.set(depth as u64);
-                self.submitted.add(events);
-                Ok(())
-            }
-            Err(TrySendError::Full(_)) => {
-                shard.depth.fetch_sub(1, Ordering::Relaxed);
-                Err(SubmitError::QueueFull {
-                    home,
-                    capacity: self.config.queue_capacity,
-                })
-            }
-            Err(TrySendError::Disconnected(_)) => {
-                shard.depth.fetch_sub(1, Ordering::Relaxed);
-                Err(SubmitError::Shutdown)
+        let started = Instant::now();
+        let mut retries_left = match self.config.submit_policy {
+            SubmitPolicy::Retry { max_retries, .. } => max_retries,
+            _ => 0,
+        };
+        let mut backoff = match self.config.submit_policy {
+            SubmitPolicy::Retry {
+                initial_backoff, ..
+            } => initial_backoff,
+            _ => Duration::ZERO,
+        };
+        loop {
+            let depth = shard.depth.fetch_add(1, Ordering::Relaxed) + 1;
+            match shard.sender.try_send(job) {
+                Ok(()) => {
+                    shard.depth_gauge.set(depth as u64);
+                    self.submitted.add(events);
+                    return Ok(());
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    shard.depth.fetch_sub(1, Ordering::Relaxed);
+                    return Err(SubmitError::Shutdown);
+                }
+                Err(TrySendError::Full(returned)) => {
+                    shard.depth.fetch_sub(1, Ordering::Relaxed);
+                    job = returned;
+                    match self.config.submit_policy {
+                        SubmitPolicy::FailFast => {
+                            return Err(SubmitError::QueueFull {
+                                home,
+                                capacity: self.config.queue_capacity,
+                            });
+                        }
+                        SubmitPolicy::Block { deadline } => {
+                            if started.elapsed() >= deadline {
+                                self.deadline_exceeded.inc();
+                                return Err(SubmitError::DeadlineExceeded { home, deadline });
+                            }
+                            // std's mpsc has no timed send; poll in short
+                            // sleeps against the deadline.
+                            std::thread::sleep(BLOCK_POLL.min(deadline));
+                        }
+                        SubmitPolicy::Retry { max_backoff, .. } => {
+                            if retries_left == 0 {
+                                return Err(SubmitError::QueueFull {
+                                    home,
+                                    capacity: self.config.queue_capacity,
+                                });
+                            }
+                            retries_left -= 1;
+                            self.retries.inc();
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(max_backoff);
+                        }
+                    }
+                }
             }
         }
     }
@@ -431,85 +646,10 @@ impl Hub {
     }
 }
 
-fn worker_loop(receiver: Receiver<Job>, context: WorkerContext) -> BTreeMap<usize, HomeSlot> {
-    let mut homes: BTreeMap<usize, HomeSlot> = BTreeMap::new();
-    while let Ok(job) = receiver.recv() {
-        match job {
-            Job::Register {
-                home,
-                name,
-                monitor,
-            } => {
-                homes.insert(
-                    home,
-                    HomeSlot {
-                        name,
-                        monitor: *monitor,
-                        verdicts: Vec::new(),
-                        swaps: 0,
-                        retired: Vec::new(),
-                    },
-                );
-            }
-            Job::Event {
-                home,
-                event,
-                submitted,
-            } => {
-                if let Some(slot) = homes.get_mut(&home) {
-                    let verdict = slot.monitor.observe(event);
-                    context.events.inc();
-                    context
-                        .latency_us
-                        .observe(submitted.elapsed().as_secs_f64() * 1e6);
-                    if context.record_verdicts {
-                        slot.verdicts.push(verdict);
-                    }
-                }
-            }
-            Job::Batch {
-                home,
-                events,
-                submitted,
-            } => {
-                if let Some(slot) = homes.get_mut(&home) {
-                    context.events.add(events.len() as u64);
-                    if context.record_verdicts {
-                        slot.verdicts.reserve(events.len());
-                    }
-                    for event in events {
-                        let verdict = slot.monitor.observe(event);
-                        if context.record_verdicts {
-                            slot.verdicts.push(verdict);
-                        }
-                    }
-                    context
-                        .latency_us
-                        .observe(submitted.elapsed().as_secs_f64() * 1e6);
-                }
-            }
-            Job::Swap { home, monitor } => {
-                if let Some(slot) = homes.get_mut(&home) {
-                    let old = std::mem::replace(&mut slot.monitor, *monitor);
-                    slot.retired.push(old.report());
-                    slot.swaps += 1;
-                    context.swaps.inc();
-                }
-            }
-            Job::Barrier(ack) => {
-                let _ = ack.send(());
-            }
-        }
-        let depth = context.depth.fetch_sub(1, Ordering::Relaxed) - 1;
-        context.depth_gauge.set(depth as u64);
-    }
-    homes
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use causaliot::CausalIot;
+    use causaliot_core::CausalIot;
     use iot_model::{Attribute, DeviceRegistry, Room, Timestamp};
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -576,11 +716,14 @@ mod tests {
         )
         .unwrap();
         hub.drain();
+        assert!(!hub.is_quarantined(a));
         let reports = hub.shutdown();
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[0].name, "home-a");
         assert_eq!(reports[0].monitor.events_observed, 10);
         assert_eq!(reports[0].verdicts.len(), 10);
+        assert!(!reports[0].quarantined);
+        assert!(reports[0].panics.is_empty());
         assert_eq!(reports[1].monitor.events_observed, 1);
     }
 
@@ -672,5 +815,36 @@ mod tests {
         hub.submit_batch(home, events[20..].to_vec()).unwrap();
         let reports = hub.shutdown();
         assert_eq!(reports[0].verdicts, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_retries")]
+    fn hub_new_rejects_invalid_policy() {
+        let _ = Hub::new(HubConfig {
+            submit_policy: SubmitPolicy::Retry {
+                max_retries: 0,
+                initial_backoff: Duration::from_micros(1),
+                max_backoff: Duration::from_micros(2),
+            },
+            ..HubConfig::default()
+        });
+    }
+
+    #[test]
+    fn manual_restore_on_healthy_home_counts() {
+        let (reg, model) = fitted_model();
+        let lamp = reg.id_of("S_lamp").unwrap();
+        let mut hub = Hub::new(HubConfig {
+            workers: 1,
+            ..HubConfig::default()
+        });
+        let home = hub.register("home", &model);
+        hub.submit(home, BinaryEvent::new(Timestamp::from_secs(1), lamp, true))
+            .unwrap();
+        hub.restore(home, &model).unwrap();
+        let reports = hub.shutdown();
+        assert_eq!(reports[0].restores, 1);
+        assert_eq!(reports[0].swaps, 0);
+        assert_eq!(reports[0].retired.len(), 1);
     }
 }

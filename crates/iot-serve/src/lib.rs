@@ -1,25 +1,41 @@
-//! # iot-serve — a concurrent multi-home serving hub for CausalIoT
+//! # iot-serve — a concurrent, fault-tolerant multi-home serving hub
 //!
 //! The core crate detects anomalies for *one* home at a time; this crate
-//! serves *fleets* of homes concurrently. A [`Hub`] registers N homes —
-//! each a cheap [`causaliot::FittedModel`] handle plus a per-home
-//! [`causaliot::OwnedMonitor`] — and shards them across a fixed pool of
-//! worker threads connected by bounded MPSC queues (`std` only, matching
-//! the workspace's zero-dependency stance).
+//! serves *fleets* of homes concurrently and keeps serving them when
+//! things break. A [`Hub`] registers N homes — each a cheap
+//! [`causaliot_core::FittedModel`] handle plus a per-home
+//! [`causaliot_core::OwnedMonitor`] — and shards them across a
+//! supervised pool of worker threads connected by bounded MPSC queues
+//! (`std` only, matching the workspace's zero-dependency stance).
 //!
 //! Guarantees and semantics:
 //!
 //! * **Per-home ordering** — every home lives on exactly one shard, and a
 //!   shard's queue is FIFO, so a home's events are scored in submission
 //!   order. Verdict sequences are bit-identical to driving a sequential
-//!   [`causaliot::OwnedMonitor`] per home (enforced by integration test).
-//! * **Backpressure, not blocking** — [`Hub::submit`] never stalls the
-//!   caller: a full shard queue returns [`SubmitError::QueueFull`]
-//!   immediately so ingestion layers shed or retry deliberately.
+//!   [`causaliot_core::OwnedMonitor`] per home (enforced by integration
+//!   test).
+//! * **Panic isolation & quarantine** — a panic unwinding out of one
+//!   home's monitor is caught at the worker (`catch_unwind`); the home is
+//!   quarantined (payload captured, further submissions rejected with
+//!   [`SubmitError::Quarantined`], already-queued events dropped — a
+//!   monitor's state is logically unspecified after an unwind) while
+//!   every sibling home continues with bit-identical verdicts. Recovery
+//!   is [`Hub::restore`] or an automatic [`RestorePolicy`] reloading a
+//!   checkpoint, both landing at an event boundary.
+//! * **Shard supervision** — a supervisor thread detects dead worker
+//!   threads and respawns them onto the same queue and homes; the shard
+//!   resumes with nothing dropped or reordered, counted in
+//!   `hub.shard.<i>.restarts`.
+//! * **Explicit backpressure, configurable ergonomics** — no policy
+//!   silently drops events. The per-hub [`SubmitPolicy`] decides what a
+//!   full shard queue means: fail-fast [`SubmitError::QueueFull`] (the
+//!   default), block with a deadline, or retry with exponential backoff.
 //! * **Drain and shutdown** — [`Hub::drain`] is a barrier that waits for
 //!   every queued job to be scored; [`Hub::shutdown`] drains, joins the
-//!   workers, and returns one [`HomeReport`] per home (its
-//!   [`iot_telemetry::MonitorReport`] plus, optionally, every verdict).
+//!   supervisor and workers, and returns one [`HomeReport`] per home
+//!   (its [`iot_telemetry::MonitorReport`] plus verdicts, panics,
+//!   restores, and quarantine state).
 //! * **Zero-downtime hot-swap** — [`Hub::swap_model`] queues a monitor
 //!   replacement on the home's own shard, so it lands at an event
 //!   boundary: in-flight events drain under the old model, later events
@@ -27,14 +43,15 @@
 //!   retired monitor's session report survives in
 //!   [`HomeReport::retired`].
 //! * **Telemetry** — wired into the `iot-telemetry` registry: per-shard
-//!   queue-depth gauges (`hub.shard.<i>.queue_depth`), per-shard event
-//!   counters (`hub.shard.<i>.events`), per-shard swap counters
-//!   (`hub.shard.<i>.swaps`), total submission and swap counters
-//!   (`hub.submitted`, `hub.swaps`), and an end-to-end submit-to-verdict
-//!   latency histogram (`hub.e2e_latency_us`).
+//!   queue-depth gauges (`hub.shard.<i>.queue_depth`), per-shard event /
+//!   swap / restart counters (`hub.shard.<i>.events`, `.swaps`,
+//!   `.restarts`), hub-wide counters (`hub.submitted`, `hub.swaps`,
+//!   `hub.quarantines`, `hub.restores`, `hub.quarantine_dropped`,
+//!   `hub.retries`, `hub.deadline_exceeded`), and an end-to-end
+//!   submit-to-verdict latency histogram (`hub.e2e_latency_us`).
 //!
 //! ```
-//! use causaliot::CausalIot;
+//! use causaliot_core::CausalIot;
 //! use iot_model::{BinaryEvent, DeviceId, DeviceRegistry, Attribute, Room, Timestamp};
 //! use iot_serve::{Hub, HubConfig};
 //!
@@ -50,7 +67,7 @@
 //! }
 //! let model = CausalIot::builder().tau(2).build().fit_binary(&reg, &events)?;
 //!
-//! let mut hub = Hub::new(HubConfig { workers: 2, ..HubConfig::default() });
+//! let mut hub = Hub::new(HubConfig::builder().workers(2).try_build()?);
 //! let home_a = hub.register("home-a", &model);
 //! let home_b = hub.register("home-b", &model);
 //! hub.submit(home_a, BinaryEvent::new(Timestamp::from_secs(100_000), lamp, true))?;
@@ -65,8 +82,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod config;
 mod error;
+pub mod fault;
 mod hub;
+mod supervisor;
+mod util;
 
-pub use error::SubmitError;
-pub use hub::{HomeId, HomeReport, Hub, HubConfig};
+pub use config::{HubConfig, HubConfigBuilder, RestorePolicy, SubmitPolicy};
+pub use error::{QuarantinedError, SubmitError};
+pub use fault::FaultHook;
+pub use hub::{HomeId, HomeReport, Hub};

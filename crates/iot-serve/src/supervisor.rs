@@ -1,0 +1,421 @@
+//! Worker machinery and shard supervision.
+//!
+//! Every shard's state lives in a shared [`ShardCore`] rather than inside
+//! the worker thread: the bounded receiver, the home slots, and the
+//! job counter are all reachable from outside the worker. That is what
+//! makes supervision possible — when a worker thread dies (a fault hook
+//! kill, or a defect in the hub itself), the supervisor joins the corpse
+//! and spawns a replacement that picks up the *same* receiver and the
+//! *same* homes, so the shard's queue resumes exactly where it stopped:
+//! nothing dropped, nothing reordered. Worker deaths are only ever
+//! detected at a job boundary (the kill check runs before `recv`), so no
+//! job is lost in flight.
+//!
+//! The supervisor thread also drives the hub's optional
+//! [`crate::RestorePolicy`]: it watches for quarantined homes and enqueues
+//! checkpoint-restore swaps with backoff.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use causaliot_core::{FittedModel, OwnedMonitor, Verdict};
+use iot_model::BinaryEvent;
+use iot_telemetry::{Counter, Gauge, Histogram, MonitorReport, TelemetryHandle};
+
+use crate::config::RestorePolicy;
+use crate::fault::{panic_message, FaultHook, HomeHealth};
+use crate::hub::HomeId;
+use crate::util::lock;
+
+/// How often the supervisor checks worker liveness and quarantines.
+const SUPERVISOR_TICK: Duration = Duration::from_millis(1);
+
+pub(crate) enum Job {
+    Register {
+        home: usize,
+        name: String,
+        monitor: Box<OwnedMonitor>,
+        health: Arc<HomeHealth>,
+    },
+    Event {
+        home: usize,
+        event: BinaryEvent,
+        submitted: Instant,
+    },
+    Batch {
+        home: usize,
+        events: Vec<BinaryEvent>,
+        submitted: Instant,
+    },
+    Swap {
+        home: usize,
+        monitor: Box<OwnedMonitor>,
+        restore: bool,
+    },
+    Barrier(SyncSender<()>),
+}
+
+pub(crate) struct HomeSlot {
+    pub(crate) name: String,
+    pub(crate) monitor: OwnedMonitor,
+    pub(crate) verdicts: Vec<Verdict>,
+    pub(crate) swaps: u64,
+    pub(crate) retired: Vec<MonitorReport>,
+    pub(crate) health: Arc<HomeHealth>,
+    /// Worker-local quarantine flag guarding the *logically poisoned*
+    /// monitor. Distinct from the shared gate in [`HomeHealth`]: events
+    /// already queued when the panic struck pass the submit-side gate but
+    /// must still not reach the poisoned monitor — this flag drops them.
+    pub(crate) poisoned: bool,
+    /// Events offered to this home's monitor so far (the fault hook's
+    /// per-home sequence number).
+    pub(crate) seq: u64,
+    /// Events dropped because they arrived for a poisoned monitor.
+    pub(crate) dropped_quarantined: u64,
+}
+
+pub(crate) struct WorkerContext {
+    pub(crate) shard: usize,
+    pub(crate) depth: Arc<AtomicUsize>,
+    pub(crate) depth_gauge: Gauge,
+    pub(crate) events: Counter,
+    pub(crate) swaps: Counter,
+    pub(crate) quarantines: Counter,
+    pub(crate) restores: Counter,
+    pub(crate) dropped_quarantined: Counter,
+    pub(crate) latency_us: Histogram,
+    pub(crate) record_verdicts: bool,
+}
+
+/// One shard's complete state, shared between its (current) worker
+/// thread, the supervisor, and the hub's shutdown path.
+pub(crate) struct ShardCore {
+    /// The shard's bounded job queue. A `Mutex` so a respawned worker can
+    /// take over consumption; exactly one worker holds it at a time.
+    pub(crate) receiver: Mutex<Receiver<Job>>,
+    pub(crate) homes: Mutex<BTreeMap<usize, HomeSlot>>,
+    /// Jobs fully processed across all worker incarnations.
+    pub(crate) jobs_done: AtomicU64,
+    pub(crate) context: WorkerContext,
+    pub(crate) hook: Option<Arc<dyn FaultHook>>,
+}
+
+impl ShardCore {
+    /// Processes one job to completion and accounts for it.
+    fn process(&self, job: Job) {
+        match job {
+            Job::Register {
+                home,
+                name,
+                monitor,
+                health,
+            } => {
+                lock(&self.homes).insert(
+                    home,
+                    HomeSlot {
+                        name,
+                        monitor: *monitor,
+                        verdicts: Vec::new(),
+                        swaps: 0,
+                        retired: Vec::new(),
+                        health,
+                        poisoned: false,
+                        seq: 0,
+                        dropped_quarantined: 0,
+                    },
+                );
+            }
+            Job::Event {
+                home,
+                event,
+                submitted,
+            } => {
+                let mut homes = lock(&self.homes);
+                if let Some(slot) = homes.get_mut(&home) {
+                    if self.observe_guarded(home, slot, event) {
+                        self.context
+                            .latency_us
+                            .observe(submitted.elapsed().as_secs_f64() * 1e6);
+                    }
+                }
+            }
+            Job::Batch {
+                home,
+                events,
+                submitted,
+            } => {
+                let mut homes = lock(&self.homes);
+                if let Some(slot) = homes.get_mut(&home) {
+                    if self.context.record_verdicts {
+                        slot.verdicts.reserve(events.len());
+                    }
+                    let mut scored = false;
+                    for event in events {
+                        scored |= self.observe_guarded(home, slot, event);
+                    }
+                    if scored {
+                        self.context
+                            .latency_us
+                            .observe(submitted.elapsed().as_secs_f64() * 1e6);
+                    }
+                }
+            }
+            Job::Swap {
+                home,
+                monitor,
+                restore,
+            } => {
+                let mut homes = lock(&self.homes);
+                if let Some(slot) = homes.get_mut(&home) {
+                    let old = std::mem::replace(&mut slot.monitor, *monitor);
+                    // A poisoned monitor's report is plain aggregated data,
+                    // but its state is unspecified after the unwind: guard
+                    // the call and settle for defaults if it panics too.
+                    let report =
+                        catch_unwind(AssertUnwindSafe(|| old.report())).unwrap_or_default();
+                    slot.retired.push(report);
+                    if restore {
+                        slot.poisoned = false;
+                        slot.health.note_restore();
+                        self.context.restores.inc();
+                    } else {
+                        if slot.poisoned {
+                            // A plain swap also replaces a poisoned
+                            // monitor: recover, but don't count a restore.
+                            slot.poisoned = false;
+                            slot.health.clear_quarantine();
+                        }
+                        slot.swaps += 1;
+                        self.context.swaps.inc();
+                    }
+                }
+            }
+            Job::Barrier(ack) => {
+                let _ = ack.send(());
+            }
+        }
+        self.jobs_done.fetch_add(1, Ordering::Relaxed);
+        let depth = self.context.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.context.depth_gauge.set(depth as u64);
+    }
+
+    /// Offers one event to `slot`'s monitor behind `catch_unwind`.
+    ///
+    /// Returns `true` when the event was scored. On a panic the home is
+    /// quarantined: payload captured, admission gate closed, monitor
+    /// sealed. The caller's loop (and every sibling home) continues.
+    fn observe_guarded(&self, home: usize, slot: &mut HomeSlot, event: BinaryEvent) -> bool {
+        if slot.poisoned {
+            slot.dropped_quarantined += 1;
+            self.context.dropped_quarantined.inc();
+            return false;
+        }
+        let seq = slot.seq;
+        slot.seq += 1;
+        let hook = self.hook.as_deref();
+        let monitor = &mut slot.monitor;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(hook) = hook {
+                hook.before_observe(HomeId(home), seq);
+            }
+            monitor.observe(event)
+        }));
+        match outcome {
+            Ok(verdict) => {
+                self.context.events.inc();
+                if self.context.record_verdicts {
+                    slot.verdicts.push(verdict);
+                }
+                true
+            }
+            Err(payload) => {
+                slot.poisoned = true;
+                slot.health.record_panic(panic_message(payload.as_ref()));
+                self.context.quarantines.inc();
+                false
+            }
+        }
+    }
+
+    /// Processes whatever is still queued, inline on the calling thread.
+    ///
+    /// Shutdown fallback for a shard whose worker died after the
+    /// supervisor stopped: its leftover jobs are scored here so shutdown
+    /// never drops events.
+    pub(crate) fn drain_remaining(&self) {
+        loop {
+            let job = match lock(&self.receiver).try_recv() {
+                Ok(job) => job,
+                Err(_) => return,
+            };
+            self.process(job);
+        }
+    }
+}
+
+pub(crate) fn spawn_worker(core: Arc<ShardCore>) -> JoinHandle<()> {
+    let shard = core.context.shard;
+    std::thread::Builder::new()
+        .name(format!("iot-serve-worker-{shard}"))
+        .spawn(move || worker_loop(&core))
+        .expect("spawn hub worker")
+}
+
+fn worker_loop(core: &ShardCore) {
+    loop {
+        // Kill check at the job boundary, *before* recv: a worker only
+        // ever dies with no job in flight, so its successor loses nothing.
+        if let Some(hook) = &core.hook {
+            if hook.kill_worker(core.context.shard, core.jobs_done.load(Ordering::Relaxed)) {
+                panic!("injected worker death (shard {})", core.context.shard);
+            }
+        }
+        let job = match lock(&core.receiver).recv() {
+            Ok(job) => job,
+            // All senders dropped: the hub is shutting down.
+            Err(_) => return,
+        };
+        core.process(job);
+    }
+}
+
+/// A home as the supervisor sees it: which shard it lives on and its
+/// shared health record.
+#[derive(Clone)]
+pub(crate) struct SupervisedHome {
+    pub(crate) home: usize,
+    pub(crate) shard: usize,
+    pub(crate) health: Arc<HomeHealth>,
+}
+
+/// State shared between the hub and its supervisor thread.
+pub(crate) struct SupervisorShared {
+    pub(crate) stop: AtomicBool,
+    /// Current worker handle per shard (`None` transiently during a
+    /// respawn). Shutdown takes these to join.
+    pub(crate) workers: Mutex<Vec<Option<JoinHandle<()>>>>,
+    /// Every registered home (the supervisor's restore work-list).
+    pub(crate) homes: Mutex<Vec<SupervisedHome>>,
+}
+
+#[derive(Default)]
+struct RestoreTracker {
+    attempts: u32,
+    last: Option<Instant>,
+}
+
+/// The supervisor thread body: respawns dead workers and drives
+/// checkpoint auto-restore.
+pub(crate) struct Supervisor {
+    pub(crate) shared: Arc<SupervisorShared>,
+    pub(crate) cores: Vec<Arc<ShardCore>>,
+    pub(crate) senders: Vec<SyncSender<Job>>,
+    pub(crate) restarts: Vec<Counter>,
+    pub(crate) restore_policy: Option<RestorePolicy>,
+    pub(crate) telemetry: TelemetryHandle,
+}
+
+impl Supervisor {
+    pub(crate) fn run(self) {
+        let mut trackers: BTreeMap<usize, RestoreTracker> = BTreeMap::new();
+        loop {
+            if self.shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            self.respawn_dead_workers();
+            self.auto_restore(&mut trackers);
+            std::thread::sleep(SUPERVISOR_TICK);
+        }
+    }
+
+    fn respawn_dead_workers(&self) {
+        let mut workers = lock(&self.shared.workers);
+        for (shard, slot) in workers.iter_mut().enumerate() {
+            let finished = slot.as_ref().is_some_and(|h| h.is_finished());
+            if finished {
+                if let Some(handle) = slot.take() {
+                    // The corpse carries the kill panic's payload; the
+                    // respawn itself is the recovery.
+                    let _ = handle.join();
+                }
+                self.restarts[shard].inc();
+                *slot = Some(spawn_worker(Arc::clone(&self.cores[shard])));
+            }
+        }
+    }
+
+    fn auto_restore(&self, trackers: &mut BTreeMap<usize, RestoreTracker>) {
+        let Some(policy) = &self.restore_policy else {
+            return;
+        };
+        let homes: Vec<SupervisedHome> = lock(&self.shared.homes).clone();
+        for entry in homes {
+            if !entry.health.is_quarantined() {
+                continue;
+            }
+            let tracker = trackers.entry(entry.home).or_default();
+            if tracker.attempts >= policy.max_restores {
+                continue;
+            }
+            if let Some(last) = tracker.last {
+                if last.elapsed() < policy.backoff {
+                    continue;
+                }
+            }
+            tracker.last = Some(Instant::now());
+            // Re-read the checkpoint on every attempt so an operator can
+            // replace the file between attempts.
+            let Ok(text) = std::fs::read_to_string(&policy.from_checkpoint) else {
+                tracker.attempts += 1;
+                continue;
+            };
+            let Ok(model) = FittedModel::load_with_telemetry(&text, &self.telemetry) else {
+                tracker.attempts += 1;
+                continue;
+            };
+            let monitor = Box::new(model.into_monitor());
+            let core = &self.cores[entry.shard];
+            core.context.depth.fetch_add(1, Ordering::Relaxed);
+            // Never a blocking send here: if this shard's worker just died
+            // with a full queue, blocking would stall respawns for every
+            // shard. A full queue simply retries next tick, uncounted.
+            match self.senders[entry.shard].try_send(Job::Swap {
+                home: entry.home,
+                monitor,
+                restore: true,
+            }) {
+                Ok(()) => {
+                    tracker.attempts += 1;
+                }
+                Err(_) => {
+                    core.context.depth.fetch_sub(1, Ordering::Relaxed);
+                    tracker.last = None;
+                }
+            }
+        }
+    }
+}
+
+/// Owns the supervisor thread; dropping it stops and joins the thread.
+///
+/// Declared as the *first* field of [`crate::Hub`] so that a plain
+/// `drop(hub)` stops the supervisor (whose sender clones would otherwise
+/// keep every shard channel connected) before the shard senders drop.
+pub(crate) struct SupervisorGuard {
+    pub(crate) shared: Arc<SupervisorShared>,
+    pub(crate) handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for SupervisorGuard {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}

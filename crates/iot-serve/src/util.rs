@@ -1,0 +1,13 @@
+//! Small shared helpers.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// The hub deliberately survives panicking threads (that is its job), so
+/// a lock held across a panic must not wedge every later accessor. All
+/// hub state guarded by mutexes stays structurally valid across unwinds
+/// (logically-poisoned *monitors* are handled separately, by quarantine).
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}

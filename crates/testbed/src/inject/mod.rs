@@ -4,7 +4,10 @@
 //!   (sensor fault, burglar intrusion, remote control, malicious rule),
 //! * [`collective`] — the three collective-anomaly cases of Table V
 //!   (burglar wandering, illegal actuator operations, chained automation
-//!   rules).
+//!   rules),
+//! * [`faults`] — serving-layer chaos injection (scheduled monitor
+//!   panics and worker-thread kills) for the `iot-serve` hub's fault
+//!   seam.
 //!
 //! Injectors operate on the *preprocessed* (binary) testing event stream,
 //! exactly where the paper "inject\[s\] the corresponding anomalous system
@@ -14,9 +17,11 @@
 
 pub mod collective;
 pub mod contextual;
+pub mod faults;
 
 pub use collective::{inject_collective, CollectiveCase, CollectiveInjection, InjectedChain};
 pub use contextual::{inject_contextual, ContextualCase, ContextualInjection};
+pub use faults::{FaultSchedule, INJECTED_PANIC};
 
 use rand::rngs::StdRng;
 use rand::Rng;

@@ -5,7 +5,7 @@
 //! cargo run -p causaliot-examples --example burglar_forensics
 //! ```
 
-use causaliot::pipeline::CausalIot;
+use causaliot::prelude::*;
 use causaliot_examples::{banner, pct};
 use testbed::inject::{inject_collective, CollectiveCase};
 use testbed::{contextact_profile, simulate, SimConfig};

@@ -20,11 +20,8 @@
 //! cargo run -p causaliot-examples --example checkpoint_and_swap
 //! ```
 
-use causaliot::{CausalIot, FittedModel};
+use causaliot::prelude::*;
 use causaliot_examples::banner;
-use iot_model::{Attribute, BinaryEvent, DeviceRegistry, Room, Timestamp};
-use iot_serve::{Hub, HubConfig, SubmitError};
-use iot_telemetry::TelemetryHandle;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 const HOMES: usize = 2;
@@ -69,7 +66,7 @@ fn automation(
     events
 }
 
-fn submit_all(hub: &Hub, home: iot_serve::HomeId, events: Vec<BinaryEvent>) {
+fn submit_all(hub: &Hub, home: HomeId, events: Vec<BinaryEvent>) {
     for chunk in events.chunks(128) {
         loop {
             match hub.submit_batch(home, chunk.to_vec()) {
@@ -105,14 +102,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     banner("Serve two homes while the fleet runs on v1");
     let telemetry = TelemetryHandle::with_summary_sink();
-    let mut hub = Hub::with_telemetry(
-        HubConfig {
-            workers: 2,
-            queue_capacity: 256,
-            record_verdicts: false,
-        },
-        &telemetry,
-    );
+    let config = HubConfig::builder()
+        .workers(2)
+        .queue_capacity(256)
+        .record_verdicts(false)
+        .try_build()?;
+    let mut hub = Hub::with_telemetry(config, &telemetry);
     let homes: Vec<_> = (0..HOMES)
         .map(|h| hub.register(&format!("home-{h}"), &old_model))
         .collect();

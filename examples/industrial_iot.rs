@@ -6,9 +6,8 @@
 //! cargo run -p causaliot-examples --example industrial_iot
 //! ```
 
-use causaliot::pipeline::CausalIot;
+use causaliot::prelude::*;
 use causaliot_examples::banner;
-use iot_model::{Attribute, BinaryEvent, DeviceRegistry, Room, Timestamp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -7,10 +7,8 @@
 //! cargo run -p causaliot-examples --example live_monitoring
 //! ```
 
-use causaliot::pipeline::CausalIot;
+use causaliot::prelude::*;
 use causaliot_examples::banner;
-use iot_model::DeviceEvent;
-use iot_telemetry::TelemetryHandle;
 use testbed::inject::{inject_contextual, ContextualCase};
 use testbed::{contextact_profile, simulate, SimConfig};
 

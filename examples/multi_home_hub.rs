@@ -12,11 +12,10 @@
 //! cargo run -p causaliot-examples --example multi_home_hub
 //! ```
 
-use causaliot::CausalIot;
+use std::time::Duration;
+
+use causaliot::prelude::*;
 use causaliot_examples::banner;
-use iot_model::{Attribute, BinaryEvent, DeviceRegistry, Room, Timestamp};
-use iot_serve::{Hub, HubConfig, SubmitError};
-use iot_telemetry::TelemetryHandle;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 const HOMES: usize = 4;
@@ -92,14 +91,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     banner("Register four homes on a 2-worker hub");
     let telemetry = TelemetryHandle::with_summary_sink();
-    let mut hub = Hub::with_telemetry(
-        HubConfig {
-            workers: 2,
-            queue_capacity: 256,
-            record_verdicts: true,
-        },
-        &telemetry,
-    );
+    let config = HubConfig::builder()
+        .workers(2)
+        .queue_capacity(256)
+        // Bounded queues stay explicit about backpressure, but the hub
+        // retries with exponential backoff for us instead of every
+        // caller hand-rolling a spin loop around QueueFull.
+        .submit_policy(SubmitPolicy::Retry {
+            max_retries: 1_000,
+            initial_backoff: Duration::from_micros(20),
+            max_backoff: Duration::from_millis(1),
+        })
+        .try_build()?;
+    let mut hub = Hub::with_telemetry(config, &telemetry);
     let homes: Vec<_> = (0..HOMES)
         .map(|h| hub.register(&format!("home-{h}"), &model))
         .collect();
@@ -118,20 +122,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if h == ATTACKED_HOME {
             inject_ghost_flips(&reg, &mut live, 99);
         }
-        // Bounded queues: a full shard reports QueueFull instead of
-        // blocking; a real ingestion layer would shed or buffer here.
+        // The Retry submit policy absorbs transient full-queue episodes;
+        // only an exhausted retry budget surfaces as an error.
         for chunk in live.chunks(256) {
-            let mut payload = chunk.to_vec();
-            loop {
-                match hub.submit_batch(home, payload) {
-                    Ok(()) => break,
-                    Err(SubmitError::QueueFull { .. }) => {
-                        payload = chunk.to_vec();
-                        std::thread::yield_now();
-                    }
-                    Err(e) => return Err(e.into()),
-                }
-            }
+            hub.submit_batch(home, chunk.to_vec())?;
         }
     }
     hub.drain();

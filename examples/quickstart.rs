@@ -5,9 +5,8 @@
 //! cargo run -p causaliot-examples --example quickstart
 //! ```
 
-use causaliot::pipeline::CausalIot;
+use causaliot::prelude::*;
 use causaliot_examples::banner;
-use iot_model::{BinaryEvent, Timestamp};
 use testbed::{contextact_profile, simulate, SimConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -6,9 +6,9 @@
 //! cargo run -p causaliot-examples --example water_quality
 //! ```
 
-use causaliot::pipeline::CausalIot;
+use causaliot::prelude::*;
 use causaliot_examples::banner;
-use iot_model::{Attribute, BinaryEvent, DeviceRegistry, Room, SystemState, Timestamp};
+use iot_model::SystemState;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

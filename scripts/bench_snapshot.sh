@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Appends one performance-trajectory entry to results/BENCH_<date>.json.
 #
-# Runs the Section V-D complexity experiment in release mode; the binary
-# writes results/telemetry/exp_complexity.json (one compact JSON object),
-# which this script appends — one line per invocation — to a dated JSONL
-# file, so repeated runs on one day accumulate into a comparable series.
+# Runs the Section V-D complexity experiment and the serving-hub
+# throughput experiment in release mode; each binary writes one compact
+# JSON object (results/telemetry/exp_complexity.json and
+# results/telemetry/exp_hub_throughput.json — the latter includes the
+# SubmitPolicy::Retry backpressure run), which this script appends — one
+# line per report per invocation — to a dated JSONL file, so repeated
+# runs on one day accumulate into a comparable series.
 #
 # Usage: scripts/bench_snapshot.sh
 
@@ -12,13 +15,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo run --release --offline -p causaliot-bench --bin exp_complexity
-
-report="results/telemetry/exp_complexity.json"
-if [[ ! -s "$report" ]]; then
-    echo "error: $report missing or empty" >&2
-    exit 1
-fi
+cargo run --release --offline -p causaliot-bench --bin exp_hub_throughput
 
 out="results/BENCH_$(date +%F).json"
-cat "$report" >> "$out"
+for report in results/telemetry/exp_complexity.json \
+              results/telemetry/exp_hub_throughput.json; do
+    if [[ ! -s "$report" ]]; then
+        echo "error: $report missing or empty" >&2
+        exit 1
+    fi
+    cat "$report" >> "$out"
+done
 echo "appended $(wc -l < "$out" | tr -d ' ') snapshot(s) in $out"

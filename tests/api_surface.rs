@@ -1,0 +1,111 @@
+//! Static assertions pinning the public API contract: thread-safety
+//! bounds where promised, `std::error::Error` on every public error
+//! type, cheap (`Arc`-bump) model handles, and a prelude that resolves
+//! every workhorse type.
+
+use std::error::Error;
+
+fn assert_send<T: Send>() {}
+fn assert_send_sync_static<T: Send + Sync + 'static>() {}
+fn assert_error<T: Error + Send + Sync + 'static>() {}
+
+#[test]
+fn promised_thread_bounds_hold() {
+    // The hub is moved across threads (e.g. into a serving task)...
+    assert_send::<iot_serve::Hub>();
+    // ...model handles are shared across shards and producers...
+    assert_send_sync_static::<causaliot::FittedModel>();
+    // ...and owned monitors live on worker threads.
+    assert_send::<causaliot::OwnedMonitor>();
+    fn assert_static<T: 'static>() {}
+    assert_static::<causaliot::OwnedMonitor>();
+    // Reports cross the shutdown boundary.
+    assert_send_sync_static::<iot_serve::HomeReport>();
+    assert_send_sync_static::<iot_telemetry::MonitorReport>();
+    assert_send_sync_static::<iot_telemetry::TelemetryHandle>();
+}
+
+#[test]
+fn every_public_error_type_is_a_std_error() {
+    assert_error::<causaliot::Error>();
+    assert_error::<causaliot::CausalIotError>();
+    assert_error::<causaliot::ConfigError>();
+    assert_error::<causaliot::DropReason>();
+    assert_error::<iot_serve::SubmitError>();
+    assert_error::<iot_serve::QuarantinedError>();
+    assert_error::<iot_model::ModelError>();
+}
+
+#[test]
+fn fault_hook_is_object_safe() {
+    fn _takes_dyn(_: &dyn iot_serve::FaultHook) {}
+    fn _takes_arc(_: std::sync::Arc<dyn iot_serve::FaultHook>) {}
+}
+
+#[test]
+fn fitted_model_handle_stays_one_pointer() {
+    // FittedModel is documented as a cheap Arc-backed handle whose clone
+    // is a refcount bump; a size regression here means someone inlined
+    // state into the handle.
+    assert_eq!(
+        std::mem::size_of::<causaliot::FittedModel>(),
+        std::mem::size_of::<usize>(),
+        "FittedModel must stay a single Arc pointer"
+    );
+}
+
+#[test]
+fn prelude_resolves_the_workhorse_types() {
+    // Compile-time only: every name the prelude promises must resolve
+    // through `causaliot::prelude::*`.
+    use causaliot::prelude::*;
+
+    #[allow(dead_code, clippy::too_many_arguments)]
+    fn _signatures(
+        _: &CausalIot,
+        _: &FittedModel,
+        _: &Monitor<'_>,
+        _: &OwnedMonitor,
+        _: &Verdict,
+        _: &Hub,
+        _: &HubConfig,
+        _: &HubConfigBuilder,
+        _: HomeId,
+        _: &HomeReport,
+        _: &SubmitPolicy,
+        _: &RestorePolicy,
+        _: &dyn FaultHook,
+        _: &Error,
+        _: &SubmitError,
+        _: &QuarantinedError,
+        _: &CausalIotError,
+        _: &ConfigError,
+        _: DropReason,
+        _: &DeviceRegistry,
+        _: BinaryEvent,
+        _: DeviceId,
+        _: Timestamp,
+        _: &TelemetryHandle,
+        _: &MonitorReport,
+    ) {
+    }
+    let _ = TauChoice::default();
+    let _ = Attribute::Switch;
+    let _ = Room::new("room");
+    let _ = DeviceEvent::new(
+        Timestamp::from_secs(0),
+        DeviceId::from_index(0),
+        iot_model::StateValue::Binary(true),
+    );
+}
+
+#[test]
+fn unified_error_round_trips_every_layer() {
+    let submit: causaliot::Error = iot_serve::SubmitError::Shutdown.into();
+    assert!(submit.source().is_some());
+    let config: causaliot::Error =
+        causaliot::ConfigError::new("workers", "must be at least 1").into();
+    assert!(config.to_string().contains("workers"));
+    let dropped: causaliot::Error = causaliot::DropReason::Duplicate.into();
+    assert!(dropped.source().is_some());
+}

@@ -94,6 +94,7 @@ fn four_homes_on_two_workers_match_sequential_monitors() {
             workers: 2,
             queue_capacity: 64,
             record_verdicts: true,
+            ..HubConfig::default()
         },
         &telemetry,
     );
@@ -155,6 +156,7 @@ fn multi_threaded_producers_preserve_per_home_order() {
         workers: 2,
         queue_capacity: 128,
         record_verdicts: true,
+        ..HubConfig::default()
     });
     let homes: Vec<_> = (0..4)
         .map(|h| hub.register(&format!("home-{h}"), &model))
@@ -193,6 +195,7 @@ fn queue_full_backpressure_is_reported_and_lossless() {
         workers: 1,
         queue_capacity: 1,
         record_verdicts: false,
+        ..HubConfig::default()
     });
     let home = hub.register("tiny-queue", &model);
     let total = 5_000u64;
@@ -260,6 +263,7 @@ fn hot_swap_under_concurrent_producers_is_exact_and_lossless() {
             workers: 2,
             queue_capacity: 32,
             record_verdicts: true,
+            ..HubConfig::default()
         },
         &telemetry,
     );
@@ -326,6 +330,7 @@ fn shutdown_after_submit_scores_everything() {
         workers: 4,
         queue_capacity: 2_048,
         record_verdicts: false,
+        ..HubConfig::default()
     });
     let home = hub.register("drain-on-shutdown", &model);
     hub.submit_batch(home, stream.clone()).unwrap();

@@ -1,0 +1,461 @@
+//! Chaos suite for the serving hub's fault tolerance: injected monitor
+//! panics must quarantine exactly one home (siblings bit-identical to a
+//! no-fault run), quarantined homes must round-trip through manual and
+//! checkpoint auto-restore, supervised shards must survive worker deaths
+//! with zero events dropped or reordered, and the submit policies must
+//! surface retries and deadline overruns.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use causaliot::{CausalIot, FittedModel, Verdict};
+use iot_model::{Attribute, BinaryEvent, DeviceRegistry, Room, Timestamp};
+use iot_serve::{FaultHook, Hub, HubConfig, RestorePolicy, SubmitError, SubmitPolicy};
+use iot_telemetry::TelemetryHandle;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use testbed::inject::{FaultSchedule, INJECTED_PANIC};
+
+/// Silences the panic-hook output of *injected* faults (scheduled monitor
+/// panics and worker kills) while delegating everything else — real
+/// assertion failures keep their backtraces.
+fn install_quiet_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            let injected = message
+                .is_some_and(|m| m.contains(INJECTED_PANIC) || m.contains("injected worker death"));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn fitted_model(seed: u64) -> (DeviceRegistry, FittedModel) {
+    let mut reg = DeviceRegistry::new();
+    let pe = reg
+        .add("PE_room", Attribute::PresenceSensor, Room::new("room"))
+        .unwrap();
+    let lamp = reg
+        .add("S_lamp", Attribute::Switch, Room::new("room"))
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    for i in 0..400u64 {
+        let t = i * 60;
+        let on = rng.gen_bool(0.5);
+        events.push(BinaryEvent::new(Timestamp::from_secs(t), pe, on));
+        if rng.gen_bool(0.9) {
+            events.push(BinaryEvent::new(Timestamp::from_secs(t + 15), lamp, on));
+        }
+    }
+    let model = CausalIot::builder()
+        .tau(2)
+        .build()
+        .fit_binary(&reg, &events)
+        .unwrap();
+    (reg, model)
+}
+
+fn home_stream(reg: &DeviceRegistry, seed: u64, len: usize) -> Vec<BinaryEvent> {
+    let pe = reg.id_of("PE_room").unwrap();
+    let lamp = reg.id_of("S_lamp").unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len as u64)
+        .map(|i| {
+            let t = 1_000_000 + seed * 10_000_000 + i * 30;
+            match rng.gen_range(0..3) {
+                0 => BinaryEvent::new(Timestamp::from_secs(t), pe, rng.gen_bool(0.5)),
+                1 => BinaryEvent::new(Timestamp::from_secs(t), lamp, rng.gen_bool(0.5)),
+                _ => BinaryEvent::new(Timestamp::from_secs(t), lamp, true),
+            }
+        })
+        .collect()
+}
+
+fn sequential_verdicts(model: &FittedModel, stream: &[BinaryEvent]) -> Vec<Verdict> {
+    let mut monitor = model.clone().into_monitor();
+    stream.iter().map(|e| monitor.observe(*e)).collect()
+}
+
+#[test]
+fn panicking_home_never_affects_sibling_verdicts() {
+    install_quiet_panic_hook();
+    let (reg, model) = fitted_model(7);
+    let len = 400usize;
+    let panic_seq = 100u64;
+    let streams: Vec<Vec<BinaryEvent>> = (0..4).map(|h| home_stream(&reg, h, len)).collect();
+    let expected: Vec<Vec<Verdict>> = streams
+        .iter()
+        .map(|s| sequential_verdicts(&model, s))
+        .collect();
+
+    // Home 0 panics on its 101st event; homes 1..4 (including home 2,
+    // which shares shard 0 with the victim) must be untouched.
+    let schedule = Arc::new(FaultSchedule::new().panic_at(0, panic_seq));
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut hub = Hub::with_fault_hook(
+        HubConfig::builder()
+            .workers(2)
+            .queue_capacity(64)
+            .try_build()
+            .unwrap(),
+        &telemetry,
+        Arc::clone(&schedule) as Arc<dyn FaultHook>,
+    );
+    let homes: Vec<_> = (0..4)
+        .map(|h| hub.register(&format!("home-{h}"), &model))
+        .collect();
+
+    // Interleave submissions round-robin; once home 0's quarantine is
+    // visible at the gate, stop submitting to it and count the skips.
+    let mut skipped = [0u64; 4];
+    let mut done = [false; 4];
+    // Round-robin needs the event index across all four streams at once.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..len {
+        for h in 0..4 {
+            if done[h] {
+                skipped[h] += 1;
+                continue;
+            }
+            let event = streams[h][i];
+            loop {
+                match hub.submit(homes[h], event) {
+                    Ok(()) => break,
+                    Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
+                    Err(SubmitError::Quarantined(q)) => {
+                        assert_eq!(h, 0, "only home 0 may be quarantined");
+                        assert!(q.panic.contains(INJECTED_PANIC));
+                        done[h] = true;
+                        skipped[h] += 1;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+        }
+    }
+    hub.drain();
+    assert!(hub.is_quarantined(homes[0]));
+    assert_eq!(schedule.panics_fired(), 1);
+    let reports = hub.shutdown();
+
+    // Siblings: bit-identical to the no-fault sequential reference.
+    for h in 1..4 {
+        assert_eq!(reports[h].verdicts, expected[h], "home {h} diverged");
+        assert_eq!(reports[h].monitor.events_observed, len as u64);
+        assert!(!reports[h].quarantined, "home {h} must not be quarantined");
+        assert!(reports[h].panics.is_empty());
+        assert_eq!(reports[h].dropped_quarantined, 0);
+    }
+    // The victim: an exact verdict prefix up to the panic, then nothing.
+    let victim = &reports[0];
+    assert!(victim.quarantined);
+    assert_eq!(victim.panics.len(), 1);
+    assert!(victim.panics[0].contains(INJECTED_PANIC));
+    assert_eq!(victim.verdicts[..], expected[0][..panic_seq as usize]);
+    assert_eq!(victim.monitor.events_observed, panic_seq);
+    // Every victim event is accounted for: scored, consumed by the
+    // panic, dropped at the poisoned monitor, or rejected at the gate.
+    assert_eq!(
+        panic_seq + 1 + victim.dropped_quarantined + skipped[0],
+        len as u64
+    );
+    assert_eq!(telemetry.counter("hub.quarantines").get(), 1);
+    assert_eq!(
+        telemetry.counter("hub.quarantine_dropped").get(),
+        victim.dropped_quarantined
+    );
+}
+
+#[test]
+fn quarantine_then_manual_restore_roundtrips() {
+    install_quiet_panic_hook();
+    let (reg, model) = fitted_model(11);
+    let pre = home_stream(&reg, 21, 11); // 11th event (seq 10) panics
+    let post = home_stream(&reg, 22, 50);
+    let schedule = Arc::new(FaultSchedule::new().panic_at(0, 10));
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut hub = Hub::with_fault_hook(
+        HubConfig::builder().workers(1).try_build().unwrap(),
+        &telemetry,
+        Arc::clone(&schedule) as Arc<dyn FaultHook>,
+    );
+    let home = hub.register("home", &model);
+    hub.submit_batch(home, pre.clone()).unwrap();
+    hub.drain();
+
+    // Quarantined: the gate reports the captured panic.
+    assert!(hub.is_quarantined(home));
+    let spare = pre[0];
+    match hub.submit(home, spare) {
+        Err(SubmitError::Quarantined(q)) => {
+            assert!(q.panic.contains(INJECTED_PANIC));
+            assert_eq!(q.restores, 0);
+        }
+        other => panic!("expected quarantine rejection, got {other:?}"),
+    }
+
+    // Manual restore: fresh monitor from the same model, gate re-opens.
+    hub.restore(home, &model).unwrap();
+    hub.drain();
+    assert!(!hub.is_quarantined(home));
+    hub.submit_batch(home, post.clone()).unwrap();
+    hub.drain();
+    let reports = hub.shutdown();
+
+    let mut expected = sequential_verdicts(&model, &pre[..10]);
+    expected.extend(sequential_verdicts(&model, &post));
+    assert_eq!(reports[0].verdicts, expected);
+    assert!(!reports[0].quarantined);
+    assert_eq!(reports[0].restores, 1);
+    assert_eq!(reports[0].retired.len(), 1, "poisoned monitor was retired");
+    assert_eq!(reports[0].swaps, 0, "a restore is not a swap");
+    assert_eq!(telemetry.counter("hub.restores").get(), 1);
+}
+
+#[test]
+fn restore_policy_auto_restores_from_checkpoint() {
+    install_quiet_panic_hook();
+    let (reg, model) = fitted_model(13);
+    let pre = home_stream(&reg, 31, 6); // 6th event (seq 5) panics
+    let post = home_stream(&reg, 32, 40);
+    let checkpoint = std::env::temp_dir().join(format!(
+        "causaliot_hub_faults_autorestore_{}.model",
+        std::process::id()
+    ));
+    std::fs::write(&checkpoint, model.save()).unwrap();
+
+    let schedule = Arc::new(FaultSchedule::new().panic_at(0, 5));
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut hub = Hub::with_fault_hook(
+        HubConfig::builder()
+            .workers(1)
+            .restore_policy(RestorePolicy {
+                from_checkpoint: checkpoint.clone(),
+                max_restores: 3,
+                backoff: Duration::from_millis(1),
+            })
+            .try_build()
+            .unwrap(),
+        &telemetry,
+        Arc::clone(&schedule) as Arc<dyn FaultHook>,
+    );
+    let home = hub.register("home", &model);
+    hub.submit_batch(home, pre.clone()).unwrap();
+    hub.drain();
+
+    // The supervisor must notice the quarantine and restore hands-off.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while hub.is_quarantined(home) {
+        assert!(
+            Instant::now() < deadline,
+            "auto-restore did not happen within 10s"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    hub.submit_batch(home, post.clone()).unwrap();
+    hub.drain();
+    let reports = hub.shutdown();
+    let _ = std::fs::remove_file(&checkpoint);
+
+    // A checkpoint round-trip is verdict-exact, so the post-restore
+    // verdicts match a fresh monitor from the original model.
+    let mut expected = sequential_verdicts(&model, &pre[..5]);
+    expected.extend(sequential_verdicts(&model, &post));
+    assert_eq!(reports[0].verdicts, expected);
+    assert_eq!(reports[0].restores, 1, "exactly one auto-restore");
+    assert!(!reports[0].quarantined);
+    assert_eq!(telemetry.counter("hub.restores").get(), 1);
+}
+
+#[test]
+fn supervised_shard_survives_worker_deaths_losslessly() {
+    install_quiet_panic_hook();
+    let (reg, model) = fitted_model(17);
+    let len = 300usize;
+    let streams: Vec<Vec<BinaryEvent>> = (0..2).map(|h| home_stream(&reg, 40 + h, len)).collect();
+    let expected: Vec<Vec<Verdict>> = streams
+        .iter()
+        .map(|s| sequential_verdicts(&model, s))
+        .collect();
+
+    // Both homes share the single shard; its worker is killed twice
+    // mid-stream and must be respawned by the supervisor both times.
+    let schedule = Arc::new(FaultSchedule::new().kill_at(0, 100).kill_at(0, 350));
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut hub = Hub::with_fault_hook(
+        HubConfig::builder()
+            .workers(1)
+            .queue_capacity(32)
+            .try_build()
+            .unwrap(),
+        &telemetry,
+        Arc::clone(&schedule) as Arc<dyn FaultHook>,
+    );
+    let homes: Vec<_> = (0..2)
+        .map(|h| hub.register(&format!("home-{h}"), &model))
+        .collect();
+    // Round-robin needs the event index across both streams at once.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..len {
+        for h in 0..2 {
+            let event = streams[h][i];
+            loop {
+                match hub.submit(homes[h], event) {
+                    Ok(()) => break,
+                    Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+            }
+        }
+    }
+    hub.drain();
+    assert_eq!(schedule.kills_fired(), 2, "both kills must have fired");
+    let reports = hub.shutdown();
+
+    for h in 0..2 {
+        assert_eq!(
+            reports[h].verdicts, expected[h],
+            "home {h}: worker deaths dropped or reordered events"
+        );
+        assert_eq!(reports[h].monitor.events_observed, len as u64);
+        assert!(!reports[h].quarantined);
+    }
+    assert_eq!(telemetry.counter("hub.shard.0.restarts").get(), 2);
+}
+
+/// A hook that (while engaged) stalls the worker at every job boundary,
+/// making full-queue conditions deterministic for the submit policies.
+struct StallWorker {
+    engaged: AtomicBool,
+    pause: Duration,
+}
+
+impl FaultHook for StallWorker {
+    fn kill_worker(&self, _shard: usize, _jobs_done: u64) -> bool {
+        if self.engaged.load(Ordering::Acquire) {
+            std::thread::sleep(self.pause);
+        }
+        false
+    }
+}
+
+#[test]
+fn block_policy_reports_deadline_exceeded() {
+    install_quiet_panic_hook();
+    let (reg, model) = fitted_model(19);
+    let lamp = reg.id_of("S_lamp").unwrap();
+    let stall = Arc::new(StallWorker {
+        engaged: AtomicBool::new(true),
+        pause: Duration::from_millis(200),
+    });
+    let deadline = Duration::from_millis(10);
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut hub = Hub::with_fault_hook(
+        HubConfig::builder()
+            .workers(1)
+            .queue_capacity(1)
+            .submit_policy(SubmitPolicy::Block { deadline })
+            .try_build()
+            .unwrap(),
+        &telemetry,
+        Arc::clone(&stall) as Arc<dyn FaultHook>,
+    );
+    let home = hub.register("home", &model);
+    // The 1-slot queue holds the register job while the worker stalls;
+    // the next submission must block and then time out.
+    let err = hub
+        .submit(home, BinaryEvent::new(Timestamp::from_secs(1), lamp, true))
+        .unwrap_err();
+    assert_eq!(err, SubmitError::DeadlineExceeded { home, deadline });
+    assert_eq!(telemetry.counter("hub.deadline_exceeded").get(), 1);
+    stall.engaged.store(false, Ordering::Release);
+    hub.drain();
+    let reports = hub.shutdown();
+    assert_eq!(reports[0].monitor.events_observed, 0);
+}
+
+#[test]
+fn retry_policy_counts_retries_and_eventually_succeeds() {
+    install_quiet_panic_hook();
+    let (reg, model) = fitted_model(23);
+    let lamp = reg.id_of("S_lamp").unwrap();
+    let stall = Arc::new(StallWorker {
+        engaged: AtomicBool::new(true),
+        pause: Duration::from_millis(5),
+    });
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut hub = Hub::with_fault_hook(
+        HubConfig::builder()
+            .workers(1)
+            .queue_capacity(1)
+            .submit_policy(SubmitPolicy::Retry {
+                max_retries: 500,
+                initial_backoff: Duration::from_micros(100),
+                max_backoff: Duration::from_millis(2),
+            })
+            .try_build()
+            .unwrap(),
+        &telemetry,
+        Arc::clone(&stall) as Arc<dyn FaultHook>,
+    );
+    let home = hub.register("home", &model);
+    // Each submission may need retries while the worker crawls (5ms per
+    // job boundary), but the budget is ample: all must land.
+    for i in 0..10u64 {
+        hub.submit(
+            home,
+            BinaryEvent::new(Timestamp::from_secs(10 + i * 60), lamp, i % 2 == 0),
+        )
+        .unwrap();
+    }
+    let retries = telemetry.counter("hub.retries").get();
+    assert!(retries > 0, "a crawling 1-slot queue must force retries");
+    stall.engaged.store(false, Ordering::Release);
+    hub.drain();
+    let reports = hub.shutdown();
+    assert_eq!(reports[0].monitor.events_observed, 10);
+}
+
+#[test]
+fn retry_policy_gives_up_after_its_budget() {
+    install_quiet_panic_hook();
+    let (reg, model) = fitted_model(29);
+    let lamp = reg.id_of("S_lamp").unwrap();
+    let stall = Arc::new(StallWorker {
+        engaged: AtomicBool::new(true),
+        pause: Duration::from_millis(200),
+    });
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut hub = Hub::with_fault_hook(
+        HubConfig::builder()
+            .workers(1)
+            .queue_capacity(1)
+            .submit_policy(SubmitPolicy::Retry {
+                max_retries: 3,
+                initial_backoff: Duration::from_micros(100),
+                max_backoff: Duration::from_micros(400),
+            })
+            .try_build()
+            .unwrap(),
+        &telemetry,
+        Arc::clone(&stall) as Arc<dyn FaultHook>,
+    );
+    let home = hub.register("home", &model);
+    let err = hub
+        .submit(home, BinaryEvent::new(Timestamp::from_secs(1), lamp, true))
+        .unwrap_err();
+    assert!(matches!(err, SubmitError::QueueFull { .. }));
+    assert_eq!(telemetry.counter("hub.retries").get(), 3);
+    stall.engaged.store(false, Ordering::Release);
+    drop(hub); // plain drop must also stop supervisor + workers cleanly
+}
