@@ -6,17 +6,20 @@
 //!
 //! Pulls in the types virtually every program needs: the fit facade
 //! ([`CausalIot`] → [`FittedModel`]), the monitors and their output
-//! ([`Monitor`], [`OwnedMonitor`], [`Verdict`]), the data model
-//! ([`DeviceRegistry`], [`BinaryEvent`], [`Timestamp`], …), the serving
-//! hub ([`Hub`], [`HubConfig`], [`HomeId`], [`SubmitPolicy`], …),
-//! telemetry ([`TelemetryHandle`], [`MonitorReport`]), and the unified
-//! [`Error`]. Anything rarer stays behind its module path
-//! ([`crate::graph`], [`crate::miner`], [`crate::serve`], …).
+//! ([`Monitor`], [`OwnedMonitor`], [`Verdict`]), the ingestion guard
+//! ([`IngestPolicy`], [`GuardedMonitor`], [`DeadLetterCounts`], …), the
+//! data model ([`DeviceRegistry`], [`BinaryEvent`], [`Timestamp`], …),
+//! the serving hub ([`Hub`], [`HubConfig`], [`HomeId`],
+//! [`SubmitPolicy`], …), telemetry ([`TelemetryHandle`],
+//! [`MonitorReport`]), and the unified [`Error`]. Anything rarer stays
+//! behind its module path ([`crate::graph`], [`crate::miner`],
+//! [`crate::serve`], …).
 
 pub use crate::error::Error;
 pub use causaliot_core::{
-    CausalIot, CausalIotBuilder, CausalIotConfig, CausalIotError, ConfigError, DropReason,
-    FittedModel, Monitor, OwnedMonitor, TauChoice, Verdict,
+    CausalIot, CausalIotBuilder, CausalIotConfig, CausalIotError, ConfigError, DeadLetter,
+    DeadLetterCounts, DropReason, FittedModel, GuardedMonitor, IngestGuard, IngestPolicy, Monitor,
+    OwnedMonitor, StaleSet, TauChoice, Verdict,
 };
 pub use iot_model::{
     Attribute, BinaryEvent, DeviceEvent, DeviceId, DeviceRegistry, Room, Timestamp,

@@ -25,6 +25,38 @@ pub enum CausalIotError {
     },
     /// An underlying data-model error.
     Model(ModelError),
+    /// A checkpoint file failed validation: its checksum did not match,
+    /// its grammar broke mid-file, or it could not be read at all. The
+    /// model is never partially loaded — a corrupt checkpoint fails
+    /// closed.
+    Corrupt {
+        /// The checkpoint file.
+        path: String,
+        /// Byte offset of the first invalid content (0 when the whole
+        /// file is unreadable).
+        offset: u64,
+        /// What failed (checksum mismatch, parse error, I/O error).
+        reason: String,
+    },
+    /// A checkpoint file ended prematurely — typically a crash mid-write
+    /// with no atomic rename (files written by
+    /// [`crate::pipeline::FittedModel::save_to_path`] cannot get into
+    /// this state).
+    Truncated {
+        /// The checkpoint file.
+        path: String,
+        /// Byte offset at which the content stopped.
+        offset: u64,
+    },
+    /// The filesystem refused a checkpoint read or write (missing file,
+    /// permissions, full disk). Carries the path and the OS error text so
+    /// the operator can act on the message.
+    Io {
+        /// The checkpoint file.
+        path: String,
+        /// The OS error, rendered.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CausalIotError {
@@ -38,6 +70,23 @@ impl fmt::Display for CausalIotError {
                 write!(f, "invalid configuration for `{parameter}`: {reason}")
             }
             CausalIotError::Model(e) => write!(f, "data-model error: {e}"),
+            CausalIotError::Corrupt {
+                path,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "corrupt checkpoint `{path}` at byte offset {offset}: {reason}"
+            ),
+            CausalIotError::Truncated { path, offset } => {
+                write!(
+                    f,
+                    "truncated checkpoint `{path}`: content stops at byte offset {offset}"
+                )
+            }
+            CausalIotError::Io { path, reason } => {
+                write!(f, "checkpoint I/O failed for `{path}`: {reason}")
+            }
         }
     }
 }
@@ -126,6 +175,22 @@ mod tests {
             reason: "must be in (0, 1)".into(),
         };
         assert!(e.to_string().contains("alpha"));
+        let e = CausalIotError::Corrupt {
+            path: "/var/lib/causaliot/home.model".into(),
+            offset: 1234,
+            reason: "checksum mismatch".into(),
+        };
+        let text = e.to_string();
+        assert!(
+            text.contains("home.model") && text.contains("1234"),
+            "{text}"
+        );
+        let e = CausalIotError::Truncated {
+            path: "half.model".into(),
+            offset: 77,
+        };
+        let text = e.to_string();
+        assert!(text.contains("half.model") && text.contains("77"), "{text}");
     }
 
     #[test]

@@ -65,6 +65,7 @@
 mod error;
 
 pub mod graph;
+pub mod ingest;
 pub mod miner;
 pub mod monitor;
 pub mod pipeline;
@@ -72,6 +73,10 @@ pub mod preprocess;
 pub mod snapshot;
 
 pub use error::{CausalIotError, ConfigError};
+pub use ingest::{
+    DeadLetter, DeadLetterCounts, GuardedMonitor, IngestEvent, IngestGuard, IngestPolicy,
+    IngestStep, StaleSet,
+};
 pub use monitor::{Alarm, AlarmKind, AnomalousEvent, Verdict};
 pub use pipeline::{
     CalibratedModel, CausalIot, CausalIotBuilder, CausalIotConfig, DropReason, FitPipeline,

@@ -26,12 +26,13 @@
 use std::ops::Deref;
 use std::time::Instant;
 
-use iot_model::{BinaryEvent, SystemState};
+use iot_model::{BinaryEvent, DeviceId, SystemState};
 use iot_telemetry::{Buckets, Counter, Gauge, Histogram, TelemetryHandle};
 use serde::{Deserialize, Serialize};
 
 use super::PhantomStateMachine;
 use crate::graph::{Dig, LaggedVar, UnseenContext};
+use crate::ingest::StaleSet;
 
 /// Configuration of the k-sequence detector.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -131,6 +132,14 @@ pub struct Verdict {
     /// Alarms flushed by this event (usually zero or one; the
     /// restart-on-abrupt extension with `k_max = 1` can produce two).
     pub alarms: Vec<Alarm>,
+    /// How much of the CPT context behind the score was *live* when the
+    /// event was scored: the fraction of the device's causes whose parent
+    /// device was not flagged stale by the ingestion guard's liveness
+    /// clock. `1.0` (the value outside degraded mode, and for devices with
+    /// no causes) means every conditioning parent was recently heard from;
+    /// lower values mean the score conditions on state that may be frozen
+    /// by a silent sensor, so the verdict deserves less trust.
+    pub confidence: f64,
 }
 
 /// Always-on session counts kept by the detector — cheap plain integers,
@@ -244,6 +253,35 @@ impl<D: Deref<Target = Dig>> KSequenceDetector<D> {
 
     /// Processes one runtime event and returns the verdict.
     pub fn observe(&mut self, event: BinaryEvent) -> Verdict {
+        self.observe_inner(event, 1.0)
+    }
+
+    /// [`observe`](Self::observe) in **degraded mode**: the event is
+    /// scored and tracked exactly as usual (state transitions, alarms, and
+    /// scores are bit-identical), but the verdict's
+    /// [`confidence`](Verdict::confidence) is the fraction of the event
+    /// device's CPT causes whose parent device is not in `stale`. With an
+    /// empty stale set this is exactly [`observe`](Self::observe).
+    pub fn observe_degraded(&mut self, event: BinaryEvent, stale: &StaleSet) -> Verdict {
+        let confidence = self.cause_confidence(event.device, stale);
+        self.observe_inner(event, confidence)
+    }
+
+    /// The fraction of `device`'s CPT causes whose parent device is live
+    /// (not in `stale`); `1.0` for devices with no causes.
+    fn cause_confidence(&self, device: DeviceId, stale: &StaleSet) -> f64 {
+        let causes = self.dig.cpt(device).causes();
+        if causes.is_empty() || stale.count() == 0 {
+            return 1.0;
+        }
+        let live = causes
+            .iter()
+            .filter(|cause| !stale.is_stale(cause.device))
+            .count();
+        live as f64 / causes.len() as f64
+    }
+
+    fn observe_inner(&mut self, event: BinaryEvent, confidence: f64) -> Verdict {
         let started = if self.instruments.enabled {
             Some(Instant::now())
         } else {
@@ -336,6 +374,7 @@ impl<D: Deref<Target = Dig>> KSequenceDetector<D> {
             score,
             exceeds_threshold: anomalous,
             alarms,
+            confidence,
         }
     }
 

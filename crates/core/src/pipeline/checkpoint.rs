@@ -48,8 +48,25 @@
 //! format: such a model restores with paper-default configuration (τ fixed
 //! to the stored graph's lag depth), no preprocessor, and an all-OFF
 //! initial state.
+//!
+//! ## Crash-safe file I/O
+//!
+//! [`save_model_to_path`] hardens persistence against crashes and bit
+//! rot: the document is written to a `<path>.tmp` sibling, fsynced, and
+//! atomically renamed over the destination (so an interrupted save at any
+//! byte leaves the previous checkpoint intact), and a `# crc32 <hex>`
+//! footer — a comment line, invisible to both the v1 and v2 parsers, so
+//! existing fixtures stay byte-compatible — lets [`load_model_from_path`]
+//! fail closed with [`CausalIotError::Corrupt`] on any flipped bit
+//! instead of resurrecting a garbage model. Files without the footer
+//! (fixtures from older builds, hand-written documents) still load;
+//! truncation and parse failures are reported with the path and byte
+//! offset attached ([`CausalIotError::Truncated`] / `Corrupt`).
 
 use std::fmt::Write as _;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
 
 use iot_model::{DeviceId, SystemState};
 use iot_stats::jenks::JenksBinarizer;
@@ -176,6 +193,166 @@ fn parse_err(line: usize, reason: impl Into<String>) -> CausalIotError {
         line,
         reason: reason.into(),
     })
+}
+
+/// Comment prefix of the checksum footer appended by
+/// [`save_model_to_path`]. Both parsers skip comment lines, so the footer
+/// is backward- and forward-compatible.
+const CRC_FOOTER_PREFIX: &str = "# crc32 ";
+
+/// CRC32 (IEEE 802.3, the zlib/PNG polynomial), bitwise — checkpoints are
+/// small enough that a lookup table buys nothing.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn io_err(path: &Path, e: &io::Error) -> CausalIotError {
+    CausalIotError::Io {
+        path: path.display().to_string(),
+        reason: e.to_string(),
+    }
+}
+
+/// Serialises `model` and writes it to `path` crash-safely: the document
+/// plus a `# crc32` footer goes to a `<path>.tmp` sibling, is fsynced,
+/// and is atomically renamed over `path` (the parent directory is synced
+/// best-effort so the rename itself is durable). A crash at any byte of
+/// the write leaves the previous checkpoint at `path` untouched.
+/// [`FittedModel::save_to_path`] delegates here.
+///
+/// # Errors
+///
+/// [`CausalIotError::Io`] with the path and OS error attached.
+pub fn save_model_to_path(model: &FittedModel, path: &Path) -> Result<(), CausalIotError> {
+    let mut text = save_model(model);
+    let checksum = crc32(text.as_bytes());
+    let _ = writeln!(text, "{CRC_FOOTER_PREFIX}{checksum:08x}");
+
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let write = (|| -> io::Result<()> {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(text.as_bytes())?;
+        file.sync_all()?;
+        fs::rename(&tmp, path)?;
+        // Durability of the rename needs the directory entry on disk too;
+        // best-effort, as not every filesystem lets you open a directory.
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Ok(dir) = fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    write.map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        io_err(path, &e)
+    })
+}
+
+/// Restores a model from a checkpoint file, verifying the `# crc32`
+/// footer when present (files without one — fixtures from older builds,
+/// hand-written documents — still load).
+/// [`FittedModel::load_from_path`] delegates here.
+///
+/// # Errors
+///
+/// * [`CausalIotError::Io`] — the file could not be read (path and OS
+///   error attached).
+/// * [`CausalIotError::Truncated`] — the content stops mid-document (no
+///   final newline, or a required section is missing); carries the byte
+///   offset where it ended.
+/// * [`CausalIotError::Corrupt`] — the checksum did not match or a line
+///   failed to parse; carries the byte offset of the offending content.
+///   A corrupt checkpoint never yields a partially-loaded model.
+pub fn load_model_from_path(
+    path: &Path,
+    telemetry: &TelemetryHandle,
+) -> Result<FittedModel, CausalIotError> {
+    let text = fs::read_to_string(path).map_err(|e| io_err(path, &e))?;
+    let display = path.display().to_string();
+    if text.is_empty() {
+        return Err(CausalIotError::Truncated {
+            path: display,
+            offset: 0,
+        });
+    }
+    if !text.ends_with('\n') {
+        // The format is line-oriented and every writer ends with a
+        // newline; a missing one is the signature of a torn write.
+        return Err(CausalIotError::Truncated {
+            path: display,
+            offset: text.len() as u64,
+        });
+    }
+    if let Some(footer_start) = find_crc_footer(&text) {
+        let footer = text[footer_start..].trim_end();
+        let stored = footer
+            .strip_prefix(CRC_FOOTER_PREFIX)
+            .expect("footer located by prefix");
+        let stored =
+            u32::from_str_radix(stored.trim(), 16).map_err(|_| CausalIotError::Corrupt {
+                path: display.clone(),
+                offset: footer_start as u64,
+                reason: format!("unparseable checksum footer `{footer}`"),
+            })?;
+        let computed = crc32(&text.as_bytes()[..footer_start]);
+        if stored != computed {
+            return Err(CausalIotError::Corrupt {
+                path: display,
+                offset: footer_start as u64,
+                reason: format!("checksum mismatch (stored {stored:08x}, computed {computed:08x})"),
+            });
+        }
+    }
+    load_model(&text, telemetry).map_err(|e| attach_context(e, &display, &text))
+}
+
+/// Byte offset of the checksum footer line, if the document carries one.
+/// Only the *last* line is a candidate: the footer covers everything
+/// before it, and comment lines elsewhere stay plain comments.
+fn find_crc_footer(text: &str) -> Option<usize> {
+    let body = text.strip_suffix('\n').unwrap_or(text);
+    let start = body.rfind('\n').map_or(0, |i| i + 1);
+    body[start..]
+        .starts_with(CRC_FOOTER_PREFIX)
+        .then_some(start)
+}
+
+/// Rewrites context-free parse errors into operator-actionable ones: a
+/// parse failure on a numbered line becomes [`CausalIotError::Corrupt`]
+/// with the path and the line's byte offset; a "missing section" failure
+/// (the parsers report those with line 0) means the document ended early
+/// and becomes [`CausalIotError::Truncated`].
+fn attach_context(e: CausalIotError, path: &str, text: &str) -> CausalIotError {
+    let CausalIotError::Model(iot_model::ModelError::ParseLog { line, reason }) = e else {
+        return e;
+    };
+    if line == 0 {
+        return CausalIotError::Truncated {
+            path: path.to_string(),
+            offset: text.len() as u64,
+        };
+    }
+    let offset: usize = text
+        .split_inclusive('\n')
+        .take(line - 1)
+        .map(str::len)
+        .sum();
+    CausalIotError::Corrupt {
+        path: path.to_string(),
+        offset: offset as u64,
+        reason: format!("line {line}: {reason}"),
+    }
 }
 
 /// Restores a model persisted by [`save_model`], or a legacy dig-only
@@ -412,7 +589,8 @@ pub fn load_model(text: &str, telemetry: &TelemetryHandle) -> Result<FittedModel
         .skip(dig_start)
         .flat_map(|line| [line, "\n"])
         .collect();
-    let (dig, threshold) = load_dig_with_smoothing(&dig_text, config.miner.smoothing)?;
+    let (dig, threshold) = load_dig_with_smoothing(&dig_text, config.miner.smoothing)
+        .map_err(|e| rebase_dig_error(e, dig_start))?;
     if dig.num_devices() != num_devices {
         return Err(parse_err(
             0,
@@ -434,6 +612,19 @@ pub fn load_model(text: &str, telemetry: &TelemetryHandle) -> Result<FittedModel
         fit_report,
         telemetry.clone(),
     ))
+}
+
+/// Rebases a parse error from the embedded dig sub-document (whose line
+/// numbers start at 1 at the `dig` sentinel's successor) into whole-file
+/// line numbers, so downstream byte-offset reporting points at the right
+/// place.
+fn rebase_dig_error(e: CausalIotError, dig_start: usize) -> CausalIotError {
+    match e {
+        CausalIotError::Model(iot_model::ModelError::ParseLog { line, reason }) if line > 0 => {
+            parse_err(line + dig_start, reason)
+        }
+        other => other,
+    }
 }
 
 /// Restores a legacy dig-only document as a model with paper-default
@@ -632,6 +823,142 @@ mod tests {
             .collect();
         assert!(FittedModel::load(&no_dig).is_err());
         assert!(FittedModel::load(&text.replace("config.q 99.0", "config.q 0.0")).is_err());
+    }
+
+    /// A scratch file that cleans itself up even when the test panics.
+    struct ScratchFile(std::path::PathBuf);
+
+    impl ScratchFile {
+        fn new(tag: &str) -> Self {
+            ScratchFile(std::env::temp_dir().join(format!(
+                "causaliot_checkpoint_{tag}_{}.model",
+                std::process::id()
+            )))
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for ScratchFile {
+        fn drop(&mut self) {
+            let _ = fs::remove_file(&self.0);
+            let mut tmp = self.0.as_os_str().to_owned();
+            tmp.push(".tmp");
+            let _ = fs::remove_file(std::path::PathBuf::from(tmp));
+        }
+    }
+
+    #[test]
+    fn path_round_trip_appends_footer_and_loads_identically() {
+        let model = fitted();
+        let scratch = ScratchFile::new("roundtrip");
+        model.save_to_path(scratch.path()).expect("saves");
+        let on_disk = fs::read_to_string(scratch.path()).unwrap();
+        let last = on_disk.lines().last().unwrap();
+        assert!(
+            last.starts_with(CRC_FOOTER_PREFIX),
+            "footer missing: {last}"
+        );
+        assert_eq!(
+            on_disk.strip_suffix(&format!("{last}\n")).unwrap(),
+            model.save(),
+            "the footer is the only difference from the in-memory document"
+        );
+        let restored = FittedModel::load_from_path(scratch.path()).expect("loads");
+        assert_eq!(restored.save(), model.save());
+        // No temp file left behind.
+        let mut tmp = scratch.path().as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::PathBuf::from(tmp).exists());
+    }
+
+    #[test]
+    fn footerless_files_still_load_from_path() {
+        let model = fitted();
+        let scratch = ScratchFile::new("legacy");
+        fs::write(scratch.path(), model.save()).unwrap();
+        let restored = FittedModel::load_from_path(scratch.path()).expect("legacy file loads");
+        assert_eq!(restored.save(), model.save());
+    }
+
+    #[test]
+    fn checksum_mismatch_fails_closed_with_path_and_offset() {
+        let model = fitted();
+        let scratch = ScratchFile::new("bitflip");
+        model.save_to_path(scratch.path()).expect("saves");
+        let mut bytes = fs::read(scratch.path()).unwrap();
+        // Flip one bit in the middle of the document body.
+        let victim = bytes.len() / 2;
+        bytes[victim] ^= 0x01;
+        fs::write(scratch.path(), &bytes).unwrap();
+        let err = FittedModel::load_from_path(scratch.path()).unwrap_err();
+        match err {
+            CausalIotError::Corrupt { ref path, .. } => {
+                assert!(path.contains("bitflip"), "{err}");
+                assert!(err.to_string().contains("checksum mismatch"), "{err}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_reported_with_the_stop_offset() {
+        let model = fitted();
+        let scratch = ScratchFile::new("truncated");
+        let full = model.save();
+        // Cut mid-line: no trailing newline.
+        let cut = full.len() * 2 / 3;
+        fs::write(scratch.path(), &full.as_bytes()[..cut]).unwrap();
+        match FittedModel::load_from_path(scratch.path()).unwrap_err() {
+            CausalIotError::Truncated { offset, .. } => assert_eq!(offset, cut as u64),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // Empty file.
+        fs::write(scratch.path(), b"").unwrap();
+        match FittedModel::load_from_path(scratch.path()).unwrap_err() {
+            CausalIotError::Truncated { offset, .. } => assert_eq!(offset, 0),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_reports_io_with_the_path() {
+        let missing = std::env::temp_dir().join("causaliot_checkpoint_does_not_exist.model");
+        match FittedModel::load_from_path(&missing).unwrap_err() {
+            CausalIotError::Io { path, .. } => assert!(path.contains("does_not_exist")),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_failures_carry_file_byte_offsets() {
+        let model = fitted();
+        let scratch = ScratchFile::new("badline");
+        // Corrupt a body line but keep the file footerless, so the error
+        // comes from the parser rather than the checksum.
+        let text = model.save().replace("config.k_max 1", "config.k_max one");
+        fs::write(scratch.path(), &text).unwrap();
+        match FittedModel::load_from_path(scratch.path()).unwrap_err() {
+            CausalIotError::Corrupt { offset, reason, .. } => {
+                let line_start = text.find("config.k_max one").unwrap();
+                assert_eq!(offset, line_start as u64, "{reason}");
+                assert!(reason.contains("k_max"), "{reason}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 reference values ("check" vectors from the zlib docs).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]

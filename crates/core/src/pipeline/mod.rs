@@ -22,11 +22,12 @@ pub use stages::{
 use std::ops::Deref;
 use std::sync::Arc;
 
-use iot_model::{BinaryEvent, DeviceEvent, DeviceRegistry, EventLog, SystemState};
+use iot_model::{BinaryEvent, DeviceEvent, DeviceRegistry, EventLog, StateValue, SystemState};
 use iot_telemetry::{Counter, DistributionSummary, FitReport, MonitorReport, TelemetryHandle};
 use serde::{Deserialize, Serialize};
 
 use crate::graph::{Dig, UnseenContext};
+use crate::ingest::StaleSet;
 use crate::miner::MinerConfig;
 use crate::monitor::{DetectorConfig, KSequenceDetector, Verdict};
 use crate::preprocess::{FittedPreprocessor, PreprocessConfig, TauConfig};
@@ -427,6 +428,49 @@ impl FittedModel {
         checkpoint::load_model(text, telemetry)
     }
 
+    /// Writes the checkpoint to `path` **crash-safely**: the document plus
+    /// a CRC32 footer goes to a temporary sibling, is fsynced, and is
+    /// atomically renamed into place — an interrupted save at any byte
+    /// leaves the previous checkpoint intact (see
+    /// [`checkpoint::save_model_to_path`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CausalIotError::Io`] with the path and OS error attached.
+    pub fn save_to_path(&self, path: impl AsRef<std::path::Path>) -> Result<(), CausalIotError> {
+        checkpoint::save_model_to_path(self, path.as_ref())
+    }
+
+    /// Restores a model from a checkpoint file, verifying its CRC32
+    /// footer when present (checkpoints from older builds, without a
+    /// footer, still load), using the `CAUSALIOT_TELEMETRY`-derived
+    /// telemetry handle.
+    ///
+    /// # Errors
+    ///
+    /// [`CausalIotError::Io`] when the file cannot be read,
+    /// [`CausalIotError::Truncated`] / [`CausalIotError::Corrupt`] (with
+    /// path and byte offset) when its content fails validation — a
+    /// corrupt checkpoint fails closed, never a garbage model.
+    pub fn load_from_path(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<FittedModel, CausalIotError> {
+        Self::load_from_path_with_telemetry(path, &TelemetryHandle::from_env())
+    }
+
+    /// Like [`FittedModel::load_from_path`] with an explicit
+    /// [`TelemetryHandle`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FittedModel::load_from_path`].
+    pub fn load_from_path_with_telemetry(
+        path: impl AsRef<std::path::Path>,
+        telemetry: &TelemetryHandle,
+    ) -> Result<FittedModel, CausalIotError> {
+        checkpoint::load_model_from_path(path.as_ref(), telemetry)
+    }
+
     /// The mined Device Interaction Graph.
     pub fn dig(&self) -> &Dig {
         &self.inner.dig
@@ -481,10 +525,11 @@ impl FittedModel {
         }
     }
 
-    fn monitor_counters(&self) -> (Counter, Counter) {
+    fn monitor_counters(&self) -> (Counter, Counter, Counter) {
         (
             self.inner.telemetry.counter("monitor.drop.duplicate"),
             self.inner.telemetry.counter("monitor.drop.extreme"),
+            self.inner.telemetry.counter("monitor.drop.non_finite"),
         )
     }
 
@@ -506,15 +551,18 @@ impl FittedModel {
         let mut detector =
             KSequenceDetector::new(&*self.inner.dig, initial, self.detector_config(k_max));
         detector.set_telemetry(&self.inner.telemetry);
-        let (drop_duplicate_counter, drop_extreme_counter) = self.monitor_counters();
+        let (drop_duplicate_counter, drop_extreme_counter, drop_non_finite_counter) =
+            self.monitor_counters();
         Monitor {
             core: MonitorCore {
                 detector,
                 preprocessor: self.inner.preprocessor.as_deref(),
                 dropped_duplicate: 0,
                 dropped_extreme: 0,
+                dropped_non_finite: 0,
                 drop_duplicate_counter,
                 drop_extreme_counter,
+                drop_non_finite_counter,
             },
         }
     }
@@ -545,15 +593,18 @@ impl FittedModel {
             self.detector_config(k_max),
         );
         detector.set_telemetry(&self.inner.telemetry);
-        let (drop_duplicate_counter, drop_extreme_counter) = self.monitor_counters();
+        let (drop_duplicate_counter, drop_extreme_counter, drop_non_finite_counter) =
+            self.monitor_counters();
         OwnedMonitor {
             core: MonitorCore {
                 detector,
                 preprocessor: self.inner.preprocessor.clone(),
                 dropped_duplicate: 0,
                 dropped_extreme: 0,
+                dropped_non_finite: 0,
                 drop_duplicate_counter,
                 drop_extreme_counter,
+                drop_non_finite_counter,
             },
         }
     }
@@ -564,7 +615,9 @@ impl FittedModel {
     }
 }
 
-/// Why [`Monitor::observe_raw`] dropped a raw event instead of scoring it.
+/// Why a raw event was dropped instead of scored — by
+/// [`Monitor::observe_raw`]'s preprocessing checks or by the
+/// [`crate::ingest`] guard's dead-letter path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DropReason {
     /// The event reported the device's current binary state (a duplicated
@@ -572,6 +625,20 @@ pub enum DropReason {
     Duplicate,
     /// The reading fell outside the fitted three-sigma band.
     Extreme,
+    /// The numeric reading was NaN or infinite.
+    NonFinite,
+    /// The timestamp regressed further than the configured `max_skew`
+    /// behind the stream's watermark — a clock fault, not mere reordering.
+    ClockRegression,
+    /// The event arrived after the reorder window's watermark had passed
+    /// its timestamp (too late to reinsert in order, but within
+    /// `max_skew`).
+    LateArrival,
+    /// The event names a device the model was not fitted on.
+    UnknownDevice,
+    /// The device re-reported an identical reading more times in a row
+    /// than the configured flood limit allows.
+    DuplicateFlood,
 }
 
 impl std::fmt::Display for DropReason {
@@ -579,6 +646,11 @@ impl std::fmt::Display for DropReason {
         match self {
             DropReason::Duplicate => write!(f, "duplicate state report"),
             DropReason::Extreme => write!(f, "extreme reading"),
+            DropReason::NonFinite => write!(f, "non-finite reading"),
+            DropReason::ClockRegression => write!(f, "timestamp regressed beyond max_skew"),
+            DropReason::LateArrival => write!(f, "arrived after the reorder watermark"),
+            DropReason::UnknownDevice => write!(f, "unknown device"),
+            DropReason::DuplicateFlood => write!(f, "duplicate flood"),
         }
     }
 }
@@ -599,8 +671,10 @@ where
     preprocessor: Option<P>,
     dropped_duplicate: u64,
     dropped_extreme: u64,
+    dropped_non_finite: u64,
     drop_duplicate_counter: Counter,
     drop_extreme_counter: Counter,
+    drop_non_finite_counter: Counter,
 }
 
 impl<D, P> MonitorCore<D, P>
@@ -613,10 +687,25 @@ where
     }
 
     fn observe_raw(&mut self, event: &DeviceEvent) -> Result<Verdict, DropReason> {
+        self.observe_raw_with(event, None)
+    }
+
+    fn observe_raw_with(
+        &mut self,
+        event: &DeviceEvent,
+        stale: Option<&StaleSet>,
+    ) -> Result<Verdict, DropReason> {
         let pp = self
             .preprocessor
             .as_deref()
             .expect("observe_raw requires a model fitted on raw logs");
+        if let StateValue::Numeric(v) = event.value {
+            if !v.is_finite() {
+                self.dropped_non_finite += 1;
+                self.drop_non_finite_counter.inc();
+                return Err(DropReason::NonFinite);
+            }
+        }
         if pp.sanitizer().is_extreme(event) {
             self.dropped_extreme += 1;
             self.drop_extreme_counter.inc();
@@ -628,7 +717,10 @@ where
             self.drop_duplicate_counter.inc();
             return Err(DropReason::Duplicate);
         }
-        Ok(self.detector.observe(bin))
+        Ok(match stale {
+            Some(stale) => self.detector.observe_degraded(bin, stale),
+            None => self.detector.observe(bin),
+        })
     }
 
     fn report(&self) -> MonitorReport {
@@ -637,6 +729,7 @@ where
             events_observed: stats.events,
             dropped_duplicate: self.dropped_duplicate,
             dropped_extreme: self.dropped_extreme,
+            dropped_non_finite: self.dropped_non_finite,
             contextual_alarms: stats.contextual_alarms,
             collective_alarms: stats.collective_alarms,
             max_tracking_len: stats.max_tracking_len,
@@ -708,6 +801,41 @@ macro_rules! monitor_methods {
         /// preprocessor is available).
         pub fn observe_raw(&mut self, event: &DeviceEvent) -> Result<Verdict, DropReason> {
             self.core.observe_raw(event)
+        }
+
+        /// [`observe`](Self::observe) under **degraded mode**: scores the
+        /// event normally but discounts the verdict's
+        /// [`confidence`](Verdict::confidence) by the fraction of the
+        /// device's CPT parents currently flagged stale in `stale`. With an
+        /// empty stale set the verdict is bit-identical to
+        /// [`observe`](Self::observe).
+        pub fn observe_degraded(
+            &mut self,
+            event: BinaryEvent,
+            stale: &crate::ingest::StaleSet,
+        ) -> Verdict {
+            self.core.detector.observe_degraded(event, stale)
+        }
+
+        /// [`observe_raw`](Self::observe_raw) under **degraded mode**: same
+        /// preprocessing checks, with the verdict's confidence discounted
+        /// for stale CPT parents as in
+        /// [`observe_degraded`](Self::observe_degraded).
+        ///
+        /// # Errors
+        ///
+        /// Same [`DropReason`]s as [`observe_raw`](Self::observe_raw).
+        ///
+        /// # Panics
+        ///
+        /// Panics if the model was fitted with [`CausalIot::fit_binary`] (no
+        /// preprocessor is available).
+        pub fn observe_raw_degraded(
+            &mut self,
+            event: &DeviceEvent,
+            stale: &crate::ingest::StaleSet,
+        ) -> Result<Verdict, DropReason> {
+            self.core.observe_raw_with(event, Some(stale))
         }
 
         /// The session's observability report: events scored, drops by reason,

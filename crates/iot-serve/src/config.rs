@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use causaliot_core::ConfigError;
+use causaliot_core::{ConfigError, IngestPolicy};
 
 /// What [`crate::Hub::submit`] does when a shard queue is at capacity.
 ///
@@ -90,6 +90,15 @@ pub struct HubConfig {
     /// Automatic quarantine recovery from a checkpoint (`None` = restores
     /// are manual via [`crate::Hub::restore`]).
     pub restore_policy: Option<RestorePolicy>,
+    /// Per-home ingestion hardening: a [`causaliot_core::IngestGuard`]
+    /// runs in front of every home's monitor on the shard, repairing
+    /// out-of-order delivery within the policy's reorder window, emitting
+    /// dead letters for events it refuses (counted per cause in the
+    /// [`crate::HomeReport`] and the `ingest.*` telemetry), and flagging
+    /// silent devices so verdicts carry degraded-mode confidence. `None`
+    /// (the default) bypasses the guard entirely — the hub behaves
+    /// bit-identically to previous releases.
+    pub ingest: Option<IngestPolicy>,
 }
 
 impl Default for HubConfig {
@@ -100,6 +109,7 @@ impl Default for HubConfig {
             record_verdicts: true,
             submit_policy: SubmitPolicy::default(),
             restore_policy: None,
+            ingest: None,
         }
     }
 }
@@ -168,6 +178,9 @@ impl HubConfig {
                 ));
             }
         }
+        if let Some(policy) = &self.ingest {
+            policy.check()?;
+        }
         Ok(())
     }
 }
@@ -211,6 +224,12 @@ impl HubConfigBuilder {
         self
     }
 
+    /// Enables per-home ingestion hardening (see [`HubConfig::ingest`]).
+    pub fn ingest(mut self, policy: IngestPolicy) -> Self {
+        self.config.ingest = Some(policy);
+        self
+    }
+
     /// Finalises the configuration, validating every field:
     ///
     /// * `workers ≥ 1` and `queue_capacity ≥ 1`,
@@ -218,7 +237,9 @@ impl HubConfigBuilder {
     /// * [`SubmitPolicy::Retry`] has `max_retries ≥ 1` and
     ///   `max_backoff ≥ initial_backoff`,
     /// * a [`RestorePolicy`] has `max_restores ≥ 1` and a non-empty
-    ///   checkpoint path.
+    ///   checkpoint path,
+    /// * an [`IngestPolicy`] passes its own
+    ///   [`check`](IngestPolicy::check).
     ///
     /// # Errors
     ///
@@ -315,6 +336,23 @@ mod tests {
             }),
             "restore_policy.from_checkpoint",
         );
+        bad(
+            HubConfig::builder().ingest(IngestPolicy {
+                liveness_timeout: Some(Duration::ZERO),
+                ..IngestPolicy::default()
+            }),
+            "liveness_timeout",
+        );
+    }
+
+    #[test]
+    fn ingest_policy_is_accepted_and_defaults_off() {
+        assert_eq!(HubConfig::default().ingest, None);
+        let config = HubConfig::builder()
+            .ingest(IngestPolicy::default())
+            .try_build()
+            .unwrap();
+        assert_eq!(config.ingest, Some(IngestPolicy::default()));
     }
 
     #[test]

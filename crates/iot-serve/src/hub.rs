@@ -8,7 +8,7 @@ use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use causaliot_core::{FittedModel, Verdict};
+use causaliot_core::{DeadLetterCounts, FittedModel, IngestGuard, Verdict};
 use iot_model::BinaryEvent;
 use iot_telemetry::{Buckets, Counter, Gauge, MonitorReport, TelemetryHandle};
 
@@ -84,6 +84,14 @@ pub struct HomeReport {
     /// monitor panicked (they reached a poisoned monitor and were never
     /// scored).
     pub dropped_quarantined: u64,
+    /// Events the home's ingestion guard refused to score, in total
+    /// (always `0` when [`HubConfig::ingest`] is off).
+    pub dead_letters: u64,
+    /// The same dead letters broken out by cause.
+    pub dead_letter_causes: DeadLetterCounts,
+    /// Devices the liveness clock flagged stale at shutdown (`0` when
+    /// [`HubConfig::ingest`] is off or liveness detection is disabled).
+    pub stale_devices: u64,
 }
 
 struct Shard {
@@ -133,6 +141,9 @@ pub struct Hub {
     swaps: Counter,
     retries: Counter,
     deadline_exceeded: Counter,
+    /// Kept so per-home ingestion guards built at registration time can
+    /// attach their `ingest.*` instruments.
+    telemetry: TelemetryHandle,
 }
 
 impl fmt::Debug for Hub {
@@ -268,6 +279,7 @@ impl Hub {
             swaps: telemetry.counter("hub.swaps"),
             retries: telemetry.counter("hub.retries"),
             deadline_exceeded: telemetry.counter("hub.deadline_exceeded"),
+            telemetry: telemetry.clone(),
         }
     }
 
@@ -325,6 +337,11 @@ impl Hub {
             health: Arc::clone(&health),
         });
         let monitor = Box::new(model.clone().into_monitor());
+        let guard = self.config.ingest.map(|policy| {
+            let mut guard = IngestGuard::new(policy, model.num_devices());
+            guard.set_telemetry(&self.telemetry);
+            Box::new(guard)
+        });
         self.enqueue_blocking(
             shard,
             Job::Register {
@@ -332,6 +349,7 @@ impl Hub {
                 name: name.to_string(),
                 monitor,
                 health,
+                guard,
             },
         );
         HomeId(id)
@@ -523,14 +541,22 @@ impl Hub {
             // its queue leftovers are drained below.
             let _ = handle.join();
         }
-        // 4. Score anything a dead worker left behind, then collect.
+        // 4. Score anything a dead worker left behind, release every
+        //    reordering buffer (end of stream), then collect.
         let mut reports = Vec::new();
         for core in cores {
             core.drain_remaining();
+            core.flush_guards();
             let slots = std::mem::take(&mut *lock(&core.homes));
             for (id, slot) in slots {
                 let monitor =
                     catch_unwind(AssertUnwindSafe(|| slot.monitor.report())).unwrap_or_default();
+                let dead_letter_causes =
+                    slot.guard.as_ref().map(|g| g.counts()).unwrap_or_default();
+                let stale_devices = slot
+                    .guard
+                    .as_ref()
+                    .map_or(0, |g| g.stale_set().count() as u64);
                 reports.push(HomeReport {
                     id: HomeId(id),
                     name: slot.name,
@@ -542,6 +568,9 @@ impl Hub {
                     restores: slot.health.restores(),
                     quarantined: slot.poisoned,
                     dropped_quarantined: slot.dropped_quarantined,
+                    dead_letters: dead_letter_causes.total(),
+                    dead_letter_causes,
+                    stale_devices,
                 });
             }
         }
@@ -828,6 +857,75 @@ mod tests {
             },
             ..HubConfig::default()
         });
+    }
+
+    #[test]
+    fn ingest_guard_is_transparent_on_clean_streams() {
+        use causaliot_core::IngestPolicy;
+        let (reg, model) = fitted_model();
+        let lamp = reg.id_of("S_lamp").unwrap();
+        let pe = reg.id_of("PE_room").unwrap();
+        let events: Vec<BinaryEvent> = (0..40u64)
+            .map(|i| {
+                let dev = if i % 3 == 0 { pe } else { lamp };
+                BinaryEvent::new(Timestamp::from_secs(200_000 + i * 30), dev, i % 2 == 0)
+            })
+            .collect();
+        let mut reference = model.clone().into_monitor();
+        let expected: Vec<Verdict> = events.iter().map(|e| reference.observe(*e)).collect();
+        let mut hub = Hub::new(HubConfig {
+            workers: 1,
+            ingest: Some(IngestPolicy::default()),
+            ..HubConfig::default()
+        });
+        let home = hub.register("home", &model);
+        hub.submit_batch(home, events).unwrap();
+        let reports = hub.shutdown();
+        assert_eq!(reports[0].verdicts, expected);
+        assert_eq!(reports[0].dead_letters, 0);
+        assert_eq!(reports[0].stale_devices, 0);
+    }
+
+    #[test]
+    fn ingest_guard_reports_dead_letters_per_home() {
+        use causaliot_core::IngestPolicy;
+        let (reg, model) = fitted_model();
+        let lamp = reg.id_of("S_lamp").unwrap();
+        let mut hub = Hub::new(HubConfig {
+            workers: 1,
+            ingest: Some(IngestPolicy::default()),
+            ..HubConfig::default()
+        });
+        let clean = hub.register("clean", &model);
+        let noisy = hub.register("noisy", &model);
+        hub.submit(
+            clean,
+            BinaryEvent::new(Timestamp::from_secs(1_000), lamp, true),
+        )
+        .unwrap();
+        // Noisy home: advance the watermark, then a mild straggler
+        // (LateArrival) and a deep regression (ClockRegression).
+        for (t, on) in [(1_000u64, true), (2_000, false)] {
+            hub.submit(noisy, BinaryEvent::new(Timestamp::from_secs(t), lamp, on))
+                .unwrap();
+        }
+        hub.submit(
+            noisy,
+            BinaryEvent::new(Timestamp::from_secs(1_950), lamp, true),
+        )
+        .unwrap();
+        hub.submit(
+            noisy,
+            BinaryEvent::new(Timestamp::from_secs(100), lamp, true),
+        )
+        .unwrap();
+        let reports = hub.shutdown();
+        assert_eq!(reports[0].dead_letters, 0);
+        assert_eq!(reports[0].monitor.events_observed, 1);
+        assert_eq!(reports[1].dead_letters, 2);
+        assert_eq!(reports[1].dead_letter_causes.late_arrival, 1);
+        assert_eq!(reports[1].dead_letter_causes.clock_regression, 1);
+        assert_eq!(reports[1].monitor.events_observed, 2);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use causaliot_core::{FittedModel, OwnedMonitor, Verdict};
+use causaliot_core::{FittedModel, IngestGuard, OwnedMonitor, StaleSet, Verdict};
 use iot_model::BinaryEvent;
 use iot_telemetry::{Counter, Gauge, Histogram, MonitorReport, TelemetryHandle};
 
@@ -41,6 +41,7 @@ pub(crate) enum Job {
         name: String,
         monitor: Box<OwnedMonitor>,
         health: Arc<HomeHealth>,
+        guard: Option<Box<IngestGuard<BinaryEvent>>>,
     },
     Event {
         home: usize,
@@ -77,6 +78,9 @@ pub(crate) struct HomeSlot {
     pub(crate) seq: u64,
     /// Events dropped because they arrived for a poisoned monitor.
     pub(crate) dropped_quarantined: u64,
+    /// The home's ingestion guard, when [`crate::HubConfig::ingest`] is
+    /// configured. `None` preserves the historical direct path exactly.
+    pub(crate) guard: Option<IngestGuard<BinaryEvent>>,
 }
 
 pub(crate) struct WorkerContext {
@@ -114,6 +118,7 @@ impl ShardCore {
                 name,
                 monitor,
                 health,
+                guard,
             } => {
                 lock(&self.homes).insert(
                     home,
@@ -127,6 +132,7 @@ impl ShardCore {
                         poisoned: false,
                         seq: 0,
                         dropped_quarantined: 0,
+                        guard: guard.map(|g| *g),
                     },
                 );
             }
@@ -137,7 +143,7 @@ impl ShardCore {
             } => {
                 let mut homes = lock(&self.homes);
                 if let Some(slot) = homes.get_mut(&home) {
-                    if self.observe_guarded(home, slot, event) {
+                    if self.ingest_and_observe(home, slot, std::iter::once(event)) {
                         self.context
                             .latency_us
                             .observe(submitted.elapsed().as_secs_f64() * 1e6);
@@ -154,11 +160,7 @@ impl ShardCore {
                     if self.context.record_verdicts {
                         slot.verdicts.reserve(events.len());
                     }
-                    let mut scored = false;
-                    for event in events {
-                        scored |= self.observe_guarded(home, slot, event);
-                    }
-                    if scored {
+                    if self.ingest_and_observe(home, slot, events) {
                         self.context
                             .latency_us
                             .observe(submitted.elapsed().as_secs_f64() * 1e6);
@@ -204,12 +206,80 @@ impl ShardCore {
         self.context.depth_gauge.set(depth as u64);
     }
 
+    /// Runs a job's events through `slot`'s ingestion guard (when one is
+    /// configured) and scores everything the guard releases, in watermark
+    /// order. Without a guard this is the historical direct path,
+    /// bit-identical to previous releases.
+    ///
+    /// Returns `true` when at least one event was scored (the latency
+    /// histogram's trigger — events parked in the reordering buffer are
+    /// not counted until released).
+    fn ingest_and_observe(
+        &self,
+        home: usize,
+        slot: &mut HomeSlot,
+        events: impl IntoIterator<Item = BinaryEvent>,
+    ) -> bool {
+        let mut scored = false;
+        // The guard is taken out of the slot for the duration of the job
+        // so the monitor (also in the slot) can be borrowed for scoring.
+        let Some(mut guard) = slot.guard.take() else {
+            for event in events {
+                scored |= self.observe_guarded(home, slot, event, None);
+            }
+            return scored;
+        };
+        for event in events {
+            let step = guard.offer(event);
+            if step.ready.is_empty() {
+                continue;
+            }
+            let stale = guard.stale_set();
+            let stale = (stale.count() > 0).then_some(stale);
+            for ready in step.ready {
+                scored |= self.observe_guarded(home, slot, ready, stale.as_ref());
+            }
+        }
+        slot.guard = Some(guard);
+        scored
+    }
+
+    /// Releases every event still parked in a home's reordering buffer
+    /// and scores it — the shutdown path's end-of-stream flush, run after
+    /// the queues drain so nothing submitted is silently lost.
+    pub(crate) fn flush_guards(&self) {
+        let mut homes = lock(&self.homes);
+        for (home, slot) in homes.iter_mut() {
+            let Some(mut guard) = slot.guard.take() else {
+                continue;
+            };
+            let remaining = guard.flush();
+            if !remaining.is_empty() {
+                let stale = guard.stale_set();
+                let stale = (stale.count() > 0).then_some(stale);
+                for event in remaining {
+                    self.observe_guarded(*home, slot, event, stale.as_ref());
+                }
+            }
+            slot.guard = Some(guard);
+        }
+    }
+
     /// Offers one event to `slot`'s monitor behind `catch_unwind`.
     ///
     /// Returns `true` when the event was scored. On a panic the home is
     /// quarantined: payload captured, admission gate closed, monitor
     /// sealed. The caller's loop (and every sibling home) continues.
-    fn observe_guarded(&self, home: usize, slot: &mut HomeSlot, event: BinaryEvent) -> bool {
+    /// With `stale` present the monitor scores in degraded mode,
+    /// discounting verdict confidence for causes conditioned on stale
+    /// devices.
+    fn observe_guarded(
+        &self,
+        home: usize,
+        slot: &mut HomeSlot,
+        event: BinaryEvent,
+        stale: Option<&StaleSet>,
+    ) -> bool {
         if slot.poisoned {
             slot.dropped_quarantined += 1;
             self.context.dropped_quarantined.inc();
@@ -223,7 +293,10 @@ impl ShardCore {
             if let Some(hook) = hook {
                 hook.before_observe(HomeId(home), seq);
             }
-            monitor.observe(event)
+            match stale {
+                Some(stale) => monitor.observe_degraded(event, stale),
+                None => monitor.observe(event),
+            }
         }));
         match outcome {
             Ok(verdict) => {
@@ -369,12 +442,13 @@ impl Supervisor {
             }
             tracker.last = Some(Instant::now());
             // Re-read the checkpoint on every attempt so an operator can
-            // replace the file between attempts.
-            let Ok(text) = std::fs::read_to_string(&policy.from_checkpoint) else {
-                tracker.attempts += 1;
-                continue;
-            };
-            let Ok(model) = FittedModel::load_with_telemetry(&text, &self.telemetry) else {
+            // replace the file between attempts. The crash-safe loader
+            // verifies the CRC footer, so a corrupt or truncated file
+            // burns an attempt instead of installing a broken monitor.
+            let Ok(model) = FittedModel::load_from_path_with_telemetry(
+                &policy.from_checkpoint,
+                &self.telemetry,
+            ) else {
                 tracker.attempts += 1;
                 continue;
             };

@@ -245,6 +245,8 @@ pub struct MonitorReport {
     pub dropped_duplicate: u64,
     /// Raw events dropped as extreme readings.
     pub dropped_extreme: u64,
+    /// Raw events dropped for non-finite (NaN/infinite) numeric readings.
+    pub dropped_non_finite: u64,
     /// Contextual alarms raised.
     pub contextual_alarms: u64,
     /// Collective alarms raised.
@@ -265,6 +267,7 @@ impl MonitorReport {
             .push("events_observed", self.events_observed)
             .push("dropped_duplicate", self.dropped_duplicate)
             .push("dropped_extreme", self.dropped_extreme)
+            .push("dropped_non_finite", self.dropped_non_finite)
             .push("contextual_alarms", self.contextual_alarms)
             .push("collective_alarms", self.collective_alarms)
             .push("max_tracking_len", self.max_tracking_len)
@@ -277,7 +280,7 @@ impl MonitorReport {
     pub fn summary(&self) -> String {
         format!(
             "events observed   {}\n\
-             drops             {} duplicate, {} extreme\n\
+             drops             {} duplicate, {} extreme, {} non-finite\n\
              alarms            {} contextual, {} collective\n\
              observe latency   p50 {:.1} us, p99 {:.1} us\n\
              score percentiles p50 {:.4}, p99 {:.4}\n\
@@ -285,6 +288,7 @@ impl MonitorReport {
             self.events_observed,
             self.dropped_duplicate,
             self.dropped_extreme,
+            self.dropped_non_finite,
             self.contextual_alarms,
             self.collective_alarms,
             self.observe_latency_us.p50,

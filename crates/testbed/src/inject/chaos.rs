@@ -1,0 +1,277 @@
+//! Ingestion chaos: deterministic stream corruption for the guard seam.
+//!
+//! Where [`super::faults`] attacks the serving layer (monitor panics,
+//! worker kills), this module attacks the *stream itself*: benign
+//! out-of-order jitter the ingestion guard must repair, plus stragglers,
+//! deep clock regressions, and unknown-device events it must refuse as
+//! dead letters. Corruption is seeded and the expected refusal counts are
+//! returned, so a chaos test can assert exact dead-letter accounting and
+//! bit-identical verdicts for everything the guard repairs.
+
+use std::time::Duration;
+
+use iot_model::{BinaryEvent, DeviceId, Timestamp};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// What to inject into a clean, timestamp-sorted binary event stream.
+///
+/// The defaults describe a mild storm: a handful of in-window swaps, one
+/// straggler, one deep regression, one unknown device.
+#[derive(Debug, Clone)]
+pub struct ChaosSpec {
+    /// Adjacent transpositions to apply where the pair's timestamps are
+    /// within `reorder_window` — jitter the guard must repair exactly.
+    pub swaps: usize,
+    /// Re-emissions of past events lagging just behind the watermark
+    /// (within `max_skew`), which the guard refuses as late arrivals.
+    pub stragglers: usize,
+    /// Re-emissions lagging beyond `max_skew`, refused as clock
+    /// regressions.
+    pub regressions: usize,
+    /// Events naming device ids outside the fitted model.
+    pub unknown_devices: usize,
+    /// The guard's reorder window (swap pairs stay inside it; injected
+    /// lag starts beyond it).
+    pub reorder_window: Duration,
+    /// The guard's skew budget (stragglers lag less, regressions more).
+    pub max_skew: Duration,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec {
+            swaps: 4,
+            stragglers: 1,
+            regressions: 1,
+            unknown_devices: 1,
+            reorder_window: Duration::from_secs(30),
+            max_skew: Duration::from_secs(300),
+        }
+    }
+}
+
+/// Refusals a [`corrupt_stream`] injection must produce, by cause —
+/// mirrors `causaliot_core::DeadLetterCounts` for the causes chaos can
+/// inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosCounts {
+    /// Injected stragglers (expected `LateArrival` dead letters).
+    pub late_arrival: u64,
+    /// Injected deep regressions (expected `ClockRegression`).
+    pub clock_regression: u64,
+    /// Injected out-of-model events (expected `UnknownDevice`).
+    pub unknown_device: u64,
+}
+
+impl ChaosCounts {
+    /// Total injected refusals.
+    pub fn total(&self) -> u64 {
+        self.late_arrival + self.clock_regression + self.unknown_device
+    }
+}
+
+/// The corrupted stream plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// The stream with jitter and poison events applied.
+    pub events: Vec<BinaryEvent>,
+    /// Injections an ingestion guard configured with the spec's window
+    /// and skew must refuse, by cause.
+    pub expected_dead: ChaosCounts,
+    /// In-window transpositions actually applied (the guard must undo
+    /// every one of them).
+    pub swaps_applied: usize,
+}
+
+/// Corrupts a timestamp-sorted stream of events drawn from a model with
+/// `num_devices` devices, per `spec`, deterministically from `rng`.
+///
+/// Guarantees, for a guard using the spec's `reorder_window`/`max_skew`:
+///
+/// * every applied swap is repairable (verdicts bit-identical to the
+///   clean stream for all surviving events),
+/// * every injected straggler/regression/unknown-device event is refused
+///   with exactly the cause counted in [`ChaosOutcome::expected_dead`],
+/// * injected events never advance the guard's watermark (they are copies
+///   of past stream time, not future time).
+///
+/// Streams too short (or too early in stream time) to host an injection
+/// get fewer injections; the returned counts are always exact.
+pub fn corrupt_stream(
+    clean: &[BinaryEvent],
+    num_devices: usize,
+    spec: &ChaosSpec,
+    rng: &mut StdRng,
+) -> ChaosOutcome {
+    let mut events: Vec<BinaryEvent> = clean.to_vec();
+    let window_ms = spec.reorder_window.as_millis() as u64;
+    let skew_ms = spec.max_skew.as_millis() as u64;
+
+    // 1. Benign jitter: adjacent transpositions whose pair sits inside
+    //    the reorder window. Applied to distinct positions so each swap
+    //    is an independent, guard-repairable inversion.
+    let mut swaps_applied = 0;
+    if events.len() >= 2 {
+        let mut tried = std::collections::BTreeSet::new();
+        let mut budget = spec.swaps * 8;
+        while swaps_applied < spec.swaps && budget > 0 {
+            budget -= 1;
+            let i = rng.gen_range(0..events.len() - 1);
+            if !tried.insert(i) || (i > 0 && tried.contains(&(i - 1))) || tried.contains(&(i + 1)) {
+                continue;
+            }
+            let gap = events[i + 1]
+                .time
+                .as_millis()
+                .saturating_sub(events[i].time.as_millis());
+            if gap == 0 || gap > window_ms {
+                continue;
+            }
+            events.swap(i, i + 1);
+            swaps_applied += 1;
+        }
+    }
+
+    // 2. Poison events, inserted at a randomly chosen position. Each is a
+    //    copy of a past event pushed `lag` behind the watermark in force
+    //    at the insertion point — the maximum timestamp over the prefix
+    //    (poisons are refused, so they never advance the guard's
+    //    watermark and never count toward the prefix maximum themselves;
+    //    being the oldest events present, they cannot be that maximum).
+    //    Lateness is therefore *exactly* `lag`, which pins the cause.
+    let mut expected_dead = ChaosCounts::default();
+    let inject = |events: &mut Vec<BinaryEvent>, rng: &mut StdRng, lag_ms: u64| -> bool {
+        if events.len() < 2 {
+            return false;
+        }
+        let at = rng.gen_range(1..events.len());
+        let anchor = events[at - 1];
+        let prefix_max_ms = events[..at]
+            .iter()
+            .map(|e| e.time.as_millis())
+            .max()
+            .expect("non-empty prefix");
+        let Some(t) = prefix_max_ms.checked_sub(window_ms + lag_ms) else {
+            return false;
+        };
+        let poison = BinaryEvent::new(Timestamp::from_millis(t), anchor.device, anchor.value);
+        events.insert(at, poison);
+        true
+    };
+    for _ in 0..spec.stragglers {
+        // Lag within the skew budget: a network straggler.
+        let lag = rng.gen_range(1..=skew_ms.max(1));
+        if inject(&mut events, rng, lag) {
+            expected_dead.late_arrival += 1;
+        }
+    }
+    for _ in 0..spec.regressions {
+        // Lag beyond the skew budget: a faulted clock.
+        let lag = skew_ms + 1 + rng.gen_range(0..=skew_ms.max(1));
+        if inject(&mut events, rng, lag) {
+            expected_dead.clock_regression += 1;
+        }
+    }
+
+    // 3. Unknown devices: ids just past the registry, at in-order
+    //    timestamps (refused on identity, not time).
+    for k in 0..spec.unknown_devices {
+        if events.is_empty() {
+            break;
+        }
+        let at = rng.gen_range(0..events.len());
+        let anchor = events[at];
+        let ghost = BinaryEvent::new(
+            anchor.time,
+            DeviceId::from_index(num_devices + k),
+            anchor.value,
+        );
+        events.insert(at, ghost);
+        expected_dead.unknown_device += 1;
+    }
+
+    ChaosOutcome {
+        events,
+        expected_dead,
+        swaps_applied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn clean_stream(len: usize) -> Vec<BinaryEvent> {
+        (0..len)
+            .map(|i| {
+                BinaryEvent::new(
+                    Timestamp::from_secs(1_000_000 + i as u64 * 20),
+                    DeviceId::from_index(i % 3),
+                    i % 2 == 0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let clean = clean_stream(200);
+        let spec = ChaosSpec::default();
+        let a = corrupt_stream(&clean, 3, &spec, &mut StdRng::seed_from_u64(9));
+        let b = corrupt_stream(&clean, 3, &spec, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.expected_dead, b.expected_dead);
+    }
+
+    #[test]
+    fn counts_match_injections() {
+        let clean = clean_stream(300);
+        let spec = ChaosSpec {
+            stragglers: 3,
+            regressions: 2,
+            unknown_devices: 2,
+            ..ChaosSpec::default()
+        };
+        let out = corrupt_stream(&clean, 3, &spec, &mut StdRng::seed_from_u64(4));
+        assert_eq!(out.expected_dead.late_arrival, 3);
+        assert_eq!(out.expected_dead.clock_regression, 2);
+        assert_eq!(out.expected_dead.unknown_device, 2);
+        assert_eq!(
+            out.events.len(),
+            clean.len() + out.expected_dead.total() as usize
+        );
+        assert!(out.swaps_applied > 0);
+    }
+
+    #[test]
+    fn swapped_pairs_stay_inside_the_window() {
+        let clean = clean_stream(400);
+        let spec = ChaosSpec {
+            swaps: 10,
+            stragglers: 0,
+            regressions: 0,
+            unknown_devices: 0,
+            ..ChaosSpec::default()
+        };
+        let out = corrupt_stream(&clean, 3, &spec, &mut StdRng::seed_from_u64(7));
+        let window = spec.reorder_window.as_millis() as u64;
+        for pair in out.events.windows(2) {
+            let (a, b) = (pair[0].time.as_millis(), pair[1].time.as_millis());
+            if a > b {
+                assert!(a - b <= window, "inversion of {} ms exceeds window", a - b);
+            }
+        }
+    }
+
+    #[test]
+    fn short_streams_do_not_panic() {
+        let spec = ChaosSpec::default();
+        for len in 0..3 {
+            let clean = clean_stream(len);
+            let out = corrupt_stream(&clean, 3, &spec, &mut StdRng::seed_from_u64(1));
+            assert!(out.events.len() >= len);
+        }
+    }
+}

@@ -7,7 +7,10 @@
 //!   rules),
 //! * [`faults`] — serving-layer chaos injection (scheduled monitor
 //!   panics and worker-thread kills) for the `iot-serve` hub's fault
-//!   seam.
+//!   seam,
+//! * [`chaos`] — stream-level chaos injection (in-window jitter, late
+//!   stragglers, clock regressions, unknown devices) for the ingestion
+//!   guard seam.
 //!
 //! Injectors operate on the *preprocessed* (binary) testing event stream,
 //! exactly where the paper "inject\[s\] the corresponding anomalous system
@@ -15,10 +18,12 @@
 //! injected event so the evaluation can compare alarm positions against
 //! injected positions.
 
+pub mod chaos;
 pub mod collective;
 pub mod contextual;
 pub mod faults;
 
+pub use chaos::{corrupt_stream, ChaosCounts, ChaosOutcome, ChaosSpec};
 pub use collective::{inject_collective, CollectiveCase, CollectiveInjection, InjectedChain};
 pub use contextual::{inject_contextual, ContextualCase, ContextualInjection};
 pub use faults::{FaultSchedule, INJECTED_PANIC};

@@ -122,7 +122,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     banner("The automation drifts: refit, checkpoint to disk");
     let new_model = fit(&automation(&reg, 8, 1_500, 0, true))?;
     let checkpoint_path = std::env::temp_dir().join("causaliot_example.model");
-    std::fs::write(&checkpoint_path, new_model.save())?;
+    // Crash-safe save: written to a temp file, fsynced, atomically
+    // renamed, and sealed with a CRC32 footer — a crash mid-save can
+    // never leave a half-written checkpoint at this path.
+    new_model.save_to_path(&checkpoint_path)?;
     println!(
         "v2 model: {} interaction pairs, checkpoint written to {}",
         new_model.dig().interaction_pairs().len(),
@@ -130,7 +133,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     banner("A 'new process' restores the checkpoint from the file alone");
-    let restored = FittedModel::load(&std::fs::read_to_string(&checkpoint_path)?)?;
+    // The loader verifies the checksum and fails closed (with the path
+    // and byte offset) on corrupt or truncated files.
+    let restored = FittedModel::load_from_path(&checkpoint_path)?;
     assert_eq!(restored.dig(), new_model.dig());
     assert_eq!(restored.threshold(), new_model.threshold());
     // Spot-check: the restored model judges a held-out stream exactly as

@@ -8,6 +8,12 @@
 //! is under attack — its lamp flips without motion — and only that home
 //! should raise alarms.
 //!
+//! The hub also runs with an [`IngestPolicy`]: each home gets a bounded
+//! reordering buffer, and events that arrive hopelessly late are recorded
+//! as dead letters instead of silently corrupting the monitor's state
+//! machine. One home's gateway is flaky — it replays a stale burst — and
+//! its report shows the dead-letter count while its verdicts stay clean.
+//!
 //! ```text
 //! cargo run -p causaliot-examples --example multi_home_hub
 //! ```
@@ -20,6 +26,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 
 const HOMES: usize = 4;
 const ATTACKED_HOME: usize = 2;
+const FLAKY_HOME: usize = 1;
 const LIVE_EVENTS: usize = 2_000;
 
 /// The fleet's shared automation: presence flips, and the lamp follows
@@ -102,6 +109,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             initial_backoff: Duration::from_micros(20),
             max_backoff: Duration::from_millis(1),
         })
+        // Ingestion hardening: a 60s reordering buffer absorbs gateway
+        // jitter; anything older than 10 minutes behind the watermark is
+        // a dead letter, reported per home instead of fed to the monitor.
+        .ingest(IngestPolicy {
+            reorder_window: Duration::from_secs(60),
+            max_skew: Duration::from_secs(600),
+            ..IngestPolicy::default()
+        })
         .try_build()?;
     let mut hub = Hub::with_telemetry(config, &telemetry);
     let homes: Vec<_> = (0..HOMES)
@@ -122,6 +137,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if h == ATTACKED_HOME {
             inject_ghost_flips(&reg, &mut live, 99);
         }
+        if h == FLAKY_HOME {
+            // A flaky gateway replays a stale burst from hours ago at the
+            // end of the stream. The ingest guard refuses the replayed
+            // events as dead letters; the monitor never sees them.
+            let stale: Vec<_> = live[..6].to_vec();
+            live.extend(stale);
+        }
         // The Retry submit policy absorbs transient full-queue episodes;
         // only an exhausted retry budget surfaces as an error.
         for chunk in live.chunks(256) {
@@ -135,14 +157,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for report in &reports {
         let alarms: usize = report.verdicts.iter().map(|v| v.alarms.len()).sum();
         println!(
-            "{:8}  events {:>5}  alarms {:>2}{}",
+            "{:8}  events {:>5}  alarms {:>2}  dead letters {:>2}{}",
             report.name,
             report.monitor.events_observed,
             alarms,
-            if report.id.index() == ATTACKED_HOME {
-                "  <- compromised lamp"
-            } else {
-                ""
+            report.dead_letters,
+            match report.id.index() {
+                h if h == ATTACKED_HOME => "  <- compromised lamp",
+                h if h == FLAKY_HOME => "  <- flaky gateway (stale replay refused)",
+                _ => "",
             }
         );
     }

@@ -459,3 +459,114 @@ fn retry_policy_gives_up_after_its_budget() {
     stall.engaged.store(false, Ordering::Release);
     drop(hub); // plain drop must also stop supervisor + workers cleanly
 }
+
+/// The seeds driven by the chaos-ingest scenario. CI pins a matrix of
+/// seeds through the `CHAOS_SEEDS` environment variable (comma-separated
+/// integers); local runs fall back to a fixed default pair so the test is
+/// deterministic everywhere.
+fn chaos_seeds() -> Vec<u64> {
+    let raw = std::env::var("CHAOS_SEEDS").unwrap_or_else(|_| "11,23".to_string());
+    raw.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("CHAOS_SEEDS must be comma-separated integers: {raw:?}"))
+        })
+        .collect()
+}
+
+/// Chaos-ingest: four homes fed seeded storms of in-window jitter plus
+/// poison events (late stragglers, deep clock regressions, unknown
+/// devices — binary streams cannot carry NaN, which the ingestion guard
+/// covers on the raw path and `properties.rs` exercises). Every home's
+/// verdicts must be bit-identical to its clean sequential run, every
+/// poison event must land in that home's dead-letter counts with the
+/// injected cause, and the `ingest.drop.*` counters must account for the
+/// fleet-wide totals.
+#[test]
+fn chaos_ingest_repairs_jitter_and_dead_letters_poison_across_homes() {
+    install_quiet_panic_hook();
+    for seed in chaos_seeds() {
+        chaos_ingest_case(seed);
+    }
+}
+
+fn chaos_ingest_case(seed: u64) {
+    use causaliot::IngestPolicy;
+    use testbed::inject::{corrupt_stream, ChaosSpec};
+
+    let (reg, model) = fitted_model(seed);
+    let spec = ChaosSpec {
+        swaps: 8,
+        stragglers: 2,
+        regressions: 2,
+        unknown_devices: 1,
+        ..ChaosSpec::default()
+    };
+    let policy = IngestPolicy {
+        reorder_window: spec.reorder_window,
+        max_skew: spec.max_skew,
+        ..IngestPolicy::default()
+    };
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut hub = Hub::with_telemetry(
+        HubConfig::builder()
+            .workers(2)
+            .queue_capacity(64)
+            .ingest(policy)
+            .try_build()
+            .unwrap(),
+        &telemetry,
+    );
+    let mut expected = Vec::new();
+    let mut storms = Vec::new();
+    let mut homes = Vec::new();
+    for h in 0..4u64 {
+        let clean = home_stream(&reg, seed * 10 + h, 300);
+        expected.push(sequential_verdicts(&model, &clean));
+        let mut rng = StdRng::seed_from_u64(seed ^ (h << 32));
+        storms.push(corrupt_stream(&clean, model.num_devices(), &spec, &mut rng));
+        homes.push(hub.register(&format!("home-{h}"), &model));
+    }
+    for (h, storm) in storms.iter().enumerate() {
+        for chunk in storm.events.chunks(48) {
+            hub.submit_batch(homes[h], chunk.to_vec()).unwrap();
+        }
+    }
+    let reports = hub.shutdown();
+    let mut fleet_dead = 0u64;
+    for (h, report) in reports.iter().enumerate() {
+        let injected = storms[h].expected_dead;
+        assert_eq!(
+            report.verdicts, expected[h],
+            "seed {seed} home {h}: verdicts diverged from the clean run"
+        );
+        assert_eq!(
+            report.dead_letter_causes.late_arrival, injected.late_arrival,
+            "seed {seed} home {h}"
+        );
+        assert_eq!(
+            report.dead_letter_causes.clock_regression, injected.clock_regression,
+            "seed {seed} home {h}"
+        );
+        assert_eq!(
+            report.dead_letter_causes.unknown_device, injected.unknown_device,
+            "seed {seed} home {h}"
+        );
+        assert_eq!(
+            report.dead_letters,
+            injected.total(),
+            "seed {seed} home {h}"
+        );
+        assert!(!report.quarantined, "seed {seed} home {h}");
+        fleet_dead += report.dead_letters;
+    }
+    assert!(fleet_dead > 0, "seed {seed}: the storm injected nothing");
+    let counted = telemetry.counter("ingest.drop.late_arrival").get()
+        + telemetry.counter("ingest.drop.clock_regression").get()
+        + telemetry.counter("ingest.drop.unknown_device").get();
+    assert_eq!(
+        counted, fleet_dead,
+        "seed {seed}: ingest.drop.* counters disagree"
+    );
+}

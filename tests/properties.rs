@@ -417,6 +417,139 @@ fn staged_fit_matches_monolithic_reference() {
     assert_eq!(fitted, 40, "all generated cases must fit");
 }
 
+/// Any permutation of a clean stream whose displacements stay inside the
+/// guard's reorder window is repaired exactly: the released stream is the
+/// clean stream, and monitor verdicts are bit-identical to an unguarded
+/// sequential run.
+#[test]
+fn ingest_guard_repairs_any_in_window_permutation() {
+    use causaliot::{IngestGuard, IngestPolicy};
+    use std::time::Duration;
+
+    let devices = 4;
+    let reg = binary_registry(devices);
+    let mut rng = StdRng::seed_from_u64(0x1A7E);
+    let training: Vec<BinaryEvent> = (0..300)
+        .map(|i| {
+            BinaryEvent::new(
+                Timestamp::from_secs(i * 45),
+                DeviceId::from_index((i % devices as u64) as usize),
+                rng.gen_bool(0.5),
+            )
+        })
+        .collect();
+    let model = causaliot::CausalIot::builder()
+        .tau(2)
+        .build()
+        .fit_binary(&reg, &training)
+        .unwrap();
+    let window = Duration::from_secs(60);
+    let policy = IngestPolicy {
+        reorder_window: window,
+        ..IngestPolicy::default()
+    };
+    for case in 0..60 {
+        // Strictly increasing clean timestamps, then a bounded shuffle:
+        // sort by `t + jitter` with jitter < window/2, so no inversion
+        // ever exceeds the reorder window.
+        let len = rng.gen_range(20usize..120);
+        let mut t = 1_000_000u64;
+        let clean: Vec<BinaryEvent> = (0..len)
+            .map(|i| {
+                t += rng.gen_range(1..=30) * 1000;
+                BinaryEvent::new(
+                    Timestamp::from_millis(t),
+                    DeviceId::from_index(i % devices),
+                    rng.gen_bool(0.5),
+                )
+            })
+            .collect();
+        let mut keyed: Vec<(u64, BinaryEvent)> = clean
+            .iter()
+            .map(|e| {
+                (
+                    e.time.as_millis() + rng.gen_range(0..window.as_millis() as u64 / 2),
+                    *e,
+                )
+            })
+            .collect();
+        keyed.sort_by_key(|(key, _)| *key);
+
+        let mut guard = IngestGuard::new(policy, devices);
+        let mut monitor = model.clone().into_monitor();
+        let mut verdicts = Vec::new();
+        let mut released = Vec::new();
+        for (_, event) in keyed {
+            let step = guard.offer(event);
+            assert!(step.dead.is_none(), "case {case}: spurious dead letter");
+            for ready in step.ready {
+                released.push(ready);
+                verdicts.push(monitor.observe(ready));
+            }
+        }
+        for ready in guard.flush() {
+            released.push(ready);
+            verdicts.push(monitor.observe(ready));
+        }
+        assert_eq!(released, clean, "case {case}: repair is not exact");
+        let mut reference = model.clone().into_monitor();
+        let expected: Vec<causaliot::Verdict> =
+            clean.iter().map(|e| reference.observe(*e)).collect();
+        assert_eq!(verdicts, expected, "case {case}: verdicts diverged");
+        assert_eq!(guard.counts().total(), 0, "case {case}");
+    }
+}
+
+/// Arbitrary hostile streams — random timestamp jumps in both directions,
+/// out-of-model device ids, NaN/infinite readings — never panic the
+/// guard, and every offered event is conserved: released, still buffered,
+/// or dead-lettered with a refusal cause.
+#[test]
+fn ingest_guard_conserves_events_and_never_panics() {
+    use causaliot::{IngestGuard, IngestPolicy};
+    use iot_model::{DeviceEvent, StateValue};
+    use std::time::Duration;
+
+    let mut rng = StdRng::seed_from_u64(0xD15C0);
+    for case in 0..200 {
+        let devices = rng.gen_range(1usize..6);
+        let policy = IngestPolicy {
+            reorder_window: Duration::from_secs(rng.gen_range(0..120)),
+            max_skew: Duration::from_secs(rng.gen_range(0..600)),
+            liveness_timeout: rng
+                .gen_bool(0.5)
+                .then(|| Duration::from_secs(rng.gen_range(1..900))),
+            duplicate_flood_limit: rng.gen_range(0..4),
+        };
+        let mut guard: IngestGuard<DeviceEvent> = IngestGuard::new(policy, devices);
+        let len = rng.gen_range(0usize..200);
+        let mut released = 0usize;
+        for _ in 0..len {
+            let value = match rng.gen_range(0..4) {
+                0 => StateValue::Binary(rng.gen_bool(0.5)),
+                1 => StateValue::Numeric(rng.gen_range(-50.0..50.0)),
+                2 => StateValue::Numeric(f64::NAN),
+                _ => StateValue::Numeric(f64::INFINITY),
+            };
+            let event = DeviceEvent::new(
+                Timestamp::from_secs(rng.gen_range(0u64..5_000)),
+                DeviceId::from_index(rng.gen_range(0..devices + 2)),
+                value,
+            );
+            let step = guard.offer(event);
+            released += step.ready.len();
+            let _ = guard.stale_set();
+        }
+        released += guard.flush().len();
+        assert_eq!(
+            released as u64 + guard.counts().total(),
+            len as u64,
+            "case {case}: events not conserved ({:?})",
+            guard.counts()
+        );
+    }
+}
+
 /// Resuming the stage pipeline from any intermediate artifact yields the
 /// same model as the one-shot composition.
 #[test]

@@ -172,9 +172,17 @@ fn raw_monitoring_reports_drop_reasons_and_counts() {
         StateValue::Binary(!current),
     );
     assert!(monitor.observe_raw(&flip).is_ok());
+    let nan = DeviceEvent::new(
+        Timestamp::from_secs(50_002),
+        lamp,
+        StateValue::Numeric(f64::NAN),
+    );
+    assert_eq!(monitor.observe_raw(&nan), Err(DropReason::NonFinite));
     let report = monitor.report();
     assert_eq!(report.dropped_duplicate, 1);
+    assert_eq!(report.dropped_non_finite, 1);
     assert_eq!(report.events_observed, 1);
     assert_eq!(telemetry.counter("monitor.drop.duplicate").get(), 1);
+    assert_eq!(telemetry.counter("monitor.drop.non_finite").get(), 1);
     assert_eq!(telemetry.counter("monitor.events").get(), 1);
 }
