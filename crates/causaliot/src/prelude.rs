@@ -10,8 +10,9 @@
 //! ([`IngestPolicy`], [`GuardedMonitor`], [`DeadLetterCounts`], …), the
 //! data model ([`DeviceRegistry`], [`BinaryEvent`], [`Timestamp`], …),
 //! the serving hub ([`Hub`], [`HubConfig`], [`HomeId`],
-//! [`SubmitPolicy`], …), telemetry ([`TelemetryHandle`],
-//! [`MonitorReport`]), and the unified [`Error`]. Anything rarer stays
+//! [`SubmitPolicy`], …), live introspection ([`HubStats`],
+//! [`FlightRecording`], [`MetricsServer`]), telemetry
+//! ([`TelemetryHandle`], [`MonitorReport`]), and the unified [`Error`]. Anything rarer stays
 //! behind its module path ([`crate::graph`], [`crate::miner`],
 //! [`crate::serve`], …).
 
@@ -25,7 +26,8 @@ pub use iot_model::{
     Attribute, BinaryEvent, DeviceEvent, DeviceId, DeviceRegistry, Room, Timestamp,
 };
 pub use iot_serve::{
-    FaultHook, HomeId, HomeReport, Hub, HubConfig, HubConfigBuilder, QuarantinedError,
-    RestorePolicy, SubmitError, SubmitPolicy,
+    FaultHook, FlightEntry, FlightRecording, HomeId, HomeReport, HomeStats, Hub, HubConfig,
+    HubConfigBuilder, HubStats, LatencyStats, QuarantinedError, RestorePolicy, ShardStats,
+    SubmitError, SubmitPolicy,
 };
-pub use iot_telemetry::{MonitorReport, TelemetryHandle};
+pub use iot_telemetry::{MetricsServer, MonitorReport, TelemetryHandle};

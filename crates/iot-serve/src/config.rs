@@ -99,6 +99,14 @@ pub struct HubConfig {
     /// (the default) bypasses the guard entirely — the hub behaves
     /// bit-identically to previous releases.
     pub ingest: Option<IngestPolicy>,
+    /// Per-home flight recorder capacity: keep the last N scored events
+    /// (event, score, verdict) in a fixed ring on the home's shard, so a
+    /// quarantine carries the evidence that led up to it
+    /// ([`crate::HomeReport::quarantine_flights`]) and a live home can be
+    /// inspected via [`crate::Hub::dump_home`]. Memory is bounded at
+    /// `N × homes` entries. `None` (the default) records nothing and
+    /// leaves the scoring hot path untouched.
+    pub flight_recorder: Option<usize>,
 }
 
 impl Default for HubConfig {
@@ -110,6 +118,7 @@ impl Default for HubConfig {
             submit_policy: SubmitPolicy::default(),
             restore_policy: None,
             ingest: None,
+            flight_recorder: None,
         }
     }
 }
@@ -181,6 +190,12 @@ impl HubConfig {
         if let Some(policy) = &self.ingest {
             policy.check()?;
         }
+        if self.flight_recorder == Some(0) {
+            return Err(ConfigError::new(
+                "flight_recorder",
+                "capacity must be at least 1 (omit the field to disable recording)",
+            ));
+        }
         Ok(())
     }
 }
@@ -230,6 +245,13 @@ impl HubConfigBuilder {
         self
     }
 
+    /// Enables the per-home flight recorder, keeping the last `capacity`
+    /// scored events per home (see [`HubConfig::flight_recorder`]).
+    pub fn flight_recorder(mut self, capacity: usize) -> Self {
+        self.config.flight_recorder = Some(capacity);
+        self
+    }
+
     /// Finalises the configuration, validating every field:
     ///
     /// * `workers ≥ 1` and `queue_capacity ≥ 1`,
@@ -239,7 +261,8 @@ impl HubConfigBuilder {
     /// * a [`RestorePolicy`] has `max_restores ≥ 1` and a non-empty
     ///   checkpoint path,
     /// * an [`IngestPolicy`] passes its own
-    ///   [`check`](IngestPolicy::check).
+    ///   [`check`](IngestPolicy::check),
+    /// * a [`HubConfig::flight_recorder`] capacity is at least 1.
     ///
     /// # Errors
     ///
@@ -343,6 +366,18 @@ mod tests {
             }),
             "liveness_timeout",
         );
+    }
+
+    #[test]
+    fn flight_recorder_defaults_off_and_rejects_zero() {
+        assert_eq!(HubConfig::default().flight_recorder, None);
+        let config = HubConfig::builder().flight_recorder(64).build();
+        assert_eq!(config.flight_recorder, Some(64));
+        let err = HubConfig::builder()
+            .flight_recorder(0)
+            .try_build()
+            .expect_err("zero capacity");
+        assert_eq!(err.parameter(), "flight_recorder", "{err}");
     }
 
     #[test]

@@ -3,21 +3,24 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use causaliot_core::{DeadLetterCounts, FittedModel, IngestGuard, Verdict};
 use iot_model::BinaryEvent;
-use iot_telemetry::{Buckets, Counter, Gauge, MonitorReport, TelemetryHandle};
+use iot_telemetry::{
+    Buckets, Counter, Gauge, Histogram, MetricsServer, MonitorReport, TelemetryHandle,
+};
 
 use crate::config::{HubConfig, SubmitPolicy};
 use crate::error::QuarantinedError;
 use crate::fault::{FaultHook, HomeHealth};
+use crate::stats::{FlightRecording, HomeStats, HomeStatsCell, HubStats, LatencyStats, ShardStats};
 use crate::supervisor::{
-    spawn_worker, Job, ShardCore, SupervisedHome, Supervisor, SupervisorGuard, SupervisorShared,
-    WorkerContext,
+    flight_recording, spawn_worker, Job, ShardCore, SupervisedHome, Supervisor, SupervisorGuard,
+    SupervisorShared, WorkerContext,
 };
 use crate::util::lock;
 use crate::SubmitError;
@@ -92,6 +95,14 @@ pub struct HomeReport {
     /// Devices the liveness clock flagged stale at shutdown (`0` when
     /// [`HubConfig::ingest`] is off or liveness detection is disabled).
     pub stale_devices: u64,
+    /// The home's end-of-session flight recording — the last N scored
+    /// events still in the ring at shutdown (`None` when
+    /// [`HubConfig::flight_recorder`] is off).
+    pub flight: Option<FlightRecording>,
+    /// One frozen recording per quarantine, captured at the instant of
+    /// each panic (the panicking event is each recording's last entry).
+    /// Empty when the home never panicked or recording is off.
+    pub quarantine_flights: Vec<FlightRecording>,
 }
 
 struct Shard {
@@ -103,7 +114,9 @@ struct Shard {
 
 struct HomeEntry {
     shard: usize,
+    name: String,
     health: Arc<HomeHealth>,
+    stats: Arc<HomeStatsCell>,
 }
 
 /// A concurrent, fault-tolerant serving hub for a fleet of smart homes.
@@ -141,6 +154,12 @@ pub struct Hub {
     swaps: Counter,
     retries: Counter,
     deadline_exceeded: Counter,
+    /// Always-on submission count backing [`Hub::stats`] — unlike the
+    /// `hub.submitted` counter it keeps counting with telemetry disabled.
+    events_submitted: AtomicU64,
+    /// Handle to the `hub.e2e_latency_us` histogram, for
+    /// [`Hub::stats`]'s latency quantiles.
+    latency_us: Histogram,
     /// Kept so per-home ingestion guards built at registration time can
     /// attach their `ingest.*` instruments.
     telemetry: TelemetryHandle,
@@ -208,6 +227,7 @@ impl Hub {
         }
         let latency_us =
             telemetry.histogram("hub.e2e_latency_us", Buckets::exponential(1.0, 2.0, 24));
+        let events_total = telemetry.counter("hub.events");
         let quarantines = telemetry.counter("hub.quarantines");
         let restores = telemetry.counter("hub.restores");
         let dropped_quarantined = telemetry.counter("hub.quarantine_dropped");
@@ -224,12 +244,15 @@ impl Hub {
                 depth: Arc::clone(&depth),
                 depth_gauge: telemetry.gauge(&format!("hub.shard.{i}.queue_depth")),
                 events: telemetry.counter(&format!("hub.shard.{i}.events")),
+                events_total: events_total.clone(),
                 swaps: telemetry.counter(&format!("hub.shard.{i}.swaps")),
                 quarantines: quarantines.clone(),
                 restores: restores.clone(),
                 dropped_quarantined: dropped_quarantined.clone(),
                 latency_us: latency_us.clone(),
                 record_verdicts: config.record_verdicts,
+                flight_recorder: config.flight_recorder,
+                telemetry: telemetry.clone(),
             };
             let core = Arc::new(ShardCore {
                 receiver: Mutex::new(receiver),
@@ -279,6 +302,8 @@ impl Hub {
             swaps: telemetry.counter("hub.swaps"),
             retries: telemetry.counter("hub.retries"),
             deadline_exceeded: telemetry.counter("hub.deadline_exceeded"),
+            events_submitted: AtomicU64::new(0),
+            latency_us,
             telemetry: telemetry.clone(),
         }
     }
@@ -307,6 +332,94 @@ impl Hub {
         self.shards[shard].depth.load(Ordering::Relaxed)
     }
 
+    /// A non-blocking point-in-time sample of the hub's live state:
+    /// per-shard queue depths and job counts, per-home event / verdict /
+    /// dead-letter / quarantine counters, and end-to-end latency
+    /// quantiles.
+    ///
+    /// Reads only always-on relaxed atomics — no shard queue is touched
+    /// and no worker lock is taken, so this never blocks scoring and
+    /// scoring never blocks it. Counters are sampled independently;
+    /// cross-counter invariants (submitted = scored + dead-lettered +
+    /// dropped + parked in reordering buffers) hold exactly only on a
+    /// quiescent hub, e.g. right after
+    /// [`Hub::drain`]. Latency quantiles come from the telemetry
+    /// histogram and are all zero when the hub runs with telemetry
+    /// disabled; every other field works regardless.
+    pub fn stats(&self) -> HubStats {
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| ShardStats {
+                shard: i,
+                queue_depth: shard.depth.load(Ordering::Relaxed),
+                jobs_done: self.cores[i].jobs_done.load(Ordering::Relaxed),
+            })
+            .collect();
+        let homes = self
+            .homes
+            .iter()
+            .enumerate()
+            .map(|(id, entry)| HomeStats {
+                id: HomeId(id),
+                name: entry.name.clone(),
+                shard: entry.shard,
+                events_scored: entry.stats.events_scored(),
+                verdicts_recorded: entry.stats.verdicts_recorded(),
+                dead_letters: entry.stats.dead_letters(),
+                dropped_quarantined: entry.stats.dropped_quarantined(),
+                quarantined: entry.health.is_quarantined(),
+                restores: entry.health.restores(),
+            })
+            .collect();
+        HubStats {
+            events_submitted: self.events_submitted.load(Ordering::Relaxed),
+            shards,
+            homes,
+            latency: LatencyStats::from_snapshot(&self.latency_us.snapshot()),
+        }
+    }
+
+    /// Starts a background HTTP endpoint serving the hub's telemetry
+    /// registry in Prometheus text format at `GET /metrics` — point a
+    /// scraper (or `curl`) at it. The server runs on its own thread until
+    /// the returned [`MetricsServer`] is stopped or dropped; bind to port
+    /// 0 to let the OS pick (see [`MetricsServer::local_addr`]).
+    ///
+    /// With telemetry disabled the endpoint stays up but serves an empty
+    /// registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener's bind error.
+    pub fn serve_metrics(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<MetricsServer> {
+        MetricsServer::serve(addr, self.telemetry.clone())
+    }
+
+    /// Dumps `home`'s flight recorder: the last
+    /// [`HubConfig::flight_recorder`] events it scored, oldest first.
+    ///
+    /// The dump rides the home's own shard queue like any other job, so
+    /// it lands at an event boundary — a consistent cut, never a
+    /// half-scored event — after everything queued before this call.
+    /// Quarantined homes can be dumped too (the recording ends with the
+    /// panicking entry). Returns `None` when recording is disabled.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::UnknownHome`] for an unregistered id,
+    /// [`SubmitError::Shutdown`] when the workers are gone.
+    pub fn dump_home(&self, home: HomeId) -> Result<Option<FlightRecording>, SubmitError> {
+        let entry = self.entry(home)?;
+        let (ack, recording) = sync_channel(1);
+        self.enqueue_blocking(entry.shard, Job::Dump { home: home.0, ack });
+        recording.recv().map_err(|_| SubmitError::Shutdown)
+    }
+
     /// Whether `home` is currently quarantined after a monitor panic.
     ///
     /// Returns `false` for unknown homes too; submission paths report
@@ -327,9 +440,12 @@ impl Hub {
         let id = self.homes.len();
         let shard = id % self.shards.len();
         let health = Arc::new(HomeHealth::new());
+        let stats = Arc::new(HomeStatsCell::default());
         self.homes.push(HomeEntry {
             shard,
+            name: name.to_string(),
             health: Arc::clone(&health),
+            stats: Arc::clone(&stats),
         });
         lock(&self.shared.homes).push(SupervisedHome {
             home: id,
@@ -350,6 +466,7 @@ impl Hub {
                 monitor,
                 health,
                 guard,
+                stats,
             },
         );
         HomeId(id)
@@ -557,6 +674,7 @@ impl Hub {
                     .guard
                     .as_ref()
                     .map_or(0, |g| g.stale_set().count() as u64);
+                let flight = flight_recording(id, &slot);
                 reports.push(HomeReport {
                     id: HomeId(id),
                     name: slot.name,
@@ -571,6 +689,8 @@ impl Hub {
                     dead_letters: dead_letter_causes.total(),
                     dead_letter_causes,
                     stale_devices,
+                    flight,
+                    quarantine_flights: slot.quarantine_flights,
                 });
             }
         }
@@ -623,6 +743,7 @@ impl Hub {
                 Ok(()) => {
                     shard.depth_gauge.set(depth as u64);
                     self.submitted.add(events);
+                    self.events_submitted.fetch_add(events, Ordering::Relaxed);
                     return Ok(());
                 }
                 Err(TrySendError::Disconnected(_)) => {

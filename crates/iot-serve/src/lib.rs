@@ -45,10 +45,18 @@
 //! * **Telemetry** — wired into the `iot-telemetry` registry: per-shard
 //!   queue-depth gauges (`hub.shard.<i>.queue_depth`), per-shard event /
 //!   swap / restart counters (`hub.shard.<i>.events`, `.swaps`,
-//!   `.restarts`), hub-wide counters (`hub.submitted`, `hub.swaps`,
-//!   `hub.quarantines`, `hub.restores`, `hub.quarantine_dropped`,
-//!   `hub.retries`, `hub.deadline_exceeded`), and an end-to-end
-//!   submit-to-verdict latency histogram (`hub.e2e_latency_us`).
+//!   `.restarts`), hub-wide counters (`hub.events`, `hub.submitted`,
+//!   `hub.swaps`, `hub.quarantines`, `hub.restores`,
+//!   `hub.quarantine_dropped`, `hub.retries`, `hub.deadline_exceeded`),
+//!   and an end-to-end submit-to-verdict latency histogram
+//!   (`hub.e2e_latency_us`).
+//! * **Live introspection** — [`Hub::stats`] samples a running hub
+//!   without blocking it ([`HubStats`]: queue depths, per-home counters,
+//!   latency quantiles); [`Hub::serve_metrics`] exposes the telemetry
+//!   registry over HTTP in Prometheus text format; and an optional
+//!   per-home flight recorder ([`HubConfig::flight_recorder`]) keeps the
+//!   last N scored events so a quarantine carries its evidence
+//!   ([`HomeReport::quarantine_flights`], [`Hub::dump_home`]).
 //!
 //! ```
 //! use causaliot_core::CausalIot;
@@ -86,6 +94,7 @@ mod config;
 mod error;
 pub mod fault;
 mod hub;
+mod stats;
 mod supervisor;
 mod util;
 
@@ -93,3 +102,5 @@ pub use config::{HubConfig, HubConfigBuilder, RestorePolicy, SubmitPolicy};
 pub use error::{QuarantinedError, SubmitError};
 pub use fault::FaultHook;
 pub use hub::{HomeId, HomeReport, Hub};
+pub use iot_telemetry::MetricsServer;
+pub use stats::{FlightEntry, FlightRecording, HomeStats, HubStats, LatencyStats, ShardStats};

@@ -1,0 +1,202 @@
+//! Live hub introspection: non-blocking statistics and flight-recorder
+//! evidence.
+//!
+//! [`crate::Hub::stats`] assembles a [`HubStats`] from always-on atomic
+//! counters without touching any shard queue or home lock — it never
+//! blocks a worker and never waits behind one, so it is safe to call from
+//! a signal handler thread or a metrics poller at any rate.
+//!
+//! [`FlightRecording`] is the dump format of the per-home flight recorder
+//! (an [`iot_telemetry::FlightRecorder`] of [`FlightEntry`] triples kept
+//! on the home's shard). Recordings are captured automatically when a
+//! home is quarantined and on demand via [`crate::Hub::dump_home`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use causaliot_core::Verdict;
+use iot_model::BinaryEvent;
+use iot_telemetry::HistogramSnapshot;
+
+use crate::hub::HomeId;
+
+/// Always-on per-home counters shared between the hub (readers) and the
+/// home's shard worker (writer). Plain relaxed atomics: `Hub::stats`
+/// reads are instantaneous point-in-time samples, not a barrier.
+#[derive(Debug, Default)]
+pub(crate) struct HomeStatsCell {
+    pub(crate) events_scored: AtomicU64,
+    pub(crate) verdicts_recorded: AtomicU64,
+    pub(crate) dead_letters: AtomicU64,
+    pub(crate) dropped_quarantined: AtomicU64,
+}
+
+impl HomeStatsCell {
+    pub(crate) fn events_scored(&self) -> u64 {
+        self.events_scored.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn verdicts_recorded(&self) -> u64 {
+        self.verdicts_recorded.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn dead_letters(&self) -> u64 {
+        self.dead_letters.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn dropped_quarantined(&self) -> u64 {
+        self.dropped_quarantined.load(Ordering::Relaxed)
+    }
+}
+
+/// One shard's live state in a [`HubStats`] sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// The shard index (= worker index).
+    pub shard: usize,
+    /// Jobs currently queued (events in an unprocessed batch count as one
+    /// job until the batch is scored).
+    pub queue_depth: usize,
+    /// Jobs fully processed across all of this shard's worker
+    /// incarnations.
+    pub jobs_done: u64,
+}
+
+/// One home's live counters in a [`HubStats`] sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HomeStats {
+    /// The home's id.
+    pub id: HomeId,
+    /// The name it was registered under.
+    pub name: String,
+    /// The shard serving it.
+    pub shard: usize,
+    /// Events scored by the home's monitor so far.
+    pub events_scored: u64,
+    /// Verdicts retained for the end-of-session report so far (always `0`
+    /// when [`crate::HubConfig::record_verdicts`] is off).
+    pub verdicts_recorded: u64,
+    /// Events the home's ingestion guard has refused so far (always `0`
+    /// when [`crate::HubConfig::ingest`] is off).
+    pub dead_letters: u64,
+    /// Events dropped because they reached a poisoned monitor.
+    pub dropped_quarantined: u64,
+    /// Whether the home is quarantined right now.
+    pub quarantined: bool,
+    /// Restores processed for the home so far.
+    pub restores: u64,
+}
+
+/// End-to-end submit-to-verdict latency quantiles, in microseconds.
+///
+/// Estimated from the `hub.e2e_latency_us` telemetry histogram; all zero
+/// when the hub runs with telemetry disabled (the histogram is the one
+/// piece of [`HubStats`] that rides on the telemetry handle).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Scored jobs the histogram has observed.
+    pub count: u64,
+    /// Median latency (µs).
+    pub p50_us: f64,
+    /// 90th-percentile latency (µs).
+    pub p90_us: f64,
+    /// 99th-percentile latency (µs).
+    pub p99_us: f64,
+    /// Worst observed latency (µs).
+    pub max_us: f64,
+}
+
+impl LatencyStats {
+    pub(crate) fn from_snapshot(snapshot: &HistogramSnapshot) -> Self {
+        if snapshot.count == 0 {
+            return LatencyStats::default();
+        }
+        LatencyStats {
+            count: snapshot.count,
+            p50_us: snapshot.quantile(0.5),
+            p90_us: snapshot.quantile(0.9),
+            p99_us: snapshot.quantile(0.99),
+            max_us: snapshot.max,
+        }
+    }
+}
+
+/// A non-blocking point-in-time sample of a running hub, from
+/// [`crate::Hub::stats`].
+///
+/// Counters are sampled independently (relaxed atomics, no barrier), so
+/// cross-field invariants hold only for a *quiescent* hub — e.g. after
+/// [`crate::Hub::drain`], `events_submitted ==` [`HubStats::events_scored`]
+/// `+` [`HubStats::dead_letters`] `+` dropped events `+` events still
+/// parked in ingestion reordering buffers (released at shutdown).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HubStats {
+    /// Events accepted by `submit`/`submit_batch` over the hub's lifetime
+    /// (counted per event, not per job).
+    pub events_submitted: u64,
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// One entry per home, in registration order.
+    pub homes: Vec<HomeStats>,
+    /// End-to-end latency quantiles (zeros when telemetry is disabled).
+    pub latency: LatencyStats,
+}
+
+impl HubStats {
+    /// Events scored across every home.
+    pub fn events_scored(&self) -> u64 {
+        self.homes.iter().map(|h| h.events_scored).sum()
+    }
+
+    /// Dead-lettered events across every home.
+    pub fn dead_letters(&self) -> u64 {
+        self.homes.iter().map(|h| h.dead_letters).sum()
+    }
+
+    /// Jobs currently queued across every shard.
+    pub fn jobs_in_flight(&self) -> usize {
+        self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+}
+
+/// One scored (or fatal) event in a [`FlightRecording`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEntry {
+    /// The home's per-event sequence number (0 for its first event).
+    pub seq: u64,
+    /// The event as offered to the monitor.
+    pub event: BinaryEvent,
+    /// The verdict's anomaly score (`NaN` for a panicked entry).
+    pub score: f64,
+    /// The full verdict (`None` for a panicked entry).
+    pub verdict: Option<Verdict>,
+    /// Whether this event's scoring panicked — a panicked entry is always
+    /// the *last* entry of the recording captured at quarantine time.
+    pub panicked: bool,
+}
+
+/// A flight-recorder dump: the last N events a home scored, oldest first.
+///
+/// Captured automatically when a home is quarantined (attached to
+/// [`crate::HomeReport::quarantine_flights`]) and on demand via
+/// [`crate::Hub::dump_home`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecording {
+    /// The home the recording belongs to.
+    pub home: HomeId,
+    /// The name it was registered under.
+    pub name: String,
+    /// The ring's fixed capacity ([`crate::HubConfig::flight_recorder`]).
+    pub capacity: usize,
+    /// Events ever recorded for this home, including those already
+    /// evicted from the ring.
+    pub recorded: u64,
+    /// The retained entries, oldest first (`entries.len() <= capacity`).
+    pub entries: Vec<FlightEntry>,
+}
+
+impl FlightRecording {
+    /// The most recent entry, if any.
+    pub fn last(&self) -> Option<&FlightEntry> {
+        self.entries.last()
+    }
+}

@@ -25,11 +25,12 @@ use std::time::{Duration, Instant};
 
 use causaliot_core::{FittedModel, IngestGuard, OwnedMonitor, StaleSet, Verdict};
 use iot_model::BinaryEvent;
-use iot_telemetry::{Counter, Gauge, Histogram, MonitorReport, TelemetryHandle};
+use iot_telemetry::{Counter, FlightRecorder, Gauge, Histogram, MonitorReport, TelemetryHandle};
 
 use crate::config::RestorePolicy;
 use crate::fault::{panic_message, FaultHook, HomeHealth};
 use crate::hub::HomeId;
+use crate::stats::{FlightEntry, FlightRecording, HomeStatsCell};
 use crate::util::lock;
 
 /// How often the supervisor checks worker liveness and quarantines.
@@ -42,6 +43,7 @@ pub(crate) enum Job {
         monitor: Box<OwnedMonitor>,
         health: Arc<HomeHealth>,
         guard: Option<Box<IngestGuard<BinaryEvent>>>,
+        stats: Arc<HomeStatsCell>,
     },
     Event {
         home: usize,
@@ -57,6 +59,12 @@ pub(crate) enum Job {
         home: usize,
         monitor: Box<OwnedMonitor>,
         restore: bool,
+    },
+    /// Dumps `home`'s flight recorder at an event boundary (`None` when
+    /// recording is disabled).
+    Dump {
+        home: usize,
+        ack: SyncSender<Option<FlightRecording>>,
     },
     Barrier(SyncSender<()>),
 }
@@ -81,6 +89,28 @@ pub(crate) struct HomeSlot {
     /// The home's ingestion guard, when [`crate::HubConfig::ingest`] is
     /// configured. `None` preserves the historical direct path exactly.
     pub(crate) guard: Option<IngestGuard<BinaryEvent>>,
+    /// Always-on live counters shared with the hub's [`crate::Hub::stats`].
+    pub(crate) stats: Arc<HomeStatsCell>,
+    /// The home's flight recorder, when
+    /// [`crate::HubConfig::flight_recorder`] is configured. Owned by the
+    /// slot (single writer), so recording is lock-free.
+    pub(crate) recorder: Option<FlightRecorder<FlightEntry>>,
+    /// One recording captured per quarantine, at the instant of the
+    /// panic — the evidence survives even if the home is later restored
+    /// and the live ring moves on.
+    pub(crate) quarantine_flights: Vec<FlightRecording>,
+}
+
+/// Snapshots `slot`'s flight recorder into a dump (`None` when recording
+/// is disabled).
+pub(crate) fn flight_recording(home: usize, slot: &HomeSlot) -> Option<FlightRecording> {
+    slot.recorder.as_ref().map(|ring| FlightRecording {
+        home: HomeId(home),
+        name: slot.name.clone(),
+        capacity: ring.capacity(),
+        recorded: ring.recorded(),
+        entries: ring.snapshot(),
+    })
 }
 
 pub(crate) struct WorkerContext {
@@ -88,12 +118,21 @@ pub(crate) struct WorkerContext {
     pub(crate) depth: Arc<AtomicUsize>,
     pub(crate) depth_gauge: Gauge,
     pub(crate) events: Counter,
+    /// Hub-wide scored-event counter (`hub.events`), shared by every
+    /// shard — the exporter's `hub_events_total`.
+    pub(crate) events_total: Counter,
     pub(crate) swaps: Counter,
     pub(crate) quarantines: Counter,
     pub(crate) restores: Counter,
     pub(crate) dropped_quarantined: Counter,
     pub(crate) latency_us: Histogram,
     pub(crate) record_verdicts: bool,
+    /// Flight-recorder capacity for homes registered on this shard
+    /// ([`crate::HubConfig::flight_recorder`]).
+    pub(crate) flight_recorder: Option<usize>,
+    /// For per-job spans (`hub.event` / `hub.batch`); a disabled handle
+    /// reduces each span to one `Option` check.
+    pub(crate) telemetry: TelemetryHandle,
 }
 
 /// One shard's complete state, shared between its (current) worker
@@ -119,6 +158,7 @@ impl ShardCore {
                 monitor,
                 health,
                 guard,
+                stats,
             } => {
                 lock(&self.homes).insert(
                     home,
@@ -133,6 +173,9 @@ impl ShardCore {
                         seq: 0,
                         dropped_quarantined: 0,
                         guard: guard.map(|g| *g),
+                        stats,
+                        recorder: self.context.flight_recorder.map(FlightRecorder::new),
+                        quarantine_flights: Vec::new(),
                     },
                 );
             }
@@ -141,6 +184,7 @@ impl ShardCore {
                 event,
                 submitted,
             } => {
+                let _span = self.context.telemetry.span("hub.event");
                 let mut homes = lock(&self.homes);
                 if let Some(slot) = homes.get_mut(&home) {
                     if self.ingest_and_observe(home, slot, std::iter::once(event)) {
@@ -155,6 +199,7 @@ impl ShardCore {
                 events,
                 submitted,
             } => {
+                let _span = self.context.telemetry.span("hub.batch");
                 let mut homes = lock(&self.homes);
                 if let Some(slot) = homes.get_mut(&home) {
                     if self.context.record_verdicts {
@@ -166,6 +211,13 @@ impl ShardCore {
                             .observe(submitted.elapsed().as_secs_f64() * 1e6);
                     }
                 }
+            }
+            Job::Dump { home, ack } => {
+                let homes = lock(&self.homes);
+                let recording = homes
+                    .get(&home)
+                    .and_then(|slot| flight_recording(home, slot));
+                let _ = ack.send(recording);
             }
             Job::Swap {
                 home,
@@ -198,9 +250,18 @@ impl ShardCore {
                 }
             }
             Job::Barrier(ack) => {
+                // Account for the barrier *before* acking: a caller doing
+                // drain-then-stats must see the queue it drained at zero,
+                // not a phantom in-flight barrier job.
+                self.account_job_done();
                 let _ = ack.send(());
+                return;
             }
         }
+        self.account_job_done();
+    }
+
+    fn account_job_done(&self) {
         self.jobs_done.fetch_add(1, Ordering::Relaxed);
         let depth = self.context.depth.fetch_sub(1, Ordering::Relaxed) - 1;
         self.context.depth_gauge.set(depth as u64);
@@ -240,6 +301,9 @@ impl ShardCore {
                 scored |= self.observe_guarded(home, slot, ready, stale.as_ref());
             }
         }
+        slot.stats
+            .dead_letters
+            .store(guard.counts().total(), Ordering::Relaxed);
         slot.guard = Some(guard);
         scored
     }
@@ -261,6 +325,9 @@ impl ShardCore {
                     self.observe_guarded(*home, slot, event, stale.as_ref());
                 }
             }
+            slot.stats
+                .dead_letters
+                .store(guard.counts().total(), Ordering::Relaxed);
             slot.guard = Some(guard);
         }
     }
@@ -282,6 +349,9 @@ impl ShardCore {
     ) -> bool {
         if slot.poisoned {
             slot.dropped_quarantined += 1;
+            slot.stats
+                .dropped_quarantined
+                .fetch_add(1, Ordering::Relaxed);
             self.context.dropped_quarantined.inc();
             return false;
         }
@@ -301,8 +371,20 @@ impl ShardCore {
         match outcome {
             Ok(verdict) => {
                 self.context.events.inc();
+                self.context.events_total.inc();
+                slot.stats.events_scored.fetch_add(1, Ordering::Relaxed);
+                if let Some(ring) = slot.recorder.as_mut() {
+                    ring.record(FlightEntry {
+                        seq,
+                        event,
+                        score: verdict.score,
+                        verdict: Some(verdict.clone()),
+                        panicked: false,
+                    });
+                }
                 if self.context.record_verdicts {
                     slot.verdicts.push(verdict);
+                    slot.stats.verdicts_recorded.fetch_add(1, Ordering::Relaxed);
                 }
                 true
             }
@@ -310,6 +392,22 @@ impl ShardCore {
                 slot.poisoned = true;
                 slot.health.record_panic(panic_message(payload.as_ref()));
                 self.context.quarantines.inc();
+                // The fatal event goes into the ring too (score NaN, no
+                // verdict), then the whole ring is frozen as this
+                // quarantine's evidence — the panicking event is always
+                // the recording's last entry.
+                if let Some(ring) = slot.recorder.as_mut() {
+                    ring.record(FlightEntry {
+                        seq,
+                        event,
+                        score: f64::NAN,
+                        verdict: None,
+                        panicked: true,
+                    });
+                }
+                if let Some(recording) = flight_recording(home, slot) {
+                    slot.quarantine_flights.push(recording);
+                }
                 false
             }
         }

@@ -1,0 +1,430 @@
+//! Prometheus text-format exporter and a tiny scrape server.
+//!
+//! [`render_prometheus`] turns a [`crate::MetricsRegistry::snapshot`] into
+//! the Prometheus text exposition format (version 0.0.4): counters gain
+//! the conventional `_total` suffix, gauges export their current value
+//! plus a `_peak` series for the high-water mark, and histograms emit
+//! cumulative `_bucket{le="…"}` series with `_sum` and `_count`.
+//!
+//! Dotted metric names become underscore families, and an all-digit
+//! segment is lifted into a label named after the preceding segment, so
+//! the per-shard instruments collapse into one labelled family:
+//!
+//! ```text
+//! hub.shard.0.events  ─┐
+//! hub.shard.1.events  ─┴─►  hub_shard_events_total{shard="0"} 42
+//!                           hub_shard_events_total{shard="1"} 17
+//! ```
+//!
+//! [`MetricsServer`] serves the rendered snapshot over HTTP from a
+//! background `std::net::TcpListener` thread — enough for `curl` and any
+//! Prometheus scraper, with zero dependencies. Scrapes read the live
+//! atomics; nothing is paused or locked beyond the registry's
+//! registration mutex.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::metrics::{HistogramSnapshot, MetricValue};
+use crate::TelemetryHandle;
+
+/// How often the accept loop polls for connections and the stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// How long one scrape connection may take to send its request.
+const READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Renders a metrics snapshot in the Prometheus text exposition format.
+///
+/// Families are sorted by name; every family carries one `# TYPE` line.
+/// An empty snapshot (e.g. from a disabled [`TelemetryHandle`]) renders
+/// as the empty string, which is a valid (empty) exposition.
+pub fn render_prometheus(snapshot: &BTreeMap<String, MetricValue>) -> String {
+    #[derive(Debug)]
+    struct Family<'a> {
+        kind: &'static str,
+        rows: Vec<(String, &'a MetricValue)>,
+    }
+    let mut families: BTreeMap<String, Family<'_>> = BTreeMap::new();
+    for (name, value) in snapshot {
+        let (family, labels) = family_and_labels(name);
+        let kind = match value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(..) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        };
+        let family = match value {
+            MetricValue::Counter(_) => format!("{family}_total"),
+            _ => family,
+        };
+        let entry = families.entry(family).or_insert(Family {
+            kind,
+            rows: Vec::new(),
+        });
+        // A kind clash inside one family (e.g. `a.1.x` counter vs `a.2.x`
+        // gauge) cannot arise from one registry today; first kind wins.
+        entry.rows.push((labels, value));
+    }
+    let mut out = String::new();
+    for (family, group) in &families {
+        let _ = writeln!(out, "# TYPE {family} {}", group.kind);
+        for (labels, value) in &group.rows {
+            match value {
+                MetricValue::Counter(total) => {
+                    let _ = writeln!(out, "{family}{} {total}", braced(labels));
+                }
+                MetricValue::Gauge(current, _max) => {
+                    let _ = writeln!(out, "{family}{} {current}", braced(labels));
+                }
+                MetricValue::Histogram(snapshot) => {
+                    write_histogram(&mut out, family, labels, snapshot);
+                }
+            }
+        }
+        // The high-water marks ride along as a sibling gauge family.
+        if group.kind == "gauge" {
+            let _ = writeln!(out, "# TYPE {family}_peak gauge");
+            for (labels, value) in &group.rows {
+                if let MetricValue::Gauge(_, max) = value {
+                    let _ = writeln!(out, "{family}_peak{} {max}", braced(labels));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn write_histogram(out: &mut String, family: &str, labels: &str, snapshot: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, count) in snapshot.counts.iter().enumerate() {
+        cumulative += count;
+        let le = match snapshot.bounds.get(i) {
+            Some(bound) => fmt_f64(*bound),
+            None => "+Inf".to_string(),
+        };
+        let le = escape_label(&le);
+        let sep = if labels.is_empty() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "{family}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}"
+        );
+    }
+    // A disabled histogram snapshots with no buckets at all; still emit
+    // the +Inf bucket so the family parses as a histogram.
+    if snapshot.counts.is_empty() {
+        let sep = if labels.is_empty() { "" } else { "," };
+        let _ = writeln!(out, "{family}_bucket{{{labels}{sep}le=\"+Inf\"}} 0");
+    }
+    let braces = braced(labels);
+    let _ = writeln!(out, "{family}_sum{braces} {}", fmt_f64(snapshot.sum));
+    let _ = writeln!(out, "{family}_count{braces} {}", snapshot.count);
+}
+
+/// Splits a dotted metric name into a sanitized family name and a
+/// rendered label list: every all-digit segment becomes the value of a
+/// label named after the segment before it.
+fn family_and_labels(name: &str) -> (String, String) {
+    let segments: Vec<&str> = name.split('.').collect();
+    let mut family = String::new();
+    let mut labels = String::new();
+    for (i, segment) in segments.iter().enumerate() {
+        let is_index = i > 0 && !segment.is_empty() && segment.bytes().all(|b| b.is_ascii_digit());
+        if is_index {
+            if !labels.is_empty() {
+                labels.push(',');
+            }
+            let _ = write!(
+                labels,
+                "{}=\"{}\"",
+                sanitize(segments[i - 1]),
+                escape_label(segment)
+            );
+        } else {
+            if !family.is_empty() {
+                family.push('_');
+            }
+            family.push_str(&sanitize(segment));
+        }
+    }
+    if family.is_empty() {
+        family.push('_');
+    }
+    (family, labels)
+}
+
+/// Maps a name segment onto the Prometheus name alphabet
+/// (`[a-zA-Z0-9_]`, not starting with a digit).
+fn sanitize(segment: &str) -> String {
+    let mut out = String::with_capacity(segment.len());
+    for (i, c) in segment.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn braced(labels: &str) -> String {
+    if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    }
+}
+
+/// Prometheus sample-value formatting: finite values via `Display`,
+/// non-finite as `+Inf` / `-Inf` / `NaN`.
+fn fmt_f64(value: f64) -> String {
+    if value.is_nan() {
+        "NaN".to_string()
+    } else if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else if value == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{value}")
+    }
+}
+
+/// A background HTTP server exposing a [`TelemetryHandle`]'s metrics in
+/// Prometheus text format.
+///
+/// Serves `GET /metrics` (and `/`) with a fresh [`render_prometheus`]
+/// snapshot per scrape; anything else is a 404. The listener thread polls
+/// a stop flag, so dropping the server (or calling
+/// [`MetricsServer::stop`]) shuts it down promptly without needing a
+/// wake-up connection.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// scrape thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn serve(addr: impl ToSocketAddrs, telemetry: TelemetryHandle) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("iot-telemetry-metrics".to_string())
+            .spawn(move || accept_loop(&listener, &telemetry, &flag))?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the scrape thread and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, telemetry: &TelemetryHandle, stop: &AtomicBool) {
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // One scrape must never take the server down.
+                let _ = answer(stream, telemetry);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn answer(mut stream: TcpStream, telemetry: &TelemetryHandle) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut request = Vec::new();
+    let mut buf = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        request.extend_from_slice(&buf[..n]);
+        if request.windows(4).any(|w| w == b"\r\n\r\n") || request.len() >= 8192 {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&request);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let path = path.split('?').next().unwrap_or(path);
+    let (status, body) = if path == "/metrics" || path == "/" {
+        let body = render_prometheus(&telemetry.metrics_snapshot());
+        ("200 OK", body)
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Buckets;
+
+    #[test]
+    fn families_labels_and_suffixes() {
+        let t = TelemetryHandle::with_noop_sink();
+        t.counter("hub.submitted").add(7);
+        t.counter("hub.shard.0.events").add(4);
+        t.counter("hub.shard.1.events").add(9);
+        t.gauge("hub.shard.0.queue_depth").set(3);
+        let text = render_prometheus(&t.metrics_snapshot());
+        assert!(
+            text.contains("# TYPE hub_submitted_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("hub_submitted_total 7"), "{text}");
+        assert!(
+            text.contains("hub_shard_events_total{shard=\"0\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hub_shard_events_total{shard=\"1\"} 9"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hub_shard_queue_depth{shard=\"0\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hub_shard_queue_depth_peak{shard=\"0\"} 3"),
+            "{text}"
+        );
+        // One TYPE line per family, not per row.
+        let type_lines = text
+            .lines()
+            .filter(|l| l.contains("hub_shard_events_total counter"))
+            .count();
+        assert_eq!(type_lines, 1, "{text}");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let t = TelemetryHandle::with_noop_sink();
+        let h = t.histogram("lat", Buckets::linear(0.0, 2.0, 2));
+        h.observe(0.5);
+        h.observe(1.5);
+        h.observe(99.0);
+        let text = render_prometheus(&t.metrics_snapshot());
+        assert!(text.contains("# TYPE lat histogram"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"2\"} 2"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_sum 101"), "{text}");
+        assert!(text.contains("lat_count 3"), "{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(
+            render_prometheus(&TelemetryHandle::disabled().metrics_snapshot()),
+            ""
+        );
+    }
+
+    #[test]
+    fn sanitize_maps_bad_characters() {
+        let (family, labels) = family_and_labels("a-b.c d.9x");
+        assert_eq!(family, "a_b_c_d__9x");
+        assert!(labels.is_empty());
+        let (family, labels) = family_and_labels("hub.shard.12.events");
+        assert_eq!(family, "hub_shard_events");
+        assert_eq!(labels, "shard=\"12\"");
+    }
+
+    #[test]
+    fn server_serves_and_404s() {
+        let t = TelemetryHandle::with_noop_sink();
+        t.counter("up").inc();
+        let server = MetricsServer::serve("127.0.0.1:0", t).unwrap();
+        let addr = server.local_addr();
+        let fetch = |path: &str| -> String {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(
+                    format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+                        .as_bytes(),
+                )
+                .unwrap();
+            let mut out = String::new();
+            stream.read_to_string(&mut out).unwrap();
+            out
+        };
+        let ok = fetch("/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK"), "{ok}");
+        assert!(ok.contains("up_total 1"), "{ok}");
+        let missing = fetch("/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        server.stop();
+    }
+}

@@ -21,6 +21,13 @@
 //! | `metrics`        | live metrics, spans discarded ([`NoopSink`])     |
 //! | `summary`        | live metrics + in-memory span aggregation        |
 //! | `jsonl[:path]`   | live metrics + JSONL span/event log (default path `telemetry.jsonl`) |
+//! | `chrome[:path]`  | live metrics + Chrome `trace_event` JSON for `chrome://tracing` / Perfetto (default path `trace.json`) |
+//!
+//! Live introspection rides on the same handle: [`render_prometheus`]
+//! turns a [`TelemetryHandle::metrics_snapshot`] into the Prometheus text
+//! format, [`MetricsServer`] serves it over HTTP for scrapers, and
+//! [`FlightRecorder`] is the bounded evidence ring the serving hub keeps
+//! per home.
 //!
 //! ```
 //! use iot_telemetry::{Buckets, TelemetryHandle};
@@ -41,18 +48,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exporter;
 pub mod json;
 pub mod metrics;
+pub mod recorder;
 pub mod report;
 pub mod sink;
 
+pub use exporter::{render_prometheus, MetricsServer};
 pub use metrics::{
     Buckets, Counter, Gauge, Histogram, HistogramSnapshot, MetricValue, MetricsRegistry,
 };
+pub use recorder::FlightRecorder;
 pub use report::{
     DistributionSummary, FitReport, MiningStats, MonitorReport, PreprocessStats, StageTimings,
 };
-pub use sink::{JsonlSink, MemorySink, NoopSink, Sink};
+pub use sink::{ChromeTraceSink, JsonlSink, MemorySink, NoopSink, Sink};
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -112,6 +123,16 @@ impl TelemetryHandle {
         Ok(Self::new(Box::new(JsonlSink::create(path)?)))
     }
 
+    /// A live handle writing spans/events as Chrome `trace_event` JSON to
+    /// `path` (open it in `chrome://tracing` or Perfetto).
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn with_chrome_sink(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(Self::new(Box::new(ChromeTraceSink::create(path)?)))
+    }
+
     /// Builds a handle from `CAUSALIOT_TELEMETRY` (see the crate docs for
     /// the accepted values). Unknown values fall back to `summary` so a
     /// typo degrades to *more* observability, never silently less.
@@ -128,6 +149,11 @@ impl TelemetryHandle {
                     Self::with_jsonl_sink(path).unwrap_or_else(|_| Self::with_summary_sink())
                 } else if value.eq_ignore_ascii_case("jsonl") {
                     Self::with_jsonl_sink("telemetry.jsonl")
+                        .unwrap_or_else(|_| Self::with_summary_sink())
+                } else if let Some(path) = value.strip_prefix("chrome:") {
+                    Self::with_chrome_sink(path).unwrap_or_else(|_| Self::with_summary_sink())
+                } else if value.eq_ignore_ascii_case("chrome") {
+                    Self::with_chrome_sink("trace.json")
                         .unwrap_or_else(|_| Self::with_summary_sink())
                 } else {
                     Self::with_summary_sink()
@@ -231,7 +257,10 @@ impl Span {
             None => 0.0,
             Some(inner) => {
                 let elapsed = inner.start.elapsed();
-                inner.handle.sink.record_span(inner.name, elapsed);
+                inner
+                    .handle
+                    .sink
+                    .record_span_interval(inner.name, inner.start, elapsed);
                 elapsed.as_secs_f64()
             }
         }
@@ -244,7 +273,7 @@ impl Drop for Span {
             inner
                 .handle
                 .sink
-                .record_span(inner.name, inner.start.elapsed());
+                .record_span_interval(inner.name, inner.start, inner.start.elapsed());
         }
     }
 }

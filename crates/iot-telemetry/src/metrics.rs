@@ -51,6 +51,17 @@ impl Counter {
 }
 
 /// A last-value-wins gauge that additionally tracks its high-water mark.
+///
+/// # Concurrency semantics
+///
+/// Under concurrent setters, [`Gauge::get`] returns *some* value that was
+/// set (which one wins is a race by design — gauges are
+/// last-writer-wins), while [`Gauge::max`] is **monotonic**: it only ever
+/// increases (via `fetch_max`), it converges to the maximum of every
+/// value ever set, and no reader can observe it go backwards. The
+/// high-water mark is published *before* the current value (release/
+/// acquire paired), so a reader that loads `get()` and then `max()` never
+/// sees `get() > max()` — the mark always covers the value it reads.
 #[derive(Debug, Clone, Default)]
 pub struct Gauge(Option<Arc<GaugeCell>>);
 
@@ -70,12 +81,17 @@ impl Gauge {
         Gauge(Some(Arc::new(GaugeCell::default())))
     }
 
-    /// Sets the current value.
+    /// Sets the current value (and raises the high-water mark first, so
+    /// `max() >= get()` holds for readers that load in that order).
     #[inline]
     pub fn set(&self, value: u64) {
         if let Some(cell) = &self.0 {
-            cell.value.store(value, Ordering::Relaxed);
-            cell.max.fetch_max(value, Ordering::Relaxed);
+            // Max first: once the new value is visible, the mark covering
+            // it already is (Release write, paired with the Acquire load
+            // in `get`/`max`). Storing the value first would open a
+            // window where a reader sees value > max.
+            cell.max.fetch_max(value, Ordering::Release);
+            cell.value.store(value, Ordering::Release);
         }
     }
 
@@ -83,14 +99,15 @@ impl Gauge {
     pub fn get(&self) -> u64 {
         self.0
             .as_ref()
-            .map_or(0, |cell| cell.value.load(Ordering::Relaxed))
+            .map_or(0, |cell| cell.value.load(Ordering::Acquire))
     }
 
-    /// Highest value ever set (0 for a disabled gauge).
+    /// Highest value ever set (0 for a disabled gauge). Monotonic: never
+    /// observed to decrease, even under concurrent setters.
     pub fn max(&self) -> u64 {
         self.0
             .as_ref()
-            .map_or(0, |cell| cell.max.load(Ordering::Relaxed))
+            .map_or(0, |cell| cell.max.load(Ordering::Acquire))
     }
 }
 
@@ -542,5 +559,144 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.counter("x");
         reg.gauge("x");
+    }
+
+    /// Pins the gauge's concurrent semantics: under racing setters the
+    /// high-water mark is monotonic for any observer, a paired
+    /// `get()`-then-`max()` read never sees `value > max`, and the final
+    /// mark is exactly the global maximum of every value ever set.
+    #[test]
+    fn gauge_max_is_monotonic_under_concurrent_setters() {
+        const SETTERS: usize = 4;
+        const ROUNDS: usize = 5_000;
+        let g = Gauge::live();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for t in 0..SETTERS {
+                let g = g.clone();
+                scope.spawn(move || {
+                    // Interleave rising and falling values so last-writer
+                    // races genuinely move the current value both ways.
+                    for i in 0..ROUNDS {
+                        let v = if i % 2 == 0 {
+                            (t * ROUNDS + i) as u64
+                        } else {
+                            (i % 7) as u64
+                        };
+                        g.set(v);
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let g = g.clone();
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut last_max = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        // Load order matters: value first, then max. The
+                        // setter publishes max before value, so this pair
+                        // must satisfy value <= max.
+                        let value = g.get();
+                        let max = g.max();
+                        assert!(max >= last_max, "max went backwards: {max} < {last_max}");
+                        assert!(value <= max, "observed value {value} above max {max}");
+                        last_max = max;
+                    }
+                });
+            }
+            // Writers finish when their spawns join; scoped threads joined
+            // at scope end, so flag the samplers once setters are done.
+            scope.spawn({
+                let stop = Arc::clone(&stop);
+                move || {
+                    // Give setters a head start, then let scope teardown
+                    // join everything; samplers poll the flag.
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    stop.store(true, Ordering::Relaxed);
+                }
+            });
+        });
+        let expected_max = (0..SETTERS)
+            .map(|t| (t * ROUNDS + (ROUNDS - 2)) as u64)
+            .max()
+            .unwrap();
+        assert_eq!(g.max(), expected_max);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_nan() {
+        let h = Histogram::with_buckets(Buckets::linear(0.0, 1.0, 4));
+        assert!(h.quantile(0.0).is_nan());
+        assert!(h.quantile(0.5).is_nan());
+        assert!(h.quantile(1.0).is_nan());
+    }
+
+    #[test]
+    fn quantile_extremes_hit_min_and_max() {
+        let h = Histogram::with_buckets(Buckets::linear(0.0, 10.0, 4));
+        for v in [3.0, 17.0, 29.5] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), 3.0);
+        assert_eq!(h.quantile(1.0), 29.5);
+    }
+
+    #[test]
+    fn quantile_of_single_observation_is_that_observation() {
+        let h = Histogram::with_buckets(Buckets::exponential(1.0, 2.0, 8));
+        h.observe(42.0);
+        for q in [0.0, 0.25, 0.5, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 42.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_with_all_mass_in_one_bucket_interpolates_within_it() {
+        // Every observation lands in the sole finite bucket (le = 1.0).
+        let h = Histogram::with_buckets(Buckets::linear(0.0, 1.0, 1));
+        for v in [0.2, 0.4, 0.6, 0.8] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), 0.2);
+        assert_eq!(h.quantile(1.0), 0.8);
+        let median = h.quantile(0.5);
+        assert!(
+            (0.2..=0.8).contains(&median),
+            "median {median} escaped the observed range"
+        );
+    }
+
+    #[test]
+    fn quantile_into_overflow_bucket_is_clamped_to_observed_max() {
+        let h = Histogram::with_buckets(Buckets::linear(0.0, 1.0, 2));
+        h.observe(0.5);
+        h.observe(100.0);
+        h.observe(200.0);
+        assert_eq!(h.quantile(1.0), 200.0);
+        assert!(h.quantile(0.99) <= 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn quantile_rejects_q_above_one() {
+        let h = Histogram::with_buckets(Buckets::linear(0.0, 1.0, 2));
+        h.observe(0.5);
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn quantile_rejects_negative_q() {
+        let h = Histogram::with_buckets(Buckets::linear(0.0, 1.0, 2));
+        h.observe(0.5);
+        let _ = h.quantile(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn quantile_rejects_nan_q() {
+        let h = Histogram::with_buckets(Buckets::linear(0.0, 1.0, 2));
+        h.observe(0.5);
+        let _ = h.quantile(f64::NAN);
     }
 }

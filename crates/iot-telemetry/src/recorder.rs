@@ -1,0 +1,144 @@
+//! The flight recorder: a fixed-capacity ring of the most recent entries.
+//!
+//! A [`FlightRecorder`] keeps the last `capacity` records of whatever the
+//! owner feeds it — the serving hub records one `(event, score, verdict)`
+//! triple per scored event per home — so when something goes wrong the
+//! evidence that led up to it is still in memory, bounded at
+//! `capacity × homes` entries no matter how long the deployment runs.
+//!
+//! Concurrency model: the ring is **owned by its single writer** (the
+//! shard worker that also owns the monitor), so the hot path is a plain
+//! indexed store with no locks, no atomics, and no allocation after
+//! warm-up. Readers never touch the live ring; they receive a
+//! [`FlightRecorder::snapshot`] copy taken by the owner at a safe point
+//! (the hub dumps at an event boundary via its own job queue).
+
+/// A fixed-capacity ring buffer over the most recent `capacity` entries.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder<T> {
+    slots: Vec<T>,
+    capacity: usize,
+    /// Oldest entry (and next overwrite target) once the ring is full.
+    head: usize,
+    /// Entries ever recorded (≥ `slots.len()`).
+    recorded: u64,
+}
+
+impl<T: Clone> FlightRecorder<T> {
+    /// An empty recorder keeping the last `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder needs capacity >= 1");
+        FlightRecorder {
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Records one entry, evicting the oldest when full.
+    #[inline]
+    pub fn record(&mut self, entry: T) {
+        if self.slots.len() < self.capacity {
+            self.slots.push(entry);
+        } else {
+            self.slots[self.head] = entry;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.recorded += 1;
+    }
+
+    /// Entries currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries ever recorded, including those already evicted.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Copies the retained entries out, oldest first.
+    pub fn snapshot(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        out.extend_from_slice(&self.slots[self.head..]);
+        out.extend_from_slice(&self.slots[..self.head]);
+        out
+    }
+
+    /// Discards every retained entry (the lifetime total keeps counting).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_last_n_in_order() {
+        let mut ring = FlightRecorder::new(3);
+        assert!(ring.is_empty());
+        for i in 0..10 {
+            ring.record(i);
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.snapshot(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn partial_fill_preserves_order() {
+        let mut ring = FlightRecorder::new(5);
+        ring.record("a");
+        ring.record("b");
+        assert_eq!(ring.snapshot(), vec!["a", "b"]);
+        assert_eq!(ring.recorded(), 2);
+    }
+
+    #[test]
+    fn exact_capacity_boundary() {
+        let mut ring = FlightRecorder::new(2);
+        ring.record(1);
+        ring.record(2);
+        assert_eq!(ring.snapshot(), vec![1, 2]);
+        ring.record(3);
+        assert_eq!(ring.snapshot(), vec![2, 3]);
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_total() {
+        let mut ring = FlightRecorder::new(2);
+        ring.record(1);
+        ring.record(2);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.recorded(), 2);
+        ring.record(3);
+        assert_eq!(ring.snapshot(), vec![3]);
+        assert_eq!(ring.recorded(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = FlightRecorder::<u8>::new(0);
+    }
+}

@@ -1,12 +1,14 @@
 //! Pluggable span/event sinks.
 //!
-//! A [`Sink`] receives completed spans and discrete events. Three
+//! A [`Sink`] receives completed spans and discrete events. Four
 //! implementations ship with the crate:
 //!
 //! * [`NoopSink`] — discards everything (the default),
 //! * [`MemorySink`] — aggregates per-name span statistics in memory for an
 //!   end-of-run summary,
-//! * [`JsonlSink`] — appends one JSON object per record to a file.
+//! * [`JsonlSink`] — appends one JSON object per record to a file,
+//! * [`ChromeTraceSink`] — writes Chrome `trace_event` JSON for
+//!   `chrome://tracing` / Perfetto, with one lane per thread.
 //!
 //! `CAUSALIOT_TELEMETRY` selects among them — see
 //! [`crate::TelemetryHandle::from_env`].
@@ -17,7 +19,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write as _};
 use std::path::Path;
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::json::JsonValue;
 
@@ -25,6 +27,17 @@ use crate::json::JsonValue;
 pub trait Sink: Send + Sync + Debug {
     /// A scoped timer finished.
     fn record_span(&self, name: &str, duration: Duration);
+
+    /// A scoped timer finished, with its start instant attached.
+    ///
+    /// [`crate::Span`] reports through this method so sinks that lay
+    /// spans out on a timeline (the [`ChromeTraceSink`]) can place them;
+    /// the default implementation discards the start and forwards to
+    /// [`Sink::record_span`], so duration-only sinks need not care.
+    fn record_span_interval(&self, name: &str, start: Instant, duration: Duration) {
+        let _ = start;
+        self.record_span(name, duration);
+    }
 
     /// A discrete occurrence with numeric fields.
     fn record_event(&self, name: &str, fields: &[(&str, f64)]);
@@ -168,6 +181,151 @@ impl Drop for JsonlSink {
     }
 }
 
+/// Writes Chrome `trace_event` JSON — open the file in `chrome://tracing`
+/// or [Perfetto](https://ui.perfetto.dev) to see fit stages and hub
+/// workers as horizontal lanes on a shared timeline.
+///
+/// Every span becomes a complete event (`"ph":"X"`) with microsecond
+/// timestamps relative to the sink's creation; every discrete event
+/// becomes an instant (`"ph":"i"`). Each reporting thread gets its own
+/// lane (`tid`), named after the thread (so the hub's
+/// `iot-serve-worker-<shard>` threads appear as per-shard lanes).
+/// Selected with `CAUSALIOT_TELEMETRY=chrome:<path>`.
+#[derive(Debug)]
+pub struct ChromeTraceSink {
+    epoch: Instant,
+    state: Mutex<ChromeState>,
+}
+
+#[derive(Debug)]
+struct ChromeState {
+    writer: BufWriter<File>,
+    wrote_any: bool,
+    /// Thread-id debug string → dense trace lane.
+    lanes: BTreeMap<String, u64>,
+}
+
+impl ChromeTraceSink {
+    /// Creates (truncating) the trace file — a trace is a one-shot
+    /// artifact, unlike the appending [`JsonlSink`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation errors.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut writer = BufWriter::new(File::create(path)?);
+        writer.write_all(b"[")?;
+        Ok(ChromeTraceSink {
+            epoch: Instant::now(),
+            state: Mutex::new(ChromeState {
+                writer,
+                wrote_any: false,
+                lanes: BTreeMap::new(),
+            }),
+        })
+    }
+
+    /// The calling thread's lane, assigning one (and emitting its
+    /// `thread_name` metadata record) on first use.
+    fn lane(&self, state: &mut ChromeState) -> u64 {
+        let thread = std::thread::current();
+        let key = format!("{:?}", thread.id());
+        if let Some(lane) = state.lanes.get(&key) {
+            return *lane;
+        }
+        let lane = state.lanes.len() as u64;
+        state.lanes.insert(key, lane);
+        let label = thread
+            .name()
+            .map_or_else(|| format!("thread-{lane}"), |name| name.to_string());
+        let mut args = JsonValue::object();
+        args.push("name", label);
+        let mut meta = JsonValue::object();
+        meta.push("name", "thread_name")
+            .push("ph", "M")
+            .push("pid", 1u64)
+            .push("tid", lane)
+            .push("args", args);
+        Self::write_record(state, &meta);
+        lane
+    }
+
+    fn write_record(state: &mut ChromeState, value: &JsonValue) {
+        let separator: &[u8] = if state.wrote_any { b",\n" } else { b"\n" };
+        // Telemetry must never take the pipeline down: IO errors are
+        // swallowed after best effort.
+        let _ = state.writer.write_all(separator);
+        let _ = state.writer.write_all(value.render().as_bytes());
+        state.wrote_any = true;
+    }
+
+    fn micros_since_epoch(&self, instant: Instant) -> f64 {
+        instant.saturating_duration_since(self.epoch).as_secs_f64() * 1e6
+    }
+}
+
+impl Sink for ChromeTraceSink {
+    fn record_span(&self, name: &str, duration: Duration) {
+        // No start attached: anchor the span so it *ends* now.
+        let start = Instant::now().checked_sub(duration).unwrap_or(self.epoch);
+        self.record_span_interval(name, start, duration);
+    }
+
+    fn record_span_interval(&self, name: &str, start: Instant, duration: Duration) {
+        let mut state = self.state.lock().expect("sink poisoned");
+        let lane = self.lane(&mut state);
+        let mut obj = JsonValue::object();
+        obj.push("name", name)
+            .push("cat", "span")
+            .push("ph", "X")
+            .push("ts", self.micros_since_epoch(start))
+            .push("dur", duration.as_secs_f64() * 1e6)
+            .push("pid", 1u64)
+            .push("tid", lane);
+        Self::write_record(&mut state, &obj);
+    }
+
+    fn record_event(&self, name: &str, fields: &[(&str, f64)]) {
+        let mut state = self.state.lock().expect("sink poisoned");
+        let lane = self.lane(&mut state);
+        let mut args = JsonValue::object();
+        for (key, value) in fields {
+            args.push(key, *value);
+        }
+        let mut obj = JsonValue::object();
+        obj.push("name", name)
+            .push("cat", "event")
+            .push("ph", "i")
+            .push("s", "t")
+            .push("ts", self.micros_since_epoch(Instant::now()))
+            .push("pid", 1u64)
+            .push("tid", lane)
+            .push("args", args);
+        Self::write_record(&mut state, &obj);
+    }
+
+    fn flush(&self) {
+        let mut state = self.state.lock().expect("sink poisoned");
+        let _ = state.writer.flush();
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        if let Ok(state) = self.state.get_mut() {
+            // Close the JSON array (tracing UIs tolerate a missing `]`,
+            // but a clean file also satisfies strict JSON parsers).
+            let _ = state.writer.write_all(b"\n]\n");
+            let _ = state.writer.flush();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +339,27 @@ mod tests {
         let summary = sink.summary().unwrap();
         assert!(summary.contains("fit"), "{summary}");
         assert!(summary.contains("drop"), "{summary}");
+    }
+
+    #[test]
+    fn chrome_sink_writes_a_closed_trace_array() {
+        let path = std::env::temp_dir().join("iot-telemetry-test-trace.json");
+        let _ = std::fs::remove_file(&path);
+        {
+            let sink = ChromeTraceSink::create(&path).unwrap();
+            sink.record_span("fit.total", Duration::from_micros(500));
+            sink.record_span_interval("hub.batch", Instant::now(), Duration::from_micros(20));
+            sink.record_event("monitor.alarm", &[("len", 3.0)]);
+        }
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.trim_start().starts_with('['), "{contents}");
+        assert!(contents.trim_end().ends_with(']'), "{contents}");
+        assert!(contents.contains("\"ph\":\"X\""), "{contents}");
+        assert!(contents.contains("\"ph\":\"i\""), "{contents}");
+        assert!(contents.contains("thread_name"), "{contents}");
+        assert!(contents.contains("\"name\":\"fit.total\""), "{contents}");
+        // Two spans + one instant + one thread_name metadata record.
+        assert_eq!(contents.matches("\"ph\":").count(), 4, "{contents}");
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! ```text
 //! cargo run -p causaliot-examples --example multi_home_hub
 //! ```
+//!
+//! Set `HUB_METRICS_ADDR=127.0.0.1:9464` to expose the hub's telemetry
+//! registry at `GET /metrics` in Prometheus text format while the
+//! example runs (`HUB_METRICS_LINGER_SECS=30` keeps the process alive
+//! after the stream drains so a scraper can catch the final counters).
 
 use std::time::Duration;
 
@@ -117,6 +122,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_skew: Duration::from_secs(600),
             ..IngestPolicy::default()
         })
+        // Keep the last 32 scored events per home so a quarantine (or an
+        // operator's dump) carries the evidence that led up to it.
+        .flight_recorder(32)
         .try_build()?;
     let mut hub = Hub::with_telemetry(config, &telemetry);
     let homes: Vec<_> = (0..HOMES)
@@ -127,6 +135,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hub.num_homes(),
         hub.num_workers()
     );
+    let metrics_server = match std::env::var("HUB_METRICS_ADDR") {
+        Ok(addr) => {
+            let server = hub.serve_metrics(addr.as_str())?;
+            println!(
+                "metrics exporter listening on http://{}/metrics",
+                server.local_addr()
+            );
+            Some(server)
+        }
+        Err(_) => None,
+    };
 
     banner("Stream live traffic (home-2's lamp is compromised)");
     for (h, &home) in homes.iter().enumerate() {
@@ -151,6 +170,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     hub.drain();
+
+    banner("Live introspection (Hub::stats)");
+    let stats = hub.stats();
+    println!(
+        "submitted {} events, scored {}, {} jobs in flight",
+        stats.events_submitted,
+        stats.events_scored(),
+        stats.jobs_in_flight()
+    );
+    for shard in &stats.shards {
+        println!(
+            "  shard {}: {} jobs done, queue depth {}",
+            shard.shard, shard.jobs_done, shard.queue_depth
+        );
+    }
+    println!(
+        "  e2e latency: p50 {:.0}us  p99 {:.0}us  max {:.0}us  (n={})",
+        stats.latency.p50_us, stats.latency.p99_us, stats.latency.max_us, stats.latency.count
+    );
+    if let Some(recording) = hub.dump_home(homes[ATTACKED_HOME])? {
+        let alarmed = recording
+            .entries
+            .iter()
+            .filter(|e| e.verdict.as_ref().is_some_and(|v| !v.alarms.is_empty()))
+            .count();
+        println!(
+            "  flight recorder ({}): last {} of {} events in the ring, {} with alarms",
+            recording.name,
+            recording.entries.len(),
+            recording.recorded,
+            alarmed
+        );
+    }
+
+    if let Some(server) = metrics_server {
+        if let Ok(secs) = std::env::var("HUB_METRICS_LINGER_SECS") {
+            let secs: u64 = secs.parse().unwrap_or(0);
+            println!("\nlingering {secs}s so scrapers can read the final counters...");
+            std::thread::sleep(Duration::from_secs(secs));
+        }
+        server.stop();
+    }
 
     banner("Per-home reports");
     let reports = hub.shutdown();

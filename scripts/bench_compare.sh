@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Regression gate for the serving hub's throughput: runs a fresh
+# exp_hub_throughput (release mode) and compares its events/sec figures
+# against the committed baseline — the last exp_hub_throughput line of
+# the newest results/BENCH_*.json — failing if any figure drops more
+# than the tolerance.
+#
+# Throughput numbers are noisy (shared runners, thermal state), so the
+# gate is deliberately loose and retried: a figure must stay above
+# baseline * (1 - BENCH_TOLERANCE_PCT/100) on at least one of
+# BENCH_COMPARE_ATTEMPTS runs. Only regressions fail; a faster run
+# passes silently (refresh the baseline with scripts/bench_snapshot.sh
+# when an improvement should be locked in).
+#
+# Usage: scripts/bench_compare.sh
+#   BENCH_TOLERANCE_PCT    allowed drop per figure (default 15)
+#   BENCH_COMPARE_ATTEMPTS retry budget for noisy runs (default 3)
+#   BENCH_BASELINE         explicit baseline file (default: newest
+#                          results/BENCH_*.json)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tolerance="${BENCH_TOLERANCE_PCT:-15}"
+attempts="${BENCH_COMPARE_ATTEMPTS:-3}"
+
+if [[ -n "${BENCH_BASELINE:-}" ]]; then
+    baseline="$BENCH_BASELINE"
+else
+    baseline="$(ls -1 results/BENCH_*.json 2>/dev/null | sort | tail -1 || true)"
+fi
+if [[ -z "$baseline" || ! -s "$baseline" ]]; then
+    echo "error: no baseline (results/BENCH_*.json missing; run scripts/bench_snapshot.sh)" >&2
+    exit 1
+fi
+echo "baseline: $baseline (tolerance ${tolerance}%, up to ${attempts} attempt(s))"
+
+compare() {
+    python3 - "$baseline" results/telemetry/exp_hub_throughput.json "$tolerance" <<'EOF'
+import json, sys
+
+baseline_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+baseline = None
+with open(baseline_path) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        report = json.loads(line)
+        if report.get("binary") == "exp_hub_throughput":
+            baseline = report
+if baseline is None:
+    sys.exit(f"error: no exp_hub_throughput report in {baseline_path}")
+
+with open(fresh_path) as f:
+    fresh = json.load(f)
+
+keys = [k for k in baseline if k.endswith("_eps")]
+floor = 1.0 - tolerance / 100.0
+failed = False
+for key in sorted(keys):
+    base, now = baseline[key], fresh.get(key)
+    if now is None:
+        print(f"FAIL {key}: missing from fresh run")
+        failed = True
+        continue
+    ratio = now / base
+    verdict = "ok" if ratio >= floor else "FAIL"
+    print(f"{verdict:4} {key}: {now:,.0f} vs baseline {base:,.0f} ({ratio:.2%})")
+    failed |= ratio < floor
+sys.exit(1 if failed else 0)
+EOF
+}
+
+for attempt in $(seq 1 "$attempts"); do
+    echo "--- attempt ${attempt}/${attempts}"
+    cargo run --release --offline -p causaliot-bench --bin exp_hub_throughput
+    if compare; then
+        echo "bench_compare: within ${tolerance}% of baseline"
+        exit 0
+    fi
+done
+echo "bench_compare: regression beyond ${tolerance}% persisted over ${attempts} attempt(s)" >&2
+exit 1

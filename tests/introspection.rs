@@ -1,0 +1,393 @@
+//! Live introspection suite: the Prometheus exporter's text format is
+//! pinned by a golden file and validated end-to-end over a real TCP
+//! scrape, `Hub::stats` must agree with the end-of-session reports, and
+//! the per-home flight recorder must keep the last N events and freeze
+//! the evidence when a home is quarantined.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use causaliot::{CausalIot, FittedModel, Verdict};
+use iot_model::{Attribute, BinaryEvent, DeviceRegistry, Room, Timestamp};
+use iot_serve::{Hub, HubConfig};
+use iot_telemetry::{render_prometheus, Buckets, TelemetryHandle};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use testbed::inject::{FaultSchedule, INJECTED_PANIC};
+
+fn install_quiet_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            if !message.is_some_and(|m| m.contains(INJECTED_PANIC)) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn fitted_model(seed: u64) -> (DeviceRegistry, FittedModel) {
+    let mut reg = DeviceRegistry::new();
+    let pe = reg
+        .add("PE_room", Attribute::PresenceSensor, Room::new("room"))
+        .unwrap();
+    let lamp = reg
+        .add("S_lamp", Attribute::Switch, Room::new("room"))
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    for i in 0..400u64 {
+        let t = i * 60;
+        let on = rng.gen_bool(0.5);
+        events.push(BinaryEvent::new(Timestamp::from_secs(t), pe, on));
+        if rng.gen_bool(0.9) {
+            events.push(BinaryEvent::new(Timestamp::from_secs(t + 15), lamp, on));
+        }
+    }
+    let model = CausalIot::builder()
+        .tau(2)
+        .build()
+        .fit_binary(&reg, &events)
+        .unwrap();
+    (reg, model)
+}
+
+fn home_stream(reg: &DeviceRegistry, seed: u64, len: usize) -> Vec<BinaryEvent> {
+    let pe = reg.id_of("PE_room").unwrap();
+    let lamp = reg.id_of("S_lamp").unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len as u64)
+        .map(|i| {
+            let t = 1_000_000 + seed * 10_000_000 + i * 30;
+            let dev = if rng.gen_bool(0.5) { pe } else { lamp };
+            BinaryEvent::new(Timestamp::from_secs(t), dev, rng.gen_bool(0.5))
+        })
+        .collect()
+}
+
+fn sequential_verdicts(model: &FittedModel, stream: &[BinaryEvent]) -> Vec<Verdict> {
+    let mut monitor = model.clone().into_monitor();
+    stream.iter().map(|e| monitor.observe(*e)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Exporter: golden text format + live scrape validity.
+// ---------------------------------------------------------------------------
+
+/// Pins the exporter's exact output for a representative registry. To
+/// re-bless after an intentional format change:
+/// `UPDATE_GOLDEN=1 cargo test -p integration-tests --test introspection`.
+#[test]
+fn exporter_text_format_matches_golden_file() {
+    let t = TelemetryHandle::with_noop_sink();
+    t.counter("hub.submitted").add(12);
+    t.counter("hub.events").add(10);
+    t.counter("hub.shard.0.events").add(6);
+    t.counter("hub.shard.1.events").add(4);
+    let depth = t.gauge("hub.shard.0.queue_depth");
+    depth.set(5);
+    depth.set(2);
+    let lat = t.histogram("hub.e2e_latency_us", Buckets::linear(0.0, 100.0, 2));
+    lat.observe(10.0);
+    lat.observe(60.0);
+    lat.observe(150.0);
+    let text = render_prometheus(&t.metrics_snapshot());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures/metrics.prom");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &text).unwrap();
+    }
+    let golden = std::fs::read_to_string(path).expect("fixtures/metrics.prom");
+    assert_eq!(
+        text, golden,
+        "exporter output diverged from the golden file (UPDATE_GOLDEN=1 to re-bless)"
+    );
+}
+
+/// A hand-rolled Prometheus text-format (0.0.4) checker: every line must
+/// be a `# TYPE`/comment line or `name[{label="value",…}] value`, names
+/// must be `[a-zA-Z_:][a-zA-Z0-9_:]*`, and every `# TYPE` family must
+/// have at least one sample. Returns the parsed samples.
+fn validate_prometheus(text: &str) -> Vec<(String, f64)> {
+    fn valid_name(name: &str) -> bool {
+        !name.is_empty()
+            && name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+    let mut families = Vec::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split(' ');
+            let family = parts.next().expect("TYPE family");
+            let kind = parts.next().expect("TYPE kind");
+            assert!(parts.next().is_none(), "trailing junk in TYPE line: {line}");
+            assert!(valid_name(family), "bad family name: {line}");
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind),
+                "unknown metric kind: {line}"
+            );
+            families.push(family.to_string());
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment line: {line}");
+        let (series, value) = line.rsplit_once(' ').expect("sample line needs a value");
+        let parsed = match value {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("bad value: {line}")),
+        };
+        let name = match series.split_once('{') {
+            None => series,
+            Some((name, labels)) => {
+                let labels = labels.strip_suffix('}').expect("unclosed label set");
+                for pair in labels.split(',') {
+                    let (key, val) = pair.split_once('=').expect("label needs =");
+                    assert!(valid_name(key), "bad label name: {line}");
+                    assert!(
+                        val.starts_with('"') && val.ends_with('"') && val.len() >= 2,
+                        "unquoted label value: {line}"
+                    );
+                }
+                name
+            }
+        };
+        assert!(valid_name(name), "bad metric name: {line}");
+        samples.push((name.to_string(), parsed));
+    }
+    for family in &families {
+        assert!(
+            samples.iter().any(|(name, _)| name.starts_with(family)),
+            "family {family} has a TYPE line but no samples"
+        );
+    }
+    samples
+}
+
+#[test]
+fn metrics_endpoint_serves_valid_prometheus_over_tcp() {
+    let (reg, model) = fitted_model(3);
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut hub = Hub::with_telemetry(HubConfig::builder().workers(2).build(), &telemetry);
+    let a = hub.register("home-a", &model);
+    let b = hub.register("home-b", &model);
+    hub.submit_batch(a, home_stream(&reg, 1, 40)).unwrap();
+    hub.submit_batch(b, home_stream(&reg, 2, 25)).unwrap();
+    hub.drain();
+
+    let server = hub.serve_metrics("127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    server.stop();
+
+    assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+    assert!(
+        response.contains("Content-Type: text/plain; version=0.0.4"),
+        "{response}"
+    );
+    let body = response.split("\r\n\r\n").nth(1).expect("body");
+    let samples = validate_prometheus(body);
+    let events_total = samples
+        .iter()
+        .find(|(name, _)| name == "hub_events_total")
+        .map(|(_, v)| *v)
+        .expect("hub_events_total sample");
+    assert_eq!(events_total, 65.0, "all drained events are counted");
+    assert!(
+        samples
+            .iter()
+            .any(|(name, _)| name == "hub_submitted_total"),
+        "hub_submitted_total missing"
+    );
+    assert!(
+        samples
+            .iter()
+            .any(|(name, _)| name == "hub_e2e_latency_us_bucket"),
+        "latency histogram missing"
+    );
+    let _ = hub.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Hub::stats vs. the end-of-session reports.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stats_agree_with_final_home_reports() {
+    let (reg, model) = fitted_model(5);
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut hub = Hub::with_telemetry(HubConfig::builder().workers(2).build(), &telemetry);
+    let homes: Vec<_> = (0..3)
+        .map(|i| hub.register(&format!("home-{i}"), &model))
+        .collect();
+    let lens = [30usize, 17, 42];
+    for (home, len) in homes.iter().zip(lens) {
+        hub.submit_batch(*home, home_stream(&reg, home.index() as u64, len))
+            .unwrap();
+    }
+    hub.drain();
+
+    let stats = hub.stats();
+    assert_eq!(stats.events_submitted, lens.iter().sum::<usize>() as u64);
+    assert_eq!(stats.events_scored(), stats.events_submitted);
+    assert_eq!(stats.jobs_in_flight(), 0, "drained hub has empty queues");
+    assert_eq!(stats.homes.len(), 3);
+    assert_eq!(stats.shards.len(), 2);
+    assert!(stats.latency.count > 0);
+    assert!(stats.latency.p50_us <= stats.latency.p99_us);
+    assert!(stats.latency.p99_us <= stats.latency.max_us);
+
+    let reports = hub.shutdown();
+    for (home_stats, report) in stats.homes.iter().zip(&reports) {
+        assert_eq!(home_stats.id, report.id);
+        assert_eq!(home_stats.name, report.name);
+        assert_eq!(home_stats.events_scored, report.monitor.events_observed);
+        assert_eq!(home_stats.verdicts_recorded, report.verdicts.len() as u64);
+        assert_eq!(home_stats.dead_letters, report.dead_letters);
+        assert_eq!(home_stats.dropped_quarantined, report.dropped_quarantined);
+        assert_eq!(home_stats.quarantined, report.quarantined);
+        assert_eq!(home_stats.restores, report.restores);
+    }
+}
+
+#[test]
+fn stats_count_events_even_with_telemetry_disabled() {
+    let (reg, model) = fitted_model(9);
+    let mut hub = Hub::with_telemetry(
+        HubConfig::builder().workers(1).build(),
+        &TelemetryHandle::disabled(),
+    );
+    let home = hub.register("home", &model);
+    hub.submit_batch(home, home_stream(&reg, 4, 20)).unwrap();
+    hub.drain();
+    let stats = hub.stats();
+    assert_eq!(stats.events_submitted, 20);
+    assert_eq!(stats.homes[0].events_scored, 20);
+    // The latency histogram is the one telemetry-backed field: all zero.
+    assert_eq!(stats.latency.count, 0);
+    assert_eq!(stats.latency.p99_us, 0.0);
+    let _ = hub.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: last-N semantics, on-demand dumps, quarantine capture.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dump_home_returns_the_last_n_events_oldest_first() {
+    let (reg, model) = fitted_model(7);
+    let capacity = 5usize;
+    let stream = home_stream(&reg, 6, 12);
+    let expected = sequential_verdicts(&model, &stream);
+    let mut hub = Hub::with_telemetry(
+        HubConfig::builder()
+            .workers(1)
+            .flight_recorder(capacity)
+            .build(),
+        &TelemetryHandle::disabled(),
+    );
+    let home = hub.register("home", &model);
+    hub.submit_batch(home, stream.clone()).unwrap();
+
+    let recording = hub.dump_home(home).unwrap().expect("recording enabled");
+    assert_eq!(recording.home, home);
+    assert_eq!(recording.name, "home");
+    assert_eq!(recording.capacity, capacity);
+    assert_eq!(recording.recorded, stream.len() as u64);
+    assert_eq!(recording.entries.len(), capacity);
+    for (i, entry) in recording.entries.iter().enumerate() {
+        let seq = stream.len() - capacity + i;
+        assert_eq!(entry.seq, seq as u64, "oldest-first ordering");
+        assert_eq!(entry.event, stream[seq]);
+        assert_eq!(entry.score.to_bits(), expected[seq].score.to_bits());
+        assert_eq!(entry.verdict.as_ref(), Some(&expected[seq]));
+        assert!(!entry.panicked);
+    }
+
+    // The end-of-session report carries the same ring.
+    let reports = hub.shutdown();
+    assert_eq!(reports[0].flight.as_ref(), Some(&recording));
+    assert!(reports[0].quarantine_flights.is_empty());
+}
+
+#[test]
+fn dump_home_is_none_when_recording_is_disabled() {
+    let (reg, model) = fitted_model(7);
+    let mut hub = Hub::with_telemetry(
+        HubConfig::builder().workers(1).build(),
+        &TelemetryHandle::disabled(),
+    );
+    let home = hub.register("home", &model);
+    hub.submit_batch(home, home_stream(&reg, 1, 5)).unwrap();
+    assert_eq!(hub.dump_home(home).unwrap(), None);
+    let reports = hub.shutdown();
+    assert_eq!(reports[0].flight, None);
+}
+
+#[test]
+fn quarantine_captures_the_flight_recording_ending_with_the_panic() {
+    install_quiet_panic_hook();
+    let (reg, model) = fitted_model(11);
+    let capacity = 4usize;
+    let panic_seq = 9u64;
+    let stream = home_stream(&reg, 8, 20);
+    let expected = sequential_verdicts(&model, &stream);
+    let schedule = Arc::new(FaultSchedule::new().panic_at(0, panic_seq));
+    let mut hub = Hub::with_fault_hook(
+        HubConfig::builder()
+            .workers(1)
+            .flight_recorder(capacity)
+            .build(),
+        &TelemetryHandle::disabled(),
+        schedule.clone(),
+    );
+    let home = hub.register("home", &model);
+    hub.submit_batch(home, stream.clone()).unwrap();
+    hub.drain();
+    assert_eq!(schedule.panics_fired(), 1);
+    assert!(hub.is_quarantined(home));
+
+    // The quarantined home is still dumpable; its live ring ends with
+    // the fatal entry because nothing was scored after the panic.
+    let live = hub.dump_home(home).unwrap().expect("recording enabled");
+    assert!(live.last().unwrap().panicked);
+
+    let reports = hub.shutdown();
+    let report = &reports[0];
+    assert!(report.quarantined);
+    assert_eq!(report.quarantine_flights.len(), 1);
+    let evidence = &report.quarantine_flights[0];
+    assert_eq!(evidence.entries.len(), capacity);
+    let last = evidence.last().unwrap();
+    assert!(last.panicked, "panicking event must be the final entry");
+    assert_eq!(last.seq, panic_seq);
+    assert_eq!(last.event, stream[panic_seq as usize]);
+    assert!(last.score.is_nan());
+    assert_eq!(last.verdict, None);
+    // The entries leading up to the panic are real scored evidence.
+    for entry in &evidence.entries[..capacity - 1] {
+        let seq = entry.seq as usize;
+        assert!(!entry.panicked);
+        assert_eq!(entry.event, stream[seq]);
+        assert_eq!(entry.score.to_bits(), expected[seq].score.to_bits());
+    }
+}

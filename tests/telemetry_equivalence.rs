@@ -92,6 +92,68 @@ fn verdicts_are_bit_identical_with_and_without_telemetry() {
     assert_eq!(report_off.observe_latency_us.count, 0);
 }
 
+/// The introspection layer must be observational too: a hub running with
+/// every new facility enabled — live metrics, a chrome-trace span sink,
+/// and the per-home flight recorder — produces verdicts bit-identical to
+/// a bare hub with everything off.
+#[test]
+fn hub_verdicts_are_bit_identical_with_introspection_on_and_off() {
+    use causaliot::prelude::{Hub, HubConfig};
+
+    let reg = registry();
+    let train = training_events(&reg, 400);
+    let model = CausalIot::builder()
+        .tau(2)
+        .build()
+        .fit_binary(&reg, &train)
+        .unwrap();
+    let replay = training_events(&reg, 150);
+
+    let run = |config: HubConfig, telemetry: &TelemetryHandle| {
+        let mut hub = Hub::with_telemetry(config, telemetry);
+        let home = hub.register("home", &model);
+        hub.submit_batch(home, replay.clone()).unwrap();
+        let mut reports = hub.shutdown();
+        reports.remove(0)
+    };
+
+    let off = run(
+        HubConfig::builder().workers(1).build(),
+        &TelemetryHandle::disabled(),
+    );
+
+    let trace = std::env::temp_dir().join("causaliot_equivalence_trace.json");
+    let telemetry = TelemetryHandle::with_chrome_sink(&trace).unwrap();
+    let on = run(
+        HubConfig::builder().workers(1).flight_recorder(32).build(),
+        &telemetry,
+    );
+    telemetry.flush();
+
+    assert_eq!(off.verdicts.len(), on.verdicts.len());
+    for (v_off, v_on) in off.verdicts.iter().zip(&on.verdicts) {
+        assert_eq!(v_off.score.to_bits(), v_on.score.to_bits());
+        assert_eq!(v_off.exceeds_threshold, v_on.exceeds_threshold);
+        assert_eq!(v_off.alarms, v_on.alarms);
+        assert_eq!(v_off.confidence.to_bits(), v_on.confidence.to_bits());
+    }
+
+    // The instrumented run actually observed: the hub counters ticked,
+    // the flight recorder kept the tail of the stream, and the chrome
+    // sink wrote a span trace.
+    assert_eq!(telemetry.counter("hub.events").get(), replay.len() as u64);
+    let flight = on.flight.expect("flight recorder enabled");
+    assert_eq!(flight.recorded, replay.len() as u64);
+    assert_eq!(flight.entries.len(), 32);
+    assert!(off.flight.is_none());
+    let rendered = iot_telemetry::render_prometheus(&telemetry.metrics_snapshot());
+    assert!(rendered.contains("hub_events_total"), "{rendered}");
+    let trace_json = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_json.trim_start().starts_with('['), "{trace_json}");
+    assert!(trace_json.contains("hub.batch"), "{trace_json}");
+    let _ = std::fs::remove_file(&trace);
+}
+
 #[test]
 fn fit_report_is_populated_even_with_telemetry_disabled() {
     let reg = registry();
