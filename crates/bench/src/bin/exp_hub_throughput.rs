@@ -134,19 +134,29 @@ fn hub_eps(
     let start = Instant::now();
     for (h, stream) in streams.iter().enumerate() {
         for chunk in stream.chunks(batch) {
-            let mut payload = chunk.to_vec();
-            loop {
-                match if batch == 1 {
-                    hub.submit(homes[h], payload[0])
-                } else {
-                    hub.submit_batch(homes[h], std::mem::take(&mut payload))
-                } {
-                    Ok(()) => break,
-                    Err(SubmitError::QueueFull { .. }) if spin_on_full => {
-                        if batch != 1 {
-                            payload = chunk.to_vec();
+            if batch == 1 {
+                loop {
+                    match hub.submit(homes[h], chunk[0]) {
+                        Ok(()) => break,
+                        Err(SubmitError::QueueFull { .. }) if spin_on_full => {
+                            std::thread::yield_now();
                         }
-                        std::thread::yield_now();
+                        Err(e) => panic!("unexpected submit error: {e}"),
+                    }
+                }
+                continue;
+            }
+            // Slice-based batch submission: resume from the partial-
+            // acceptance offset on backpressure instead of resubmitting
+            // (or re-cloning) the whole chunk.
+            let mut offset = 0usize;
+            while offset < chunk.len() {
+                match hub.submit_batch(homes[h], &chunk[offset..]) {
+                    Ok(outcome) => {
+                        offset += outcome.accepted;
+                        if !outcome.is_complete() {
+                            std::thread::yield_now();
+                        }
                     }
                     Err(e) => panic!("unexpected submit error: {e}"),
                 }

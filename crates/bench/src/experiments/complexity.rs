@@ -39,9 +39,16 @@ pub struct MonitorPoint {
     pub num_devices: usize,
     /// Events validated.
     pub events: usize,
-    /// Mean per-event latency in nanoseconds.
+    /// Mean per-event latency in nanoseconds (sequential `observe`).
     pub nanos_per_event: f64,
+    /// Mean per-event latency in nanoseconds through the batched fast
+    /// path (`observe_batch_into` in [`MONITOR_BATCH`]-event chunks).
+    pub nanos_per_event_batched: f64,
 }
+
+/// Chunk size for the batched monitor-latency measurement — matches the
+/// serving hub's typical burst shape.
+pub const MONITOR_BATCH: usize = 512;
 
 /// Generates a noisy causal-chain trace over `n` devices.
 fn chain_trace(n: usize, events_per_device: usize, seed: u64) -> StateSeries {
@@ -115,10 +122,23 @@ pub fn monitor_scaling(device_counts: &[usize]) -> Vec<MonitorPoint> {
                 std::hint::black_box(detector.observe(event));
             }
             let elapsed = start.elapsed().as_secs_f64();
+            // Batched fast path: a fresh detector from the same initial
+            // state, fed the same stream in hub-burst-sized chunks.
+            let mut batched =
+                KSequenceDetector::new(&dig, SystemState::all_off(n), DetectorConfig::new(0.99, 1));
+            let mut verdicts = Vec::with_capacity(MONITOR_BATCH);
+            let start_batched = Instant::now();
+            for chunk in events.chunks(MONITOR_BATCH) {
+                verdicts.clear();
+                batched.observe_batch_into(chunk, None, &mut verdicts);
+                std::hint::black_box(&verdicts);
+            }
+            let elapsed_batched = start_batched.elapsed().as_secs_f64();
             MonitorPoint {
                 num_devices: n,
                 events: events.len(),
                 nanos_per_event: elapsed * 1e9 / events.len() as f64,
+                nanos_per_event_batched: elapsed_batched * 1e9 / events.len() as f64,
             }
         })
         .collect()
@@ -138,12 +158,13 @@ pub fn render(mining: &[MiningPoint], monitor: &[MonitorPoint]) -> String {
     }
     out.push_str(&table.render());
     out.push_str("\nEvent Monitor per-event latency (O(1) expected):\n");
-    let mut table = Table::new(["n devices", "events", "ns/event"]);
+    let mut table = Table::new(["n devices", "events", "ns/event", "ns/event batched"]);
     for p in monitor {
         table.row([
             p.num_devices.to_string(),
             p.events.to_string(),
             format!("{:.0}", p.nanos_per_event),
+            format!("{:.0}", p.nanos_per_event_batched),
         ]);
     }
     out.push_str(&table.render());
@@ -177,7 +198,8 @@ pub fn to_json(mining: &[MiningPoint], monitor: &[MonitorPoint]) -> String {
             point
                 .push("num_devices", p.num_devices)
                 .push("events", p.events)
-                .push("nanos_per_event", p.nanos_per_event);
+                .push("nanos_per_event", p.nanos_per_event)
+                .push("nanos_per_event_batched", p.nanos_per_event_batched);
             point
         })
         .collect();
@@ -197,6 +219,7 @@ mod tests {
         assert!(json.contains("\"kind\":\"complexity_report\""), "{json}");
         assert!(json.contains("\"ci_tests\""), "{json}");
         assert!(json.contains("\"nanos_per_event\""), "{json}");
+        assert!(json.contains("\"nanos_per_event_batched\""), "{json}");
     }
 
     #[test]

@@ -20,14 +20,14 @@ pub use crate::error::Error;
 pub use causaliot_core::{
     CausalIot, CausalIotBuilder, CausalIotConfig, CausalIotError, ConfigError, DeadLetter,
     DeadLetterCounts, DropReason, FittedModel, GuardedMonitor, IngestGuard, IngestPolicy, Monitor,
-    OwnedMonitor, StaleSet, TauChoice, Verdict,
+    Observation, ObserveCtx, OwnedMonitor, StaleSet, TauChoice, Verdict,
 };
 pub use iot_model::{
     Attribute, BinaryEvent, DeviceEvent, DeviceId, DeviceRegistry, Room, Timestamp,
 };
 pub use iot_serve::{
-    FaultHook, FlightEntry, FlightRecording, HomeId, HomeReport, HomeStats, Hub, HubConfig,
-    HubConfigBuilder, HubStats, LatencyStats, QuarantinedError, RestorePolicy, ShardStats,
-    SubmitError, SubmitPolicy,
+    BatchOutcome, FaultHook, FlightEntry, FlightRecording, HomeId, HomeReport, HomeStats, Hub,
+    HubConfig, HubConfigBuilder, HubStats, LatencyStats, QuarantinedError, RestorePolicy,
+    ShardStats, SubmitError, SubmitPolicy,
 };
 pub use iot_telemetry::{MetricsServer, MonitorReport, TelemetryHandle};

@@ -80,6 +80,6 @@ pub use ingest::{
 pub use monitor::{Alarm, AlarmKind, AnomalousEvent, Verdict};
 pub use pipeline::{
     CalibratedModel, CausalIot, CausalIotBuilder, CausalIotConfig, DropReason, FitPipeline,
-    FitStage, FittedModel, MinedGraph, Monitor, OwnedMonitor, Preprocessed, RawEvents, Snapshotted,
-    TauChoice,
+    FitStage, FittedModel, MinedGraph, Monitor, Observation, ObserveCtx, OwnedMonitor,
+    Preprocessed, RawEvents, Snapshotted, TauChoice,
 };

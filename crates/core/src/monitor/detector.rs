@@ -188,6 +188,84 @@ impl DetectorInstruments {
     }
 }
 
+/// Densify a CPT only while its table stays small (`2^16` contexts ≈ 1 MB
+/// of scores); larger tables — far beyond real interaction degrees — fall
+/// back to the map walk through [`Cpt::prob`].
+const DENSE_MAX_CAUSES: usize = 16;
+
+/// Precomputed dense lookup tables for the scoring hot path, built once at
+/// detector construction (the DIG and the unseen-context policy are both
+/// immutable for the detector's lifetime).
+///
+/// Replaces the per-event CPT walk with two flat-array reads: the device's
+/// cause list (flattened, `cause_offset`-indexed) and its full score table
+/// `scores[score_offset[d] + 2*code + outcome] = 1 − P(outcome | code)` —
+/// the exact float the [`Cpt::prob`] path would produce, precomputed, so
+/// verdicts stay bit-identical.
+#[derive(Debug, Clone)]
+struct DenseScores {
+    /// Device `d`'s causes are `causes[cause_offset[d]..cause_offset[d+1]]`.
+    cause_offset: Vec<u32>,
+    causes: Vec<LaggedVar>,
+    /// `causes` pre-resolved for the scoring loop: each entry packs the
+    /// cause's device index (high 32 bits) and `lag − 1` (low 32 bits),
+    /// range-checked once here so the per-event queries go through the
+    /// assert-free [`PhantomStateMachine::cause_value_fast`].
+    fast_causes: Vec<u64>,
+    /// Offset of device `d`'s score table in `scores`, or `usize::MAX` for
+    /// devices whose CPT exceeds [`DENSE_MAX_CAUSES`] causes.
+    score_offset: Vec<usize>,
+    scores: Vec<f64>,
+}
+
+impl DenseScores {
+    fn build(dig: &Dig, unseen: UnseenContext) -> Self {
+        let n = dig.num_devices();
+        let mut cause_offset = Vec::with_capacity(n + 1);
+        let mut causes = Vec::new();
+        let mut score_offset = Vec::with_capacity(n);
+        let mut scores = Vec::new();
+        let mut fast_causes = Vec::new();
+        for d in 0..n {
+            let cpt = dig.cpt(DeviceId::from_index(d));
+            cause_offset.push(causes.len() as u32);
+            causes.extend_from_slice(cpt.causes());
+            for cause in cpt.causes() {
+                assert!(
+                    cause.lag >= 1 && cause.lag <= dig.tau(),
+                    "mined cause lag {} outside 1..=τ",
+                    cause.lag
+                );
+                fast_causes.push(((cause.device.index() as u64) << 32) | (cause.lag - 1) as u64);
+            }
+            if cpt.causes().len() <= DENSE_MAX_CAUSES {
+                score_offset.push(scores.len());
+                for code in 0..cpt.num_contexts() {
+                    scores.push(1.0 - cpt.prob(code, false, unseen));
+                    scores.push(1.0 - cpt.prob(code, true, unseen));
+                }
+            } else {
+                score_offset.push(usize::MAX);
+            }
+        }
+        cause_offset.push(causes.len() as u32);
+        DenseScores {
+            cause_offset,
+            causes,
+            fast_causes,
+            score_offset,
+            scores,
+        }
+    }
+
+    /// The (ordered) causes of device `d` — identical contents to
+    /// `dig.cpt(d).causes()`.
+    #[inline]
+    fn causes_of(&self, d: usize) -> &[LaggedVar] {
+        &self.causes[self.cause_offset[d] as usize..self.cause_offset[d + 1] as usize]
+    }
+}
+
 /// The k-sequence anomaly detector (Algorithm 2).
 ///
 /// Generic over *how the mined DIG is held*: `D` is any handle that
@@ -201,6 +279,7 @@ impl DetectorInstruments {
 pub struct KSequenceDetector<D: Deref<Target = Dig>> {
     dig: D,
     config: DetectorConfig,
+    dense: DenseScores,
     pm: PhantomStateMachine,
     w: Vec<AnomalousEvent>,
     next_ordinal: u64,
@@ -213,9 +292,11 @@ impl<D: Deref<Target = Dig>> KSequenceDetector<D> {
     pub fn new(dig: D, initial: SystemState, config: DetectorConfig) -> Self {
         assert!(config.k_max >= 1, "k_max must be at least 1");
         let tau = dig.tau();
+        let dense = DenseScores::build(&dig, config.unseen);
         KSequenceDetector {
             dig,
             config,
+            dense,
             pm: PhantomStateMachine::new(initial, tau),
             w: Vec::new(),
             next_ordinal: 0,
@@ -267,10 +348,64 @@ impl<D: Deref<Target = Dig>> KSequenceDetector<D> {
         self.observe_inner(event, confidence)
     }
 
+    /// Processes a slice of events as one batch, appending one verdict per
+    /// event to `out` in stream order; with `stale` set every event is
+    /// scored in degraded mode against that snapshot.
+    ///
+    /// Verdicts (and the always-on [`DetectorStats`]) are **bit-identical**
+    /// to observing the same events sequentially — the batch only amortises
+    /// the optional telemetry instruments, which are flushed once per batch
+    /// (counter deltas, score samples, one final tracking-length mark, and
+    /// a single whole-batch latency sample instead of per-event ones).
+    ///
+    /// Verdicts are appended as each event completes, so if scoring panics
+    /// mid-batch, `out` holds exactly the verdicts of the events *before*
+    /// the panicking one — the guarantee the serving layer's
+    /// quarantine-at-the-exact-event machinery relies on.
+    pub fn observe_batch_into(
+        &mut self,
+        events: &[BinaryEvent],
+        stale: Option<&StaleSet>,
+        out: &mut Vec<Verdict>,
+    ) {
+        let started = if self.instruments.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let stats_before = self.stats;
+        let base = out.len();
+        out.reserve(events.len());
+        for &event in events {
+            let confidence = match stale {
+                Some(stale) => self.cause_confidence(event.device, stale),
+                None => 1.0,
+            };
+            let verdict = self.step_event(event, confidence);
+            out.push(verdict);
+        }
+        if let Some(start) = started {
+            self.instruments.events.add((out.len() - base) as u64);
+            for verdict in &out[base..] {
+                self.instruments.scores.observe(verdict.score);
+            }
+            self.instruments.tracking_len.set(self.w.len() as u64);
+            self.instruments
+                .contextual
+                .add(self.stats.contextual_alarms - stats_before.contextual_alarms);
+            self.instruments
+                .collective
+                .add(self.stats.collective_alarms - stats_before.collective_alarms);
+            self.instruments
+                .latency_us
+                .observe(start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+
     /// The fraction of `device`'s CPT causes whose parent device is live
     /// (not in `stale`); `1.0` for devices with no causes.
     fn cause_confidence(&self, device: DeviceId, stale: &StaleSet) -> f64 {
-        let causes = self.dig.cpt(device).causes();
+        let causes = self.dense.causes_of(device.index());
         if causes.is_empty() || stale.count() == 0 {
             return 1.0;
         }
@@ -287,16 +422,61 @@ impl<D: Deref<Target = Dig>> KSequenceDetector<D> {
         } else {
             None
         };
-        // Line 4-5: fetch cause values and compute the score before the
-        // phantom state machine absorbs the event.
-        let cpt = self.dig.cpt(event.device);
-        let mut code = 0usize;
-        for (bit, &cause) in cpt.causes().iter().enumerate() {
-            if self.pm.cause_value_for_next(cause) {
-                code |= 1 << bit;
+        let verdict = self.step_event(event, confidence);
+        if let Some(start) = started {
+            self.instruments.events.inc();
+            self.instruments.scores.observe(verdict.score);
+            self.instruments.tracking_len.set(self.w.len() as u64);
+            for alarm in &verdict.alarms {
+                match alarm.kind {
+                    AlarmKind::Contextual => self.instruments.contextual.inc(),
+                    AlarmKind::Collective => self.instruments.collective.inc(),
+                }
             }
+            self.instruments
+                .latency_us
+                .observe(start.elapsed().as_secs_f64() * 1e6);
         }
-        let score = 1.0 - cpt.prob(code, event.value, self.config.unseen);
+        verdict
+    }
+
+    /// Line 4-5 of Algorithm 2: resolve the event device's cause values
+    /// against the phantom state and look up the anomaly score, all
+    /// *before* the state machine absorbs the event. Returns the context
+    /// code alongside the score (the map-walk fallback for ultra-wide CPTs
+    /// needs it). The context build is branchless — cause values shift
+    /// straight into the code word — because on anomalous streams these
+    /// bits are close to random and a compare-and-jump per cause would
+    /// mispredict constantly.
+    #[inline]
+    fn score_of(&self, event: &BinaryEvent) -> (usize, f64) {
+        let d = event.device.index();
+        let range = self.dense.cause_offset[d] as usize..self.dense.cause_offset[d + 1] as usize;
+        let mut code = 0usize;
+        for (bit, &packed) in self.dense.fast_causes[range].iter().enumerate() {
+            let value = self
+                .pm
+                .cause_value_fast((packed >> 32) as usize, packed & u32::MAX as u64);
+            code |= (value as usize) << bit;
+        }
+        let off = self.dense.score_offset[d];
+        let score = if off != usize::MAX {
+            self.dense.scores[off + 2 * code + event.value as usize]
+        } else {
+            1.0 - self
+                .dig
+                .cpt(event.device)
+                .prob(code, event.value, self.config.unseen)
+        };
+        (code, score)
+    }
+
+    /// One full Algorithm 2 step — scoring, phantom-state update, tracking,
+    /// and the always-on stats — without the optional telemetry
+    /// instruments (the sequential and batched entry points layer those
+    /// differently on top).
+    fn step_event(&mut self, event: BinaryEvent, confidence: f64) -> Verdict {
+        let (_code, score) = self.score_of(&event);
 
         let ordinal = self.next_ordinal;
         self.next_ordinal += 1;
@@ -305,8 +485,9 @@ impl<D: Deref<Target = Dig>> KSequenceDetector<D> {
         // (for "anomaly interpretation", Algorithm 2 line 7). The common
         // case — a normal event on a quiet stream — allocates nothing.
         let record = if anomalous || !self.w.is_empty() {
-            let cause_values: Vec<(LaggedVar, bool)> = cpt
-                .causes()
+            let cause_values: Vec<(LaggedVar, bool)> = self
+                .dense
+                .causes_of(event.device.index())
                 .iter()
                 .map(|&c| (c, self.pm.cause_value_for_next(c)))
                 .collect();
@@ -356,20 +537,6 @@ impl<D: Deref<Target = Dig>> KSequenceDetector<D> {
                 AlarmKind::Collective => self.stats.collective_alarms += 1,
             }
         }
-        if let Some(start) = started {
-            self.instruments.events.inc();
-            self.instruments.scores.observe(score);
-            self.instruments.tracking_len.set(self.w.len() as u64);
-            for alarm in &alarms {
-                match alarm.kind {
-                    AlarmKind::Contextual => self.instruments.contextual.inc(),
-                    AlarmKind::Collective => self.instruments.collective.inc(),
-                }
-            }
-            self.instruments
-                .latency_us
-                .observe(start.elapsed().as_secs_f64() * 1e6);
-        }
         Verdict {
             score,
             exceeds_threshold: anomalous,
@@ -403,6 +570,131 @@ impl<D: Deref<Target = Dig>> KSequenceDetector<D> {
             events,
             ended_by_abrupt,
         }
+    }
+
+    /// [`observe_batch_into`](Self::observe_batch_into) minus the verdicts:
+    /// every *observable* side effect is preserved — phantom-state
+    /// transitions, tracking dynamics, the always-on [`DetectorStats`],
+    /// and the once-per-batch telemetry flush all stay bit-identical to
+    /// the sequential path — but no [`Verdict`] or [`Alarm`] payload is
+    /// ever materialised, which removes every per-event heap allocation.
+    ///
+    /// This is the serving hot path for configurations where nobody can
+    /// read the verdicts anyway (no verdict recording, no flight recorder
+    /// attached): the hub's burst loop feeds whole queue drains through
+    /// here and reports purely via counters.
+    ///
+    /// `scored` is incremented once per *completed* event, so if scoring
+    /// panics mid-batch it holds the exact index of the panicking event —
+    /// the same boundary guarantee `observe_batch_into` provides through
+    /// `out.len()`, which quarantine-at-the-exact-event relies on.
+    ///
+    /// Internal subtlety: tracked events accumulated in this mode carry
+    /// empty `cause_values` (interpretation context is only needed when an
+    /// alarm can be shown to someone). Mixed-mode use is still coherent —
+    /// `W` is the same real buffer — but alarms flushed from such records
+    /// explain less; the serving layer only enters this path when those
+    /// alarms are unobservable by construction.
+    pub fn observe_batch_stats_only(&mut self, events: &[BinaryEvent], scored: &mut usize) {
+        let started = if self.instruments.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let stats_before = self.stats;
+        if self.instruments.enabled {
+            // The score histogram needs every sample, so run the full
+            // step and discard each verdict as it completes. Alarm/record
+            // allocations survive here; instrumented hubs trade that for
+            // observability.
+            for &event in events {
+                let verdict = self.step_event(event, 1.0);
+                self.instruments.scores.observe(verdict.score);
+                *scored += 1;
+            }
+        } else {
+            for &event in events {
+                self.step_event_stats_only(event);
+                *scored += 1;
+            }
+        }
+        if let Some(start) = started {
+            self.instruments.events.add(events.len() as u64);
+            self.instruments.tracking_len.set(self.w.len() as u64);
+            self.instruments
+                .contextual
+                .add(self.stats.contextual_alarms - stats_before.contextual_alarms);
+            self.instruments
+                .collective
+                .add(self.stats.collective_alarms - stats_before.collective_alarms);
+            self.instruments
+                .latency_us
+                .observe(start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+
+    /// [`step_event`](Self::step_event) with verdict and interpretation
+    /// materialisation stripped out. The control flow mirrors `step_event`
+    /// line for line (same W pushes, same flush points, same stats
+    /// arithmetic) so `DetectorStats` and all future verdicts stay
+    /// bit-identical; the only divergence is *what* is allocated: tracked
+    /// records carry empty `cause_values`, and flushes count alarms
+    /// instead of assembling them ([`flush_stats_only`]
+    /// (Self::flush_stats_only) clears `W` in place, so after the first
+    /// chain its capacity is reused forever — zero steady-state
+    /// allocations).
+    #[inline]
+    fn step_event_stats_only(&mut self, event: BinaryEvent) {
+        let (_code, score) = self.score_of(&event);
+        let ordinal = self.next_ordinal;
+        self.next_ordinal += 1;
+        let anomalous = score >= self.config.threshold;
+        self.pm.apply(&event);
+
+        let record = || AnomalousEvent {
+            ordinal,
+            event,
+            cause_values: Vec::new(),
+            score,
+        };
+        if self.w.is_empty() {
+            if anomalous {
+                self.w.push(record());
+                if self.w.len() == self.config.k_max {
+                    self.flush_stats_only();
+                }
+            }
+        } else if !anomalous {
+            self.w.push(record());
+            if self.w.len() == self.config.k_max {
+                self.flush_stats_only();
+            }
+        } else {
+            self.flush_stats_only();
+            if self.config.restart_on_abrupt {
+                self.w.push(record());
+                if self.w.len() == self.config.k_max {
+                    self.flush_stats_only();
+                }
+            }
+        }
+        self.stats.events += 1;
+        self.stats.max_tracking_len = self.stats.max_tracking_len.max(self.w.len() as u64);
+    }
+
+    /// [`flush`](Self::flush) without the alarm payload: classifies `W`
+    /// exactly like `flush`, bumps the matching stats counter directly
+    /// (the caller has no alarm list to count from), and clears `W` *in
+    /// place* — keeping its capacity — instead of `mem::take`-ing the
+    /// buffer into an `Alarm`.
+    #[inline]
+    fn flush_stats_only(&mut self) {
+        if self.w.len() <= 1 {
+            self.stats.contextual_alarms += 1;
+        } else {
+            self.stats.collective_alarms += 1;
+        }
+        self.w.clear();
     }
 
     /// Clears any in-progress tracking (the phantom state is kept).

@@ -5,8 +5,22 @@
 //! slides out the oldest one — continuously tracking the latest graph
 //! snapshot `G^t = (S^{t-τ}, ..., S^t)`. It also answers queries for the
 //! values of a state's causes.
-
-use std::collections::VecDeque;
+//!
+//! ### Representation
+//!
+//! The window is *logically* `τ + 1` full system states, but storing (and
+//! copying) them per event costs `O(n)` in the device count. Instead the
+//! machine keeps the current state plus one tiny **transition ring** per
+//! device: the last `τ + 1` `(step, value)` transitions of that device,
+//! where `step` is the machine's event counter. `apply` then touches only
+//! the event's own device (`O(1)`), and a lagged query scans at most
+//! `τ + 1` ring entries for the newest transition at or before the target
+//! step. A device transitions at most once per step, so the newest `τ + 1`
+//! transitions always cover every step in the window; the ring is seeded
+//! with the initial value at step 0, which answers queries reaching past
+//! the first event (the home was in its initial state throughout). The
+//! answers are exactly those of the materialised window — the equivalence
+//! is pinned by `matches_state_series_semantics` below.
 
 use iot_model::{BinaryEvent, DeviceId, SystemState};
 
@@ -16,8 +30,24 @@ use crate::graph::LaggedVar;
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhantomStateMachine {
     tau: usize,
-    /// Front = oldest (`S^{t-τ}`), back = newest (`S^t`).
-    states: VecDeque<SystemState>,
+    /// Events applied so far — the step clock the transition rings are
+    /// stamped with.
+    step: u64,
+    /// The newest tracked system state `S^t`, mutated in place.
+    current: SystemState,
+    /// Per-device transition rings, flattened: device `d` owns
+    /// `hist[d*(τ+1) .. (d+1)*(τ+1)]`; each entry packs `step << 1 | value`.
+    hist: Vec<u64>,
+    /// Index of the newest entry within each device's ring.
+    newest: Vec<u32>,
+    /// The device touched by the most recent [`apply`](Self::apply)
+    /// (`u32::MAX` before the first event) and its value just before that
+    /// transition. One step back, only this device can differ from the
+    /// current state — so a `delta = 1` query (the *entire* non-current
+    /// lagged population at τ = 2) resolves with one compare instead of a
+    /// ring scan.
+    last_dev: u32,
+    last_old: bool,
 }
 
 impl PhantomStateMachine {
@@ -25,11 +55,22 @@ impl PhantomStateMachine {
     /// (before any event, the home has been in its initial state
     /// throughout the window).
     pub fn new(initial: SystemState, tau: usize) -> Self {
-        let mut states = VecDeque::with_capacity(tau + 1);
-        for _ in 0..=tau {
-            states.push_back(initial.clone());
+        let cap = tau + 1;
+        let n = initial.len();
+        let mut hist = Vec::with_capacity(n * cap);
+        for &value in initial.values() {
+            let seed = value as u64; // step 0, initial value
+            hist.extend(std::iter::repeat_n(seed, cap));
         }
-        PhantomStateMachine { tau, states }
+        PhantomStateMachine {
+            tau,
+            step: 0,
+            current: initial,
+            hist,
+            newest: vec![0; n],
+            last_dev: u32::MAX,
+            last_old: false,
+        }
     }
 
     /// The maximum lag τ.
@@ -39,21 +80,31 @@ impl PhantomStateMachine {
 
     /// Applies an event: derives `S^{t+1}` from `S^t`, records it, and
     /// drops `S^{t-τ}`.
+    #[inline]
     pub fn apply(&mut self, event: &BinaryEvent) {
-        // Recycle the evicted oldest state's buffer instead of allocating
-        // a fresh one per event — the monitor hot path stays allocation-free.
-        let mut next = self.states.pop_front().expect("window is never empty");
-        // With τ = 0 the window holds a single state, mutated in place.
-        if let Some(current) = self.states.back() {
-            next.clone_from(current);
-        }
-        next.set(event.device, event.value);
-        self.states.push_back(next);
+        self.last_dev = event.device.index() as u32;
+        self.last_old = self.current.get(event.device);
+        self.current.set(event.device, event.value);
+        let step = self.step + 1;
+        self.step = step;
+        let cap = self.tau + 1;
+        let d = event.device.index();
+        let slot = {
+            let next = self.newest[d] as usize + 1;
+            if next == cap {
+                0
+            } else {
+                next
+            }
+        };
+        self.hist[d * cap + slot] = (step << 1) | event.value as u64;
+        self.newest[d] = slot as u32;
     }
 
     /// The newest tracked system state `S^t`.
+    #[inline]
     pub fn current(&self) -> &SystemState {
-        self.states.back().expect("window is never empty")
+        &self.current
     }
 
     /// The state of `device` at lag `l` *relative to the current
@@ -62,9 +113,63 @@ impl PhantomStateMachine {
     /// # Panics
     ///
     /// Panics if `l > τ` or `device` is out of range.
+    #[inline]
     pub fn lagged(&self, device: DeviceId, lag: usize) -> bool {
         assert!(lag <= self.tau, "lag {lag} exceeds τ {}", self.tau);
-        self.states[self.tau - lag].get(device)
+        if lag == 0 {
+            return self.current.get(device);
+        }
+        // With fewer than `lag` events applied the target predates step 0;
+        // saturating to 0 lands on the seeded initial value, exactly the
+        // pre-filled window's answer.
+        self.value_at(device.index(), self.step.saturating_sub(lag as u64))
+    }
+
+    /// The value of device `d` at `target` steps: the newest ring entry
+    /// stamped at or before `target`.
+    ///
+    /// Branchless: entries pack `step << 1 | value`, so among the entries
+    /// stamped at or before the target the *maximum* packed entry is the
+    /// newest one (steps are distinct — a device transitions at most once
+    /// per step — so the value bit never decides the order). Masking the
+    /// too-new entries to zero keeps the scan free of data-dependent
+    /// branches, which would mispredict on random streams. A zero `best`
+    /// is indistinguishable from a masked entry only for the step-0 seed
+    /// with value `false` — whose answer is `false` either way, and some
+    /// entry always qualifies because seeds are stamped at step 0.
+    #[inline]
+    fn value_at(&self, d: usize, target: u64) -> bool {
+        let cap = self.tau + 1;
+        let ring = &self.hist[d * cap..(d + 1) * cap];
+        let mut best = 0u64;
+        for &entry in ring {
+            let mask = 0u64.wrapping_sub(((entry >> 1) <= target) as u64);
+            best = best.max(entry & mask);
+        }
+        (best & 1) == 1
+    }
+
+    /// Pre-validated fast-path form of [`cause_value_for_next`]
+    /// (Self::cause_value_for_next) for the scoring inner loop: the cause
+    /// is given as a raw device index plus `delta = lag − 1`, both already
+    /// range-checked when the detector's dense tables were built, so the
+    /// per-call asserts are gone. `delta = 0` (a lag-1 cause — the
+    /// overwhelmingly common interaction in mined DIGs) short-circuits to
+    /// a current-state read.
+    #[inline]
+    pub(crate) fn cause_value_fast(&self, d: usize, delta: u64) -> bool {
+        if delta >= 2 {
+            return self.value_at(d, self.step.saturating_sub(delta));
+        }
+        // delta ≤ 1 resolves against the current state with at most the
+        // last apply undone; the selects are non-short-circuit `&`/`|` so
+        // the unpredictable `d == last_dev` compare never becomes a
+        // branch. Before the first event `last_dev` is `u32::MAX`,
+        // matching nothing, and the current state *is* the seeded initial
+        // state.
+        let current = self.current.get(DeviceId::from_index(d));
+        let undone = (delta == 1) & (d as u32 == self.last_dev);
+        (undone & self.last_old) | (!undone & current)
     }
 
     /// The value a cause variable will take for the *next* incoming event:
@@ -78,6 +183,7 @@ impl PhantomStateMachine {
     ///
     /// Panics if `var.lag` is `0` (causes always lag at least 1) or
     /// exceeds `τ`.
+    #[inline]
     pub fn cause_value_for_next(&self, var: LaggedVar) -> bool {
         assert!(var.lag >= 1, "causes must have lag >= 1");
         self.lagged(var.device, var.lag - 1)
@@ -150,6 +256,42 @@ mod tests {
             }
             pm.apply(event);
             assert_eq!(pm.current(), series.state(j), "after event {j}");
+        }
+    }
+
+    /// The transition-ring representation answers every (device, lag)
+    /// query exactly like a materialised `τ + 1` window, across rings that
+    /// wrap many times, repeated same-device bursts, and no-op re-reports.
+    #[test]
+    fn ring_representation_matches_materialised_window() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use std::collections::VecDeque;
+        let n = 4;
+        for tau in 1..=4usize {
+            let mut rng = StdRng::seed_from_u64(1000 + tau as u64);
+            let mut pm = PhantomStateMachine::new(SystemState::all_off(n), tau);
+            // Reference: the old explicit window of τ+1 full states.
+            let mut window: VecDeque<SystemState> =
+                std::iter::repeat_n(SystemState::all_off(n), tau + 1).collect();
+            for t in 0..200u64 {
+                // Bursts on one device stress the ring wrap-around.
+                let dev = if t % 7 < 3 { 0 } else { rng.gen_range(0..n) };
+                let event = bev(t + 1, dev, rng.gen_bool(0.5));
+                pm.apply(&event);
+                let mut next = window.back().expect("window never empty").clone();
+                next.set(event.device, event.value);
+                window.pop_front();
+                window.push_back(next);
+                for d in 0..n {
+                    for lag in 0..=tau {
+                        assert_eq!(
+                            pm.lagged(DeviceId::from_index(d), lag),
+                            window[tau - lag].get(DeviceId::from_index(d)),
+                            "t={t} τ={tau} device {d} lag {lag}"
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -557,6 +557,7 @@ impl FittedModel {
             core: MonitorCore {
                 detector,
                 preprocessor: self.inner.preprocessor.as_deref(),
+                batch: Vec::new(),
                 dropped_duplicate: 0,
                 dropped_extreme: 0,
                 dropped_non_finite: 0,
@@ -599,6 +600,7 @@ impl FittedModel {
             core: MonitorCore {
                 detector,
                 preprocessor: self.inner.preprocessor.clone(),
+                batch: Vec::new(),
                 dropped_duplicate: 0,
                 dropped_extreme: 0,
                 dropped_non_finite: 0,
@@ -657,6 +659,60 @@ impl std::fmt::Display for DropReason {
 
 impl std::error::Error for DropReason {}
 
+/// One observation for the unified monitor entry point
+/// ([`Monitor::observe_with`] / [`OwnedMonitor::observe_with`]): either an
+/// already-binarised event or a raw platform event still to be sanitised
+/// and binarised against the fitted preprocessor.
+#[derive(Debug, Clone, Copy)]
+pub enum Observation<'a> {
+    /// A preprocessed binary event — always scored, never dropped.
+    Binary(BinaryEvent),
+    /// A raw platform event — runs the preprocessing checks and may be
+    /// dropped with a [`DropReason`].
+    Raw(&'a DeviceEvent),
+}
+
+impl From<BinaryEvent> for Observation<'_> {
+    fn from(event: BinaryEvent) -> Self {
+        Observation::Binary(event)
+    }
+}
+
+impl<'a> From<&'a DeviceEvent> for Observation<'a> {
+    fn from(event: &'a DeviceEvent) -> Self {
+        Observation::Raw(event)
+    }
+}
+
+/// Ambient context for [`Monitor::observe_with`] /
+/// [`OwnedMonitor::observe_with`]. The default context scores at full
+/// confidence; attach a [`StaleSet`] for degraded mode. Non-exhaustive so
+/// future context (e.g. per-event deadlines) is not a breaking change —
+/// build it with [`ObserveCtx::new`] / [`ObserveCtx::with_stale`].
+#[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
+pub struct ObserveCtx<'a> {
+    /// Devices currently flagged stale by the ingestion guard's liveness
+    /// clock; when set, verdict confidence is discounted to the live cause
+    /// fraction.
+    pub stale: Option<&'a StaleSet>,
+}
+
+impl<'a> ObserveCtx<'a> {
+    /// The plain full-confidence context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A degraded-mode context discounting confidence against `stale`.
+    pub fn with_stale(stale: &'a StaleSet) -> Self {
+        Self {
+            stale: Some(stale),
+            ..Self::default()
+        }
+    }
+}
+
 /// The single monitor implementation behind both [`Monitor`] and
 /// [`OwnedMonitor`]: generic over how the DIG (`D`) and the fitted
 /// preprocessor (`P`) are held, so the borrowing and the owned flavour are
@@ -669,6 +725,10 @@ where
 {
     detector: KSequenceDetector<D>,
     preprocessor: Option<P>,
+    /// Reusable verdict scratch backing `observe_batch`'s returned slice —
+    /// cleared at the start of every batch, so no allocation after the
+    /// first call at steady batch sizes.
+    batch: Vec<Verdict>,
     dropped_duplicate: u64,
     dropped_extreme: u64,
     dropped_non_finite: u64,
@@ -682,12 +742,26 @@ where
     D: Deref<Target = Dig>,
     P: Deref<Target = FittedPreprocessor>,
 {
-    fn observe(&mut self, event: BinaryEvent) -> Verdict {
-        self.detector.observe(event)
+    /// The canonical observe entry point every public variant delegates to.
+    fn observe_with(
+        &mut self,
+        input: Observation<'_>,
+        ctx: &ObserveCtx<'_>,
+    ) -> Result<Verdict, DropReason> {
+        match input {
+            Observation::Binary(event) => Ok(match ctx.stale {
+                Some(stale) => self.detector.observe_degraded(event, stale),
+                None => self.detector.observe(event),
+            }),
+            Observation::Raw(event) => self.observe_raw_with(event, ctx.stale),
+        }
     }
 
-    fn observe_raw(&mut self, event: &DeviceEvent) -> Result<Verdict, DropReason> {
-        self.observe_raw_with(event, None)
+    fn observe_batch(&mut self, events: &[BinaryEvent]) -> &[Verdict] {
+        self.batch.clear();
+        self.detector
+            .observe_batch_into(events, None, &mut self.batch);
+        &self.batch
     }
 
     fn observe_raw_with(
@@ -779,15 +853,111 @@ pub struct OwnedMonitor {
 
 macro_rules! monitor_methods {
     () => {
+        /// The canonical observe entry point: scores one observation —
+        /// binary or raw — under the given context. Every other observe
+        /// variant is an `#[inline]` wrapper over this method:
+        ///
+        /// * [`observe`](Self::observe) =
+        ///   `observe_with(Binary(e), &default)`
+        /// * [`observe_raw`](Self::observe_raw) =
+        ///   `observe_with(Raw(e), &default)`
+        /// * [`observe_degraded`](Self::observe_degraded) =
+        ///   `observe_with(Binary(e), &with_stale(s))`
+        /// * [`observe_raw_degraded`](Self::observe_raw_degraded) =
+        ///   `observe_with(Raw(e), &with_stale(s))`
+        ///
+        /// # Errors
+        ///
+        /// Raw observations can be dropped by preprocessing with a
+        /// [`DropReason`]; binary observations are always scored, so for
+        /// [`Observation::Binary`] the result is always `Ok`.
+        ///
+        /// # Panics
+        ///
+        /// Panics for raw observations if the model was fitted with
+        /// [`CausalIot::fit_binary`] (no preprocessor is available).
+        pub fn observe_with(
+            &mut self,
+            input: Observation<'_>,
+            ctx: &ObserveCtx<'_>,
+        ) -> Result<Verdict, DropReason> {
+            self.core.observe_with(input, ctx)
+        }
+
         /// Processes one preprocessed binary event.
+        ///
+        /// Equivalent to [`observe_with`](Self::observe_with) with a
+        /// [`Observation::Binary`] input and the default context — prefer
+        /// `observe_with` in new code.
+        #[inline]
         pub fn observe(&mut self, event: BinaryEvent) -> Verdict {
-            self.core.observe(event)
+            match self
+                .core
+                .observe_with(Observation::Binary(event), &ObserveCtx::new())
+            {
+                Ok(verdict) => verdict,
+                Err(_) => unreachable!("binary observations are never dropped"),
+            }
+        }
+
+        /// Processes a whole batch of preprocessed binary events, returning
+        /// one verdict per event in stream order.
+        ///
+        /// Verdicts are **bit-identical** to `N` sequential
+        /// [`observe`](Self::observe) calls; the batch amortises telemetry
+        /// flushes (counters and the latency sample land once per batch).
+        /// The returned slice borrows the monitor's internal scratch buffer
+        /// and is overwritten by the next batch; use
+        /// [`observe_batch_into`](Self::observe_batch_into) to accumulate
+        /// into your own buffer instead.
+        pub fn observe_batch(&mut self, events: &[BinaryEvent]) -> &[Verdict] {
+            self.core.observe_batch(events)
+        }
+
+        /// [`observe_batch`](Self::observe_batch) appending into a
+        /// caller-owned buffer (one verdict per event, pushed as each event
+        /// completes — on a mid-batch panic `out` holds exactly the
+        /// verdicts of the events before the panicking one).
+        pub fn observe_batch_into(&mut self, events: &[BinaryEvent], out: &mut Vec<Verdict>) {
+            self.core.detector.observe_batch_into(events, None, out)
+        }
+
+        /// [`observe_batch_into`](Self::observe_batch_into) with verdict
+        /// materialisation elided: phantom-state transitions, tracking
+        /// dynamics, [`report`](Self::report) counters, and the telemetry
+        /// flush stay bit-identical to the sequential path, but no verdict
+        /// or alarm payload is built — the zero-allocation hot path for
+        /// callers that only consume counters (the serving hub's burst
+        /// loop, when no recorder or verdict log is attached). `scored` is
+        /// bumped once per completed event, so on a mid-batch panic it
+        /// holds the panicking event's exact index.
+        pub fn observe_batch_stats_only(&mut self, events: &[BinaryEvent], scored: &mut usize) {
+            self.core.detector.observe_batch_stats_only(events, scored)
+        }
+
+        /// [`observe_batch_into`](Self::observe_batch_into) in **degraded
+        /// mode**: every event is scored with its confidence discounted
+        /// against `stale`, exactly as N sequential
+        /// [`observe_degraded`](Self::observe_degraded) calls.
+        pub fn observe_batch_degraded_into(
+            &mut self,
+            events: &[BinaryEvent],
+            stale: &crate::ingest::StaleSet,
+            out: &mut Vec<Verdict>,
+        ) {
+            self.core
+                .detector
+                .observe_batch_into(events, Some(stale), out)
         }
 
         /// Processes one **raw** platform event: sanitises (duplicate/extreme
         /// checks against the fitted statistics), binarises with the fitted
         /// thresholds, and feeds the detector. Returns `Err` with the
         /// [`DropReason`] when the event is dropped by preprocessing.
+        ///
+        /// Equivalent to [`observe_with`](Self::observe_with) with a
+        /// [`Observation::Raw`] input and the default context — prefer
+        /// `observe_with` in new code.
         ///
         /// # Errors
         ///
@@ -799,8 +969,10 @@ macro_rules! monitor_methods {
         ///
         /// Panics if the model was fitted with [`CausalIot::fit_binary`] (no
         /// preprocessor is available).
+        #[inline]
         pub fn observe_raw(&mut self, event: &DeviceEvent) -> Result<Verdict, DropReason> {
-            self.core.observe_raw(event)
+            self.core
+                .observe_with(Observation::Raw(event), &ObserveCtx::new())
         }
 
         /// [`observe`](Self::observe) under **degraded mode**: scores the
@@ -809,18 +981,31 @@ macro_rules! monitor_methods {
         /// device's CPT parents currently flagged stale in `stale`. With an
         /// empty stale set the verdict is bit-identical to
         /// [`observe`](Self::observe).
+        ///
+        /// Equivalent to [`observe_with`](Self::observe_with) with a
+        /// stale-carrying context — prefer `observe_with` in new code.
+        #[inline]
         pub fn observe_degraded(
             &mut self,
             event: BinaryEvent,
             stale: &crate::ingest::StaleSet,
         ) -> Verdict {
-            self.core.detector.observe_degraded(event, stale)
+            match self
+                .core
+                .observe_with(Observation::Binary(event), &ObserveCtx::with_stale(stale))
+            {
+                Ok(verdict) => verdict,
+                Err(_) => unreachable!("binary observations are never dropped"),
+            }
         }
 
         /// [`observe_raw`](Self::observe_raw) under **degraded mode**: same
         /// preprocessing checks, with the verdict's confidence discounted
         /// for stale CPT parents as in
         /// [`observe_degraded`](Self::observe_degraded).
+        ///
+        /// Equivalent to [`observe_with`](Self::observe_with) with a
+        /// stale-carrying context — prefer `observe_with` in new code.
         ///
         /// # Errors
         ///
@@ -830,12 +1015,14 @@ macro_rules! monitor_methods {
         ///
         /// Panics if the model was fitted with [`CausalIot::fit_binary`] (no
         /// preprocessor is available).
+        #[inline]
         pub fn observe_raw_degraded(
             &mut self,
             event: &DeviceEvent,
             stale: &crate::ingest::StaleSet,
         ) -> Result<Verdict, DropReason> {
-            self.core.observe_raw_with(event, Some(stale))
+            self.core
+                .observe_with(Observation::Raw(event), &ObserveCtx::with_stale(stale))
         }
 
         /// The session's observability report: events scored, drops by reason,

@@ -34,6 +34,7 @@ impl DeviceId {
     }
 
     /// The dense index of this device (position in its registry).
+    #[inline]
     pub fn index(self) -> usize {
         self.0 as usize
     }

@@ -42,6 +42,7 @@ impl SystemState {
     /// # Panics
     ///
     /// Panics if `device` is out of range.
+    #[inline]
     pub fn get(&self, device: DeviceId) -> bool {
         self.values[device.index()]
     }
@@ -51,6 +52,7 @@ impl SystemState {
     /// # Panics
     ///
     /// Panics if `device` is out of range.
+    #[inline]
     pub fn set(&mut self, device: DeviceId, value: bool) {
         self.values[device.index()] = value;
     }

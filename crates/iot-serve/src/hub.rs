@@ -28,6 +28,30 @@ use crate::SubmitError;
 /// How long one [`crate::SubmitPolicy::Block`] wait-for-space pause lasts.
 const BLOCK_POLL: Duration = Duration::from_micros(50);
 
+/// Largest number of events [`Hub::submit_batch`] packs into one queue
+/// job. Bounds a single job's worker occupancy (and the granularity of
+/// partial acceptance) without forcing callers to pre-chunk.
+pub const SUBMIT_CHUNK: usize = 1024;
+
+/// How much of a [`Hub::submit_batch`] call was actually enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Leading events accepted onto the home's shard queue (`0..accepted`
+    /// of the submitted slice).
+    pub accepted: usize,
+    /// Index of the first rejected event when backpressure cut the batch
+    /// short — always equal to `accepted`, on a [`SUBMIT_CHUNK`]
+    /// boundary; `None` when the whole batch was accepted.
+    pub rejected_at: Option<usize>,
+}
+
+impl BatchOutcome {
+    /// Whether every submitted event was accepted.
+    pub fn is_complete(&self) -> bool {
+        self.rejected_at.is_none()
+    }
+}
+
 /// Identifies a home registered with a [`Hub`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct HomeId(pub(crate) usize);
@@ -54,7 +78,12 @@ impl fmt::Display for HomeId {
 }
 
 /// End-of-session results for one home, returned by [`Hub::shutdown`].
+///
+/// Non-exhaustive: future sessions may add fields (e.g. batch-depth
+/// histograms) without a breaking change, so build instances by reading
+/// them off [`Hub::shutdown`] rather than literally.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct HomeReport {
     /// The home's id.
     pub id: HomeId,
@@ -503,34 +532,62 @@ impl Hub {
         )
     }
 
-    /// Submits a batch of events for `home` as a single queue job.
-    /// Batching amortises the queue handoff: it is the preferred shape
-    /// for high-throughput ingestion.
+    /// Submits a batch of events for `home`, enqueued in
+    /// [`SUBMIT_CHUNK`]-sized queue jobs. Batching amortises the queue
+    /// handoff and feeds the workers' batched scoring path: it is the
+    /// preferred shape for high-throughput ingestion.
     ///
-    /// The whole batch is accepted or rejected atomically; per-home
-    /// ordering covers the events inside the batch too.
+    /// Events are accepted strictly in order; per-home ordering covers the
+    /// events inside the batch too. Under backpressure
+    /// ([`crate::SubmitPolicy::FailFast`]'s full queue, or an exhausted
+    /// block/retry budget) the batch may be accepted *partially*: the
+    /// returned [`BatchOutcome`] reports how many leading events were
+    /// enqueued and where the first rejection happened, so the caller can
+    /// resubmit `&events[outcome.accepted..]`. Acceptance is
+    /// chunk-granular, so `rejected_at` always falls on a
+    /// [`SUBMIT_CHUNK`] boundary.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`Hub::submit`].
-    pub fn submit_batch(&self, home: HomeId, events: Vec<BinaryEvent>) -> Result<(), SubmitError> {
-        if events.is_empty() {
-            return Ok(());
-        }
+    /// Pre-conditions only — [`SubmitError::UnknownHome`],
+    /// [`SubmitError::Quarantined`], or [`SubmitError::Shutdown`] with no
+    /// event accepted. Backpressure is reported through the `Ok`
+    /// outcome's `rejected_at`, not as an error.
+    pub fn submit_batch(
+        &self,
+        home: HomeId,
+        events: &[BinaryEvent],
+    ) -> Result<BatchOutcome, SubmitError> {
         let entry = self.entry(home)?;
         self.check_quarantine(home, entry)?;
-        let submitted = Instant::now();
-        let count = events.len() as u64;
-        self.enqueue_with_policy(
-            home,
-            entry,
-            Job::Batch {
+        let mut accepted = 0usize;
+        for chunk in events.chunks(SUBMIT_CHUNK) {
+            let job = Job::Batch {
                 home: home.0,
-                events,
-                submitted,
-            },
-            count,
-        )
+                events: chunk.to_vec(),
+                submitted: Instant::now(),
+            };
+            match self.enqueue_with_policy(home, entry, job, chunk.len() as u64) {
+                Ok(()) => accepted += chunk.len(),
+                Err(SubmitError::QueueFull { .. } | SubmitError::DeadlineExceeded { .. }) => {
+                    return Ok(BatchOutcome {
+                        accepted,
+                        rejected_at: Some(accepted),
+                    });
+                }
+                Err(e) if accepted == 0 => return Err(e),
+                Err(_) => {
+                    return Ok(BatchOutcome {
+                        accepted,
+                        rejected_at: Some(accepted),
+                    })
+                }
+            }
+        }
+        Ok(BatchOutcome {
+            accepted,
+            rejected_at: None,
+        })
     }
 
     /// Atomically replaces `home`'s monitor with a fresh one spawned from
@@ -918,9 +975,9 @@ mod tests {
             ..HubConfig::default()
         });
         let home = hub.register("home", &old_model);
-        hub.submit_batch(home, pre.clone()).unwrap();
+        assert!(hub.submit_batch(home, &pre).unwrap().is_complete());
         hub.swap_model(home, &new_model).unwrap();
-        hub.submit_batch(home, post.clone()).unwrap();
+        assert!(hub.submit_batch(home, &post).unwrap().is_complete());
         let reports = hub.shutdown();
         assert_eq!(reports[0].verdicts, expected);
         assert_eq!(reports[0].swaps, 1);
@@ -961,8 +1018,15 @@ mod tests {
             ..HubConfig::default()
         });
         let home = hub.register("home", &model);
-        hub.submit_batch(home, events[..20].to_vec()).unwrap();
-        hub.submit_batch(home, events[20..].to_vec()).unwrap();
+        let first = hub.submit_batch(home, &events[..20]).unwrap();
+        assert_eq!(
+            first,
+            BatchOutcome {
+                accepted: 20,
+                rejected_at: None
+            }
+        );
+        hub.submit_batch(home, &events[20..]).unwrap();
         let reports = hub.shutdown();
         assert_eq!(reports[0].verdicts, expected);
     }
@@ -1000,7 +1064,7 @@ mod tests {
             ..HubConfig::default()
         });
         let home = hub.register("home", &model);
-        hub.submit_batch(home, events).unwrap();
+        hub.submit_batch(home, &events).unwrap();
         let reports = hub.shutdown();
         assert_eq!(reports[0].verdicts, expected);
         assert_eq!(reports[0].dead_letters, 0);

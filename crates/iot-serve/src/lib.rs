@@ -101,6 +101,6 @@ mod util;
 pub use config::{HubConfig, HubConfigBuilder, RestorePolicy, SubmitPolicy};
 pub use error::{QuarantinedError, SubmitError};
 pub use fault::FaultHook;
-pub use hub::{HomeId, HomeReport, Hub};
+pub use hub::{BatchOutcome, HomeId, HomeReport, Hub, SUBMIT_CHUNK};
 pub use iot_telemetry::MetricsServer;
 pub use stats::{FlightEntry, FlightRecording, HomeStats, HubStats, LatencyStats, ShardStats};

@@ -62,7 +62,12 @@ pub struct ShardStats {
 }
 
 /// One home's live counters in a [`HubStats`] sample.
+///
+/// Non-exhaustive: future sessions may add counters without a breaking
+/// change — read instances off [`crate::Hub::stats`] rather than building
+/// them literally.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct HomeStats {
     /// The home's id.
     pub id: HomeId,
@@ -128,7 +133,11 @@ impl LatencyStats {
 /// [`crate::Hub::drain`], `events_submitted ==` [`HubStats::events_scored`]
 /// `+` [`HubStats::dead_letters`] `+` dropped events `+` events still
 /// parked in ingestion reordering buffers (released at shutdown).
+///
+/// Non-exhaustive (like [`HomeStats`]): future fields — e.g. batch-depth
+/// histograms — will not be breaking changes.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct HubStats {
     /// Events accepted by `submit`/`submit_batch` over the hub's lifetime
     /// (counted per event, not per job).

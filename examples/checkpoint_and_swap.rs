@@ -67,13 +67,18 @@ fn automation(
 }
 
 fn submit_all(hub: &Hub, home: HomeId, events: Vec<BinaryEvent>) {
-    for chunk in events.chunks(128) {
-        loop {
-            match hub.submit_batch(home, chunk.to_vec()) {
-                Ok(()) => break,
-                Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
-                Err(e) => panic!("submit failed: {e}"),
+    // Resume from the partial-acceptance offset under backpressure: the
+    // slice API reports how many leading events were enqueued.
+    let mut offset = 0usize;
+    while offset < events.len() {
+        match hub.submit_batch(home, &events[offset..]) {
+            Ok(outcome) => {
+                offset += outcome.accepted;
+                if !outcome.is_complete() {
+                    std::thread::yield_now();
+                }
             }
+            Err(e) => panic!("submit failed: {e}"),
         }
     }
 }

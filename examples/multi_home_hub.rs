@@ -164,9 +164,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             live.extend(stale);
         }
         // The Retry submit policy absorbs transient full-queue episodes;
-        // only an exhausted retry budget surfaces as an error.
-        for chunk in live.chunks(256) {
-            hub.submit_batch(home, chunk.to_vec())?;
+        // an exhausted retry budget surfaces as a partial BatchOutcome,
+        // resumed from the acceptance offset.
+        let mut offset = 0usize;
+        while offset < live.len() {
+            let outcome = hub.submit_batch(home, &live[offset..])?;
+            offset += outcome.accepted;
+            if !outcome.is_complete() {
+                std::thread::yield_now();
+            }
         }
     }
     hub.drain();

@@ -1,28 +1,41 @@
 #!/usr/bin/env bash
-# Regression gate for the serving hub's throughput: runs a fresh
-# exp_hub_throughput (release mode) and compares its events/sec figures
-# against the committed baseline — the last exp_hub_throughput line of
-# the newest results/BENCH_*.json — failing if any figure drops more
-# than the tolerance.
+# Regression gate for the hot path: runs fresh exp_complexity and
+# exp_hub_throughput binaries (release mode) and checks them two ways —
 #
-# Throughput numbers are noisy (shared runners, thermal state), so the
-# gate is deliberately loose and retried: a figure must stay above
-# baseline * (1 - BENCH_TOLERANCE_PCT/100) on at least one of
+#   1. Pinned ns/event budgets. Three metrics each carry an absolute
+#      per-event budget, independent of the baseline file:
+#        monitor_single_ns   worst "ns/event" point of exp_complexity
+#        monitor_batched_ns  worst "ns/event batched" point of exp_complexity
+#        hub_batched_ns      1e9 / hub4_batched_eps of exp_hub_throughput
+#      A metric over budget fails the gate by name.
+#   2. Relative throughput vs the committed baseline — every `*_eps`
+#      figure of the newest results/BENCH_*.json must stay above
+#      baseline * (1 - BENCH_TOLERANCE_PCT/100).
+#
+# Both checks print one per-metric delta table per attempt. Numbers are
+# noisy (shared runners, thermal state), so the gate is deliberately
+# loose and retried: each check must pass on at least one of
 # BENCH_COMPARE_ATTEMPTS runs. Only regressions fail; a faster run
 # passes silently (refresh the baseline with scripts/bench_snapshot.sh
 # when an improvement should be locked in).
 #
 # Usage: scripts/bench_compare.sh
-#   BENCH_TOLERANCE_PCT    allowed drop per figure (default 15)
-#   BENCH_COMPARE_ATTEMPTS retry budget for noisy runs (default 3)
-#   BENCH_BASELINE         explicit baseline file (default: newest
-#                          results/BENCH_*.json)
+#   BENCH_TOLERANCE_PCT      allowed relative drop per figure (default 15)
+#   BENCH_COMPARE_ATTEMPTS   retry budget for noisy runs (default 3)
+#   BENCH_BASELINE           explicit baseline file (default: newest
+#                            results/BENCH_*.json)
+#   BENCH_MONITOR_NS         monitor single-event budget (default 100)
+#   BENCH_MONITOR_BATCH_NS   monitor batched budget (default 100)
+#   BENCH_HUB_BATCH_NS       hub batched budget (default 60)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tolerance="${BENCH_TOLERANCE_PCT:-15}"
 attempts="${BENCH_COMPARE_ATTEMPTS:-3}"
+monitor_ns="${BENCH_MONITOR_NS:-100}"
+monitor_batch_ns="${BENCH_MONITOR_BATCH_NS:-100}"
+hub_batch_ns="${BENCH_HUB_BATCH_NS:-60}"
 
 if [[ -n "${BENCH_BASELINE:-}" ]]; then
     baseline="$BENCH_BASELINE"
@@ -34,52 +47,106 @@ if [[ -z "$baseline" || ! -s "$baseline" ]]; then
     exit 1
 fi
 echo "baseline: $baseline (tolerance ${tolerance}%, up to ${attempts} attempt(s))"
+echo "budgets:  monitor_single ${monitor_ns} ns, monitor_batched ${monitor_batch_ns} ns, hub_batched ${hub_batch_ns} ns"
 
 compare() {
-    python3 - "$baseline" results/telemetry/exp_hub_throughput.json "$tolerance" <<'EOF'
+    python3 - "$baseline" "$tolerance" "$monitor_ns" "$monitor_batch_ns" "$hub_batch_ns" <<'EOF'
 import json, sys
 
-baseline_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+baseline_path = sys.argv[1]
+tolerance = float(sys.argv[2])
+budgets = {
+    "monitor_single_ns": float(sys.argv[3]),
+    "monitor_batched_ns": float(sys.argv[4]),
+    "hub_batched_ns": float(sys.argv[5]),
+}
 
-baseline = None
-with open(baseline_path) as f:
-    for line in f:
-        line = line.strip()
-        if not line:
-            continue
-        report = json.loads(line)
-        if report.get("binary") == "exp_hub_throughput":
-            baseline = report
-if baseline is None:
+def last_report(path, kind_key, kind_value):
+    found = None
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            report = json.loads(line)
+            if report.get(kind_key) == kind_value:
+                found = report
+    return found
+
+base_hub = last_report(baseline_path, "binary", "exp_hub_throughput")
+base_complexity = last_report(baseline_path, "kind", "complexity_report")
+if base_hub is None:
     sys.exit(f"error: no exp_hub_throughput report in {baseline_path}")
 
-with open(fresh_path) as f:
-    fresh = json.load(f)
+with open("results/telemetry/exp_hub_throughput.json") as f:
+    fresh_hub = json.load(f)
+with open("results/telemetry/exp_complexity.json") as f:
+    fresh_complexity = json.load(f)
 
-keys = [k for k in baseline if k.endswith("_eps")]
-floor = 1.0 - tolerance / 100.0
-failed = False
-for key in sorted(keys):
-    base, now = baseline[key], fresh.get(key)
+def monitor_ns(report, key):
+    if report is None:
+        return None
+    points = [p[key] for p in report.get("monitor", []) if key in p]
+    return max(points) if points else None
+
+# --- pinned ns/event budgets -------------------------------------------
+pinned = {
+    "monitor_single_ns": (
+        monitor_ns(fresh_complexity, "nanos_per_event"),
+        monitor_ns(base_complexity, "nanos_per_event"),
+    ),
+    "monitor_batched_ns": (
+        monitor_ns(fresh_complexity, "nanos_per_event_batched"),
+        monitor_ns(base_complexity, "nanos_per_event_batched"),
+    ),
+    "hub_batched_ns": (
+        1e9 / fresh_hub["hub4_batched_eps"],
+        1e9 / base_hub["hub4_batched_eps"] if "hub4_batched_eps" in base_hub else None,
+    ),
+}
+failed = []
+print(f"{'metric':22} {'fresh':>12} {'baseline':>12} {'delta':>8} {'budget':>10}  verdict")
+for key, (now, base) in pinned.items():
+    budget = budgets[key]
     if now is None:
-        print(f"FAIL {key}: missing from fresh run")
-        failed = True
+        print(f"{key:22} {'missing':>12}")
+        failed.append(key)
+        continue
+    delta = f"{now / base - 1.0:+.0%}" if base else "n/a"
+    over = now > budget
+    verdict = "OVER BUDGET" if over else "ok"
+    base_s = f"{base:,.1f}" if base else "n/a"
+    print(f"{key:22} {now:>10,.1f}ns {base_s:>10}ns {delta:>8} {budget:>8.0f}ns  {verdict}")
+    if over:
+        failed.append(key)
+
+# --- relative eps regression vs baseline -------------------------------
+floor = 1.0 - tolerance / 100.0
+for key in sorted(k for k in base_hub if k.endswith("_eps")):
+    base, now = base_hub[key], fresh_hub.get(key)
+    if now is None:
+        print(f"{key:22} {'missing':>12}")
+        failed.append(key)
         continue
     ratio = now / base
-    verdict = "ok" if ratio >= floor else "FAIL"
-    print(f"{verdict:4} {key}: {now:,.0f} vs baseline {base:,.0f} ({ratio:.2%})")
-    failed |= ratio < floor
-sys.exit(1 if failed else 0)
+    verdict = "ok" if ratio >= floor else "REGRESSED"
+    print(f"{key:22} {now:>12,.0f} {base:>12,.0f} {ratio - 1.0:>+7.0%} {'':>10}  {verdict}")
+    if ratio < floor:
+        failed.append(key)
+
+if failed:
+    sys.exit("bench_compare: failing metric(s): " + ", ".join(failed))
 EOF
 }
 
 for attempt in $(seq 1 "$attempts"); do
     echo "--- attempt ${attempt}/${attempts}"
+    cargo run --release --offline -p causaliot-bench --bin exp_complexity >/dev/null
     cargo run --release --offline -p causaliot-bench --bin exp_hub_throughput
     if compare; then
-        echo "bench_compare: within ${tolerance}% of baseline"
+        echo "bench_compare: all pinned budgets and baseline deltas ok"
         exit 0
     fi
 done
-echo "bench_compare: regression beyond ${tolerance}% persisted over ${attempts} attempt(s)" >&2
+echo "bench_compare: regression persisted over ${attempts} attempt(s)" >&2
 exit 1

@@ -87,6 +87,9 @@ fn prelude_resolves_the_workhorse_types() {
         _: Timestamp,
         _: &TelemetryHandle,
         _: &MonitorReport,
+        _: Observation<'_>,
+        _: &ObserveCtx<'_>,
+        _: BatchOutcome,
     ) {
     }
     let _ = TauChoice::default();
@@ -108,4 +111,52 @@ fn unified_error_round_trips_every_layer() {
     assert!(config.to_string().contains("workers"));
     let dropped: causaliot::Error = causaliot::DropReason::Duplicate.into();
     assert!(dropped.source().is_some());
+}
+
+#[test]
+fn observation_api_signatures_are_pinned() {
+    use causaliot::{DropReason, Observation, ObserveCtx, OwnedMonitor, StaleSet, Verdict};
+    use iot_model::{BinaryEvent, DeviceEvent};
+
+    // The canonical entry point every observe variant routes through...
+    let _canonical: fn(
+        &mut OwnedMonitor,
+        Observation<'_>,
+        &ObserveCtx<'_>,
+    ) -> Result<Verdict, DropReason> = OwnedMonitor::observe_with;
+    // ...and the four convenience wrappers it subsumes (kept as `#[inline]`
+    // forwarders; callers migrate at their leisure).
+    let _observe: fn(&mut OwnedMonitor, BinaryEvent) -> Verdict = OwnedMonitor::observe;
+    let _raw: fn(&mut OwnedMonitor, &DeviceEvent) -> Result<Verdict, DropReason> =
+        OwnedMonitor::observe_raw;
+    let _degraded: fn(&mut OwnedMonitor, BinaryEvent, &StaleSet) -> Verdict =
+        OwnedMonitor::observe_degraded;
+    let _raw_degraded: fn(
+        &mut OwnedMonitor,
+        &DeviceEvent,
+        &StaleSet,
+    ) -> Result<Verdict, DropReason> = OwnedMonitor::observe_raw_degraded;
+
+    // The batched fast path and its accumulator forms.
+    let _batch: for<'m> fn(&'m mut OwnedMonitor, &[BinaryEvent]) -> &'m [Verdict] =
+        OwnedMonitor::observe_batch;
+    let _batch_into: fn(&mut OwnedMonitor, &[BinaryEvent], &mut Vec<Verdict>) =
+        OwnedMonitor::observe_batch_into;
+    let _batch_degraded: fn(&mut OwnedMonitor, &[BinaryEvent], &StaleSet, &mut Vec<Verdict>) =
+        OwnedMonitor::observe_batch_degraded_into;
+    let _batch_stats_only: fn(&mut OwnedMonitor, &[BinaryEvent], &mut usize) =
+        OwnedMonitor::observe_batch_stats_only;
+
+    // Hub batch submission borrows the events and reports partial
+    // acceptance instead of consuming a Vec.
+    let _submit_batch: fn(
+        &iot_serve::Hub,
+        iot_serve::HomeId,
+        &[BinaryEvent],
+    ) -> Result<iot_serve::BatchOutcome, iot_serve::SubmitError> = iot_serve::Hub::submit_batch;
+    let outcome = iot_serve::BatchOutcome {
+        accepted: 3,
+        rejected_at: None,
+    };
+    assert!(outcome.is_complete());
 }

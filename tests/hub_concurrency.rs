@@ -333,7 +333,7 @@ fn shutdown_after_submit_scores_everything() {
         ..HubConfig::default()
     });
     let home = hub.register("drain-on-shutdown", &model);
-    hub.submit_batch(home, stream.clone()).unwrap();
+    hub.submit_batch(home, &stream).unwrap();
     let reports = hub.shutdown();
     assert_eq!(reports[0].monitor.events_observed, stream.len() as u64);
 }

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use causaliot::{CausalIot, FittedModel, Verdict};
-use iot_model::{Attribute, BinaryEvent, DeviceRegistry, Room, Timestamp};
+use iot_model::{Attribute, BinaryEvent, DeviceId, DeviceRegistry, Room, Timestamp};
 use iot_serve::{FaultHook, Hub, HubConfig, RestorePolicy, SubmitError, SubmitPolicy};
 use iot_telemetry::TelemetryHandle;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -29,8 +29,13 @@ fn install_quiet_panic_hook() {
                 .downcast_ref::<&str>()
                 .copied()
                 .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
-            let injected = message
-                .is_some_and(|m| m.contains(INJECTED_PANIC) || m.contains("injected worker death"));
+            let injected = message.is_some_and(|m| {
+                m.contains(INJECTED_PANIC)
+                    || m.contains("injected worker death")
+                    // The burst-boundary test panics the monitor with a
+                    // sentinel out-of-range device id (999).
+                    || m.contains("the index is 999")
+            });
             if !injected {
                 previous(info);
             }
@@ -190,7 +195,7 @@ fn quarantine_then_manual_restore_roundtrips() {
         Arc::clone(&schedule) as Arc<dyn FaultHook>,
     );
     let home = hub.register("home", &model);
-    hub.submit_batch(home, pre.clone()).unwrap();
+    assert!(hub.submit_batch(home, &pre).unwrap().is_complete());
     hub.drain();
 
     // Quarantined: the gate reports the captured panic.
@@ -208,7 +213,7 @@ fn quarantine_then_manual_restore_roundtrips() {
     hub.restore(home, &model).unwrap();
     hub.drain();
     assert!(!hub.is_quarantined(home));
-    hub.submit_batch(home, post.clone()).unwrap();
+    assert!(hub.submit_batch(home, &post).unwrap().is_complete());
     hub.drain();
     let reports = hub.shutdown();
 
@@ -250,7 +255,7 @@ fn restore_policy_auto_restores_from_checkpoint() {
         Arc::clone(&schedule) as Arc<dyn FaultHook>,
     );
     let home = hub.register("home", &model);
-    hub.submit_batch(home, pre.clone()).unwrap();
+    assert!(hub.submit_batch(home, &pre).unwrap().is_complete());
     hub.drain();
 
     // The supervisor must notice the quarantine and restore hands-off.
@@ -262,7 +267,7 @@ fn restore_policy_auto_restores_from_checkpoint() {
         );
         std::thread::sleep(Duration::from_millis(1));
     }
-    hub.submit_batch(home, post.clone()).unwrap();
+    assert!(hub.submit_batch(home, &post).unwrap().is_complete());
     hub.drain();
     let reports = hub.shutdown();
     let _ = std::fs::remove_file(&checkpoint);
@@ -530,7 +535,7 @@ fn chaos_ingest_case(seed: u64) {
     }
     for (h, storm) in storms.iter().enumerate() {
         for chunk in storm.events.chunks(48) {
-            hub.submit_batch(homes[h], chunk.to_vec()).unwrap();
+            assert!(hub.submit_batch(homes[h], chunk).unwrap().is_complete());
         }
     }
     let reports = hub.shutdown();
@@ -568,5 +573,113 @@ fn chaos_ingest_case(seed: u64) {
     assert_eq!(
         counted, fleet_dead,
         "seed {seed}: ingest.drop.* counters disagree"
+    );
+}
+
+/// Burst draining must be behaviourally invisible: with no fault hook the
+/// worker drains whole queue bursts through the batched fast path, and a
+/// panic in the *middle* of a submitted batch must quarantine at exactly
+/// the panicking event — an exact verdict prefix, the panicking event as
+/// the frozen flight recording's last entry, the events queued behind it
+/// counted as quarantine-dropped — while a sibling home whose jobs were
+/// interleaved (per-event and batched shapes mixed) stays bit-identical.
+#[test]
+fn burst_batches_preserve_ordering_and_exact_quarantine_boundary() {
+    install_quiet_panic_hook();
+    let (reg, model) = fitted_model(17);
+    let clean = home_stream(&reg, 71, 120);
+    let mut poison = home_stream(&reg, 72, 40);
+    let panic_index = 17usize;
+    // A device id far outside the registry panics inside scoring — no
+    // fault hook needed, so the burst fast path is actually exercised.
+    poison[panic_index] =
+        BinaryEvent::new(poison[panic_index].time, DeviceId::from_index(999), true);
+    let sibling_stream = home_stream(&reg, 73, 300);
+
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut hub = Hub::with_telemetry(
+        HubConfig::builder()
+            .workers(1)
+            .queue_capacity(1_024)
+            .flight_recorder(8)
+            .try_build()
+            .unwrap(),
+        &telemetry,
+    );
+    let victim = hub.register("victim", &model);
+    let sibling = hub.register("sibling", &model);
+
+    // Mixed submission shapes land on the single shard's queue and are
+    // burst-drained together: per-event jobs, then interleaved batches.
+    for event in &sibling_stream[..50] {
+        loop {
+            match hub.submit(sibling, *event) {
+                Ok(()) => break,
+                Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+    }
+    assert!(hub.submit_batch(victim, &clean).unwrap().is_complete());
+    assert!(hub
+        .submit_batch(sibling, &sibling_stream[50..170])
+        .unwrap()
+        .is_complete());
+    assert!(hub.submit_batch(victim, &poison).unwrap().is_complete());
+    assert!(hub
+        .submit_batch(sibling, &sibling_stream[170..])
+        .unwrap()
+        .is_complete());
+    hub.drain();
+
+    // The gate closed with the captured out-of-range panic.
+    assert!(hub.is_quarantined(victim));
+    match hub.submit(victim, clean[0]) {
+        Err(SubmitError::Quarantined(q)) => assert!(q.panic.contains("the index is 999")),
+        other => panic!("expected quarantine rejection, got {other:?}"),
+    }
+    let reports = hub.shutdown();
+
+    // Victim: an exact verdict prefix — every clean event plus the
+    // poisoned batch up to (not including) the panicking event.
+    let mut prefix = clean.clone();
+    prefix.extend_from_slice(&poison[..panic_index]);
+    let victim_report = &reports[0];
+    assert_eq!(victim_report.verdicts, sequential_verdicts(&model, &prefix));
+    assert_eq!(victim_report.monitor.events_observed, prefix.len() as u64);
+    assert!(victim_report.quarantined);
+    assert_eq!(victim_report.panics.len(), 1);
+    assert_eq!(
+        victim_report.dropped_quarantined,
+        (poison.len() - panic_index - 1) as u64,
+        "exactly the events queued behind the panicking one are dropped"
+    );
+    // The frozen flight recording ends with the panicking event.
+    assert_eq!(victim_report.quarantine_flights.len(), 1);
+    let recording = &victim_report.quarantine_flights[0];
+    let last = recording.entries.last().expect("non-empty recording");
+    assert!(last.panicked);
+    assert!(last.score.is_nan());
+    assert!(last.verdict.is_none());
+    assert_eq!(last.seq, (clean.len() + panic_index) as u64);
+    assert_eq!(last.event.device.index(), 999);
+    // Entries before the panic carry real verdicts in sequence order.
+    for window in recording.entries.windows(2) {
+        assert_eq!(window[1].seq, window[0].seq + 1, "recording is contiguous");
+    }
+
+    // Sibling: bit-identical to the sequential reference despite the
+    // mixed shapes and the sibling's jobs sharing bursts with the victim.
+    let sibling_report = &reports[1];
+    assert_eq!(
+        sibling_report.verdicts,
+        sequential_verdicts(&model, &sibling_stream)
+    );
+    assert!(!sibling_report.quarantined);
+    assert_eq!(sibling_report.dropped_quarantined, 0);
+    assert_eq!(telemetry.counter("hub.quarantines").get(), 1);
+    assert_eq!(
+        telemetry.counter("hub.quarantine_dropped").get(),
+        victim_report.dropped_quarantined
     );
 }

@@ -187,8 +187,8 @@ fn metrics_endpoint_serves_valid_prometheus_over_tcp() {
     let mut hub = Hub::with_telemetry(HubConfig::builder().workers(2).build(), &telemetry);
     let a = hub.register("home-a", &model);
     let b = hub.register("home-b", &model);
-    hub.submit_batch(a, home_stream(&reg, 1, 40)).unwrap();
-    hub.submit_batch(b, home_stream(&reg, 2, 25)).unwrap();
+    hub.submit_batch(a, &home_stream(&reg, 1, 40)).unwrap();
+    hub.submit_batch(b, &home_stream(&reg, 2, 25)).unwrap();
     hub.drain();
 
     let server = hub.serve_metrics("127.0.0.1:0").unwrap();
@@ -241,7 +241,7 @@ fn stats_agree_with_final_home_reports() {
         .collect();
     let lens = [30usize, 17, 42];
     for (home, len) in homes.iter().zip(lens) {
-        hub.submit_batch(*home, home_stream(&reg, home.index() as u64, len))
+        hub.submit_batch(*home, &home_stream(&reg, home.index() as u64, len))
             .unwrap();
     }
     hub.drain();
@@ -277,7 +277,7 @@ fn stats_count_events_even_with_telemetry_disabled() {
         &TelemetryHandle::disabled(),
     );
     let home = hub.register("home", &model);
-    hub.submit_batch(home, home_stream(&reg, 4, 20)).unwrap();
+    hub.submit_batch(home, &home_stream(&reg, 4, 20)).unwrap();
     hub.drain();
     let stats = hub.stats();
     assert_eq!(stats.events_submitted, 20);
@@ -306,7 +306,7 @@ fn dump_home_returns_the_last_n_events_oldest_first() {
         &TelemetryHandle::disabled(),
     );
     let home = hub.register("home", &model);
-    hub.submit_batch(home, stream.clone()).unwrap();
+    hub.submit_batch(home, &stream).unwrap();
 
     let recording = hub.dump_home(home).unwrap().expect("recording enabled");
     assert_eq!(recording.home, home);
@@ -337,7 +337,7 @@ fn dump_home_is_none_when_recording_is_disabled() {
         &TelemetryHandle::disabled(),
     );
     let home = hub.register("home", &model);
-    hub.submit_batch(home, home_stream(&reg, 1, 5)).unwrap();
+    hub.submit_batch(home, &home_stream(&reg, 1, 5)).unwrap();
     assert_eq!(hub.dump_home(home).unwrap(), None);
     let reports = hub.shutdown();
     assert_eq!(reports[0].flight, None);
@@ -361,7 +361,7 @@ fn quarantine_captures_the_flight_recording_ending_with_the_panic() {
         schedule.clone(),
     );
     let home = hub.register("home", &model);
-    hub.submit_batch(home, stream.clone()).unwrap();
+    hub.submit_batch(home, &stream).unwrap();
     hub.drain();
     assert_eq!(schedule.panics_fired(), 1);
     assert!(hub.is_quarantined(home));

@@ -598,3 +598,117 @@ fn resume_from_any_stage_matches_full_fit() {
         }
     }
 }
+
+/// A live stream mixing faithful automation traffic with ghost flips,
+/// over the same devices the model was fitted on.
+fn live_stream(rng: &mut StdRng, devices: usize, len: usize) -> Vec<BinaryEvent> {
+    (0..len as u64)
+        .map(|i| {
+            BinaryEvent::new(
+                Timestamp::from_secs(1_000_000 + i * 30),
+                DeviceId::from_index(rng.gen_range(0..devices)),
+                rng.gen_bool(0.5),
+            )
+        })
+        .collect()
+}
+
+/// `observe_batch` is bit-identical to N sequential `observe` calls for
+/// ANY split of the stream into batches (sizes 1..=64), including
+/// degraded segments scored against a random [`causaliot::StaleSet`].
+/// This is the contract the hub's burst fast path rests on.
+#[test]
+fn observe_batch_matches_sequential_for_any_split() {
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    for case in 0..30 {
+        let devices = rng.gen_range(3usize..6);
+        let reg = binary_registry(devices);
+        let train = random_events(&mut rng, devices, 600);
+        let model = causaliot::CausalIot::with_config(random_config(&mut rng))
+            .fit_binary(&reg, &train)
+            .unwrap();
+        let stream_len = rng.gen_range(64..400);
+        let stream = live_stream(&mut rng, devices, stream_len);
+
+        let mut sequential = model.clone().into_monitor();
+        let mut batched = model.clone().into_monitor();
+        // The verdict-free path must keep the same session counters as
+        // the verdict-producing ones over the same splits.
+        let mut stats_only = model.clone().into_monitor();
+        let mut stats_scored = 0usize;
+        let mut expected: Vec<causaliot::Verdict> = Vec::with_capacity(stream.len());
+        let mut got: Vec<causaliot::Verdict> = Vec::with_capacity(stream.len());
+        let mut scratch = Vec::new();
+        let mut offset = 0usize;
+        while offset < stream.len() {
+            let size = rng.gen_range(1usize..=64).min(stream.len() - offset);
+            let segment = &stream[offset..offset + size];
+            stats_only.observe_batch_stats_only(segment, &mut stats_scored);
+            if rng.gen_bool(0.35) {
+                // Degraded segment: some devices are stale, confidence
+                // discounts must match event for event.
+                let mut stale = causaliot::StaleSet::all_live(devices);
+                for d in 0..devices {
+                    if rng.gen_bool(0.4) {
+                        stale.mark(DeviceId::from_index(d));
+                    }
+                }
+                for event in segment {
+                    expected.push(sequential.observe_degraded(*event, &stale));
+                }
+                scratch.clear();
+                batched.observe_batch_degraded_into(segment, &stale, &mut scratch);
+                got.extend(scratch.iter().cloned());
+            } else {
+                for event in segment {
+                    expected.push(sequential.observe(*event));
+                }
+                got.extend(batched.observe_batch(segment).iter().cloned());
+            }
+            offset += size;
+        }
+        assert_eq!(got.len(), expected.len(), "case {case}");
+        for (i, (g, e)) in got.iter().zip(expected.iter()).enumerate() {
+            assert_eq!(
+                g.score.to_bits(),
+                e.score.to_bits(),
+                "case {case} event {i}: scores diverged"
+            );
+            assert_eq!(g, e, "case {case} event {i}");
+        }
+        // The two monitors must also agree on their final session state.
+        assert_eq!(
+            sequential.report().events_observed,
+            batched.report().events_observed,
+            "case {case}"
+        );
+        // The stats-only monitor saw every event and ends with the exact
+        // counters of the sequential session: same event count, same
+        // alarm tallies by kind, same longest tracked chain — even though
+        // it never materialised a single verdict.
+        assert_eq!(stats_scored, stream.len(), "case {case}");
+        let expected_report = sequential.report();
+        let stats_report = stats_only.report();
+        assert_eq!(
+            stats_report.events_observed, expected_report.events_observed,
+            "case {case}: stats-only event count diverged"
+        );
+        assert_eq!(
+            stats_report.contextual_alarms, expected_report.contextual_alarms,
+            "case {case}: stats-only contextual alarms diverged"
+        );
+        assert_eq!(
+            stats_report.collective_alarms, expected_report.collective_alarms,
+            "case {case}: stats-only collective alarms diverged"
+        );
+        assert_eq!(
+            stats_report.max_tracking_len, expected_report.max_tracking_len,
+            "case {case}: stats-only max tracking length diverged"
+        );
+        assert_eq!(
+            stats_only.tracking_len(),
+            sequential.tracking_len(),
+            "case {case}: stats-only tracking window length diverged"
+        );
+    }
+}

@@ -112,7 +112,7 @@ fn hub_verdicts_are_bit_identical_with_introspection_on_and_off() {
     let run = |config: HubConfig, telemetry: &TelemetryHandle| {
         let mut hub = Hub::with_telemetry(config, telemetry);
         let home = hub.register("home", &model);
-        hub.submit_batch(home, replay.clone()).unwrap();
+        hub.submit_batch(home, &replay).unwrap();
         let mut reports = hub.shutdown();
         reports.remove(0)
     };
