@@ -4,6 +4,7 @@ use std::error::Error as StdError;
 use std::fmt;
 
 use causaliot_core::{CausalIotError, ConfigError, DropReason};
+use iot_fleet::FleetError;
 use iot_model::ModelError;
 use iot_serve::{QuarantinedError, SubmitError};
 
@@ -13,8 +14,9 @@ use iot_serve::{QuarantinedError, SubmitError};
 /// Each layer keeps its own precise error type — [`ConfigError`],
 /// [`CausalIotError`] (fitting and checkpoint loading), [`DropReason`]
 /// (preprocessing rejections), [`SubmitError`] / [`QuarantinedError`]
-/// (serving) — and every one of them converts into `Error` via `From`,
-/// so an application can hold one error type end-to-end:
+/// (serving), [`FleetError`] (the model store and sweep orchestrator) —
+/// and every one of them converts into `Error` via `From`, so an
+/// application can hold one error type end-to-end:
 ///
 /// ```
 /// use causaliot::{Error, FittedModel};
@@ -44,6 +46,12 @@ pub enum Error {
     Submit(SubmitError),
     /// A served home is quarantined after a monitor panic.
     Quarantined(QuarantinedError),
+    /// A fleet-layer failure: the model store (missing/corrupt blob,
+    /// lineage, filesystem) or the sweep orchestrator (child process,
+    /// protocol). A blob that fails CRC verification surfaces here as
+    /// `Fleet(FleetError::Model(..))`, keeping the loader's
+    /// path-and-offset detail.
+    Fleet(FleetError),
 }
 
 impl fmt::Display for Error {
@@ -54,6 +62,7 @@ impl fmt::Display for Error {
             Error::Dropped(e) => write!(f, "event dropped by preprocessing: {e}"),
             Error::Submit(e) => e.fmt(f),
             Error::Quarantined(e) => e.fmt(f),
+            Error::Fleet(e) => e.fmt(f),
         }
     }
 }
@@ -66,7 +75,14 @@ impl StdError for Error {
             Error::Dropped(e) => Some(e),
             Error::Submit(e) => Some(e),
             Error::Quarantined(e) => Some(e),
+            Error::Fleet(e) => Some(e),
         }
+    }
+}
+
+impl From<FleetError> for Error {
+    fn from(e: FleetError) -> Self {
+        Error::Fleet(e)
     }
 }
 
@@ -131,6 +147,8 @@ mod tests {
         assert!(matches!(dropped, Error::Dropped(_)));
         let submit: Error = SubmitError::Shutdown.into();
         assert!(matches!(submit, Error::Submit(_)));
+        let fleet: Error = FleetError::UnknownHome { name: "h".into() }.into();
+        assert!(matches!(fleet, Error::Fleet(_)));
     }
 
     #[test]

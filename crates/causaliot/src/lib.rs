@@ -15,6 +15,10 @@
 //!   supervised, fault-tolerant hub running one monitor per smart home
 //!   with panic isolation, quarantine + checkpoint restore, and
 //!   configurable backpressure.
+//! * **Fit at fleet scale** ([`fleet`], re-exporting `iot-fleet`) — a
+//!   content-addressed, crash-safe model store with per-home lineage,
+//!   and a process-sharded sweep orchestrator; the hub consumes stores
+//!   wholesale via `Hub::bulk_load` / `Hub::bulk_swap`.
 //! * **Observe** ([`telemetry`], re-exporting `iot-telemetry`) —
 //!   zero-dependency counters, gauges, histograms, and fit/monitor
 //!   reports.
@@ -65,6 +69,13 @@ pub use error::Error;
 /// (re-export of the `iot-serve` crate).
 pub mod serve {
     pub use iot_serve::*;
+}
+
+/// Fleet fitting: the content-addressed model store and the
+/// process-sharded sweep orchestrator (re-export of the `iot-fleet`
+/// crate).
+pub mod fleet {
+    pub use iot_fleet::*;
 }
 
 /// Zero-dependency telemetry: metrics registry, sinks, and structured

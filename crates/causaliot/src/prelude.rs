@@ -11,10 +11,12 @@
 //! data model ([`DeviceRegistry`], [`BinaryEvent`], [`Timestamp`], …),
 //! the serving hub ([`Hub`], [`HubConfig`], [`HomeId`],
 //! [`SubmitPolicy`], …), live introspection ([`HubStats`],
-//! [`FlightRecording`], [`MetricsServer`]), telemetry
-//! ([`TelemetryHandle`], [`MonitorReport`]), and the unified [`Error`]. Anything rarer stays
-//! behind its module path ([`crate::graph`], [`crate::miner`],
-//! [`crate::serve`], …).
+//! [`FlightRecording`], [`MetricsServer`]), fleet fitting
+//! ([`ModelStore`], [`ModelHash`], [`FitJob`], [`SweepConfig`], …),
+//! telemetry ([`TelemetryHandle`], [`MonitorReport`]), and the unified
+//! [`Error`]. Anything rarer stays behind its module path
+//! ([`crate::graph`], [`crate::miner`], [`crate::serve`],
+//! [`crate::fleet`], …).
 
 pub use crate::error::Error;
 pub use causaliot_core::{
@@ -22,6 +24,7 @@ pub use causaliot_core::{
     DeadLetterCounts, DropReason, FittedModel, GuardedMonitor, IngestGuard, IngestPolicy, Monitor,
     Observation, ObserveCtx, OwnedMonitor, StaleSet, TauChoice, Verdict,
 };
+pub use iot_fleet::{FitJob, FleetError, ModelHash, ModelStore, SweepConfig, SweepReport};
 pub use iot_model::{
     Attribute, BinaryEvent, DeviceEvent, DeviceId, DeviceRegistry, Room, Timestamp,
 };

@@ -214,6 +214,27 @@ fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// CRC32 content hash of a serialised checkpoint document — exactly the
+/// value [`save_model_to_path`] stores in the `# crc32` footer (computed
+/// over the document *without* the footer line). Content-addressed model
+/// repositories key blobs by this hash: because [`save_model`] is
+/// byte-stable, equal models hash equally across processes and machines.
+pub fn content_hash(document: &str) -> u32 {
+    crc32(document.as_bytes())
+}
+
+/// Serialises `model` with the `# crc32` footer already appended and
+/// returns the document together with its content hash (the footer's
+/// value). This is the write-side hook for content-addressed stores: one
+/// serialisation yields both the bytes to persist and the key to file
+/// them under. [`save_model_to_path`] delegates here.
+pub fn save_model_footered(model: &FittedModel) -> (String, u32) {
+    let mut text = save_model(model);
+    let checksum = crc32(text.as_bytes());
+    let _ = writeln!(text, "{CRC_FOOTER_PREFIX}{checksum:08x}");
+    (text, checksum)
+}
+
 fn io_err(path: &Path, e: &io::Error) -> CausalIotError {
     CausalIotError::Io {
         path: path.display().to_string(),
@@ -232,9 +253,7 @@ fn io_err(path: &Path, e: &io::Error) -> CausalIotError {
 ///
 /// [`CausalIotError::Io`] with the path and OS error attached.
 pub fn save_model_to_path(model: &FittedModel, path: &Path) -> Result<(), CausalIotError> {
-    let mut text = save_model(model);
-    let checksum = crc32(text.as_bytes());
-    let _ = writeln!(text, "{CRC_FOOTER_PREFIX}{checksum:08x}");
+    let (text, _) = save_model_footered(model);
 
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
@@ -948,6 +967,26 @@ mod tests {
             }
             other => panic!("expected Corrupt, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn content_hash_matches_the_footer_value() {
+        let model = fitted();
+        let body = model.save();
+        let (footered, hash) = save_model_footered(&model);
+        assert_eq!(hash, content_hash(&body));
+        assert_eq!(
+            footered,
+            format!("{body}{CRC_FOOTER_PREFIX}{hash:08x}\n"),
+            "the footered document is the body plus exactly the footer line"
+        );
+        // The footered document must load and the value round-trips
+        // through the path writer's footer.
+        let scratch = ScratchFile::new("footered");
+        model.save_to_path(scratch.path()).expect("saves");
+        let on_disk = fs::read_to_string(scratch.path()).unwrap();
+        assert_eq!(on_disk, footered);
+        assert_eq!(model.content_hash(), hash);
     }
 
     #[test]

@@ -398,6 +398,16 @@ impl FittedModel {
         checkpoint::save_model(self)
     }
 
+    /// CRC32 content hash of this model's serialised checkpoint — the
+    /// value the `# crc32` footer of [`FittedModel::save_to_path`]
+    /// records (see [`checkpoint::content_hash`]). Because
+    /// [`FittedModel::save`] is byte-stable, equal models hash equally
+    /// across processes; content-addressed model stores use this as the
+    /// blob key.
+    pub fn content_hash(&self) -> u32 {
+        checkpoint::content_hash(&self.save())
+    }
+
     /// Restores a model persisted by [`FittedModel::save`], using the
     /// `CAUSALIOT_TELEMETRY`-derived telemetry handle (mirroring
     /// [`CausalIot::fit`]).

@@ -1,0 +1,152 @@
+//! The fleet layer's error type.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use causaliot_core::CausalIotError;
+
+use crate::store::ModelHash;
+
+/// Everything that can go wrong in the fleet layer: the model store,
+/// lineage logs, and the sweep orchestrator.
+///
+/// Blob-level integrity failures keep the core loader's precise
+/// [`CausalIotError::Corrupt`] / [`CausalIotError::Truncated`] /
+/// [`CausalIotError::Io`] variants inside [`FleetError::Model`], so a
+/// bit-flipped blob is reported with the same path-and-offset detail as
+/// any other checkpoint (and fails closed the same way).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// A blob failed to serialise, load, or verify — carries the core
+    /// pipeline error (corrupt/truncated/io, with path and offset).
+    Model(CausalIotError),
+    /// The addressed blob does not exist in the store.
+    MissingBlob {
+        /// The hash that did not resolve to a blob.
+        hash: ModelHash,
+    },
+    /// Two different documents hashed to the same key — the store refuses
+    /// the `put` rather than silently aliasing one model to another.
+    HashCollision {
+        /// The colliding content hash.
+        hash: ModelHash,
+    },
+    /// The home name is not usable as a lineage key (empty, or contains a
+    /// character outside `[A-Za-z0-9._-]`).
+    InvalidHome {
+        /// The offending name.
+        name: String,
+    },
+    /// The home has no lineage in the store (or is not registered with
+    /// the hub, for bulk operations).
+    UnknownHome {
+        /// The home that did not resolve.
+        name: String,
+    },
+    /// A lineage log was unreadable or malformed.
+    Lineage {
+        /// Path of the offending lineage log.
+        path: String,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A store-level filesystem operation failed.
+    Io {
+        /// Path the operation was against.
+        path: String,
+        /// The OS error.
+        reason: String,
+    },
+    /// A sweep child process could not be spawned or spoke a malformed
+    /// protocol line.
+    Child {
+        /// What went wrong.
+        reason: String,
+    },
+    /// The serving hub's workers are gone; a staged bulk operation could
+    /// not be enqueued.
+    Shutdown,
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Model(e) => e.fmt(f),
+            FleetError::MissingBlob { hash } => {
+                write!(f, "no blob in the model store for content hash {hash}")
+            }
+            FleetError::HashCollision { hash } => write!(
+                f,
+                "content hash collision on {hash}: a different document is already stored \
+                 under this key"
+            ),
+            FleetError::InvalidHome { name } => write!(
+                f,
+                "invalid home name `{name}` (must be non-empty and use only \
+                 [A-Za-z0-9._-])"
+            ),
+            FleetError::UnknownHome { name } => {
+                write!(f, "unknown home `{name}`")
+            }
+            FleetError::Lineage { path, reason } => {
+                write!(f, "malformed lineage log {path}: {reason}")
+            }
+            FleetError::Io { path, reason } => write!(f, "{path}: {reason}"),
+            FleetError::Child { reason } => write!(f, "sweep child failure: {reason}"),
+            FleetError::Shutdown => write!(f, "hub is shut down; bulk operation not enqueued"),
+        }
+    }
+}
+
+impl StdError for FleetError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            FleetError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CausalIotError> for FleetError {
+    fn from(e: CausalIotError) -> Self {
+        FleetError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = FleetError::MissingBlob {
+            hash: ModelHash::from_value(0xDEAD_BEEF),
+        };
+        assert!(e.to_string().contains("deadbeef"), "{e}");
+        let e = FleetError::InvalidHome {
+            name: "bad/name".into(),
+        };
+        assert!(e.to_string().contains("bad/name"), "{e}");
+        let e = FleetError::Shutdown;
+        assert!(e.to_string().contains("shut down"), "{e}");
+    }
+
+    #[test]
+    fn model_errors_chain_as_source() {
+        let e: FleetError = CausalIotError::Corrupt {
+            path: "blob".into(),
+            offset: 7,
+            reason: "checksum mismatch".into(),
+        }
+        .into();
+        assert!(StdError::source(&e).is_some());
+        assert!(e.to_string().contains("checksum mismatch"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: StdError + Send + Sync + 'static>() {}
+        assert_bounds::<FleetError>();
+    }
+}

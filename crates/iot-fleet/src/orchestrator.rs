@@ -1,0 +1,580 @@
+//! The process-sharded sweep orchestrator.
+//!
+//! A *sweep* fits one model per home for a whole fleet. The parent
+//! process ([`run_sweep`]) shards the fit jobs across `k` child OS
+//! processes — each a re-exec of the hosting binary with the
+//! [`CHILD_FLAG`] argument — so a fleet fit uses every core without
+//! sharing address space: a child that segfaults, OOMs, or is killed
+//! takes only its in-flight job with it.
+//!
+//! ## Protocol
+//!
+//! Newline-delimited, tab-separated lines over the child's stdin/stdout
+//! (stderr passes through for diagnostics):
+//!
+//! ```text
+//! parent → child:   fit\t<home>\t<payload>
+//! child  → parent:  ok\t<home>\t<content-hash>
+//!                   err\t<home>\t<reason>
+//! ```
+//!
+//! One job is in flight per child (stop-and-wait), jobs are pulled from
+//! a shared queue on demand, and EOF on stdin tells the child to exit.
+//! The child fits the model and [`ModelStore::put`]s it; the **parent**
+//! commits the lineage generation only after the `ok` reply. Because
+//! `put` is idempotent and content-addressed, a job retried after a
+//! child death cannot change the store: the final store bytes are
+//! identical to an unfaulted run (interrupted `put`s leave only
+//! `*.tmp.<pid>` files, which [`ModelStore::gc`] sweeps).
+//!
+//! ## Failure policy
+//!
+//! Mirroring the serving layer's `RestorePolicy`, each job gets
+//! [`SweepConfig::max_retries`] retries with [`SweepConfig::backoff`]
+//! between child respawns; a job that keeps failing is quarantined into
+//! [`SweepReport::quarantined`] as a [`DeadJob`] rather than wedging the
+//! sweep.
+//!
+//! ## Hosting a child entry
+//!
+//! The binary that calls [`run_sweep`] must dispatch to [`run_child`]
+//! when re-executed as a child — typically first thing in `main`:
+//!
+//! ```no_run
+//! use iot_fleet::{child_store_root, run_child, FitJob, ModelStore};
+//! # fn fit(job: &FitJob) -> Result<causaliot_core::FittedModel, String> { unimplemented!() }
+//! fn main() {
+//!     if let Some(root) = child_store_root(std::env::args()) {
+//!         let store = ModelStore::open(root).expect("open store");
+//!         run_child(&store, fit).expect("child protocol");
+//!         return;
+//!     }
+//!     // ... normal entry: build jobs, call run_sweep ...
+//! }
+//! ```
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead as _, BufReader, Write as _};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use causaliot_core::FittedModel;
+
+use crate::error::FleetError;
+use crate::store::{check_home_name, Generation, ModelHash, ModelStore};
+
+/// The argument that re-enters the hosting binary as a sweep child; the
+/// next argument is the model store root. See [`child_store_root`].
+pub const CHILD_FLAG: &str = "--fleet-child";
+
+/// One unit of sweep work: fit a model for `home`.
+///
+/// `payload` is an opaque single-line string the orchestrator carries to
+/// the child's fit function verbatim — typically a seed, a dataset
+/// path, or a small key=value spec. It must not contain tabs or
+/// newlines (the protocol is line-oriented); [`run_sweep`] rejects jobs
+/// that would break framing before spawning anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitJob {
+    /// The home this job fits (a valid lineage key, `[A-Za-z0-9._-]+`).
+    pub home: String,
+    /// Opaque job spec forwarded to the child's fit function.
+    pub payload: String,
+}
+
+impl FitJob {
+    /// Convenience constructor.
+    pub fn new(home: impl Into<String>, payload: impl Into<String>) -> Self {
+        FitJob {
+            home: home.into(),
+            payload: payload.into(),
+        }
+    }
+}
+
+/// How [`run_sweep`] shards and retries.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Number of child processes to shard across (≥ 1).
+    pub workers: usize,
+    /// Retries per job after its first failed attempt before the job is
+    /// quarantined (`2` means up to 3 attempts total).
+    pub max_retries: u32,
+    /// Pause before respawning a dead child (mirrors
+    /// `RestorePolicy::backoff`).
+    pub backoff: Duration,
+    /// The binary to re-exec as a child (usually the current
+    /// executable, see [`SweepConfig::current_exe`]).
+    pub exe: PathBuf,
+    /// Extra arguments placed *before* the [`CHILD_FLAG`] when spawning
+    /// children (e.g. a subcommand the hosting binary needs to route on).
+    pub child_args: Vec<String>,
+}
+
+impl SweepConfig {
+    /// A config re-execing the current executable with 4 workers,
+    /// 2 retries, and a 50 ms respawn backoff.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Child`] when the current executable path cannot be
+    /// determined.
+    pub fn current_exe() -> Result<Self, FleetError> {
+        let exe = std::env::current_exe().map_err(|e| FleetError::Child {
+            reason: format!("cannot determine current executable: {e}"),
+        })?;
+        Ok(SweepConfig {
+            workers: 4,
+            max_retries: 2,
+            backoff: Duration::from_millis(50),
+            exe,
+            child_args: Vec::new(),
+        })
+    }
+}
+
+/// A job that exhausted its retries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadJob {
+    /// The quarantined job.
+    pub job: FitJob,
+    /// Total attempts made (first try + retries).
+    pub attempts: u32,
+    /// The last failure, verbatim.
+    pub last_error: String,
+}
+
+/// What a sweep accomplished.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Every committed fit: home, the lineage generation the parent
+    /// committed, and the stored model's content hash. Sorted by home.
+    pub committed: Vec<(String, Generation, ModelHash)>,
+    /// Jobs that exhausted their retries (dead-job quarantine).
+    pub quarantined: Vec<DeadJob>,
+    /// Child processes respawned after dying mid-sweep.
+    pub child_restarts: u64,
+    /// Total jobs submitted.
+    pub jobs: usize,
+}
+
+/// Scans an argument list for [`CHILD_FLAG`] and returns the store root
+/// that follows it — the hosting binary's cue to call [`run_child`]
+/// instead of its normal entry. Returns `None` when the flag is absent
+/// (including when it is the final argument, with no root after it).
+pub fn child_store_root<I>(args: I) -> Option<PathBuf>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == CHILD_FLAG {
+            return args.next().map(PathBuf::from);
+        }
+    }
+    None
+}
+
+/// The child side of the sweep protocol: reads `fit` lines from stdin,
+/// runs `fit` for each, [`ModelStore::put`]s successful models, and
+/// replies `ok`/`err` on stdout until EOF.
+///
+/// A fit function returning `Err(reason)` becomes an `err` reply (the
+/// parent retries or quarantines the job); this function itself only
+/// fails on protocol or pipe breakage.
+///
+/// # Errors
+///
+/// [`FleetError::Child`] on a malformed job line or a broken
+/// stdin/stdout pipe.
+pub fn run_child<F>(store: &ModelStore, mut fit: F) -> Result<(), FleetError>
+where
+    F: FnMut(&FitJob) -> Result<FittedModel, String>,
+{
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| FleetError::Child {
+            reason: format!("stdin read failed: {e}"),
+        })?;
+        let job = parse_job_line(&line).map_err(|reason| FleetError::Child { reason })?;
+        let reply = match fit(&job).and_then(|model| {
+            store
+                .put(&model)
+                .map_err(|e| format!("store put failed: {e}"))
+        }) {
+            Ok(hash) => ok_line(&job.home, hash),
+            Err(reason) => err_line(&job.home, &reason),
+        };
+        writeln!(out, "{reply}")
+            .and_then(|()| out.flush())
+            .map_err(|e| FleetError::Child {
+                reason: format!("stdout write failed: {e}"),
+            })?;
+    }
+    Ok(())
+}
+
+/// The parent side: shards `jobs` across [`SweepConfig::workers`] child
+/// processes and drives them to completion.
+///
+/// Jobs are validated up front (home names must be lineage keys, no
+/// tabs/newlines anywhere, homes must be unique — one writer per
+/// lineage). Lineage commits happen here, in the parent, after each `ok`
+/// reply; a killed child's in-flight job is retried on a fresh child and,
+/// thanks to idempotent content-addressed `put`s, the resulting store is
+/// byte-identical to an unfaulted sweep.
+///
+/// # Errors
+///
+/// [`FleetError::InvalidHome`] / [`FleetError::Child`] for malformed or
+/// duplicate jobs, and any store error raised while committing lineages.
+/// Jobs that merely keep failing do **not** error the sweep — they land
+/// in [`SweepReport::quarantined`].
+pub fn run_sweep(
+    store: &ModelStore,
+    jobs: Vec<FitJob>,
+    config: &SweepConfig,
+) -> Result<SweepReport, FleetError> {
+    if config.workers == 0 {
+        return Err(FleetError::Child {
+            reason: "SweepConfig.workers must be at least 1".to_string(),
+        });
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for job in &jobs {
+        check_home_name(&job.home)?;
+        if job.payload.contains('\t') || job.payload.contains('\n') {
+            return Err(FleetError::Child {
+                reason: format!("job for `{}` has a tab/newline in its payload", job.home),
+            });
+        }
+        if !seen.insert(job.home.clone()) {
+            return Err(FleetError::Child {
+                reason: format!("duplicate job for home `{}`", job.home),
+            });
+        }
+    }
+
+    let total = jobs.len();
+    let queue: Mutex<VecDeque<(FitJob, u32)>> =
+        Mutex::new(jobs.into_iter().map(|j| (j, 0u32)).collect());
+    let state: Mutex<SweepState> = Mutex::new(SweepState::default());
+    let restarts = AtomicU64::new(0);
+    let workers = config.workers.min(total.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| worker_loop(store, config, &queue, &state, &restarts));
+        }
+    });
+
+    let state = state.into_inner().expect("sweep state lock poisoned");
+    if let Some(fatal) = state.fatal {
+        return Err(fatal);
+    }
+    let mut committed = state.committed;
+    committed.sort();
+    let report = SweepReport {
+        committed,
+        quarantined: state.quarantined,
+        child_restarts: restarts.load(Ordering::Relaxed),
+        jobs: total,
+    };
+    let telemetry = store.telemetry();
+    telemetry
+        .counter("fleet.sweep.committed")
+        .add(report.committed.len() as u64);
+    telemetry
+        .counter("fleet.sweep.quarantined")
+        .add(report.quarantined.len() as u64);
+    telemetry
+        .counter("fleet.sweep.child_restarts")
+        .add(report.child_restarts);
+    Ok(report)
+}
+
+#[derive(Default)]
+struct SweepState {
+    committed: Vec<(String, Generation, ModelHash)>,
+    quarantined: Vec<DeadJob>,
+    fatal: Option<FleetError>,
+}
+
+/// One worker thread: owns (at most) one child process and drives jobs
+/// through it stop-and-wait until the queue drains or a fatal store
+/// error surfaces.
+fn worker_loop(
+    store: &ModelStore,
+    config: &SweepConfig,
+    queue: &Mutex<VecDeque<(FitJob, u32)>>,
+    state: &Mutex<SweepState>,
+    restarts: &AtomicU64,
+) {
+    let mut child: Option<ChildProc> = None;
+    loop {
+        if state
+            .lock()
+            .expect("sweep state lock poisoned")
+            .fatal
+            .is_some()
+        {
+            break;
+        }
+        let Some((job, attempts)) = queue.lock().expect("sweep queue lock poisoned").pop_front()
+        else {
+            break;
+        };
+        if child.is_none() {
+            match ChildProc::spawn(config, store) {
+                Ok(proc) => child = Some(proc),
+                Err(e) => {
+                    // Cannot host any child: this worker is useless. Put
+                    // the job back for the others and record the failure
+                    // as fatal in case every worker hits it.
+                    queue
+                        .lock()
+                        .expect("sweep queue lock poisoned")
+                        .push_front((job, attempts));
+                    let mut st = state.lock().expect("sweep state lock poisoned");
+                    st.fatal.get_or_insert(e);
+                    break;
+                }
+            }
+        }
+        let proc = child.as_mut().expect("child just ensured");
+        match proc.exchange(&job) {
+            Ok(Ok(hash)) => match store.commit(&job.home, hash) {
+                Ok(generation) => {
+                    let mut st = state.lock().expect("sweep state lock poisoned");
+                    st.committed.push((job.home.clone(), generation, hash));
+                }
+                Err(e) => {
+                    let mut st = state.lock().expect("sweep state lock poisoned");
+                    st.fatal.get_or_insert(e);
+                    break;
+                }
+            },
+            Ok(Err(reason)) => {
+                // The child is healthy; the job itself failed.
+                requeue_or_quarantine(queue, state, config.max_retries, job, attempts, reason);
+            }
+            Err(reason) => {
+                // The child died (or broke protocol): discard it, back
+                // off, and retry the job on a fresh child.
+                if let Some(dead) = child.take() {
+                    dead.discard();
+                }
+                restarts.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(config.backoff);
+                requeue_or_quarantine(queue, state, config.max_retries, job, attempts, reason);
+            }
+        }
+    }
+    if let Some(proc) = child.take() {
+        proc.finish();
+    }
+}
+
+/// Shared failure path: a job that has retries left goes to the back of
+/// the queue; one that exhausted them is quarantined as a [`DeadJob`].
+fn requeue_or_quarantine(
+    queue: &Mutex<VecDeque<(FitJob, u32)>>,
+    state: &Mutex<SweepState>,
+    max_retries: u32,
+    job: FitJob,
+    attempts: u32,
+    reason: String,
+) {
+    let attempts = attempts + 1;
+    if attempts > max_retries {
+        state
+            .lock()
+            .expect("sweep state lock poisoned")
+            .quarantined
+            .push(DeadJob {
+                job,
+                attempts,
+                last_error: reason,
+            });
+    } else {
+        queue
+            .lock()
+            .expect("sweep queue lock poisoned")
+            .push_back((job, attempts));
+    }
+}
+
+/// A spawned sweep child with buffered pipes.
+struct ChildProc {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl ChildProc {
+    fn spawn(config: &SweepConfig, store: &ModelStore) -> Result<Self, FleetError> {
+        let mut child = Command::new(&config.exe)
+            .args(&config.child_args)
+            .arg(CHILD_FLAG)
+            .arg(store.root())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| FleetError::Child {
+                reason: format!("failed to spawn {}: {e}", config.exe.display()),
+            })?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        Ok(ChildProc {
+            child,
+            stdin,
+            stdout,
+        })
+    }
+
+    /// Sends one job and awaits its reply. `Ok(Ok(hash))` is a committed
+    /// fit, `Ok(Err(reason))` a job-level failure from a healthy child,
+    /// `Err(reason)` a dead or protocol-breaking child.
+    fn exchange(&mut self, job: &FitJob) -> Result<Result<ModelHash, String>, String> {
+        writeln!(self.stdin, "{}", job_line(job))
+            .and_then(|()| self.stdin.flush())
+            .map_err(|e| format!("child stdin write failed: {e}"))?;
+        let mut line = String::new();
+        let n = self
+            .stdout
+            .read_line(&mut line)
+            .map_err(|e| format!("child stdout read failed: {e}"))?;
+        if n == 0 {
+            return Err("child exited before replying".to_string());
+        }
+        let (home, outcome) = parse_reply_line(line.trim_end_matches('\n'))?;
+        if home != job.home {
+            return Err(format!(
+                "protocol error: reply for `{home}` while `{}` was in flight",
+                job.home
+            ));
+        }
+        Ok(outcome)
+    }
+
+    /// Abandons a dead/broken child: kill (best-effort) and reap.
+    fn discard(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Graceful shutdown: close stdin (EOF tells the child to exit) and
+    /// reap it.
+    fn finish(self) {
+        drop(self.stdin);
+        let mut child = self.child;
+        let _ = child.wait();
+    }
+}
+
+fn job_line(job: &FitJob) -> String {
+    format!("fit\t{}\t{}", job.home, job.payload)
+}
+
+fn ok_line(home: &str, hash: ModelHash) -> String {
+    format!("ok\t{home}\t{hash}")
+}
+
+fn err_line(home: &str, reason: &str) -> String {
+    // Keep the frame single-line whatever the reason contains.
+    let flat: String = reason
+        .chars()
+        .map(|c| if c == '\n' || c == '\t' { ' ' } else { c })
+        .collect();
+    format!("err\t{home}\t{flat}")
+}
+
+fn parse_job_line(line: &str) -> Result<FitJob, String> {
+    let mut parts = line.splitn(3, '\t');
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("fit"), Some(home), Some(payload)) if !home.is_empty() => {
+            Ok(FitJob::new(home, payload))
+        }
+        _ => Err(format!("malformed job line `{line}`")),
+    }
+}
+
+/// Parses a child reply into `(home, Ok(hash) | Err(reason))`.
+fn parse_reply_line(line: &str) -> Result<(String, Result<ModelHash, String>), String> {
+    let mut parts = line.splitn(3, '\t');
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("ok"), Some(home), Some(hash)) => {
+            let hash = hash
+                .parse::<ModelHash>()
+                .map_err(|e| format!("malformed reply `{line}`: {e}"))?;
+            Ok((home.to_string(), Ok(hash)))
+        }
+        (Some("err"), Some(home), Some(reason)) => Ok((home.to_string(), Err(reason.to_string()))),
+        _ => Err(format!("malformed reply line `{line}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_lines_round_trip() {
+        let job = FitJob::new("home-07", "seed=7 events=240");
+        let parsed = parse_job_line(&job_line(&job)).unwrap();
+        assert_eq!(parsed, job);
+    }
+
+    #[test]
+    fn malformed_job_lines_are_rejected() {
+        for bad in ["", "fit", "fit\thome", "swap\thome\tp", "fit\t\tpayload"] {
+            assert!(parse_job_line(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn ok_replies_round_trip() {
+        let hash = ModelHash::from_value(0xDEAD_BEEF);
+        let (home, outcome) = parse_reply_line(&ok_line("home-3", hash)).unwrap();
+        assert_eq!(home, "home-3");
+        assert_eq!(outcome.unwrap(), hash);
+    }
+
+    #[test]
+    fn err_replies_round_trip_and_stay_single_line() {
+        let (home, outcome) =
+            parse_reply_line(&err_line("home-3", "fit failed:\n\ttwo lines")).unwrap();
+        assert_eq!(home, "home-3");
+        let reason = outcome.unwrap_err();
+        assert!(!reason.contains('\n') && !reason.contains('\t'), "{reason}");
+        assert!(reason.contains("fit failed"));
+    }
+
+    #[test]
+    fn malformed_replies_are_rejected() {
+        for bad in ["", "ok\thome", "ok\thome\tnothex", "yes\thome\t00000000"] {
+            assert!(parse_reply_line(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn child_store_root_scans_argv() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            child_store_root(args(&["exe", "--fleet-child", "/tmp/store"])),
+            Some(PathBuf::from("/tmp/store"))
+        );
+        assert_eq!(
+            child_store_root(args(&["exe", "sub", "--fleet-child", "root", "x"])),
+            Some(PathBuf::from("root"))
+        );
+        assert_eq!(child_store_root(args(&["exe", "--other"])), None);
+        assert_eq!(child_store_root(args(&["exe", "--fleet-child"])), None);
+    }
+}

@@ -11,6 +11,14 @@ use crate::{Attribute, Device, DeviceId, ModelError, Room};
 /// Devices receive dense [`DeviceId`]s in registration order, so the registry
 /// also fixes the layout of [`crate::SystemState`] vectors.
 ///
+/// **Naming note**: despite the similar name, this is *not* where fitted
+/// models live. `DeviceRegistry` catalogues one home's **devices** (its
+/// sensors and actuators); the fleet layer's `iot_fleet::ModelStore`
+/// stores fitted **model checkpoints**, one lineage per home. A home has
+/// exactly one `DeviceRegistry` baked into each fitted model, while the
+/// store holds every generation of models fitted for it. See the
+/// README's terminology note.
+///
 /// # Example
 ///
 /// ```

@@ -9,6 +9,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use causaliot_core::{DeadLetterCounts, FittedModel, IngestGuard, Verdict};
+use iot_fleet::{FleetError, Generation, ModelStore};
 use iot_model::BinaryEvent;
 use iot_telemetry::{
     Buckets, Counter, Gauge, Histogram, MetricsServer, MonitorReport, TelemetryHandle,
@@ -181,6 +182,7 @@ pub struct Hub {
     homes: Vec<HomeEntry>,
     submitted: Counter,
     swaps: Counter,
+    bulk_swaps: Counter,
     retries: Counter,
     deadline_exceeded: Counter,
     /// Always-on submission count backing [`Hub::stats`] — unlike the
@@ -329,6 +331,7 @@ impl Hub {
             homes: Vec::new(),
             submitted: telemetry.counter("hub.submitted"),
             swaps: telemetry.counter("hub.swaps"),
+            bulk_swaps: telemetry.counter("hub.bulk_swaps"),
             retries: telemetry.counter("hub.retries"),
             deadline_exceeded: telemetry.counter("hub.deadline_exceeded"),
             events_submitted: AtomicU64::new(0),
@@ -665,6 +668,134 @@ impl Hub {
             return Err(SubmitError::Shutdown);
         }
         Ok(())
+    }
+
+    /// Registers a whole fleet from a model store: for each name in
+    /// `homes`, resolves the lineage head in `store`, loads (and
+    /// CRC-verifies) the blob, and registers the home exactly as
+    /// [`Hub::register`] would. Returns the new ids in input order.
+    ///
+    /// All-or-nothing: every model is resolved, loaded, and verified
+    /// *before* the first home is registered, so a corrupt blob or an
+    /// uncommitted home leaves the hub untouched. On success the
+    /// `hub.home.<name>.generation` gauge records which lineage
+    /// generation each home serves.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownHome`] for a name with no lineage in the
+    /// store, and any [`iot_fleet::ModelStore::get`] failure
+    /// ([`FleetError::MissingBlob`], or [`FleetError::Model`] wrapping
+    /// the loader's corrupt/truncated/io detail).
+    pub fn bulk_load<S: AsRef<str>>(
+        &mut self,
+        store: &ModelStore,
+        homes: &[S],
+    ) -> Result<Vec<HomeId>, FleetError> {
+        let staged = self.stage_from_store(store, homes.iter().map(AsRef::as_ref))?;
+        let mut ids = Vec::with_capacity(staged.len());
+        for (name, generation, model) in staged {
+            let id = self.register(&name, &model);
+            self.telemetry
+                .gauge(&format!("hub.home.{name}.generation"))
+                .set(generation);
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    /// Upgrades a live fleet to each home's current lineage head in
+    /// `store`, without dropping or reordering an event.
+    ///
+    /// The rollout is staged: every home's head is resolved, its blob
+    /// loaded and CRC-verified, and its replacement monitor built
+    /// *before* the first swap is enqueued — a half-corrupt store cannot
+    /// leave the fleet half-upgraded. The staged swaps are then released
+    /// in per-shard batches through the same event-boundary machinery as
+    /// [`Hub::swap_model`]: per home, every event already queued is
+    /// judged by the old model and everything submitted after this call
+    /// returns is judged by the new one. Homes are matched to store
+    /// lineages by their registered name.
+    ///
+    /// Returns `(id, generation)` for every home swapped, in
+    /// registration order. Increments `hub.bulk_swaps` once, `hub.swaps`
+    /// per home, and refreshes each `hub.home.<name>.generation` gauge.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownHome`] for an id never registered or a
+    /// registered name with no lineage in the store; store failures as
+    /// for [`Hub::bulk_load`]; [`FleetError::Shutdown`] when the
+    /// workers are gone (the rollout may then be partial — the hub is
+    /// shutting down anyway).
+    pub fn bulk_swap(
+        &self,
+        store: &ModelStore,
+        homes: &[HomeId],
+    ) -> Result<Vec<(HomeId, Generation)>, FleetError> {
+        // Stage 1: resolve + load + verify + build every monitor first.
+        let mut staged = Vec::with_capacity(homes.len());
+        for &id in homes {
+            let entry = self.entry(id).map_err(|_| FleetError::UnknownHome {
+                name: format!("home id {id}"),
+            })?;
+            let Some((generation, hash)) = store.resolve(&entry.name)? else {
+                return Err(FleetError::UnknownHome {
+                    name: entry.name.clone(),
+                });
+            };
+            let model = store.get(hash)?;
+            let monitor = Box::new(model.into_monitor());
+            staged.push((id, entry.shard, entry.name.clone(), generation, monitor));
+        }
+        // Stage 2: release shard by shard so each queue's swap batch
+        // lands contiguously; per-home ordering only needs each home's
+        // swap to ride its own shard queue.
+        staged.sort_by_key(|(id, shard, ..)| (*shard, id.0));
+        let mut swapped = Vec::with_capacity(staged.len());
+        for (id, shard_idx, name, generation, monitor) in staged {
+            let shard = &self.shards[shard_idx];
+            shard.depth.fetch_add(1, Ordering::Relaxed);
+            if shard
+                .sender
+                .send(Job::Swap {
+                    home: id.0,
+                    monitor,
+                    restore: false,
+                })
+                .is_err()
+            {
+                shard.depth.fetch_sub(1, Ordering::Relaxed);
+                return Err(FleetError::Shutdown);
+            }
+            self.swaps.inc();
+            self.telemetry
+                .gauge(&format!("hub.home.{name}.generation"))
+                .set(generation);
+            swapped.push((id, generation));
+        }
+        self.bulk_swaps.inc();
+        swapped.sort_by_key(|(id, _)| id.0);
+        Ok(swapped)
+    }
+
+    /// Resolves and loads each named home's lineage head, failing before
+    /// anything is touched if any step fails.
+    fn stage_from_store<'a>(
+        &self,
+        store: &ModelStore,
+        homes: impl Iterator<Item = &'a str>,
+    ) -> Result<Vec<(String, Generation, FittedModel)>, FleetError> {
+        let mut staged = Vec::new();
+        for name in homes {
+            let Some((generation, hash)) = store.resolve(name)? else {
+                return Err(FleetError::UnknownHome {
+                    name: name.to_string(),
+                });
+            };
+            staged.push((name.to_string(), generation, store.get(hash)?));
+        }
+        Ok(staged)
     }
 
     /// A barrier: blocks until every job queued so far on every shard has

@@ -2,11 +2,15 @@
 //!
 //! The core pipeline fits and monitors *one* home; deployments watch
 //! many. This example fits a single model on the shared automation
-//! pattern (motion → lamp), registers four homes on an
-//! [`iot_serve::Hub`] with two workers, streams each home's live events
-//! through the hub in batches, and reads back per-home reports. One home
-//! is under attack — its lamp flips without motion — and only that home
-//! should raise alarms.
+//! pattern (motion → lamp), files it in a content-addressed
+//! [`causaliot::fleet::ModelStore`] with one lineage commit per home —
+//! the same store a fleet-wide fitting sweep would produce — then brings
+//! all four homes up on an [`iot_serve::Hub`] with two workers via one
+//! `Hub::bulk_load`, streams each home's live events through the hub in
+//! batches, and reads back per-home reports. One home is under attack —
+//! its lamp flips without motion — and only that home should raise
+//! alarms. (The store holds one blob: four lineages pointing at the same
+//! content hash deduplicate to a single checkpoint on disk.)
 //!
 //! The hub also runs with an [`IngestPolicy`]: each home gets a bounded
 //! reordering buffer, and events that arrive hopelessly late are recorded
@@ -101,7 +105,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.threshold()
     );
 
-    banner("Register four homes on a 2-worker hub");
+    banner("File the fleet's models in a content-addressed store");
+    // In production a fitting sweep (`causaliot::fleet::run_sweep`)
+    // populates this store from child processes; here one fit serves
+    // every home, so four lineage heads share one deduplicated blob.
+    let store_root =
+        std::env::temp_dir().join(format!("causaliot-multi-home-hub-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+    let store = ModelStore::open(&store_root)?;
+    let names: Vec<String> = (0..HOMES).map(|h| format!("home-{h}")).collect();
+    let hash = store.put(&model)?;
+    for name in &names {
+        let generation = store.commit(name, hash)?;
+        println!("{name}: generation {generation} -> {hash}");
+    }
+
+    banner("Bulk-load the fleet onto a 2-worker hub");
     let telemetry = TelemetryHandle::with_summary_sink();
     let config = HubConfig::builder()
         .workers(2)
@@ -127,12 +146,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .flight_recorder(32)
         .try_build()?;
     let mut hub = Hub::with_telemetry(config, &telemetry);
-    let homes: Vec<_> = (0..HOMES)
-        .map(|h| hub.register(&format!("home-{h}"), &model))
-        .collect();
+    // Every home comes up on its lineage head straight from the store —
+    // no in-process refits, and the load is all-or-nothing: a corrupt
+    // blob or missing lineage would leave the hub untouched.
+    let homes = hub.bulk_load(&store, &names)?;
     println!(
-        "{} homes sharded over {} workers",
+        "{} homes bulk-loaded from {} onto {} workers",
         hub.num_homes(),
+        store.root().display(),
         hub.num_workers()
     );
     let metrics_server = match std::env::var("HUB_METRICS_ADDR") {
@@ -240,5 +261,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nhub totals: submitted {} events, shard queues drained to zero",
         telemetry.counter("hub.submitted").get()
     );
+    let _ = std::fs::remove_dir_all(&store_root);
     Ok(())
 }

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Appends one performance-trajectory entry to results/BENCH_<date>.json.
 #
-# Runs the Section V-D complexity experiment and the serving-hub
-# throughput experiment in release mode; each binary writes one compact
-# JSON object (results/telemetry/exp_complexity.json and
+# Runs the Section V-D complexity experiment, the serving-hub
+# throughput experiment, and the fleet fit→store→serve experiment in
+# release mode; each binary writes one compact JSON object
+# (results/telemetry/exp_complexity.json,
 # results/telemetry/exp_hub_throughput.json — the latter includes the
-# SubmitPolicy::Retry backpressure run), which this script appends — one
+# SubmitPolicy::Retry backpressure run — and
+# results/telemetry/exp_fleet.json), which this script appends — one
 # line per report per invocation — to a dated JSONL file, so repeated
 # runs on one day accumulate into a comparable series.
 #
@@ -16,10 +18,12 @@ cd "$(dirname "$0")/.."
 
 cargo run --release --offline -p causaliot-bench --bin exp_complexity
 cargo run --release --offline -p causaliot-bench --bin exp_hub_throughput
+cargo run --release --offline -p causaliot-bench --bin exp_fleet
 
 out="results/BENCH_$(date +%F).json"
 for report in results/telemetry/exp_complexity.json \
-              results/telemetry/exp_hub_throughput.json; do
+              results/telemetry/exp_hub_throughput.json \
+              results/telemetry/exp_fleet.json; do
     if [[ ! -s "$report" ]]; then
         echo "error: $report missing or empty" >&2
         exit 1

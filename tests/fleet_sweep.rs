@@ -1,0 +1,207 @@
+//! Sweep-orchestrator integration: real child OS processes, real kills.
+//!
+//! This test is `harness = false` so the binary itself can host the
+//! `--fleet-child` re-exec entry the orchestrator needs: when the parent
+//! spawns a worker it re-executes *this binary*, `main` routes the
+//! invocation to [`run_child`], and the child fits whatever jobs arrive
+//! on stdin. Crash injection rides the job payload: a `crash=<sentinel>`
+//! directive makes the child `exit(1)` mid-job once (first encounter
+//! creates the sentinel), which from the parent is indistinguishable
+//! from a killed child — the retry must land on a fresh child and the
+//! final store must be byte-identical to an unfaulted sweep.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use causaliot::fleet::{child_store_root, run_child, run_sweep, FitJob, ModelStore, SweepConfig};
+use causaliot::{CausalIot, FittedModel};
+use iot_model::{Attribute, BinaryEvent, DeviceRegistry, Room, Timestamp};
+
+/// Deterministic per-seed fit — no RNG, so a retried job reproduces the
+/// same checkpoint bytes and content hash.
+fn fit_for_seed(seed: u64) -> Result<FittedModel, String> {
+    let mut reg = DeviceRegistry::new();
+    let pe = reg
+        .add("PE_room", Attribute::PresenceSensor, Room::new("room"))
+        .map_err(|e| e.to_string())?;
+    let lamp = reg
+        .add("S_lamp", Attribute::Switch, Room::new("room"))
+        .map_err(|e| e.to_string())?;
+    let mut events = Vec::new();
+    for i in 0..240u64 {
+        let on = (i / 2 + seed).is_multiple_of(2);
+        events.push(BinaryEvent::new(Timestamp::from_secs(i * 60), pe, on));
+        if !(i + seed).is_multiple_of(5) {
+            events.push(BinaryEvent::new(
+                Timestamp::from_secs(i * 60 + 15),
+                lamp,
+                on,
+            ));
+        }
+    }
+    CausalIot::builder()
+        .tau(2)
+        .build()
+        .fit_binary(&reg, &events)
+        .map_err(|e| e.to_string())
+}
+
+/// The child's fit function. Payload grammar (single line, no tabs):
+/// `seed=<n>[;crash=<sentinel-path>]` or `always-fail`.
+fn child_fit(job: &FitJob) -> Result<FittedModel, String> {
+    if job.payload == "always-fail" {
+        return Err("synthetic fit failure".to_string());
+    }
+    let mut seed = None;
+    for part in job.payload.split(';') {
+        if let Some(n) = part.strip_prefix("seed=") {
+            seed = n.parse::<u64>().ok();
+        } else if let Some(sentinel) = part.strip_prefix("crash=") {
+            let sentinel = PathBuf::from(sentinel);
+            if !sentinel.exists() {
+                // First encounter: leave the marker and die mid-job,
+                // exactly as a kill -9 would look to the parent.
+                let _ = std::fs::write(&sentinel, b"crashed");
+                std::process::exit(1);
+            }
+        }
+    }
+    let seed = seed.ok_or_else(|| format!("bad payload `{}`", job.payload))?;
+    fit_for_seed(seed)
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "causaliot-fleet-sweep-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Everything on disk under a store root, for byte-exact comparison.
+fn store_tree(root: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut tree = BTreeMap::new();
+    for sub in ["blobs", "lineage"] {
+        for entry in std::fs::read_dir(root.join(sub)).expect("store subdir") {
+            let entry = entry.unwrap();
+            tree.insert(
+                format!("{sub}/{}", entry.file_name().to_string_lossy()),
+                std::fs::read(entry.path()).unwrap(),
+            );
+        }
+    }
+    tree
+}
+
+fn config(workers: usize) -> SweepConfig {
+    let mut config = SweepConfig::current_exe().expect("current exe");
+    config.workers = workers;
+    config.max_retries = 2;
+    config
+}
+
+fn clean_sweep_commits_every_home() {
+    let dir = scratch_dir("clean");
+    let store = ModelStore::open(dir.join("store")).unwrap();
+    let jobs: Vec<FitJob> = (0..8)
+        .map(|h| FitJob::new(format!("home-{h}"), format!("seed={h}")))
+        .collect();
+    let report = run_sweep(&store, jobs, &config(3)).expect("sweep runs");
+    assert_eq!(report.jobs, 8);
+    assert_eq!(report.committed.len(), 8, "{report:?}");
+    assert!(report.quarantined.is_empty(), "{report:?}");
+    assert_eq!(report.child_restarts, 0, "{report:?}");
+    for h in 0..8u64 {
+        let home = format!("home-{h}");
+        let (generation, hash) = store
+            .resolve(&home)
+            .unwrap()
+            .unwrap_or_else(|| panic!("{home} has no lineage"));
+        assert_eq!(generation, 1);
+        // The stored model is exactly the deterministic fit for h.
+        let model = store.get(hash).unwrap();
+        assert_eq!(model.save(), fit_for_seed(h).unwrap().save());
+    }
+    assert!(store.fsck().unwrap().is_clean());
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("ok - clean_sweep_commits_every_home");
+}
+
+fn killed_child_is_retried_and_store_is_byte_identical() {
+    let dir = scratch_dir("kill");
+    // Faulted run: home-3's first attempt kills its child mid-job.
+    let faulted = ModelStore::open(dir.join("faulted")).unwrap();
+    let sentinel = dir.join("crash-once.marker");
+    let jobs: Vec<FitJob> = (0..8)
+        .map(|h| {
+            let payload = if h == 3 {
+                format!("seed={h};crash={}", sentinel.display())
+            } else {
+                format!("seed={h}")
+            };
+            FitJob::new(format!("home-{h}"), payload)
+        })
+        .collect();
+    let report = run_sweep(&faulted, jobs, &config(2)).expect("faulted sweep runs");
+    assert!(sentinel.exists(), "the crash directive never fired");
+    assert!(report.child_restarts >= 1, "{report:?}");
+    assert_eq!(report.committed.len(), 8, "{report:?}");
+    assert!(report.quarantined.is_empty(), "{report:?}");
+
+    // Unfaulted reference run over the same seeds.
+    let reference = ModelStore::open(dir.join("reference")).unwrap();
+    let jobs: Vec<FitJob> = (0..8)
+        .map(|h| FitJob::new(format!("home-{h}"), format!("seed={h}")))
+        .collect();
+    run_sweep(&reference, jobs, &config(2)).expect("reference sweep runs");
+
+    // After gc (which clears any interrupted-put temp files the killed
+    // child left) the two stores are byte-identical, file for file.
+    faulted.gc().unwrap();
+    reference.gc().unwrap();
+    assert_eq!(
+        store_tree(faulted.root()),
+        store_tree(reference.root()),
+        "a killed child changed the store contents"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("ok - killed_child_is_retried_and_store_is_byte_identical");
+}
+
+fn exhausted_retries_quarantine_the_job() {
+    let dir = scratch_dir("quarantine");
+    let store = ModelStore::open(dir.join("store")).unwrap();
+    let mut jobs: Vec<FitJob> = (0..3)
+        .map(|h| FitJob::new(format!("home-{h}"), format!("seed={h}")))
+        .collect();
+    jobs.push(FitJob::new("home-doomed", "always-fail"));
+    let mut config = config(2);
+    config.max_retries = 1;
+    let report = run_sweep(&store, jobs, &config).expect("sweep runs");
+    assert_eq!(report.committed.len(), 3, "{report:?}");
+    assert_eq!(report.quarantined.len(), 1, "{report:?}");
+    let dead = &report.quarantined[0];
+    assert_eq!(dead.job.home, "home-doomed");
+    assert_eq!(dead.attempts, 2, "first try + one retry");
+    assert!(dead.last_error.contains("synthetic fit failure"));
+    // The doomed home has no lineage; the healthy ones all do.
+    assert_eq!(store.resolve("home-doomed").unwrap(), None);
+    assert_eq!(store.homes().unwrap().len(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("ok - exhausted_retries_quarantine_the_job");
+}
+
+fn main() {
+    // Child entry: the orchestrator re-executed this binary.
+    if let Some(root) = child_store_root(std::env::args()) {
+        let store = ModelStore::open(root).expect("child opens store");
+        run_child(&store, child_fit).expect("child protocol");
+        return;
+    }
+    clean_sweep_commits_every_home();
+    killed_child_is_retried_and_store_is_byte_identical();
+    exhausted_retries_quarantine_the_job();
+    println!("fleet_sweep: all tests passed");
+}
