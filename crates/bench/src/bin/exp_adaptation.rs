@@ -1,0 +1,332 @@
+//! Online adaptation at fleet scale: a drifting fleet served through
+//! [`iot_serve::Hub`] with an armed [`iot_serve::AdaptationPolicy`] —
+//! drift detection latency, background refit throughput, and post-swap
+//! verdict recovery versus a never-refit control.
+//!
+//! A fleet of homes (default 1000) serves three phases: a training-regime
+//! warmup, a drift phase in which every 4th home's routine *inverts*
+//! (sustained regime change, not a point anomaly), and a tail still in
+//! the drifted regime. The armed hub must detect the shift on the shard
+//! hot path, re-estimate the affected homes' models on the background
+//! refitter, and hot-swap them in — after which the tail is judged by the
+//! refitted models. The control is the stale fitted model replayed
+//! sequentially: its tail scores stay high, and the gap is the measured
+//! recovery.
+//!
+//! ```text
+//! exp_adaptation [--homes N]
+//! ```
+//!
+//! The CI smoke step runs `--homes 64`; `scripts/bench_snapshot.sh`
+//! records the full-size run in the BENCH baseline.
+
+use std::time::{Duration, Instant};
+
+use causaliot::{CausalIot, FittedModel};
+use causaliot_bench::telemetry_out;
+use iot_model::{Attribute, BinaryEvent, DeviceRegistry, Room, Timestamp};
+use iot_serve::{AdaptationPolicy, BackoffPolicy, Hub, HubConfig, SubmitError, UpdateReason};
+use iot_telemetry::json::JsonValue;
+use iot_telemetry::TelemetryHandle;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const DEFAULT_HOMES: usize = 1_000;
+/// Every `DRIFT_STRIDE`-th home drifts.
+const DRIFT_STRIDE: usize = 4;
+/// Event *pairs* (sensor + lamp) per phase.
+const PRE_PAIRS: usize = 128;
+const DRIFT_PAIRS: usize = 512;
+const TAIL_PAIRS: usize = 128;
+/// Homes replayed sequentially on the stale model as the never-refit
+/// control (sampled — the control is O(events) per home).
+const CONTROL_SAMPLE: usize = 32;
+
+fn fitted_model() -> (DeviceRegistry, FittedModel) {
+    let mut reg = DeviceRegistry::new();
+    let pe = reg
+        .add("PE_room", Attribute::PresenceSensor, Room::new("room"))
+        .unwrap();
+    let lamp = reg
+        .add("S_lamp", Attribute::Switch, Room::new("room"))
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut events = Vec::new();
+    for i in 0..500u64 {
+        let t = i * 60;
+        let on = rng.gen_bool(0.5);
+        events.push(BinaryEvent::new(Timestamp::from_secs(t), pe, on));
+        events.push(BinaryEvent::new(Timestamp::from_secs(t + 15), lamp, on));
+    }
+    let model = CausalIot::builder()
+        .tau(2)
+        .build()
+        .fit_binary(&reg, &events)
+        .unwrap();
+    (reg, model)
+}
+
+/// One home's full serving stream: warmup in the training regime, then —
+/// for drifting homes — an inverted lamp from the onset onwards.
+fn home_stream(reg: &DeviceRegistry, home: usize, drifts: bool) -> Vec<BinaryEvent> {
+    let pe = reg.id_of("PE_room").unwrap();
+    let lamp = reg.id_of("S_lamp").unwrap();
+    let mut rng = StdRng::seed_from_u64(10_000 + home as u64);
+    let pairs = PRE_PAIRS + DRIFT_PAIRS + TAIL_PAIRS;
+    let mut events = Vec::with_capacity(pairs * 2);
+    let mut t = 1_000_000u64;
+    for pair in 0..pairs {
+        let on = rng.gen_bool(0.5);
+        let inverted = drifts && pair >= PRE_PAIRS;
+        events.push(BinaryEvent::new(Timestamp::from_secs(t), pe, on));
+        events.push(BinaryEvent::new(
+            Timestamp::from_secs(t + 15),
+            lamp,
+            if inverted { !on } else { on },
+        ));
+        t += 60;
+    }
+    events
+}
+
+fn submit_all(hub: &Hub, home: iot_serve::HomeId, events: &[BinaryEvent]) {
+    let mut offset = 0usize;
+    while offset < events.len() {
+        match hub.submit_batch(home, &events[offset..]) {
+            Ok(outcome) => {
+                offset += outcome.accepted;
+                if !outcome.is_complete() {
+                    std::thread::yield_now();
+                }
+            }
+            Err(SubmitError::QueueFull { .. }) => std::thread::yield_now(),
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len().max(1) as f64
+}
+
+fn parse_homes() -> usize {
+    let mut homes = DEFAULT_HOMES;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--homes" => {
+                homes = it
+                    .next()
+                    .unwrap_or_else(|| panic!("--homes needs a value"))
+                    .parse()
+                    .expect("--homes: integer");
+            }
+            other => panic!("unknown flag {other} (usage: exp_adaptation [--homes N])"),
+        }
+    }
+    homes.max(DRIFT_STRIDE)
+}
+
+fn main() {
+    let homes = parse_homes();
+    let drifted: Vec<usize> = (0..homes).step_by(DRIFT_STRIDE).collect();
+    println!(
+        "== Online adaptation ({homes} homes, {} drifting, {} events/home) ==\n",
+        drifted.len(),
+        (PRE_PAIRS + DRIFT_PAIRS + TAIL_PAIRS) * 2
+    );
+
+    let (reg, model) = fitted_model();
+    let streams: Vec<Vec<BinaryEvent>> = (0..homes)
+        .map(|h| home_stream(&reg, h, h.is_multiple_of(DRIFT_STRIDE)))
+        .collect();
+    let pre_events = PRE_PAIRS * 2;
+    let tail_events = TAIL_PAIRS * 2;
+    let tail_start = pre_events + DRIFT_PAIRS * 2;
+
+    let policy = AdaptationPolicy {
+        drift: causaliot::DriftConfig {
+            window: 64,
+            check_every: 16,
+            min_device_samples: 4,
+            ..causaliot::DriftConfig::default()
+        },
+        refit_window: 768,
+        // One slot per home: a fleet-wide regime change must not drop
+        // refit requests on the floor.
+        queue_capacity: homes,
+        backoff: BackoffPolicy {
+            max_attempts: 5,
+            initial: Duration::from_millis(1),
+            max: Duration::from_millis(16),
+        },
+        ..AdaptationPolicy::default()
+    };
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut hub = Hub::with_telemetry(
+        HubConfig {
+            workers: 4,
+            queue_capacity: 4_096,
+            record_verdicts: false,
+            // The ring doubles as the recovery probe: it retains the tail
+            // phase's scores (plus swap markers) per home.
+            flight_recorder: Some(tail_events + 16),
+            adaptation: Some(policy),
+            ..HubConfig::default()
+        },
+        &telemetry,
+    );
+    let ids: Vec<_> = (0..homes)
+        .map(|h| hub.register(&format!("home-{h:05}"), &model))
+        .collect();
+
+    // Phase 1+2: warmup, then the regime change. Submission is
+    // round-robin in phase-sized slices so shards interleave homes the
+    // way a live fleet would.
+    let drift_start = Instant::now();
+    for (h, stream) in streams.iter().enumerate() {
+        submit_all(&hub, ids[h], &stream[..tail_start]);
+    }
+    hub.drain();
+
+    // Let the background refitter catch up: the fleet's triggered refits
+    // drain serially. Settle = no new refit for 500ms.
+    let refits = telemetry.counter("hub.refits");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut last = (refits.get(), Instant::now());
+    loop {
+        let now = refits.get();
+        if now != last.0 {
+            last = (now, Instant::now());
+        } else if last.1.elapsed() > Duration::from_millis(500) || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    hub.drain();
+    let drift_wall_s = drift_start.elapsed().as_secs_f64();
+    let refit_throughput = refits.get() as f64 / drift_wall_s;
+    println!(
+        "drift phase: {:.2}s ({refit_throughput:.0} refits/s incl. serving)",
+        drift_wall_s
+    );
+
+    // Phase 3: the tail, judged by whatever model each home now serves.
+    for (h, stream) in streams.iter().enumerate() {
+        submit_all(&hub, ids[h], &stream[tail_start..]);
+    }
+    hub.drain();
+    // Final counter reads after the tail: stragglers whose refit landed
+    // mid-tail still count (the settle loop bounds the wait, it does not
+    // guarantee the fleet is done).
+    let refits_done = refits.get();
+    let refit_failures = telemetry.counter("hub.refit_failures").get();
+    let drift_reports = telemetry.counter("hub.drift.reports").get();
+    let dropped = telemetry.counter("hub.drift.dropped").get();
+    println!(
+        "adaptation: {drift_reports} drift reports, {refits_done} refits \
+         ({refit_failures} failures, {dropped} requests dropped)"
+    );
+
+    // Recovery probe: per drifted home, the flight ring's tail-phase
+    // scores under the (hopefully refitted) serving model, against the
+    // stale model replayed sequentially on the same stream.
+    let stride = (drifted.len() / CONTROL_SAMPLE).max(1);
+    let sample: Vec<usize> = drifted.iter().copied().step_by(stride).collect();
+    let mut adapted_tail = Vec::new();
+    let mut stale_tail = Vec::new();
+    for &h in &sample {
+        let flight = hub
+            .dump_home(ids[h])
+            .expect("home exists")
+            .expect("flight recorder armed");
+        let scores: Vec<f64> = flight
+            .entries
+            .iter()
+            .filter(|e| e.update.is_none() && e.seq >= tail_start as u64)
+            .map(|e| e.score)
+            .collect();
+        assert!(!scores.is_empty(), "home {h}: no tail scores retained");
+        adapted_tail.push(mean(&scores));
+
+        let mut stale = model.clone().into_monitor();
+        let verdicts: Vec<f64> = streams[h].iter().map(|e| stale.observe(*e).score).collect();
+        stale_tail.push(mean(&verdicts[tail_start..]));
+    }
+    let adapted_mean = mean(&adapted_tail);
+    let stale_mean = mean(&stale_tail);
+    println!(
+        "recovery ({} sampled drifted homes): adapted tail mean score {adapted_mean:.3} \
+         vs never-refit {stale_mean:.3}",
+        sample.len()
+    );
+
+    // Detection latency: events from each drifted home's onset to its
+    // first drift report (the detector's event counter starts at
+    // registration, so onset = the warmup length).
+    let reports = hub.shutdown();
+    let mut latencies = Vec::new();
+    let mut refitted_homes = 0usize;
+    for &h in &drifted {
+        let report = &reports[h];
+        if let Some(first) = report.drift_reports.first() {
+            latencies.push(first.events_seen.saturating_sub(pre_events as u64) as f64);
+        }
+        refitted_homes += usize::from(report.updates.contains(&UpdateReason::DriftRefit));
+    }
+    let mut quiet_false_alarms = 0usize;
+    for (h, report) in reports.iter().enumerate() {
+        if !h.is_multiple_of(DRIFT_STRIDE) && !report.drift_reports.is_empty() {
+            quiet_false_alarms += 1;
+        }
+    }
+    let detection_rate = latencies.len() as f64 / drifted.len() as f64;
+    let latency_mean = mean(&latencies);
+    println!(
+        "detection: {}/{} drifted homes detected (latency mean {latency_mean:.0} events), \
+         {refitted_homes} refit+swapped, {quiet_false_alarms} false alarms on quiet homes",
+        latencies.len(),
+        drifted.len()
+    );
+
+    let mut obj = JsonValue::object();
+    obj.push("kind", "run_report")
+        .push("binary", "exp_adaptation")
+        .push("homes", homes as f64)
+        .push("drifted_homes", drifted.len() as f64)
+        .push(
+            "events_per_home",
+            ((PRE_PAIRS + DRIFT_PAIRS + TAIL_PAIRS) * 2) as f64,
+        )
+        .push("drift_reports", drift_reports as f64)
+        .push("refits", refits_done as f64)
+        .push("refit_failures", refit_failures as f64)
+        .push("refit_requests_dropped", dropped as f64)
+        .push("refit_throughput_per_s", refit_throughput)
+        .push("detection_rate", detection_rate)
+        .push("detection_latency_mean_events", latency_mean)
+        .push("quiet_false_alarms", quiet_false_alarms as f64)
+        .push("adapted_tail_mean_score", adapted_mean)
+        .push("stale_tail_mean_score", stale_mean)
+        .push("recovery_gap", stale_mean - adapted_mean);
+    telemetry_out::write_report("exp_adaptation.json", &obj.render());
+
+    // Acceptance: the loop must close end to end — drift detected on
+    // (nearly) every drifted home, refits swapped in, and the tail
+    // measurably recovered versus never refitting.
+    assert!(
+        detection_rate >= 0.9,
+        "acceptance: >= 90% of drifted homes must be detected (got {:.0}%)",
+        detection_rate * 100.0
+    );
+    assert!(
+        refits_done >= (drifted.len() as u64) / 2,
+        "acceptance: at least half the drifted homes must complete a refit \
+         (got {refits_done} of {})",
+        drifted.len()
+    );
+    assert!(
+        adapted_mean < stale_mean - 0.05,
+        "acceptance: post-swap tail scores must measurably recover \
+         (adapted {adapted_mean:.3} vs stale {stale_mean:.3})"
+    );
+}

@@ -12,15 +12,19 @@
 //! delegating backpressure to the hub is visible. The direct sequential
 //! [`causaliot::OwnedMonitor`] rate (no hub at all) is also reported for
 //! context, as is `available_parallelism` so the numbers can be read
-//! against the hardware they were measured on.
+//! against the hardware they were measured on. A final run repeats the
+//! production configuration with an armed-but-quiet
+//! [`iot_serve::AdaptationPolicy`] to price drift detection on the hot
+//! path (`hub4_batched_drift_eps`, gated at <= 5% overhead by
+//! `scripts/bench_compare.sh`).
 
 use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
 
-use causaliot::{CausalIot, FittedModel};
+use causaliot::{CausalIot, DriftConfig, FittedModel};
 use causaliot_bench::telemetry_out;
 use iot_model::{Attribute, BinaryEvent, DeviceRegistry, Room, Timestamp};
-use iot_serve::{Hub, HubConfig, SubmitError, SubmitPolicy};
+use iot_serve::{AdaptationPolicy, Hub, HubConfig, SubmitError, SubmitPolicy};
 use iot_telemetry::json::JsonValue;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -89,6 +93,14 @@ fn home_streams(reg: &DeviceRegistry) -> Vec<Vec<BinaryEvent>> {
         .collect()
 }
 
+/// Best of `n` measured runs. One pass over the workload is only a few
+/// milliseconds, so a single sample is at the mercy of scheduler noise
+/// (especially on small CI boxes); the maximum over a few passes is the
+/// configuration's actual capability.
+fn best_of(n: usize, mut run: impl FnMut() -> f64) -> f64 {
+    (0..n).map(|_| run()).fold(f64::MIN, f64::max)
+}
+
 /// Direct in-process scoring: one sequential `OwnedMonitor` per home, no
 /// hub, no queues. The ceiling any serving layer pays overhead against.
 fn direct_sequential_eps(model: &FittedModel, streams: &[Vec<BinaryEvent>]) -> f64 {
@@ -118,15 +130,18 @@ fn hub_eps(
     workers: usize,
     batch: usize,
     policy: SubmitPolicy,
+    adaptation: Option<AdaptationPolicy>,
 ) -> f64 {
     let spin_on_full = matches!(policy, SubmitPolicy::FailFast);
-    let config = HubConfig::builder()
+    let mut builder = HubConfig::builder()
         .workers(workers)
         .queue_capacity(4_096)
         .record_verdicts(false)
-        .submit_policy(policy)
-        .try_build()
-        .expect("bench hub config must validate");
+        .submit_policy(policy);
+    if let Some(adaptation) = adaptation {
+        builder = builder.adaptation(adaptation);
+    }
+    let config = builder.try_build().expect("bench hub config must validate");
     let mut hub = Hub::new(config);
     let homes: Vec<_> = (0..HOMES)
         .map(|h| hub.register(&format!("home-{h}"), model))
@@ -182,6 +197,23 @@ fn retry_policy() -> SubmitPolicy {
     }
 }
 
+/// An armed-but-quiet [`AdaptationPolicy`]: the drift detector runs on
+/// every scored event (windows maintained, exceedance counted, cadence
+/// checks paid) but the trigger thresholds sit at the top of their valid
+/// ranges, so the bench's random streams never fire a refit. This
+/// isolates the pure hot-path cost of arming drift detection, which
+/// `bench_compare.sh` gates at <= 5% of the batched serving budget.
+fn quiet_adaptation() -> AdaptationPolicy {
+    AdaptationPolicy {
+        drift: DriftConfig {
+            score_shift: 0.999,
+            loglik_decay: 1e6,
+            ..DriftConfig::default()
+        },
+        ..AdaptationPolicy::default()
+    }
+}
+
 fn main() {
     println!("== Serving-hub throughput ({HOMES} homes x {EVENTS_PER_HOME} events) ==\n");
     let (reg, model) = fitted_model();
@@ -191,12 +223,32 @@ fn main() {
         .map(NonZeroUsize::get)
         .unwrap_or(1);
 
-    let direct = direct_sequential_eps(&model, &streams);
-    let hub1_per_event = hub_eps(&model, &streams, 1, 1, SubmitPolicy::FailFast);
-    let hub2_batched = hub_eps(&model, &streams, 2, BATCH, SubmitPolicy::FailFast);
-    let hub4_batched = hub_eps(&model, &streams, 4, BATCH, SubmitPolicy::FailFast);
-    let hub4_retry = hub_eps(&model, &streams, 4, BATCH, retry_policy());
+    const RUNS: usize = 3;
+    let direct = best_of(RUNS, || direct_sequential_eps(&model, &streams));
+    let hub1_per_event = best_of(RUNS, || {
+        hub_eps(&model, &streams, 1, 1, SubmitPolicy::FailFast, None)
+    });
+    let hub2_batched = best_of(RUNS, || {
+        hub_eps(&model, &streams, 2, BATCH, SubmitPolicy::FailFast, None)
+    });
+    let hub4_batched = best_of(RUNS, || {
+        hub_eps(&model, &streams, 4, BATCH, SubmitPolicy::FailFast, None)
+    });
+    let hub4_retry = best_of(RUNS, || {
+        hub_eps(&model, &streams, 4, BATCH, retry_policy(), None)
+    });
+    let hub4_drift = best_of(RUNS, || {
+        hub_eps(
+            &model,
+            &streams,
+            4,
+            BATCH,
+            SubmitPolicy::FailFast,
+            Some(quiet_adaptation()),
+        )
+    });
     let speedup = hub4_batched / hub1_per_event;
+    let drift_overhead = hub4_batched / hub4_drift;
 
     println!("available_parallelism        {parallelism}");
     println!("direct sequential            {direct:>12.0} events/s");
@@ -204,7 +256,9 @@ fn main() {
     println!("hub 2 workers, batch={BATCH}     {hub2_batched:>12.0} events/s");
     println!("hub 4 workers, batch={BATCH}     {hub4_batched:>12.0} events/s");
     println!("hub 4 workers, batch={BATCH}, retry policy  {hub4_retry:>12.0} events/s");
+    println!("hub 4 workers, batch={BATCH}, drift armed   {hub4_drift:>12.0} events/s");
     println!("speedup (4w batched / 1w per-event)  {speedup:.2}x");
+    println!("drift-armed overhead (quiet detector)  {drift_overhead:.3}x");
 
     let mut obj = JsonValue::object();
     obj.push("kind", "run_report")
@@ -218,7 +272,9 @@ fn main() {
         .push("hub2_batched_eps", hub2_batched)
         .push("hub4_batched_eps", hub4_batched)
         .push("hub4_retry_policy_eps", hub4_retry)
-        .push("speedup_hub4_vs_hub1", speedup);
+        .push("hub4_batched_drift_eps", hub4_drift)
+        .push("speedup_hub4_vs_hub1", speedup)
+        .push("drift_armed_overhead", drift_overhead);
     telemetry_out::write_report("exp_hub_throughput.json", &obj.render());
 
     assert!(

@@ -10,7 +10,9 @@
 //! ([`IngestPolicy`], [`GuardedMonitor`], [`DeadLetterCounts`], …), the
 //! data model ([`DeviceRegistry`], [`BinaryEvent`], [`Timestamp`], …),
 //! the serving hub ([`Hub`], [`HubConfig`], [`HomeId`],
-//! [`SubmitPolicy`], …), live introspection ([`HubStats`],
+//! [`SubmitPolicy`], …), the model lifecycle ([`ModelUpdate`],
+//! [`UpdateReason`], [`AdaptationPolicy`], [`DriftReport`], [`Refit`],
+//! …), live introspection ([`HubStats`],
 //! [`FlightRecording`], [`MetricsServer`]), fleet fitting
 //! ([`ModelStore`], [`ModelHash`], [`FitJob`], [`SweepConfig`], …),
 //! telemetry ([`TelemetryHandle`], [`MonitorReport`]), and the unified
@@ -21,16 +23,18 @@
 pub use crate::error::Error;
 pub use causaliot_core::{
     CausalIot, CausalIotBuilder, CausalIotConfig, CausalIotError, ConfigError, DeadLetter,
-    DeadLetterCounts, DropReason, FittedModel, GuardedMonitor, IngestGuard, IngestPolicy, Monitor,
-    Observation, ObserveCtx, OwnedMonitor, StaleSet, TauChoice, Verdict,
+    DeadLetterCounts, DriftConfig, DriftDetector, DriftReport, DriftSeverity, DriftSignal,
+    DropReason, FittedModel, GuardedMonitor, IngestGuard, IngestPolicy, Monitor, Observation,
+    ObserveCtx, OwnedMonitor, Refit, StaleSet, TauChoice, Verdict,
 };
 pub use iot_fleet::{FitJob, FleetError, ModelHash, ModelStore, SweepConfig, SweepReport};
 pub use iot_model::{
     Attribute, BinaryEvent, DeviceEvent, DeviceId, DeviceRegistry, Room, Timestamp,
 };
 pub use iot_serve::{
-    BatchOutcome, FaultHook, FlightEntry, FlightRecording, HomeId, HomeReport, HomeStats, Hub,
-    HubConfig, HubConfigBuilder, HubStats, LatencyStats, QuarantinedError, RestorePolicy,
-    ShardStats, SubmitError, SubmitPolicy,
+    AdaptationPolicy, BackoffPolicy, BatchOutcome, FaultHook, FlightEntry, FlightRecording, HomeId,
+    HomeReport, HomeStats, Hub, HubConfig, HubConfigBuilder, HubStats, LatencyStats, ModelUpdate,
+    QuarantinedError, RestorePolicy, ShardStats, SubmitError, SubmitPolicy, UpdateError,
+    UpdateOutcome, UpdateReason,
 };
 pub use iot_telemetry::{MetricsServer, MonitorReport, TelemetryHandle};

@@ -77,9 +77,12 @@ pub use ingest::{
     DeadLetter, DeadLetterCounts, GuardedMonitor, IngestEvent, IngestGuard, IngestPolicy,
     IngestStep, StaleSet,
 };
-pub use monitor::{Alarm, AlarmKind, AnomalousEvent, Verdict};
+pub use monitor::{
+    Alarm, AlarmKind, AnomalousEvent, DriftConfig, DriftDetector, DriftReport, DriftSeverity,
+    DriftSignal, Verdict,
+};
 pub use pipeline::{
     CalibratedModel, CausalIot, CausalIotBuilder, CausalIotConfig, DropReason, FitPipeline,
     FitStage, FittedModel, MinedGraph, Monitor, Observation, ObserveCtx, OwnedMonitor,
-    Preprocessed, RawEvents, Snapshotted, TauChoice,
+    Preprocessed, RawEvents, Refit, Snapshotted, TauChoice,
 };

@@ -633,6 +633,60 @@ impl<D: Deref<Target = Dig>> KSequenceDetector<D> {
         }
     }
 
+    /// [`observe_batch_stats_only`](Self::observe_batch_stats_only) that
+    /// additionally surfaces each event's `(event, score)` pair to
+    /// `on_score` as it completes — the hook the drift detector
+    /// ([`crate::monitor::DriftDetector`]) rides. Every observable side
+    /// effect (phantom state, tracking, [`DetectorStats`], telemetry
+    /// flush) stays bit-identical to the stats-only path; the score is a
+    /// value `step_event_stats_only`
+    /// already computes, so the extra cost is one indirect call per
+    /// event and nothing else.
+    ///
+    /// `scored` is incremented once per *completed* event (after
+    /// `on_score` returns), preserving the exact panic-boundary
+    /// guarantee of the other batched entry points.
+    pub fn observe_batch_scores_only(
+        &mut self,
+        events: &[BinaryEvent],
+        scored: &mut usize,
+        on_score: &mut dyn FnMut(BinaryEvent, f64),
+    ) {
+        let started = if self.instruments.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        let stats_before = self.stats;
+        if self.instruments.enabled {
+            for &event in events {
+                let verdict = self.step_event(event, 1.0);
+                self.instruments.scores.observe(verdict.score);
+                on_score(event, verdict.score);
+                *scored += 1;
+            }
+        } else {
+            for &event in events {
+                let score = self.step_event_stats_only(event);
+                on_score(event, score);
+                *scored += 1;
+            }
+        }
+        if let Some(start) = started {
+            self.instruments.events.add(events.len() as u64);
+            self.instruments.tracking_len.set(self.w.len() as u64);
+            self.instruments
+                .contextual
+                .add(self.stats.contextual_alarms - stats_before.contextual_alarms);
+            self.instruments
+                .collective
+                .add(self.stats.collective_alarms - stats_before.collective_alarms);
+            self.instruments
+                .latency_us
+                .observe(start.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+
     /// [`step_event`](Self::step_event) with verdict and interpretation
     /// materialisation stripped out. The control flow mirrors `step_event`
     /// line for line (same W pushes, same flush points, same stats
@@ -644,7 +698,7 @@ impl<D: Deref<Target = Dig>> KSequenceDetector<D> {
     /// chain its capacity is reused forever — zero steady-state
     /// allocations).
     #[inline]
-    fn step_event_stats_only(&mut self, event: BinaryEvent) {
+    fn step_event_stats_only(&mut self, event: BinaryEvent) -> f64 {
         let (_code, score) = self.score_of(&event);
         let ordinal = self.next_ordinal;
         self.next_ordinal += 1;
@@ -680,6 +734,7 @@ impl<D: Deref<Target = Dig>> KSequenceDetector<D> {
         }
         self.stats.events += 1;
         self.stats.max_tracking_len = self.stats.max_tracking_len.max(self.w.len() as u64);
+        score
     }
 
     /// [`flush`](Self::flush) without the alarm payload: classifies `W`

@@ -1,0 +1,614 @@
+//! Drift detection for served models (online adaptation, stage 1).
+//!
+//! A fitted model encodes a home's behaviour *at training time*; homes
+//! change — new routines, seasons, replaced devices — and a stale model
+//! silently decays. [`DriftDetector`] watches the live score stream a
+//! monitor already computes and raises a typed [`DriftReport`] when the
+//! serving distribution departs from the calibration-time baseline, so
+//! the serving layer can trigger an incremental refit
+//! ([`crate::pipeline::stages::Refit`]) and hot-swap the result.
+//!
+//! Two complementary signals, both O(1) per event over one shared ring
+//! buffer:
+//!
+//! * **Score shift** — at calibration the threshold was chosen as the
+//!   q-th percentile of training scores, so in steady state roughly
+//!   `1 − q/100` of events exceed it. The detector tracks the observed
+//!   exceedance rate over a rolling window; a sustained excess means the
+//!   score distribution itself has moved (the model is alarming on the
+//!   home's *new normal*).
+//! * **Likelihood decay** — per-device rolling mean log-likelihood
+//!   `ln P(state | causes)` compared against the device's expected
+//!   log-likelihood under its own CPT (computed once from the fitted
+//!   counts). A device whose observed likelihood falls well below its
+//!   training-time expectation has drifted even if it rarely crosses the
+//!   alarm threshold.
+//!
+//! The detector is entirely passive: feeding it is opt-in (the serving
+//! hub only does so when an `AdaptationPolicy` is armed), and an unarmed
+//! pipeline is bit-identical to one built before this module existed.
+
+use std::collections::VecDeque;
+
+use iot_model::DeviceId;
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Dig;
+use crate::ConfigError;
+
+/// Floor for `1 − score` before taking the log, so a score of exactly
+/// 1.0 (impossible context) contributes a large-but-finite penalty.
+const LOG_FLOOR: f64 = 1e-12;
+
+/// Tuning knobs for [`DriftDetector`]. Validated by
+/// [`DriftConfig::check`]; the defaults suit event streams in the
+/// hundreds-to-thousands per day regime the paper's homes produce.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Rolling window length in events. Checks only begin once the
+    /// window is full.
+    pub window: usize,
+    /// Evaluate the drift signals every this many events (amortises the
+    /// per-device scan; must be `1..=window`).
+    pub check_every: usize,
+    /// Minimum excess of the observed threshold-exceedance rate over the
+    /// calibrated `1 − q/100` rate before a score-shift report fires
+    /// (absolute rate difference in `(0, 1)`).
+    pub score_shift: f64,
+    /// Minimum drop of a device's rolling mean log-likelihood below its
+    /// training-time expectation (in nats, `> 0`) before a
+    /// likelihood-decay report fires.
+    pub loglik_decay: f64,
+    /// A device needs at least this many samples in the window before
+    /// its likelihood is compared (guards tiny-sample noise).
+    pub min_device_samples: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            window: 512,
+            check_every: 128,
+            score_shift: 0.10,
+            loglik_decay: 0.7,
+            min_device_samples: 16,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Validates every field, mirroring [`crate::CausalIotConfig::check`].
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending parameter.
+    pub fn check(&self) -> Result<(), ConfigError> {
+        if self.window == 0 {
+            return Err(ConfigError::new("drift.window", "must be at least 1"));
+        }
+        if self.check_every == 0 || self.check_every > self.window {
+            return Err(ConfigError::new(
+                "drift.check_every",
+                format!("must be in 1..=window ({})", self.window),
+            ));
+        }
+        if !(self.score_shift > 0.0 && self.score_shift < 1.0) {
+            return Err(ConfigError::new(
+                "drift.score_shift",
+                "must be a rate excess in (0, 1)",
+            ));
+        }
+        if !(self.loglik_decay > 0.0 && self.loglik_decay.is_finite()) {
+            return Err(ConfigError::new(
+                "drift.loglik_decay",
+                "must be a positive number of nats",
+            ));
+        }
+        if self.min_device_samples == 0 {
+            return Err(ConfigError::new(
+                "drift.min_device_samples",
+                "must be at least 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Which statistic tripped a [`DriftReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriftSignal {
+    /// The rolling threshold-exceedance rate rose above the calibrated
+    /// `1 − q/100` by more than [`DriftConfig::score_shift`].
+    ScoreShift,
+    /// A device's rolling mean log-likelihood fell more than
+    /// [`DriftConfig::loglik_decay`] nats below its training expectation.
+    LikelihoodDecay,
+}
+
+impl std::fmt::Display for DriftSignal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriftSignal::ScoreShift => write!(f, "score-shift"),
+            DriftSignal::LikelihoodDecay => write!(f, "likelihood-decay"),
+        }
+    }
+}
+
+/// How far past its trigger a drift signal is. Ordered: `Warning <
+/// Critical`, so policies can gate on a minimum severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DriftSeverity {
+    /// The signal crossed its configured trigger.
+    Warning,
+    /// The signal crossed **twice** its configured trigger — the
+    /// distribution has moved decisively, not marginally.
+    Critical,
+}
+
+impl std::fmt::Display for DriftSeverity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriftSeverity::Warning => write!(f, "warning"),
+            DriftSeverity::Critical => write!(f, "critical"),
+        }
+    }
+}
+
+/// One detected departure of the live score stream from the calibration
+/// baseline. The serving layer attaches the home identity; the core
+/// detector reports the statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftReport {
+    /// Which statistic fired.
+    pub signal: DriftSignal,
+    /// How decisively it fired.
+    pub severity: DriftSeverity,
+    /// Window length the statistic was computed over.
+    pub window: usize,
+    /// The observed value (exceedance rate for
+    /// [`DriftSignal::ScoreShift`]; mean log-likelihood shortfall in nats
+    /// for [`DriftSignal::LikelihoodDecay`]).
+    pub observed: f64,
+    /// The calibration-time baseline the observation is compared against
+    /// (expected exceedance rate, or the device's expected mean
+    /// log-likelihood).
+    pub baseline: f64,
+    /// The worst-decayed device, for [`DriftSignal::LikelihoodDecay`].
+    pub device: Option<DeviceId>,
+    /// Events fed to the detector when the report fired (a detection
+    /// timestamp in stream coordinates).
+    pub events_seen: u64,
+}
+
+/// One scored event in the rolling window.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    device: u32,
+    exceeded: bool,
+    ll: f64,
+}
+
+/// Direct-mapped memo of `score → ln(max(1 − score, floor))`.
+///
+/// A fitted DIG produces scores from its CPTs' finitely many probability
+/// atoms (at most two per CPT context), so the live stream cycles
+/// through a bounded value set; on the serving hub's batched hot path
+/// the `ln` would otherwise dominate the detector's per-event cost. 256
+/// slots (4 KiB) cover the atom count of realistic homes while staying
+/// L1-resident; collisions just recompute. Keyed on the exact bit
+/// pattern, so a hit returns precisely what the computation would — the
+/// cache changes cost, never results.
+#[derive(Debug, Clone)]
+struct LnCache {
+    keys: [u64; LN_CACHE_SLOTS],
+    vals: [f64; LN_CACHE_SLOTS],
+}
+
+const LN_CACHE_SLOTS: usize = 256;
+
+impl LnCache {
+    fn new() -> Self {
+        LnCache {
+            // No valid score has the all-ones (negative signalling NaN)
+            // bit pattern, so every slot starts guaranteed-miss.
+            keys: [u64::MAX; LN_CACHE_SLOTS],
+            vals: [0.0; LN_CACHE_SLOTS],
+        }
+    }
+
+    #[inline]
+    fn ln_one_minus(&mut self, score: f64) -> f64 {
+        let bits = score.to_bits();
+        // Exponent and spread-out mantissa bits, folded: distinct score
+        // atoms land in distinct slots with high probability.
+        let idx = ((bits >> 48) ^ (bits >> 27) ^ (bits >> 11)) as usize & (LN_CACHE_SLOTS - 1);
+        if self.keys[idx] == bits {
+            return self.vals[idx];
+        }
+        let ll = (1.0 - score).max(LOG_FLOOR).ln();
+        self.keys[idx] = bits;
+        self.vals[idx] = ll;
+        ll
+    }
+}
+
+/// Per-device rolling log-likelihood accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+struct DeviceWindow {
+    sum_ll: f64,
+    count: u32,
+}
+
+/// The per-home drift detector. Feed it every `(device, score)` pair the
+/// monitor computes (see `observe_batch_scores_only`); it answers with a
+/// [`DriftReport`] when a drift signal trips at a check boundary.
+///
+/// Costs O(1) per event — one ring push/evict and a handful of float
+/// ops — plus an O(devices) scan every [`DriftConfig::check_every`]
+/// events, so it rides the serving hub's batched hot path without
+/// disturbing its pinned ns/event budget.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    config: DriftConfig,
+    /// Expected per-event threshold-exceedance rate, `1 − q/100`.
+    expected_exceed: f64,
+    /// Calibrated contextual threshold (scores strictly above it
+    /// "exceed").
+    threshold: f64,
+    /// Per-device expected log-likelihood under the fitted CPT counts.
+    baseline_ll: Vec<f64>,
+    ring: VecDeque<Sample>,
+    exceed_count: usize,
+    devices: Vec<DeviceWindow>,
+    since_check: usize,
+    events_seen: u64,
+    ln_cache: LnCache,
+}
+
+impl DriftDetector {
+    /// Builds a detector against a fitted DIG: `threshold` and `q` are
+    /// the model's calibrated threshold and percentile (see
+    /// [`crate::FittedModel::drift_detector`] for the convenience
+    /// constructor that extracts them).
+    ///
+    /// The per-device likelihood baseline is the expectation of
+    /// `ln P(state | causes)` under the device's own fitted counts —
+    /// exactly what an undrifted replay of the training data would
+    /// produce in the rolling mean.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if `config` fails [`DriftConfig::check`] or `q`
+    /// is outside `(0, 100]`.
+    pub fn new(
+        dig: &Dig,
+        threshold: f64,
+        q: f64,
+        config: DriftConfig,
+    ) -> Result<Self, ConfigError> {
+        config.check()?;
+        if !(q > 0.0 && q <= 100.0) {
+            return Err(ConfigError::new(
+                "drift.q",
+                "percentile must be in (0, 100]",
+            ));
+        }
+        let baseline_ll = (0..dig.num_devices())
+            .map(|d| expected_loglik(dig, DeviceId::from_index(d)))
+            .collect::<Vec<f64>>();
+        let num_devices = baseline_ll.len();
+        let window = config.window;
+        Ok(DriftDetector {
+            config,
+            expected_exceed: 1.0 - q / 100.0,
+            threshold,
+            baseline_ll,
+            // Full capacity up front: the ring reaches `window` samples
+            // in steady state and must never reallocate on the hot path.
+            ring: VecDeque::with_capacity(window),
+            exceed_count: 0,
+            devices: vec![DeviceWindow::default(); num_devices],
+            since_check: 0,
+            events_seen: 0,
+            ln_cache: LnCache::new(),
+        })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Events fed so far (across resets the counter keeps running, so
+    /// reports carry a monotone stream position).
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Feeds one scored event. Returns a report when a drift signal
+    /// trips at a check boundary (at most one report per
+    /// [`DriftConfig::check_every`] events; the window keeps sliding
+    /// either way).
+    pub fn record(&mut self, device: DeviceId, score: f64) -> Option<DriftReport> {
+        self.events_seen += 1;
+        let ll = self.ln_cache.ln_one_minus(score);
+        // Strictly above: the calibrated threshold is the q-th percentile
+        // *value*, and discrete score distributions put real mass exactly
+        // on it (e.g. a root device scoring its own marginal). Counting
+        // ties would report that mass as drift on a perfectly clean
+        // stream; strictly-above keeps the clean-stream exceedance at or
+        // below the `1 − q` baseline.
+        let exceeded = score > self.threshold;
+        let sample = Sample {
+            device: device.index() as u32,
+            exceeded,
+            ll,
+        };
+        if self.ring.len() == self.config.window {
+            let old = self.ring.pop_front().expect("non-empty ring");
+            self.exceed_count -= old.exceeded as usize;
+            let dw = &mut self.devices[old.device as usize];
+            dw.sum_ll -= old.ll;
+            dw.count -= 1;
+        }
+        self.exceed_count += exceeded as usize;
+        if let Some(dw) = self.devices.get_mut(sample.device as usize) {
+            dw.sum_ll += ll;
+            dw.count += 1;
+        }
+        self.ring.push_back(sample);
+
+        self.since_check += 1;
+        if self.ring.len() < self.config.window || self.since_check < self.config.check_every {
+            return None;
+        }
+        self.since_check = 0;
+        self.check()
+    }
+
+    /// Evaluates both signals over the (full) window.
+    fn check(&self) -> Option<DriftReport> {
+        let window = self.ring.len();
+        let observed_rate = self.exceed_count as f64 / window as f64;
+        let excess = observed_rate - self.expected_exceed;
+        if excess > self.config.score_shift {
+            return Some(DriftReport {
+                signal: DriftSignal::ScoreShift,
+                severity: severity_for(excess, self.config.score_shift),
+                window,
+                observed: observed_rate,
+                baseline: self.expected_exceed,
+                device: None,
+                events_seen: self.events_seen,
+            });
+        }
+        let mut worst: Option<(usize, f64, f64)> = None;
+        for (d, dw) in self.devices.iter().enumerate() {
+            if (dw.count as usize) < self.config.min_device_samples {
+                continue;
+            }
+            let mean = dw.sum_ll / dw.count as f64;
+            let shortfall = self.baseline_ll[d] - mean;
+            if shortfall > self.config.loglik_decay && worst.is_none_or(|(_, _, s)| shortfall > s) {
+                worst = Some((d, mean, shortfall));
+            }
+        }
+        worst.map(|(d, mean, shortfall)| DriftReport {
+            signal: DriftSignal::LikelihoodDecay,
+            severity: severity_for(shortfall, self.config.loglik_decay),
+            window,
+            observed: mean,
+            baseline: self.baseline_ll[d],
+            device: Some(DeviceId::from_index(d)),
+            events_seen: self.events_seen,
+        })
+    }
+
+    /// Clears the window and per-device accumulators (the events-seen
+    /// counter keeps running). Call after acting on a report — e.g. once
+    /// a refit has been requested — so the next report reflects only
+    /// post-action events.
+    pub fn reset(&mut self) {
+        self.ring.clear();
+        self.exceed_count = 0;
+        self.devices.fill(DeviceWindow::default());
+        self.since_check = 0;
+    }
+}
+
+fn severity_for(observed_excess: f64, trigger: f64) -> DriftSeverity {
+    if observed_excess > 2.0 * trigger {
+        DriftSeverity::Critical
+    } else {
+        DriftSeverity::Warning
+    }
+}
+
+/// Expectation of `ln P(state | causes)` for `device` under its own
+/// fitted CPT counts: `Σ_ctx Σ_v n(ctx, v) · ln p(v | ctx) / N`. Only
+/// contexts seen in training contribute (their counts are non-zero), so
+/// the result is independent of the unseen-context policy. Devices with
+/// no training data get a baseline of 0 and can never report decay.
+fn expected_loglik(dig: &Dig, device: DeviceId) -> f64 {
+    let cpt = dig.cpt(device);
+    let mut sum = 0.0;
+    let mut total = 0u64;
+    for code in 0..cpt.num_contexts() {
+        let counts = cpt.counts(code);
+        let context_total = counts[0] + counts[1];
+        if context_total == 0 {
+            continue;
+        }
+        for &n in &counts {
+            if n == 0 {
+                continue;
+            }
+            let p = (n as f64 + cpt.smoothing()) / (context_total as f64 + 2.0 * cpt.smoothing());
+            sum += n as f64 * p.max(LOG_FLOOR).ln();
+            total += n;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        sum / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Cpt, LaggedVar};
+
+    fn two_device_dig() -> Dig {
+        let c0 = LaggedVar::new(DeviceId::from_index(0), 1);
+        let mut cpt0 = Cpt::new(vec![c0], 1.0);
+        let mut cpt1 = Cpt::new(vec![c0], 1.0);
+        for _ in 0..50 {
+            cpt0.record(0, true);
+            cpt0.record(1, false);
+            cpt1.record(0, false);
+            cpt1.record(1, true);
+        }
+        Dig::new(2, vec![vec![c0], vec![c0]], vec![cpt0, cpt1])
+    }
+
+    fn detector(config: DriftConfig) -> DriftDetector {
+        DriftDetector::new(&two_device_dig(), 0.9, 95.0, config).expect("valid config")
+    }
+
+    fn small_config() -> DriftConfig {
+        DriftConfig {
+            window: 64,
+            check_every: 16,
+            min_device_samples: 8,
+            ..DriftConfig::default()
+        }
+    }
+
+    #[test]
+    fn config_validation_names_fields() {
+        let bad = DriftConfig {
+            check_every: 0,
+            ..DriftConfig::default()
+        };
+        assert_eq!(bad.check().unwrap_err().parameter(), "drift.check_every");
+        let bad = DriftConfig {
+            window: 0,
+            ..DriftConfig::default()
+        };
+        assert_eq!(bad.check().unwrap_err().parameter(), "drift.window");
+        let bad = DriftConfig {
+            score_shift: 1.5,
+            ..DriftConfig::default()
+        };
+        assert_eq!(bad.check().unwrap_err().parameter(), "drift.score_shift");
+        let bad = DriftConfig {
+            loglik_decay: 0.0,
+            ..DriftConfig::default()
+        };
+        assert_eq!(bad.check().unwrap_err().parameter(), "drift.loglik_decay");
+        let bad = DriftConfig {
+            min_device_samples: 0,
+            ..DriftConfig::default()
+        };
+        assert_eq!(
+            bad.check().unwrap_err().parameter(),
+            "drift.min_device_samples"
+        );
+        assert!(DriftConfig::default().check().is_ok());
+    }
+
+    #[test]
+    fn quiet_stream_never_reports() {
+        let mut det = detector(small_config());
+        for i in 0..1_000u32 {
+            let device = DeviceId::from_index((i % 2) as usize);
+            assert_eq!(det.record(device, 0.05), None);
+        }
+        assert_eq!(det.events_seen(), 1_000);
+    }
+
+    #[test]
+    fn sustained_exceedance_reports_score_shift() {
+        let mut det = detector(small_config());
+        let mut report = None;
+        for i in 0..200u32 {
+            let device = DeviceId::from_index((i % 2) as usize);
+            // 40% of events above the 0.9 threshold vs 5% expected.
+            let score = if i % 5 < 2 { 0.95 } else { 0.1 };
+            if let Some(r) = det.record(device, score) {
+                report = Some(r);
+                break;
+            }
+        }
+        let report = report.expect("drift must be detected");
+        assert_eq!(report.signal, DriftSignal::ScoreShift);
+        assert_eq!(report.severity, DriftSeverity::Critical);
+        assert!(report.observed > report.baseline + 0.10);
+        assert_eq!(report.window, 64);
+    }
+
+    #[test]
+    fn single_device_decay_reports_likelihood_decay() {
+        let mut det = detector(small_config());
+        let mut report = None;
+        for i in 0..200u32 {
+            let device = DeviceId::from_index((i % 2) as usize);
+            // Device 1 scores just *below* the alarm threshold, so the
+            // exceedance rate stays quiet, but its likelihood collapses.
+            let score = if device.index() == 1 { 0.89 } else { 0.02 };
+            if let Some(r) = det.record(device, score) {
+                report = Some(r);
+                break;
+            }
+        }
+        let report = report.expect("decay must be detected");
+        assert_eq!(report.signal, DriftSignal::LikelihoodDecay);
+        assert_eq!(report.device, Some(DeviceId::from_index(1)));
+        assert!(report.baseline > report.observed);
+    }
+
+    #[test]
+    fn reset_clears_the_window() {
+        let mut det = detector(small_config());
+        for i in 0..40u32 {
+            det.record(DeviceId::from_index((i % 2) as usize), 0.95);
+        }
+        det.reset();
+        // After the reset the window must refill before any check fires.
+        for i in 0..63u32 {
+            assert_eq!(
+                det.record(DeviceId::from_index((i % 2) as usize), 0.05),
+                None
+            );
+        }
+        assert_eq!(det.events_seen(), 103);
+    }
+
+    #[test]
+    fn severity_scales_with_excess() {
+        assert_eq!(severity_for(0.15, 0.10), DriftSeverity::Warning);
+        assert_eq!(severity_for(0.25, 0.10), DriftSeverity::Critical);
+    }
+
+    #[test]
+    fn ring_eviction_keeps_counts_consistent() {
+        let mut det = detector(DriftConfig {
+            window: 8,
+            check_every: 1,
+            min_device_samples: 2,
+            ..DriftConfig::default()
+        });
+        // Feed far more events than the window holds; counts must never
+        // underflow and the exceed count must track the window contents.
+        for i in 0..100u32 {
+            let device = DeviceId::from_index((i % 2) as usize);
+            det.record(device, if i % 3 == 0 { 0.95 } else { 0.1 });
+        }
+        let in_window: usize = det.ring.iter().map(|s| s.exceeded as usize).sum();
+        assert_eq!(in_window, det.exceed_count);
+        let per_device: u32 = det.devices.iter().map(|d| d.count).sum();
+        assert_eq!(per_device as usize, det.ring.len());
+    }
+}

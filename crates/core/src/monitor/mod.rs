@@ -14,6 +14,7 @@
 
 mod adaptive;
 mod detector;
+mod drift;
 mod phantom;
 mod threshold;
 
@@ -21,6 +22,7 @@ pub use adaptive::{AdaptiveConfig, AdaptiveMonitor, AdaptiveVerdict};
 pub use detector::{
     Alarm, AlarmKind, AnomalousEvent, DetectorConfig, DetectorStats, KSequenceDetector, Verdict,
 };
+pub use drift::{DriftConfig, DriftDetector, DriftReport, DriftSeverity, DriftSignal};
 pub use phantom::PhantomStateMachine;
 pub use threshold::{compute_threshold, training_scores};
 

@@ -13,8 +13,10 @@
 //! restorable with [`FittedModel::load`].
 
 pub mod checkpoint;
+pub mod refit;
 pub mod stages;
 
+pub use refit::{Refit, StructuralDrift};
 pub use stages::{
     CalibratedModel, FitPipeline, FitStage, MinedGraph, Preprocessed, RawEvents, Snapshotted,
 };
@@ -625,6 +627,26 @@ impl FittedModel {
     pub fn num_devices(&self) -> usize {
         self.inner.num_devices
     }
+
+    /// Builds a [`DriftDetector`](crate::monitor::DriftDetector) against
+    /// this model's DIG, calibrated threshold, and percentile `q` — the
+    /// baseline a served score stream is compared to.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if `config` fails
+    /// [`DriftConfig::check`](crate::monitor::DriftConfig::check).
+    pub fn drift_detector(
+        &self,
+        config: crate::monitor::DriftConfig,
+    ) -> Result<crate::monitor::DriftDetector, ConfigError> {
+        crate::monitor::DriftDetector::new(
+            &self.inner.dig,
+            self.inner.threshold,
+            self.inner.config.q,
+            config,
+        )
+    }
 }
 
 /// Why a raw event was dropped instead of scored — by
@@ -943,6 +965,23 @@ macro_rules! monitor_methods {
         /// holds the panicking event's exact index.
         pub fn observe_batch_stats_only(&mut self, events: &[BinaryEvent], scored: &mut usize) {
             self.core.detector.observe_batch_stats_only(events, scored)
+        }
+
+        /// [`observe_batch_stats_only`](Self::observe_batch_stats_only)
+        /// surfacing each event's anomaly score to `on_score` as it
+        /// completes — the hook the drift detector
+        /// ([`crate::monitor::DriftDetector`]) rides on the serving hot
+        /// path. Side effects stay bit-identical to the stats-only
+        /// path; the score is a value that path already computes.
+        pub fn observe_batch_scores_only(
+            &mut self,
+            events: &[BinaryEvent],
+            scored: &mut usize,
+            on_score: &mut dyn FnMut(BinaryEvent, f64),
+        ) {
+            self.core
+                .detector
+                .observe_batch_scores_only(events, scored, on_score)
         }
 
         /// [`observe_batch_into`](Self::observe_batch_into) in **degraded

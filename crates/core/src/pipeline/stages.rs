@@ -243,7 +243,10 @@ impl FitPipeline {
         let span = self.telemetry.span("fit.calibrate");
         let threshold_span = self.telemetry.span("threshold.calibration");
         let threshold_start = Instant::now();
-        let initial = SystemState::all_off(mined.num_devices);
+        // `series.state(0)` is the state the series was derived from —
+        // all-OFF for a fresh fit, the live pre-window state for a
+        // [`Refit`](crate::pipeline::Refit) — so calibration always
+        // replays from the same origin the miner saw.
         let scores = if mined.calib_cut < mined.series.num_events() {
             training_scores(
                 &mined.dig,
@@ -255,7 +258,7 @@ impl FitPipeline {
             training_scores(
                 &mined.dig,
                 mined.series.events(),
-                &initial,
+                mined.series.state(0),
                 self.config.unseen,
             )
         };
@@ -478,6 +481,42 @@ pub struct MinedGraph {
 }
 
 impl MinedGraph {
+    /// Assembles a mined-graph artefact outside the fresh-fit stage
+    /// order — the entry point the incremental
+    /// [`Refit`](crate::pipeline::Refit) plan uses to re-enter the
+    /// pipeline at the calibration stage with a re-estimated (or
+    /// re-mined) DIG over a sliding window.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_refit(
+        num_devices: usize,
+        preprocessor: Option<FittedPreprocessor>,
+        stats: PreprocessStats,
+        started: Instant,
+        tau: usize,
+        series: StateSeries,
+        calib_cut: usize,
+        dig: Dig,
+        mining: MiningStats,
+        skeleton_ms: f64,
+        cpt_ms: f64,
+    ) -> Self {
+        MinedGraph {
+            num_devices,
+            preprocessor,
+            stats,
+            preprocess_ms: 0.0,
+            started,
+            tau,
+            tau_ms: 0.0,
+            series,
+            calib_cut,
+            dig,
+            mining,
+            skeleton_ms,
+            cpt_ms,
+        }
+    }
+
     /// The mined Device Interaction Graph.
     pub fn dig(&self) -> &Dig {
         &self.dig

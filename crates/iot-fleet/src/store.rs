@@ -327,6 +327,64 @@ impl ModelStore {
         Ok(generation)
     }
 
+    /// Drops the head of `home`'s lineage, making the previous
+    /// generation the new head — the recovery path when a refit or
+    /// rollout turns out bad. The dropped generation's blob is *not*
+    /// deleted (it may be shared; [`ModelStore::gc`] collects it once no
+    /// lineage references it). The log is rewritten with the same
+    /// temp-file → fsync → atomic-rename discipline as
+    /// [`ModelStore::commit`], and the `fleet.store.rollbacks` counter
+    /// ticks. Returns the new head.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::InvalidHome`] for an unusable name,
+    /// [`FleetError::UnknownHome`] for a home with no commits,
+    /// [`FleetError::Lineage`] when only one generation exists (there is
+    /// nothing to roll back *to*), [`FleetError::Io`] on an unwritable
+    /// log.
+    pub fn rollback(&self, home: &str) -> Result<(Generation, ModelHash), FleetError> {
+        check_home_name(home)?;
+        let lineage = self.lineage(home)?;
+        let path = self.lineage_path(home);
+        if lineage.is_empty() {
+            return Err(FleetError::UnknownHome {
+                name: home.to_string(),
+            });
+        }
+        if lineage.len() == 1 {
+            return Err(FleetError::Lineage {
+                path: path.display().to_string(),
+                reason: format!(
+                    "cannot roll back generation {}: no prior generation",
+                    lineage[0].0
+                ),
+            });
+        }
+        let kept = &lineage[..lineage.len() - 1];
+        let mut text = String::new();
+        for (gen, h) in kept {
+            text.push_str(&format!("{gen} {h}\n"));
+        }
+        let tmp = path.with_extension(format!("log.tmp.{}", std::process::id()));
+        let write = (|| -> io::Result<()> {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            file.sync_all()?;
+            fs::rename(&tmp, &path)?;
+            if let Ok(dir) = fs::File::open(path.parent().expect("lineage has a parent")) {
+                let _ = dir.sync_all();
+            }
+            Ok(())
+        })();
+        write.map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            io_err(&path, &e)
+        })?;
+        self.telemetry.counter("fleet.store.rollbacks").inc();
+        Ok(*kept.last().expect("kept is non-empty"))
+    }
+
     /// The head of `home`'s lineage — the generation and hash of the
     /// model currently serving it — or `None` for a home with no
     /// commits.
@@ -641,6 +699,42 @@ mod tests {
             vec![(1, h1), (2, h2)]
         );
         assert_eq!(scratch.store.homes().unwrap(), vec!["home-a".to_string()]);
+    }
+
+    #[test]
+    fn rollback_reverts_to_the_previous_generation() {
+        let scratch = ScratchStore::new("rollback");
+        let (m1, m2) = (fitted(0), fitted(1));
+        let h1 = scratch.store.put(&m1).unwrap();
+        let h2 = scratch.store.put(&m2).unwrap();
+        scratch.store.commit("home-a", h1).unwrap();
+        scratch.store.commit("home-a", h2).unwrap();
+        assert_eq!(scratch.store.rollback("home-a").unwrap(), (1, h1));
+        assert_eq!(scratch.store.resolve("home-a").unwrap(), Some((1, h1)));
+        // The dropped blob survives until gc() sweeps it.
+        assert!(scratch.store.get(h2).is_ok());
+        // A fresh commit after the rollback resumes numbering past the
+        // surviving head.
+        assert_eq!(scratch.store.commit("home-a", h2).unwrap(), 2);
+    }
+
+    #[test]
+    fn rollback_refuses_empty_and_single_generation_lineages() {
+        let scratch = ScratchStore::new("rollback-refuse");
+        assert!(matches!(
+            scratch.store.rollback("ghost"),
+            Err(FleetError::UnknownHome { .. })
+        ));
+        let hash = scratch.store.put(&fitted(0)).unwrap();
+        scratch.store.commit("home-a", hash).unwrap();
+        match scratch.store.rollback("home-a") {
+            Err(FleetError::Lineage { reason, .. }) => {
+                assert!(reason.contains("no prior generation"), "{reason}");
+            }
+            other => panic!("expected Lineage error, got {other:?}"),
+        }
+        // The refusal left the lineage untouched.
+        assert_eq!(scratch.store.resolve("home-a").unwrap(), Some((1, hash)));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use causaliot_core::{ConfigError, IngestPolicy};
+use causaliot_core::{ConfigError, DriftConfig, DriftSeverity, IngestPolicy};
 
 /// What [`crate::Hub::submit`] does when a shard queue is at capacity.
 ///
@@ -40,15 +40,82 @@ pub enum SubmitPolicy {
     },
 }
 
+/// A bounded exponential-backoff retry schedule, shared by every hub
+/// policy that retries failed per-home background work
+/// ([`RestorePolicy`] for quarantine restores, [`AdaptationPolicy`] for
+/// drift refits): at most `max_attempts` attempts per home, waiting
+/// `initial · 2^n` (capped at `max`) before attempt `n + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Attempts allowed per home per session (≥ 1).
+    pub max_attempts: u32,
+    /// Wait before the first retry.
+    pub initial: Duration,
+    /// Ceiling for the doubling schedule (must be ≥ `initial`).
+    pub max: Duration,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            max_attempts: 3,
+            initial: Duration::from_millis(100),
+            max: Duration::from_secs(5),
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The wait before attempt `attempt + 1` (attempts count from 0):
+    /// `initial · 2^attempt`, saturating at [`BackoffPolicy::max`].
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let doubled = self
+            .initial
+            .saturating_mul(2u32.saturating_pow(attempt.min(31)));
+        doubled.min(self.max)
+    }
+
+    /// Validates the schedule; `max_attempts_field` / `max_field` name
+    /// the owning policy's fields in the [`ConfigError`] (e.g.
+    /// `"restore_policy.backoff.max_attempts"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending field.
+    pub fn check_named(
+        &self,
+        max_attempts_field: &'static str,
+        max_field: &'static str,
+    ) -> Result<(), ConfigError> {
+        if self.max_attempts == 0 {
+            return Err(ConfigError::new(
+                max_attempts_field,
+                "must be at least 1 (omit the policy to disable retries)",
+            ));
+        }
+        if self.max < self.initial {
+            return Err(ConfigError::new(
+                max_field,
+                format!(
+                    "must be >= initial ({:?}), got {:?}",
+                    self.initial, self.max
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Automatic quarantine recovery: reload a panicked home from its last
 /// saved checkpoint.
 ///
 /// When configured, the hub's supervisor watches for quarantined homes
-/// and, after `backoff`, reloads the `causaliot-model v2` checkpoint at
-/// `from_checkpoint` (re-read on every attempt, so an operator can update
-/// it in place) and re-registers the home with a fresh monitor at an
-/// event boundary — the same machinery as [`crate::Hub::restore`]. At
-/// most `max_restores` automatic restores are attempted per home per
+/// and, on the [`BackoffPolicy`] schedule, reloads the
+/// `causaliot-model v2` checkpoint at `from_checkpoint` (re-read on
+/// every attempt, so an operator can update it in place) and
+/// re-registers the home with a fresh monitor at an event boundary — the
+/// same machinery as [`crate::Hub::restore`]. At most
+/// `backoff.max_attempts` automatic restores are attempted per home per
 /// session; a home that keeps panicking past that stays quarantined for
 /// manual intervention.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,11 +123,62 @@ pub struct RestorePolicy {
     /// Path of the checkpoint file ([`causaliot_core::FittedModel::save`]
     /// output) to restore quarantined homes from.
     pub from_checkpoint: PathBuf,
-    /// Automatic restore attempts allowed per home (manual
-    /// [`crate::Hub::restore`] calls are not counted against this).
-    pub max_restores: u32,
-    /// Wait between automatic restore attempts for one home.
-    pub backoff: Duration,
+    /// Attempt budget and wait schedule for automatic restores (manual
+    /// [`crate::Hub::restore`] calls are not counted against it).
+    pub backoff: BackoffPolicy,
+}
+
+/// The online-adaptation loop: arm per-home drift detection on the
+/// serving hot path and close the drift → refit → hot-swap cycle in the
+/// background.
+///
+/// When set on [`HubConfig::adaptation`], every registered home gets a
+/// [`causaliot_core::DriftDetector`] fed by the scores its monitor
+/// already computes, plus a sliding window of its most recent
+/// `refit_window` events. A [`causaliot_core::DriftReport`] at or above
+/// `min_severity` enqueues an incremental refit
+/// ([`causaliot_core::Refit`]) on the hub's background refitter thread
+/// (bounded queue, one in-flight refit per home, failures retried on the
+/// [`BackoffPolicy`] schedule); a successful refit is hot-swapped in at
+/// an event boundary — and, when `store` is set, first committed there
+/// as the home's next lineage generation.
+///
+/// `None` (the default) leaves every path untouched: the hub is
+/// bit-identical to one built before adaptation existed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptationPolicy {
+    /// Drift-detector tuning (window, check cadence, triggers).
+    pub drift: DriftConfig,
+    /// Minimum report severity that triggers a refit (reports below it
+    /// are still counted in `hub.drift.reports` and the
+    /// [`crate::HomeReport`]).
+    pub min_severity: DriftSeverity,
+    /// Sliding refit window per home, in events (≥ 10 — the pipeline's
+    /// own minimum training size).
+    pub refit_window: usize,
+    /// Bounded capacity of the refit work queue; when it is full further
+    /// requests are dropped and counted in `hub.drift.dropped` (the next
+    /// full drift window re-requests).
+    pub queue_capacity: usize,
+    /// Attempt budget and wait schedule for failed refits, per home.
+    pub backoff: BackoffPolicy,
+    /// When set, successful refits are committed to the
+    /// [`iot_fleet::ModelStore`] at this root as the home's next lineage
+    /// generation before the swap.
+    pub store: Option<PathBuf>,
+}
+
+impl Default for AdaptationPolicy {
+    fn default() -> Self {
+        AdaptationPolicy {
+            drift: DriftConfig::default(),
+            min_severity: DriftSeverity::Warning,
+            refit_window: 2048,
+            queue_capacity: 16,
+            backoff: BackoffPolicy::default(),
+            store: None,
+        }
+    }
 }
 
 /// Sizing and policy knobs for a [`crate::Hub`].
@@ -71,7 +189,7 @@ pub struct RestorePolicy {
 /// configuration through the builder's validation, clamping only the two
 /// historical sizing fields (`workers`, `queue_capacity`) for backward
 /// compatibility.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HubConfig {
     /// Number of worker threads; homes are sharded across them
     /// round-robin. Clamped to at least 1.
@@ -107,6 +225,10 @@ pub struct HubConfig {
     /// `N × homes` entries. `None` (the default) records nothing and
     /// leaves the scoring hot path untouched.
     pub flight_recorder: Option<usize>,
+    /// The online-adaptation loop: drift detection → background refit →
+    /// auto hot-swap (see [`AdaptationPolicy`]). `None` (the default)
+    /// disables it with a bit-identical hub.
+    pub adaptation: Option<AdaptationPolicy>,
 }
 
 impl Default for HubConfig {
@@ -119,6 +241,7 @@ impl Default for HubConfig {
             restore_policy: None,
             ingest: None,
             flight_recorder: None,
+            adaptation: None,
         }
     }
 }
@@ -174,17 +297,41 @@ impl HubConfig {
             }
         }
         if let Some(policy) = &self.restore_policy {
-            if policy.max_restores == 0 {
-                return Err(ConfigError::new(
-                    "restore_policy.max_restores",
-                    "must be at least 1 (omit the policy to disable auto-restore)",
-                ));
-            }
+            policy.backoff.check_named(
+                "restore_policy.backoff.max_attempts",
+                "restore_policy.backoff.max",
+            )?;
             if policy.from_checkpoint.as_os_str().is_empty() {
                 return Err(ConfigError::new(
                     "restore_policy.from_checkpoint",
                     "checkpoint path must not be empty",
                 ));
+            }
+        }
+        if let Some(policy) = &self.adaptation {
+            policy.drift.check()?;
+            policy
+                .backoff
+                .check_named("adaptation.backoff.max_attempts", "adaptation.backoff.max")?;
+            if policy.refit_window < 10 {
+                return Err(ConfigError::new(
+                    "adaptation.refit_window",
+                    "must be at least 10 events (the pipeline's minimum training size)",
+                ));
+            }
+            if policy.queue_capacity == 0 {
+                return Err(ConfigError::new(
+                    "adaptation.queue_capacity",
+                    "must be at least 1",
+                ));
+            }
+            if let Some(store) = &policy.store {
+                if store.as_os_str().is_empty() {
+                    return Err(ConfigError::new(
+                        "adaptation.store",
+                        "store root must not be empty (omit the field to skip lineage commits)",
+                    ));
+                }
             }
         }
         if let Some(policy) = &self.ingest {
@@ -252,14 +399,25 @@ impl HubConfigBuilder {
         self
     }
 
+    /// Arms the online-adaptation loop (see [`AdaptationPolicy`]).
+    pub fn adaptation(mut self, policy: AdaptationPolicy) -> Self {
+        self.config.adaptation = Some(policy);
+        self
+    }
+
     /// Finalises the configuration, validating every field:
     ///
     /// * `workers ≥ 1` and `queue_capacity ≥ 1`,
     /// * a [`SubmitPolicy::Block`] deadline is non-zero,
     /// * [`SubmitPolicy::Retry`] has `max_retries ≥ 1` and
     ///   `max_backoff ≥ initial_backoff`,
-    /// * a [`RestorePolicy`] has `max_restores ≥ 1` and a non-empty
+    /// * a [`RestorePolicy`] has a valid [`BackoffPolicy`]
+    ///   (`max_attempts ≥ 1`, `max ≥ initial`) and a non-empty
     ///   checkpoint path,
+    /// * an [`AdaptationPolicy`] has a valid
+    ///   [`DriftConfig`](causaliot_core::DriftConfig) and
+    ///   [`BackoffPolicy`], `refit_window ≥ 10`, `queue_capacity ≥ 1`,
+    ///   and a non-empty store root when one is set,
     /// * an [`IngestPolicy`] passes its own
     ///   [`check`](IngestPolicy::check),
     /// * a [`HubConfig::flight_recorder`] capacity is at least 1.
@@ -304,13 +462,32 @@ mod tests {
             })
             .restore_policy(RestorePolicy {
                 from_checkpoint: PathBuf::from("home.model"),
-                max_restores: 3,
-                backoff: Duration::from_millis(10),
+                backoff: BackoffPolicy {
+                    max_attempts: 3,
+                    initial: Duration::from_millis(10),
+                    max: Duration::from_millis(100),
+                },
             })
+            .adaptation(AdaptationPolicy::default())
             .try_build()
             .unwrap();
         assert_eq!(config.workers, 2);
         assert!(config.restore_policy.is_some());
+        assert!(config.adaptation.is_some());
+    }
+
+    #[test]
+    fn backoff_policy_doubles_and_saturates() {
+        let backoff = BackoffPolicy {
+            max_attempts: 5,
+            initial: Duration::from_millis(10),
+            max: Duration::from_millis(35),
+        };
+        assert_eq!(backoff.delay(0), Duration::from_millis(10));
+        assert_eq!(backoff.delay(1), Duration::from_millis(20));
+        assert_eq!(backoff.delay(2), Duration::from_millis(35));
+        assert_eq!(backoff.delay(31), Duration::from_millis(35));
+        assert_eq!(backoff.delay(u32::MAX), Duration::from_millis(35));
     }
 
     #[test]
@@ -346,18 +523,71 @@ mod tests {
         bad(
             HubConfig::builder().restore_policy(RestorePolicy {
                 from_checkpoint: PathBuf::from("x.model"),
-                max_restores: 0,
-                backoff: Duration::ZERO,
+                backoff: BackoffPolicy {
+                    max_attempts: 0,
+                    ..BackoffPolicy::default()
+                },
             }),
-            "restore_policy.max_restores",
+            "restore_policy.backoff.max_attempts",
+        );
+        bad(
+            HubConfig::builder().restore_policy(RestorePolicy {
+                from_checkpoint: PathBuf::from("x.model"),
+                backoff: BackoffPolicy {
+                    initial: Duration::from_millis(2),
+                    max: Duration::from_millis(1),
+                    ..BackoffPolicy::default()
+                },
+            }),
+            "restore_policy.backoff.max",
         );
         bad(
             HubConfig::builder().restore_policy(RestorePolicy {
                 from_checkpoint: PathBuf::new(),
-                max_restores: 1,
-                backoff: Duration::ZERO,
+                backoff: BackoffPolicy::default(),
             }),
             "restore_policy.from_checkpoint",
+        );
+        bad(
+            HubConfig::builder().adaptation(AdaptationPolicy {
+                refit_window: 5,
+                ..AdaptationPolicy::default()
+            }),
+            "adaptation.refit_window",
+        );
+        bad(
+            HubConfig::builder().adaptation(AdaptationPolicy {
+                queue_capacity: 0,
+                ..AdaptationPolicy::default()
+            }),
+            "adaptation.queue_capacity",
+        );
+        bad(
+            HubConfig::builder().adaptation(AdaptationPolicy {
+                backoff: BackoffPolicy {
+                    max_attempts: 0,
+                    ..BackoffPolicy::default()
+                },
+                ..AdaptationPolicy::default()
+            }),
+            "adaptation.backoff.max_attempts",
+        );
+        bad(
+            HubConfig::builder().adaptation(AdaptationPolicy {
+                drift: DriftConfig {
+                    window: 0,
+                    ..DriftConfig::default()
+                },
+                ..AdaptationPolicy::default()
+            }),
+            "drift.window",
+        );
+        bad(
+            HubConfig::builder().adaptation(AdaptationPolicy {
+                store: Some(PathBuf::new()),
+                ..AdaptationPolicy::default()
+            }),
+            "adaptation.store",
         );
         bad(
             HubConfig::builder().ingest(IngestPolicy {

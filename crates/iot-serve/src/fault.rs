@@ -48,6 +48,16 @@ pub trait FaultHook: Send + Sync {
         let _ = (shard, jobs_done);
         false
     }
+
+    /// Called on the *refitter* thread immediately before a drift-refit
+    /// pipeline runs for `home` (see [`crate::AdaptationPolicy`]). A
+    /// panic unwinding out of this call is caught exactly like a panic
+    /// inside the fit itself: the attempt is counted as a failure
+    /// (`hub.refit_failures`) and the hub keeps serving the home's
+    /// current model untouched.
+    fn before_refit(&self, home: HomeId) {
+        let _ = home;
+    }
 }
 
 /// Renders a caught panic payload as a message string.

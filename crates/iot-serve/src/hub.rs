@@ -8,7 +8,7 @@ use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use causaliot_core::{DeadLetterCounts, FittedModel, IngestGuard, Verdict};
+use causaliot_core::{DeadLetterCounts, DriftReport, FittedModel, IngestGuard, Verdict};
 use iot_fleet::{FleetError, Generation, ModelStore};
 use iot_model::BinaryEvent;
 use iot_telemetry::{
@@ -18,11 +18,13 @@ use iot_telemetry::{
 use crate::config::{HubConfig, SubmitPolicy};
 use crate::error::QuarantinedError;
 use crate::fault::{FaultHook, HomeHealth};
+use crate::refit::{spawn_refitter, RefitRequest, Refitter, RefitterGuard};
 use crate::stats::{FlightRecording, HomeStats, HomeStatsCell, HubStats, LatencyStats, ShardStats};
 use crate::supervisor::{
     flight_recording, spawn_worker, Job, ShardCore, SupervisedHome, Supervisor, SupervisorGuard,
     SupervisorShared, WorkerContext,
 };
+use crate::update::{ModelUpdate, UpdateError, UpdateOutcome, UpdateReason};
 use crate::util::lock;
 use crate::SubmitError;
 
@@ -133,6 +135,13 @@ pub struct HomeReport {
     /// each panic (the panicking event is each recording's last entry).
     /// Empty when the home never panicked or recording is off.
     pub quarantine_flights: Vec<FlightRecording>,
+    /// Every model update processed for this home, in order — the typed
+    /// audit trail of [`crate::UpdateReason`]s behind each swap, restore,
+    /// bulk swap, drift refit, and rollback.
+    pub updates: Vec<UpdateReason>,
+    /// Every drift report the home's detector emitted, in order (empty
+    /// when the hub runs without an [`crate::AdaptationPolicy`]).
+    pub drift_reports: Vec<DriftReport>,
 }
 
 struct Shard {
@@ -174,7 +183,12 @@ pub struct Hub {
     // Field order is drop order: the supervisor guard must drop (stop +
     // join the supervisor, releasing its sender clones) before the shard
     // senders, or a plain `drop(hub)` would never disconnect the workers.
+    // The refitter guard follows for the same reason — it also holds
+    // sender clones.
     supervisor: SupervisorGuard,
+    /// The adaptation loop's background refit thread (`None` without an
+    /// [`crate::AdaptationPolicy`]).
+    refitter: Option<RefitterGuard>,
     config: HubConfig,
     shards: Vec<Shard>,
     cores: Vec<Arc<ShardCore>>,
@@ -262,6 +276,18 @@ impl Hub {
         let quarantines = telemetry.counter("hub.quarantines");
         let restores = telemetry.counter("hub.restores");
         let dropped_quarantined = telemetry.counter("hub.quarantine_dropped");
+        let drift_reports = telemetry.counter("hub.drift.reports");
+        let drift_refit_requests = telemetry.counter("hub.drift.refit_requests");
+        let drift_dropped = telemetry.counter("hub.drift.dropped");
+        // The refitter's bounded request queue exists exactly when the
+        // adaptation policy does.
+        let (refit_tx, refit_rx) = match &config.adaptation {
+            Some(policy) => {
+                let (tx, rx) = sync_channel::<RefitRequest>(policy.queue_capacity);
+                (Some(tx), Some(rx))
+            }
+            None => (None, None),
+        };
         let mut shards = Vec::with_capacity(config.workers);
         let mut cores = Vec::with_capacity(config.workers);
         let mut handles = Vec::with_capacity(config.workers);
@@ -283,6 +309,11 @@ impl Hub {
                 latency_us: latency_us.clone(),
                 record_verdicts: config.record_verdicts,
                 flight_recorder: config.flight_recorder,
+                adaptation: config.adaptation.clone(),
+                refit_tx: refit_tx.clone(),
+                drift_reports: drift_reports.clone(),
+                drift_refit_requests: drift_refit_requests.clone(),
+                drift_dropped: drift_dropped.clone(),
                 telemetry: telemetry.clone(),
             };
             let core = Arc::new(ShardCore {
@@ -319,11 +350,26 @@ impl Hub {
             .name("iot-serve-supervisor".to_string())
             .spawn(move || supervisor.run())
             .expect("spawn hub supervisor");
+        let refitter = match (config.adaptation.clone(), refit_rx) {
+            (Some(policy), Some(receiver)) => Some(spawn_refitter(Refitter {
+                receiver,
+                stop: Arc::new(AtomicBool::new(false)),
+                policy,
+                senders: shards.iter().map(|s| s.sender.clone()).collect(),
+                depths: shards.iter().map(|s| Arc::clone(&s.depth)).collect(),
+                refits: telemetry.counter("hub.refits"),
+                refit_failures: telemetry.counter("hub.refit_failures"),
+                telemetry: telemetry.clone(),
+                hook,
+            })),
+            _ => None,
+        };
         Hub {
             supervisor: SupervisorGuard {
                 shared: Arc::clone(&shared),
                 handle: Some(handle),
             },
+            refitter,
             config,
             shards,
             cores,
@@ -499,6 +545,7 @@ impl Hub {
                 health,
                 guard,
                 stats,
+                model: model.clone(),
             },
         );
         HomeId(id)
@@ -593,9 +640,59 @@ impl Hub {
         })
     }
 
+    /// Applies one typed model-lifecycle update — the unified entry
+    /// point behind every way a serving model changes: rollouts
+    /// ([`ModelUpdate::Swap`]), recoveries ([`ModelUpdate::Restore`]),
+    /// fleet-wide store-head upgrades ([`ModelUpdate::BulkSwap`]), and
+    /// drift refits ([`ModelUpdate::DriftRefit`]). The historical
+    /// [`Hub::swap_model`] / [`Hub::restore`] / [`Hub::bulk_swap`]
+    /// methods are thin forwarders onto this.
+    ///
+    /// Every variant rides the affected homes' own shard queues, so each
+    /// update lands at an event boundary: events submitted before it are
+    /// judged by the old model, events after by the new one, and nothing
+    /// is dropped or reordered. The update's [`crate::UpdateReason`] is
+    /// recorded in the home's [`HomeReport::updates`] log and the
+    /// `hub.updates.<reason>` counter (and, with an
+    /// [`crate::AdaptationPolicy`] armed, as a flight-recorder marker at
+    /// the swap boundary).
+    ///
+    /// Unlike [`Hub::submit`] this blocks (briefly) instead of failing
+    /// when a shard queue is at capacity — a rollout should not be
+    /// droppable by backpressure.
+    ///
+    /// # Errors
+    ///
+    /// [`UpdateError::Submit`] for single-home updates
+    /// ([`SubmitError::UnknownHome`], [`SubmitError::Shutdown`]);
+    /// [`UpdateError::Fleet`] for bulk swaps (store resolution/load
+    /// failures, [`FleetError::Shutdown`]).
+    pub fn apply(&self, update: ModelUpdate<'_>) -> Result<UpdateOutcome, UpdateError> {
+        match update {
+            ModelUpdate::Swap { home, model } => {
+                self.replace_monitor(home, model, UpdateReason::Rollout)?;
+                self.swaps.inc();
+                Ok(UpdateOutcome::Applied)
+            }
+            ModelUpdate::Restore { home, model } => {
+                self.replace_monitor(home, model, UpdateReason::Restore)?;
+                Ok(UpdateOutcome::Applied)
+            }
+            ModelUpdate::DriftRefit { home, model } => {
+                self.replace_monitor(home, model, UpdateReason::DriftRefit)?;
+                self.swaps.inc();
+                Ok(UpdateOutcome::Applied)
+            }
+            ModelUpdate::BulkSwap { store, homes } => Ok(UpdateOutcome::BulkSwapped(
+                self.bulk_swap_inner(store, homes)?,
+            )),
+        }
+    }
+
     /// Atomically replaces `home`'s monitor with a fresh one spawned from
     /// `model` — a zero-downtime rollout of a refit (or checkpointed)
-    /// model.
+    /// model. Forwards to [`Hub::apply`] with [`ModelUpdate::Swap`]
+    /// (reason [`UpdateReason::Rollout`]).
     ///
     /// The swap is queued on the home's own shard like any other job, so
     /// it takes effect at an event boundary: every event a producer
@@ -613,22 +710,24 @@ impl Hub {
     /// not counted as a restore; use [`Hub::restore`] when recovery is
     /// the intent.
     ///
-    /// Unlike [`Hub::submit`] this blocks (briefly) instead of failing
-    /// when the shard queue is at capacity — a rollout should not be
-    /// droppable by backpressure.
-    ///
     /// # Errors
     ///
     /// [`SubmitError::UnknownHome`] for an unregistered id,
     /// [`SubmitError::Shutdown`] when the workers are gone.
+    #[inline]
     pub fn swap_model(&self, home: HomeId, model: &FittedModel) -> Result<(), SubmitError> {
-        self.replace_monitor(home, model, false)?;
-        self.swaps.inc();
-        Ok(())
+        match self.apply(ModelUpdate::Swap { home, model }) {
+            Ok(_) => Ok(()),
+            Err(UpdateError::Submit(e)) => Err(e),
+            Err(UpdateError::Fleet(_)) => {
+                unreachable!("single-home swaps fail at the submit layer")
+            }
+        }
     }
 
     /// Restores a (typically quarantined) home with a fresh monitor from
-    /// `model`, clearing its quarantine at an event boundary.
+    /// `model`, clearing its quarantine at an event boundary. Forwards to
+    /// [`Hub::apply`] with [`ModelUpdate::Restore`].
     ///
     /// Same queue semantics as [`Hub::swap_model`]; the difference is
     /// accounting: a restore increments the home's
@@ -641,15 +740,22 @@ impl Hub {
     /// # Errors
     ///
     /// Same conditions as [`Hub::swap_model`].
+    #[inline]
     pub fn restore(&self, home: HomeId, model: &FittedModel) -> Result<(), SubmitError> {
-        self.replace_monitor(home, model, true)
+        match self.apply(ModelUpdate::Restore { home, model }) {
+            Ok(_) => Ok(()),
+            Err(UpdateError::Submit(e)) => Err(e),
+            Err(UpdateError::Fleet(_)) => {
+                unreachable!("single-home restores fail at the submit layer")
+            }
+        }
     }
 
     fn replace_monitor(
         &self,
         home: HomeId,
         model: &FittedModel,
-        restore: bool,
+        reason: UpdateReason,
     ) -> Result<(), SubmitError> {
         let entry = self.entry(home)?;
         let monitor = Box::new(model.clone().into_monitor());
@@ -660,7 +766,8 @@ impl Hub {
             .send(Job::Swap {
                 home: home.0,
                 monitor,
-                restore,
+                reason,
+                model: model.clone(),
             })
             .is_err()
         {
@@ -668,6 +775,36 @@ impl Hub {
             return Err(SubmitError::Shutdown);
         }
         Ok(())
+    }
+
+    /// Reverts `home` to its *previous* lineage generation in `store` —
+    /// the escape hatch when a refit (or rollout) turns out bad. Drops
+    /// the lineage head ([`ModelStore::rollback`], counted in
+    /// `fleet.store.rollbacks`), loads the surviving head, and swaps it
+    /// in at an event boundary with reason [`UpdateReason::Rollback`].
+    /// Returns the generation now serving the home and refreshes its
+    /// `hub.home.<name>.generation` gauge.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownHome`] for an unregistered id or a home with
+    /// no lineage, [`FleetError::Lineage`] when only one generation
+    /// exists (nothing to roll back *to* — the store is left untouched),
+    /// store load failures as for [`Hub::bulk_swap`], and
+    /// [`FleetError::Shutdown`] when the workers are gone.
+    pub fn rollback(&self, store: &ModelStore, home: HomeId) -> Result<Generation, FleetError> {
+        let entry = self.entry(home).map_err(|_| FleetError::UnknownHome {
+            name: format!("home id {home}"),
+        })?;
+        let (generation, hash) = store.rollback(&entry.name)?;
+        let model = store.get(hash)?;
+        self.replace_monitor(home, &model, UpdateReason::Rollback)
+            .map_err(|_| FleetError::Shutdown)?;
+        self.swaps.inc();
+        self.telemetry
+            .gauge(&format!("hub.home.{}.generation", entry.name))
+            .set(generation);
+        Ok(generation)
     }
 
     /// Registers a whole fleet from a model store: for each name in
@@ -728,7 +865,23 @@ impl Hub {
     /// for [`Hub::bulk_load`]; [`FleetError::Shutdown`] when the
     /// workers are gone (the rollout may then be partial — the hub is
     /// shutting down anyway).
+    #[inline]
     pub fn bulk_swap(
+        &self,
+        store: &ModelStore,
+        homes: &[HomeId],
+    ) -> Result<Vec<(HomeId, Generation)>, FleetError> {
+        match self.apply(ModelUpdate::BulkSwap { store, homes }) {
+            Ok(UpdateOutcome::BulkSwapped(swapped)) => Ok(swapped),
+            Ok(_) => unreachable!("bulk swaps report BulkSwapped"),
+            Err(UpdateError::Fleet(e)) => Err(e),
+            Err(UpdateError::Submit(_)) => {
+                unreachable!("bulk swaps fail at the fleet layer")
+            }
+        }
+    }
+
+    fn bulk_swap_inner(
         &self,
         store: &ModelStore,
         homes: &[HomeId],
@@ -745,15 +898,22 @@ impl Hub {
                 });
             };
             let model = store.get(hash)?;
-            let monitor = Box::new(model.into_monitor());
-            staged.push((id, entry.shard, entry.name.clone(), generation, monitor));
+            let monitor = Box::new(model.clone().into_monitor());
+            staged.push((
+                id,
+                entry.shard,
+                entry.name.clone(),
+                generation,
+                monitor,
+                model,
+            ));
         }
         // Stage 2: release shard by shard so each queue's swap batch
         // lands contiguously; per-home ordering only needs each home's
         // swap to ride its own shard queue.
         staged.sort_by_key(|(id, shard, ..)| (*shard, id.0));
         let mut swapped = Vec::with_capacity(staged.len());
-        for (id, shard_idx, name, generation, monitor) in staged {
+        for (id, shard_idx, name, generation, monitor, model) in staged {
             let shard = &self.shards[shard_idx];
             shard.depth.fetch_add(1, Ordering::Relaxed);
             if shard
@@ -761,7 +921,8 @@ impl Hub {
                 .send(Job::Swap {
                     home: id.0,
                     monitor,
-                    restore: false,
+                    reason: UpdateReason::BulkSwap,
+                    model,
                 })
                 .is_err()
             {
@@ -824,6 +985,7 @@ impl Hub {
     pub fn shutdown(self) -> Vec<HomeReport> {
         let Hub {
             supervisor,
+            refitter,
             shards,
             cores,
             shared,
@@ -831,8 +993,10 @@ impl Hub {
         } = self;
         // 1. Stop the supervisor first: it holds sender clones that would
         //    otherwise keep the channels connected, and it must not
-        //    respawn workers while we join them.
+        //    respawn workers while we join them. Then the refitter, whose
+        //    pending swap (if any) completes against still-live shards.
         drop(supervisor);
+        drop(refitter);
         // 2. Drop the shard senders; each live worker finishes its queue
         //    and exits on disconnect.
         for shard in &shards {
@@ -870,6 +1034,8 @@ impl Hub {
                     monitor,
                     swaps: slot.swaps,
                     retired: slot.retired,
+                    updates: slot.updates,
+                    drift_reports: slot.drift.map(|d| d.reports).unwrap_or_default(),
                     panics: slot.health.panics(),
                     restores: slot.health.restores(),
                     quarantined: slot.poisoned,

@@ -41,7 +41,17 @@
 //!   boundary: in-flight events drain under the old model, later events
 //!   are judged by the new one, and nothing is dropped or reordered. The
 //!   retired monitor's session report survives in
-//!   [`HomeReport::retired`].
+//!   [`HomeReport::retired`]. Every way a serving model changes — swap,
+//!   restore, bulk swap, drift refit, rollback — funnels through the
+//!   unified [`Hub::apply`] / [`ModelUpdate`] lifecycle API.
+//! * **Online adaptation** — with an [`AdaptationPolicy`] armed, shard
+//!   workers run a per-home drift detector on the scores they already
+//!   compute; a triggered [`causaliot_core::DriftReport`] hands the
+//!   home's sliding event window to a background refitter, which
+//!   re-estimates the model incrementally ([`causaliot_core::Refit`])
+//!   and hot-swaps it in at an event boundary, stamped
+//!   [`UpdateReason::DriftRefit`]. Without a policy the hub is
+//!   bit-identical to a non-adaptive one.
 //! * **Telemetry** — wired into the `iot-telemetry` registry: per-shard
 //!   queue-depth gauges (`hub.shard.<i>.queue_depth`), per-shard event /
 //!   swap / restart counters (`hub.shard.<i>.events`, `.swaps`,
@@ -94,13 +104,18 @@ mod config;
 mod error;
 pub mod fault;
 mod hub;
+mod refit;
 mod stats;
 mod supervisor;
+mod update;
 mod util;
 
-pub use config::{HubConfig, HubConfigBuilder, RestorePolicy, SubmitPolicy};
+pub use config::{
+    AdaptationPolicy, BackoffPolicy, HubConfig, HubConfigBuilder, RestorePolicy, SubmitPolicy,
+};
 pub use error::{QuarantinedError, SubmitError};
 pub use fault::FaultHook;
 pub use hub::{BatchOutcome, HomeId, HomeReport, Hub, SUBMIT_CHUNK};
 pub use iot_telemetry::MetricsServer;
 pub use stats::{FlightEntry, FlightRecording, HomeStats, HubStats, LatencyStats, ShardStats};
+pub use update::{ModelUpdate, UpdateError, UpdateOutcome, UpdateReason};

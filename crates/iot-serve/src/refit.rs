@@ -1,0 +1,209 @@
+//! The background refitter: the adaptation loop's slow half.
+//!
+//! Shard workers detect drift on the hot path and hand a
+//! [`RefitRequest`] — the home's sliding event window plus the model it
+//! was scored under — to this module's single background thread over a
+//! bounded queue. The refitter re-estimates the model with the core
+//! pipeline's incremental [`causaliot_core::Refit`] stage (skeleton kept,
+//! CPTs and threshold re-learned; full re-mine on structural drift),
+//! optionally files the result into an [`iot_fleet::ModelStore`] as the
+//! home's next lineage generation, and closes the loop by enqueueing the
+//! swap on the home's own shard — the same event-boundary machinery every
+//! other model update rides, stamped [`UpdateReason::DriftRefit`].
+//!
+//! Failure discipline mirrors the supervisor's auto-restore: one refit
+//! runs at a time (the thread is serial, so "one in-flight refit per
+//! home" holds trivially), failed homes back off per the policy's
+//! [`crate::BackoffPolicy`] and are abandoned after `max_attempts`
+//! consecutive failures, and a panic inside the fit pipeline is caught —
+//! the hub keeps serving the old generation untouched
+//! (`hub.refit_failures` ticks, nothing else changes).
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use causaliot_core::{CausalIotError, FitPipeline, FittedModel, Refit};
+use iot_fleet::ModelStore;
+use iot_model::{BinaryEvent, SystemState};
+use iot_telemetry::{Counter, TelemetryHandle};
+
+use crate::config::AdaptationPolicy;
+use crate::fault::FaultHook;
+use crate::hub::HomeId;
+use crate::supervisor::Job;
+use crate::update::UpdateReason;
+
+/// How long the refitter blocks on an empty queue before re-checking its
+/// stop flag.
+const REFIT_POLL: Duration = Duration::from_millis(10);
+
+/// One triggered refit: everything the background thread needs to
+/// re-estimate a home's model without touching the home's shard.
+pub(crate) struct RefitRequest {
+    pub(crate) home: usize,
+    /// The home's registered name (the store lineage key).
+    pub(crate) name: String,
+    /// The shard serving the home (where the resulting swap is enqueued).
+    pub(crate) shard: usize,
+    /// The model the window was scored under (an `Arc` handle).
+    pub(crate) model: FittedModel,
+    /// The system state immediately before the first window event.
+    pub(crate) initial: SystemState,
+    /// The sliding window of recent events to re-estimate from.
+    pub(crate) events: Vec<BinaryEvent>,
+}
+
+#[derive(Default)]
+struct RefitTracker {
+    /// Consecutive failed attempts (reset to zero by a success).
+    attempts: u32,
+    last: Option<Instant>,
+}
+
+/// The background refit thread's state.
+pub(crate) struct Refitter {
+    pub(crate) receiver: Receiver<RefitRequest>,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) policy: AdaptationPolicy,
+    /// One sender per shard, for enqueueing the resulting swaps.
+    pub(crate) senders: Vec<SyncSender<Job>>,
+    /// The shards' queue-depth counters (swap enqueues are accounted
+    /// exactly like the hub's own).
+    pub(crate) depths: Vec<Arc<AtomicUsize>>,
+    /// `hub.refits` — refits completed and swapped in.
+    pub(crate) refits: Counter,
+    /// `hub.refit_failures` — refit attempts that errored or panicked.
+    pub(crate) refit_failures: Counter,
+    pub(crate) telemetry: TelemetryHandle,
+    /// The chaos seam: [`FaultHook::before_refit`] fires on this thread
+    /// right before the pipeline runs.
+    pub(crate) hook: Option<Arc<dyn FaultHook>>,
+}
+
+impl Refitter {
+    pub(crate) fn run(self) {
+        let mut trackers: BTreeMap<usize, RefitTracker> = BTreeMap::new();
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return;
+            }
+            let request = match self.receiver.recv_timeout(REFIT_POLL) {
+                Ok(request) => request,
+                Err(RecvTimeoutError::Timeout) => continue,
+                // Every worker context dropped: the hub is shutting down.
+                Err(RecvTimeoutError::Disconnected) => return,
+            };
+            self.handle(request, &mut trackers);
+        }
+    }
+
+    fn handle(&self, request: RefitRequest, trackers: &mut BTreeMap<usize, RefitTracker>) {
+        let tracker = trackers.entry(request.home).or_default();
+        if tracker.attempts >= self.policy.backoff.max_attempts {
+            // The home's refits keep failing; stop burning cycles on it.
+            // Operators can still swap or restore it by hand.
+            return;
+        }
+        if let Some(last) = tracker.last {
+            if last.elapsed() < self.policy.backoff.delay(tracker.attempts) {
+                return;
+            }
+        }
+        tracker.last = Some(Instant::now());
+        let hook = self.hook.clone();
+        let home = HomeId(request.home);
+        let model = &request.model;
+        let initial = request.initial.clone();
+        let events = request.events.clone();
+        let telemetry = self.telemetry.clone();
+        // The whole fit runs under one catch_unwind: a panic anywhere in
+        // the pipeline burns an attempt and leaves the serving hub — and
+        // the home's current generation — completely untouched.
+        let outcome: Result<Result<FittedModel, CausalIotError>, _> =
+            catch_unwind(AssertUnwindSafe(move || {
+                if let Some(hook) = hook.as_deref() {
+                    hook.before_refit(home);
+                }
+                let pipeline = FitPipeline::new(model.config().clone(), telemetry)?;
+                pipeline.resume_from(Refit::new(model, initial, events))
+            }));
+        let refitted = match outcome {
+            Ok(Ok(refitted)) => refitted,
+            Ok(Err(_)) | Err(_) => {
+                tracker.attempts += 1;
+                self.refit_failures.inc();
+                return;
+            }
+        };
+        // File the new generation. A store failure is logged by counter
+        // omission only — the swap still proceeds; the store is a record
+        // of the rollout, not a gate on it.
+        if let Some(root) = &self.policy.store {
+            if let Ok(generation) =
+                ModelStore::open_with_telemetry(root, &self.telemetry).and_then(|store| {
+                    let hash = store.put(&refitted)?;
+                    store.commit(&request.name, hash)
+                })
+            {
+                self.telemetry
+                    .gauge(&format!("hub.home.{}.generation", request.name))
+                    .set(generation);
+            }
+        }
+        // Close the loop: the swap rides the home's own shard queue, so
+        // it lands at an event boundary like any other model update.
+        let monitor = Box::new(refitted.clone().into_monitor());
+        self.depths[request.shard].fetch_add(1, Ordering::Relaxed);
+        if self.senders[request.shard]
+            .send(Job::Swap {
+                home: request.home,
+                monitor,
+                reason: UpdateReason::DriftRefit,
+                model: refitted,
+            })
+            .is_err()
+        {
+            self.depths[request.shard].fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        tracker.attempts = 0;
+        self.refits.inc();
+    }
+}
+
+/// Owns the refitter thread; dropping it stops and joins the thread.
+///
+/// Declared on [`crate::Hub`] *after* the supervisor guard and *before*
+/// the shard senders, so a plain `drop(hub)` stops the refitter (whose
+/// sender clones would otherwise keep the shard channels connected)
+/// before the workers are disconnected.
+pub(crate) struct RefitterGuard {
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for RefitterGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+pub(crate) fn spawn_refitter(refitter: Refitter) -> RefitterGuard {
+    let stop = Arc::clone(&refitter.stop);
+    let handle = std::thread::Builder::new()
+        .name("iot-serve-refitter".to_string())
+        .spawn(move || refitter.run())
+        .expect("spawn hub refitter");
+    RefitterGuard {
+        stop,
+        handle: Some(handle),
+    }
+}

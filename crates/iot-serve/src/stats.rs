@@ -181,6 +181,12 @@ pub struct FlightEntry {
     /// Whether this event's scoring panicked — a panicked entry is always
     /// the *last* entry of the recording captured at quarantine time.
     pub panicked: bool,
+    /// `Some` marks a model-update boundary rather than a scored event:
+    /// a sentinel entry (zero event, `NaN` score, no verdict) recorded
+    /// when the home's monitor is replaced, carrying *why*. Only written
+    /// when the hub runs with an [`crate::AdaptationPolicy`] — without
+    /// one, recordings are bit-identical to previous releases.
+    pub update: Option<crate::UpdateReason>,
 }
 
 /// A flight-recorder dump: the last N events a home scored, oldest first.

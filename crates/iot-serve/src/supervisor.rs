@@ -38,14 +38,19 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use causaliot_core::{FittedModel, IngestGuard, OwnedMonitor, StaleSet, Verdict};
-use iot_model::BinaryEvent;
+use causaliot_core::{
+    DriftConfig, DriftDetector, DriftReport, FittedModel, IngestGuard, OwnedMonitor, StaleSet,
+    Verdict,
+};
+use iot_model::{BinaryEvent, DeviceId, SystemState, Timestamp};
 use iot_telemetry::{Counter, FlightRecorder, Gauge, Histogram, MonitorReport, TelemetryHandle};
 
-use crate::config::RestorePolicy;
+use crate::config::{AdaptationPolicy, RestorePolicy};
 use crate::fault::{panic_message, FaultHook, HomeHealth};
 use crate::hub::HomeId;
+use crate::refit::RefitRequest;
 use crate::stats::{FlightEntry, FlightRecording, HomeStatsCell};
+use crate::update::UpdateReason;
 use crate::util::lock;
 
 /// How often the supervisor checks worker liveness and quarantines.
@@ -81,6 +86,9 @@ pub(crate) enum Job {
         health: Arc<HomeHealth>,
         guard: Option<Box<IngestGuard<BinaryEvent>>>,
         stats: Arc<HomeStatsCell>,
+        /// The model behind the monitor — an `Arc` handle, kept to seed
+        /// the home's drift detector when adaptation is armed.
+        model: FittedModel,
     },
     Event {
         home: usize,
@@ -95,7 +103,12 @@ pub(crate) enum Job {
     Swap {
         home: usize,
         monitor: Box<OwnedMonitor>,
-        restore: bool,
+        /// Why the monitor is being replaced — recorded in the slot's
+        /// update log, the `hub.updates.<reason>` counter, and (when
+        /// adaptation is armed) the flight recorder's swap marker.
+        reason: UpdateReason,
+        /// The model behind the new monitor, for re-seeding drift state.
+        model: FittedModel,
     },
     /// Dumps `home`'s flight recorder at an event boundary (`None` when
     /// recording is disabled).
@@ -136,6 +149,106 @@ pub(crate) struct HomeSlot {
     /// panic — the evidence survives even if the home is later restored
     /// and the live ring moves on.
     pub(crate) quarantine_flights: Vec<FlightRecording>,
+    /// Per-home drift-detection state. `None` when the hub runs without
+    /// an [`crate::AdaptationPolicy`] — in that case every scoring path
+    /// is bit-identical to an adaptation-free build.
+    pub(crate) drift: Option<DriftState>,
+    /// Every model update processed for this home, in order (the typed
+    /// audit trail behind [`crate::HomeReport::updates`]).
+    pub(crate) updates: Vec<UpdateReason>,
+}
+
+/// One home's drift-detection state: the detector itself plus the
+/// sliding event window a triggered refit re-estimates from.
+pub(crate) struct DriftState {
+    pub(crate) detector: DriftDetector,
+    /// The model currently serving the home (refits resume from it).
+    pub(crate) model: FittedModel,
+    /// The most recent scored events. Logically capped at the policy's
+    /// `refit_window`, physically allowed up to twice that: batches are
+    /// appended with one `extend_from_slice` and the excess is folded
+    /// into `base_state` in amortised compactions, so the serving hot
+    /// path never pays a per-event ring rotation. Use
+    /// [`DriftState::refit_snapshot`] for the exactly-capped view.
+    pub(crate) window: Vec<BinaryEvent>,
+    /// The system state immediately before `window[0]` — the refit's
+    /// initial state, advanced as old events are evicted.
+    pub(crate) base_state: SystemState,
+    /// Every drift report emitted for the home, in order (drained into
+    /// [`crate::HomeReport::drift_reports`] at shutdown).
+    pub(crate) reports: Vec<DriftReport>,
+}
+
+impl DriftState {
+    /// Seeds drift state from the model now serving the home. `None`
+    /// when the model cannot back a detector (config validation already
+    /// passed at hub build, so this is effectively infallible).
+    pub(crate) fn new(model: FittedModel, config: &DriftConfig) -> Option<DriftState> {
+        let detector = model.drift_detector(config.clone()).ok()?;
+        let base_state = model.final_train_state().clone();
+        Some(DriftState {
+            detector,
+            model,
+            window: Vec::new(),
+            base_state,
+            reports: Vec::new(),
+        })
+    }
+
+    /// Folds an evicted event into the pre-window base state so the
+    /// window's starting state stays exact.
+    #[inline]
+    fn fold(base_state: &mut SystemState, evicted: BinaryEvent) {
+        if evicted.device.index() < base_state.len() {
+            base_state.set(evicted.device, evicted.value);
+        }
+    }
+
+    /// Appends a batch of scored events to the sliding window.
+    ///
+    /// The append is a single `extend_from_slice`; eviction is deferred
+    /// until the buffer exceeds twice the cap, then the oldest half is
+    /// folded into `base_state` in one pass and the tail shifted down.
+    /// Amortised over `cap` events, that is O(1) per event with no
+    /// per-event branches on the scoring hot path.
+    fn push_batch(&mut self, events: &[BinaryEvent], cap: usize) {
+        let cap = cap.max(1);
+        if events.len() >= cap {
+            // The batch alone fills the window: everything currently
+            // buffered plus the batch's own prefix becomes base state.
+            for evicted in self.window.drain(..) {
+                Self::fold(&mut self.base_state, evicted);
+            }
+            let (folded, keep) = events.split_at(events.len() - cap);
+            for &evicted in folded {
+                Self::fold(&mut self.base_state, evicted);
+            }
+            self.window.extend_from_slice(keep);
+            return;
+        }
+        self.window.extend_from_slice(events);
+        if self.window.len() > 2 * cap {
+            let excess = self.window.len() - cap;
+            for &evicted in &self.window[..excess] {
+                Self::fold(&mut self.base_state, evicted);
+            }
+            self.window.copy_within(excess.., 0);
+            self.window.truncate(cap);
+        }
+    }
+
+    /// The exactly-capped refit inputs: the initial system state and the
+    /// most recent (at most) `cap` events. Folds any amortisation slack
+    /// into a cloned base state; the live buffer is untouched.
+    fn refit_snapshot(&self, cap: usize) -> (SystemState, Vec<BinaryEvent>) {
+        let cap = cap.max(1);
+        let excess = self.window.len().saturating_sub(cap);
+        let mut initial = self.base_state.clone();
+        for &evicted in &self.window[..excess] {
+            Self::fold(&mut initial, evicted);
+        }
+        (initial, self.window[excess..].to_vec())
+    }
 }
 
 /// Snapshots `slot`'s flight recorder into a dump (`None` when recording
@@ -167,6 +280,20 @@ pub(crate) struct WorkerContext {
     /// Flight-recorder capacity for homes registered on this shard
     /// ([`crate::HubConfig::flight_recorder`]).
     pub(crate) flight_recorder: Option<usize>,
+    /// The hub's adaptation policy. `None` (the default) leaves every
+    /// scoring path untouched — bit-identical to an adaptation-free hub.
+    pub(crate) adaptation: Option<AdaptationPolicy>,
+    /// The background refitter's bounded request queue (present exactly
+    /// when `adaptation` is).
+    pub(crate) refit_tx: Option<SyncSender<RefitRequest>>,
+    /// `hub.drift.reports` — drift reports emitted across the fleet.
+    pub(crate) drift_reports: Counter,
+    /// `hub.drift.refit_requests` — reports that crossed the severity
+    /// floor and were accepted onto the refitter queue.
+    pub(crate) drift_refit_requests: Counter,
+    /// `hub.drift.dropped` — triggered refits dropped because the
+    /// refitter queue was full (backpressure, never a stall).
+    pub(crate) drift_dropped: Counter,
     /// For per-job spans (`hub.event` / `hub.batch`); a disabled handle
     /// reduces each span to one `Option` check.
     pub(crate) telemetry: TelemetryHandle,
@@ -196,7 +323,13 @@ impl ShardCore {
                 health,
                 guard,
                 stats,
+                model,
             } => {
+                let drift = self
+                    .context
+                    .adaptation
+                    .as_ref()
+                    .and_then(|policy| DriftState::new(model, &policy.drift));
                 lock(&self.homes).insert(
                     home,
                     HomeSlot {
@@ -213,6 +346,8 @@ impl ShardCore {
                         stats,
                         recorder: self.context.flight_recorder.map(FlightRecorder::new),
                         quarantine_flights: Vec::new(),
+                        drift,
+                        updates: Vec::new(),
                     },
                 );
             }
@@ -259,7 +394,8 @@ impl ShardCore {
             Job::Swap {
                 home,
                 monitor,
-                restore,
+                reason,
+                model,
             } => {
                 let mut homes = lock(&self.homes);
                 if let Some(slot) = homes.get_mut(&home) {
@@ -270,7 +406,43 @@ impl ShardCore {
                     let report =
                         catch_unwind(AssertUnwindSafe(|| old.report())).unwrap_or_default();
                     slot.retired.push(report);
-                    if restore {
+                    slot.updates.push(reason);
+                    self.context
+                        .telemetry
+                        .counter(&format!("hub.updates.{reason}"))
+                        .inc();
+                    if let Some(policy) = &self.context.adaptation {
+                        // Mark the swap boundary in the flight recorder: a
+                        // sentinel entry (zero event, NaN score, no
+                        // verdict) carrying the update reason, so a dump
+                        // shows exactly which verdicts each model owns.
+                        if let Some(ring) = slot.recorder.as_mut() {
+                            ring.record(FlightEntry {
+                                seq: slot.seq,
+                                event: BinaryEvent::new(
+                                    Timestamp::from_secs(0),
+                                    DeviceId::from_index(0),
+                                    false,
+                                ),
+                                score: f64::NAN,
+                                verdict: None,
+                                panicked: false,
+                                update: Some(reason),
+                            });
+                        }
+                        // Re-seed drift state from the incoming model: the
+                        // retired model's calibration baseline no longer
+                        // describes the serving monitor, and the window
+                        // restarts from the new model's training state. The
+                        // report log is the home's drift *history* and
+                        // survives the swap.
+                        let mut next = DriftState::new(model, &policy.drift);
+                        if let (Some(next), Some(prev)) = (next.as_mut(), slot.drift.take()) {
+                            next.reports = prev.reports;
+                        }
+                        slot.drift = next;
+                    }
+                    if reason.is_restore() {
                         slot.poisoned = false;
                         slot.health.note_restore();
                         self.context.restores.inc();
@@ -456,18 +628,49 @@ impl ShardCore {
         // boundaries, and all monitor state stay bit-identical; only the
         // allocations disappear.
         let discard_verdicts = !self.context.record_verdicts && slot.recorder.is_none();
+        let mut drift_pending: Vec<DriftReport> = Vec::new();
         let (outcome, scored) = if discard_verdicts {
             let mut count = 0usize;
-            let monitor = &mut slot.monitor;
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                monitor.observe_batch_stats_only(events, &mut count)
-            }));
+            let HomeSlot { monitor, drift, .. } = slot;
+            let outcome = match drift.as_mut() {
+                // Adaptation off: the historical stats-only path,
+                // bit-identical to an adaptation-free hub.
+                None => catch_unwind(AssertUnwindSafe(|| {
+                    monitor.observe_batch_stats_only(events, &mut count)
+                })),
+                // Adaptation armed: the same allocation-free path, with
+                // each score surfaced to the drift detector as it is
+                // produced — no verdict is ever materialised.
+                Some(drift) => {
+                    let detector = &mut drift.detector;
+                    let reports = &mut drift_pending;
+                    catch_unwind(AssertUnwindSafe(|| {
+                        monitor.observe_batch_scores_only(
+                            events,
+                            &mut count,
+                            &mut |event, score| {
+                                if let Some(report) = detector.record(event.device, score) {
+                                    reports.push(report);
+                                }
+                            },
+                        )
+                    }))
+                }
+            };
             (outcome, count)
         } else {
             let outcome = {
                 let monitor = &mut slot.monitor;
                 catch_unwind(AssertUnwindSafe(|| monitor.observe_batch_into(events, out)))
             };
+            // Verdicts were materialised anyway; feed their scores.
+            if let Some(drift) = slot.drift.as_mut() {
+                for (event, verdict) in events.iter().zip(out.iter()) {
+                    if let Some(report) = drift.detector.record(event.device, verdict.score) {
+                        drift_pending.push(report);
+                    }
+                }
+            }
             (outcome, out.len())
         };
         // Scored events consumed one seq each; a panicking event consumed
@@ -480,7 +683,16 @@ impl ShardCore {
             slot.stats
                 .events_scored
                 .fetch_add(scored as u64, Ordering::Relaxed);
+            if let Some(drift) = slot.drift.as_mut() {
+                let cap = self
+                    .context
+                    .adaptation
+                    .as_ref()
+                    .map_or(0, |p| p.refit_window);
+                drift.push_batch(&events[..scored], cap);
+            }
         }
+        self.note_drift(home, slot, drift_pending);
         if let Some(ring) = slot.recorder.as_mut() {
             for (i, (event, verdict)) in events.iter().zip(out.iter()).enumerate() {
                 ring.record(FlightEntry {
@@ -489,6 +701,7 @@ impl ShardCore {
                     score: verdict.score,
                     verdict: Some(verdict.clone()),
                     panicked: false,
+                    update: None,
                 });
             }
         }
@@ -510,6 +723,7 @@ impl ShardCore {
                         score: f64::NAN,
                         verdict: None,
                         panicked: true,
+                        update: None,
                     });
                 }
                 if let Some(recording) = flight_recording(home, slot) {
@@ -526,6 +740,50 @@ impl ShardCore {
             }
         }
         scored
+    }
+
+    /// Files freshly emitted drift reports for one home: counts them,
+    /// logs them into the slot, and — when a report crosses the policy's
+    /// severity floor — hands the home's sliding window to the background
+    /// refitter. The handoff is a `try_send` on a bounded queue: a full
+    /// refitter never stalls scoring, the trigger is simply dropped and
+    /// counted (`hub.drift.dropped`). Either way the detector is reset,
+    /// so the next report reflects only post-trigger events.
+    fn note_drift(&self, home: usize, slot: &mut HomeSlot, reports: Vec<DriftReport>) {
+        if reports.is_empty() {
+            return;
+        }
+        let Some(policy) = &self.context.adaptation else {
+            return;
+        };
+        let name = slot.name.clone();
+        let Some(drift) = slot.drift.as_mut() else {
+            return;
+        };
+        for report in reports {
+            self.context.drift_reports.inc();
+            let triggered = report.severity >= policy.min_severity;
+            drift.reports.push(report);
+            if !triggered {
+                continue;
+            }
+            if let Some(tx) = &self.context.refit_tx {
+                let (initial, events) = drift.refit_snapshot(policy.refit_window);
+                let request = RefitRequest {
+                    home,
+                    name: name.clone(),
+                    shard: self.context.shard,
+                    model: drift.model.clone(),
+                    initial,
+                    events,
+                };
+                match tx.try_send(request) {
+                    Ok(()) => self.context.drift_refit_requests.inc(),
+                    Err(_) => self.context.drift_dropped.inc(),
+                }
+            }
+            drift.detector.reset();
+        }
     }
 
     /// Runs a job's events through `slot`'s ingestion guard (when one is
@@ -641,7 +899,21 @@ impl ShardCore {
                         score: verdict.score,
                         verdict: Some(verdict.clone()),
                         panicked: false,
+                        update: None,
                     });
+                }
+                if let Some(drift) = slot.drift.as_mut() {
+                    let mut pending = Vec::new();
+                    if let Some(report) = drift.detector.record(event.device, verdict.score) {
+                        pending.push(report);
+                    }
+                    let cap = self
+                        .context
+                        .adaptation
+                        .as_ref()
+                        .map_or(0, |p| p.refit_window);
+                    drift.push_batch(&[event], cap);
+                    self.note_drift(home, slot, pending);
                 }
                 if self.context.record_verdicts {
                     slot.verdicts.push(verdict);
@@ -664,6 +936,7 @@ impl ShardCore {
                         score: f64::NAN,
                         verdict: None,
                         panicked: true,
+                        update: None,
                     });
                 }
                 if let Some(recording) = flight_recording(home, slot) {
@@ -846,11 +1119,11 @@ impl Supervisor {
                 continue;
             }
             let tracker = trackers.entry(entry.home).or_default();
-            if tracker.attempts >= policy.max_restores {
+            if tracker.attempts >= policy.backoff.max_attempts {
                 continue;
             }
             if let Some(last) = tracker.last {
-                if last.elapsed() < policy.backoff {
+                if last.elapsed() < policy.backoff.delay(tracker.attempts) {
                     continue;
                 }
             }
@@ -866,7 +1139,7 @@ impl Supervisor {
                 tracker.attempts += 1;
                 continue;
             };
-            let monitor = Box::new(model.into_monitor());
+            let monitor = Box::new(model.clone().into_monitor());
             let core = &self.cores[entry.shard];
             core.context.depth.fetch_add(1, Ordering::Relaxed);
             // Never a blocking send here: if this shard's worker just died
@@ -875,7 +1148,8 @@ impl Supervisor {
             match self.senders[entry.shard].try_send(Job::Swap {
                 home: entry.home,
                 monitor,
-                restore: true,
+                reason: UpdateReason::AutoRestore,
+                model,
             }) {
                 Ok(()) => {
                     tracker.attempts += 1;

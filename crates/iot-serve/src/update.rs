@@ -1,0 +1,205 @@
+//! The unified model-lifecycle API: one [`crate::Hub::apply`] entry
+//! point for every way a serving model can change.
+//!
+//! Historically the hub grew one method per lifecycle transition —
+//! [`crate::Hub::swap_model`], [`crate::Hub::restore`],
+//! [`crate::Hub::bulk_swap`] — and the adaptation loop would have added
+//! more. [`ModelUpdate`] folds them into a single typed request, and
+//! [`UpdateReason`] records *why* a home's monitor was replaced: in the
+//! `hub.updates.<reason>` counters, in the per-home flight recorder at
+//! the swap boundary, and in [`crate::HomeReport::updates`] at shutdown.
+//! The historical methods survive as `#[inline]` forwarders, so no caller
+//! changes.
+
+use std::fmt;
+
+use causaliot_core::FittedModel;
+use iot_fleet::{FleetError, Generation, ModelStore};
+
+use crate::error::SubmitError;
+use crate::hub::HomeId;
+
+/// Why a home's monitor was replaced.
+///
+/// Every model update that lands on a shard is stamped with a reason,
+/// visible in three places: the `hub.updates.<reason>` telemetry
+/// counters, the per-home flight recorder (the swap-boundary entry's
+/// [`crate::FlightEntry::update`]), and the end-of-session
+/// [`crate::HomeReport::updates`] log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum UpdateReason {
+    /// A plain operator rollout ([`crate::Hub::swap_model`] or
+    /// [`ModelUpdate::Swap`]).
+    Rollout,
+    /// A manual recovery ([`crate::Hub::restore`] or
+    /// [`ModelUpdate::Restore`]).
+    Restore,
+    /// The supervisor's automatic [`crate::RestorePolicy`] recovery from
+    /// a checkpoint.
+    AutoRestore,
+    /// A fleet-wide store-head rollout ([`crate::Hub::bulk_swap`] or
+    /// [`ModelUpdate::BulkSwap`]).
+    BulkSwap,
+    /// The adaptation loop's background refit after drift detection
+    /// ([`crate::AdaptationPolicy`]), or a manual
+    /// [`ModelUpdate::DriftRefit`].
+    DriftRefit,
+    /// A reversion to the previous lineage generation
+    /// ([`crate::Hub::rollback`]).
+    Rollback,
+}
+
+impl UpdateReason {
+    /// The reason's telemetry suffix: the update counter is
+    /// `hub.updates.<as_str()>`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            UpdateReason::Rollout => "rollout",
+            UpdateReason::Restore => "restore",
+            UpdateReason::AutoRestore => "auto_restore",
+            UpdateReason::BulkSwap => "bulk_swap",
+            UpdateReason::DriftRefit => "drift_refit",
+            UpdateReason::Rollback => "rollback",
+        }
+    }
+
+    /// Whether this reason clears a quarantine *as a restore* (counted in
+    /// [`crate::HomeReport::restores`] rather than swaps).
+    pub(crate) fn is_restore(&self) -> bool {
+        matches!(self, UpdateReason::Restore | UpdateReason::AutoRestore)
+    }
+}
+
+impl fmt::Display for UpdateReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed model-lifecycle request for [`crate::Hub::apply`].
+///
+/// All variants share the hub's event-boundary swap machinery: each
+/// affected home's replacement monitor rides its own shard queue, so
+/// events submitted before the update are judged by the old model, events
+/// after by the new one, and nothing is dropped or reordered.
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub enum ModelUpdate<'a> {
+    /// Replace `home`'s monitor with one spawned from `model` — the plain
+    /// rollout, recorded as [`UpdateReason::Rollout`].
+    Swap {
+        /// The home to update.
+        home: HomeId,
+        /// The replacement model.
+        model: &'a FittedModel,
+    },
+    /// Replace `home`'s monitor and clear its quarantine as a *restore*
+    /// (counted in [`crate::HomeReport::restores`]), recorded as
+    /// [`UpdateReason::Restore`].
+    Restore {
+        /// The home to restore.
+        home: HomeId,
+        /// The replacement model.
+        model: &'a FittedModel,
+    },
+    /// Upgrade every listed home to its current lineage head in `store`
+    /// — staged all-or-nothing, recorded as [`UpdateReason::BulkSwap`]
+    /// per home.
+    BulkSwap {
+        /// The model store holding each home's lineage.
+        store: &'a ModelStore,
+        /// The homes to upgrade.
+        homes: &'a [HomeId],
+    },
+    /// Install a drift-refit model for `home`, recorded as
+    /// [`UpdateReason::DriftRefit`] — the entry point the background
+    /// refitter uses, also available to operators driving refits by hand.
+    DriftRefit {
+        /// The home the refit belongs to.
+        home: HomeId,
+        /// The refitted model.
+        model: &'a FittedModel,
+    },
+}
+
+/// What [`crate::Hub::apply`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UpdateOutcome {
+    /// A single-home update was enqueued on the home's shard.
+    Applied,
+    /// A bulk swap was released; `(id, generation)` per home swapped, in
+    /// registration order.
+    BulkSwapped(Vec<(HomeId, Generation)>),
+}
+
+/// Why [`crate::Hub::apply`] failed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum UpdateError {
+    /// A single-home update failed at the submission layer.
+    Submit(SubmitError),
+    /// A bulk swap failed at the fleet/store layer.
+    Fleet(FleetError),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::Submit(e) => write!(f, "model update rejected: {e}"),
+            UpdateError::Fleet(e) => write!(f, "bulk model update failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UpdateError::Submit(e) => Some(e),
+            UpdateError::Fleet(e) => Some(e),
+        }
+    }
+}
+
+impl From<SubmitError> for UpdateError {
+    fn from(e: SubmitError) -> Self {
+        UpdateError::Submit(e)
+    }
+}
+
+impl From<FleetError> for UpdateError {
+    fn from(e: FleetError) -> Self {
+        UpdateError::Fleet(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasons_render_as_counter_suffixes() {
+        for (reason, s) in [
+            (UpdateReason::Rollout, "rollout"),
+            (UpdateReason::Restore, "restore"),
+            (UpdateReason::AutoRestore, "auto_restore"),
+            (UpdateReason::BulkSwap, "bulk_swap"),
+            (UpdateReason::DriftRefit, "drift_refit"),
+            (UpdateReason::Rollback, "rollback"),
+        ] {
+            assert_eq!(reason.as_str(), s);
+            assert_eq!(reason.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn only_restore_reasons_count_as_restores() {
+        assert!(UpdateReason::Restore.is_restore());
+        assert!(UpdateReason::AutoRestore.is_restore());
+        assert!(!UpdateReason::Rollout.is_restore());
+        assert!(!UpdateReason::BulkSwap.is_restore());
+        assert!(!UpdateReason::DriftRefit.is_restore());
+        assert!(!UpdateReason::Rollback.is_restore());
+    }
+}

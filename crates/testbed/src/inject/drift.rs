@@ -1,0 +1,179 @@
+//! Behavioural drift: seeded distribution shift for the adaptation seam.
+//!
+//! Where [`super::contextual`] and [`super::collective`] inject *point*
+//! anomalies the monitor should alarm on, this module injects *sustained*
+//! drift: from a chosen onset onwards, selected devices stop obeying the
+//! interaction structure the model was fitted to (their values are flipped
+//! with a seeded probability), so the score distribution shifts for good
+//! rather than spiking. This is the workload a
+//! `iot_serve::AdaptationPolicy` exists for — the drift detector should
+//! fire, the background refitter should re-estimate on the drifted window,
+//! and post-swap verdicts should recover.
+//!
+//! Injection is deterministic from the caller's rng and the ground truth
+//! (onset position, flip count) is returned so a test or benchmark can
+//! assert detection latency against it.
+
+use iot_model::{BinaryEvent, DeviceId};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// What sustained drift to apply to a clean binary event stream.
+#[derive(Debug, Clone)]
+pub struct DriftSpec {
+    /// Where the drift begins, as a fraction of the stream (`0.5` =
+    /// half-way through). Clamped to `[0, 1]`.
+    pub onset: f64,
+    /// Probability that a post-onset event from a drifting device has its
+    /// value flipped. `1.0` inverts the device's behaviour outright;
+    /// values around `0.5` decouple it from its causes entirely.
+    pub flip_probability: f64,
+    /// The devices whose behaviour drifts. Empty means *every* device
+    /// drifts — whole-home regime change.
+    pub devices: Vec<DeviceId>,
+}
+
+impl Default for DriftSpec {
+    fn default() -> Self {
+        DriftSpec {
+            onset: 0.5,
+            flip_probability: 0.6,
+            devices: Vec::new(),
+        }
+    }
+}
+
+/// The drifted stream plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct DriftOutcome {
+    /// The stream with post-onset flips applied. Timestamps and event
+    /// order are untouched — drift is behavioural, not temporal.
+    pub events: Vec<BinaryEvent>,
+    /// The index of the first event at or after the onset fraction
+    /// (`events.len()` when `onset >= 1`). Detection latency is measured
+    /// from here.
+    pub onset_index: usize,
+    /// How many event values were actually flipped.
+    pub flipped: usize,
+}
+
+/// Applies sustained behavioural drift to a timestamp-sorted stream,
+/// deterministically from `rng`.
+///
+/// Every event before the onset is passed through untouched; from the
+/// onset onwards, each event whose device is in [`DriftSpec::devices`]
+/// (or every event, when the list is empty) has its boolean value flipped
+/// with [`DriftSpec::flip_probability`]. The rng is consulted once per
+/// *eligible* post-onset event, so the same seed always flips the same
+/// positions regardless of how the caller batches the stream.
+pub fn inject_drift(events: &[BinaryEvent], spec: &DriftSpec, rng: &mut StdRng) -> DriftOutcome {
+    let onset = spec.onset.clamp(0.0, 1.0);
+    let onset_index = ((events.len() as f64) * onset).floor() as usize;
+    let onset_index = onset_index.min(events.len());
+    let mut out = events.to_vec();
+    let mut flipped = 0usize;
+    for event in &mut out[onset_index..] {
+        let eligible = spec.devices.is_empty() || spec.devices.contains(&event.device);
+        if !eligible {
+            continue;
+        }
+        if rng.gen_bool(spec.flip_probability.clamp(0.0, 1.0)) {
+            event.value = !event.value;
+            flipped += 1;
+        }
+    }
+    DriftOutcome {
+        events: out,
+        onset_index,
+        flipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iot_model::Timestamp;
+    use rand::SeedableRng;
+
+    fn stream(len: usize) -> Vec<BinaryEvent> {
+        (0..len)
+            .map(|i| {
+                BinaryEvent::new(
+                    Timestamp::from_secs(i as u64 * 10),
+                    DeviceId::from_index(i % 3),
+                    i % 2 == 0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pre_onset_events_are_untouched() {
+        let clean = stream(100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = inject_drift(&clean, &DriftSpec::default(), &mut rng);
+        assert_eq!(out.onset_index, 50);
+        assert_eq!(&out.events[..50], &clean[..50]);
+        assert!(out.flipped > 0);
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let clean = stream(200);
+        let spec = DriftSpec::default();
+        let a = inject_drift(&clean, &spec, &mut StdRng::seed_from_u64(3));
+        let b = inject_drift(&clean, &spec, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.flipped, b.flipped);
+    }
+
+    #[test]
+    fn device_selection_limits_the_blast_radius() {
+        let clean = stream(100);
+        let target = DeviceId::from_index(1);
+        let spec = DriftSpec {
+            onset: 0.0,
+            flip_probability: 1.0,
+            devices: vec![target],
+        };
+        let out = inject_drift(&clean, &spec, &mut StdRng::seed_from_u64(1));
+        for (before, after) in clean.iter().zip(&out.events) {
+            if before.device == target {
+                assert_eq!(after.value, !before.value);
+            } else {
+                assert_eq!(after.value, before.value);
+            }
+        }
+    }
+
+    #[test]
+    fn full_onset_flips_nothing_and_zero_onset_everything_eligible() {
+        let clean = stream(40);
+        let spec = DriftSpec {
+            onset: 1.0,
+            flip_probability: 1.0,
+            devices: Vec::new(),
+        };
+        let out = inject_drift(&clean, &spec, &mut StdRng::seed_from_u64(1));
+        assert_eq!(out.flipped, 0);
+        assert_eq!(out.events, clean);
+
+        let spec = DriftSpec {
+            onset: 0.0,
+            flip_probability: 1.0,
+            devices: Vec::new(),
+        };
+        let out = inject_drift(&clean, &spec, &mut StdRng::seed_from_u64(1));
+        assert_eq!(out.flipped, 40);
+    }
+
+    #[test]
+    fn timestamps_and_order_survive() {
+        let clean = stream(64);
+        let out = inject_drift(&clean, &DriftSpec::default(), &mut StdRng::seed_from_u64(9));
+        for (before, after) in clean.iter().zip(&out.events) {
+            assert_eq!(before.time, after.time);
+            assert_eq!(before.device, after.device);
+        }
+    }
+}

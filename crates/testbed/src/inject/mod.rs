@@ -10,7 +10,10 @@
 //!   seam,
 //! * [`chaos`] — stream-level chaos injection (in-window jitter, late
 //!   stragglers, clock regressions, unknown devices) for the ingestion
-//!   guard seam.
+//!   guard seam,
+//! * [`drift`] — seeded sustained distribution shift (post-onset value
+//!   flips) for the online-adaptation seam (drift detection →
+//!   incremental refit → auto hot-swap).
 //!
 //! Injectors operate on the *preprocessed* (binary) testing event stream,
 //! exactly where the paper "inject\[s\] the corresponding anomalous system
@@ -21,11 +24,13 @@
 pub mod chaos;
 pub mod collective;
 pub mod contextual;
+pub mod drift;
 pub mod faults;
 
 pub use chaos::{corrupt_stream, ChaosCounts, ChaosOutcome, ChaosSpec};
 pub use collective::{inject_collective, CollectiveCase, CollectiveInjection, InjectedChain};
 pub use contextual::{inject_contextual, ContextualCase, ContextualInjection};
+pub use drift::{inject_drift, DriftOutcome, DriftSpec};
 pub use faults::{FaultSchedule, INJECTED_PANIC};
 
 use rand::rngs::StdRng;

@@ -2,11 +2,16 @@
 # Regression gate for the hot path: runs fresh exp_complexity and
 # exp_hub_throughput binaries (release mode) and checks them two ways —
 #
-#   1. Pinned ns/event budgets. Three metrics each carry an absolute
+#   1. Pinned ns/event budgets. Four metrics each carry an absolute
 #      per-event budget, independent of the baseline file:
-#        monitor_single_ns   worst "ns/event" point of exp_complexity
-#        monitor_batched_ns  worst "ns/event batched" point of exp_complexity
-#        hub_batched_ns      1e9 / hub4_batched_eps of exp_hub_throughput
+#        monitor_single_ns    worst "ns/event" point of exp_complexity
+#        monitor_batched_ns   worst "ns/event batched" point of exp_complexity
+#        hub_batched_ns       1e9 / hub4_batched_eps of exp_hub_throughput
+#        hub_drift_armed_ns   1e9 / hub4_batched_drift_eps — the hub with
+#                             an armed-but-quiet AdaptationPolicy; its
+#                             budget is hub_batched_ns * 1.05, i.e. drift
+#                             detection may add at most 5% to the hub
+#                             batched ns/event budget
 #      A metric over budget fails the gate by name.
 #   2. Relative throughput vs the committed baseline — every `*_eps`
 #      figure of the newest results/BENCH_*.json must stay above
@@ -50,7 +55,7 @@ if [[ -z "$baseline" || ! -s "$baseline" ]]; then
     exit 0
 fi
 echo "baseline: $baseline (tolerance ${tolerance}%, up to ${attempts} attempt(s))"
-echo "budgets:  monitor_single ${monitor_ns} ns, monitor_batched ${monitor_batch_ns} ns, hub_batched ${hub_batch_ns} ns"
+echo "budgets:  monitor_single ${monitor_ns} ns, monitor_batched ${monitor_batch_ns} ns, hub_batched ${hub_batch_ns} ns, hub_drift_armed ${hub_batch_ns} ns + 5%"
 
 compare() {
     python3 - "$baseline" "$tolerance" "$monitor_ns" "$monitor_batch_ns" "$hub_batch_ns" <<'EOF'
@@ -62,6 +67,9 @@ budgets = {
     "monitor_single_ns": float(sys.argv[3]),
     "monitor_batched_ns": float(sys.argv[4]),
     "hub_batched_ns": float(sys.argv[5]),
+    # Drift detection armed but never firing may cost at most 5% on top
+    # of the hub batched per-event budget.
+    "hub_drift_armed_ns": float(sys.argv[5]) * 1.05,
 }
 
 def last_report(path, kind_key, kind_value):
@@ -105,6 +113,14 @@ pinned = {
     "hub_batched_ns": (
         1e9 / fresh_hub["hub4_batched_eps"],
         1e9 / base_hub["hub4_batched_eps"] if "hub4_batched_eps" in base_hub else None,
+    ),
+    "hub_drift_armed_ns": (
+        1e9 / fresh_hub["hub4_batched_drift_eps"]
+        if "hub4_batched_drift_eps" in fresh_hub
+        else None,
+        1e9 / base_hub["hub4_batched_drift_eps"]
+        if "hub4_batched_drift_eps" in base_hub
+        else None,
     ),
 }
 failed = []

@@ -2,14 +2,16 @@
 # Appends one performance-trajectory entry to results/BENCH_<date>.json.
 #
 # Runs the Section V-D complexity experiment, the serving-hub
-# throughput experiment, and the fleet fit→store→serve experiment in
-# release mode; each binary writes one compact JSON object
+# throughput experiment, the fleet fit→store→serve experiment, and the
+# drifting-fleet online-adaptation experiment in release mode; each
+# binary writes one compact JSON object
 # (results/telemetry/exp_complexity.json,
 # results/telemetry/exp_hub_throughput.json — the latter includes the
-# SubmitPolicy::Retry backpressure run — and
-# results/telemetry/exp_fleet.json), which this script appends — one
-# line per report per invocation — to a dated JSONL file, so repeated
-# runs on one day accumulate into a comparable series.
+# SubmitPolicy::Retry backpressure and armed-drift runs —
+# results/telemetry/exp_fleet.json, and
+# results/telemetry/exp_adaptation.json), which this script appends —
+# one line per report per invocation — to a dated JSONL file, so
+# repeated runs on one day accumulate into a comparable series.
 #
 # Usage: scripts/bench_snapshot.sh
 
@@ -19,11 +21,13 @@ cd "$(dirname "$0")/.."
 cargo run --release --offline -p causaliot-bench --bin exp_complexity
 cargo run --release --offline -p causaliot-bench --bin exp_hub_throughput
 cargo run --release --offline -p causaliot-bench --bin exp_fleet
+cargo run --release --offline -p causaliot-bench --bin exp_adaptation
 
 out="results/BENCH_$(date +%F).json"
 for report in results/telemetry/exp_complexity.json \
               results/telemetry/exp_hub_throughput.json \
-              results/telemetry/exp_fleet.json; do
+              results/telemetry/exp_fleet.json \
+              results/telemetry/exp_adaptation.json; do
     if [[ ! -s "$report" ]]; then
         echo "error: $report missing or empty" >&2
         exit 1

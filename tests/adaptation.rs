@@ -1,0 +1,431 @@
+//! End-to-end suite for the online-adaptation loop: a seeded drifted
+//! stream must trigger drift detection, a background incremental refit,
+//! and an automatic hot-swap at an event boundary — with post-swap
+//! verdicts measurably recovering versus a never-refit control; a panic
+//! injected mid-refit must leave the hub serving the old generation
+//! bit-identically; and an armed-but-quiet adaptation policy must not
+//! perturb a single verdict.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use causaliot::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const INJECTED_REFIT_PANIC: &str = "injected refit panic";
+
+/// Silences the panic-hook output of the *injected* refit panic while
+/// delegating everything else.
+fn install_quiet_panic_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            if !message.is_some_and(|m| m.contains(INJECTED_REFIT_PANIC)) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// A two-device home with a strong PE_room → S_lamp coupling: the lamp
+/// copies the presence sensor within the mining window, so the fitted
+/// model scores regime-conforming lamp events low and regime-violating
+/// ones high.
+fn coupled_model(seed: u64) -> (DeviceRegistry, FittedModel) {
+    let mut reg = DeviceRegistry::new();
+    let pe = reg
+        .add("PE_room", Attribute::PresenceSensor, Room::new("room"))
+        .unwrap();
+    let lamp = reg
+        .add("S_lamp", Attribute::Switch, Room::new("room"))
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    for i in 0..500u64 {
+        let t = i * 60;
+        let on = rng.gen_bool(0.5);
+        events.push(BinaryEvent::new(Timestamp::from_secs(t), pe, on));
+        events.push(BinaryEvent::new(Timestamp::from_secs(t + 15), lamp, on));
+    }
+    let model = CausalIot::builder()
+        .tau(2)
+        .build()
+        .fit_binary(&reg, &events)
+        .unwrap();
+    (reg, model)
+}
+
+/// A serving stream in either the training regime (`inverted = false`:
+/// lamp copies the sensor) or a drifted one (`inverted = true`: lamp
+/// contradicts it — a sustained regime change, not a point anomaly).
+/// Timestamps continue from `*t`, which is advanced for chaining chunks.
+fn regime_stream(
+    reg: &DeviceRegistry,
+    seed: u64,
+    t: &mut u64,
+    pairs: usize,
+    inverted: bool,
+) -> Vec<BinaryEvent> {
+    let pe = reg.id_of("PE_room").unwrap();
+    let lamp = reg.id_of("S_lamp").unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::with_capacity(pairs * 2);
+    for _ in 0..pairs {
+        let on = rng.gen_bool(0.5);
+        events.push(BinaryEvent::new(Timestamp::from_secs(*t), pe, on));
+        events.push(BinaryEvent::new(
+            Timestamp::from_secs(*t + 15),
+            lamp,
+            if inverted { !on } else { on },
+        ));
+        *t += 60;
+    }
+    events
+}
+
+fn sequential_verdicts(model: &FittedModel, stream: &[BinaryEvent]) -> Vec<Verdict> {
+    let mut monitor = model.clone().into_monitor();
+    stream.iter().map(|e| monitor.observe(*e)).collect()
+}
+
+fn fast_policy() -> AdaptationPolicy {
+    AdaptationPolicy {
+        drift: DriftConfig {
+            window: 64,
+            check_every: 16,
+            min_device_samples: 4,
+            ..DriftConfig::default()
+        },
+        min_severity: DriftSeverity::Warning,
+        refit_window: 768,
+        queue_capacity: 16,
+        backoff: BackoffPolicy {
+            max_attempts: 5,
+            initial: Duration::from_millis(1),
+            max: Duration::from_millis(8),
+        },
+        store: None,
+    }
+}
+
+fn mean_score(verdicts: &[Verdict]) -> f64 {
+    verdicts.iter().map(|v| v.score).sum::<f64>() / verdicts.len().max(1) as f64
+}
+
+/// The tentpole scenario: sustained drift → detection → background
+/// incremental refit → auto hot-swap, with no dropped or reordered
+/// events and measurable verdict recovery versus never refitting.
+#[test]
+fn drift_triggers_refit_and_post_swap_verdicts_recover() {
+    let (reg, model) = coupled_model(11);
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut hub = Hub::with_telemetry(
+        HubConfig {
+            workers: 2,
+            record_verdicts: true,
+            flight_recorder: Some(4096),
+            adaptation: Some(fast_policy()),
+            ..HubConfig::default()
+        },
+        &telemetry,
+    );
+    let home = hub.register("home", &model);
+
+    let mut t = 1_000_000u64;
+    let mut submitted: Vec<BinaryEvent> = Vec::new();
+
+    // Phase 1: the training regime — no drift, no refit.
+    let pre = regime_stream(&reg, 1, &mut t, 64, false);
+    assert!(hub.submit_batch(home, &pre).unwrap().is_complete());
+    submitted.extend_from_slice(&pre);
+    hub.drain();
+    assert_eq!(telemetry.counter("hub.refits").get(), 0);
+
+    // Phase 2: the regime inverts. Feed drifted chunks until the
+    // detector fires and the background refit lands.
+    let refits = telemetry.counter("hub.refits");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut chunk_seed = 100u64;
+    while refits.get() == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "no refit within 30s: drift.reports={} refit_requests={} failures={}",
+            telemetry.counter("hub.drift.reports").get(),
+            telemetry.counter("hub.drift.refit_requests").get(),
+            telemetry.counter("hub.refit_failures").get(),
+        );
+        let chunk = regime_stream(&reg, chunk_seed, &mut t, 32, true);
+        chunk_seed += 1;
+        assert!(hub.submit_batch(home, &chunk).unwrap().is_complete());
+        submitted.extend_from_slice(&chunk);
+        hub.drain();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(telemetry.counter("hub.drift.reports").get() > 0);
+    assert!(telemetry.counter("hub.drift.refit_requests").get() > 0);
+
+    // Let the swap (already queued by the refitter) land, then verify
+    // the flight recorder marked the boundary.
+    hub.drain();
+    let flight = hub.dump_home(home).unwrap().expect("flight recorder armed");
+    assert!(
+        flight
+            .entries
+            .iter()
+            .any(|e| e.update == Some(UpdateReason::DriftRefit)),
+        "no DriftRefit boundary marker in the flight recording"
+    );
+
+    // Phase 3: the tail, still in the inverted regime — judged by the
+    // refitted model.
+    let tail = regime_stream(&reg, 999, &mut t, 128, true);
+    assert!(hub.submit_batch(home, &tail).unwrap().is_complete());
+    submitted.extend_from_slice(&tail);
+
+    let reports = hub.shutdown();
+    let report = &reports[0];
+
+    // No dropped or reordered events: every submitted event was scored,
+    // in order (verdict count == submission count; the never-refit
+    // control below scores the identical sequence).
+    assert_eq!(report.verdicts.len(), submitted.len());
+    assert!(report.updates.contains(&UpdateReason::DriftRefit));
+    assert!(!report.drift_reports.is_empty());
+    assert!(report
+        .drift_reports
+        .iter()
+        .all(|r| r.severity >= DriftSeverity::Warning));
+
+    // Verdict recovery: over the tail, the adapted hub must score the
+    // new regime measurably lower than the never-refit control.
+    let control = sequential_verdicts(&model, &submitted);
+    let n = tail.len();
+    let adapted_tail = mean_score(&report.verdicts[submitted.len() - n..]);
+    let control_tail = mean_score(&control[submitted.len() - n..]);
+    assert!(
+        adapted_tail < control_tail - 0.05,
+        "no measurable recovery: adapted tail mean {adapted_tail:.3} vs control {control_tail:.3}"
+    );
+}
+
+/// A panic injected mid-refit must burn the attempt and nothing else:
+/// the hub keeps serving the old generation, and every verdict stays
+/// bit-identical to a hub that never adapts.
+#[test]
+fn panic_mid_refit_leaves_old_generation_serving() {
+    install_quiet_panic_hook();
+
+    struct PanicBeforeRefit;
+    impl FaultHook for PanicBeforeRefit {
+        fn before_refit(&self, _home: HomeId) {
+            panic!("{INJECTED_REFIT_PANIC}");
+        }
+    }
+
+    let (reg, model) = coupled_model(13);
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut policy = fast_policy();
+    policy.backoff = BackoffPolicy {
+        max_attempts: 2,
+        initial: Duration::from_millis(1),
+        max: Duration::from_millis(2),
+    };
+    let mut hub = Hub::with_fault_hook(
+        HubConfig {
+            workers: 1,
+            record_verdicts: true,
+            adaptation: Some(policy),
+            ..HubConfig::default()
+        },
+        &telemetry,
+        Arc::new(PanicBeforeRefit),
+    );
+    let home = hub.register("home", &model);
+
+    let mut t = 1_000_000u64;
+    let mut submitted: Vec<BinaryEvent> = Vec::new();
+    let failures = telemetry.counter("hub.refit_failures");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut chunk_seed = 300u64;
+    while failures.get() == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "no refit attempt within 30s: drift.reports={}",
+            telemetry.counter("hub.drift.reports").get(),
+        );
+        let chunk = regime_stream(&reg, chunk_seed, &mut t, 32, true);
+        chunk_seed += 1;
+        assert!(hub.submit_batch(home, &chunk).unwrap().is_complete());
+        submitted.extend_from_slice(&chunk);
+        hub.drain();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The hub must still be serving — the old generation, untouched.
+    assert!(!hub.is_quarantined(home));
+    let post = regime_stream(&reg, 301, &mut t, 32, true);
+    assert!(hub.submit_batch(home, &post).unwrap().is_complete());
+    submitted.extend_from_slice(&post);
+
+    let reports = hub.shutdown();
+    let report = &reports[0];
+    assert_eq!(telemetry.counter("hub.refits").get(), 0);
+    assert!(!report.updates.contains(&UpdateReason::DriftRefit));
+    // Bit-identical to never adapting: the detector rides scores the
+    // monitor already computes, and the failed refit swapped nothing.
+    let control = sequential_verdicts(&model, &submitted);
+    assert_eq!(report.verdicts, control);
+}
+
+/// Armed but quiet: on a stream matching the training regime the
+/// adaptation loop must not fire and must not perturb a single verdict.
+#[test]
+fn armed_adaptation_is_verdict_identical_on_undrifted_streams() {
+    let (reg, model) = coupled_model(17);
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut hub = Hub::with_telemetry(
+        HubConfig {
+            workers: 2,
+            record_verdicts: true,
+            adaptation: Some(AdaptationPolicy::default()),
+            ..HubConfig::default()
+        },
+        &telemetry,
+    );
+    let home = hub.register("home", &model);
+    let mut t = 1_000_000u64;
+    let stream = regime_stream(&reg, 5, &mut t, 300, false);
+    assert!(hub.submit_batch(home, &stream).unwrap().is_complete());
+    let reports = hub.shutdown();
+    assert_eq!(telemetry.counter("hub.refits").get(), 0);
+    assert_eq!(reports[0].verdicts, sequential_verdicts(&model, &stream));
+    assert!(reports[0].updates.is_empty());
+}
+
+/// `Hub::rollback` reverts a home to its previous lineage generation
+/// through the same event-boundary swap path, stamped `Rollback`.
+#[test]
+fn rollback_reverts_to_the_previous_generation() {
+    let (reg, model_v1) = coupled_model(19);
+    let (_, model_v2) = coupled_model(23);
+    let dir = std::env::temp_dir().join(format!(
+        "causaliot_adaptation_rollback_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let store = ModelStore::open_with_telemetry(&dir, &telemetry).unwrap();
+    let h1 = store.put(&model_v1).unwrap();
+    assert_eq!(store.commit("home", h1).unwrap(), 1);
+    let h2 = store.put(&model_v2).unwrap();
+    assert_eq!(store.commit("home", h2).unwrap(), 2);
+    let mut hub = Hub::with_telemetry(
+        HubConfig {
+            workers: 1,
+            record_verdicts: true,
+            ..HubConfig::default()
+        },
+        &telemetry,
+    );
+    let home = hub.register("home", &model_v2);
+    let generation = hub.rollback(&store, home).unwrap();
+    assert_eq!(generation, 1);
+    assert_eq!(telemetry.counter("fleet.store.rollbacks").get(), 1);
+
+    // The rolled-back model (v1) now judges the stream.
+    let mut t = 1_000_000u64;
+    let stream = regime_stream(&reg, 7, &mut t, 64, false);
+    assert!(hub.submit_batch(home, &stream).unwrap().is_complete());
+    let reports = hub.shutdown();
+    assert!(reports[0].updates.contains(&UpdateReason::Rollback));
+    assert_eq!(reports[0].verdicts, sequential_verdicts(&model_v1, &stream));
+
+    // A second rollback has nowhere to go.
+    assert!(matches!(
+        ModelStore::open(&dir).unwrap().rollback("home"),
+        Err(FleetError::Lineage { .. })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The unified lifecycle entry point: every `ModelUpdate` variant lands
+/// through `Hub::apply`, and the legacy methods are pure forwarders.
+#[test]
+fn apply_routes_every_update_variant() {
+    let (reg, model_a) = coupled_model(29);
+    let (_, model_b) = coupled_model(31);
+    let telemetry = TelemetryHandle::with_noop_sink();
+    let mut hub = Hub::with_telemetry(
+        HubConfig {
+            workers: 1,
+            record_verdicts: false,
+            ..HubConfig::default()
+        },
+        &telemetry,
+    );
+    let home = hub.register("home", &model_a);
+
+    assert!(matches!(
+        hub.apply(ModelUpdate::Swap {
+            home,
+            model: &model_b
+        })
+        .unwrap(),
+        UpdateOutcome::Applied
+    ));
+    assert!(matches!(
+        hub.apply(ModelUpdate::Restore {
+            home,
+            model: &model_a
+        })
+        .unwrap(),
+        UpdateOutcome::Applied
+    ));
+    assert!(matches!(
+        hub.apply(ModelUpdate::DriftRefit {
+            home,
+            model: &model_b
+        })
+        .unwrap(),
+        UpdateOutcome::Applied
+    ));
+
+    let dir =
+        std::env::temp_dir().join(format!("causaliot_adaptation_apply_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ModelStore::open(&dir).unwrap();
+    let hash = store.put(&model_a).unwrap();
+    store.commit("home", hash).unwrap();
+    let outcome = hub
+        .apply(ModelUpdate::BulkSwap {
+            store: &store,
+            homes: &[home],
+        })
+        .unwrap();
+    match outcome {
+        UpdateOutcome::BulkSwapped(swapped) => assert_eq!(swapped, vec![(home, 1)]),
+        other => panic!("expected BulkSwapped, got {other:?}"),
+    }
+
+    let mut t = 1_000_000u64;
+    let stream = regime_stream(&reg, 3, &mut t, 16, false);
+    assert!(hub.submit_batch(home, &stream).unwrap().is_complete());
+    let reports = hub.shutdown();
+    assert_eq!(
+        reports[0].updates,
+        vec![
+            UpdateReason::Rollout,
+            UpdateReason::Restore,
+            UpdateReason::DriftRefit,
+            UpdateReason::BulkSwap
+        ]
+    );
+    assert_eq!(reports[0].restores, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

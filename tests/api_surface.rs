@@ -90,6 +90,19 @@ fn prelude_resolves_the_workhorse_types() {
         _: Observation<'_>,
         _: &ObserveCtx<'_>,
         _: BatchOutcome,
+        _: &AdaptationPolicy,
+        _: &BackoffPolicy,
+        _: ModelUpdate<'_>,
+        _: UpdateReason,
+        _: &UpdateOutcome,
+        _: &UpdateError,
+        _: &DriftConfig,
+        _: &DriftDetector,
+        _: &DriftReport,
+        _: DriftSeverity,
+        _: &DriftSignal,
+        _: &Refit,
+        _: &ModelStore,
     ) {
     }
     let _ = TauChoice::default();
@@ -159,4 +172,77 @@ fn observation_api_signatures_are_pinned() {
         rejected_at: None,
     };
     assert!(outcome.is_complete());
+}
+
+#[test]
+// The whole point is pinning the exact (complex) signatures verbatim.
+#[allow(clippy::type_complexity)]
+fn model_lifecycle_api_signatures_are_pinned() {
+    use causaliot::fleet::{FleetError, Generation, ModelHash, ModelStore};
+    use causaliot::FittedModel;
+    use iot_serve::{
+        HomeId, Hub, ModelUpdate, SubmitError, UpdateError, UpdateOutcome, UpdateReason,
+    };
+
+    // The unified lifecycle entry point every model change routes
+    // through...
+    let _apply: fn(&Hub, ModelUpdate<'_>) -> Result<UpdateOutcome, UpdateError> = Hub::apply;
+    // ...and the historical methods, kept as `#[inline]` forwarders.
+    let _swap: fn(&Hub, HomeId, &FittedModel) -> Result<(), SubmitError> = Hub::swap_model;
+    let _restore: fn(&Hub, HomeId, &FittedModel) -> Result<(), SubmitError> = Hub::restore;
+    let _bulk: fn(&Hub, &ModelStore, &[HomeId]) -> Result<Vec<(HomeId, Generation)>, FleetError> =
+        Hub::bulk_swap;
+    // Rollback reverts a home to its prior lineage generation through
+    // the same swap path.
+    let _rollback: fn(&Hub, &ModelStore, HomeId) -> Result<Generation, FleetError> = Hub::rollback;
+    let _store_rollback: fn(&ModelStore, &str) -> Result<(Generation, ModelHash), FleetError> =
+        ModelStore::rollback;
+
+    // Every update variant is constructible with borrowed models (a
+    // swap must not force a deep copy at the call site)...
+    fn _variants<'a>(
+        home: HomeId,
+        model: &'a FittedModel,
+        store: &'a ModelStore,
+        homes: &'a [HomeId],
+    ) -> [ModelUpdate<'a>; 4] {
+        [
+            ModelUpdate::Swap { home, model },
+            ModelUpdate::Restore { home, model },
+            ModelUpdate::DriftRefit { home, model },
+            ModelUpdate::BulkSwap { store, homes },
+        ]
+    }
+    // ...and reasons render as stable telemetry counter suffixes.
+    assert_eq!(UpdateReason::Rollout.as_str(), "rollout");
+    assert_eq!(UpdateReason::Restore.as_str(), "restore");
+    assert_eq!(UpdateReason::AutoRestore.as_str(), "auto_restore");
+    assert_eq!(UpdateReason::BulkSwap.as_str(), "bulk_swap");
+    assert_eq!(UpdateReason::DriftRefit.as_str(), "drift_refit");
+    assert_eq!(UpdateReason::Rollback.as_str(), "rollback");
+}
+
+#[test]
+fn backoff_policy_is_shared_between_restore_and_adaptation() {
+    use iot_serve::{AdaptationPolicy, BackoffPolicy, RestorePolicy};
+    use std::time::Duration;
+
+    // One validated backoff vocabulary for both recovery loops.
+    let backoff = BackoffPolicy {
+        max_attempts: 3,
+        initial: Duration::from_millis(50),
+        max: Duration::from_secs(5),
+    };
+    let _restore = RestorePolicy {
+        from_checkpoint: std::path::PathBuf::from("/tmp/model"),
+        backoff,
+    };
+    let _adapt = AdaptationPolicy {
+        backoff,
+        ..AdaptationPolicy::default()
+    };
+    // Doubling, capped.
+    assert_eq!(backoff.delay(0), Duration::from_millis(50));
+    assert_eq!(backoff.delay(1), Duration::from_millis(100));
+    assert_eq!(backoff.delay(10), Duration::from_secs(5));
 }

@@ -11,7 +11,9 @@ use std::time::{Duration, Instant};
 
 use causaliot::{CausalIot, FittedModel, Verdict};
 use iot_model::{Attribute, BinaryEvent, DeviceId, DeviceRegistry, Room, Timestamp};
-use iot_serve::{FaultHook, Hub, HubConfig, RestorePolicy, SubmitError, SubmitPolicy};
+use iot_serve::{
+    BackoffPolicy, FaultHook, Hub, HubConfig, RestorePolicy, SubmitError, SubmitPolicy,
+};
 use iot_telemetry::TelemetryHandle;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use testbed::inject::{FaultSchedule, INJECTED_PANIC};
@@ -246,8 +248,11 @@ fn restore_policy_auto_restores_from_checkpoint() {
             .workers(1)
             .restore_policy(RestorePolicy {
                 from_checkpoint: checkpoint.clone(),
-                max_restores: 3,
-                backoff: Duration::from_millis(1),
+                backoff: BackoffPolicy {
+                    max_attempts: 3,
+                    initial: Duration::from_millis(1),
+                    max: Duration::from_millis(4),
+                },
             })
             .try_build()
             .unwrap(),

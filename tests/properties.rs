@@ -712,3 +712,67 @@ fn observe_batch_matches_sequential_for_any_split() {
         );
     }
 }
+
+/// Refitting an undrifted model on the very window it was fitted from is
+/// a *fixed point*: the refitted model is byte-identical (same CPT
+/// counts, same threshold bits), hence verdict-identical on any probe
+/// stream — for arbitrary homes and configurations.
+#[test]
+fn refit_on_training_window_is_fixed_point() {
+    use causaliot::{FitPipeline, Refit};
+
+    let mut rng = StdRng::seed_from_u64(0x5EF17);
+    for case in 0..30 {
+        let devices = rng.gen_range(3usize..=5);
+        let len = rng.gen_range(40usize..160);
+        let events: Vec<BinaryEvent> = (0..len)
+            .map(|i| {
+                BinaryEvent::new(
+                    Timestamp::from_secs(i as u64 * rng.gen_range(10..90)),
+                    DeviceId::from_index(rng.gen_range(0..devices)),
+                    rng.gen_bool(0.5),
+                )
+            })
+            .collect();
+        let config = random_config(&mut rng);
+        let reg = binary_registry(devices);
+        let model = causaliot::CausalIot::with_config(config.clone())
+            .fit_binary(&reg, &events)
+            .unwrap_or_else(|e| panic!("case {case}: fit failed: {e}"));
+
+        let pipeline = FitPipeline::new(
+            model.config().clone(),
+            iot_telemetry::TelemetryHandle::disabled(),
+        )
+        .unwrap_or_else(|e| panic!("case {case}: pipeline: {e}"));
+        let refit = Refit::new(&model, SystemState::all_off(devices), events.clone());
+        let refitted = pipeline
+            .resume_from(refit)
+            .unwrap_or_else(|e| panic!("case {case}: refit failed: {e}"));
+
+        assert_eq!(
+            refitted.save(),
+            model.save(),
+            "case {case}: refit on the training window must be a fixed point"
+        );
+        // And therefore verdict-identical on a fresh probe stream.
+        let probe: Vec<BinaryEvent> = (0..32)
+            .map(|i| {
+                BinaryEvent::new(
+                    Timestamp::from_secs(1_000_000 + i * 30),
+                    DeviceId::from_index(rng.gen_range(0..devices)),
+                    rng.gen_bool(0.5),
+                )
+            })
+            .collect();
+        let mut old_mon = model.clone().into_monitor();
+        let mut new_mon = refitted.into_monitor();
+        for (i, event) in probe.iter().enumerate() {
+            assert_eq!(
+                old_mon.observe(*event),
+                new_mon.observe(*event),
+                "case {case}: verdict {i} diverged"
+            );
+        }
+    }
+}
