@@ -12,11 +12,14 @@
 //! delegating backpressure to the hub is visible. The direct sequential
 //! [`causaliot::OwnedMonitor`] rate (no hub at all) is also reported for
 //! context, as is `available_parallelism` so the numbers can be read
-//! against the hardware they were measured on. A final run repeats the
-//! production configuration with an armed-but-quiet
-//! [`iot_serve::AdaptationPolicy`] to price drift detection on the hot
-//! path (`hub4_batched_drift_eps`, gated at <= 5% overhead by
-//! `scripts/bench_compare.sh`).
+//! against the hardware they were measured on. Two final runs repeat the
+//! production configuration with optional subsystems armed to price them
+//! on the hot path: an armed-but-quiet [`iot_serve::AdaptationPolicy`]
+//! (`hub4_batched_drift_eps`, gated at <= 5% overhead by
+//! `scripts/bench_compare.sh`) and an armed [`iot_serve::DurabilityConfig`]
+//! writing every scored event to the per-home WAL with default group
+//! commit (`hub4_batched_wal_eps`, gated at <= 2x the unarmed batched
+//! budget).
 
 use std::num::NonZeroUsize;
 use std::time::{Duration, Instant};
@@ -24,7 +27,7 @@ use std::time::{Duration, Instant};
 use causaliot::{CausalIot, DriftConfig, FittedModel};
 use causaliot_bench::telemetry_out;
 use iot_model::{Attribute, BinaryEvent, DeviceRegistry, Room, Timestamp};
-use iot_serve::{AdaptationPolicy, Hub, HubConfig, SubmitError, SubmitPolicy};
+use iot_serve::{AdaptationPolicy, DurabilityConfig, Hub, HubConfig, SubmitError, SubmitPolicy};
 use iot_telemetry::json::JsonValue;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -131,6 +134,7 @@ fn hub_eps(
     batch: usize,
     policy: SubmitPolicy,
     adaptation: Option<AdaptationPolicy>,
+    durability: Option<DurabilityConfig>,
 ) -> f64 {
     let spin_on_full = matches!(policy, SubmitPolicy::FailFast);
     let mut builder = HubConfig::builder()
@@ -140,6 +144,9 @@ fn hub_eps(
         .submit_policy(policy);
     if let Some(adaptation) = adaptation {
         builder = builder.adaptation(adaptation);
+    }
+    if let Some(durability) = durability {
+        builder = builder.durability(durability);
     }
     let config = builder.try_build().expect("bench hub config must validate");
     let mut hub = Hub::new(config);
@@ -226,16 +233,32 @@ fn main() {
     const RUNS: usize = 3;
     let direct = best_of(RUNS, || direct_sequential_eps(&model, &streams));
     let hub1_per_event = best_of(RUNS, || {
-        hub_eps(&model, &streams, 1, 1, SubmitPolicy::FailFast, None)
+        hub_eps(&model, &streams, 1, 1, SubmitPolicy::FailFast, None, None)
     });
     let hub2_batched = best_of(RUNS, || {
-        hub_eps(&model, &streams, 2, BATCH, SubmitPolicy::FailFast, None)
+        hub_eps(
+            &model,
+            &streams,
+            2,
+            BATCH,
+            SubmitPolicy::FailFast,
+            None,
+            None,
+        )
     });
     let hub4_batched = best_of(RUNS, || {
-        hub_eps(&model, &streams, 4, BATCH, SubmitPolicy::FailFast, None)
+        hub_eps(
+            &model,
+            &streams,
+            4,
+            BATCH,
+            SubmitPolicy::FailFast,
+            None,
+            None,
+        )
     });
     let hub4_retry = best_of(RUNS, || {
-        hub_eps(&model, &streams, 4, BATCH, retry_policy(), None)
+        hub_eps(&model, &streams, 4, BATCH, retry_policy(), None, None)
     });
     let hub4_drift = best_of(RUNS, || {
         hub_eps(
@@ -245,10 +268,42 @@ fn main() {
             BATCH,
             SubmitPolicy::FailFast,
             Some(quiet_adaptation()),
+            None,
         )
     });
+    // WAL armed: every scored event framed, CRC'd, and appended. The
+    // group commit is throughput-tuned (fsync every 32k events / 250 ms,
+    // snapshot well past the run) so the measurement isolates the
+    // per-event append cost — framing, CRC, the write syscalls, the
+    // durability bookkeeping. The *default* home-scale cadence (fsync
+    // every 64 events / 5 ms) is sized for real smart-home event rates
+    // (~Hz); at this bench's tens of millions of events/sec it would
+    // price the fixed ~100 us fsync, not the WAL.
+    let wal_root = std::env::temp_dir().join(format!("causaliot-bench-wal-{}", std::process::id()));
+    let wal_config = || iot_serve::DurabilityConfig {
+        policy: iot_serve::DurabilityPolicy::Interval {
+            events: 32_768,
+            max_delay: Duration::from_millis(250),
+        },
+        snapshot_every: 1 << 20,
+        ..DurabilityConfig::at(&wal_root)
+    };
+    let hub4_wal = best_of(RUNS, || {
+        let _ = std::fs::remove_dir_all(&wal_root);
+        hub_eps(
+            &model,
+            &streams,
+            4,
+            BATCH,
+            SubmitPolicy::FailFast,
+            None,
+            Some(wal_config()),
+        )
+    });
+    let _ = std::fs::remove_dir_all(&wal_root);
     let speedup = hub4_batched / hub1_per_event;
     let drift_overhead = hub4_batched / hub4_drift;
+    let wal_overhead = hub4_batched / hub4_wal;
 
     println!("available_parallelism        {parallelism}");
     println!("direct sequential            {direct:>12.0} events/s");
@@ -257,8 +312,10 @@ fn main() {
     println!("hub 4 workers, batch={BATCH}     {hub4_batched:>12.0} events/s");
     println!("hub 4 workers, batch={BATCH}, retry policy  {hub4_retry:>12.0} events/s");
     println!("hub 4 workers, batch={BATCH}, drift armed   {hub4_drift:>12.0} events/s");
+    println!("hub 4 workers, batch={BATCH}, WAL armed     {hub4_wal:>12.0} events/s");
     println!("speedup (4w batched / 1w per-event)  {speedup:.2}x");
     println!("drift-armed overhead (quiet detector)  {drift_overhead:.3}x");
+    println!("WAL-armed overhead (group commit)      {wal_overhead:.3}x");
 
     let mut obj = JsonValue::object();
     obj.push("kind", "run_report")
@@ -273,8 +330,10 @@ fn main() {
         .push("hub4_batched_eps", hub4_batched)
         .push("hub4_retry_policy_eps", hub4_retry)
         .push("hub4_batched_drift_eps", hub4_drift)
+        .push("hub4_batched_wal_eps", hub4_wal)
         .push("speedup_hub4_vs_hub1", speedup)
-        .push("drift_armed_overhead", drift_overhead);
+        .push("drift_armed_overhead", drift_overhead)
+        .push("wal_armed_overhead", wal_overhead);
     telemetry_out::write_report("exp_hub_throughput.json", &obj.render());
 
     assert!(

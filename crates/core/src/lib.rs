@@ -68,6 +68,7 @@ pub mod graph;
 pub mod ingest;
 pub mod miner;
 pub mod monitor;
+pub mod persist;
 pub mod pipeline;
 pub mod preprocess;
 pub mod snapshot;

@@ -752,6 +752,44 @@ impl<D: Deref<Target = Dig>> KSequenceDetector<D> {
         self.w.clear();
     }
 
+    /// Crate-internal view of the runtime-mutable state a live snapshot
+    /// must persist: the phantom state machine, the tracking window `W`,
+    /// and the next stream ordinal (the always-on stats come from
+    /// [`Self::stats`]). Everything else in the detector — DIG handle,
+    /// dense score tables, config, instruments — is rebuilt from the
+    /// fitted model on restore.
+    pub(crate) fn runtime_parts(&self) -> (&PhantomStateMachine, &[AnomalousEvent], u64) {
+        (&self.pm, &self.w, self.next_ordinal)
+    }
+
+    /// Crate-internal inverse of [`Self::runtime_parts`]: overwrites the
+    /// runtime-mutable state of a freshly built detector so subsequent
+    /// verdicts are bit-identical to the detector the parts were exported
+    /// from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the phantom state machine's shape (τ, device count) does
+    /// not match the detector's DIG.
+    pub(crate) fn restore_runtime(
+        &mut self,
+        pm: PhantomStateMachine,
+        w: Vec<AnomalousEvent>,
+        next_ordinal: u64,
+        stats: DetectorStats,
+    ) {
+        assert_eq!(pm.tau(), self.dig.tau(), "snapshot τ mismatch");
+        assert_eq!(
+            pm.current().len(),
+            self.dig.num_devices(),
+            "snapshot device-count mismatch"
+        );
+        self.pm = pm;
+        self.w = w;
+        self.next_ordinal = next_ordinal;
+        self.stats = stats;
+    }
+
     /// Clears any in-progress tracking (the phantom state is kept).
     ///
     /// The in-flight collective-anomaly chain `W` is discarded without

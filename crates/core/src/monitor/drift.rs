@@ -414,6 +414,61 @@ impl DriftDetector {
         self.devices.fill(DeviceWindow::default());
         self.since_check = 0;
     }
+
+    /// The rolling window's samples, oldest first, as `(device,
+    /// exceeded-threshold, log-likelihood)` triples — together with
+    /// [`Self::since_check`] and [`Self::events_seen`] the complete
+    /// runtime-mutable state of the detector (the baselines, threshold,
+    /// and ln-memo are rebuilt from the fitted model). The serving
+    /// layer's live-state snapshots persist exactly this.
+    pub fn window_samples(&self) -> impl Iterator<Item = (DeviceId, bool, f64)> + '_ {
+        self.ring
+            .iter()
+            .map(|s| (DeviceId::from_index(s.device as usize), s.exceeded, s.ll))
+    }
+
+    /// Events recorded since the last check boundary (see
+    /// [`DriftConfig::check_every`]).
+    pub fn since_check(&self) -> usize {
+        self.since_check
+    }
+
+    /// Restores the rolling window from samples previously exported with
+    /// [`Self::window_samples`]: the ring, the exceedance count, and the
+    /// per-device likelihood accumulators are rebuilt sample by sample,
+    /// so a freshly built detector continues bit-identically to the one
+    /// the samples were taken from. Samples beyond the configured window
+    /// evict the oldest, exactly as live recording would.
+    pub fn restore_window(
+        &mut self,
+        samples: impl IntoIterator<Item = (DeviceId, bool, f64)>,
+        since_check: usize,
+        events_seen: u64,
+    ) {
+        self.reset();
+        for (device, exceeded, ll) in samples {
+            if self.ring.len() == self.config.window {
+                let old = self.ring.pop_front().expect("non-empty ring");
+                self.exceed_count -= old.exceeded as usize;
+                if let Some(dw) = self.devices.get_mut(old.device as usize) {
+                    dw.sum_ll -= old.ll;
+                    dw.count -= 1;
+                }
+            }
+            self.exceed_count += exceeded as usize;
+            if let Some(dw) = self.devices.get_mut(device.index()) {
+                dw.sum_ll += ll;
+                dw.count += 1;
+            }
+            self.ring.push_back(Sample {
+                device: device.index() as u32,
+                exceeded,
+                ll,
+            });
+        }
+        self.since_check = since_check;
+        self.events_seen = events_seen;
+    }
 }
 
 fn severity_for(observed_excess: f64, trigger: f64) -> DriftSeverity {

@@ -172,6 +172,57 @@ impl PhantomStateMachine {
         (undone & self.last_old) | (!undone & current)
     }
 
+    /// Crate-internal decomposition into the exact runtime-mutable parts
+    /// a live-state snapshot must persist (see
+    /// `crate::pipeline::runtime_state`): `(step, current, hist, newest,
+    /// last_dev, last_old)`. τ is available via [`Self::tau`].
+    pub(crate) fn snapshot_parts(&self) -> (u64, &SystemState, &[u64], &[u32], u32, bool) {
+        (
+            self.step,
+            &self.current,
+            &self.hist,
+            &self.newest,
+            self.last_dev,
+            self.last_old,
+        )
+    }
+
+    /// Crate-internal inverse of [`Self::snapshot_parts`]: reassembles a
+    /// machine bit-identical to the one the parts were taken from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring dimensions are inconsistent with `current` and
+    /// `tau` (a snapshot for a different model shape).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_snapshot_parts(
+        tau: usize,
+        step: u64,
+        current: SystemState,
+        hist: Vec<u64>,
+        newest: Vec<u32>,
+        last_dev: u32,
+        last_old: bool,
+    ) -> Self {
+        let cap = tau + 1;
+        let n = current.len();
+        assert_eq!(hist.len(), n * cap, "ring history length mismatch");
+        assert_eq!(newest.len(), n, "ring index length mismatch");
+        assert!(
+            newest.iter().all(|&slot| (slot as usize) < cap),
+            "ring index out of range"
+        );
+        PhantomStateMachine {
+            tau,
+            step,
+            current,
+            hist,
+            newest,
+            last_dev,
+            last_old,
+        }
+    }
+
     /// The value a cause variable will take for the *next* incoming event:
     /// for an event at timestamp `t + 1`, cause `S_k^{(t+1)-l}` resolves to
     /// the stored state at lag `l − 1`.

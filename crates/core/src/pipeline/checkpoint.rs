@@ -65,7 +65,7 @@
 
 use std::fmt::Write as _;
 use std::fs;
-use std::io::{self, Write as _};
+use std::io;
 use std::path::Path;
 
 use iot_model::{DeviceId, SystemState};
@@ -74,6 +74,7 @@ use iot_stats::threesigma::ThreeSigmaBand;
 use iot_telemetry::{FitReport, TelemetryHandle};
 
 use crate::graph::{load_dig, load_dig_with_smoothing, save_dig, UnseenContext};
+use crate::persist::{crc32, find_crc_footer, write_atomic, CRC_FOOTER_PREFIX};
 use crate::pipeline::{CausalIotConfig, FittedModel, TauChoice};
 use crate::preprocess::{DeviceBinarizer, FittedPreprocessor, FittedSanitizer, FittedUnifier};
 use crate::CausalIotError;
@@ -195,25 +196,6 @@ fn parse_err(line: usize, reason: impl Into<String>) -> CausalIotError {
     })
 }
 
-/// Comment prefix of the checksum footer appended by
-/// [`save_model_to_path`]. Both parsers skip comment lines, so the footer
-/// is backward- and forward-compatible.
-const CRC_FOOTER_PREFIX: &str = "# crc32 ";
-
-/// CRC32 (IEEE 802.3, the zlib/PNG polynomial), bitwise — checkpoints are
-/// small enough that a lookup table buys nothing.
-fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &byte in bytes {
-        crc ^= u32::from(byte);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
-
 /// CRC32 content hash of a serialised checkpoint document — exactly the
 /// value [`save_model_to_path`] stores in the `# crc32` footer (computed
 /// over the document *without* the footer line). Content-addressed model
@@ -254,28 +236,7 @@ fn io_err(path: &Path, e: &io::Error) -> CausalIotError {
 /// [`CausalIotError::Io`] with the path and OS error attached.
 pub fn save_model_to_path(model: &FittedModel, path: &Path) -> Result<(), CausalIotError> {
     let (text, _) = save_model_footered(model);
-
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
-    let write = (|| -> io::Result<()> {
-        let mut file = fs::File::create(&tmp)?;
-        file.write_all(text.as_bytes())?;
-        file.sync_all()?;
-        fs::rename(&tmp, path)?;
-        // Durability of the rename needs the directory entry on disk too;
-        // best-effort, as not every filesystem lets you open a directory.
-        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            if let Ok(dir) = fs::File::open(parent) {
-                let _ = dir.sync_all();
-            }
-        }
-        Ok(())
-    })();
-    write.map_err(|e| {
-        let _ = fs::remove_file(&tmp);
-        io_err(path, &e)
-    })
+    write_atomic(path, text.as_bytes()).map_err(|e| io_err(path, &e))
 }
 
 /// Restores a model from a checkpoint file, verifying the `# crc32`
@@ -334,17 +295,6 @@ pub fn load_model_from_path(
         }
     }
     load_model(&text, telemetry).map_err(|e| attach_context(e, &display, &text))
-}
-
-/// Byte offset of the checksum footer line, if the document carries one.
-/// Only the *last* line is a candidate: the footer covers everything
-/// before it, and comment lines elsewhere stay plain comments.
-fn find_crc_footer(text: &str) -> Option<usize> {
-    let body = text.strip_suffix('\n').unwrap_or(text);
-    let start = body.rfind('\n').map_or(0, |i| i + 1);
-    body[start..]
-        .starts_with(CRC_FOOTER_PREFIX)
-        .then_some(start)
 }
 
 /// Rewrites context-free parse errors into operator-actionable ones: a

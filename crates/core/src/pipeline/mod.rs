@@ -14,6 +14,7 @@
 
 pub mod checkpoint;
 pub mod refit;
+mod runtime_state;
 pub mod stages;
 
 pub use refit::{Refit, StructuralDrift};
@@ -1097,6 +1098,41 @@ macro_rules! monitor_methods {
         /// metric can reference pre-reset events.
         pub fn reset_tracking(&mut self) {
             self.core.detector.reset_tracking()
+        }
+
+        /// Serialises the monitor's **runtime-mutable** state — detector
+        /// stats, preprocessing drop counters, stream ordinal, phantom
+        /// state machine, and the in-flight collective tracking window —
+        /// as a byte-stable `causaliot-runtime v1` line document.
+        ///
+        /// The document is the live-state counterpart of a v2 checkpoint:
+        /// restoring it onto a fresh monitor built from the *same* fitted
+        /// model ([`restore_runtime_state`](Self::restore_runtime_state))
+        /// yields bit-identical subsequent verdicts. Everything derivable
+        /// from the model (score tables, config, telemetry instruments) is
+        /// rebuilt rather than persisted, so documents are small and
+        /// model-versioned by construction.
+        pub fn export_runtime_state(&self) -> String {
+            self.core.export_runtime_state()
+        }
+
+        /// Restores runtime state previously captured with
+        /// [`export_runtime_state`](Self::export_runtime_state),
+        /// overwriting this monitor's detector stats, drop counters,
+        /// stream ordinal, phantom state machine, and tracking window.
+        ///
+        /// The monitor must have been built from the same fitted model
+        /// that produced the document (same τ and device count — enforced;
+        /// same learned parameters — the caller's contract, normally
+        /// guaranteed by persisting the model checkpoint alongside).
+        ///
+        /// # Errors
+        ///
+        /// Fails closed on any malformed, truncated, or shape-mismatched
+        /// document, reporting the offending line; the monitor is left
+        /// untouched on error.
+        pub fn restore_runtime_state(&mut self, text: &str) -> Result<(), CausalIotError> {
+            self.core.restore_runtime_state(text)
         }
     };
 }

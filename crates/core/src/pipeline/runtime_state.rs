@@ -1,0 +1,545 @@
+//! Live runtime-state serialisation for monitors (`causaliot-runtime v1`).
+//!
+//! A v2 checkpoint ([`super::checkpoint`]) persists everything a monitor
+//! is *built* from — the fitted model. It deliberately excludes what a
+//! monitor *becomes* while serving: the detector's always-on stats, the
+//! phantom state machine's transition rings, the in-progress k-sequence
+//! tracking window `W`, the next stream ordinal, and the preprocessing
+//! drop counters. Restarting from a checkpoint alone therefore forgets
+//! any half-tracked collective anomaly and resets the stream position.
+//!
+//! This module closes that gap with a second, much smaller document: the
+//! **runtime-state snapshot**. [`Monitor::export_runtime_state`] /
+//! [`OwnedMonitor::export_runtime_state`] serialise exactly the
+//! runtime-mutable fields; restoring them onto a *freshly built* monitor
+//! from the same model ([`OwnedMonitor::restore_runtime_state`]) yields a
+//! monitor whose subsequent verdicts are **bit-identical** to the
+//! exported one's. Everything derivable from the model — dense score
+//! tables, DIG handle, detector config, telemetry instruments — is
+//! rebuilt, not persisted.
+//!
+//! ## Grammar (line-oriented, one record per line)
+//!
+//! ```text
+//! causaliot-runtime v1
+//! stats 812 3 1 2                  # events, contextual, collective, max_tracking
+//! drops 4 0 1                      # duplicate, extreme, non-finite
+//! next_ordinal 812
+//! pm 2 3 812 1 0                   # tau, devices, step, last_dev, last_old
+//! pm.state 010                     # current system state, one 0/1 per device
+//! pm.newest 2 0 1                  # newest ring slot per device
+//! pm.ring 0 1624 1621 1623         # device, tau+1 packed (step<<1|value) entries
+//! pm.ring 1 ...
+//! w 1                              # tracked anomaly window length
+//! w.event 811 48660000 1 1 0.9375 2  # ordinal, millis, device, value, score, #causes
+//! w.cause 0 1 0                    # cause device, lag, value
+//! end
+//! ```
+//!
+//! Floats use Rust's `{:?}` formatting (shortest decimal round-tripping
+//! to identical bits), so export → restore → export is byte-stable —
+//! the same idiom, and the same crash-safety envelope
+//! ([`crate::persist`]), as the v2 checkpoint format. The serving layer
+//! (`iot-serve`) embeds this document inside its per-home snapshot files
+//! alongside its own sections (verdict history, drift window, WAL
+//! epoch).
+
+use std::fmt::Write as _;
+use std::ops::Deref;
+use std::str::FromStr;
+
+use iot_model::{BinaryEvent, DeviceId, SystemState, Timestamp};
+
+use crate::graph::{Dig, LaggedVar};
+use crate::monitor::{AnomalousEvent, DetectorStats, PhantomStateMachine};
+use crate::preprocess::FittedPreprocessor;
+use crate::CausalIotError;
+
+use super::MonitorCore;
+
+pub(super) const MAGIC: &str = "causaliot-runtime v1";
+
+fn parse_err(line: usize, reason: impl Into<String>) -> CausalIotError {
+    CausalIotError::Model(iot_model::ModelError::ParseLog {
+        line,
+        reason: reason.into(),
+    })
+}
+
+fn field<T: FromStr>(
+    parts: &mut std::str::SplitWhitespace<'_>,
+    line_no: usize,
+    what: &str,
+) -> Result<T, CausalIotError> {
+    let token = parts
+        .next()
+        .ok_or_else(|| parse_err(line_no, format!("missing {what}")))?;
+    token
+        .parse::<T>()
+        .map_err(|_| parse_err(line_no, format!("unparseable {what} `{token}`")))
+}
+
+fn parse_bool01(
+    parts: &mut std::str::SplitWhitespace<'_>,
+    line_no: usize,
+    what: &str,
+) -> Result<bool, CausalIotError> {
+    match field::<u8>(parts, line_no, what)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(parse_err(
+            line_no,
+            format!("{what} must be 0/1, got {other}"),
+        )),
+    }
+}
+
+impl<D, P> MonitorCore<D, P>
+where
+    D: Deref<Target = Dig>,
+    P: Deref<Target = FittedPreprocessor>,
+{
+    pub(super) fn export_runtime_state(&self) -> String {
+        let mut out = String::new();
+        let stats = self.detector.stats();
+        let (pm, w, next_ordinal) = self.detector.runtime_parts();
+        let (step, current, hist, newest, last_dev, last_old) = pm.snapshot_parts();
+        let _ = writeln!(out, "{MAGIC}");
+        let _ = writeln!(
+            out,
+            "stats {} {} {} {}",
+            stats.events, stats.contextual_alarms, stats.collective_alarms, stats.max_tracking_len
+        );
+        let _ = writeln!(
+            out,
+            "drops {} {} {}",
+            self.dropped_duplicate, self.dropped_extreme, self.dropped_non_finite
+        );
+        let _ = writeln!(out, "next_ordinal {next_ordinal}");
+        let n = current.len();
+        let _ = writeln!(
+            out,
+            "pm {} {} {} {} {}",
+            pm.tau(),
+            n,
+            step,
+            last_dev,
+            last_old as u8
+        );
+        let bits: String = current
+            .values()
+            .iter()
+            .map(|&on| if on { '1' } else { '0' })
+            .collect();
+        let _ = writeln!(out, "pm.state {bits}");
+        out.push_str("pm.newest");
+        for &slot in newest {
+            let _ = write!(out, " {slot}");
+        }
+        out.push('\n');
+        let cap = pm.tau() + 1;
+        for d in 0..n {
+            let _ = write!(out, "pm.ring {d}");
+            for &entry in &hist[d * cap..(d + 1) * cap] {
+                let _ = write!(out, " {entry}");
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "w {}", w.len());
+        for tracked in w {
+            let _ = writeln!(
+                out,
+                "w.event {} {} {} {} {:?} {}",
+                tracked.ordinal,
+                tracked.event.time.as_millis(),
+                tracked.event.device.index(),
+                tracked.event.value as u8,
+                tracked.score,
+                tracked.cause_values.len()
+            );
+            for &(cause, value) in &tracked.cause_values {
+                let _ = writeln!(
+                    out,
+                    "w.cause {} {} {}",
+                    cause.device.index(),
+                    cause.lag,
+                    value as u8
+                );
+            }
+        }
+        let _ = writeln!(out, "end");
+        out
+    }
+
+    pub(super) fn restore_runtime_state(&mut self, text: &str) -> Result<(), CausalIotError> {
+        let expect_n = self.detector.current_state().len();
+        let expect_tau = self.detector.runtime_parts().0.tau();
+        let cap = expect_tau + 1;
+
+        let mut stats: Option<DetectorStats> = None;
+        let mut drops: Option<(u64, u64, u64)> = None;
+        let mut next_ordinal: Option<u64> = None;
+        let mut pm_head: Option<(u64, u32, bool)> = None;
+        let mut state: Option<SystemState> = None;
+        let mut newest: Option<Vec<u32>> = None;
+        let mut hist: Vec<Option<Vec<u64>>> = vec![None; expect_n];
+        let mut w: Option<Vec<AnomalousEvent>> = None;
+        let mut pending_causes = 0usize;
+        let mut saw_end = false;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if idx == 0 {
+                if line != MAGIC {
+                    return Err(parse_err(1, format!("bad magic `{line}`")));
+                }
+                continue;
+            }
+            if saw_end {
+                return Err(parse_err(line_no, "content after `end`"));
+            }
+            let mut parts = line.split_whitespace();
+            let key = parts.next().expect("non-empty line has a first token");
+            if pending_causes > 0 && key != "w.cause" {
+                return Err(parse_err(line_no, "expected w.cause record"));
+            }
+            match key {
+                "stats" => {
+                    stats = Some(DetectorStats {
+                        events: field(&mut parts, line_no, "stats.events")?,
+                        contextual_alarms: field(&mut parts, line_no, "stats.contextual")?,
+                        collective_alarms: field(&mut parts, line_no, "stats.collective")?,
+                        max_tracking_len: field(&mut parts, line_no, "stats.max_tracking")?,
+                    });
+                }
+                "drops" => {
+                    drops = Some((
+                        field(&mut parts, line_no, "drops.duplicate")?,
+                        field(&mut parts, line_no, "drops.extreme")?,
+                        field(&mut parts, line_no, "drops.non_finite")?,
+                    ));
+                }
+                "next_ordinal" => {
+                    next_ordinal = Some(field(&mut parts, line_no, "next_ordinal")?);
+                }
+                "pm" => {
+                    let tau: usize = field(&mut parts, line_no, "pm.tau")?;
+                    let n: usize = field(&mut parts, line_no, "pm.devices")?;
+                    if tau != expect_tau || n != expect_n {
+                        return Err(parse_err(
+                            line_no,
+                            format!(
+                                "snapshot shape (τ {tau}, {n} devices) does not match \
+                                 the monitor (τ {expect_tau}, {expect_n} devices)"
+                            ),
+                        ));
+                    }
+                    let step: u64 = field(&mut parts, line_no, "pm.step")?;
+                    let last_dev: u32 = field(&mut parts, line_no, "pm.last_dev")?;
+                    let last_old = parse_bool01(&mut parts, line_no, "pm.last_old")?;
+                    pm_head = Some((step, last_dev, last_old));
+                }
+                "pm.state" => {
+                    let bits = parts
+                        .next()
+                        .ok_or_else(|| parse_err(line_no, "missing pm.state bits"))?;
+                    if bits.len() != expect_n || !bits.bytes().all(|b| b == b'0' || b == b'1') {
+                        return Err(parse_err(
+                            line_no,
+                            format!("pm.state must be {expect_n} 0/1 digits"),
+                        ));
+                    }
+                    state = Some(SystemState::from_values(
+                        bits.bytes().map(|b| b == b'1').collect(),
+                    ));
+                }
+                "pm.newest" => {
+                    let slots = parts
+                        .by_ref()
+                        .map(|token| {
+                            token
+                                .parse::<u32>()
+                                .map_err(|_| parse_err(line_no, "unparseable pm.newest slot"))
+                        })
+                        .collect::<Result<Vec<u32>, _>>()?;
+                    if slots.len() != expect_n || slots.iter().any(|&s| s as usize >= cap) {
+                        return Err(parse_err(
+                            line_no,
+                            format!("pm.newest needs {expect_n} slots below {cap}"),
+                        ));
+                    }
+                    newest = Some(slots);
+                }
+                "pm.ring" => {
+                    let d: usize = field(&mut parts, line_no, "pm.ring device")?;
+                    if d >= expect_n {
+                        return Err(parse_err(
+                            line_no,
+                            format!("pm.ring device {d} out of range"),
+                        ));
+                    }
+                    let entries = parts
+                        .by_ref()
+                        .map(|token| {
+                            token
+                                .parse::<u64>()
+                                .map_err(|_| parse_err(line_no, "unparseable pm.ring entry"))
+                        })
+                        .collect::<Result<Vec<u64>, _>>()?;
+                    if entries.len() != cap {
+                        return Err(parse_err(
+                            line_no,
+                            format!("pm.ring needs {cap} entries, got {}", entries.len()),
+                        ));
+                    }
+                    hist[d] = Some(entries);
+                }
+                "w" => {
+                    let len: usize = field(&mut parts, line_no, "w length")?;
+                    w = Some(Vec::with_capacity(len.min(4096)));
+                }
+                "w.event" => {
+                    let w = w
+                        .as_mut()
+                        .ok_or_else(|| parse_err(line_no, "w.event before w header"))?;
+                    let ordinal: u64 = field(&mut parts, line_no, "w.event ordinal")?;
+                    let millis: u64 = field(&mut parts, line_no, "w.event millis")?;
+                    let device: usize = field(&mut parts, line_no, "w.event device")?;
+                    if device >= expect_n {
+                        return Err(parse_err(
+                            line_no,
+                            format!("w.event device {device} out of range"),
+                        ));
+                    }
+                    let value = parse_bool01(&mut parts, line_no, "w.event value")?;
+                    let score: f64 = field(&mut parts, line_no, "w.event score")?;
+                    pending_causes = field(&mut parts, line_no, "w.event cause count")?;
+                    w.push(AnomalousEvent {
+                        ordinal,
+                        event: BinaryEvent::new(
+                            Timestamp::from_millis(millis),
+                            DeviceId::from_index(device),
+                            value,
+                        ),
+                        cause_values: Vec::with_capacity(pending_causes.min(256)),
+                        score,
+                    });
+                }
+                "w.cause" => {
+                    if pending_causes == 0 {
+                        return Err(parse_err(line_no, "unexpected w.cause record"));
+                    }
+                    let device: usize = field(&mut parts, line_no, "w.cause device")?;
+                    let lag: usize = field(&mut parts, line_no, "w.cause lag")?;
+                    if device >= expect_n || lag == 0 || lag > expect_tau {
+                        return Err(parse_err(
+                            line_no,
+                            format!("w.cause ({device}, lag {lag}) out of range"),
+                        ));
+                    }
+                    let value = parse_bool01(&mut parts, line_no, "w.cause value")?;
+                    let tracked = w
+                        .as_mut()
+                        .and_then(|w| w.last_mut())
+                        .ok_or_else(|| parse_err(line_no, "w.cause before w.event"))?;
+                    tracked
+                        .cause_values
+                        .push((LaggedVar::new(DeviceId::from_index(device), lag), value));
+                    pending_causes -= 1;
+                }
+                "end" => {
+                    saw_end = true;
+                }
+                other => {
+                    return Err(parse_err(line_no, format!("unknown record `{other}`")));
+                }
+            }
+            if parts.next().is_some() && key != "end" {
+                return Err(parse_err(line_no, format!("trailing tokens on `{key}`")));
+            }
+        }
+
+        // The parsers report missing sections with line 0; path-attaching
+        // wrappers map those to truncation, mirroring the checkpoint
+        // loader's contract.
+        if !saw_end {
+            return Err(parse_err(0, "missing `end` sentinel"));
+        }
+        if pending_causes > 0 {
+            return Err(parse_err(0, "missing w.cause records"));
+        }
+        let stats = stats.ok_or_else(|| parse_err(0, "missing stats record"))?;
+        let (dup, extreme, non_finite) =
+            drops.ok_or_else(|| parse_err(0, "missing drops record"))?;
+        let next_ordinal = next_ordinal.ok_or_else(|| parse_err(0, "missing next_ordinal"))?;
+        let (step, last_dev, last_old) =
+            pm_head.ok_or_else(|| parse_err(0, "missing pm record"))?;
+        let state = state.ok_or_else(|| parse_err(0, "missing pm.state record"))?;
+        let newest = newest.ok_or_else(|| parse_err(0, "missing pm.newest record"))?;
+        let mut flat_hist = Vec::with_capacity(expect_n * cap);
+        for (d, ring) in hist.into_iter().enumerate() {
+            let ring = ring.ok_or_else(|| parse_err(0, format!("missing pm.ring {d} record")))?;
+            flat_hist.extend_from_slice(&ring);
+        }
+        let w = w.ok_or_else(|| parse_err(0, "missing w record"))?;
+
+        let pm = PhantomStateMachine::from_snapshot_parts(
+            expect_tau, step, state, flat_hist, newest, last_dev, last_old,
+        );
+        self.detector.restore_runtime(pm, w, next_ordinal, stats);
+        self.dropped_duplicate = dup;
+        self.dropped_extreme = extreme;
+        self.dropped_non_finite = non_finite;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::CausalIot;
+    use iot_model::{Attribute, DeviceRegistry, Room};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn fitted() -> (DeviceRegistry, crate::pipeline::FittedModel) {
+        let mut reg = DeviceRegistry::new();
+        reg.add("PE_room", Attribute::PresenceSensor, Room::new("room"))
+            .unwrap();
+        reg.add("S_lamp", Attribute::Switch, Room::new("room"))
+            .unwrap();
+        let pe = reg.id_of("PE_room").unwrap();
+        let lamp = reg.id_of("S_lamp").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut events = Vec::new();
+        for i in 0..300u64 {
+            let t = i * 60;
+            let on = rng.gen_bool(0.5);
+            events.push(BinaryEvent::new(Timestamp::from_secs(t), pe, on));
+            if rng.gen_bool(0.9) {
+                events.push(BinaryEvent::new(Timestamp::from_secs(t + 15), lamp, on));
+            }
+        }
+        let model = CausalIot::builder()
+            .tau(2)
+            .k_max(3)
+            .build()
+            .fit_binary(&reg, &events)
+            .unwrap();
+        (reg, model)
+    }
+
+    fn stream(seed: u64, len: u64) -> Vec<BinaryEvent> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..len)
+            .map(|i| {
+                BinaryEvent::new(
+                    Timestamp::from_secs(400_000 + i * 30),
+                    DeviceId::from_index(rng.gen_range(0..2)),
+                    rng.gen_bool(0.5),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn restored_monitor_continues_bit_identically() {
+        let (_reg, model) = fitted();
+        let mut original = model.clone().into_monitor();
+        for &event in &stream(11, 157) {
+            original.observe(event);
+        }
+        let doc = original.export_runtime_state();
+
+        let mut restored = model.clone().into_monitor();
+        restored.restore_runtime_state(&doc).expect("restore");
+        assert_eq!(restored.current_state(), original.current_state());
+        assert_eq!(restored.tracking_len(), original.tracking_len());
+
+        // The decisive property: every subsequent verdict is identical.
+        for &event in &stream(12, 157) {
+            assert_eq!(original.observe(event), restored.observe(event));
+        }
+    }
+
+    #[test]
+    fn export_is_byte_stable_across_restore() {
+        let (_reg, model) = fitted();
+        let mut original = model.clone().into_monitor();
+        for &event in &stream(21, 93) {
+            original.observe(event);
+        }
+        let doc = original.export_runtime_state();
+        let mut restored = model.clone().into_monitor();
+        restored.restore_runtime_state(&doc).expect("restore");
+        assert_eq!(restored.export_runtime_state(), doc);
+    }
+
+    #[test]
+    fn borrowing_monitor_exports_the_same_document() {
+        let (_reg, model) = fitted();
+        let mut owned = model.clone().into_monitor();
+        let mut borrowed = model.monitor();
+        for &event in &stream(31, 64) {
+            owned.observe(event);
+            borrowed.observe(event);
+        }
+        assert_eq!(
+            owned.export_runtime_state(),
+            borrowed.export_runtime_state()
+        );
+    }
+
+    #[test]
+    fn fresh_monitor_round_trips_with_tracking_in_flight() {
+        let (reg, model) = fitted();
+        let lamp = reg.id_of("S_lamp").unwrap();
+        let pe = reg.id_of("PE_room").unwrap();
+        let mut original = model.clone().into_monitor();
+        // Open a tracking chain (ghost activation) so `W` is non-empty
+        // and carries cause context.
+        original.observe(BinaryEvent::new(Timestamp::from_secs(500_000), pe, false));
+        original.observe(BinaryEvent::new(Timestamp::from_secs(500_060), lamp, true));
+        let doc = original.export_runtime_state();
+        let mut restored = model.clone().into_monitor();
+        restored.restore_runtime_state(&doc).expect("restore");
+        assert_eq!(restored.tracking_len(), original.tracking_len());
+        for &event in &stream(41, 40) {
+            assert_eq!(original.observe(event), restored.observe(event));
+        }
+        // Distribution summaries are NaN when telemetry is disabled (and
+        // NaN != NaN), so compare the counter fields individually.
+        let (a, b) = (original.report(), restored.report());
+        assert_eq!(a.events_observed, b.events_observed);
+        assert_eq!(a.contextual_alarms, b.contextual_alarms);
+        assert_eq!(a.collective_alarms, b.collective_alarms);
+        assert_eq!(a.max_tracking_len, b.max_tracking_len);
+    }
+
+    #[test]
+    fn corrupt_documents_fail_closed() {
+        let (_reg, model) = fitted();
+        let mut monitor = model.clone().into_monitor();
+        for &event in &stream(51, 80) {
+            monitor.observe(event);
+        }
+        let doc = monitor.export_runtime_state();
+
+        let check = |mutation: &dyn Fn(&str) -> String| {
+            let mut fresh = model.clone().into_monitor();
+            assert!(fresh.restore_runtime_state(&mutation(&doc)).is_err());
+        };
+        // Bad magic.
+        check(&|d| d.replacen("causaliot-runtime v1", "causaliot-runtime v9", 1));
+        // Missing sections (drop the `end` sentinel / a pm.ring line).
+        check(&|d| d.replacen("end\n", "", 1));
+        check(&|d| d.replacen("pm.ring 0", "# pm.ring 0", 1));
+        // Garbage values.
+        check(&|d| d.replacen("stats ", "stats x ", 1));
+        // Shape mismatch.
+        check(&|d| d.replacen("pm 2 2 ", "pm 3 2 ", 1));
+    }
+}

@@ -75,6 +75,37 @@ impl BackoffPolicy {
         doubled.min(self.max)
     }
 
+    /// [`BackoffPolicy::delay`] with deterministic seeded *decorrelated
+    /// jitter*: a wait drawn from `[delay(attempt), 3 · delay(attempt)]`
+    /// (still capped at [`BackoffPolicy::max`]) by hashing
+    /// `(seed, attempt)`, so callers retrying on behalf of many homes
+    /// (seed = home id) spread their attempts instead of stampeding in
+    /// lockstep, while any given `(seed, attempt)` pair always waits the
+    /// same amount — schedules stay reproducible under test.
+    ///
+    /// Jitter is strictly additive: the jittered wait is never shorter
+    /// than the plain [`delay`](BackoffPolicy::delay) schedule, and the
+    /// default schedule everywhere remains the unjittered `delay` —
+    /// jitter happens only where a caller opts in with this method (the
+    /// hub's auto-restore loop does, seeded per home).
+    pub fn delay_jittered(&self, attempt: u32, seed: u64) -> Duration {
+        let base = self.delay(attempt);
+        let ceiling = base.saturating_mul(3).min(self.max).max(base);
+        let span = ceiling.saturating_sub(base).as_nanos() as u64;
+        if span == 0 {
+            return base;
+        }
+        // splitmix64 over (seed, attempt): cheap, deterministic, and
+        // well-mixed for consecutive seeds/attempts.
+        let mut x = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(attempt));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        base + Duration::from_nanos(x % (span + 1))
+    }
+
     /// Validates the schedule; `max_attempts_field` / `max_field` name
     /// the owning policy's fields in the [`ConfigError`] (e.g.
     /// `"restore_policy.backoff.max_attempts"`).
@@ -103,6 +134,83 @@ impl BackoffPolicy {
             ));
         }
         Ok(())
+    }
+}
+
+/// When the hub fsyncs a home's write-ahead log.
+///
+/// The WAL makes accepted events *durable*: after a crash (including
+/// `kill -9`), [`crate::Hub::recover`] replays every event the policy
+/// had flushed and resumes with verdicts bit-identical to an
+/// uninterrupted run. The policy trades scoring throughput against the
+/// size of the at-risk tail — events appended but not yet fsynced can be
+/// lost with the page cache if the whole *machine* dies (a killed
+/// process alone loses nothing: written bytes survive in kernel memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum DurabilityPolicy {
+    /// No WAL, no snapshots — the historical in-memory hub (the
+    /// default). Crash recovery is limited to re-registering from model
+    /// checkpoints.
+    #[default]
+    Off,
+    /// Group commit: fsync after every `events` appended events or once
+    /// `max_delay` has elapsed since the last sync, whichever comes
+    /// first. The throughput sweet spot — one fsync amortises a whole
+    /// burst.
+    Interval {
+        /// Events appended between fsyncs (≥ 1).
+        events: u64,
+        /// Longest an appended event may wait for its fsync.
+        max_delay: Duration,
+    },
+    /// Fsync at every job boundary — every accepted submission is
+    /// machine-durable before the next one is scored. The strongest
+    /// guarantee and by far the slowest.
+    Strict,
+}
+
+/// Crash tolerance for a [`crate::Hub`]: a per-home segmented
+/// write-ahead log plus periodic live-state snapshots under `dir`.
+///
+/// With a policy other than [`DurabilityPolicy::Off`] armed, every
+/// home's scored events are appended to a CRC-framed WAL segment, its
+/// model checkpoint and runtime-state snapshots are persisted in the
+/// same per-home directory, and [`crate::Hub::recover`] can rebuild the
+/// whole fleet after a crash — snapshot restore plus WAL-tail replay —
+/// with bit-identical verdicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// Root directory; each home gets `home-<id>/` under it (created on
+    /// registration).
+    pub dir: PathBuf,
+    /// When appended events are fsynced.
+    pub policy: DurabilityPolicy,
+    /// Snapshot cadence in events: after at least this many scored
+    /// events a home writes a fresh runtime-state snapshot and truncates
+    /// its WAL (≥ 1). Snapshots also land on every model swap and at
+    /// clean shutdown regardless of cadence.
+    pub snapshot_every: u64,
+}
+
+impl DurabilityConfig {
+    /// A durability config with the given root, group-commit fsync every
+    /// 64 events / 5 ms, and a snapshot every 4096 events.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            policy: DurabilityPolicy::Interval {
+                events: 64,
+                max_delay: Duration::from_millis(5),
+            },
+            snapshot_every: 4096,
+        }
+    }
+
+    /// Whether the config actually arms the WAL (a policy other than
+    /// [`DurabilityPolicy::Off`]).
+    pub fn is_armed(&self) -> bool {
+        self.policy != DurabilityPolicy::Off
     }
 }
 
@@ -229,6 +337,11 @@ pub struct HubConfig {
     /// auto hot-swap (see [`AdaptationPolicy`]). `None` (the default)
     /// disables it with a bit-identical hub.
     pub adaptation: Option<AdaptationPolicy>,
+    /// Crash tolerance: per-home write-ahead log + live-state snapshots
+    /// (see [`DurabilityConfig`] and [`crate::Hub::recover`]). `None`
+    /// (the default) leaves every path untouched — the hub is
+    /// bit-identical to a durability-free build.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for HubConfig {
@@ -242,6 +355,7 @@ impl Default for HubConfig {
             ingest: None,
             flight_recorder: None,
             adaptation: None,
+            durability: None,
         }
     }
 }
@@ -343,6 +457,28 @@ impl HubConfig {
                 "capacity must be at least 1 (omit the field to disable recording)",
             ));
         }
+        if let Some(durability) = &self.durability {
+            if durability.dir.as_os_str().is_empty() {
+                return Err(ConfigError::new(
+                    "durability.dir",
+                    "WAL root directory must not be empty",
+                ));
+            }
+            if durability.snapshot_every == 0 {
+                return Err(ConfigError::new(
+                    "durability.snapshot_every",
+                    "must be at least 1 event",
+                ));
+            }
+            if let DurabilityPolicy::Interval { events, .. } = durability.policy {
+                if events == 0 {
+                    return Err(ConfigError::new(
+                        "durability.policy.events",
+                        "group-commit interval must be at least 1 event",
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -402,6 +538,13 @@ impl HubConfigBuilder {
     /// Arms the online-adaptation loop (see [`AdaptationPolicy`]).
     pub fn adaptation(mut self, policy: AdaptationPolicy) -> Self {
         self.config.adaptation = Some(policy);
+        self
+    }
+
+    /// Arms crash tolerance: per-home WAL + snapshots under the config's
+    /// root directory (see [`DurabilityConfig`]).
+    pub fn durability(mut self, config: DurabilityConfig) -> Self {
+        self.config.durability = Some(config);
         self
     }
 
@@ -596,6 +739,70 @@ mod tests {
             }),
             "liveness_timeout",
         );
+        bad(
+            HubConfig::builder().durability(DurabilityConfig::at("")),
+            "durability.dir",
+        );
+        bad(
+            HubConfig::builder().durability(DurabilityConfig {
+                snapshot_every: 0,
+                ..DurabilityConfig::at("/tmp/wal")
+            }),
+            "durability.snapshot_every",
+        );
+        bad(
+            HubConfig::builder().durability(DurabilityConfig {
+                policy: DurabilityPolicy::Interval {
+                    events: 0,
+                    max_delay: Duration::from_millis(1),
+                },
+                ..DurabilityConfig::at("/tmp/wal")
+            }),
+            "durability.policy.events",
+        );
+    }
+
+    #[test]
+    fn durability_defaults_off_and_builder_arms_it() {
+        assert_eq!(HubConfig::default().durability, None);
+        assert_eq!(DurabilityPolicy::default(), DurabilityPolicy::Off);
+        let config = HubConfig::builder()
+            .durability(DurabilityConfig::at("/tmp/wal"))
+            .try_build()
+            .unwrap();
+        let durability = config.durability.unwrap();
+        assert!(durability.is_armed());
+        assert!(!DurabilityConfig {
+            policy: DurabilityPolicy::Off,
+            ..DurabilityConfig::at("/tmp/wal")
+        }
+        .is_armed());
+    }
+
+    #[test]
+    fn jittered_delay_is_deterministic_and_only_extends() {
+        let backoff = BackoffPolicy {
+            max_attempts: 5,
+            initial: Duration::from_millis(10),
+            max: Duration::from_secs(1),
+        };
+        for attempt in 0..5 {
+            for seed in 0..20u64 {
+                let jittered = backoff.delay_jittered(attempt, seed);
+                let base = backoff.delay(attempt);
+                assert!(jittered >= base, "jitter must never shorten the wait");
+                assert!(jittered <= (base * 3).min(backoff.max));
+                // Deterministic: same (seed, attempt) → same wait.
+                assert_eq!(jittered, backoff.delay_jittered(attempt, seed));
+            }
+        }
+        // Decorrelated: different homes land on different waits.
+        let spread: std::collections::BTreeSet<Duration> = (0..20u64)
+            .map(|seed| backoff.delay_jittered(1, seed))
+            .collect();
+        assert!(spread.len() > 10, "seeds should spread, got {spread:?}");
+        // Saturated schedule (delay == max): no room, no jitter.
+        assert_eq!(backoff.delay_jittered(31, 7), backoff.max);
     }
 
     #[test]

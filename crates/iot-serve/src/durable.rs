@@ -1,0 +1,840 @@
+//! Per-home durable serving state: the on-disk layout, the live-state
+//! snapshot document, and the bookkeeping a shard worker does to keep a
+//! home recoverable.
+//!
+//! With a [`crate::DurabilityConfig`] armed, every home owns a directory
+//! `home-<id>/` under the durability root:
+//!
+//! ```text
+//! home-7/
+//!   home.meta            the home's registered name
+//!   model.ckpt           the serving model (v2 checkpoint format)
+//!   state.snap           latest runtime-state snapshot (this module)
+//!   wal-0000000003.log   the live WAL segment (crate::wal framing)
+//! ```
+//!
+//! The snapshot is a line-oriented document in the checkpoint family:
+//! `{:?}`-formatted floats (byte-stable, round-trip exact), a CRC-32
+//! footer over everything above it, written atomically
+//! (tmp → fsync → rename). It embeds the monitor's runtime-state
+//! document verbatim and adds the serving layer's own state: the home's
+//! event sequence number, the next WAL epoch, the recorded verdict
+//! history, and the drift detector's window. Together with the model
+//! checkpoint and the WAL tail, that is everything `Hub::recover` needs
+//! to resume a home with bit-identical verdicts.
+//!
+//! Snapshots are only ever taken at event boundaries, and a successful
+//! snapshot rotates the WAL: the old segment is sealed, the snapshot
+//! records the next epoch, a fresh segment opens, and older segments are
+//! deleted — the WAL tail never grows past one snapshot interval.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::str::{FromStr, SplitWhitespace};
+use std::time::Instant;
+
+use causaliot_core::graph::LaggedVar;
+use causaliot_core::persist::{
+    append_crc_footer, crc32, find_crc_footer, write_atomic, CRC_FOOTER_PREFIX,
+};
+use causaliot_core::{Alarm, AlarmKind, AnomalousEvent, Verdict};
+use iot_model::{BinaryEvent, DeviceId, SystemState, Timestamp};
+
+use crate::config::DurabilityPolicy;
+use crate::hub::HomeId;
+use crate::wal::{parse_segment_epoch, segment_file_name, SegmentWriter};
+
+/// First line of every hub snapshot document.
+const MAGIC: &str = "causaliot-hub-snapshot v1";
+/// The home's registered name.
+pub(crate) const META_FILE: &str = "home.meta";
+/// The serving model, in the core checkpoint format.
+pub(crate) const MODEL_FILE: &str = "model.ckpt";
+/// The latest live-state snapshot.
+pub(crate) const SNAP_FILE: &str = "state.snap";
+
+/// The directory holding `home`'s durable state under `root`.
+pub(crate) fn home_dir(root: &Path, home: usize) -> PathBuf {
+    root.join(format!("home-{home}"))
+}
+
+/// Parses a [`home_dir`]-shaped directory name back to its home id.
+pub(crate) fn parse_home_dir(name: &str) -> Option<usize> {
+    let digits = name.strip_prefix("home-")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Every `home-<id>` directory under `root`, sorted by home id.
+pub(crate) fn list_home_dirs(root: &Path) -> io::Result<Vec<(usize, PathBuf)>> {
+    let mut homes = Vec::new();
+    for entry in fs::read_dir(root)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        if let Some(id) = entry.file_name().to_str().and_then(parse_home_dir) {
+            homes.push((id, entry.path()));
+        }
+    }
+    homes.sort_unstable_by_key(|(id, _)| *id);
+    Ok(homes)
+}
+
+/// Every WAL segment in `dir`, sorted by epoch.
+pub(crate) fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(epoch) = entry.file_name().to_str().and_then(parse_segment_epoch) {
+            segments.push((epoch, entry.path()));
+        }
+    }
+    segments.sort_unstable_by_key(|(epoch, _)| *epoch);
+    Ok(segments)
+}
+
+/// Appends the CRC footer to `doc` and writes it atomically to
+/// `dir/state.snap`.
+pub(crate) fn write_snapshot(dir: &Path, doc: &str) -> io::Result<()> {
+    let mut text = String::with_capacity(doc.len() + 24);
+    text.push_str(doc);
+    append_crc_footer(&mut text);
+    write_atomic(&dir.join(SNAP_FILE), text.as_bytes())
+}
+
+/// One home's open durability state, owned by its shard worker's
+/// `HomeSlot`: the live WAL segment plus the sync/snapshot cadence
+/// bookkeeping. All I/O errors bubble up to the worker, which disarms
+/// durability for the home rather than stall or poison scoring.
+pub(crate) struct DurableHome {
+    dir: PathBuf,
+    writer: SegmentWriter,
+    epoch: u64,
+    policy: DurabilityPolicy,
+    snapshot_every: u64,
+    events_since_sync: u64,
+    last_sync: Instant,
+    events_since_snapshot: u64,
+    /// Appends not yet fsynced.
+    dirty: bool,
+}
+
+impl DurableHome {
+    /// Creates a fresh durable home: the directory, its `home.meta`, and
+    /// WAL segment 0. The model checkpoint is the caller's job (it owns
+    /// the `FittedModel`).
+    pub(crate) fn create(
+        dir: PathBuf,
+        name: &str,
+        policy: DurabilityPolicy,
+        snapshot_every: u64,
+    ) -> io::Result<DurableHome> {
+        fs::create_dir_all(&dir)?;
+        write_atomic(&dir.join(META_FILE), format!("{name}\n").as_bytes())?;
+        Self::open_at(dir, 0, policy, snapshot_every)
+    }
+
+    /// Opens a durable home at an existing directory with a fresh WAL
+    /// segment at `epoch` — the recovery path, after the post-recovery
+    /// snapshot has recorded `epoch` as the next to replay.
+    pub(crate) fn open_at(
+        dir: PathBuf,
+        epoch: u64,
+        policy: DurabilityPolicy,
+        snapshot_every: u64,
+    ) -> io::Result<DurableHome> {
+        let writer = SegmentWriter::create(dir.join(segment_file_name(epoch)))?;
+        Ok(DurableHome {
+            dir,
+            writer,
+            epoch,
+            policy,
+            snapshot_every,
+            events_since_sync: 0,
+            last_sync: Instant::now(),
+            events_since_snapshot: 0,
+            dirty: false,
+        })
+    }
+
+    /// Where the home's model checkpoint lives.
+    pub(crate) fn model_path(&self) -> PathBuf {
+        self.dir.join(MODEL_FILE)
+    }
+
+    /// The epoch a snapshot taken now must record as next to replay.
+    pub(crate) fn next_epoch(&self) -> u64 {
+        self.epoch + 1
+    }
+
+    /// Appends scored events to the live segment (no fsync — that is
+    /// [`DurableHome::sync_if_due`]'s job at the job boundary).
+    pub(crate) fn append(&mut self, events: &[BinaryEvent]) -> io::Result<()> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        self.writer.append_events(events)?;
+        self.events_since_sync += events.len() as u64;
+        self.events_since_snapshot += events.len() as u64;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Applies the durability policy's group-commit rule at a job
+    /// boundary; returns whether an fsync ran.
+    pub(crate) fn sync_if_due(&mut self) -> io::Result<bool> {
+        if !self.dirty {
+            return Ok(false);
+        }
+        let due = match self.policy {
+            // An armed home is never `Off`, but fsyncing is the safe
+            // answer if one ever is.
+            DurabilityPolicy::Off | DurabilityPolicy::Strict => true,
+            DurabilityPolicy::Interval { events, max_delay } => {
+                self.events_since_sync >= events || self.last_sync.elapsed() >= max_delay
+            }
+        };
+        if !due {
+            return Ok(false);
+        }
+        self.writer.sync()?;
+        self.events_since_sync = 0;
+        self.last_sync = Instant::now();
+        self.dirty = false;
+        Ok(true)
+    }
+
+    /// Unconditional fsync of the live segment; returns whether one ran.
+    /// The shutdown path for a poisoned home, whose monitor state cannot
+    /// be snapshotted — its appended events still become durable.
+    pub(crate) fn sync_now(&mut self) -> io::Result<bool> {
+        if !self.dirty {
+            return Ok(false);
+        }
+        self.writer.sync()?;
+        self.events_since_sync = 0;
+        self.last_sync = Instant::now();
+        self.dirty = false;
+        Ok(true)
+    }
+
+    /// Whether the snapshot cadence says it is time to rotate.
+    pub(crate) fn needs_snapshot(&self) -> bool {
+        self.events_since_snapshot >= self.snapshot_every
+    }
+
+    /// Rotates the WAL under a freshly rendered snapshot document (no
+    /// CRC footer yet): seals the live segment, atomically publishes the
+    /// snapshot, opens the next segment, and deletes the segments the
+    /// snapshot supersedes. If this fails partway the on-disk state is
+    /// still recoverable — the previous snapshot plus the sealed
+    /// segments replay to the same point.
+    pub(crate) fn rotate(&mut self, snapshot_doc: &str) -> io::Result<()> {
+        self.writer.seal()?;
+        write_snapshot(&self.dir, snapshot_doc)?;
+        self.epoch += 1;
+        self.writer = SegmentWriter::create(self.dir.join(segment_file_name(self.epoch)))?;
+        self.events_since_sync = 0;
+        self.last_sync = Instant::now();
+        self.events_since_snapshot = 0;
+        self.dirty = false;
+        for (epoch, path) in list_segments(&self.dir)? {
+            if epoch < self.epoch {
+                let _ = fs::remove_file(path);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The serving-layer state a worker restores into a freshly registered
+/// slot when a home is recovered (or, for a fresh registration with
+/// durability armed, just the open [`DurableHome`]).
+pub(crate) struct ResumeState {
+    /// The home's event sequence number (events scored so far).
+    pub(crate) seq: u64,
+    /// The recorded verdict history (empty unless
+    /// [`crate::HubConfig::record_verdicts`] is on).
+    pub(crate) verdicts: Vec<Verdict>,
+    /// Drift-detector state to restore, when adaptation is armed.
+    pub(crate) drift: Option<DriftResume>,
+    /// The home's open durability handle.
+    pub(crate) durable: DurableHome,
+}
+
+/// Drift-detector runtime state carried through recovery.
+#[derive(Debug)]
+pub(crate) struct DriftResume {
+    pub(crate) samples: Vec<(DeviceId, bool, f64)>,
+    pub(crate) since_check: usize,
+    pub(crate) events_seen: u64,
+    pub(crate) window: Vec<BinaryEvent>,
+    pub(crate) base_state: SystemState,
+}
+
+/// Borrowed drift state for snapshot rendering.
+pub(crate) struct DriftParts<'a> {
+    pub(crate) since_check: usize,
+    pub(crate) events_seen: u64,
+    pub(crate) samples: Vec<(DeviceId, bool, f64)>,
+    pub(crate) window: &'a [BinaryEvent],
+    pub(crate) base_state: &'a SystemState,
+}
+
+/// A parsed snapshot document.
+#[derive(Debug)]
+pub(crate) struct SnapshotDoc {
+    pub(crate) seq: u64,
+    pub(crate) next_epoch: u64,
+    /// The embedded monitor runtime-state document, verbatim.
+    pub(crate) monitor_doc: String,
+    /// `Some` exactly when the snapshot carried a verdict history.
+    pub(crate) verdicts: Option<Vec<Verdict>>,
+    pub(crate) drift: Option<DriftResume>,
+}
+
+/// Renders the snapshot document (sans CRC footer — the writer appends
+/// it so the rendered body is also the parse input in tests).
+pub(crate) fn render_snapshot(
+    seq: u64,
+    next_epoch: u64,
+    monitor_doc: &str,
+    verdicts: Option<&[Verdict]>,
+    drift: Option<&DriftParts<'_>>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(monitor_doc.len() + 256);
+    let _ = writeln!(out, "{MAGIC}");
+    let _ = writeln!(out, "seq {seq}");
+    let _ = writeln!(out, "wal.next_epoch {next_epoch}");
+    out.push_str("monitor\n");
+    out.push_str(monitor_doc);
+    if !monitor_doc.ends_with('\n') {
+        out.push('\n');
+    }
+    if let Some(verdicts) = verdicts {
+        let _ = writeln!(out, "verdicts {}", verdicts.len());
+        for v in verdicts {
+            let _ = writeln!(
+                out,
+                "v {:?} {} {:?} {}",
+                v.score,
+                v.exceeds_threshold as u8,
+                v.confidence,
+                v.alarms.len()
+            );
+            for alarm in &v.alarms {
+                let kind = matches!(alarm.kind, AlarmKind::Collective) as u8;
+                let _ = writeln!(
+                    out,
+                    "a {kind} {} {}",
+                    alarm.ended_by_abrupt as u8,
+                    alarm.events.len()
+                );
+                for ev in &alarm.events {
+                    let _ = writeln!(
+                        out,
+                        "e {} {} {} {} {:?} {}",
+                        ev.ordinal,
+                        ev.event.time.as_millis(),
+                        ev.event.device.index(),
+                        ev.event.value as u8,
+                        ev.score,
+                        ev.cause_values.len()
+                    );
+                    for (var, value) in &ev.cause_values {
+                        let _ =
+                            writeln!(out, "c {} {} {}", var.device.index(), var.lag, *value as u8);
+                    }
+                }
+            }
+        }
+    }
+    match drift {
+        None => out.push_str("drift 0\n"),
+        Some(d) => {
+            out.push_str("drift 1\n");
+            let _ = writeln!(
+                out,
+                "drift.meta {} {} {} {}",
+                d.since_check,
+                d.events_seen,
+                d.samples.len(),
+                d.window.len()
+            );
+            for (device, exceeded, ll) in &d.samples {
+                let _ = writeln!(
+                    out,
+                    "drift.s {} {} {:?}",
+                    device.index(),
+                    *exceeded as u8,
+                    ll
+                );
+            }
+            for event in d.window {
+                let _ = writeln!(
+                    out,
+                    "drift.w {} {} {}",
+                    event.time.as_millis(),
+                    event.device.index(),
+                    event.value as u8
+                );
+            }
+            out.push_str("drift.base ");
+            for &bit in d.base_state.values() {
+                out.push(if bit { '1' } else { '0' });
+            }
+            out.push('\n');
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn snap_err(line: usize, reason: impl Into<String>) -> String {
+    format!("line {line}: {}", reason.into())
+}
+
+fn field<T: FromStr>(parts: &mut SplitWhitespace, line: usize, what: &str) -> Result<T, String> {
+    parts
+        .next()
+        .ok_or_else(|| snap_err(line, format!("missing {what}")))?
+        .parse()
+        .map_err(|_| snap_err(line, format!("unparseable {what}")))
+}
+
+fn bool01(parts: &mut SplitWhitespace, line: usize, what: &str) -> Result<bool, String> {
+    match field::<u8>(parts, line, what)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(snap_err(line, format!("{what} must be 0 or 1"))),
+    }
+}
+
+/// Parses and verifies a snapshot document (body + CRC footer, as read
+/// from disk). Fail-closed: any mismatch is an error, never a partial
+/// restore.
+pub(crate) fn parse_snapshot(text: &str) -> Result<SnapshotDoc, String> {
+    let Some(pos) = find_crc_footer(text) else {
+        return Err("missing crc32 footer".into());
+    };
+    let footer = text[pos..].trim_end();
+    let want = footer
+        .strip_prefix(CRC_FOOTER_PREFIX)
+        .and_then(|hex| u32::from_str_radix(hex, 16).ok())
+        .ok_or("unparseable crc32 footer")?;
+    let got = crc32(&text.as_bytes()[..pos]);
+    if got != want {
+        return Err(format!(
+            "crc32 mismatch: footer {want:08x}, content {got:08x}"
+        ));
+    }
+    let lines: Vec<&str> = text[..pos].lines().collect();
+    let mut i = 0usize;
+    let take = |lines: &[&str], i: &mut usize, what: &str| -> Result<String, String> {
+        let line = lines
+            .get(*i)
+            .ok_or_else(|| snap_err(*i + 1, format!("missing {what}")))?;
+        *i += 1;
+        Ok((*line).to_string())
+    };
+    if take(&lines, &mut i, "magic")? != MAGIC {
+        return Err(snap_err(1, "bad magic"));
+    }
+
+    let line = take(&lines, &mut i, "seq")?;
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("seq") {
+        return Err(snap_err(i, "expected seq"));
+    }
+    let seq: u64 = field(&mut parts, i, "seq")?;
+
+    let line = take(&lines, &mut i, "wal.next_epoch")?;
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("wal.next_epoch") {
+        return Err(snap_err(i, "expected wal.next_epoch"));
+    }
+    let next_epoch: u64 = field(&mut parts, i, "wal.next_epoch")?;
+
+    if take(&lines, &mut i, "monitor")? != "monitor" {
+        return Err(snap_err(i, "expected monitor"));
+    }
+    // The embedded runtime-state document runs through its own `end`
+    // line (its grammar guarantees exactly one).
+    let start = i;
+    while i < lines.len() && lines[i] != "end" {
+        i += 1;
+    }
+    if i == lines.len() {
+        return Err(snap_err(start + 1, "embedded monitor document has no end"));
+    }
+    i += 1; // past the runtime doc's `end`
+    let mut monitor_doc = lines[start..i].join("\n");
+    monitor_doc.push('\n');
+
+    let mut verdicts: Option<Vec<Verdict>> = None;
+    if lines.get(i).is_some_and(|l| l.starts_with("verdicts ")) {
+        let line = take(&lines, &mut i, "verdicts")?;
+        let mut parts = line.split_whitespace();
+        parts.next();
+        let count: usize = field(&mut parts, i, "verdict count")?;
+        let mut list = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let line = take(&lines, &mut i, "verdict")?;
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("v") {
+                return Err(snap_err(i, "expected v"));
+            }
+            let score: f64 = field(&mut parts, i, "score")?;
+            let exceeds_threshold = bool01(&mut parts, i, "exceeds flag")?;
+            let confidence: f64 = field(&mut parts, i, "confidence")?;
+            let nalarms: usize = field(&mut parts, i, "alarm count")?;
+            let mut alarms = Vec::with_capacity(nalarms.min(1 << 10));
+            for _ in 0..nalarms {
+                let line = take(&lines, &mut i, "alarm")?;
+                let mut parts = line.split_whitespace();
+                if parts.next() != Some("a") {
+                    return Err(snap_err(i, "expected a"));
+                }
+                let kind = if bool01(&mut parts, i, "alarm kind")? {
+                    AlarmKind::Collective
+                } else {
+                    AlarmKind::Contextual
+                };
+                let ended_by_abrupt = bool01(&mut parts, i, "abrupt flag")?;
+                let nevents: usize = field(&mut parts, i, "alarm event count")?;
+                let mut events = Vec::with_capacity(nevents.min(1 << 16));
+                for _ in 0..nevents {
+                    let line = take(&lines, &mut i, "anomalous event")?;
+                    let mut parts = line.split_whitespace();
+                    if parts.next() != Some("e") {
+                        return Err(snap_err(i, "expected e"));
+                    }
+                    let ordinal: u64 = field(&mut parts, i, "ordinal")?;
+                    let millis: u64 = field(&mut parts, i, "timestamp")?;
+                    let device: usize = field(&mut parts, i, "device")?;
+                    let value = bool01(&mut parts, i, "value")?;
+                    let score: f64 = field(&mut parts, i, "event score")?;
+                    let ncauses: usize = field(&mut parts, i, "cause count")?;
+                    let mut cause_values = Vec::with_capacity(ncauses.min(1 << 10));
+                    for _ in 0..ncauses {
+                        let line = take(&lines, &mut i, "cause")?;
+                        let mut parts = line.split_whitespace();
+                        if parts.next() != Some("c") {
+                            return Err(snap_err(i, "expected c"));
+                        }
+                        let device: usize = field(&mut parts, i, "cause device")?;
+                        let lag: usize = field(&mut parts, i, "cause lag")?;
+                        let value = bool01(&mut parts, i, "cause value")?;
+                        cause_values
+                            .push((LaggedVar::new(DeviceId::from_index(device), lag), value));
+                    }
+                    events.push(AnomalousEvent {
+                        ordinal,
+                        event: BinaryEvent::new(
+                            Timestamp::from_millis(millis),
+                            DeviceId::from_index(device),
+                            value,
+                        ),
+                        cause_values,
+                        score,
+                    });
+                }
+                alarms.push(Alarm {
+                    kind,
+                    events,
+                    ended_by_abrupt,
+                });
+            }
+            list.push(Verdict {
+                score,
+                exceeds_threshold,
+                alarms,
+                confidence,
+            });
+        }
+        verdicts = Some(list);
+    }
+
+    let line = take(&lines, &mut i, "drift")?;
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("drift") {
+        return Err(snap_err(i, "expected drift"));
+    }
+    let drift = if bool01(&mut parts, i, "drift flag")? {
+        let line = take(&lines, &mut i, "drift.meta")?;
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("drift.meta") {
+            return Err(snap_err(i, "expected drift.meta"));
+        }
+        let since_check: usize = field(&mut parts, i, "since_check")?;
+        let events_seen: u64 = field(&mut parts, i, "events_seen")?;
+        let nsamples: usize = field(&mut parts, i, "sample count")?;
+        let nwindow: usize = field(&mut parts, i, "window count")?;
+        let mut samples = Vec::with_capacity(nsamples.min(1 << 20));
+        for _ in 0..nsamples {
+            let line = take(&lines, &mut i, "drift sample")?;
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("drift.s") {
+                return Err(snap_err(i, "expected drift.s"));
+            }
+            let device: usize = field(&mut parts, i, "sample device")?;
+            let exceeded = bool01(&mut parts, i, "sample exceeded")?;
+            let ll: f64 = field(&mut parts, i, "sample ll")?;
+            samples.push((DeviceId::from_index(device), exceeded, ll));
+        }
+        let mut window = Vec::with_capacity(nwindow.min(1 << 20));
+        for _ in 0..nwindow {
+            let line = take(&lines, &mut i, "drift window event")?;
+            let mut parts = line.split_whitespace();
+            if parts.next() != Some("drift.w") {
+                return Err(snap_err(i, "expected drift.w"));
+            }
+            let millis: u64 = field(&mut parts, i, "window timestamp")?;
+            let device: usize = field(&mut parts, i, "window device")?;
+            let value = bool01(&mut parts, i, "window value")?;
+            window.push(BinaryEvent::new(
+                Timestamp::from_millis(millis),
+                DeviceId::from_index(device),
+                value,
+            ));
+        }
+        let line = take(&lines, &mut i, "drift.base")?;
+        let bits = line
+            .strip_prefix("drift.base ")
+            .ok_or_else(|| snap_err(i, "expected drift.base"))?;
+        let mut base = Vec::with_capacity(bits.len());
+        for b in bits.bytes() {
+            match b {
+                b'0' => base.push(false),
+                b'1' => base.push(true),
+                _ => return Err(snap_err(i, "drift.base bits must be 0 or 1")),
+            }
+        }
+        Some(DriftResume {
+            samples,
+            since_check,
+            events_seen,
+            window,
+            base_state: SystemState::from_values(base),
+        })
+    } else {
+        None
+    };
+
+    if take(&lines, &mut i, "end")? != "end" {
+        return Err(snap_err(i, "expected end"));
+    }
+    if i != lines.len() {
+        return Err(snap_err(i + 1, "trailing data after end"));
+    }
+    Ok(SnapshotDoc {
+        seq,
+        next_epoch,
+        monitor_doc,
+        verdicts,
+        drift,
+    })
+}
+
+/// One recovered home, as reported by [`crate::Hub::recover`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct HomeRecovery {
+    /// The home's id (stable across crash and recovery: ids are assigned
+    /// in directory order, which is registration order).
+    pub home: HomeId,
+    /// The home's registered name.
+    pub name: String,
+    /// Whether a live-state snapshot was found and restored (a home that
+    /// never reached its first snapshot replays from the model alone).
+    pub snapshot_loaded: bool,
+    /// Events the home had durably scored before the crash — the
+    /// snapshot's coverage plus the replayed WAL tail. A client that
+    /// numbered its submissions resumes from exactly this offset.
+    pub durable_events: u64,
+    /// Events replayed from the WAL tail (the part of `durable_events`
+    /// not covered by the snapshot).
+    pub replayed_events: u64,
+    /// Sealed (snapshot-superseded but not yet deleted) segments that
+    /// were skipped or replayed during recovery.
+    pub sealed_segments: usize,
+    /// Byte offset of a torn (partially written) final record discarded
+    /// from the last segment, if the crash left one.
+    pub torn_tail: Option<u64>,
+}
+
+/// What [`crate::Hub::recover`] rebuilt, home by home.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct RecoveryReport {
+    /// Every recovered home, sorted by id.
+    pub homes: Vec<HomeRecovery>,
+}
+
+impl RecoveryReport {
+    /// Total events replayed from WAL tails across all homes.
+    pub fn total_replayed(&self) -> u64 {
+        self.homes.iter().map(|h| h.replayed_events).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(i: u64) -> BinaryEvent {
+        BinaryEvent::new(
+            Timestamp::from_millis(500 + i * 13),
+            DeviceId::from_index((i % 2) as usize),
+            i.is_multiple_of(3),
+        )
+    }
+
+    fn sample_verdicts() -> Vec<Verdict> {
+        vec![
+            Verdict {
+                score: 0.125,
+                exceeds_threshold: false,
+                alarms: Vec::new(),
+                confidence: 1.0,
+            },
+            Verdict {
+                score: f64::NAN,
+                exceeds_threshold: true,
+                confidence: 0.5,
+                alarms: vec![Alarm {
+                    kind: AlarmKind::Collective,
+                    ended_by_abrupt: true,
+                    events: vec![AnomalousEvent {
+                        ordinal: 41,
+                        event: event(7),
+                        cause_values: vec![
+                            (LaggedVar::new(DeviceId::from_index(1), 2), true),
+                            (LaggedVar::new(DeviceId::from_index(0), 0), false),
+                        ],
+                        score: 0.987_654_321,
+                    }],
+                }],
+            },
+        ]
+    }
+
+    const MONITOR_DOC: &str = "causaliot-runtime v1\nstats 0 0 0 0\nend\n";
+
+    #[test]
+    fn snapshot_round_trips_every_section() {
+        let verdicts = sample_verdicts();
+        let base = SystemState::from_values(vec![true, false, true]);
+        let window = vec![event(1), event(2)];
+        let drift = DriftParts {
+            since_check: 7,
+            events_seen: 1234,
+            samples: vec![
+                (DeviceId::from_index(0), true, -0.5),
+                (DeviceId::from_index(1), false, f64::NEG_INFINITY),
+            ],
+            window: &window,
+            base_state: &base,
+        };
+        let mut doc = render_snapshot(42, 3, MONITOR_DOC, Some(&verdicts), Some(&drift));
+        append_crc_footer(&mut doc);
+        let parsed = parse_snapshot(&doc).unwrap();
+        assert_eq!(parsed.seq, 42);
+        assert_eq!(parsed.next_epoch, 3);
+        assert_eq!(parsed.monitor_doc, MONITOR_DOC);
+        let got = parsed.verdicts.unwrap();
+        // NaN != NaN, so compare the round-trip through the renderer.
+        let mut again = render_snapshot(42, 3, MONITOR_DOC, Some(&got), Some(&drift));
+        append_crc_footer(&mut again);
+        assert_eq!(doc, again);
+        let drift = parsed.drift.unwrap();
+        assert_eq!(drift.since_check, 7);
+        assert_eq!(drift.events_seen, 1234);
+        assert_eq!(drift.samples.len(), 2);
+        assert_eq!(drift.samples[1].2, f64::NEG_INFINITY);
+        assert_eq!(drift.window, window);
+        assert_eq!(drift.base_state.values(), &[true, false, true]);
+    }
+
+    #[test]
+    fn minimal_snapshot_round_trips() {
+        let mut doc = render_snapshot(0, 1, MONITOR_DOC, None, None);
+        append_crc_footer(&mut doc);
+        let parsed = parse_snapshot(&doc).unwrap();
+        assert_eq!(parsed.seq, 0);
+        assert_eq!(parsed.next_epoch, 1);
+        assert!(parsed.verdicts.is_none());
+        assert!(parsed.drift.is_none());
+    }
+
+    #[test]
+    fn corrupt_snapshots_fail_closed() {
+        let mut doc = render_snapshot(9, 2, MONITOR_DOC, Some(&sample_verdicts()), None);
+        append_crc_footer(&mut doc);
+
+        // Flip one content byte: the footer must catch it.
+        let mut bytes = doc.clone().into_bytes();
+        bytes[MAGIC.len() + 5] ^= 1;
+        let flipped = String::from_utf8(bytes).unwrap();
+        assert!(parse_snapshot(&flipped).unwrap_err().contains("crc32"));
+
+        // Drop the footer entirely.
+        let body = &doc[..find_crc_footer(&doc).unwrap()];
+        assert!(parse_snapshot(body).unwrap_err().contains("footer"));
+
+        // Structural damage with a *recomputed* footer still fails: the
+        // parser itself is the last line of defence.
+        let mut truncated = body
+            .lines()
+            .take_while(|l| *l != "drift 0")
+            .collect::<Vec<_>>()
+            .join("\n");
+        truncated.push('\n');
+        append_crc_footer(&mut truncated);
+        assert!(parse_snapshot(&truncated).unwrap_err().contains("drift"));
+    }
+
+    #[test]
+    fn home_dir_names_round_trip() {
+        assert_eq!(parse_home_dir("home-0"), Some(0));
+        assert_eq!(parse_home_dir("home-17"), Some(17));
+        assert_eq!(parse_home_dir("home-"), None);
+        assert_eq!(parse_home_dir("house-1"), None);
+        assert_eq!(parse_home_dir("home-x1"), None);
+    }
+
+    #[test]
+    fn durable_home_rotates_and_prunes_segments() {
+        let dir = std::env::temp_dir().join(format!("iot-serve-durable-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let policy = DurabilityPolicy::Interval {
+            events: 4,
+            max_delay: std::time::Duration::from_secs(3600),
+        };
+        let mut home = DurableHome::create(dir.clone(), "kitchen", policy, 8).unwrap();
+        assert_eq!(
+            fs::read_to_string(dir.join(META_FILE)).unwrap(),
+            "kitchen\n"
+        );
+        let events: Vec<BinaryEvent> = (0..8).map(event).collect();
+        home.append(&events[..3]).unwrap();
+        assert!(!home.sync_if_due().unwrap());
+        home.append(&events[3..8]).unwrap();
+        assert!(home.sync_if_due().unwrap());
+        assert!(home.needs_snapshot());
+        let doc = render_snapshot(8, home.next_epoch(), MONITOR_DOC, None, None);
+        home.rotate(&doc).unwrap();
+        assert!(!home.needs_snapshot());
+        let segments = list_segments(&dir).unwrap();
+        assert_eq!(segments.len(), 1, "old segment pruned");
+        assert_eq!(segments[0].0, 1);
+        let text = fs::read_to_string(dir.join(SNAP_FILE)).unwrap();
+        assert_eq!(parse_snapshot(&text).unwrap().next_epoch, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -114,6 +114,90 @@ impl From<QuarantinedError> for SubmitError {
     }
 }
 
+/// [`crate::Hub::shutdown_within`]'s deadline lapsed before every worker
+/// and the supervisor finished.
+///
+/// The hub's threads were detached, not killed: queued work may still
+/// complete in the background, but no reports can be collected and no
+/// further interaction with the hub is possible. Treat the process as
+/// needing an external restart.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShutdownTimeout {
+    /// The deadline that lapsed.
+    pub deadline: Duration,
+    /// Worker threads still running when the deadline hit.
+    pub stuck_workers: usize,
+}
+
+impl fmt::Display for ShutdownTimeout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hub shutdown did not complete within {:?}: {} worker thread(s) still running",
+            self.deadline, self.stuck_workers
+        )
+    }
+}
+
+impl Error for ShutdownTimeout {}
+
+/// Why [`crate::Hub::recover`] refused to rebuild a fleet from its
+/// durability directory.
+///
+/// Recovery is fail-closed: a record or document that cannot be fully
+/// verified stops the whole recovery with [`RecoveryError::Corrupt`]
+/// naming the file and byte offset / line, rather than serving from
+/// silently wrong state. (A *torn tail* — an incomplete final record
+/// from dying mid-append — is not corruption; it is discarded and
+/// counted in the [`crate::RecoveryReport`].)
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RecoveryError {
+    /// The supplied config has no armed [`crate::DurabilityConfig`], so
+    /// there is nothing to recover from.
+    NotArmed,
+    /// An I/O failure while reading durable state.
+    Io(std::io::Error),
+    /// A durable file failed verification. `detail` pins the failure:
+    /// for a WAL segment the byte offset and cause, for a snapshot or
+    /// checkpoint the offending line.
+    Corrupt {
+        /// The file that failed verification.
+        file: std::path::PathBuf,
+        /// What failed, precisely.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::NotArmed => {
+                write!(f, "recovery requires an armed durability config")
+            }
+            RecoveryError::Io(e) => write!(f, "recovery I/O failure: {e}"),
+            RecoveryError::Corrupt { file, detail } => {
+                write!(f, "corrupt durable state in {}: {detail}", file.display())
+            }
+        }
+    }
+}
+
+impl Error for RecoveryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RecoveryError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RecoveryError {
+    fn from(e: std::io::Error) -> Self {
+        RecoveryError::Io(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +225,21 @@ mod tests {
             deadline: Duration::from_millis(5),
         };
         assert!(d.to_string().contains("deadline"));
+        let t = ShutdownTimeout {
+            deadline: Duration::from_secs(2),
+            stuck_workers: 3,
+        };
+        assert!(t.to_string().contains("3 worker"));
+        assert!(RecoveryError::NotArmed.to_string().contains("armed"));
+        let c = RecoveryError::Corrupt {
+            file: std::path::PathBuf::from("/x/wal-0000000000.log"),
+            detail: "offset 42: crc mismatch".into(),
+        };
+        assert!(c.to_string().contains("offset 42"));
+        assert!(c.to_string().contains("wal-0000000000.log"));
+        let io = RecoveryError::from(std::io::Error::other("disk gone"));
+        assert!(io.to_string().contains("disk gone"));
+        assert!(Error::source(&io).is_some());
     }
 
     #[test]
@@ -160,5 +259,7 @@ mod tests {
         fn assert_bounds<T: Error + Send + Sync + 'static>() {}
         assert_bounds::<SubmitError>();
         assert_bounds::<QuarantinedError>();
+        assert_bounds::<ShutdownTimeout>();
+        assert_bounds::<RecoveryError>();
     }
 }

@@ -2,30 +2,41 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fs;
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use causaliot_core::{DeadLetterCounts, DriftReport, FittedModel, IngestGuard, Verdict};
+use causaliot_core::{
+    DeadLetterCounts, DriftReport, FittedModel, IngestGuard, OwnedMonitor, Verdict,
+};
 use iot_fleet::{FleetError, Generation, ModelStore};
 use iot_model::BinaryEvent;
 use iot_telemetry::{
     Buckets, Counter, Gauge, Histogram, MetricsServer, MonitorReport, TelemetryHandle,
 };
 
-use crate::config::{HubConfig, SubmitPolicy};
-use crate::error::QuarantinedError;
+use crate::config::{DurabilityConfig, HubConfig, SubmitPolicy};
+use crate::durable::{
+    home_dir, list_home_dirs, list_segments, parse_snapshot, render_snapshot, write_snapshot,
+    DriftParts, DriftResume, DurableHome, HomeRecovery, RecoveryReport, ResumeState, META_FILE,
+    MODEL_FILE, SNAP_FILE,
+};
+use crate::error::{QuarantinedError, RecoveryError, ShutdownTimeout};
 use crate::fault::{FaultHook, HomeHealth};
 use crate::refit::{spawn_refitter, RefitRequest, Refitter, RefitterGuard};
 use crate::stats::{FlightRecording, HomeStats, HomeStatsCell, HubStats, LatencyStats, ShardStats};
 use crate::supervisor::{
-    flight_recording, spawn_worker, Job, ShardCore, SupervisedHome, Supervisor, SupervisorGuard,
-    SupervisorShared, WorkerContext,
+    flight_recording, spawn_worker, DriftState, Job, ShardCore, SupervisedHome, Supervisor,
+    SupervisorGuard, SupervisorShared, WorkerContext,
 };
 use crate::update::{ModelUpdate, UpdateError, UpdateOutcome, UpdateReason};
 use crate::util::lock;
+use crate::wal::{replay_segment, SegmentOutcome};
 use crate::SubmitError;
 
 /// How long one [`crate::SubmitPolicy::Block`] wait-for-space pause lasts.
@@ -279,6 +290,11 @@ impl Hub {
         let drift_reports = telemetry.counter("hub.drift.reports");
         let drift_refit_requests = telemetry.counter("hub.drift.refit_requests");
         let drift_dropped = telemetry.counter("hub.drift.dropped");
+        let wal_appended = telemetry.counter("hub.wal.appended");
+        let wal_fsyncs = telemetry.counter("hub.wal.fsyncs");
+        let wal_rotations = telemetry.counter("hub.wal.rotations");
+        let wal_errors = telemetry.counter("hub.wal.errors");
+        let snapshots_written = telemetry.counter("hub.snapshot.written");
         // The refitter's bounded request queue exists exactly when the
         // adaptation policy does.
         let (refit_tx, refit_rx) = match &config.adaptation {
@@ -314,6 +330,11 @@ impl Hub {
                 drift_reports: drift_reports.clone(),
                 drift_refit_requests: drift_refit_requests.clone(),
                 drift_dropped: drift_dropped.clone(),
+                wal_appended: wal_appended.clone(),
+                wal_fsyncs: wal_fsyncs.clone(),
+                wal_rotations: wal_rotations.clone(),
+                wal_errors: wal_errors.clone(),
+                snapshots_written: snapshots_written.clone(),
                 telemetry: telemetry.clone(),
             };
             let core = Arc::new(ShardCore {
@@ -514,7 +535,51 @@ impl Hub {
     ///
     /// Homes are assigned to shards round-robin by registration order.
     /// Registration may block briefly if the shard's queue is full.
+    ///
+    /// With a [`crate::DurabilityConfig`] armed, registration also
+    /// creates the home's durable directory (`home-<id>/` under the
+    /// configured root) with its name, model checkpoint, and WAL segment
+    /// 0. A durable I/O failure here disarms durability for this home
+    /// (counted in `hub.wal.errors`) — serving always starts.
     pub fn register(&mut self, name: &str, model: &FittedModel) -> HomeId {
+        let monitor = Box::new(model.clone().into_monitor());
+        let resume = self.fresh_resume(self.homes.len(), name, model);
+        self.register_inner(name, model, monitor, resume)
+    }
+
+    /// Creates the on-disk durable state for a freshly registered home,
+    /// when the hub's durability config is armed.
+    fn fresh_resume(&self, id: usize, name: &str, model: &FittedModel) -> Option<Box<ResumeState>> {
+        let d = self.config.durability.as_ref().filter(|d| d.is_armed())?;
+        let build = || -> io::Result<DurableHome> {
+            let durable =
+                DurableHome::create(home_dir(&d.dir, id), name, d.policy, d.snapshot_every)?;
+            model
+                .save_to_path(durable.model_path())
+                .map_err(io::Error::other)?;
+            Ok(durable)
+        };
+        match build() {
+            Ok(durable) => Some(Box::new(ResumeState {
+                seq: 0,
+                verdicts: Vec::new(),
+                drift: None,
+                durable,
+            })),
+            Err(_) => {
+                self.telemetry.counter("hub.wal.errors").inc();
+                None
+            }
+        }
+    }
+
+    fn register_inner(
+        &mut self,
+        name: &str,
+        model: &FittedModel,
+        monitor: Box<OwnedMonitor>,
+        resume: Option<Box<ResumeState>>,
+    ) -> HomeId {
         let id = self.homes.len();
         let shard = id % self.shards.len();
         let health = Arc::new(HomeHealth::new());
@@ -530,7 +595,6 @@ impl Hub {
             shard,
             health: Arc::clone(&health),
         });
-        let monitor = Box::new(model.clone().into_monitor());
         let guard = self.config.ingest.map(|policy| {
             let mut guard = IngestGuard::new(policy, model.num_devices());
             guard.set_telemetry(&self.telemetry);
@@ -546,9 +610,106 @@ impl Hub {
                 guard,
                 stats,
                 model: model.clone(),
+                resume,
             },
         );
         HomeId(id)
+    }
+
+    /// Rebuilds a whole fleet from its durability directory after a
+    /// crash (including `kill -9`), using the `CAUSALIOT_TELEMETRY`
+    /// telemetry handle.
+    ///
+    /// For every `home-<id>/` under the config's durability root, in id
+    /// order: loads the model checkpoint, restores the latest live-state
+    /// snapshot (monitor runtime state, sequence number, verdict history,
+    /// drift window), replays the WAL tail through the restored monitor,
+    /// publishes a fresh post-recovery snapshot, and re-registers the
+    /// home under its original id and name. The resumed hub's verdict
+    /// stream — for every event the durability policy had made durable —
+    /// is **bit-identical** to an uninterrupted run; the
+    /// [`RecoveryReport`] tells the caller each home's durable event
+    /// count, so clients that number their submissions know exactly where
+    /// to resume.
+    ///
+    /// Recovery is fail-closed and all-or-nothing: every home is verified
+    /// and replayed *before* the hub spins up, and any record or document
+    /// that fails verification aborts the whole recovery with the file
+    /// and offset — except a *torn tail* (an incomplete final WAL record
+    /// from dying mid-append), which is discarded and counted.
+    ///
+    /// # Errors
+    ///
+    /// [`RecoveryError::NotArmed`] when `config` has no armed
+    /// [`crate::DurabilityConfig`]; [`RecoveryError::Io`] on read
+    /// failures; [`RecoveryError::Corrupt`] for a checkpoint, snapshot,
+    /// or WAL record that fails verification, or a non-dense /
+    /// gap-containing home or segment layout.
+    ///
+    /// # Panics
+    ///
+    /// Same configuration conditions as [`Hub::new`].
+    pub fn recover(config: HubConfig) -> Result<(Hub, RecoveryReport), RecoveryError> {
+        Self::recover_with_telemetry(config, &TelemetryHandle::from_env())
+    }
+
+    /// [`Hub::recover`] reporting to an explicit telemetry handle.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Hub::recover`].
+    ///
+    /// # Panics
+    ///
+    /// Same configuration conditions as [`Hub::new`].
+    pub fn recover_with_telemetry(
+        config: HubConfig,
+        telemetry: &TelemetryHandle,
+    ) -> Result<(Hub, RecoveryReport), RecoveryError> {
+        let Some(durability) = config.durability.clone().filter(|d| d.is_armed()) else {
+            return Err(RecoveryError::NotArmed);
+        };
+        let dirs = list_home_dirs(&durability.dir)?;
+        // Ids are dense registration indices and recovery re-registers in
+        // id order (register_inner re-derives id and shard the same way),
+        // so the directory set must be exactly home-0..home-(N-1).
+        for (expect, (id, dir)) in dirs.iter().enumerate() {
+            if *id != expect {
+                return Err(RecoveryError::Corrupt {
+                    file: dir.clone(),
+                    detail: format!(
+                        "home directories are not dense: expected home-{expect}, found home-{id}"
+                    ),
+                });
+            }
+        }
+        // Verify and replay every home before spinning up threads: a
+        // corrupt home aborts with nothing started.
+        let mut recovered = Vec::with_capacity(dirs.len());
+        for (id, dir) in &dirs {
+            recovered.push(recover_home(*id, dir, &durability, &config, telemetry)?);
+        }
+        let homes_counter = telemetry.counter("hub.recovery.homes");
+        let replayed_counter = telemetry.counter("hub.recovery.replayed");
+        let torn_counter = telemetry.counter("hub.recovery.torn_tails");
+        let mut hub = Self::with_telemetry(config, telemetry);
+        let mut report = RecoveryReport::default();
+        for home in recovered {
+            homes_counter.inc();
+            replayed_counter.add(home.record.replayed_events);
+            if home.record.torn_tail.is_some() {
+                torn_counter.inc();
+            }
+            let id = hub.register_inner(
+                &home.record.name,
+                &home.model,
+                home.monitor,
+                Some(home.resume),
+            );
+            debug_assert_eq!(id, home.record.home);
+            report.homes.push(home.record);
+        }
+        Ok((hub, report))
     }
 
     /// Submits one event for `home` under the hub's
@@ -982,7 +1143,35 @@ impl Hub {
     /// Homes that ended the session quarantined are reported too, with
     /// [`HomeReport::quarantined`] set and their panic payloads in
     /// [`HomeReport::panics`].
+    #[inline]
     pub fn shutdown(self) -> Vec<HomeReport> {
+        self.shutdown_inner(None)
+            .expect("shutdown without a deadline cannot time out")
+    }
+
+    /// [`Hub::shutdown`] with an upper bound on how long to wait for the
+    /// worker threads to finish their queues and exit.
+    ///
+    /// On success this is exactly `shutdown()`. If the deadline lapses
+    /// first — a monitor wedged in an infinite loop, a pathological
+    /// backlog — the still-running workers are left detached and
+    /// [`ShutdownTimeout`] reports how many; no reports can be collected
+    /// and the process should be treated as needing an external restart
+    /// (with durability armed, [`Hub::recover`] picks up from the synced
+    /// WAL tail).
+    ///
+    /// # Errors
+    ///
+    /// [`ShutdownTimeout`] when worker threads outlive `deadline`.
+    pub fn shutdown_within(self, deadline: Duration) -> Result<Vec<HomeReport>, ShutdownTimeout> {
+        self.shutdown_inner(Some(deadline))
+    }
+
+    fn shutdown_inner(
+        self,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<HomeReport>, ShutdownTimeout> {
+        let started = Instant::now();
         let Hub {
             supervisor,
             refitter,
@@ -1005,17 +1194,40 @@ impl Hub {
         drop(shards);
         // 3. Join whatever workers are (still) alive.
         let handles: Vec<_> = std::mem::take(&mut *lock(&shared.workers));
-        for handle in handles.into_iter().flatten() {
-            // A worker that died to an injected kill carries that panic;
-            // its queue leftovers are drained below.
-            let _ = handle.join();
+        match deadline {
+            None => {
+                for handle in handles.into_iter().flatten() {
+                    // A worker that died to an injected kill carries that
+                    // panic; its queue leftovers are drained below.
+                    let _ = handle.join();
+                }
+            }
+            Some(deadline) => {
+                let mut pending: Vec<_> = handles.into_iter().flatten().collect();
+                while !pending.is_empty() {
+                    if let Some(pos) = pending.iter().position(|h| h.is_finished()) {
+                        let _ = pending.swap_remove(pos).join();
+                        continue;
+                    }
+                    if started.elapsed() >= deadline {
+                        return Err(ShutdownTimeout {
+                            deadline,
+                            stuck_workers: pending.len(),
+                        });
+                    }
+                    std::thread::sleep(BLOCK_POLL);
+                }
+            }
         }
         // 4. Score anything a dead worker left behind, release every
-        //    reordering buffer (end of stream), then collect.
+        //    reordering buffer (end of stream), settle durable state
+        //    (final snapshots for healthy homes, a WAL fsync for poisoned
+        //    ones), then collect.
         let mut reports = Vec::new();
         for core in cores {
             core.drain_remaining();
             core.flush_guards();
+            core.final_snapshots();
             let slots = std::mem::take(&mut *lock(&core.homes));
             for (id, slot) in slots {
                 let monitor =
@@ -1049,7 +1261,7 @@ impl Hub {
             }
         }
         reports.sort_by_key(|r| r.id);
-        reports
+        Ok(reports)
     }
 
     fn entry(&self, home: HomeId) -> Result<&HomeEntry, SubmitError> {
@@ -1148,6 +1360,222 @@ impl Hub {
             shard.depth.fetch_sub(1, Ordering::Relaxed);
         }
     }
+}
+
+/// One home rebuilt off disk, ready to re-register.
+struct RecoveredHome {
+    model: FittedModel,
+    /// The monitor with its runtime state restored and the WAL tail
+    /// already replayed through it.
+    monitor: Box<OwnedMonitor>,
+    resume: Box<ResumeState>,
+    record: HomeRecovery,
+}
+
+/// Rebuilds one home from its durable directory: checkpoint → snapshot →
+/// WAL-tail replay → post-recovery snapshot + fresh segment.
+fn recover_home(
+    id: usize,
+    dir: &Path,
+    durability: &DurabilityConfig,
+    config: &HubConfig,
+    telemetry: &TelemetryHandle,
+) -> Result<RecoveredHome, RecoveryError> {
+    let meta_path = dir.join(META_FILE);
+    let name = fs::read_to_string(&meta_path)?.trim_end().to_string();
+    if name.is_empty() {
+        return Err(RecoveryError::Corrupt {
+            file: meta_path,
+            detail: "empty home name".into(),
+        });
+    }
+    let model_path = dir.join(MODEL_FILE);
+    let model =
+        FittedModel::load_from_path_with_telemetry(&model_path, telemetry).map_err(|e| {
+            RecoveryError::Corrupt {
+                file: model_path.clone(),
+                detail: e.to_string(),
+            }
+        })?;
+    let mut monitor = model.clone().into_monitor();
+    // Drift state is rebuilt alongside the monitor so the recovered
+    // detector has seen exactly what the monitor has. (The drift *report
+    // history* is not persisted; only verdict bit-identity is
+    // guaranteed across a crash.)
+    let mut drift = config
+        .adaptation
+        .as_ref()
+        .and_then(|p| DriftState::new(model.clone(), &p.drift));
+
+    let snap_path = dir.join(SNAP_FILE);
+    let mut seq = 0u64;
+    let mut verdicts: Vec<Verdict> = Vec::new();
+    let mut next_epoch = 0u64;
+    let mut snapshot_loaded = false;
+    match fs::read_to_string(&snap_path) {
+        Ok(text) => {
+            let doc = parse_snapshot(&text).map_err(|detail| RecoveryError::Corrupt {
+                file: snap_path.clone(),
+                detail,
+            })?;
+            monitor
+                .restore_runtime_state(&doc.monitor_doc)
+                .map_err(|e| RecoveryError::Corrupt {
+                    file: snap_path.clone(),
+                    detail: e.to_string(),
+                })?;
+            seq = doc.seq;
+            next_epoch = doc.next_epoch;
+            if let Some(v) = doc.verdicts {
+                verdicts = v;
+            }
+            if let (Some(drift), Some(dr)) = (drift.as_mut(), doc.drift) {
+                drift
+                    .detector
+                    .restore_window(dr.samples, dr.since_check, dr.events_seen);
+                drift.window = dr.window;
+                drift.base_state = dr.base_state;
+            }
+            snapshot_loaded = true;
+        }
+        // A home that never reached its first snapshot replays from the
+        // model's end-of-training state alone.
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e.into()),
+    }
+    if !config.record_verdicts {
+        verdicts.clear();
+    }
+
+    // Replay the WAL tail: segments below the snapshot's epoch are
+    // superseded (skipped), everything at or above it must be present,
+    // consecutive, and verify record by record.
+    let segments = list_segments(dir)?;
+    let skipped = segments.iter().take_while(|(e, _)| *e < next_epoch).count();
+    let mut sealed_segments = skipped;
+    let mut replayed_events = 0u64;
+    let mut torn_tail = None;
+    let mut expected = next_epoch;
+    let replay_count = segments.len() - skipped;
+    let mut out: Vec<Verdict> = Vec::new();
+    for (idx, (epoch, path)) in segments[skipped..].iter().enumerate() {
+        if *epoch != expected {
+            return Err(RecoveryError::Corrupt {
+                file: path.clone(),
+                detail: format!("WAL epoch gap: expected segment {expected}, found {epoch}"),
+            });
+        }
+        expected += 1;
+        let last = idx + 1 == replay_count;
+        let replay = replay_segment(path)?;
+        match replay.outcome {
+            SegmentOutcome::Sealed => sealed_segments += 1,
+            SegmentOutcome::Unsealed if last => {}
+            SegmentOutcome::TornTail { offset } if last => torn_tail = Some(offset),
+            SegmentOutcome::Corrupt { offset, cause } => {
+                return Err(RecoveryError::Corrupt {
+                    file: path.clone(),
+                    detail: format!("offset {offset}: {cause}"),
+                });
+            }
+            SegmentOutcome::Unsealed | SegmentOutcome::TornTail { .. } => {
+                return Err(RecoveryError::Corrupt {
+                    file: path.clone(),
+                    detail: "non-final WAL segment is not sealed".into(),
+                });
+            }
+        }
+        if replay.events.is_empty() {
+            continue;
+        }
+        out.clear();
+        // Replay cannot panic: only events that scored cleanly pre-crash
+        // were ever appended.
+        monitor.observe_batch_into(&replay.events, &mut out);
+        if let Some(drift) = drift.as_mut() {
+            let policy = config
+                .adaptation
+                .as_ref()
+                .expect("drift implies adaptation");
+            for (event, verdict) in replay.events.iter().zip(out.iter()) {
+                if let Some(report) = drift.detector.record(event.device, verdict.score) {
+                    // Mirror the live path's reset-on-trigger, minus the
+                    // refit enqueue: a refit that landed pre-crash is in
+                    // the model checkpoint already, one that didn't is
+                    // simply re-triggerable.
+                    if report.severity >= policy.min_severity {
+                        drift.detector.reset();
+                    }
+                    drift.reports.push(report);
+                }
+            }
+            drift.push_batch(&replay.events, policy.refit_window);
+        }
+        seq += replay.events.len() as u64;
+        replayed_events += replay.events.len() as u64;
+        if config.record_verdicts {
+            verdicts.extend(out.iter().cloned());
+        }
+    }
+
+    // Publish a post-recovery snapshot so a second crash replays from
+    // here, then open a fresh segment above every epoch seen and prune
+    // the superseded ones.
+    let new_epoch = expected;
+    let drift_parts = drift.as_ref().map(|d| DriftParts {
+        since_check: d.detector.since_check(),
+        events_seen: d.detector.events_seen(),
+        samples: d.detector.window_samples().collect(),
+        window: &d.window,
+        base_state: &d.base_state,
+    });
+    let doc = render_snapshot(
+        seq,
+        new_epoch,
+        &monitor.export_runtime_state(),
+        config.record_verdicts.then_some(verdicts.as_slice()),
+        drift_parts.as_ref(),
+    );
+    write_snapshot(dir, &doc)?;
+    drop(drift_parts);
+    let durable = DurableHome::open_at(
+        dir.to_path_buf(),
+        new_epoch,
+        durability.policy,
+        durability.snapshot_every,
+    )?;
+    for (epoch, path) in segments {
+        if epoch < new_epoch {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    let drift_resume = drift.as_ref().map(|d| DriftResume {
+        samples: d.detector.window_samples().collect(),
+        since_check: d.detector.since_check(),
+        events_seen: d.detector.events_seen(),
+        window: d.window.clone(),
+        base_state: d.base_state.clone(),
+    });
+    Ok(RecoveredHome {
+        model,
+        monitor: Box::new(monitor),
+        resume: Box::new(ResumeState {
+            seq,
+            verdicts,
+            drift: drift_resume,
+            durable,
+        }),
+        record: HomeRecovery {
+            home: HomeId(id),
+            name,
+            snapshot_loaded,
+            durable_events: seq,
+            replayed_events,
+            sealed_segments,
+            torn_tail,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -1408,6 +1836,72 @@ mod tests {
         assert_eq!(reports[1].dead_letter_causes.late_arrival, 1);
         assert_eq!(reports[1].dead_letter_causes.clock_regression, 1);
         assert_eq!(reports[1].monitor.events_observed, 2);
+    }
+
+    #[test]
+    fn shutdown_within_succeeds_on_a_healthy_hub() {
+        let (_, model) = fitted_model();
+        let mut hub = Hub::new(HubConfig::default());
+        let _ = hub.register("home", &model);
+        let reports = hub.shutdown_within(Duration::from_secs(30)).unwrap();
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn recover_requires_armed_durability() {
+        assert!(matches!(
+            Hub::recover(HubConfig::default()),
+            Err(RecoveryError::NotArmed)
+        ));
+    }
+
+    #[test]
+    fn durable_hub_round_trips_through_recovery() {
+        let (reg, model) = fitted_model();
+        let lamp = reg.id_of("S_lamp").unwrap();
+        let pe = reg.id_of("PE_room").unwrap();
+        let events: Vec<BinaryEvent> = (0..120u64)
+            .map(|i| {
+                let dev = if i % 3 == 0 { pe } else { lamp };
+                BinaryEvent::new(Timestamp::from_secs(200_000 + i * 30), dev, i % 2 == 0)
+            })
+            .collect();
+        let mut reference = model.clone().into_monitor();
+        let expected: Vec<Verdict> = events.iter().map(|e| reference.observe(*e)).collect();
+
+        let dir =
+            std::env::temp_dir().join(format!("iot-serve-hub-recover-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let config = || {
+            HubConfig::builder()
+                .workers(1)
+                .durability(DurabilityConfig::at(&dir))
+                .try_build()
+                .unwrap()
+        };
+        let mut hub = Hub::new(config());
+        let home = hub.register("kitchen", &model);
+        assert!(hub.submit_batch(home, &events[..70]).unwrap().is_complete());
+        let reports = hub.shutdown();
+        assert_eq!(reports[0].verdicts.len(), 70);
+
+        // A clean shutdown leaves a final snapshot and an empty WAL tail:
+        // recovery restores everything from the snapshot and serving
+        // resumes with verdicts bit-identical to the uninterrupted run.
+        let (hub2, recovery) = Hub::recover(config()).unwrap();
+        assert_eq!(recovery.homes.len(), 1);
+        assert_eq!(recovery.homes[0].name, "kitchen");
+        assert_eq!(recovery.homes[0].durable_events, 70);
+        assert_eq!(recovery.homes[0].replayed_events, 0);
+        assert!(recovery.homes[0].snapshot_loaded);
+        assert!(hub2
+            .submit_batch(home, &events[70..])
+            .unwrap()
+            .is_complete());
+        let reports = hub2.shutdown();
+        assert_eq!(reports[0].name, "kitchen");
+        assert_eq!(reports[0].verdicts, expected);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

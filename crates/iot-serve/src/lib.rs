@@ -52,6 +52,19 @@
 //!   and hot-swaps it in at an event boundary, stamped
 //!   [`UpdateReason::DriftRefit`]. Without a policy the hub is
 //!   bit-identical to a non-adaptive one.
+//! * **Crash tolerance** — with a [`DurabilityConfig`] armed, every home
+//!   appends its scored events to a CRC-framed per-home write-ahead log
+//!   and periodically snapshots its full runtime state with the same
+//!   atomic write discipline as checkpoints. After a hard crash
+//!   (`kill -9` included), [`Hub::recover`] rebuilds the fleet from disk
+//!   — snapshot first, WAL tail replayed on top — and resumes with
+//!   verdicts bit-identical to an uninterrupted run. Recovery is
+//!   fail-closed: corruption stops it with [`RecoveryError::Corrupt`]
+//!   naming the file and offset; only a torn final record (a crash
+//!   mid-append) is tolerated and counted. The fsync cadence — and so
+//!   the tail at risk on power loss — is the [`DurabilityPolicy`];
+//!   [`Hub::shutdown_within`] bounds shutdown time for supervised
+//!   restarts.
 //! * **Telemetry** — wired into the `iot-telemetry` registry: per-shard
 //!   queue-depth gauges (`hub.shard.<i>.queue_depth`), per-shard event /
 //!   swap / restart counters (`hub.shard.<i>.events`, `.swaps`,
@@ -101,6 +114,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod durable;
 mod error;
 pub mod fault;
 mod hub;
@@ -109,11 +123,14 @@ mod stats;
 mod supervisor;
 mod update;
 mod util;
+pub mod wal;
 
 pub use config::{
-    AdaptationPolicy, BackoffPolicy, HubConfig, HubConfigBuilder, RestorePolicy, SubmitPolicy,
+    AdaptationPolicy, BackoffPolicy, DurabilityConfig, DurabilityPolicy, HubConfig,
+    HubConfigBuilder, RestorePolicy, SubmitPolicy,
 };
-pub use error::{QuarantinedError, SubmitError};
+pub use durable::{HomeRecovery, RecoveryReport};
+pub use error::{QuarantinedError, RecoveryError, ShutdownTimeout, SubmitError};
 pub use fault::FaultHook;
 pub use hub::{BatchOutcome, HomeId, HomeReport, Hub, SUBMIT_CHUNK};
 pub use iot_telemetry::MetricsServer;

@@ -46,6 +46,7 @@ use iot_model::{BinaryEvent, DeviceId, SystemState, Timestamp};
 use iot_telemetry::{Counter, FlightRecorder, Gauge, Histogram, MonitorReport, TelemetryHandle};
 
 use crate::config::{AdaptationPolicy, RestorePolicy};
+use crate::durable::{render_snapshot, DriftParts, DurableHome, ResumeState};
 use crate::fault::{panic_message, FaultHook, HomeHealth};
 use crate::hub::HomeId;
 use crate::refit::RefitRequest;
@@ -89,6 +90,12 @@ pub(crate) enum Job {
         /// The model behind the monitor — an `Arc` handle, kept to seed
         /// the home's drift detector when adaptation is armed.
         model: FittedModel,
+        /// Durable serving state to install: present exactly when the
+        /// hub's [`crate::DurabilityConfig`] is armed. For a fresh
+        /// registration it carries just the open WAL handle; for a
+        /// recovered home it also restores the sequence number, verdict
+        /// history, and drift window.
+        resume: Option<Box<ResumeState>>,
     },
     Event {
         home: usize,
@@ -156,6 +163,11 @@ pub(crate) struct HomeSlot {
     /// Every model update processed for this home, in order (the typed
     /// audit trail behind [`crate::HomeReport::updates`]).
     pub(crate) updates: Vec<UpdateReason>,
+    /// The home's write-ahead log and snapshot cadence, when the hub's
+    /// [`crate::DurabilityConfig`] is armed. `None` otherwise — and
+    /// dropped (with `hub.wal.errors` counted) if durable I/O ever
+    /// fails, so a sick disk degrades durability, never scoring.
+    pub(crate) durable: Option<DurableHome>,
 }
 
 /// One home's drift-detection state: the detector itself plus the
@@ -211,7 +223,7 @@ impl DriftState {
     /// folded into `base_state` in one pass and the tail shifted down.
     /// Amortised over `cap` events, that is O(1) per event with no
     /// per-event branches on the scoring hot path.
-    fn push_batch(&mut self, events: &[BinaryEvent], cap: usize) {
+    pub(crate) fn push_batch(&mut self, events: &[BinaryEvent], cap: usize) {
         let cap = cap.max(1);
         if events.len() >= cap {
             // The batch alone fills the window: everything currently
@@ -294,6 +306,17 @@ pub(crate) struct WorkerContext {
     /// `hub.drift.dropped` — triggered refits dropped because the
     /// refitter queue was full (backpressure, never a stall).
     pub(crate) drift_dropped: Counter,
+    /// `hub.wal.appended` — events appended to per-home WALs.
+    pub(crate) wal_appended: Counter,
+    /// `hub.wal.fsyncs` — WAL group commits flushed to disk.
+    pub(crate) wal_fsyncs: Counter,
+    /// `hub.wal.rotations` — WAL segment rotations (one per snapshot).
+    pub(crate) wal_rotations: Counter,
+    /// `hub.wal.errors` — durable I/O failures; each disarms the
+    /// affected home's durability rather than stall scoring.
+    pub(crate) wal_errors: Counter,
+    /// `hub.snapshot.written` — live-state snapshots published.
+    pub(crate) snapshots_written: Counter,
     /// For per-job spans (`hub.event` / `hub.batch`); a disabled handle
     /// reduces each span to one `Option` check.
     pub(crate) telemetry: TelemetryHandle,
@@ -324,23 +347,45 @@ impl ShardCore {
                 guard,
                 stats,
                 model,
+                resume,
             } => {
-                let drift = self
+                let mut drift = self
                     .context
                     .adaptation
                     .as_ref()
                     .and_then(|policy| DriftState::new(model, &policy.drift));
+                let (seq, verdicts, durable) = match resume {
+                    None => (0, Vec::new(), None),
+                    Some(resume) => {
+                        let ResumeState {
+                            seq,
+                            verdicts,
+                            drift: drift_resume,
+                            durable,
+                        } = *resume;
+                        if let (Some(drift), Some(dr)) = (drift.as_mut(), drift_resume) {
+                            drift.detector.restore_window(
+                                dr.samples,
+                                dr.since_check,
+                                dr.events_seen,
+                            );
+                            drift.window = dr.window;
+                            drift.base_state = dr.base_state;
+                        }
+                        (seq, verdicts, Some(durable))
+                    }
+                };
                 lock(&self.homes).insert(
                     home,
                     HomeSlot {
                         name,
                         monitor: *monitor,
-                        verdicts: Vec::new(),
+                        verdicts,
                         swaps: 0,
                         retired: Vec::new(),
                         health,
                         poisoned: false,
-                        seq: 0,
+                        seq,
                         dropped_quarantined: 0,
                         guard: guard.map(|g| *g),
                         stats,
@@ -348,6 +393,7 @@ impl ShardCore {
                         quarantine_flights: Vec::new(),
                         drift,
                         updates: Vec::new(),
+                        durable,
                     },
                 );
             }
@@ -399,6 +445,15 @@ impl ShardCore {
             } => {
                 let mut homes = lock(&self.homes);
                 if let Some(slot) = homes.get_mut(&home) {
+                    if let Some(durable) = slot.durable.as_ref() {
+                        // The durable model checkpoint must track the
+                        // serving model, or a recovery would replay the
+                        // WAL tail against the retired one.
+                        if model.save_to_path(durable.model_path()).is_err() {
+                            slot.durable = None;
+                            self.context.wal_errors.inc();
+                        }
+                    }
                     let old = std::mem::replace(&mut slot.monitor, *monitor);
                     // A poisoned monitor's report is plain aggregated data,
                     // but its state is unspecified after the unwind: guard
@@ -456,6 +511,9 @@ impl ShardCore {
                         slot.swaps += 1;
                         self.context.swaps.inc();
                     }
+                    // A model change is a durability boundary: snapshot
+                    // now so no WAL tail ever spans two models.
+                    self.snapshot_home(slot);
                 }
             }
             Job::Barrier(ack) => {
@@ -677,6 +735,11 @@ impl ShardCore {
         // one more (it was offered, like the per-event path's
         // seq-before-observe).
         slot.seq = seq_base + scored as u64 + outcome.is_err() as u64;
+        // Only *scored* events reach the WAL, after scoring: the log is
+        // exactly the stream a recovery must replay, and a panicking
+        // event (which poisons the monitor) is never logged — so replay
+        // cannot re-poison the home.
+        self.wal_append(slot, &events[..scored]);
         if scored > 0 {
             self.context.events.add(scored as u64);
             self.context.events_total.add(scored as u64);
@@ -739,7 +802,117 @@ impl ShardCore {
                 }
             }
         }
+        self.settle_durability(slot);
         scored
+    }
+
+    /// Appends scored events to `slot`'s WAL when durability is armed.
+    /// An append failure disarms the home's durability (counted in
+    /// `hub.wal.errors`) — scoring always continues.
+    fn wal_append(&self, slot: &mut HomeSlot, events: &[BinaryEvent]) {
+        if events.is_empty() || slot.durable.is_none() {
+            return;
+        }
+        let durable = slot.durable.as_mut().expect("checked is_some above");
+        match durable.append(events) {
+            Ok(()) => self.context.wal_appended.add(events.len() as u64),
+            Err(_) => {
+                slot.durable = None;
+                self.context.wal_errors.inc();
+            }
+        }
+    }
+
+    /// Job-boundary durability housekeeping: applies the group-commit
+    /// fsync rule, then rotates through a snapshot if the cadence is due.
+    /// Any I/O failure disarms the home's durability.
+    fn settle_durability(&self, slot: &mut HomeSlot) {
+        let Some(durable) = slot.durable.as_mut() else {
+            return;
+        };
+        match durable.sync_if_due() {
+            Ok(true) => self.context.wal_fsyncs.inc(),
+            Ok(false) => {}
+            Err(_) => {
+                slot.durable = None;
+                self.context.wal_errors.inc();
+                return;
+            }
+        }
+        if !slot.poisoned && slot.durable.as_ref().is_some_and(|d| d.needs_snapshot()) {
+            self.snapshot_home(slot);
+        }
+    }
+
+    /// Takes a live-state snapshot of `slot` and rotates its WAL.
+    ///
+    /// Only ever called at an event boundary, and never for a poisoned
+    /// home (its monitor state is unspecified after the unwind — the
+    /// previous snapshot plus the synced WAL remain the durable truth).
+    fn snapshot_home(&self, slot: &mut HomeSlot) {
+        let HomeSlot {
+            durable,
+            monitor,
+            verdicts,
+            drift,
+            seq,
+            poisoned,
+            ..
+        } = slot;
+        if *poisoned {
+            return;
+        }
+        let Some(dur) = durable.as_mut() else {
+            return;
+        };
+        let monitor_doc = monitor.export_runtime_state();
+        let drift_parts = drift.as_ref().map(|d| DriftParts {
+            since_check: d.detector.since_check(),
+            events_seen: d.detector.events_seen(),
+            samples: d.detector.window_samples().collect(),
+            window: &d.window,
+            base_state: &d.base_state,
+        });
+        let doc = render_snapshot(
+            *seq,
+            dur.next_epoch(),
+            &monitor_doc,
+            self.context.record_verdicts.then_some(verdicts.as_slice()),
+            drift_parts.as_ref(),
+        );
+        match dur.rotate(&doc) {
+            Ok(()) => {
+                self.context.wal_rotations.inc();
+                self.context.snapshots_written.inc();
+            }
+            Err(_) => {
+                *durable = None;
+                self.context.wal_errors.inc();
+            }
+        }
+    }
+
+    /// Shutdown-path durability flush, run after the queues drain: every
+    /// healthy home gets a final snapshot (so a clean shutdown leaves an
+    /// empty WAL tail), every poisoned home gets its WAL fsynced as-is.
+    pub(crate) fn final_snapshots(&self) {
+        let mut homes = lock(&self.homes);
+        for slot in homes.values_mut() {
+            if slot.poisoned {
+                if let Some(durable) = slot.durable.as_mut() {
+                    match durable.sync_now() {
+                        Ok(true) => self.context.wal_fsyncs.inc(),
+                        Ok(false) => {}
+                        Err(_) => {
+                            slot.durable = None;
+                            self.context.wal_errors.inc();
+                        }
+                    }
+                }
+            } else {
+                self.snapshot_home(slot);
+            }
+        }
     }
 
     /// Files freshly emitted drift reports for one home: counts them,
@@ -807,6 +980,7 @@ impl ShardCore {
             for event in events {
                 scored |= self.observe_guarded(home, slot, event, None);
             }
+            self.settle_durability(slot);
             return scored;
         };
         for event in events {
@@ -824,6 +998,7 @@ impl ShardCore {
             .dead_letters
             .store(guard.counts().total(), Ordering::Relaxed);
         slot.guard = Some(guard);
+        self.settle_durability(slot);
         scored
     }
 
@@ -892,6 +1067,7 @@ impl ShardCore {
                 self.context.events.inc();
                 self.context.events_total.inc();
                 slot.stats.events_scored.fetch_add(1, Ordering::Relaxed);
+                self.wal_append(slot, &[event]);
                 if let Some(ring) = slot.recorder.as_mut() {
                     ring.record(FlightEntry {
                         seq,
@@ -1123,7 +1299,13 @@ impl Supervisor {
                 continue;
             }
             if let Some(last) = tracker.last {
-                if last.elapsed() < policy.backoff.delay(tracker.attempts) {
+                // Seeded per-home jitter so a fleet-wide outage doesn't
+                // stampede every home's restore onto the same tick; the
+                // wait is never shorter than the plain schedule.
+                let wait = policy
+                    .backoff
+                    .delay_jittered(tracker.attempts, entry.home as u64);
+                if last.elapsed() < wait {
                     continue;
                 }
             }

@@ -29,7 +29,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::metrics::{HistogramSnapshot, MetricValue};
 use crate::TelemetryHandle;
@@ -37,8 +37,24 @@ use crate::TelemetryHandle;
 /// How often the accept loop polls for connections and the stop flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
-/// How long one scrape connection may take to send its request.
+/// Ceiling on any single blocking read from a scrape connection.
 const READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// How long one connection may take to write its response. The accept
+/// loop is single-threaded, so a scraper that stops reading must not be
+/// able to wedge the exporter on `write_all`.
+const WRITE_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Total budget for receiving one request. Per-read timeouts alone do
+/// not bound a connection: a client trickling one byte per read resets
+/// the clock each time (slow-loris), so the whole receive phase shares
+/// this one deadline.
+const CONN_DEADLINE: Duration = Duration::from_secs(1);
+
+/// Cap on the buffered request bytes. A scrape request is one short GET
+/// line plus a few headers; anything larger is garbage and is answered
+/// 400 instead of buffered without bound.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
 /// Renders a metrics snapshot in the Prometheus text exposition format.
 ///
@@ -218,6 +234,13 @@ fn fmt_f64(value: f64) -> String {
 /// a stop flag, so dropping the server (or calling
 /// [`MetricsServer::stop`]) shuts it down promptly without needing a
 /// wake-up connection.
+///
+/// Connections are handled one at a time, so each one is strictly
+/// bounded: a shared receive deadline across all reads (a trickling
+/// client cannot reset the clock per byte), a write timeout on the
+/// response, and a cap on buffered request bytes. A client that exceeds
+/// any of them gets a 400 and the loop moves on — one slow or hostile
+/// scraper cannot starve the healthy ones.
 #[derive(Debug)]
 pub struct MetricsServer {
     addr: SocketAddr,
@@ -289,19 +312,41 @@ fn accept_loop(listener: &TcpListener, telemetry: &TelemetryHandle, stop: &Atomi
 
 fn answer(mut stream: TcpStream, telemetry: &TelemetryHandle) -> std::io::Result<()> {
     stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let started = Instant::now();
     let mut request = Vec::new();
     let mut buf = [0u8; 1024];
-    loop {
-        let n = stream.read(&mut buf)?;
-        if n == 0 {
-            break;
+    // Read until the header terminator, a half-close, the byte cap, or
+    // the connection deadline — whichever comes first. Timing out or
+    // overflowing is a client fault, answered 400 so the accept loop
+    // moves on to the next scraper.
+    let complete = loop {
+        let remaining = CONN_DEADLINE.saturating_sub(started.elapsed());
+        if remaining.is_zero() {
+            break false;
         }
+        stream.set_read_timeout(Some(remaining.min(READ_TIMEOUT)))?;
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break !request.is_empty(),
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        };
         request.extend_from_slice(&buf[..n]);
-        if request.windows(4).any(|w| w == b"\r\n\r\n") || request.len() >= 8192 {
-            break;
+        if request.windows(4).any(|w| w == b"\r\n\r\n") {
+            break true;
         }
-    }
+        if request.len() >= MAX_REQUEST_BYTES {
+            break false;
+        }
+    };
     let request = String::from_utf8_lossy(&request);
     let path = request
         .lines()
@@ -309,7 +354,9 @@ fn answer(mut stream: TcpStream, telemetry: &TelemetryHandle) -> std::io::Result
         .and_then(|line| line.split_whitespace().nth(1))
         .unwrap_or("/");
     let path = path.split('?').next().unwrap_or(path);
-    let (status, body) = if path == "/metrics" || path == "/" {
+    let (status, body) = if !complete {
+        ("400 Bad Request", "bad request\n".to_string())
+    } else if path == "/metrics" || path == "/" {
         let body = render_prometheus(&telemetry.metrics_snapshot());
         ("200 OK", body)
     } else {
@@ -425,6 +472,46 @@ mod tests {
         assert!(ok.contains("up_total 1"), "{ok}");
         let missing = fetch("/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        server.stop();
+    }
+
+    #[test]
+    fn slow_client_cannot_stall_the_exporter() {
+        let t = TelemetryHandle::with_noop_sink();
+        t.counter("up").inc();
+        let server = MetricsServer::serve("127.0.0.1:0", t).unwrap();
+        let addr = server.local_addr();
+        // A slow-loris: opens the connection, sends a partial request
+        // (no header terminator), and then just sits there.
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.write_all(b"GET /metrics HTTP/1.1\r\n").unwrap();
+        // A healthy scrape queued behind it must still be answered: the
+        // stalled connection is bounded by the shared receive deadline,
+        // not held open forever.
+        let started = Instant::now();
+        let mut healthy = TcpStream::connect(addr).unwrap();
+        healthy
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        healthy.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("up_total 1"), "{response}");
+        assert!(
+            started.elapsed() < CONN_DEADLINE + Duration::from_secs(10),
+            "healthy scrape waited {:?} behind a stalled client",
+            started.elapsed()
+        );
+        // The stalled connection itself was answered 400 (or closed),
+        // never served a snapshot for half a request.
+        slow.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut out = String::new();
+        let _ = slow.read_to_string(&mut out);
+        assert!(
+            out.is_empty() || out.starts_with("HTTP/1.1 400"),
+            "stalled client got: {out}"
+        );
         server.stop();
     }
 }

@@ -2,7 +2,7 @@
 # Regression gate for the hot path: runs fresh exp_complexity and
 # exp_hub_throughput binaries (release mode) and checks them two ways —
 #
-#   1. Pinned ns/event budgets. Four metrics each carry an absolute
+#   1. Pinned ns/event budgets. Five metrics each carry an absolute
 #      per-event budget, independent of the baseline file:
 #        monitor_single_ns    worst "ns/event" point of exp_complexity
 #        monitor_batched_ns   worst "ns/event batched" point of exp_complexity
@@ -12,6 +12,12 @@
 #                             budget is hub_batched_ns * 1.05, i.e. drift
 #                             detection may add at most 5% to the hub
 #                             batched ns/event budget
+#        hub_wal_armed_ns     1e9 / hub4_batched_wal_eps — the hub with an
+#                             armed DurabilityConfig appending every
+#                             scored event to the per-home WAL; its budget
+#                             is hub_batched_ns * 2, i.e. crash tolerance
+#                             may at most double the hub batched ns/event
+#                             budget
 #      A metric over budget fails the gate by name.
 #   2. Relative throughput vs the committed baseline — every `*_eps`
 #      figure of the newest results/BENCH_*.json must stay above
@@ -55,7 +61,7 @@ if [[ -z "$baseline" || ! -s "$baseline" ]]; then
     exit 0
 fi
 echo "baseline: $baseline (tolerance ${tolerance}%, up to ${attempts} attempt(s))"
-echo "budgets:  monitor_single ${monitor_ns} ns, monitor_batched ${monitor_batch_ns} ns, hub_batched ${hub_batch_ns} ns, hub_drift_armed ${hub_batch_ns} ns + 5%"
+echo "budgets:  monitor_single ${monitor_ns} ns, monitor_batched ${monitor_batch_ns} ns, hub_batched ${hub_batch_ns} ns, hub_drift_armed ${hub_batch_ns} ns + 5%, hub_wal_armed ${hub_batch_ns} ns x 2"
 
 compare() {
     python3 - "$baseline" "$tolerance" "$monitor_ns" "$monitor_batch_ns" "$hub_batch_ns" <<'EOF'
@@ -70,6 +76,9 @@ budgets = {
     # Drift detection armed but never firing may cost at most 5% on top
     # of the hub batched per-event budget.
     "hub_drift_armed_ns": float(sys.argv[5]) * 1.05,
+    # Appending every scored event to the per-home WAL (throughput-tuned
+    # group commit) may at most double the hub batched per-event budget.
+    "hub_wal_armed_ns": float(sys.argv[5]) * 2.0,
 }
 
 def last_report(path, kind_key, kind_value):
@@ -120,6 +129,14 @@ pinned = {
         else None,
         1e9 / base_hub["hub4_batched_drift_eps"]
         if "hub4_batched_drift_eps" in base_hub
+        else None,
+    ),
+    "hub_wal_armed_ns": (
+        1e9 / fresh_hub["hub4_batched_wal_eps"]
+        if "hub4_batched_wal_eps" in fresh_hub
+        else None,
+        1e9 / base_hub["hub4_batched_wal_eps"]
+        if "hub4_batched_wal_eps" in base_hub
         else None,
     ),
 }

@@ -33,6 +33,8 @@ fn every_public_error_type_is_a_std_error() {
     assert_error::<causaliot::DropReason>();
     assert_error::<iot_serve::SubmitError>();
     assert_error::<iot_serve::QuarantinedError>();
+    assert_error::<iot_serve::ShutdownTimeout>();
+    assert_error::<iot_serve::RecoveryError>();
     assert_error::<iot_model::ModelError>();
 }
 
@@ -223,6 +225,46 @@ fn model_lifecycle_api_signatures_are_pinned() {
 }
 
 #[test]
+// The whole point is pinning the exact (complex) signatures verbatim.
+#[allow(clippy::type_complexity)]
+fn durability_api_signatures_are_pinned() {
+    use iot_serve::{
+        DurabilityConfig, DurabilityPolicy, HomeReport, Hub, HubConfig, RecoveryError,
+        RecoveryReport, ShutdownTimeout,
+    };
+    use std::time::Duration;
+
+    // Shutdown stays infallible; the bounded variant is a new method,
+    // not a breaking change to the old one.
+    let _shutdown: fn(Hub) -> Vec<HomeReport> = Hub::shutdown;
+    let _bounded: fn(Hub, Duration) -> Result<Vec<HomeReport>, ShutdownTimeout> =
+        Hub::shutdown_within;
+    // Crash recovery rebuilds a whole fleet from the durability root.
+    let _recover: fn(HubConfig) -> Result<(Hub, RecoveryReport), RecoveryError> = Hub::recover;
+
+    // The durability vocabulary: every policy is constructible, the
+    // default is Off, and `at` arms group commit.
+    let _off = DurabilityPolicy::Off;
+    let _interval = DurabilityPolicy::Interval {
+        events: 64,
+        max_delay: Duration::from_millis(5),
+    };
+    let _strict = DurabilityPolicy::Strict;
+    assert_eq!(DurabilityPolicy::default(), DurabilityPolicy::Off);
+    let config = DurabilityConfig::at("/tmp/wal");
+    assert!(config.is_armed());
+    assert!(!DurabilityConfig {
+        policy: DurabilityPolicy::Off,
+        ..config
+    }
+    .is_armed());
+
+    // Recovery reports cross thread boundaries with the hub.
+    assert_send_sync_static::<RecoveryReport>();
+    assert_send_sync_static::<iot_serve::HomeRecovery>();
+}
+
+#[test]
 fn backoff_policy_is_shared_between_restore_and_adaptation() {
     use iot_serve::{AdaptationPolicy, BackoffPolicy, RestorePolicy};
     use std::time::Duration;
@@ -245,4 +287,17 @@ fn backoff_policy_is_shared_between_restore_and_adaptation() {
     assert_eq!(backoff.delay(0), Duration::from_millis(50));
     assert_eq!(backoff.delay(1), Duration::from_millis(100));
     assert_eq!(backoff.delay(10), Duration::from_secs(5));
+    // The seeded jitter variant is opt-in per call site: deterministic
+    // for a (seed, attempt) pair, strictly additive, and bounded.
+    let _jittered: fn(&BackoffPolicy, u32, u64) -> Duration = BackoffPolicy::delay_jittered;
+    for seed in [0u64, 7, 1_000_003] {
+        let wait = backoff.delay_jittered(1, seed);
+        assert!(wait >= backoff.delay(1));
+        assert!(wait <= (backoff.delay(1) * 3).min(backoff.max));
+        assert_eq!(
+            wait,
+            backoff.delay_jittered(1, seed),
+            "jitter must be seeded"
+        );
+    }
 }

@@ -1,0 +1,323 @@
+//! Kill-9 crash recovery: a real child OS process serves a durable hub
+//! and the parent SIGKILLs it at a seeded point mid-stream. Recovery
+//! (`Hub::recover`) must rebuild the fleet from the per-home WAL +
+//! snapshot directory, and after resubmitting the undurable tail the
+//! full verdict stream must be **bit-identical** to an uninterrupted
+//! sequential run — the durability layer's core guarantee.
+//!
+//! This test is `harness = false` so the binary itself can host the
+//! `--crash-child` re-exec entry: the parent spawns *this binary* with
+//! the durability root as an argument, the child builds the same
+//! deterministic model and streams and serves them through a durable
+//! hub, and the parent kills it with SIGKILL (no warning, no unwind, no
+//! destructor) once the child's on-disk progress passes a seeded
+//! threshold. The seed matrix comes from `CRASH_SEEDS` (comma-separated,
+//! mirroring the chaos suite's `CHAOS_SEEDS` in CI).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use causaliot::{CausalIot, FittedModel};
+use iot_model::{Attribute, BinaryEvent, DeviceRegistry, Room, Timestamp};
+use iot_serve::{DurabilityConfig, DurabilityPolicy, Hub, HubConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const HOMES: usize = 2;
+const EVENTS_PER_HOME: usize = 2_000;
+/// Events per submitted chunk; the child sleeps between rounds so the
+/// parent can land its kill mid-stream.
+const CHUNK: usize = 8;
+
+/// The deterministic model both parent and child fit — no RNG in the
+/// fit itself, so the recovered fleet and the reference monitors score
+/// with the exact same parameters.
+fn fitted() -> (DeviceRegistry, FittedModel) {
+    let mut reg = DeviceRegistry::new();
+    let pe = reg
+        .add("PE_room", Attribute::PresenceSensor, Room::new("room"))
+        .unwrap();
+    let lamp = reg
+        .add("S_lamp", Attribute::Switch, Room::new("room"))
+        .unwrap();
+    let door = reg
+        .add("C_door", Attribute::ContactSensor, Room::new("hall"))
+        .unwrap();
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut events = Vec::new();
+    let (mut pe_s, mut lamp_s, mut door_s) = (false, false, false);
+    for i in 0..600u64 {
+        let t = i * 60;
+        match rng.gen_range(0..3) {
+            0 => {
+                pe_s = !pe_s;
+                events.push(BinaryEvent::new(Timestamp::from_secs(t), pe, pe_s));
+                if rng.gen_bool(0.9) && lamp_s != pe_s {
+                    lamp_s = pe_s;
+                    events.push(BinaryEvent::new(Timestamp::from_secs(t + 15), lamp, lamp_s));
+                }
+            }
+            1 => {
+                door_s = !door_s;
+                events.push(BinaryEvent::new(Timestamp::from_secs(t), door, door_s));
+            }
+            _ => {}
+        }
+    }
+    let model = CausalIot::builder()
+        .tau(2)
+        .build()
+        .fit_binary(&reg, &events)
+        .unwrap();
+    (reg, model)
+}
+
+/// Deterministic per-home serving streams, identical in parent and child.
+fn home_streams(reg: &DeviceRegistry) -> Vec<Vec<BinaryEvent>> {
+    let devices = [
+        reg.id_of("PE_room").unwrap(),
+        reg.id_of("S_lamp").unwrap(),
+        reg.id_of("C_door").unwrap(),
+    ];
+    (0..HOMES as u64)
+        .map(|h| {
+            let mut rng = StdRng::seed_from_u64(900 + h);
+            (0..EVENTS_PER_HOME as u64)
+                .map(|i| {
+                    let t = 1_000_000 + h * 100_000_000 + i * 5;
+                    let device = devices[rng.gen_range(0..devices.len())];
+                    BinaryEvent::new(Timestamp::from_secs(t), device, rng.gen_bool(0.5))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The hub config both sides use: aggressive snapshot cadence and a
+/// short group-commit interval so one run exercises segment rotation,
+/// snapshot restore, *and* WAL-tail replay.
+fn config(dir: &Path) -> HubConfig {
+    HubConfig::builder()
+        .workers(1)
+        .durability(DurabilityConfig {
+            policy: DurabilityPolicy::Interval {
+                events: 32,
+                max_delay: Duration::from_millis(5),
+            },
+            snapshot_every: 256,
+            ..DurabilityConfig::at(dir)
+        })
+        .try_build()
+        .expect("crash-recovery hub config must validate")
+}
+
+/// Submits one chunk, spinning on backpressure (the queue is never
+/// abandoned — durability must see every event exactly once).
+fn submit_all(hub: &Hub, home: iot_serve::HomeId, chunk: &[BinaryEvent]) {
+    let mut offset = 0usize;
+    while offset < chunk.len() {
+        match hub.submit_batch(home, &chunk[offset..]) {
+            Ok(outcome) => {
+                offset += outcome.accepted;
+                if !outcome.is_complete() {
+                    std::thread::yield_now();
+                }
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+}
+
+/// Child entry: serve every stream through a durable hub, paced so the
+/// parent has a wide window to kill us mid-stream. If never killed, exit
+/// through a clean shutdown — recovery must work from that state too.
+fn run_child(dir: &Path) {
+    let (reg, model) = fitted();
+    let streams = home_streams(&reg);
+    let mut hub = Hub::new(config(dir));
+    let homes: Vec<_> = (0..HOMES)
+        .map(|h| hub.register(&format!("home-{h}"), &model))
+        .collect();
+    let rounds = EVENTS_PER_HOME.div_ceil(CHUNK);
+    for round in 0..rounds {
+        let at = round * CHUNK;
+        for (h, stream) in streams.iter().enumerate() {
+            let end = (at + CHUNK).min(stream.len());
+            submit_all(&hub, homes[h], &stream[at..end]);
+        }
+        // Pacing, not correctness: keeps the whole run long enough that
+        // the parent's seeded kill reliably lands mid-stream.
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    hub.drain();
+    let _ = hub.shutdown();
+}
+
+/// Estimated events durably on disk, read the way recovery would: each
+/// home's snapshot `seq` plus the events in its live WAL segment. Only a
+/// kill trigger — recovery itself reports the exact count.
+fn durable_estimate(dir: &Path) -> u64 {
+    // One framed WAL event record: 8 bytes of length+CRC, 14 of payload.
+    const RECORD: u64 = 22;
+    let mut total = 0u64;
+    for h in 0..HOMES {
+        let home = dir.join(format!("home-{h}"));
+        if let Ok(snap) = std::fs::read_to_string(home.join("state.snap")) {
+            if let Some(seq) = snap
+                .lines()
+                .find_map(|l| l.strip_prefix("seq "))
+                .and_then(|n| n.trim().parse::<u64>().ok())
+            {
+                total += seq;
+            }
+        }
+        if let Ok(entries) = std::fs::read_dir(&home) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with("wal-") && name.ends_with(".log") {
+                    if let Ok(meta) = entry.metadata() {
+                        total += meta.len() / RECORD;
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+fn scratch_dir(seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "causaliot-crash-recovery-{seed}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// One full kill-9 → recover → resume cycle for `seed`; the seed picks
+/// where in the stream the SIGKILL lands.
+fn kill9_recovery_is_verdict_identical(seed: u64) {
+    let dir = scratch_dir(seed);
+    let (reg, model) = fitted();
+    let streams = home_streams(&reg);
+    let total_events = (HOMES * EVENTS_PER_HOME) as u64;
+
+    // Seeded kill point: somewhere in the middle 10%–70% of the stream,
+    // spread deterministically by the seed.
+    let kill_at = total_events / 10 + (seed.wrapping_mul(2_654_435_761) % (total_events * 6 / 10));
+    let mut child = Command::new(std::env::current_exe().expect("current exe"))
+        .arg("--crash-child")
+        .arg(&dir)
+        .spawn()
+        .expect("spawn crash child");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut exited_early = false;
+    loop {
+        if durable_estimate(&dir) >= kill_at {
+            break;
+        }
+        if child.try_wait().expect("poll child").is_some() {
+            exited_early = true;
+            break;
+        }
+        assert!(Instant::now() < deadline, "child never reached kill point");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // SIGKILL: no unwinding, no Drop, no final fsync — the only survivors
+    // are the bytes already written into the kernel page cache.
+    let _ = child.kill();
+    let _ = child.wait();
+    assert!(
+        !exited_early,
+        "seed {seed}: child finished before the kill point — recovery was never \
+         exercised mid-stream (kill_at {kill_at} of {total_events})"
+    );
+
+    // Recover the whole fleet in-process from what the kill left behind.
+    let (hub, report) = Hub::recover(config(&dir)).expect("recovery from a SIGKILLed hub");
+    assert_eq!(report.homes.len(), HOMES, "every home recovers");
+    let recovered: Vec<(iot_serve::HomeId, usize)> = report
+        .homes
+        .iter()
+        .enumerate()
+        .map(|(h, home)| {
+            assert_eq!(
+                home.home.to_string(),
+                h.to_string(),
+                "homes recover in registration order"
+            );
+            assert_eq!(home.name, format!("home-{h}"));
+            assert!(
+                home.replayed_events <= home.durable_events,
+                "replayed {} of {} durable",
+                home.replayed_events,
+                home.durable_events
+            );
+            let durable = home.durable_events as usize;
+            assert!(durable <= EVENTS_PER_HOME, "seed {seed}: over-recovered");
+            (home.home, durable)
+        })
+        .collect();
+    let durable: Vec<usize> = recovered.iter().map(|&(_, d)| d).collect();
+    assert!(
+        durable.iter().map(|&d| d as u64).sum::<u64>() < total_events,
+        "seed {seed}: kill landed after the full stream was durable"
+    );
+
+    // Resume serving exactly where durability left off...
+    for (h, stream) in streams.iter().enumerate() {
+        submit_all(&hub, recovered[h].0, &stream[durable[h]..]);
+    }
+    hub.drain();
+    let reports = hub.shutdown();
+
+    // ...and require the stitched verdict stream (snapshot verdicts +
+    // WAL replay + post-recovery serving) to be bit-identical to one
+    // uninterrupted sequential run per home.
+    for (h, report) in reports.iter().enumerate() {
+        let mut monitor = model.clone().into_monitor();
+        let expected: Vec<_> = streams[h].iter().map(|&e| monitor.observe(e)).collect();
+        assert_eq!(
+            report.verdicts.len(),
+            expected.len(),
+            "home {h} verdict count"
+        );
+        for (i, (got, want)) in report.verdicts.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                got, want,
+                "seed {seed}: home {h} verdict {i} diverged after kill-9 recovery \
+                 ({} events were durable)",
+                durable[h]
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "ok - kill9_recovery_is_verdict_identical(seed={seed}, kill_at={kill_at}, \
+         durable={durable:?})"
+    );
+}
+
+fn seeds() -> Vec<u64> {
+    let raw = std::env::var("CRASH_SEEDS").unwrap_or_else(|_| "11,23".to_string());
+    raw.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|s| s.trim().parse().expect("CRASH_SEEDS must be integers"))
+        .collect()
+}
+
+fn main() {
+    // Child entry: the parent re-executed this binary.
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--crash-child") {
+        let dir = PathBuf::from(args.get(2).expect("--crash-child <dir>"));
+        run_child(&dir);
+        return;
+    }
+    for seed in seeds() {
+        kill9_recovery_is_verdict_identical(seed);
+    }
+    println!("crash_recovery: all tests passed");
+}
